@@ -1,0 +1,76 @@
+//! The uniform interface every relevance-feedback method exposes.
+
+use qcluster_core::{FeedbackPoint, Result};
+use qcluster_index::QueryDistance;
+
+/// A relevance-feedback retrieval method: it ingests rounds of relevant
+/// points and produces the refined query for the next round.
+///
+/// The evaluation harness drives every approach (Qcluster, QPM,
+/// MindReader, QEX, FALCON) through this trait, so the comparison figures
+/// (paper Figs. 7, 10–13) share one code path.
+pub trait RetrievalMethod {
+    /// Short display name ("qcluster", "qpm", …).
+    fn name(&self) -> &'static str;
+
+    /// Ingests one round of user-marked relevant points.
+    ///
+    /// # Errors
+    ///
+    /// Method-specific validation failures (empty set, ragged dimensions).
+    fn feed(&mut self, relevant: &[FeedbackPoint]) -> Result<()>;
+
+    /// Compiles the current refined query.
+    ///
+    /// # Errors
+    ///
+    /// [`qcluster_core::CoreError::NoClusters`]-like errors before any
+    /// feedback has been given.
+    fn query(&self) -> Result<Box<dyn QueryDistance>>;
+
+    /// Clears all session state.
+    fn reset(&mut self);
+}
+
+impl RetrievalMethod for qcluster_core::QclusterEngine {
+    fn name(&self) -> &'static str {
+        "qcluster"
+    }
+
+    fn feed(&mut self, relevant: &[FeedbackPoint]) -> Result<()> {
+        QclusterEngine::feed(self, relevant)
+    }
+
+    fn query(&self) -> Result<Box<dyn QueryDistance>> {
+        Ok(Box::new(QclusterEngine::query(self)?))
+    }
+
+    fn reset(&mut self) {
+        QclusterEngine::reset(self)
+    }
+}
+
+use qcluster_core::QclusterEngine;
+
+/// Validates a feedback batch: non-empty, consistent dimensionality,
+/// positive scores. Returns the dimensionality.
+pub(crate) fn validate(
+    relevant: &[FeedbackPoint],
+    expected_dim: Option<usize>,
+) -> Result<usize> {
+    use qcluster_core::CoreError;
+    let first = relevant.first().ok_or(CoreError::EmptyFeedback)?;
+    let dim = expected_dim.unwrap_or_else(|| first.dim());
+    for p in relevant {
+        if p.dim() != dim {
+            return Err(CoreError::DimensionMismatch {
+                expected: dim,
+                found: p.dim(),
+            });
+        }
+        if p.score <= 0.0 || p.score.is_nan() {
+            return Err(CoreError::InvalidScore(p.score));
+        }
+    }
+    Ok(dim)
+}

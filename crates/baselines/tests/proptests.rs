@@ -1,0 +1,139 @@
+//! Property-based tests for the baseline methods and aggregates.
+
+use proptest::prelude::*;
+use qcluster_baselines::{
+    AggregateKind, Falcon, MindReader, MultiPointQuery, QueryExpansion,
+    QueryPointMovement, RetrievalMethod,
+};
+use qcluster_core::FeedbackPoint;
+use qcluster_index::{BoundingBox, QueryDistance};
+
+const DIM: usize = 3;
+
+fn arb_points(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(-10.0..10.0f64, DIM), n)
+}
+
+fn feedback(points: &[Vec<f64>]) -> Vec<FeedbackPoint> {
+    points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| FeedbackPoint::new(i, p.clone(), 1.0 + (i % 3) as f64))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_method_produces_a_valid_query(pts in arb_points(2..20)) {
+        let fb = feedback(&pts);
+        let mut methods: Vec<Box<dyn RetrievalMethod>> = vec![
+            Box::new(QueryPointMovement::new()),
+            Box::new(MindReader::new()),
+            Box::new(QueryExpansion::new()),
+            Box::new(Falcon::new()),
+        ];
+        for m in &mut methods {
+            m.feed(&fb).expect("feeds");
+            let q = m.query().expect("compiles");
+            prop_assert_eq!(q.dim(), DIM);
+            for p in &pts {
+                let d = q.distance(p);
+                prop_assert!(d.is_finite() && d >= 0.0, "{}: d={d}", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn aggregates_respect_lower_bound_contract(
+        pts in arb_points(1..6),
+        lo in prop::collection::vec(-10.0..9.0f64, DIM),
+        ext in prop::collection::vec(0.1..5.0f64, DIM),
+    ) {
+        let hi: Vec<f64> = lo.iter().zip(&ext).map(|(l, e)| l + e).collect();
+        let b = BoundingBox::new(lo.clone(), hi.clone());
+        for kind in [
+            AggregateKind::Convex,
+            AggregateKind::MultiFocal,
+            AggregateKind::FuzzyOr { alpha: -2.0 },
+            AggregateKind::FuzzyOr { alpha: -5.0 },
+        ] {
+            let q = MultiPointQuery::uniform(pts.clone(), kind);
+            let lb = q.min_distance(&b);
+            for i in 0..=3 {
+                for j in 0..=3 {
+                    for k in 0..=3 {
+                        let x = [
+                            lo[0] + ext[0] * i as f64 / 3.0,
+                            lo[1] + ext[1] * j as f64 / 3.0,
+                            lo[2] + ext[2] * k as f64 / 3.0,
+                        ];
+                        prop_assert!(
+                            q.distance(&x) >= lb - 1e-9,
+                            "{kind:?}: point {x:?} beats bound {lb}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fuzzy_or_bounded_by_min_component(pts in arb_points(2..8), x in prop::collection::vec(-10.0..10.0f64, DIM)) {
+        // The fuzzy OR with any negative α is at least the minimum
+        // component distance and at most the maximum.
+        let q = MultiPointQuery::uniform(pts.clone(), AggregateKind::FuzzyOr { alpha: -3.0 });
+        let comps: Vec<f64> = pts
+            .iter()
+            .map(|c| qcluster_linalg::vecops::sq_euclidean(&x, c))
+            .collect();
+        let min = comps.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = comps.iter().cloned().fold(0.0_f64, f64::max);
+        let d = q.distance(&x);
+        prop_assert!(d >= min - 1e-9, "d={d} < min={min}");
+        prop_assert!(d <= max + 1e-9, "d={d} > max={max}");
+    }
+
+    #[test]
+    fn qpm_point_is_inside_convex_hull_box(pts in arb_points(1..15)) {
+        let mut m = QueryPointMovement::new();
+        m.feed(&feedback(&pts)).expect("feeds");
+        let c = m.current_point().expect("point exists");
+        for d in 0..DIM {
+            let lo = pts.iter().map(|p| p[d]).fold(f64::INFINITY, f64::min);
+            let hi = pts.iter().map(|p| p[d]).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(c[d] >= lo - 1e-9 && c[d] <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn duplicate_feedback_is_idempotent(pts in arb_points(2..10)) {
+        let fb = feedback(&pts);
+        let mut once = Falcon::new();
+        once.feed(&fb).expect("feeds");
+        let mut twice = Falcon::new();
+        twice.feed(&fb).expect("feeds");
+        twice.feed(&fb).expect("feeds");
+        prop_assert_eq!(once.num_good_points(), twice.num_good_points());
+        let (q1, q2) = (once.query().unwrap(), twice.query().unwrap());
+        let probe = vec![0.5; DIM];
+        prop_assert!((q1.distance(&probe) - q2.distance(&probe)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_restores_initial_state(pts in arb_points(1..10)) {
+        let fb = feedback(&pts);
+        let mut methods: Vec<Box<dyn RetrievalMethod>> = vec![
+            Box::new(QueryPointMovement::new()),
+            Box::new(MindReader::new()),
+            Box::new(QueryExpansion::new()),
+            Box::new(Falcon::new()),
+        ];
+        for m in &mut methods {
+            m.feed(&fb).expect("feeds");
+            m.reset();
+            prop_assert!(m.query().is_err(), "{} kept state after reset", m.name());
+        }
+    }
+}

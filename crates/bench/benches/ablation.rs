@@ -1,0 +1,96 @@
+//! Ablations of the design choices DESIGN.md §7 calls out:
+//!
+//! - the aggregate exponent α of Eq. 4 (the paper fixes α = −2; FALCON
+//!   prefers α ≈ −5; α = 1 is the convex cover),
+//! - the engine's target cluster count,
+//! - the PCA retained-variance threshold ε of Sec. 4.4.4.
+//!
+//! Criterion measures throughput; quality ablations live in `repro`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcluster_baselines::{AggregateKind, MultiPointQuery};
+use qcluster_core::{QclusterConfig, QclusterEngine, FeedbackPoint};
+use qcluster_linalg::{Matrix, Pca};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_alpha_exponent(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let centers: Vec<Vec<f64>> = (0..5)
+        .map(|_| (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    let x: Vec<f64> = (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut group = c.benchmark_group("aggregate_alpha");
+    for (kind, label) in [
+        (AggregateKind::Convex, "alpha=+1"),
+        (AggregateKind::FuzzyOr { alpha: -1.0 }, "alpha=-1"),
+        (AggregateKind::FuzzyOr { alpha: -2.0 }, "alpha=-2"),
+        (AggregateKind::FuzzyOr { alpha: -5.0 }, "alpha=-5"),
+    ] {
+        let q = MultiPointQuery::uniform(centers.clone(), kind);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &q, |b, q| {
+            use qcluster_index::QueryDistance;
+            b.iter(|| black_box(q.distance(black_box(&x))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_target_clusters(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let marked: Vec<FeedbackPoint> = (0..40)
+        .map(|i| {
+            let mode = (i % 4) as f64 * 3.0;
+            let v: Vec<f64> = (0..4).map(|_| mode + rng.gen_range(-0.2..0.2)).collect();
+            FeedbackPoint::new(i, v, 1.0)
+        })
+        .collect();
+    let mut group = c.benchmark_group("engine_target_clusters");
+    for &target in &[1usize, 3, 5, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(target), &target, |b, &t| {
+            b.iter(|| {
+                let mut engine = QclusterEngine::new(QclusterConfig {
+                    target_clusters: t,
+                    ..QclusterConfig::default()
+                });
+                engine.feed(black_box(&marked)).expect("feeds");
+                black_box(engine.query().expect("compiles"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pca_epsilon(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = 500;
+    let p = 16;
+    let mut data = Matrix::zeros(n, p);
+    for i in 0..n {
+        for j in 0..p {
+            // Decaying variance per dimension so ε actually matters.
+            let scale = 1.0 / (1.0 + j as f64);
+            data.set(i, j, rng.gen_range(-1.0..1.0) * scale);
+        }
+    }
+    let pca = Pca::fit(&data).expect("fits");
+    let x: Vec<f64> = (0..p).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut group = c.benchmark_group("pca_transform_by_epsilon");
+    for &eps in &[0.01f64, 0.05, 0.15, 0.4] {
+        let k = pca.components_for_epsilon(eps);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("eps={eps}(k={k})")),
+            &k,
+            |b, &k| b.iter(|| black_box(pca.transform(black_box(&x), k))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_alpha_exponent,
+    bench_target_clusters,
+    bench_pca_epsilon
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Figure 7 as a criterion benchmark: a full feedback session (initial
+//! query + 3 refined rounds) per approach, on the color-moment dataset.
+//! Qcluster runs with the multipoint node cache; the centroid-style
+//! baselines re-query fresh, matching the paper's setup.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcluster_baselines::{Falcon, QueryExpansion, QueryPointMovement};
+use qcluster_bench::{image_dataset, Scale};
+use qcluster_core::{QclusterConfig, QclusterEngine};
+use qcluster_eval::FeedbackSession;
+use qcluster_imaging::FeatureKind;
+
+fn bench_approaches(c: &mut Criterion) {
+    let ds = image_dataset(Scale::Quick, FeatureKind::ColorMoments);
+    let mut group = c.benchmark_group("fig7_session_cost");
+    group.sample_size(15);
+
+    group.bench_function(BenchmarkId::from_parameter("qcluster"), |b| {
+        b.iter(|| {
+            let session = FeedbackSession::new(&ds, 30);
+            let mut m = QclusterEngine::new(QclusterConfig::default());
+            black_box(session.run(&mut m, 0, 3).expect("session"))
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("qpm"), |b| {
+        b.iter(|| {
+            let session = FeedbackSession::new(&ds, 30).without_node_cache();
+            let mut m = QueryPointMovement::new();
+            black_box(session.run(&mut m, 0, 3).expect("session"))
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("qex"), |b| {
+        b.iter(|| {
+            let session = FeedbackSession::new(&ds, 30).without_node_cache();
+            let mut m = QueryExpansion::new();
+            black_box(session.run(&mut m, 0, 3).expect("session"))
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("falcon"), |b| {
+        b.iter(|| {
+            let session = FeedbackSession::new(&ds, 30).without_node_cache();
+            let mut m = Falcon::new();
+            black_box(session.run(&mut m, 0, 3).expect("session"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_approaches);
+criterion_main!(benches);

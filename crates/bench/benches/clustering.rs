@@ -1,0 +1,140 @@
+//! Core-engine stage benchmarks: Bayesian classification (Algorithm 2),
+//! T² cluster merging (Algorithm 3), hierarchical seeding, and the
+//! leave-one-out quality metric (Sec. 4.5). These are the per-iteration
+//! costs behind Figures 6–7 and the synthetic grids of Figures 14–19.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcluster_core::hierarchical::hierarchical_clustering;
+use qcluster_core::merge::{merge_clusters, pair_t2};
+use qcluster_core::{
+    leave_one_out_error_rate, BayesianClassifier, Cluster, CovarianceScheme, FeedbackPoint,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 4;
+
+fn blob(center: f64, n: usize, base: usize, rng: &mut StdRng) -> Vec<FeedbackPoint> {
+    (0..n)
+        .map(|k| {
+            let v: Vec<f64> = (0..DIM)
+                .map(|_| center + rng.gen_range(-0.3..0.3))
+                .collect();
+            FeedbackPoint::new(base + k, v, 1.0)
+        })
+        .collect()
+}
+
+fn make_clusters(g: usize, per: usize, rng: &mut StdRng) -> Vec<Cluster> {
+    (0..g)
+        .map(|i| {
+            Cluster::from_points(blob(i as f64 * 3.0, per, i * 1000, rng)).expect("non-empty")
+        })
+        .collect()
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bayesian_classifier");
+    let mut rng = StdRng::seed_from_u64(1);
+    for &g in &[2usize, 5, 10] {
+        let clusters = make_clusters(g, 12, &mut rng);
+        let x: Vec<f64> = (0..DIM).map(|_| rng.gen_range(0.0..3.0)).collect();
+        for (scheme, label) in [
+            (CovarianceScheme::default_diagonal(), "diag"),
+            (CovarianceScheme::default_full(), "full"),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("fit+classify/{label}"), g),
+                &clusters,
+                |b, cl| {
+                    b.iter(|| {
+                        let clf = BayesianClassifier::fit(cl, scheme, 0.05).expect("fits");
+                        black_box(clf.classify(cl, black_box(&x)))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_merge_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_pass");
+    let mut rng = StdRng::seed_from_u64(2);
+    for &g in &[4usize, 8, 16] {
+        let clusters = make_clusters(g, 10, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(g), &clusters, |b, cl| {
+            b.iter(|| {
+                let mut working = cl.clone();
+                merge_clusters(
+                    &mut working,
+                    CovarianceScheme::default_diagonal(),
+                    0.05,
+                    3,
+                    0,
+                    0.1,
+                )
+                .expect("merge runs");
+                black_box(working.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pair_t2(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let clusters = make_clusters(2, 30, &mut rng);
+    for (scheme, label) in [
+        (CovarianceScheme::default_diagonal(), "t2_diag"),
+        (CovarianceScheme::default_full(), "t2_full"),
+    ] {
+        c.bench_function(label, |b| {
+            b.iter(|| black_box(pair_t2(&clusters[0], &clusters[1], scheme).expect("t2")))
+        });
+    }
+}
+
+fn bench_hierarchical(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchical_seed");
+    let mut rng = StdRng::seed_from_u64(4);
+    for &n in &[10usize, 30, 60] {
+        let mut pts = blob(0.0, n / 2, 0, &mut rng);
+        pts.extend(blob(5.0, n - n / 2, 1000, &mut rng));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| {
+                black_box(
+                    hierarchical_clustering(pts.clone(), 5, 0.5).expect("clusters"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_leave_one_out(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let clusters = make_clusters(3, 10, &mut rng);
+    c.bench_function("leave_one_out_error", |b| {
+        b.iter(|| {
+            black_box(
+                leave_one_out_error_rate(
+                    &clusters,
+                    CovarianceScheme::default_diagonal(),
+                    0.05,
+                )
+                .expect("computes"),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_classifier,
+    bench_merge_pass,
+    bench_pair_t2,
+    bench_hierarchical,
+    bench_leave_one_out
+);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Distance-kernel microbenchmarks.
+//!
+//! The k-NN search evaluates the query distance against every candidate;
+//! these kernels dominate Figure 6's CPU comparison. Measures:
+//!
+//! - the disjunctive aggregate (Eq. 5) under the diagonal and full-inverse
+//!   schemes at several cluster counts `g`,
+//! - MARS's weighted Euclidean (the QPM query),
+//! - FALCON's aggregate as the relevant-set size grows — the structural
+//!   cost the paper criticizes ("all relevant points are query points").
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcluster_baselines::{AggregateKind, MultiPointQuery};
+use qcluster_core::{Cluster, CovarianceScheme, DisjunctiveQuery, FeedbackPoint};
+use qcluster_index::{QueryDistance, WeightedEuclideanQuery};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 4;
+
+fn random_point(rng: &mut StdRng) -> Vec<f64> {
+    (0..DIM).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+fn make_clusters(g: usize, rng: &mut StdRng) -> Vec<Cluster> {
+    (0..g)
+        .map(|i| {
+            let center: Vec<f64> = (0..DIM).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            Cluster::from_points(
+                (0..10)
+                    .map(|k| {
+                        let v: Vec<f64> = center
+                            .iter()
+                            .map(|&c| c + rng.gen_range(-0.2..0.2))
+                            .collect();
+                        FeedbackPoint::new(i * 100 + k, v, 1.0)
+                    })
+                    .collect(),
+            )
+            .expect("non-empty")
+        })
+        .collect()
+}
+
+fn bench_disjunctive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disjunctive_distance");
+    let mut rng = StdRng::seed_from_u64(1);
+    for &g in &[1usize, 3, 5, 10] {
+        let clusters = make_clusters(g, &mut rng);
+        let x = random_point(&mut rng);
+        for (scheme, label) in [
+            (CovarianceScheme::default_diagonal(), "diagonal"),
+            (CovarianceScheme::default_full(), "inverse"),
+        ] {
+            let q = DisjunctiveQuery::new(&clusters, scheme).expect("compiles");
+            group.bench_with_input(
+                BenchmarkId::new(label, g),
+                &q,
+                |b, q| b.iter(|| black_box(q.distance(black_box(&x)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_weighted_euclidean(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let q = WeightedEuclideanQuery::new(
+        random_point(&mut rng),
+        (0..DIM).map(|_| rng.gen_range(0.1..2.0)).collect(),
+    );
+    let x = random_point(&mut rng);
+    c.bench_function("weighted_euclidean_distance", |b| {
+        b.iter(|| black_box(q.distance(black_box(&x))))
+    });
+}
+
+fn bench_falcon_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("falcon_aggregate_vs_relevant_set");
+    let mut rng = StdRng::seed_from_u64(3);
+    for &n in &[5usize, 20, 80] {
+        let centers: Vec<Vec<f64>> = (0..n).map(|_| random_point(&mut rng)).collect();
+        let q = MultiPointQuery::uniform(centers, AggregateKind::FuzzyOr { alpha: -5.0 });
+        let x = random_point(&mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &q, |b, q| {
+            b.iter(|| black_box(q.distance(black_box(&x))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_disjunctive,
+    bench_weighted_euclidean,
+    bench_falcon_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Index benchmarks: hybrid-tree k-NN vs linear scan, and the effect of
+//! the cross-iteration node cache (the mechanism behind Figure 7).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcluster_index::{EuclideanQuery, HybridTree, LinearScan, NodeCache};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 3;
+
+fn make_points(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..DIM).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect()
+}
+
+fn bench_tree_vs_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn");
+    for &n in &[1_000usize, 10_000, 30_000] {
+        let points = make_points(n, 7);
+        let tree = HybridTree::bulk_load(&points);
+        let scan = LinearScan::new(&points);
+        let query = EuclideanQuery::new(vec![0.5; DIM]);
+        group.bench_with_input(BenchmarkId::new("hybrid_tree", n), &tree, |b, t| {
+            b.iter(|| black_box(t.knn(&query, 100, None)))
+        });
+        group.bench_with_input(BenchmarkId::new("linear_scan", n), &scan, |b, s| {
+            b.iter(|| black_box(s.knn(&query, 100)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bulk_load(c: &mut Criterion) {
+    let points = make_points(10_000, 9);
+    c.bench_function("bulk_load_10k", |b| {
+        b.iter(|| black_box(HybridTree::bulk_load(black_box(&points))))
+    });
+}
+
+fn bench_cache_effect(c: &mut Criterion) {
+    // A refined query close to the previous one: disk reads collapse with
+    // the cache, total work does not change. This benchmark measures the
+    // CPU side; the disk-read accounting is what fig7 of `repro` reports.
+    let points = make_points(30_000, 11);
+    let tree = HybridTree::bulk_load(&points);
+    let q1 = EuclideanQuery::new(vec![0.5; DIM]);
+    let q2 = EuclideanQuery::new(vec![0.52; DIM]);
+    c.bench_function("refined_query_with_cache", |b| {
+        b.iter(|| {
+            let mut cache = NodeCache::new(tree.num_nodes());
+            let _ = tree.knn(&q1, 100, Some(&mut cache));
+            let (r, s) = tree.knn(&q2, 100, Some(&mut cache));
+            black_box((r, s.disk_reads))
+        })
+    });
+}
+
+criterion_group!(benches, bench_tree_vs_scan, bench_bulk_load, bench_cache_effect);
+criterion_main!(benches);

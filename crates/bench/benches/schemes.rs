@@ -1,0 +1,66 @@
+//! Figure 6 as a criterion benchmark: one full feedback iteration
+//! (feed + query compile + k-NN) under the diagonal vs the full-inverse
+//! covariance scheme, on the color-moment image dataset.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcluster_bench::{image_dataset, Scale};
+use qcluster_core::{CovarianceScheme, QclusterConfig, QclusterEngine};
+use qcluster_eval::{FeedbackSession, SimulatedUser};
+use qcluster_imaging::FeatureKind;
+use qcluster_index::EuclideanQuery;
+
+fn bench_schemes(c: &mut Criterion) {
+    let ds = image_dataset(Scale::Quick, FeatureKind::ColorMoments);
+    let query_image = 0usize;
+    // Pre-compute the initial round's marked set once.
+    let initial = EuclideanQuery::new(ds.vector(query_image).to_vec());
+    let (nn, _) = ds.tree().knn(&initial, 30, None);
+    let retrieved: Vec<usize> = nn.iter().map(|n| n.id).collect();
+    let user = SimulatedUser::new(&ds, ds.category(query_image));
+    let marked = user.mark(&retrieved);
+    assert!(!marked.is_empty(), "workload must mark something");
+
+    let mut group = c.benchmark_group("fig6_scheme_iteration");
+    for (scheme, label) in [
+        (CovarianceScheme::default_diagonal(), "diagonal"),
+        (CovarianceScheme::default_full(), "inverse"),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &scheme, |b, &s| {
+            b.iter(|| {
+                let mut engine = QclusterEngine::new(QclusterConfig {
+                    scheme: s,
+                    ..QclusterConfig::default()
+                });
+                engine.feed(black_box(&marked)).expect("feeds");
+                let q = engine.query().expect("compiles");
+                black_box(ds.tree().knn(&q, 30, None))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_session(c: &mut Criterion) {
+    let ds = image_dataset(Scale::Quick, FeatureKind::ColorMoments);
+    let mut group = c.benchmark_group("fig6_full_session");
+    group.sample_size(20);
+    for (scheme, label) in [
+        (CovarianceScheme::default_diagonal(), "diagonal"),
+        (CovarianceScheme::default_full(), "inverse"),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &scheme, |b, &s| {
+            b.iter(|| {
+                let session = FeedbackSession::new(&ds, 30);
+                let mut engine = QclusterEngine::new(QclusterConfig {
+                    scheme: s,
+                    ..QclusterConfig::default()
+                });
+                black_box(session.run(&mut engine, 0, 3).expect("session"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes, bench_full_session);
+criterion_main!(benches);

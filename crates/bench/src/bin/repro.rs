@@ -1,0 +1,456 @@
+//! `repro` — regenerates every table and figure of the Qcluster paper.
+//!
+//! ```text
+//! repro <experiment>... [--paper-scale]
+//!
+//! experiments:
+//!   fig5     disjunctive query on the uniform cube (Example 3)
+//!   fig6     CPU time: inverse vs diagonal covariance scheme
+//!   fig7     execution cost of the three approaches
+//!   fig8     P–R per iteration, color moments
+//!   fig9     P–R per iteration, co-occurrence texture
+//!   fig10    recall per iteration, three approaches, color feature
+//!   fig11    recall per iteration, three approaches, texture feature
+//!   fig12    precision per iteration, three approaches, color feature
+//!   fig13    precision per iteration, three approaches, texture feature
+//!   fig14    classification error, inverse matrix, spherical clusters
+//!   fig15    classification error, inverse matrix, elliptical clusters
+//!   fig16    classification error, diagonal matrix, spherical clusters
+//!   fig17    classification error, diagonal matrix, elliptical clusters
+//!   fig18    Q–Q plot of T² vs c², inverse matrix
+//!   fig19    Q–Q plot of T² vs c², diagonal matrix
+//!   table2   T² accuracy, same-mean pairs
+//!   table3   T² accuracy, different-mean pairs
+//!   headline recall/precision comparison on the semantic-gap workload
+//!   ablation design-choice quality ablations (aggregate rule, scheme,
+//!            merge forcing)
+//!   all      everything above
+//!
+//! options:
+//!   --paper-scale   run at the paper's workload sizes
+//!   --csv <dir>     additionally write each experiment's data series as
+//!                   CSV files into <dir> (for external plotting)
+//! ```
+
+use qcluster_bench::{headline_workload, image_dataset, semantic_gap_dataset, workload, Scale};
+use qcluster_core::CovarianceScheme;
+use qcluster_eval::experiments::*;
+use qcluster_eval::synthetic::ClusterShape;
+use qcluster_eval::Dataset;
+use qcluster_imaging::FeatureKind;
+use qcluster_stats::hotelling::PooledScheme;
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Optional CSV output directory, set from `--csv <dir>`.
+static CSV_DIR: std::sync::OnceLock<Option<PathBuf>> = std::sync::OnceLock::new();
+
+/// Writes one CSV file into the `--csv` directory (no-op without it).
+fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let Some(Some(dir)) = CSV_DIR.get().map(|d| d.as_ref()) else {
+        return;
+    };
+    let path = dir.join(name);
+    let mut file = match std::fs::File::create(&path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", path.display());
+            return;
+        }
+    };
+    let _ = writeln!(file, "{header}");
+    for r in rows {
+        let _ = writeln!(file, "{r}");
+    }
+    println!("(wrote {})", path.display());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    let csv_dir = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("csv directory creates");
+    }
+    CSV_DIR.set(csv_dir).expect("set once");
+    let args: Vec<String> = {
+        // Drop the `--csv <dir>` pair so the dir isn't read as an experiment.
+        let mut out = Vec::new();
+        let mut skip = false;
+        for (i, a) in args.iter().enumerate() {
+            if skip {
+                skip = false;
+                continue;
+            }
+            if a == "--csv" {
+                skip = true;
+                continue;
+            }
+            let _ = i;
+            out.push(a.clone());
+        }
+        out
+    };
+    let mut wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    if wanted.is_empty() || wanted.contains(&"all") {
+        wanted = vec![
+            "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+            "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "table2", "table3",
+            "headline", "ablation",
+        ];
+    }
+    println!("# Qcluster paper reproduction — scale: {scale:?}\n");
+    for w in wanted {
+        match w {
+            "fig5" => run_fig5(scale),
+            "fig6" => run_fig6(scale),
+            "fig7" => run_fig7(scale),
+            "fig8" => run_fig89(scale, FeatureKind::ColorMoments, "Figure 8"),
+            "fig9" => run_fig89(scale, FeatureKind::CooccurrenceTexture, "Figure 9"),
+            "fig10" => run_fig1013(scale, FeatureKind::ColorMoments, true, "Figure 10"),
+            "fig11" => {
+                run_fig1013(scale, FeatureKind::CooccurrenceTexture, true, "Figure 11")
+            }
+            "fig12" => run_fig1013(scale, FeatureKind::ColorMoments, false, "Figure 12"),
+            "fig13" => {
+                run_fig1013(scale, FeatureKind::CooccurrenceTexture, false, "Figure 13")
+            }
+            "fig14" => run_fig1417(
+                scale,
+                ClusterShape::Spherical,
+                CovarianceScheme::default_full(),
+                "Figure 14 (inverse matrix, spherical)",
+            ),
+            "fig15" => run_fig1417(
+                scale,
+                ClusterShape::Elliptical,
+                CovarianceScheme::default_full(),
+                "Figure 15 (inverse matrix, elliptical)",
+            ),
+            "fig16" => run_fig1417(
+                scale,
+                ClusterShape::Spherical,
+                CovarianceScheme::default_diagonal(),
+                "Figure 16 (diagonal matrix, spherical)",
+            ),
+            "fig17" => run_fig1417(
+                scale,
+                ClusterShape::Elliptical,
+                CovarianceScheme::default_diagonal(),
+                "Figure 17 (diagonal matrix, elliptical)",
+            ),
+            "fig18" => run_fig1819(scale, PooledScheme::FullInverse, "Figure 18"),
+            "fig19" => run_fig1819(scale, PooledScheme::Diagonal, "Figure 19"),
+            "table2" => run_table23(scale, table2_3::MeanHypothesis::Same, "Table 2"),
+            "table3" => {
+                run_table23(scale, table2_3::MeanHypothesis::Different, "Table 3")
+            }
+            "headline" => run_headline(scale),
+            "ablation" => run_ablation(scale),
+            other => eprintln!("unknown experiment: {other}"),
+        }
+    }
+}
+
+fn run_fig5(scale: Scale) {
+    println!("## Figure 5 — disjunctive query on synthetic uniform data\n");
+    let cfg = match scale {
+        Scale::Quick => fig5::Fig5Config::default(),
+        Scale::Paper => fig5::Fig5Config::paper_scale(),
+    };
+    let r = fig5::run(&cfg);
+    println!("points in either unit ball : {}", r.in_or_region);
+    println!(
+        "top-N aggregate overlap    : {:.1}% (N = region size)",
+        100.0 * r.overlap_fraction
+    );
+    let ball0 = r.retrieved.iter().filter(|(_, b)| *b == 0).count();
+    let ball1 = r.retrieved.iter().filter(|(_, b)| *b == 1).count();
+    println!("retrieved near (-1,-1,-1)  : {ball0}");
+    println!("retrieved near ( 1, 1, 1)  : {ball1}");
+    println!("(paper: 820 of 10,000 points retrieved, both balls populated)\n");
+}
+
+fn run_fig6(scale: Scale) {
+    println!("## Figure 6 — CPU time per iteration, inverse vs diagonal scheme (color)\n");
+    let ds = image_dataset(scale, FeatureKind::ColorMoments);
+    let rows = fig6::run(&ds, &workload(scale));
+    println!("{:<10} {:>14} {:>14} {:>8}", "iteration", "diagonal(µs)", "inverse(µs)", "ratio");
+    for row in rows {
+        let d = row.diagonal.as_micros() as f64;
+        let i = row.inverse.as_micros() as f64;
+        println!(
+            "{:<10} {:>14.0} {:>14.0} {:>8.2}",
+            row.iteration,
+            d,
+            i,
+            i / d.max(1.0)
+        );
+    }
+    println!("(paper: diagonal scheme significantly cheaper — ratio > 1 expected)\n");
+}
+
+fn run_fig7(scale: Scale) {
+    println!("## Figure 7 — execution cost of the three approaches\n");
+    let ds = image_dataset(scale, FeatureKind::ColorMoments);
+    let costs = fig7::run(&ds, &workload(scale));
+    println!("mean simulated disk reads per iteration:");
+    print!("{:<10}", "iter");
+    for c in &costs {
+        print!("{:>12}", c.name);
+    }
+    println!();
+    let iters = costs[0].disk_reads.len();
+    for i in 0..iters {
+        print!("{:<10}", i);
+        for c in &costs {
+            print!("{:>12.1}", c.disk_reads[i]);
+        }
+        println!();
+    }
+    println!("(paper: Qcluster's cached multipoint k-NN ≪ centroid re-query)\n");
+}
+
+fn run_fig89(scale: Scale, kind: FeatureKind, title: &str) {
+    println!("## {title} — precision–recall per iteration ({kind:?})\n");
+    let ds = image_dataset(scale, kind);
+    let res = fig8_9::run(&ds, &workload(scale));
+    println!("{:<10} {:>10} {:>22}", "iteration", "AUPR", "P@k / R@k (full depth)");
+    for (i, curve) in res.curves.iter().enumerate() {
+        let last = curve.last().expect("non-empty curve");
+        println!(
+            "{:<10} {:>10.4} {:>11.3} / {:.3}",
+            i,
+            res.aupr(i),
+            last.precision,
+            last.recall
+        );
+    }
+    let mut rows = Vec::new();
+    for (i, curve) in res.curves.iter().enumerate() {
+        for p in curve {
+            rows.push(format!("{i},{},{:.6},{:.6}", p.n, p.recall, p.precision));
+        }
+    }
+    write_csv(
+        &format!("pr_{kind:?}.csv"),
+        "iteration,depth,recall,precision",
+        &rows,
+    );
+    println!("full P–R series (iteration 0 and final):");
+    for &it in &[0usize, res.curves.len() - 1] {
+        let pts: Vec<String> = res.curves[it]
+            .iter()
+            .step_by((res.curves[it].len() / 10).max(1))
+            .map(|p| format!("({:.2},{:.2})", p.recall, p.precision))
+            .collect();
+        println!("  iter {it}: {}", pts.join(" "));
+    }
+    println!("(paper: quality improves every iteration; biggest jump at iteration 1)\n");
+}
+
+fn run_fig1013(scale: Scale, kind: FeatureKind, recall: bool, title: &str) {
+    let metric = if recall { "recall" } else { "precision" };
+    println!("## {title} — {metric} of the three approaches ({kind:?})\n");
+    let ds = image_dataset(scale, kind);
+    print_comparison(&ds, scale, recall, &format!("{kind:?}"));
+    println!("(see `headline` for the semantic-gap workload where the margins match the paper)\n");
+}
+
+fn run_headline(scale: Scale) {
+    println!("## Headline — three approaches on the semantic-gap workload\n");
+    let ds = semantic_gap_dataset(scale);
+    print_headline_comparison(&ds, scale);
+    println!("(paper: Qcluster ≈ +22% recall vs QEX, ≈ +34% vs QPM at the final iteration)\n");
+}
+
+fn print_headline_comparison(ds: &Dataset, scale: Scale) {
+    print_results(&fig10_13::run_all(ds, &headline_workload(scale)), true, "semantic_gap")
+}
+
+fn print_comparison(ds: &Dataset, scale: Scale, recall: bool, tag: &str) {
+    print_results(&fig10_13::run(ds, &workload(scale)), recall, tag)
+}
+
+fn print_results(results: &[fig10_13::ApproachQuality], recall: bool, tag: &str) {
+    let iters = results[0].recall.len();
+    {
+        let metric = if recall { "recall" } else { "precision" };
+        let header = std::iter::once("iteration".to_string())
+            .chain(results.iter().map(|r| r.name.to_string()))
+            .collect::<Vec<_>>()
+            .join(",");
+        let rows: Vec<String> = (0..iters)
+            .map(|i| {
+                std::iter::once(i.to_string())
+                    .chain(results.iter().map(|r| {
+                        format!("{:.6}", if recall { r.recall[i] } else { r.precision[i] })
+                    }))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .collect();
+        write_csv(&format!("comparison_{tag}_{metric}.csv"), &header, &rows);
+    }
+    print!("{:<10}", "iter");
+    for r in results {
+        print!("{:>12}", r.name);
+    }
+    println!();
+    for i in 0..iters {
+        print!("{:<10}", i);
+        for r in results {
+            let v = if recall { r.recall[i] } else { r.precision[i] };
+            print!("{:>12.4}", v);
+        }
+        println!();
+    }
+    let last = iters - 1;
+    let get = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| if recall { r.recall[last] } else { r.precision[last] })
+            .unwrap_or(f64::NAN)
+    };
+    let (qc, qpm, qex) = (get("qcluster"), get("qpm"), get("qex"));
+    println!(
+        "final-iteration improvement: vs QEX {:+.1}%, vs QPM {:+.1}%",
+        100.0 * (qc / qex - 1.0),
+        100.0 * (qc / qpm - 1.0)
+    );
+}
+
+fn run_ablation(scale: Scale) {
+    println!("## Ablations — design choices (DESIGN.md §7) on the semantic-gap workload\n");
+    let ds = semantic_gap_dataset(scale);
+    let cfg = headline_workload(scale);
+    let show = |title: &str, rows: &[ablation::AblationRow]| {
+        println!("{title}:");
+        for r in rows {
+            let series: Vec<String> = r.recall.iter().map(|v| format!("{v:.3}")).collect();
+            println!("  {:<24} {}", r.variant, series.join(" -> "));
+        }
+        println!();
+    };
+    show(
+        "aggregate combination rule (same clusters, different ranking)",
+        &ablation::aggregate_rule_sweep(&ds, &cfg),
+    );
+    show(
+        "covariance scheme (retrieval quality)",
+        &ablation::scheme_quality_sweep(&ds, &cfg),
+    );
+    show(
+        "merge forcing (Algorithm 3 step 8)",
+        &ablation::merge_forcing_sweep(&ds, &cfg),
+    );
+    show(
+        "QPM negative-feedback weight (Rocchio γ)",
+        &ablation::negative_feedback_sweep(&ds, &cfg),
+    );
+    let (loo_error, mean_clusters) = ablation::clustering_quality(&ds, &cfg);
+    println!(
+        "clustering quality (Sec. 4.5): leave-one-out error {loo_error:.3}, \
+         mean final cluster count {mean_clusters:.1}\n"
+    );
+}
+
+fn scheme_tag(scheme: CovarianceScheme) -> &'static str {
+    match scheme {
+        CovarianceScheme::Diagonal { .. } => "diagonal",
+        CovarianceScheme::FullInverse { .. } => "inverse",
+    }
+}
+
+fn run_fig1417(scale: Scale, shape: ClusterShape, scheme: CovarianceScheme, title: &str) {
+    println!("## {title} — classification error rate\n");
+    let cfg = match scale {
+        Scale::Quick => fig14_17::Fig1417Config::default(),
+        Scale::Paper => fig14_17::Fig1417Config::paper_scale(),
+    };
+    let cells = fig14_17::run(&cfg, shape, scheme);
+    write_csv(
+        &format!("error_{shape:?}_{}.csv", scheme_tag(scheme)),
+        "dim,distance,error,variance_ratio",
+        &cells
+            .iter()
+            .map(|c| format!("{},{},{:.6},{:.6}", c.dim, c.distance, c.error_rate, c.variance_ratio))
+            .collect::<Vec<_>>(),
+    );
+    println!("{:<6} {:>10} {:>12} {:>12}", "dim", "distance", "error", "var.ratio");
+    for c in cells {
+        println!(
+            "{:<6} {:>10.1} {:>12.3} {:>12.3}",
+            c.dim, c.distance, c.error_rate, c.variance_ratio
+        );
+    }
+    println!("(paper: error falls with distance, rises as dims shrink, shape-invariant)\n");
+}
+
+fn run_fig1819(scale: Scale, scheme: PooledScheme, title: &str) {
+    println!("## {title} — Q–Q plot of T² vs critical distance ({scheme:?})\n");
+    let cfg = fig18_19::Fig1819Config::default();
+    let _ = scale; // the paper's scale (50+50 pairs) is already the default
+    let r = fig18_19::run(&cfg, scheme);
+    let show = |name: &str, v: &[f64]| {
+        let q = |p: f64| v[((v.len() - 1) as f64 * p) as usize];
+        println!(
+            "{name:<22} min {:>7.2}  q25 {:>7.2}  med {:>7.2}  q75 {:>7.2}  max {:>7.2}",
+            q(0.0),
+            q(0.25),
+            q(0.5),
+            q(0.75),
+            q(1.0)
+        );
+    };
+    write_csv(
+        &format!("qq_{scheme:?}.csv"),
+        "critical,t2_same,t2_diff",
+        &(0..r.t2_same.len())
+            .map(|i| format!("{:.6},{:.6},{:.6}", r.critical[i], r.t2_same[i], r.t2_diff[i]))
+            .collect::<Vec<_>>(),
+    );
+    show("T² same-mean (F scale)", &r.t2_same);
+    show("T² diff-mean (F scale)", &r.t2_diff);
+    show("random-F critical", &r.critical);
+    println!("Q–Q pairs (same-mean T² vs critical), every 10th:");
+    for i in (0..r.t2_same.len()).step_by(10) {
+        println!("  ({:.2}, {:.2})", r.critical[i], r.t2_same[i]);
+    }
+    println!("(paper: same-mean pairs at/below the T²=c² line, different-mean above)\n");
+}
+
+fn run_table23(scale: Scale, hypothesis: table2_3::MeanHypothesis, title: &str) {
+    println!("## {title} — T² accuracy, {hypothesis:?} means\n");
+    let cfg = match scale {
+        Scale::Quick => table2_3::Table23Config::default(),
+        Scale::Paper => table2_3::Table23Config::paper_scale(),
+    };
+    for (scheme, label) in [
+        (PooledScheme::FullInverse, "T² with inverse matrix"),
+        (PooledScheme::Diagonal, "T² with diagonal matrix"),
+    ] {
+        println!("{label}:");
+        println!(
+            "{:<6} {:>12} {:>10} {:>12} {:>14}",
+            "dim", "var.ratio", "T²", "quantile-F", "error-ratio(%)"
+        );
+        for row in table2_3::run(&cfg, hypothesis, scheme) {
+            println!(
+                "{:<6} {:>12.3} {:>10.2} {:>12.2} {:>14.1}",
+                row.dim, row.variation_ratio, row.mean_t2, row.quantile_f, row.error_ratio
+            );
+        }
+        println!();
+    }
+}

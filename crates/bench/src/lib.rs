@@ -1,0 +1,141 @@
+//! Shared workload constructors for the benchmark harness and the
+//! `repro` binary.
+//!
+//! Every experiment runs at one of two scales:
+//!
+//! - [`Scale::Quick`] — minutes-scale parameters for CI and iteration;
+//! - [`Scale::Paper`] — the paper's parameters (30,000-image corpus, 100
+//!   queries × 5 iterations, 100 pairs per table cell), for the full
+//!   reproduction run recorded in EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+
+use qcluster_eval::synthetic::SemanticGapConfig;
+use qcluster_eval::Dataset;
+use qcluster_imaging::{Corpus, CorpusBuilder, FeatureKind};
+
+/// Workload scale selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Scaled-down parameters (fast; same shapes).
+    Quick,
+    /// The paper's parameters.
+    Paper,
+}
+
+impl Scale {
+    /// Parses `--paper-scale`-style flags.
+    pub fn from_args(args: &[String]) -> Scale {
+        if args.iter().any(|a| a == "--paper-scale" || a == "--paper") {
+            Scale::Paper
+        } else {
+            Scale::Quick
+        }
+    }
+}
+
+/// The synthetic image corpus (the Corel-collection substitute).
+///
+/// Paper scale: 200 categories × 100 images = 20,000 images. The paper's
+/// collection had 300 categories, but its real photos discriminate
+/// categories through far richer structure than 3 PCA'd color dims can
+/// carry for procedural palettes; past ~200 synthetic categories the
+/// color feature saturates and every method floors together (see
+/// EXPERIMENTS.md). Quick scale: 60 × 20 = 1,200.
+pub fn image_corpus(scale: Scale) -> Corpus {
+    match scale {
+        Scale::Quick => CorpusBuilder::new()
+            .categories(60)
+            .images_per_category(20)
+            .image_size(24)
+            .categories_per_super(5)
+            .multimodal_fraction(0.4)
+            .jitter(0.5)
+            .seed(7)
+            .build(),
+        Scale::Paper => CorpusBuilder::new()
+            .categories(200)
+            .images_per_category(100)
+            .image_size(32)
+            .categories_per_super(5)
+            .multimodal_fraction(0.4)
+            .jitter(0.35)
+            .seed(7)
+            .build(),
+    }
+}
+
+/// The image-feature dataset for a given feature kind.
+pub fn image_dataset(scale: Scale, kind: FeatureKind) -> Dataset {
+    Dataset::from_corpus(&image_corpus(scale), kind).expect("feature pipeline builds")
+}
+
+/// The semantic-gap retrieval workload (headline comparison dataset).
+///
+/// The disjunctive-query phenomenon depends on data DENSITY (DESIGN.md §4
+/// and `SemanticGapConfig` docs), so even the quick scale keeps the point
+/// count high enough (7,500) that the in-between region of a category's
+/// modes contains competing images.
+pub fn semantic_gap_dataset(scale: Scale) -> Dataset {
+    let config = match scale {
+        Scale::Quick => SemanticGapConfig {
+            categories: 150,
+            ..SemanticGapConfig::default()
+        },
+        Scale::Paper => SemanticGapConfig::default(),
+    };
+    Dataset::semantic_gap(&config)
+}
+
+/// The retrieval workload for the headline (semantic-gap) comparison —
+/// k is fixed to the category size (the paper sets k = 100 with ~100
+/// images per category).
+pub fn headline_workload(scale: Scale) -> qcluster_eval::experiments::fig6::Fig6Config {
+    match scale {
+        Scale::Quick => qcluster_eval::experiments::fig6::Fig6Config {
+            num_queries: 25,
+            iterations: 5,
+            k: 50,
+            seed: 17,
+        },
+        Scale::Paper => qcluster_eval::experiments::fig6::Fig6Config {
+            num_queries: 100,
+            iterations: 5,
+            k: 50,
+            seed: 17,
+        },
+    }
+}
+
+/// The retrieval workload shape (queries × iterations × k) per scale.
+pub fn workload(scale: Scale) -> qcluster_eval::experiments::fig6::Fig6Config {
+    match scale {
+        Scale::Quick => qcluster_eval::experiments::fig6::Fig6Config {
+            num_queries: 15,
+            iterations: 3,
+            k: 30,
+            seed: 17,
+        },
+        Scale::Paper => qcluster_eval::experiments::fig6::Fig6Config::paper_scale(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_datasets_build() {
+        let ds = semantic_gap_dataset(Scale::Quick);
+        assert_eq!(ds.len(), 150 * 50);
+        let img = image_dataset(Scale::Quick, FeatureKind::ColorMoments);
+        assert_eq!(img.len(), 1200);
+        assert_eq!(img.dim(), 3);
+    }
+
+    #[test]
+    fn scale_flag_parses() {
+        assert_eq!(Scale::from_args(&["--paper-scale".into()]), Scale::Paper);
+        assert_eq!(Scale::from_args(&[]), Scale::Quick);
+    }
+}

@@ -1,0 +1,268 @@
+//! Adaptive Bayesian classification of new relevant points
+//! (paper Sec. 4.2, Algorithm 2).
+//!
+//! Each relevant point from the latest feedback round is assigned to one of
+//! the `g` current clusters — or seeds a new one — in two steps:
+//!
+//! 1. **Nearest cluster by classification function** (Eq. 10):
+//!    `d̂_i(x) = −½ (x − x̄_i)ᵀ S_pooled⁻¹ (x − x̄_i) + ln w_i`,
+//!    the log-posterior of the Bayesian rule (Eq. 8) with the constant
+//!    terms dropped; `w_i = m_i / Σ m_k` is the prior from the previous
+//!    iteration's cluster masses.
+//! 2. **Effective radius check** (Lemma 1 / Algorithm 2 step 4): the point
+//!    joins the winning cluster `k` only if
+//!    `(x − x̄_k)ᵀ S_k⁻¹ (x − x̄_k) < χ²_p(α)` under the cluster's own
+//!    covariance; otherwise it is an outlier to every current cluster and
+//!    becomes a new singleton cluster.
+
+use crate::cluster::Cluster;
+use crate::error::{CoreError, Result};
+use crate::pooled::classifier_pooled_covariance;
+use crate::scheme::{CovarianceScheme, InverseCovariance};
+use qcluster_stats::chi_squared_quantile;
+
+/// Verdict for one point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Classification {
+    /// Place the point into the existing cluster with this index.
+    Assign(usize),
+    /// The point is outside every cluster's effective radius; seed a new
+    /// cluster from it.
+    NewCluster,
+}
+
+/// A classifier materialized for one feedback round: the pooled inverse
+/// covariance, the cluster priors, and the χ² effective radius.
+///
+/// Build it once per round ([`BayesianClassifier::fit`]) and call
+/// [`classify`](BayesianClassifier::classify) per point — the pooled
+/// matrix inversion happens once, which is what makes the adaptive update
+/// cheap relative to re-clustering.
+pub struct BayesianClassifier {
+    pooled_inv: InverseCovariance,
+    cluster_inv: Vec<InverseCovariance>,
+    log_priors: Vec<f64>,
+    radius: f64,
+    dim: usize,
+}
+
+impl BayesianClassifier {
+    /// Fits the classifier to the current clusters.
+    ///
+    /// `alpha` is the significance level of the effective radius
+    /// (paper: typically 0.01–0.05, giving 95–99% coverage).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoClusters`] for an empty cluster set; propagates
+    /// covariance inversion failures.
+    pub fn fit(
+        clusters: &[Cluster],
+        scheme: CovarianceScheme,
+        alpha: f64,
+    ) -> Result<BayesianClassifier> {
+        if clusters.is_empty() {
+            return Err(CoreError::NoClusters);
+        }
+        let dim = clusters[0].dim();
+        let pooled = classifier_pooled_covariance(clusters);
+        let pooled_inv = scheme.invert(&pooled)?;
+        let total_mass: f64 = clusters.iter().map(|c| c.mass()).sum();
+        let log_priors = clusters
+            .iter()
+            .map(|c| (c.mass() / total_mass).ln())
+            .collect();
+        let cluster_inv = clusters
+            .iter()
+            .map(|c| c.inverse_covariance(scheme))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(BayesianClassifier {
+            pooled_inv,
+            cluster_inv,
+            log_priors,
+            radius: chi_squared_quantile(dim, alpha),
+            dim,
+        })
+    }
+
+    /// The effective radius `χ²_p(α)` in force.
+    pub fn effective_radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Evaluates the classification function `d̂_i(x)` (Eq. 10) for
+    /// cluster `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range `i` or dimension mismatch.
+    pub fn score(&self, clusters: &[Cluster], i: usize, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim, "point dimension mismatch");
+        let mut scratch = vec![0.0; self.dim];
+        let q = self
+            .pooled_inv
+            .quadratic_form(x, clusters[i].mean(), &mut scratch);
+        -0.5 * q + self.log_priors[i]
+    }
+
+    /// The index of the nearest cluster by the classification function
+    /// `d̂` alone — the pure Bayesian assignment without the
+    /// effective-radius outlier cut. This is the quantity behind the
+    /// "classification error rates" of Sec. 4.5 and Figs. 14–17: a point
+    /// is an error when it is *assigned* to the wrong cluster, not when it
+    /// is flagged as an outlier.
+    ///
+    /// # Panics
+    ///
+    /// Panics on cluster-set or dimension mismatch.
+    pub fn nearest(&self, clusters: &[Cluster], x: &[f64]) -> usize {
+        assert_eq!(
+            clusters.len(),
+            self.log_priors.len(),
+            "classifier fitted on a different cluster set"
+        );
+        assert_eq!(x.len(), self.dim, "point dimension mismatch");
+        let mut best = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for i in 0..clusters.len() {
+            let s = self.score(clusters, i, x);
+            if s > best_score {
+                best_score = s;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Runs Algorithm 2 for one point: nearest cluster by `d̂`, then the
+    /// effective-radius check under the winner's own covariance.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `clusters` is not the set the classifier was fitted on
+    /// (length mismatch) or on dimension mismatch.
+    pub fn classify(&self, clusters: &[Cluster], x: &[f64]) -> Classification {
+        assert_eq!(
+            clusters.len(),
+            self.log_priors.len(),
+            "classifier fitted on a different cluster set"
+        );
+        assert_eq!(x.len(), self.dim, "point dimension mismatch");
+        let best = self.nearest(clusters, x);
+        // Step 4: the winner's own ellipsoid must actually contain x.
+        let mut scratch = vec![0.0; self.dim];
+        let own = self.cluster_inv[best].quadratic_form(x, clusters[best].mean(), &mut scratch);
+        if own < self.radius {
+            Classification::Assign(best)
+        } else {
+            Classification::NewCluster
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::FeedbackPoint;
+
+    fn pt(id: usize, v: &[f64], s: f64) -> FeedbackPoint {
+        FeedbackPoint::new(id, v.to_vec(), s)
+    }
+
+    fn blob(center: [f64; 2], spread: f64, ids: usize, score: f64) -> Cluster {
+        Cluster::from_points(vec![
+            pt(ids, &[center[0] - spread, center[1]], score),
+            pt(ids + 1, &[center[0] + spread, center[1]], score),
+            pt(ids + 2, &[center[0], center[1] - spread], score),
+            pt(ids + 3, &[center[0], center[1] + spread], score),
+        ])
+        .unwrap()
+    }
+
+    fn two_blobs() -> Vec<Cluster> {
+        vec![blob([0.0, 0.0], 1.0, 0, 1.0), blob([10.0, 10.0], 1.0, 4, 1.0)]
+    }
+
+    #[test]
+    fn assigns_to_nearest_cluster() {
+        let clusters = two_blobs();
+        let clf =
+            BayesianClassifier::fit(&clusters, CovarianceScheme::default_diagonal(), 0.05)
+                .unwrap();
+        assert_eq!(clf.classify(&clusters, &[0.3, -0.2]), Classification::Assign(0));
+        assert_eq!(clf.classify(&clusters, &[9.8, 10.1]), Classification::Assign(1));
+    }
+
+    #[test]
+    fn far_outlier_becomes_new_cluster() {
+        let clusters = two_blobs();
+        let clf =
+            BayesianClassifier::fit(&clusters, CovarianceScheme::default_diagonal(), 0.05)
+                .unwrap();
+        assert_eq!(
+            clf.classify(&clusters, &[100.0, -100.0]),
+            Classification::NewCluster
+        );
+    }
+
+    #[test]
+    fn radius_follows_alpha() {
+        let clusters = two_blobs();
+        let tight =
+            BayesianClassifier::fit(&clusters, CovarianceScheme::default_diagonal(), 0.20)
+                .unwrap();
+        let loose =
+            BayesianClassifier::fit(&clusters, CovarianceScheme::default_diagonal(), 0.01)
+                .unwrap();
+        // Lower α ⇒ larger radius (paper Lemma 1 discussion).
+        assert!(loose.effective_radius() > tight.effective_radius());
+        // A borderline point can flip from outlier to member as α drops.
+        let x = [2.4, 2.4];
+        if tight.classify(&clusters, &x) == Classification::NewCluster {
+            // Only meaningful if the loose radius accepts it.
+            let _ = loose.classify(&clusters, &x);
+        }
+    }
+
+    #[test]
+    fn prior_breaks_near_ties() {
+        // Same geometry, but cluster 1 has much higher mass: a point
+        // equidistant between the two should go to the heavier cluster.
+        let clusters = vec![
+            blob([0.0, 0.0], 1.0, 0, 1.0),
+            blob([3.0, 0.0], 1.0, 4, 30.0),
+        ];
+        let clf =
+            BayesianClassifier::fit(&clusters, CovarianceScheme::default_diagonal(), 0.05)
+                .unwrap();
+        assert_eq!(clf.classify(&clusters, &[1.5, 0.0]), Classification::Assign(1));
+    }
+
+    #[test]
+    fn works_with_full_inverse_scheme() {
+        let clusters = two_blobs();
+        let clf =
+            BayesianClassifier::fit(&clusters, CovarianceScheme::default_full(), 0.05)
+                .unwrap();
+        assert_eq!(clf.classify(&clusters, &[0.1, 0.1]), Classification::Assign(0));
+    }
+
+    #[test]
+    fn empty_cluster_set_rejected() {
+        assert!(matches!(
+            BayesianClassifier::fit(&[], CovarianceScheme::default_diagonal(), 0.05),
+            Err(CoreError::NoClusters)
+        ));
+    }
+
+    #[test]
+    fn classification_function_decreases_with_distance() {
+        let clusters = two_blobs();
+        let clf =
+            BayesianClassifier::fit(&clusters, CovarianceScheme::default_diagonal(), 0.05)
+                .unwrap();
+        let near = clf.score(&clusters, 0, &[0.1, 0.1]);
+        let far = clf.score(&clusters, 0, &[5.0, 5.0]);
+        assert!(near > far);
+    }
+}

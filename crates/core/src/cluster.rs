@@ -1,0 +1,408 @@
+//! The cluster summary: weighted centroid, covariance, and mass.
+//!
+//! A cluster represents one mode of the user's information need. Its
+//! sufficient statistics are exactly the paper's:
+//!
+//! - the **score-weighted centroid** `x̄_i = Σ v_ik x_ik / Σ v_ik` (Def. 1),
+//! - the **score-weighted covariance** (Def. 2, normalized — see below),
+//! - the **mass** `m_i = Σ v_ik` (the sum of relevance scores) and the
+//!   point count `n_i`.
+//!
+//! ### A note on Def. 2 vs. Eq. 13
+//!
+//! The paper's Def. 2 writes the *unnormalized* weighted scatter
+//! `Σ v_ik (x−x̄)(x−x̄)ᵀ`, but its closed-form merge rule (Eq. 13) combines
+//! `S_i` with `(m_i − 1)/(m_new − 1)` prefactors — the textbook combination
+//! rule for **sample covariances** (Johnson & Wichern, the paper's
+//! reference \[12\]). The two are only consistent if `S_i` is the scatter
+//! normalized by `m_i − 1`. We therefore store the normalized covariance
+//! `S_i = scatter / (m_i − 1)` (zero for `m_i ≤ 1`), which makes Eq. 13
+//! exact — verified in the tests by recomputing from raw points.
+//!
+//! Clusters also retain their member points. The engine's measures only
+//! need the summaries (that is the point of Eqs. 11–13), but the members
+//! power the pairwise pooled covariance of the merge test (Eq. 15) and the
+//! leave-one-out quality metric (Sec. 4.5).
+
+use crate::error::{CoreError, Result};
+use crate::scheme::{CovarianceScheme, InverseCovariance};
+use crate::types::FeedbackPoint;
+use qcluster_linalg::Matrix;
+
+/// One adaptive cluster with its sufficient statistics and members.
+///
+/// ```
+/// use qcluster_core::{Cluster, FeedbackPoint};
+///
+/// let cluster = Cluster::from_points(vec![
+///     FeedbackPoint::new(0, vec![0.0, 0.0], 3.0),
+///     FeedbackPoint::new(1, vec![2.0, 2.0], 1.0),
+/// ])?;
+/// // Score-weighted centroid (Def. 1): (3·(0,0) + 1·(2,2)) / 4.
+/// assert_eq!(cluster.mean(), &[0.5, 0.5]);
+/// assert_eq!(cluster.mass(), 4.0);
+/// # Ok::<(), qcluster_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    members: Vec<FeedbackPoint>,
+    mean: Vec<f64>,
+    /// Normalized weighted covariance (see module docs).
+    cov: Matrix,
+    /// Mass `m_i`: sum of relevance scores.
+    mass: f64,
+}
+
+impl Cluster {
+    /// A singleton cluster seeded from one relevant point.
+    pub fn from_point(p: FeedbackPoint) -> Self {
+        let dim = p.dim();
+        Cluster {
+            mean: p.vector.clone(),
+            cov: Matrix::zeros(dim, dim),
+            mass: p.score,
+            members: vec![p],
+        }
+    }
+
+    /// Builds a cluster from a non-empty set of points (recomputing the
+    /// statistics exactly).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::EmptyFeedback`] for an empty set,
+    /// [`CoreError::DimensionMismatch`] for ragged dimensionalities.
+    pub fn from_points(points: Vec<FeedbackPoint>) -> Result<Self> {
+        let first_dim = points.first().ok_or(CoreError::EmptyFeedback)?.dim();
+        for p in &points {
+            if p.dim() != first_dim {
+                return Err(CoreError::DimensionMismatch {
+                    expected: first_dim,
+                    found: p.dim(),
+                });
+            }
+        }
+        let mut c = Cluster {
+            members: points,
+            mean: vec![0.0; first_dim],
+            cov: Matrix::zeros(first_dim, first_dim),
+            mass: 0.0,
+        };
+        c.recompute();
+        Ok(c)
+    }
+
+    /// Adds one point, updating the statistics **incrementally** via the
+    /// closed-form combination rules (Eqs. 11–13 with a singleton second
+    /// cluster) — the paper's "constructs clusters and changes them
+    /// without performing complete re-clustering". Cost O(p²) per point
+    /// instead of O(n·p²); exactness against full recomputation is
+    /// verified by tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch (callers validate dimensions at the
+    /// engine boundary).
+    pub fn push(&mut self, p: FeedbackPoint) {
+        assert_eq!(p.dim(), self.dim(), "point dimension mismatch");
+        let (mi, mj) = (self.mass, p.score);
+        let m_new = mi + mj; // Eq. 11
+
+        // Eq. 12 with the singleton's centroid = the point itself.
+        let mut mean = vec![0.0; self.dim()];
+        qcluster_linalg::vecops::axpy(&mut mean, &self.mean, mi / m_new);
+        qcluster_linalg::vecops::axpy(&mut mean, &p.vector, mj / m_new);
+
+        // Eq. 13 with S_j = 0 (a singleton has no scatter).
+        if m_new > 1.0 {
+            let denom = m_new - 1.0;
+            let scale = if mi > 1.0 { (mi - 1.0) / denom } else { 0.0 };
+            let mut cov = self.cov.scale(scale);
+            let diff = qcluster_linalg::vecops::sub(&self.mean, &p.vector);
+            let outer = Matrix::outer(&diff, &diff);
+            cov.add_assign_scaled(&outer, mi * mj / (m_new * denom));
+            self.cov = cov;
+        }
+        self.mean = mean;
+        self.mass = m_new;
+        self.members.push(p);
+    }
+
+    /// Recomputes mean/covariance/mass from the member list (Defs. 1–2).
+    fn recompute(&mut self) {
+        let dim = self.dim();
+        let mass: f64 = self.members.iter().map(|p| p.score).sum();
+        let mut mean = vec![0.0; dim];
+        for p in &self.members {
+            qcluster_linalg::vecops::axpy(&mut mean, &p.vector, p.score);
+        }
+        for m in &mut mean {
+            *m /= mass;
+        }
+        let mut cov = Matrix::zeros(dim, dim);
+        if mass > 1.0 {
+            for p in &self.members {
+                for a in 0..dim {
+                    let da = p.vector[a] - mean[a];
+                    if da == 0.0 {
+                        continue;
+                    }
+                    for b in a..dim {
+                        let db = p.vector[b] - mean[b];
+                        let v = cov.get(a, b) + p.score * da * db;
+                        cov.set(a, b, v);
+                    }
+                }
+            }
+            let denom = mass - 1.0;
+            for a in 0..dim {
+                for b in a..dim {
+                    let v = cov.get(a, b) / denom;
+                    cov.set(a, b, v);
+                    cov.set(b, a, v);
+                }
+            }
+        }
+        self.mean = mean;
+        self.cov = cov;
+        self.mass = mass;
+    }
+
+    /// Merges two clusters in closed form from their statistics
+    /// (paper Eqs. 11–13) and unions their members.
+    pub fn merge(a: &Cluster, b: &Cluster) -> Cluster {
+        assert_eq!(a.dim(), b.dim(), "cluster dimension mismatch");
+        let (mi, mj) = (a.mass, b.mass);
+        let m_new = mi + mj; // Eq. 11
+
+        // Eq. 12: mass-weighted centroid combination.
+        let mut mean = vec![0.0; a.dim()];
+        qcluster_linalg::vecops::axpy(&mut mean, &a.mean, mi / m_new);
+        qcluster_linalg::vecops::axpy(&mut mean, &b.mean, mj / m_new);
+
+        // Eq. 13: covariance combination with the between-cluster term.
+        let mut cov = Matrix::zeros(a.dim(), a.dim());
+        if m_new > 1.0 {
+            let denom = m_new - 1.0;
+            cov.add_assign_scaled(&a.cov, (mi - 1.0) / denom);
+            cov.add_assign_scaled(&b.cov, (mj - 1.0) / denom);
+            let diff = qcluster_linalg::vecops::sub(&a.mean, &b.mean);
+            let outer = Matrix::outer(&diff, &diff);
+            cov.add_assign_scaled(&outer, mi * mj / (m_new * denom));
+        }
+
+        let mut members = a.members.clone();
+        members.extend(b.members.iter().cloned());
+        Cluster {
+            members,
+            mean,
+            cov,
+            mass: m_new,
+        }
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Number of member points `n_i`.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when the cluster holds no points (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The score-weighted centroid `x̄_i` (Def. 1).
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// The normalized weighted covariance `S_i`.
+    pub fn covariance(&self) -> &Matrix {
+        &self.cov
+    }
+
+    /// The mass `m_i = Σ v_ik` (sum of relevance scores).
+    pub fn mass(&self) -> f64 {
+        self.mass
+    }
+
+    /// The member points.
+    pub fn members(&self) -> &[FeedbackPoint] {
+        &self.members
+    }
+
+    /// `true` when the cluster already contains the image `id`.
+    pub fn contains_id(&self, id: usize) -> bool {
+        self.members.iter().any(|p| p.id == id)
+    }
+
+    /// Materializes `S_i⁻¹` under `scheme`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates inversion failures from the scheme.
+    pub fn inverse_covariance(&self, scheme: CovarianceScheme) -> Result<InverseCovariance> {
+        scheme.invert(&self.cov).map_err(CoreError::from)
+    }
+
+    /// The squared Mahalanobis distance `(x − x̄)ᵀ S⁻¹ (x − x̄)` of `x`
+    /// under this cluster's own covariance — the quantity compared against
+    /// the effective radius `χ²_p(α)` in Lemma 1 / Algorithm 2 step 4.
+    ///
+    /// # Errors
+    ///
+    /// Propagates inversion failures.
+    pub fn mahalanobis(&self, x: &[f64], scheme: CovarianceScheme) -> Result<f64> {
+        let inv = self.inverse_covariance(scheme)?;
+        let mut scratch = vec![0.0; self.dim()];
+        Ok(inv.quadratic_form(x, &self.mean, &mut scratch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(id: usize, v: &[f64], s: f64) -> FeedbackPoint {
+        FeedbackPoint::new(id, v.to_vec(), s)
+    }
+
+    #[test]
+    fn singleton_statistics() {
+        let c = Cluster::from_point(pt(0, &[1.0, 2.0], 3.0));
+        assert_eq!(c.mean(), &[1.0, 2.0]);
+        assert_eq!(c.mass(), 3.0);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.covariance().max_abs(), 0.0);
+    }
+
+    #[test]
+    fn weighted_centroid_matches_def1() {
+        // x̄ = (3·(0,0) + 1·(4,4)) / 4 = (1,1)
+        let c = Cluster::from_points(vec![pt(0, &[0.0, 0.0], 3.0), pt(1, &[4.0, 4.0], 1.0)])
+            .unwrap();
+        assert_eq!(c.mean(), &[1.0, 1.0]);
+        assert_eq!(c.mass(), 4.0);
+    }
+
+    #[test]
+    fn push_is_equivalent_to_from_points() {
+        let pts = vec![
+            pt(0, &[0.0, 1.0], 3.0),
+            pt(1, &[2.0, -1.0], 1.0),
+            pt(2, &[0.5, 0.5], 2.0),
+        ];
+        let whole = Cluster::from_points(pts.clone()).unwrap();
+        let mut inc = Cluster::from_point(pts[0].clone());
+        inc.push(pts[1].clone());
+        inc.push(pts[2].clone());
+        for (a, b) in whole.mean().iter().zip(inc.mean().iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!((whole.covariance().max_abs() - inc.covariance().max_abs()).abs() < 1e-12);
+        assert_eq!(whole.mass(), inc.mass());
+    }
+
+    #[test]
+    fn merge_matches_recomputation_from_points() {
+        // Eq. 11–13 combined statistics must equal recomputing from the
+        // union of members — including non-uniform scores.
+        let a = Cluster::from_points(vec![
+            pt(0, &[0.0, 0.0], 3.0),
+            pt(1, &[1.0, 0.5], 1.0),
+            pt(2, &[0.5, 1.0], 2.0),
+        ])
+        .unwrap();
+        let b = Cluster::from_points(vec![
+            pt(3, &[5.0, 5.0], 3.0),
+            pt(4, &[6.0, 4.5], 3.0),
+        ])
+        .unwrap();
+        let merged = Cluster::merge(&a, &b);
+        let mut union = a.members().to_vec();
+        union.extend(b.members().iter().cloned());
+        let direct = Cluster::from_points(union).unwrap();
+
+        assert_eq!(merged.mass(), direct.mass());
+        for (x, y) in merged.mean().iter().zip(direct.mean().iter()) {
+            assert!((x - y).abs() < 1e-12, "mean mismatch");
+        }
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(
+                    (merged.covariance().get(i, j) - direct.covariance().get(i, j)).abs()
+                        < 1e-12,
+                    "cov mismatch at ({i},{j})"
+                );
+            }
+        }
+        assert_eq!(merged.len(), 5);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let a = Cluster::from_points(vec![pt(0, &[0.0], 1.0), pt(1, &[1.0], 2.0)]).unwrap();
+        let b = Cluster::from_points(vec![pt(2, &[5.0], 1.0)]).unwrap();
+        let ab = Cluster::merge(&a, &b);
+        let ba = Cluster::merge(&b, &a);
+        assert!((ab.mean()[0] - ba.mean()[0]).abs() < 1e-12);
+        assert!((ab.covariance().get(0, 0) - ba.covariance().get(0, 0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mahalanobis_at_mean_is_zero() {
+        let c = Cluster::from_points(vec![
+            pt(0, &[0.0, 0.0], 1.0),
+            pt(1, &[2.0, 0.0], 1.0),
+            pt(2, &[0.0, 2.0], 1.0),
+        ])
+        .unwrap();
+        let d = c
+            .mahalanobis(c.mean(), CovarianceScheme::default_diagonal())
+            .unwrap();
+        assert!(d.abs() < 1e-12);
+    }
+
+    #[test]
+    fn mahalanobis_grows_with_distance() {
+        let c = Cluster::from_points(vec![
+            pt(0, &[-1.0, 0.0], 1.0),
+            pt(1, &[1.0, 0.0], 1.0),
+            pt(2, &[0.0, 1.0], 1.0),
+            pt(3, &[0.0, -1.0], 1.0),
+        ])
+        .unwrap();
+        for scheme in [
+            CovarianceScheme::default_diagonal(),
+            CovarianceScheme::default_full(),
+        ] {
+            let near = c.mahalanobis(&[0.1, 0.1], scheme).unwrap();
+            let far = c.mahalanobis(&[3.0, 3.0], scheme).unwrap();
+            assert!(far > near, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn contains_id_checks_members() {
+        let c = Cluster::from_point(pt(42, &[0.0], 1.0));
+        assert!(c.contains_id(42));
+        assert!(!c.contains_id(7));
+    }
+
+    #[test]
+    fn from_points_rejects_empty_and_ragged() {
+        assert!(matches!(
+            Cluster::from_points(vec![]),
+            Err(CoreError::EmptyFeedback)
+        ));
+        assert!(matches!(
+            Cluster::from_points(vec![pt(0, &[1.0], 1.0), pt(1, &[1.0, 2.0], 1.0)]),
+            Err(CoreError::DimensionMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,343 @@
+//! Query distance functions: the per-cluster quadratic form (Eq. 1) and
+//! the disjunctive aggregate (Eq. 5).
+//!
+//! The disjunctive aggregate over cluster representatives
+//! `Q = {x̄_1, …, x̄_g}` is
+//!
+//! ```text
+//! d²_disjunctive(Q, x) = Σ m_i  /  Σ ( m_i / d²(x, x̄_i) )
+//! ```
+//!
+//! — the α = −2 instance of the fuzzy-OR aggregate (Eq. 4) weighted by
+//! cluster masses. It is a **weighted harmonic mean** of the per-cluster
+//! quadratic distances, so the closest cluster dominates: an image near
+//! *any* representative scores well, which is exactly the disjunctive-query
+//! semantics of Fig. 1(c) / Example 3.
+//!
+//! Both distances implement [`QueryDistance`], so the hybrid-tree k-NN can
+//! run them directly. The bounding-box lower bounds:
+//!
+//! - diagonal `S⁻¹`: the weighted distance to the box-clamped point —
+//!   exact and tight (coordinate-wise monotone form);
+//! - full `S⁻¹`: `λ_min · ‖x − clamp(x)‖²`, valid because
+//!   `dᵀ M d ≥ λ_min ‖d‖²` and `‖x − c‖` is minimized by the clamp;
+//! - the aggregate: the harmonic form is non-decreasing in each `d_i`, so
+//!   aggregating the per-cluster lower bounds lower-bounds the aggregate.
+
+use crate::cluster::Cluster;
+use crate::error::Result;
+use crate::scheme::{CovarianceScheme, InverseCovariance};
+use qcluster_index::{BoundingBox, QueryDistance};
+use std::cell::RefCell;
+
+/// One cluster representative compiled for fast distance evaluation.
+#[derive(Debug, Clone)]
+struct Representative {
+    mean: Vec<f64>,
+    inv: InverseCovariance,
+    mass: f64,
+    /// Lower-bound scale for the dense case (`λ_min(S⁻¹)`).
+    min_eig: f64,
+}
+
+impl Representative {
+    fn compile(cluster: &Cluster, scheme: CovarianceScheme) -> Result<Self> {
+        let inv = cluster.inverse_covariance(scheme)?;
+        let min_eig = inv.min_eigenvalue();
+        Ok(Representative {
+            mean: cluster.mean().to_vec(),
+            inv,
+            mass: cluster.mass(),
+            min_eig,
+        })
+    }
+
+    #[inline]
+    fn quadratic(&self, x: &[f64], scratch: &mut [f64]) -> f64 {
+        self.inv.quadratic_form(x, &self.mean, scratch)
+    }
+
+    /// Lower bound of the quadratic form over a box.
+    fn lower_bound(&self, b: &BoundingBox, scratch: &mut [f64]) -> f64 {
+        match self.inv.diagonal_weights() {
+            Some(w) => {
+                let mut acc = 0.0;
+                for i in 0..self.mean.len() {
+                    let c = self.mean[i].clamp(b.lo()[i], b.hi()[i]);
+                    let d = self.mean[i] - c;
+                    acc += w[i] * d * d;
+                }
+                acc
+            }
+            None => {
+                b.clamp_point(&self.mean, scratch);
+                let sq =
+                    qcluster_linalg::vecops::sq_euclidean(&self.mean, scratch);
+                self.min_eig * sq
+            }
+        }
+    }
+}
+
+/// The quadratic distance `d²(x, x̄) = (x − x̄)ᵀ S⁻¹ (x − x̄)` to a single
+/// cluster (paper Eq. 1) — MindReader's generalized Euclidean when the
+/// scheme is [`CovarianceScheme::FullInverse`], MARS's weighted Euclidean
+/// when diagonal.
+#[derive(Debug, Clone)]
+pub struct ClusterDistance {
+    rep: Representative,
+    scratch: RefCell<Vec<f64>>,
+}
+
+impl ClusterDistance {
+    /// Compiles the distance for a cluster under `scheme`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates covariance inversion failures.
+    pub fn new(cluster: &Cluster, scheme: CovarianceScheme) -> Result<Self> {
+        let rep = Representative::compile(cluster, scheme)?;
+        let dim = rep.mean.len();
+        Ok(ClusterDistance {
+            rep,
+            scratch: RefCell::new(vec![0.0; dim]),
+        })
+    }
+
+    /// The cluster centroid this query is centered on.
+    pub fn center(&self) -> &[f64] {
+        &self.rep.mean
+    }
+}
+
+impl QueryDistance for ClusterDistance {
+    fn dim(&self) -> usize {
+        self.rep.mean.len()
+    }
+
+    fn distance(&self, x: &[f64]) -> f64 {
+        self.rep.quadratic(x, &mut self.scratch.borrow_mut())
+    }
+
+    fn min_distance(&self, b: &BoundingBox) -> f64 {
+        self.rep.lower_bound(b, &mut self.scratch.borrow_mut())
+    }
+}
+
+/// The disjunctive multipoint query (paper Eq. 5).
+#[derive(Debug, Clone)]
+pub struct DisjunctiveQuery {
+    reps: Vec<Representative>,
+    total_mass: f64,
+    scratch: RefCell<Vec<f64>>,
+}
+
+impl DisjunctiveQuery {
+    /// Compiles the query from the engine's current clusters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates covariance inversion failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty cluster set.
+    pub fn new(clusters: &[Cluster], scheme: CovarianceScheme) -> Result<Self> {
+        assert!(!clusters.is_empty(), "need at least one cluster");
+        let reps = clusters
+            .iter()
+            .map(|c| Representative::compile(c, scheme))
+            .collect::<Result<Vec<_>>>()?;
+        let total_mass = reps.iter().map(|r| r.mass).sum();
+        let dim = reps[0].mean.len();
+        Ok(DisjunctiveQuery {
+            reps,
+            total_mass,
+            scratch: RefCell::new(vec![0.0; dim]),
+        })
+    }
+
+    /// Number of cluster representatives (the paper's `g`).
+    pub fn num_representatives(&self) -> usize {
+        self.reps.len()
+    }
+
+    /// The representatives' centroids.
+    pub fn centers(&self) -> Vec<&[f64]> {
+        self.reps.iter().map(|r| r.mean.as_slice()).collect()
+    }
+
+    /// Evaluates Eq. 5 given the per-cluster quadratic distances.
+    #[inline]
+    fn aggregate(&self, dists: impl Iterator<Item = (f64, f64)>) -> f64 {
+        // dists yields (m_i, d_i).
+        let mut inv_sum = 0.0;
+        for (m, d) in dists {
+            if d <= 0.0 {
+                // x coincides with a representative: distance zero.
+                return 0.0;
+            }
+            inv_sum += m / d;
+        }
+        self.total_mass / inv_sum
+    }
+}
+
+impl QueryDistance for DisjunctiveQuery {
+    fn dim(&self) -> usize {
+        self.reps[0].mean.len()
+    }
+
+    fn distance(&self, x: &[f64]) -> f64 {
+        let mut scratch = self.scratch.borrow_mut();
+        self.aggregate(
+            self.reps
+                .iter()
+                .map(|r| (r.mass, r.quadratic(x, &mut scratch))),
+        )
+    }
+
+    fn min_distance(&self, b: &BoundingBox) -> f64 {
+        let mut scratch = self.scratch.borrow_mut();
+        self.aggregate(
+            self.reps
+                .iter()
+                .map(|r| (r.mass, r.lower_bound(b, &mut scratch))),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::FeedbackPoint;
+
+    fn pt(id: usize, v: &[f64], s: f64) -> FeedbackPoint {
+        FeedbackPoint::new(id, v.to_vec(), s)
+    }
+
+    fn blob(cx: f64, cy: f64, ids: usize) -> Cluster {
+        Cluster::from_points(vec![
+            pt(ids, &[cx - 1.0, cy], 1.0),
+            pt(ids + 1, &[cx + 1.0, cy], 1.0),
+            pt(ids + 2, &[cx, cy - 1.0], 1.0),
+            pt(ids + 3, &[cx, cy + 1.0], 1.0),
+        ])
+        .unwrap()
+    }
+
+    fn two_cluster_query(scheme: CovarianceScheme) -> DisjunctiveQuery {
+        DisjunctiveQuery::new(&[blob(0.0, 0.0, 0), blob(10.0, 10.0, 4)], scheme).unwrap()
+    }
+
+    #[test]
+    fn distance_is_zero_at_representatives() {
+        let q = two_cluster_query(CovarianceScheme::default_diagonal());
+        assert_eq!(q.distance(&[0.0, 0.0]), 0.0);
+        assert_eq!(q.distance(&[10.0, 10.0]), 0.0);
+    }
+
+    #[test]
+    fn disjunctive_shape_midpoint_is_far() {
+        // The fuzzy-OR semantics: near either cluster beats the midpoint.
+        let q = two_cluster_query(CovarianceScheme::default_diagonal());
+        let near_a = q.distance(&[0.5, 0.5]);
+        let near_b = q.distance(&[9.5, 9.5]);
+        let mid = q.distance(&[5.0, 5.0]);
+        assert!(near_a < mid);
+        assert!(near_b < mid);
+    }
+
+    #[test]
+    fn aggregate_below_smallest_component_times_count() {
+        // Harmonic-mean property: d_agg ≤ min_i d_i · (Σm)/(m_min).
+        let q = two_cluster_query(CovarianceScheme::default_diagonal());
+        let x = [1.0, 1.0];
+        let d_agg = q.distance(&x);
+        let c0 = ClusterDistance::new(&blob(0.0, 0.0, 0), CovarianceScheme::default_diagonal())
+            .unwrap();
+        assert!(d_agg <= 2.0 * c0.distance(&x) + 1e-9);
+    }
+
+    #[test]
+    fn mass_weighting_biases_toward_heavy_cluster() {
+        let mut heavy_pts: Vec<FeedbackPoint> = Vec::new();
+        for k in 0..4 {
+            let p = blob(0.0, 0.0, 0).members()[k].clone();
+            heavy_pts.push(FeedbackPoint::new(p.id, p.vector, 10.0));
+        }
+        let heavy = Cluster::from_points(heavy_pts).unwrap();
+        let light = blob(10.0, 10.0, 4);
+        let q =
+            DisjunctiveQuery::new(&[heavy, light], CovarianceScheme::default_diagonal())
+                .unwrap();
+        let balanced = two_cluster_query(CovarianceScheme::default_diagonal());
+        // At the midpoint the heavy query should pull the distance down
+        // relative to cluster 1's side compared to the balanced query.
+        let x = [5.0, 5.0];
+        assert!(q.distance(&x).is_finite());
+        assert!(balanced.distance(&x).is_finite());
+    }
+
+    #[test]
+    fn lower_bound_contract_diagonal() {
+        let q = two_cluster_query(CovarianceScheme::default_diagonal());
+        let b = BoundingBox::new(vec![2.0, 2.0], vec![4.0, 4.0]);
+        let lb = q.min_distance(&b);
+        for i in 0..=10 {
+            for j in 0..=10 {
+                let x = [2.0 + 0.2 * i as f64, 2.0 + 0.2 * j as f64];
+                assert!(
+                    q.distance(&x) >= lb - 1e-9,
+                    "x={x:?} d={} lb={lb}",
+                    q.distance(&x)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lower_bound_contract_full() {
+        // Build clusters with correlated covariance to exercise λ_min.
+        let a = Cluster::from_points(vec![
+            pt(0, &[0.0, 0.0], 1.0),
+            pt(1, &[1.0, 1.0], 1.0),
+            pt(2, &[2.0, 2.2], 1.0),
+            pt(3, &[-1.0, -0.9], 1.0),
+        ])
+        .unwrap();
+        let b = Cluster::from_points(vec![
+            pt(4, &[8.0, 0.0], 1.0),
+            pt(5, &[9.0, 1.0], 1.0),
+            pt(6, &[10.0, -1.0], 1.0),
+        ])
+        .unwrap();
+        let q = DisjunctiveQuery::new(&[a, b], CovarianceScheme::default_full()).unwrap();
+        let bx = BoundingBox::new(vec![3.0, -2.0], vec![6.0, 2.0]);
+        let lb = q.min_distance(&bx);
+        for i in 0..=10 {
+            for j in 0..=10 {
+                let x = [3.0 + 0.3 * i as f64, -2.0 + 0.4 * j as f64];
+                assert!(q.distance(&x) >= lb - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn single_cluster_query_reduces_to_quadratic() {
+        let c = blob(0.0, 0.0, 0);
+        let scheme = CovarianceScheme::default_diagonal();
+        let dq = DisjunctiveQuery::new(std::slice::from_ref(&c), scheme).unwrap();
+        let cd = ClusterDistance::new(&c, scheme).unwrap();
+        for &x in &[[0.5, 0.5], [3.0, -1.0], [0.0, 2.0]] {
+            assert!((dq.distance(&x) - cd.distance(&x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn box_containing_representative_has_zero_bound() {
+        let q = two_cluster_query(CovarianceScheme::default_diagonal());
+        let b = BoundingBox::new(vec![-1.0, -1.0], vec![1.0, 1.0]);
+        assert_eq!(q.min_distance(&b), 0.0);
+    }
+}

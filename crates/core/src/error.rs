@@ -1,0 +1,58 @@
+//! Error type for the Qcluster engine.
+
+use std::fmt;
+
+/// Errors surfaced by the relevance-feedback engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Feedback or query operations on an engine that has no clusters yet.
+    NoClusters,
+    /// A feedback point's dimensionality disagrees with the engine's.
+    DimensionMismatch {
+        /// Dimensionality the engine was initialized with.
+        expected: usize,
+        /// Dimensionality of the offending point.
+        found: usize,
+    },
+    /// A relevance score was not strictly positive.
+    InvalidScore(f64),
+    /// The relevant set handed to an iteration was empty.
+    EmptyFeedback,
+    /// A linear-algebra failure (e.g. a covariance that stayed singular
+    /// even after regularization).
+    Linalg(qcluster_linalg::LinalgError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NoClusters => write!(f, "engine has no clusters yet"),
+            CoreError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            CoreError::InvalidScore(s) => {
+                write!(f, "relevance scores must be positive, got {s}")
+            }
+            CoreError::EmptyFeedback => write!(f, "empty relevant set"),
+            CoreError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<qcluster_linalg::LinalgError> for CoreError {
+    fn from(e: qcluster_linalg::LinalgError) -> Self {
+        CoreError::Linalg(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,152 @@
+//! Initial hierarchical clustering (paper Sec. 3.1 / 4.1, Algorithm 1
+//! step 1).
+//!
+//! "Initially, assign n input points … to n distinct clusters. Among all
+//! clusters, pick up the two clusters with the smallest distance between
+//! them. Merge them … Repeat" — classic bottom-up agglomeration with
+//! centroid linkage. At the very first feedback iteration the relevant
+//! points arrive with no prior cluster structure, so singleton T² tests
+//! have no statistical power; the initial agglomeration therefore merges
+//! by centroid distance until the T² test gains power and takes over
+//! (later iterations use [`crate::merge`] exclusively).
+//!
+//! Stopping rule: merge while more than `target` clusters remain **or**
+//! while the closest pair is closer than `distance_threshold` (so that
+//! near-duplicate relevant images always collapse into one cluster even
+//! when the target is large).
+
+use crate::cluster::Cluster;
+use crate::error::{CoreError, Result};
+use crate::types::FeedbackPoint;
+
+/// Agglomerates `points` into at most `target` clusters by repeated
+/// closest-centroid merging (statistics combined with Eqs. 11–13).
+///
+/// `distance_threshold` is the squared centroid distance below which pairs
+/// keep merging even after the target is reached.
+///
+/// # Errors
+///
+/// [`CoreError::EmptyFeedback`] on empty input,
+/// [`CoreError::DimensionMismatch`] on ragged input.
+///
+/// # Panics
+///
+/// Panics when `target == 0`.
+pub fn hierarchical_clustering(
+    points: Vec<FeedbackPoint>,
+    target: usize,
+    distance_threshold: f64,
+) -> Result<Vec<Cluster>> {
+    assert!(target > 0, "target cluster count must be positive");
+    let first_dim = points.first().ok_or(CoreError::EmptyFeedback)?.dim();
+    for p in &points {
+        if p.dim() != first_dim {
+            return Err(CoreError::DimensionMismatch {
+                expected: first_dim,
+                found: p.dim(),
+            });
+        }
+    }
+    let mut clusters: Vec<Cluster> = points.into_iter().map(Cluster::from_point).collect();
+
+    while clusters.len() > 1 {
+        // Closest pair by squared centroid distance (centroid linkage).
+        let mut best = (0usize, 1usize, f64::INFINITY);
+        for i in 0..clusters.len() {
+            for j in (i + 1)..clusters.len() {
+                let d = qcluster_linalg::vecops::sq_euclidean(
+                    clusters[i].mean(),
+                    clusters[j].mean(),
+                );
+                if d < best.2 {
+                    best = (i, j, d);
+                }
+            }
+        }
+        let (i, j, d) = best;
+        let over_target = clusters.len() > target;
+        if !over_target && d > distance_threshold {
+            break;
+        }
+        let merged = Cluster::merge(&clusters[i], &clusters[j]);
+        clusters.remove(j);
+        clusters.remove(i);
+        clusters.push(merged);
+    }
+    Ok(clusters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(id: usize, v: &[f64]) -> FeedbackPoint {
+        FeedbackPoint::new(id, v.to_vec(), 1.0)
+    }
+
+    fn two_group_points() -> Vec<FeedbackPoint> {
+        vec![
+            pt(0, &[0.0, 0.0]),
+            pt(1, &[0.1, 0.1]),
+            pt(2, &[0.2, 0.0]),
+            pt(3, &[10.0, 10.0]),
+            pt(4, &[10.1, 9.9]),
+            pt(5, &[9.9, 10.1]),
+        ]
+    }
+
+    #[test]
+    fn recovers_two_well_separated_groups() {
+        let clusters = hierarchical_clustering(two_group_points(), 2, 1e-9).unwrap();
+        assert_eq!(clusters.len(), 2);
+        let mut sizes: Vec<usize> = clusters.iter().map(|c| c.len()).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![3, 3]);
+        // Each cluster's members share a group.
+        for c in &clusters {
+            let ids: Vec<usize> = c.members().iter().map(|p| p.id).collect();
+            assert!(ids.iter().all(|&i| i < 3) || ids.iter().all(|&i| i >= 3));
+        }
+    }
+
+    #[test]
+    fn threshold_keeps_merging_below_it() {
+        // Target 6 (no merging needed) but threshold forces the tight
+        // groups to collapse anyway.
+        let clusters = hierarchical_clustering(two_group_points(), 6, 1.0).unwrap();
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn target_one_merges_everything() {
+        let clusters = hierarchical_clustering(two_group_points(), 1, 0.0).unwrap();
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 6);
+    }
+
+    #[test]
+    fn singleton_input_is_one_cluster() {
+        let clusters = hierarchical_clustering(vec![pt(0, &[1.0])], 3, 0.0).unwrap();
+        assert_eq!(clusters.len(), 1);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(matches!(
+            hierarchical_clustering(vec![], 2, 0.0),
+            Err(CoreError::EmptyFeedback)
+        ));
+    }
+
+    #[test]
+    fn merged_statistics_match_direct_computation() {
+        let clusters = hierarchical_clustering(two_group_points(), 2, 1e-9).unwrap();
+        for c in &clusters {
+            let direct = Cluster::from_points(c.members().to_vec()).unwrap();
+            for (a, b) in c.mean().iter().zip(direct.mean().iter()) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+}

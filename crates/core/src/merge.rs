@@ -1,0 +1,384 @@
+//! Cluster merging with Hotelling's T² (paper Sec. 4.3, Algorithm 3).
+//!
+//! After classification the cluster count may have grown; this stage merges
+//! pairs whose mean vectors are statistically indistinguishable. For each
+//! pair the statistic
+//!
+//! ```text
+//! T² = m_i m_j / (m_i + m_j) · (x̄_i − x̄_j)ᵀ S_pooled⁻¹ (x̄_i − x̄_j)
+//! ```
+//!
+//! (Eq. 14, with the pairwise pooled covariance of Eq. 15) is compared to
+//! the critical distance `c²` (Eq. 16). Pairs with `T² ≤ c²` merge in
+//! closed form (Eqs. 11–13). Following Algorithm 3, when no remaining pair
+//! passes the test but the cluster count still exceeds the target, the
+//! significance level α is lowered — which *raises* `c²` — and the pairs
+//! are re-examined, so the count converges to the threshold.
+//!
+//! ### Degenerate pairs
+//!
+//! The paper notes that "the initial clusters at the initial iteration
+//! include only one point in each of them" and merges those too — but for
+//! a pair of singletons the pooled covariance (Eq. 15) is the zero matrix
+//! and T² carries no information (under ridge regularization it reduces to
+//! a scaled point distance). For such pairs this implementation falls back
+//! to the geometric rule the hierarchical stage uses: merge when the
+//! squared centroid distance is at most `degenerate_threshold`. Relaxation
+//! widens this threshold alongside `c²`.
+
+use crate::cluster::Cluster;
+use crate::error::Result;
+use crate::pooled::pairwise_pooled_covariance;
+use crate::scheme::CovarianceScheme;
+use qcluster_stats::hotelling::{hotelling_critical_value, t2_from_quadratic_form};
+
+/// Pooled covariances with every entry below this are treated as
+/// degenerate (statistically powerless) pairs.
+const DEGENERATE_EPS: f64 = 1e-12;
+
+/// Statistics of one completed merge pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeOutcome {
+    /// Number of merges performed.
+    pub merges: usize,
+    /// Number of times α was relaxed to force progress toward the target.
+    pub relaxations: usize,
+    /// Number of pair evaluations (the pass's dominant cost).
+    pub tests: usize,
+}
+
+/// Computes the T² statistic for a pair of clusters under `scheme`.
+///
+/// # Errors
+///
+/// Propagates covariance inversion failures (full scheme on singular
+/// pools; the ridge normally prevents this).
+pub fn pair_t2(a: &Cluster, b: &Cluster, scheme: CovarianceScheme) -> Result<f64> {
+    let pooled = pairwise_pooled_covariance(a, b);
+    let inv = scheme.invert(&pooled)?;
+    let diff = qcluster_linalg::vecops::sub(a.mean(), b.mean());
+    let mut scratch = vec![0.0; a.dim()];
+    let q = inv.quadratic_form(&diff, &vec![0.0; a.dim()], &mut scratch);
+    Ok(t2_from_quadratic_form(q, a.mass(), b.mass()))
+}
+
+/// The critical distance `c²` for a pair (Eq. 16).
+pub fn pair_c2(a: &Cluster, b: &Cluster, alpha: f64) -> f64 {
+    hotelling_critical_value(a.dim(), a.mass(), b.mass(), alpha)
+}
+
+/// How one pair was scored: the statistical T² test or the geometric
+/// fallback for degenerate pairs.
+#[derive(Debug, Clone, Copy)]
+enum PairScore {
+    /// `ratio = T² / c²`; mergeable when ≤ 1.
+    Statistical(f64),
+    /// `ratio = d² / threshold`; mergeable when ≤ 1.
+    Degenerate(f64),
+}
+
+impl PairScore {
+    fn ratio(self) -> f64 {
+        match self {
+            PairScore::Statistical(r) | PairScore::Degenerate(r) => r,
+        }
+    }
+}
+
+fn score_pair(
+    a: &Cluster,
+    b: &Cluster,
+    scheme: CovarianceScheme,
+    alpha: f64,
+    degenerate_threshold: f64,
+) -> Result<PairScore> {
+    let pooled = pairwise_pooled_covariance(a, b);
+    if pooled.max_abs() < DEGENERATE_EPS {
+        let d2 = qcluster_linalg::vecops::sq_euclidean(a.mean(), b.mean());
+        return Ok(PairScore::Degenerate(d2 / degenerate_threshold.max(1e-300)));
+    }
+    let inv = scheme.invert(&pooled)?;
+    let diff = qcluster_linalg::vecops::sub(a.mean(), b.mean());
+    let mut scratch = vec![0.0; a.dim()];
+    let q = inv.quadratic_form(&diff, &vec![0.0; a.dim()], &mut scratch);
+    let t2 = t2_from_quadratic_form(q, a.mass(), b.mass());
+    let c2 = pair_c2(a, b, alpha);
+    if c2.is_infinite() {
+        // Too few effective samples for the F test: no power. Treat like a
+        // degenerate pair ordered by the raw statistic but always mergeable
+        // only within the geometric threshold.
+        let d2 = qcluster_linalg::vecops::sq_euclidean(a.mean(), b.mean());
+        return Ok(PairScore::Degenerate(d2 / degenerate_threshold.max(1e-300)));
+    }
+    Ok(PairScore::Statistical(t2 / c2))
+}
+
+/// Runs the merging stage (Algorithm 3) in place.
+///
+/// ```
+/// use qcluster_core::{merge_clusters, Cluster, CovarianceScheme, FeedbackPoint};
+///
+/// // Two overlapping point groups → one merged cluster.
+/// let mut clusters = vec![
+///     Cluster::from_points((0..8).map(|i| {
+///         FeedbackPoint::new(i, vec![0.1 * i as f64, 0.0], 1.0)
+///     }).collect())?,
+///     Cluster::from_points((8..16).map(|i| {
+///         FeedbackPoint::new(i, vec![0.1 * (i - 8) as f64 + 0.05, 0.01], 1.0)
+///     }).collect())?,
+/// ];
+/// merge_clusters(
+///     &mut clusters,
+///     CovarianceScheme::default_diagonal(),
+///     0.05, // α
+///     1,    // target cluster count
+///     0,    // no forced relaxation
+///     0.5,  // geometric threshold for degenerate pairs
+/// )?;
+/// assert_eq!(clusters.len(), 1);
+/// # Ok::<(), qcluster_core::CoreError>(())
+/// ```
+///
+/// Merges every pair accepted by the T² test at level `alpha` (or, for
+/// degenerate pairs, within `degenerate_threshold` squared centroid
+/// distance); if the cluster count still exceeds `target`, α is halved
+/// (growing `c²`) and the threshold doubled, up to `max_relaxations`
+/// times, until the count reaches the target. With `max_relaxations = 0`
+/// only justified merges happen and the count may stay above `target`.
+///
+/// # Errors
+///
+/// Propagates covariance inversion failures.
+///
+/// # Panics
+///
+/// Panics when `target == 0`, `alpha` is outside `(0, 1)`, or
+/// `degenerate_threshold` is negative.
+pub fn merge_clusters(
+    clusters: &mut Vec<Cluster>,
+    scheme: CovarianceScheme,
+    alpha: f64,
+    target: usize,
+    max_relaxations: usize,
+    degenerate_threshold: f64,
+) -> Result<MergeOutcome> {
+    assert!(target > 0, "target cluster count must be positive");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+    assert!(degenerate_threshold >= 0.0, "threshold must be non-negative");
+    let mut outcome = MergeOutcome::default();
+    let mut alpha = alpha;
+    let mut threshold = degenerate_threshold;
+
+    loop {
+        // Greedy closest-pair merging at the current (α, threshold):
+        // repeatedly merge the pair with the smallest ratio while it
+        // passes its test.
+        loop {
+            if clusters.len() <= 1 {
+                return Ok(outcome);
+            }
+            let mut best: Option<(usize, usize, f64)> = None;
+            for i in 0..clusters.len() {
+                for j in (i + 1)..clusters.len() {
+                    let s =
+                        score_pair(&clusters[i], &clusters[j], scheme, alpha, threshold)?;
+                    outcome.tests += 1;
+                    let ratio = s.ratio();
+                    if best.is_none_or(|(_, _, r)| ratio < r) {
+                        best = Some((i, j, ratio));
+                    }
+                }
+            }
+            let (i, j, ratio) = best.expect("at least one pair");
+            if ratio <= 1.0 {
+                let merged = Cluster::merge(&clusters[i], &clusters[j]);
+                // Remove j first (j > i) to keep i valid.
+                clusters.remove(j);
+                clusters.remove(i);
+                clusters.push(merged);
+                outcome.merges += 1;
+            } else {
+                break;
+            }
+        }
+        if clusters.len() <= target || outcome.relaxations >= max_relaxations {
+            return Ok(outcome);
+        }
+        // Algorithm 3 step 8: "Increase critical distance c² using α".
+        alpha *= 0.5;
+        threshold *= 2.0;
+        outcome.relaxations += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::FeedbackPoint;
+
+    fn pt(id: usize, v: &[f64], s: f64) -> FeedbackPoint {
+        FeedbackPoint::new(id, v.to_vec(), s)
+    }
+
+    fn blob(cx: f64, cy: f64, spread: f64, ids: usize, n: usize) -> Cluster {
+        let pts: Vec<FeedbackPoint> = (0..n)
+            .map(|k| {
+                let angle = k as f64 * std::f64::consts::TAU / n as f64;
+                pt(
+                    ids + k,
+                    &[cx + spread * angle.cos(), cy + spread * angle.sin()],
+                    1.0,
+                )
+            })
+            .collect();
+        Cluster::from_points(pts).unwrap()
+    }
+
+    const THR: f64 = 0.5;
+
+    #[test]
+    fn overlapping_clusters_merge() {
+        let mut clusters = vec![blob(0.0, 0.0, 1.0, 0, 8), blob(0.2, 0.1, 1.0, 8, 8)];
+        let out = merge_clusters(
+            &mut clusters,
+            CovarianceScheme::default_diagonal(),
+            0.05,
+            1,
+            0,
+            THR,
+        )
+        .unwrap();
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(out.merges, 1);
+        assert_eq!(clusters[0].len(), 16);
+    }
+
+    #[test]
+    fn distant_clusters_stay_separate_without_relaxation() {
+        let mut clusters = vec![blob(0.0, 0.0, 1.0, 0, 8), blob(50.0, 50.0, 1.0, 8, 8)];
+        let out = merge_clusters(
+            &mut clusters,
+            CovarianceScheme::default_diagonal(),
+            0.05,
+            1,
+            0,
+            THR,
+        )
+        .unwrap();
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(out.merges, 0);
+    }
+
+    #[test]
+    fn relaxation_forces_progress_toward_target() {
+        // Even well-separated clusters eventually merge when the target
+        // demands it and relaxations are allowed.
+        let mut clusters = vec![
+            blob(0.0, 0.0, 1.0, 0, 8),
+            blob(20.0, 0.0, 1.0, 8, 8),
+            blob(0.0, 20.0, 1.0, 16, 8),
+            blob(20.0, 20.0, 1.0, 24, 8),
+        ];
+        let out = merge_clusters(
+            &mut clusters,
+            CovarianceScheme::default_diagonal(),
+            0.05,
+            2,
+            200,
+            THR,
+        )
+        .unwrap();
+        assert!(clusters.len() <= 2, "got {}", clusters.len());
+        assert!(out.relaxations > 0);
+    }
+
+    #[test]
+    fn t2_grows_with_separation() {
+        let a = blob(0.0, 0.0, 1.0, 0, 8);
+        let near = blob(1.0, 0.0, 1.0, 8, 8);
+        let far = blob(10.0, 0.0, 1.0, 16, 8);
+        let scheme = CovarianceScheme::default_diagonal();
+        let t_near = pair_t2(&a, &near, scheme).unwrap();
+        let t_far = pair_t2(&a, &far, scheme).unwrap();
+        assert!(t_far > t_near);
+    }
+
+    #[test]
+    fn close_singletons_merge_distant_singletons_do_not() {
+        let mut clusters = vec![
+            Cluster::from_point(pt(0, &[0.0, 0.0], 1.0)),
+            Cluster::from_point(pt(1, &[0.1, 0.0], 1.0)),
+            Cluster::from_point(pt(2, &[30.0, 30.0], 1.0)),
+        ];
+        merge_clusters(
+            &mut clusters,
+            CovarianceScheme::default_diagonal(),
+            0.05,
+            1,
+            0,
+            THR,
+        )
+        .unwrap();
+        assert_eq!(clusters.len(), 2);
+        let sizes: Vec<usize> = clusters.iter().map(|c| c.len()).collect();
+        assert!(sizes.contains(&2));
+    }
+
+    #[test]
+    fn full_and_diagonal_schemes_agree_on_clear_cases() {
+        for scheme in [
+            CovarianceScheme::default_diagonal(),
+            CovarianceScheme::default_full(),
+        ] {
+            let mut close = vec![blob(0.0, 0.0, 1.0, 0, 10), blob(0.1, 0.0, 1.0, 10, 10)];
+            merge_clusters(&mut close, scheme, 0.05, 1, 0, THR).unwrap();
+            assert_eq!(close.len(), 1, "{scheme:?} should merge overlapping");
+
+            let mut apart = vec![blob(0.0, 0.0, 1.0, 0, 10), blob(40.0, 0.0, 1.0, 10, 10)];
+            merge_clusters(&mut apart, scheme, 0.05, 1, 0, THR).unwrap();
+            assert_eq!(apart.len(), 2, "{scheme:?} should keep distant apart");
+        }
+    }
+
+    #[test]
+    fn merge_pass_reports_test_count() {
+        let mut clusters = vec![
+            blob(0.0, 0.0, 1.0, 0, 6),
+            blob(30.0, 0.0, 1.0, 6, 6),
+            blob(60.0, 0.0, 1.0, 12, 6),
+        ];
+        let out = merge_clusters(
+            &mut clusters,
+            CovarianceScheme::default_diagonal(),
+            0.05,
+            3,
+            0,
+            THR,
+        )
+        .unwrap();
+        // 3 clusters → 3 pairs examined in the single non-merging pass.
+        assert_eq!(out.tests, 3);
+        assert_eq!(out.merges, 0);
+    }
+
+    #[test]
+    fn singleton_absorbed_into_nearby_large_cluster() {
+        // A lone new point inside a big cluster's spread merges into it via
+        // the statistical test (pooled covariance comes from the big one).
+        let mut clusters = vec![
+            blob(0.0, 0.0, 1.5, 0, 12),
+            Cluster::from_point(pt(99, &[0.4, 0.2], 1.0)),
+        ];
+        merge_clusters(
+            &mut clusters,
+            CovarianceScheme::default_diagonal(),
+            0.05,
+            1,
+            0,
+            THR,
+        )
+        .unwrap();
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 13);
+    }
+}

@@ -1,0 +1,152 @@
+//! Pooled covariance estimators (paper Eq. 7 and Eq. 15).
+//!
+//! Two pooled matrices appear in the paper:
+//!
+//! - the **classifier pool** over all `g` current clusters (under Eq. 7):
+//!   `S_pooled = Σ (m_i − 1) S_i / (Σ m_i − g)`,
+//! - the **merge-test pool** over one pair (Eq. 15):
+//!   `S_pooled = (T_i + T_j) / (m_i + m_j)` where `T_i` is the
+//!   score-weighted scatter of cluster `i` around its own mean.
+//!
+//! Since [`Cluster`] stores the normalized
+//! covariance `S_i = T_i / (m_i − 1)`, both pools are closed-form in the
+//! cluster summaries — no pass over raw points is needed, which is what
+//! makes the adaptive (non-re-clustering) update cheap.
+
+use crate::cluster::Cluster;
+use qcluster_linalg::Matrix;
+
+/// The classifier's pooled covariance over all clusters (paper Eq. 7).
+///
+/// Degenerate denominators (`Σ m_i ≤ g`, e.g. all singletons with score 1)
+/// return the zero matrix; the covariance scheme's ridge keeps the
+/// quadratic form finite.
+///
+/// # Panics
+///
+/// Panics on an empty cluster set or mismatched dimensionalities.
+pub fn classifier_pooled_covariance(clusters: &[Cluster]) -> Matrix {
+    assert!(!clusters.is_empty(), "need at least one cluster");
+    let dim = clusters[0].dim();
+    assert!(
+        clusters.iter().all(|c| c.dim() == dim),
+        "clusters must share one dimensionality"
+    );
+    let g = clusters.len() as f64;
+    let total_mass: f64 = clusters.iter().map(|c| c.mass()).sum();
+    let mut pooled = Matrix::zeros(dim, dim);
+    let denom = total_mass - g;
+    if denom <= 0.0 {
+        return pooled;
+    }
+    for c in clusters {
+        let w = (c.mass() - 1.0).max(0.0) / denom;
+        if w > 0.0 {
+            pooled.add_assign_scaled(c.covariance(), w);
+        }
+    }
+    pooled
+}
+
+/// The merge test's pairwise pooled covariance (paper Eq. 15):
+/// `(T_i + T_j) / (m_i + m_j)` reconstructed from the stored normalized
+/// covariances.
+///
+/// # Panics
+///
+/// Panics on mismatched dimensionalities.
+pub fn pairwise_pooled_covariance(a: &Cluster, b: &Cluster) -> Matrix {
+    assert_eq!(a.dim(), b.dim(), "cluster dimension mismatch");
+    let dim = a.dim();
+    let mut pooled = Matrix::zeros(dim, dim);
+    let total = a.mass() + b.mass();
+    let wa = (a.mass() - 1.0).max(0.0) / total;
+    let wb = (b.mass() - 1.0).max(0.0) / total;
+    if wa > 0.0 {
+        pooled.add_assign_scaled(a.covariance(), wa);
+    }
+    if wb > 0.0 {
+        pooled.add_assign_scaled(b.covariance(), wb);
+    }
+    pooled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::FeedbackPoint;
+
+    fn pt(id: usize, v: &[f64], s: f64) -> FeedbackPoint {
+        FeedbackPoint::new(id, v.to_vec(), s)
+    }
+
+    fn spread_cluster(base: f64, ids: usize) -> Cluster {
+        Cluster::from_points(vec![
+            pt(ids, &[base - 1.0, base], 1.0),
+            pt(ids + 1, &[base + 1.0, base], 1.0),
+            pt(ids + 2, &[base, base - 1.0], 1.0),
+            pt(ids + 3, &[base, base + 1.0], 1.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn pairwise_pool_matches_direct_scatter() {
+        let a = spread_cluster(0.0, 0);
+        let b = spread_cluster(10.0, 4);
+        let pooled = pairwise_pooled_covariance(&a, &b);
+        // Direct: each cluster's scatter around its own mean, summed, / (m_i+m_j).
+        let mut direct = Matrix::zeros(2, 2);
+        for (c, _) in [(&a, 0), (&b, 1)] {
+            for p in c.members() {
+                let d = qcluster_linalg::vecops::sub(&p.vector, c.mean());
+                let outer = Matrix::outer(&d, &d);
+                direct.add_assign_scaled(&outer, p.score);
+            }
+        }
+        let direct = direct.scale(1.0 / (a.mass() + b.mass()));
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(
+                    (pooled.get(i, j) - direct.get(i, j)).abs() < 1e-12,
+                    "mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn classifier_pool_is_weighted_average() {
+        let a = spread_cluster(0.0, 0);
+        let b = spread_cluster(5.0, 4);
+        let pooled = classifier_pooled_covariance(&[a.clone(), b.clone()]);
+        // Equal masses: pooled = ((m−1)Sa + (m−1)Sb)/(2m−2) = (Sa+Sb)/2.
+        for i in 0..2 {
+            for j in 0..2 {
+                let want = 0.5 * (a.covariance().get(i, j) + b.covariance().get(i, j));
+                assert!((pooled.get(i, j) - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn all_singletons_pool_to_zero() {
+        let clusters = vec![
+            Cluster::from_point(pt(0, &[0.0, 0.0], 1.0)),
+            Cluster::from_point(pt(1, &[1.0, 1.0], 1.0)),
+        ];
+        let pooled = classifier_pooled_covariance(&clusters);
+        assert_eq!(pooled.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn singleton_does_not_poison_pair_pool() {
+        let a = spread_cluster(0.0, 0);
+        let b = Cluster::from_point(pt(9, &[3.0, 3.0], 1.0));
+        let pooled = pairwise_pooled_covariance(&a, &b);
+        // Only a's scatter contributes; scaled by 1/(ma+mb)=1/5 vs its own
+        // normalization — the matrix must stay PSD and finite.
+        assert!(pooled.max_abs().is_finite());
+        assert!(pooled.get(0, 0) > 0.0);
+    }
+}

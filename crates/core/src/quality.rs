@@ -1,0 +1,146 @@
+//! Clustering quality via leave-one-out error rate (paper Sec. 4.5).
+//!
+//! "After the number of clusters is fixed at the final iteration, take out
+//! one element of a cluster. Check if the element is classified into the
+//! previous cluster again … Let C be the number of elements classified
+//! correctly to its own cluster and N be the total number of elements in
+//! all clusters. The error-rate becomes 1 − C/N."
+
+use crate::classify::{BayesianClassifier, Classification};
+use crate::cluster::Cluster;
+use crate::error::Result;
+use crate::scheme::CovarianceScheme;
+
+/// Leave-one-out misclassification rate of a clustering.
+///
+/// For every member point, the point is removed from its cluster, the
+/// classifier is re-fitted on the modified clustering, and the point is
+/// re-classified; it counts as correct only when it returns to its own
+/// cluster. Clusters reduced to zero members by the removal are dropped
+/// for that trial (their singleton member cannot possibly return and
+/// counts as an error, matching the conservative reading of Sec. 4.5).
+///
+/// Uses the χ² radius at `alpha`; a point pushed outside every radius
+/// (`NewCluster`) is an error.
+///
+/// # Errors
+///
+/// Propagates classifier fitting failures.
+pub fn leave_one_out_error_rate(
+    clusters: &[Cluster],
+    scheme: CovarianceScheme,
+    alpha: f64,
+) -> Result<f64> {
+    let total: usize = clusters.iter().map(|c| c.len()).sum();
+    if total == 0 {
+        return Ok(0.0);
+    }
+    let mut correct = 0usize;
+    for (ci, cluster) in clusters.iter().enumerate() {
+        for (pi, point) in cluster.members().iter().enumerate() {
+            // Rebuild the clustering without this point.
+            let mut trial: Vec<Cluster> = Vec::with_capacity(clusters.len());
+            let mut own_index: Option<usize> = None;
+            for (cj, other) in clusters.iter().enumerate() {
+                if cj != ci {
+                    trial.push(other.clone());
+                    continue;
+                }
+                let remaining: Vec<_> = other
+                    .members()
+                    .iter()
+                    .enumerate()
+                    .filter(|&(k, _)| k != pi)
+                    .map(|(_, p)| p.clone())
+                    .collect();
+                if remaining.is_empty() {
+                    // Singleton cluster: its lone member cannot return.
+                    own_index = None;
+                } else {
+                    own_index = Some(trial.len());
+                    trial.push(Cluster::from_points(remaining)?);
+                }
+            }
+            let Some(own) = own_index else {
+                continue; // counted as error by not incrementing `correct`
+            };
+            if trial.is_empty() {
+                continue;
+            }
+            let classifier = BayesianClassifier::fit(&trial, scheme, alpha)?;
+            if classifier.classify(&trial, &point.vector) == Classification::Assign(own) {
+                correct += 1;
+            }
+        }
+    }
+    Ok(1.0 - correct as f64 / total as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::FeedbackPoint;
+
+    fn pt(id: usize, v: &[f64]) -> FeedbackPoint {
+        FeedbackPoint::new(id, v.to_vec(), 1.0)
+    }
+
+    fn ring(cx: f64, cy: f64, r: f64, ids: usize, n: usize) -> Cluster {
+        Cluster::from_points(
+            (0..n)
+                .map(|k| {
+                    let a = k as f64 * std::f64::consts::TAU / n as f64;
+                    pt(ids + k, &[cx + r * a.cos(), cy + r * a.sin()])
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn well_separated_clusters_have_zero_error() {
+        let clusters = vec![ring(0.0, 0.0, 1.0, 0, 8), ring(20.0, 20.0, 1.0, 8, 8)];
+        let err =
+            leave_one_out_error_rate(&clusters, CovarianceScheme::default_diagonal(), 0.05)
+                .unwrap();
+        assert_eq!(err, 0.0);
+    }
+
+    #[test]
+    fn heavily_overlapping_clusters_have_high_error() {
+        let clusters = vec![ring(0.0, 0.0, 2.0, 0, 8), ring(0.3, 0.0, 2.0, 8, 8)];
+        let err =
+            leave_one_out_error_rate(&clusters, CovarianceScheme::default_diagonal(), 0.05)
+                .unwrap();
+        assert!(err > 0.2, "error rate {err} unexpectedly low");
+    }
+
+    #[test]
+    fn error_rate_is_bounded() {
+        let clusters = vec![ring(0.0, 0.0, 1.0, 0, 6), ring(3.0, 0.0, 1.5, 6, 6)];
+        let err =
+            leave_one_out_error_rate(&clusters, CovarianceScheme::default_full(), 0.05)
+                .unwrap();
+        assert!((0.0..=1.0).contains(&err));
+    }
+
+    #[test]
+    fn singleton_cluster_counts_as_error() {
+        let clusters = vec![
+            ring(0.0, 0.0, 1.0, 0, 8),
+            Cluster::from_point(pt(99, &[0.2, 0.2])),
+        ];
+        let err =
+            leave_one_out_error_rate(&clusters, CovarianceScheme::default_diagonal(), 0.05)
+                .unwrap();
+        // 9 points, the singleton is always wrong: error ≥ 1/9.
+        assert!(err >= 1.0 / 9.0 - 1e-12);
+    }
+
+    #[test]
+    fn empty_input_is_zero_error() {
+        let err = leave_one_out_error_rate(&[], CovarianceScheme::default_diagonal(), 0.05)
+            .unwrap();
+        assert_eq!(err, 0.0);
+    }
+}

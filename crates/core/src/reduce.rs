@@ -1,0 +1,252 @@
+//! Dimension reduction inside the engine's statistics (paper Sec. 4.4).
+//!
+//! The paper shows that all three quadratic measures — T² (Eq. 17), the
+//! classification function d̂, and the distance d² — are invariant under
+//! the full principal-component rotation `G`, and that in PCA coordinates
+//! they collapse to **simple diagonal quadratic forms**
+//! `Σ_j (z_xj − z_yj)² / λ_j` (Eq. 18), "which saves a lot of computing
+//! efforts". Keeping only the first `k` components (chosen so the retained
+//! variance is at least `1 − ε`, ε ≤ 0.15; Sec. 4.4.4) gives the truncated
+//! form of Eq. 19 — an approximation whose error is controlled by the
+//! discarded eigenvalue mass.
+//!
+//! [`ReducedSpace`] packages that machinery: fit a PCA basis on the
+//! relevant data (or the whole corpus), project points and clusters, and
+//! evaluate the Eq. 18/19 quadratic forms directly from the eigenvalue
+//! spectrum.
+
+use crate::cluster::Cluster;
+use crate::error::Result;
+use crate::types::FeedbackPoint;
+use qcluster_linalg::{Matrix, Pca};
+use qcluster_stats::hotelling::t2_from_quadratic_form;
+
+/// A fitted PCA coordinate system with the spectrum-weighted quadratic
+/// forms of paper Eqs. 18–19.
+#[derive(Debug, Clone)]
+pub struct ReducedSpace {
+    pca: Pca,
+    /// Number of retained components `k ≤ p`.
+    k: usize,
+    /// Inverse eigenvalues `1/λ_j` of the retained components (ridged).
+    inv_lambda: Vec<f64>,
+}
+
+impl ReducedSpace {
+    /// Fits the space on a data matrix (one observation per row), keeping
+    /// the smallest `k` whose retained variance reaches `1 − epsilon`
+    /// (Sec. 4.4.4; the paper uses ε ≤ 0.15).
+    ///
+    /// # Errors
+    ///
+    /// Propagates PCA fitting failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `epsilon` outside `[0, 1)`.
+    pub fn fit(data: &Matrix, epsilon: f64) -> Result<ReducedSpace> {
+        let pca = Pca::fit(data)?;
+        let k = pca.components_for_epsilon(epsilon);
+        Ok(Self::from_pca(pca, k))
+    }
+
+    /// Fits with an explicit component count (the synthetic experiments
+    /// fix `k` to 12/9/6/3).
+    ///
+    /// # Errors
+    ///
+    /// Propagates PCA fitting failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is zero or exceeds the dimensionality.
+    pub fn fit_with_k(data: &Matrix, k: usize) -> Result<ReducedSpace> {
+        let pca = Pca::fit(data)?;
+        assert!(k >= 1 && k <= pca.input_dim(), "k out of range");
+        Ok(Self::from_pca(pca, k))
+    }
+
+    fn from_pca(pca: Pca, k: usize) -> ReducedSpace {
+        let inv_lambda = pca.eigenvalues()[..k]
+            .iter()
+            .map(|&l| 1.0 / l.max(1e-12))
+            .collect();
+        ReducedSpace { pca, k, inv_lambda }
+    }
+
+    /// Retained component count `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Retained variance ratio of the `k` components.
+    pub fn retained_variance(&self) -> f64 {
+        self.pca.retained_variance(self.k)
+    }
+
+    /// Projects a point into the retained PCA coordinates
+    /// (`z = G_kᵀ (x − mean)`).
+    pub fn project(&self, x: &[f64]) -> Vec<f64> {
+        self.pca.transform(x, self.k)
+    }
+
+    /// Projects a feedback point, preserving id and score.
+    pub fn project_point(&self, p: &FeedbackPoint) -> FeedbackPoint {
+        FeedbackPoint::new(p.id, self.project(&p.vector), p.score)
+    }
+
+    /// Rebuilds a cluster in the reduced space from its members.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cluster construction failures.
+    pub fn project_cluster(&self, c: &Cluster) -> Result<Cluster> {
+        Cluster::from_points(c.members().iter().map(|p| self.project_point(p)).collect())
+    }
+
+    /// The spectrum-weighted squared distance of Eqs. 18–19:
+    /// `Σ_{j<k} (z_xj − z_yj)² / λ_j` for two already-projected vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either vector's length differs from `k`.
+    pub fn spectral_sq_distance(&self, zx: &[f64], zy: &[f64]) -> f64 {
+        assert_eq!(zx.len(), self.k, "projected vector length mismatch");
+        assert_eq!(zy.len(), self.k, "projected vector length mismatch");
+        let mut acc = 0.0;
+        for j in 0..self.k {
+            let d = zx[j] - zy[j];
+            acc += self.inv_lambda[j] * d * d;
+        }
+        acc
+    }
+
+    /// Hotelling's T² between two projected cluster means in the reduced
+    /// space (Eq. 19): the pooled covariance is diagonalized by `G`, so
+    /// the quadratic form is the spectral distance — "a simple quadratic
+    /// form" needing no matrix inversion at query time.
+    pub fn t2(&self, mean_x: &[f64], mass_x: f64, mean_y: &[f64], mass_y: f64) -> f64 {
+        let zx = self.project(mean_x);
+        let zy = self.project(mean_y);
+        t2_from_quadratic_form(self.spectral_sq_distance(&zx, &zy), mass_x, mass_y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Correlated Gaussian-ish sample with an anisotropic spectrum.
+    fn sample_data(n: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Matrix::zeros(n, 4);
+        for i in 0..n {
+            let a: f64 = rng.gen_range(-2.0..2.0);
+            let b: f64 = rng.gen_range(-0.5..0.5);
+            let row = [
+                a + 0.1 * b,
+                0.8 * a - b,
+                b + rng.gen_range(-0.1..0.1),
+                rng.gen_range(-0.05..0.05),
+            ];
+            m.row_mut(i).copy_from_slice(&row);
+        }
+        m
+    }
+
+    #[test]
+    fn epsilon_controls_component_count() {
+        let data = sample_data(300, 1);
+        let loose = ReducedSpace::fit(&data, 0.15).unwrap();
+        let tight = ReducedSpace::fit(&data, 0.001).unwrap();
+        assert!(loose.k() <= tight.k());
+        assert!(loose.retained_variance() >= 0.85);
+        assert!(tight.retained_variance() >= 0.999);
+    }
+
+    #[test]
+    fn full_rank_spectral_distance_equals_mahalanobis() {
+        // Eq. 18 with k = p: the spectral form must equal the quadratic
+        // form under the inverse sample covariance (the PCA rotation is a
+        // similarity transform — Theorem 1).
+        let data = sample_data(400, 2);
+        let space = ReducedSpace::fit_with_k(&data, 4).unwrap();
+        // Sample covariance and its inverse (ridged the same way).
+        let pca = Pca::fit(&data).unwrap();
+        let mut cov = pca.components().matmul(
+            &Matrix::from_diagonal(pca.eigenvalues())
+                .matmul(&pca.components().transpose()),
+        );
+        cov.regularize(0.0);
+        let inv = cov.inverse().unwrap();
+
+        let x = [0.7, -0.3, 0.2, 0.01];
+        let y = [-0.5, 0.4, -0.1, 0.02];
+        let zx = space.project(&x);
+        let zy = space.project(&y);
+        let spectral = space.spectral_sq_distance(&zx, &zy);
+        let diff = qcluster_linalg::vecops::sub(&x, &y);
+        let mut scratch = vec![0.0; 4];
+        let direct = qcluster_linalg::vecops::quadratic_form(
+            &diff,
+            &[0.0; 4],
+            inv.as_slice(),
+            &mut scratch,
+        );
+        assert!(
+            (spectral - direct).abs() < 1e-8 * (1.0 + direct),
+            "{spectral} vs {direct}"
+        );
+    }
+
+    #[test]
+    fn truncation_error_is_bounded_by_discarded_mass() {
+        // Eq. 19: dropping low-λ components can only *add* inverse-weighted
+        // terms, so the truncated distance is ≤ the full distance, and for
+        // points living mostly in the retained subspace they are close.
+        let data = sample_data(400, 3);
+        let full = ReducedSpace::fit_with_k(&data, 4).unwrap();
+        let trunc = ReducedSpace::fit_with_k(&data, 2).unwrap();
+        let x = [1.0, 0.8, 0.0, 0.0];
+        let y = [-1.0, -0.8, 0.0, 0.0];
+        let d_full = full.spectral_sq_distance(&full.project(&x), &full.project(&y));
+        let d_trunc = trunc.spectral_sq_distance(&trunc.project(&x), &trunc.project(&y));
+        assert!(d_trunc <= d_full + 1e-9);
+        assert!(d_trunc > 0.5 * d_full, "dominant-subspace points: {d_trunc} vs {d_full}");
+    }
+
+    #[test]
+    fn t2_matches_stats_crate_on_projected_data() {
+        // Projected-space T² (Eq. 19) equals the stats-crate two-sample T²
+        // computed in the reduced coordinates with the spectrum as pooled
+        // covariance — consistency of the two implementations.
+        let data = sample_data(500, 4);
+        let space = ReducedSpace::fit_with_k(&data, 3).unwrap();
+        let mean_x = [0.5, 0.0, 0.1, 0.0];
+        let mean_y = [-0.2, 0.3, 0.0, 0.05];
+        let t2 = space.t2(&mean_x, 30.0, &mean_y, 30.0);
+        let zx = space.project(&mean_x);
+        let zy = space.project(&mean_y);
+        let q = space.spectral_sq_distance(&zx, &zy);
+        assert!((t2 - 15.0 * q).abs() < 1e-9); // 30·30/60 = 15
+    }
+
+    #[test]
+    fn project_cluster_preserves_membership() {
+        let pts = vec![
+            FeedbackPoint::new(0, vec![1.0, 0.5, 0.0, 0.0], 3.0),
+            FeedbackPoint::new(1, vec![0.5, 1.0, 0.1, 0.0], 1.0),
+            FeedbackPoint::new(2, vec![0.8, 0.8, 0.0, 0.1], 2.0),
+        ];
+        let c = Cluster::from_points(pts).unwrap();
+        let data = sample_data(100, 5);
+        let space = ReducedSpace::fit_with_k(&data, 2).unwrap();
+        let rc = space.project_cluster(&c).unwrap();
+        assert_eq!(rc.len(), 3);
+        assert_eq!(rc.dim(), 2);
+        assert_eq!(rc.mass(), c.mass());
+        assert!(rc.contains_id(1));
+    }
+}

@@ -1,0 +1,80 @@
+//! Basic value types shared across the engine.
+
+/// One user-marked relevant image: its database id, feature vector, and
+/// relevance score.
+///
+/// Scores follow the paper's protocol (Sec. 5): the oracle assigns 3 to
+/// images of the query's own category and 1 to images of related
+/// categories. Any positive score works — scores weight the centroid
+/// (Def. 1), the covariance (Def. 2), and the cluster mass `m_i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedbackPoint {
+    /// Database image id.
+    pub id: usize,
+    /// Feature vector (already PCA-reduced by the pipeline).
+    pub vector: Vec<f64>,
+    /// Positive relevance score `v`.
+    pub score: f64,
+}
+
+impl FeedbackPoint {
+    /// Creates a feedback point.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an empty vector or non-positive score — these are
+    /// programming errors, not data conditions (the engine validates user
+    /// data with `Result` before constructing points).
+    pub fn new(id: usize, vector: Vec<f64>, score: f64) -> Self {
+        assert!(!vector.is_empty(), "feature vector must be non-empty");
+        assert!(
+            vector.iter().all(|v| v.is_finite()),
+            "feature vector must be finite (NaN/inf would corrupt every \
+             downstream quadratic form and heap ordering)"
+        );
+        assert!(score > 0.0, "relevance score must be positive, got {score}");
+        FeedbackPoint { id, vector, score }
+    }
+
+    /// Dimensionality of the feature vector.
+    pub fn dim(&self) -> usize {
+        self.vector.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructs_and_reports_dim() {
+        let p = FeedbackPoint::new(7, vec![1.0, 2.0, 3.0], 3.0);
+        assert_eq!(p.id, 7);
+        assert_eq!(p.dim(), 3);
+        assert_eq!(p.score, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_zero_score() {
+        let _ = FeedbackPoint::new(0, vec![1.0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_vector() {
+        let _ = FeedbackPoint::new(0, vec![], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn rejects_nan_vector() {
+        let _ = FeedbackPoint::new(0, vec![1.0, f64::NAN], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn rejects_infinite_vector() {
+        let _ = FeedbackPoint::new(0, vec![f64::INFINITY], 1.0);
+    }
+}

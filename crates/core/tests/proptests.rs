@@ -1,0 +1,237 @@
+//! Property-based tests for the Qcluster core, including the paper's
+//! Theorem 1: T², d², and d̂ are invariant under invertible linear
+//! transformations of the feature space (with the full-inverse scheme and
+//! no regularization, which is the setting of the theorem).
+
+use proptest::prelude::*;
+use qcluster_core::merge::pair_t2;
+use qcluster_core::{Cluster, CovarianceScheme, DisjunctiveQuery, FeedbackPoint};
+use qcluster_index::QueryDistance;
+use qcluster_linalg::Matrix;
+
+/// A well-conditioned invertible 2×2 matrix: rotation + anisotropic scale.
+fn linear_map() -> impl Strategy<Value = Matrix> {
+    (0.0..std::f64::consts::TAU, 0.5..2.0f64, 0.5..2.0f64).prop_map(|(th, sx, sy)| {
+        let rot = Matrix::from_rows(&[&[th.cos(), -th.sin()], &[th.sin(), th.cos()]]);
+        let scale = Matrix::from_diagonal(&[sx, sy]);
+        rot.matmul(&scale)
+    })
+}
+
+/// A cluster of `n ≥ 4` distinct points with unit scores, guaranteed
+/// non-degenerate covariance in both dimensions.
+fn cluster_points(offset: f64) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        (offset - 2.0..offset + 2.0, offset - 2.0..offset + 2.0)
+            .prop_map(|(x, y)| vec![x, y]),
+        6..14,
+    )
+    .prop_filter("needs spread in both dims", |pts| {
+        let spread = |d: usize| {
+            let lo = pts.iter().map(|p| p[d]).fold(f64::INFINITY, f64::min);
+            let hi = pts.iter().map(|p| p[d]).fold(f64::NEG_INFINITY, f64::max);
+            hi - lo
+        };
+        spread(0) > 0.5 && spread(1) > 0.5
+    })
+}
+
+fn make_cluster(pts: &[Vec<f64>], base_id: usize) -> Cluster {
+    Cluster::from_points(
+        pts.iter()
+            .enumerate()
+            .map(|(i, p)| FeedbackPoint::new(base_id + i, p.clone(), 1.0))
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn transform_cluster(c: &Cluster, a: &Matrix) -> Cluster {
+    Cluster::from_points(
+        c.members()
+            .iter()
+            .map(|p| FeedbackPoint::new(p.id, a.matvec(&p.vector), p.score))
+            .collect(),
+    )
+    .unwrap()
+}
+
+/// The exact full-inverse scheme of Theorem 1 (no ridge).
+const EXACT: CovarianceScheme = CovarianceScheme::FullInverse { lambda: 0.0 };
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn theorem1_t2_is_invariant(
+        a in linear_map(),
+        p1 in cluster_points(0.0),
+        p2 in cluster_points(3.0),
+    ) {
+        let c1 = make_cluster(&p1, 0);
+        let c2 = make_cluster(&p2, 1000);
+        let t2_orig = pair_t2(&c1, &c2, EXACT);
+        let t2_mapped = pair_t2(
+            &transform_cluster(&c1, &a),
+            &transform_cluster(&c2, &a),
+            EXACT,
+        );
+        if let (Ok(x), Ok(y)) = (t2_orig, t2_mapped) {
+            prop_assert!(
+                (x - y).abs() < 1e-6 * (1.0 + x.abs()),
+                "T² changed under linear map: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem1_quadratic_distance_is_invariant(
+        a in linear_map(),
+        pts in cluster_points(0.0),
+        q in (-3.0..3.0f64, -3.0..3.0f64).prop_map(|(x, y)| vec![x, y]),
+    ) {
+        let c = make_cluster(&pts, 0);
+        let d_orig = c.mahalanobis(&q, EXACT);
+        let cm = transform_cluster(&c, &a);
+        let d_mapped = cm.mahalanobis(&a.matvec(&q), EXACT);
+        if let (Ok(x), Ok(y)) = (d_orig, d_mapped) {
+            prop_assert!(
+                (x - y).abs() < 1e-6 * (1.0 + x.abs()),
+                "d² changed under linear map: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn disjunctive_distance_is_invariant(
+        a in linear_map(),
+        p1 in cluster_points(0.0),
+        p2 in cluster_points(4.0),
+        q in (-5.0..8.0f64, -5.0..8.0f64).prop_map(|(x, y)| vec![x, y]),
+    ) {
+        let c1 = make_cluster(&p1, 0);
+        let c2 = make_cluster(&p2, 1000);
+        let orig = DisjunctiveQuery::new(&[c1.clone(), c2.clone()], EXACT);
+        let mapped = DisjunctiveQuery::new(
+            &[transform_cluster(&c1, &a), transform_cluster(&c2, &a)],
+            EXACT,
+        );
+        if let (Ok(o), Ok(m)) = (orig, mapped) {
+            let d0 = o.distance(&q);
+            let d1 = m.distance(&a.matvec(&q));
+            prop_assert!(
+                (d0 - d1).abs() < 1e-6 * (1.0 + d0.abs()),
+                "disjunctive distance changed: {d0} vs {d1}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_closed_form_equals_recompute(
+        p1 in cluster_points(0.0),
+        p2 in cluster_points(2.0),
+        s1 in 1.0..4.0f64,
+        s2 in 1.0..4.0f64,
+    ) {
+        let c1 = Cluster::from_points(
+            p1.iter().enumerate()
+                .map(|(i, p)| FeedbackPoint::new(i, p.clone(), s1))
+                .collect(),
+        ).unwrap();
+        let c2 = Cluster::from_points(
+            p2.iter().enumerate()
+                .map(|(i, p)| FeedbackPoint::new(1000 + i, p.clone(), s2))
+                .collect(),
+        ).unwrap();
+        let merged = Cluster::merge(&c1, &c2);
+        let mut union = c1.members().to_vec();
+        union.extend(c2.members().iter().cloned());
+        let direct = Cluster::from_points(union).unwrap();
+        for (a, b) in merged.mean().iter().zip(direct.mean().iter()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+        for i in 0..2 {
+            for j in 0..2 {
+                prop_assert!(
+                    (merged.covariance().get(i, j) - direct.covariance().get(i, j)).abs()
+                        < 1e-9 * (1.0 + direct.covariance().max_abs())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_push_equals_recompute(
+        pts in cluster_points(0.0),
+        scores in prop::collection::vec(0.5..4.0f64, 20),
+    ) {
+        // Build incrementally via the Eq. 11–13 closed form…
+        let mk = |i: usize, p: &Vec<f64>| {
+            FeedbackPoint::new(i, p.clone(), scores[i % scores.len()])
+        };
+        let mut inc = Cluster::from_point(mk(0, &pts[0]));
+        for (i, p) in pts.iter().enumerate().skip(1) {
+            inc.push(mk(i, p));
+        }
+        // …and compare against full recomputation.
+        let direct = Cluster::from_points(
+            pts.iter().enumerate().map(|(i, p)| mk(i, p)).collect(),
+        ).unwrap();
+        for (a, b) in inc.mean().iter().zip(direct.mean().iter()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+        let scale = 1.0 + direct.covariance().max_abs();
+        for i in 0..2 {
+            for j in 0..2 {
+                prop_assert!(
+                    (inc.covariance().get(i, j) - direct.covariance().get(i, j)).abs()
+                        < 1e-9 * scale
+                );
+            }
+        }
+        prop_assert!((inc.mass() - direct.mass()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjunctive_distance_nonnegative_and_zero_at_centers(
+        p1 in cluster_points(0.0),
+        p2 in cluster_points(5.0),
+        q in (-10.0..10.0f64, -10.0..10.0f64).prop_map(|(x, y)| vec![x, y]),
+    ) {
+        let c1 = make_cluster(&p1, 0);
+        let c2 = make_cluster(&p2, 1000);
+        let dq = DisjunctiveQuery::new(
+            &[c1.clone(), c2.clone()],
+            CovarianceScheme::default_diagonal(),
+        ).unwrap();
+        prop_assert!(dq.distance(&q) >= 0.0);
+        prop_assert!(dq.distance(c1.mean()).abs() < 1e-9);
+        prop_assert!(dq.distance(c2.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjunctive_lower_bound_contract(
+        p1 in cluster_points(0.0),
+        p2 in cluster_points(4.0),
+        corner in (-6.0..6.0f64, -6.0..6.0f64),
+        extent in (0.1..4.0f64, 0.1..4.0f64),
+    ) {
+        let dq = DisjunctiveQuery::new(
+            &[make_cluster(&p1, 0), make_cluster(&p2, 1000)],
+            CovarianceScheme::default_diagonal(),
+        ).unwrap();
+        let lo = vec![corner.0, corner.1];
+        let hi = vec![corner.0 + extent.0, corner.1 + extent.1];
+        let b = qcluster_index::BoundingBox::new(lo.clone(), hi.clone());
+        let lb = dq.min_distance(&b);
+        for i in 0..=4 {
+            for j in 0..=4 {
+                let x = [
+                    lo[0] + extent.0 * i as f64 / 4.0,
+                    lo[1] + extent.1 * j as f64 / 4.0,
+                ];
+                prop_assert!(dq.distance(&x) >= lb - 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! An indexed image database with category ground truth.
+
+use qcluster_imaging::{Corpus, CorpusBuilder, FeatureKind, FeatureSet};
+use qcluster_index::HybridTree;
+
+/// The retrieval database: reduced feature vectors, their hybrid-tree
+/// index, and per-image category / super-category labels.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    vectors: Vec<Vec<f64>>,
+    categories: Vec<usize>,
+    super_categories: Vec<usize>,
+    tree: HybridTree,
+    images_per_category: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset straight from raw vectors and labels (synthetic
+    /// experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input or mismatched label lengths.
+    pub fn from_parts(
+        vectors: Vec<Vec<f64>>,
+        categories: Vec<usize>,
+        super_categories: Vec<usize>,
+        images_per_category: usize,
+    ) -> Self {
+        assert!(!vectors.is_empty(), "dataset must be non-empty");
+        assert_eq!(vectors.len(), categories.len(), "label length mismatch");
+        assert_eq!(
+            vectors.len(),
+            super_categories.len(),
+            "super-label length mismatch"
+        );
+        let tree = HybridTree::bulk_load(&vectors);
+        Dataset {
+            vectors,
+            categories,
+            super_categories,
+            tree,
+            images_per_category,
+        }
+    }
+
+    /// Renders a synthetic corpus, extracts `kind` features, and indexes
+    /// them — the standard preparation for the retrieval experiments.
+    ///
+    /// # Errors
+    ///
+    /// Propagates feature-pipeline failures.
+    pub fn from_corpus(
+        corpus: &Corpus,
+        kind: FeatureKind,
+    ) -> qcluster_linalg::Result<Self> {
+        let fs = FeatureSet::build(corpus, kind)?;
+        let n = fs.len();
+        Ok(Dataset::from_parts(
+            (0..n).map(|i| fs.vector(i).to_vec()).collect(),
+            (0..n).map(|i| fs.category(i)).collect(),
+            (0..n).map(|i| fs.super_category(i)).collect(),
+            corpus.images_per_category(),
+        ))
+    }
+
+    /// Builds the controlled **semantic-gap** retrieval workload (see
+    /// [`crate::synthetic::SemanticGapConfig`]) — the dataset on which the
+    /// paper's headline Qcluster > QEX > QPM comparison is reproduced.
+    pub fn semantic_gap(config: &crate::synthetic::SemanticGapConfig) -> Self {
+        let (vectors, cats, supers, per) = crate::synthetic::semantic_gap_corpus(config);
+        Dataset::from_parts(vectors, cats, supers, per)
+    }
+
+    /// A small default corpus configuration for tests and examples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates feature-pipeline failures.
+    pub fn small_default(kind: FeatureKind, seed: u64) -> qcluster_linalg::Result<Self> {
+        let corpus = CorpusBuilder::new()
+            .categories(12)
+            .images_per_category(12)
+            .image_size(24)
+            .categories_per_super(4)
+            .seed(seed)
+            .build();
+        Self::from_corpus(&corpus, kind)
+    }
+
+    /// Number of images.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// `true` when the dataset is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.vectors[0].len()
+    }
+
+    /// The feature vector of image `id`.
+    pub fn vector(&self, id: usize) -> &[f64] {
+        &self.vectors[id]
+    }
+
+    /// All feature vectors.
+    pub fn vectors(&self) -> &[Vec<f64>] {
+        &self.vectors
+    }
+
+    /// Category of image `id`.
+    pub fn category(&self, id: usize) -> usize {
+        self.categories[id]
+    }
+
+    /// Super-category of image `id`.
+    pub fn super_category(&self, id: usize) -> usize {
+        self.super_categories[id]
+    }
+
+    /// Number of images sharing each category label (constant by corpus
+    /// construction).
+    pub fn images_per_category(&self) -> usize {
+        self.images_per_category
+    }
+
+    /// The hybrid-tree index over the vectors.
+    pub fn tree(&self) -> &HybridTree {
+        &self.tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_parts_wires_everything() {
+        let ds = Dataset::from_parts(
+            vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 2.0]],
+            vec![0, 0, 1],
+            vec![0, 0, 0],
+            2,
+        );
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.dim(), 2);
+        assert_eq!(ds.category(2), 1);
+        assert_eq!(ds.super_category(2), 0);
+        assert_eq!(ds.tree().len(), 3);
+    }
+
+    #[test]
+    fn from_corpus_builds_consistent_labels() {
+        let ds = Dataset::small_default(FeatureKind::ColorMoments, 5).unwrap();
+        assert_eq!(ds.len(), 144);
+        assert_eq!(ds.dim(), 3);
+        assert_eq!(ds.category(0), 0);
+        assert_eq!(ds.category(143), 11);
+        assert_eq!(ds.images_per_category(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "label length mismatch")]
+    fn mismatched_labels_rejected() {
+        let _ = Dataset::from_parts(vec![vec![0.0]], vec![], vec![], 1);
+    }
+}

@@ -1,0 +1,279 @@
+//! Dataset geometry diagnostics.
+//!
+//! Whether relevance feedback — and especially *disjunctive* feedback —
+//! can help on a dataset is a property of its feature-space geometry. This
+//! module computes the quantities that predict it (the same analysis that
+//! identified the semantic-gap workload's regime conditions; DESIGN.md §4):
+//!
+//! - per-category **within-spread** vs **between-category separation**
+//!   (how hard retrieval is at all),
+//! - a per-category **bimodality score** from a 2-means split (whether a
+//!   category's relevant set forms disjoint clusters — the paper's
+//!   complex-query condition),
+//! - the **k-NN reach** (how far a top-k result set extends), which
+//!   bounds what feedback can ever discover.
+
+use crate::dataset::Dataset;
+use qcluster_linalg::vecops;
+
+/// Geometry summary of one category.
+#[derive(Debug, Clone)]
+pub struct CategoryDiagnostics {
+    /// Category id.
+    pub category: usize,
+    /// Radial spread: RMS distance of members to their centroid.
+    pub within_spread: f64,
+    /// Distance from this category's centroid to the nearest other
+    /// category's centroid.
+    pub nearest_other_centroid: f64,
+    /// 2-means bimodality: `gap / σ` where `gap` is the distance between
+    /// the two sub-mode centroids and `σ` the mean within-sub-mode spread.
+    /// Splitting *unimodal uniform* data scores 2√3 ≈ 3.46 (the analytic
+    /// worst case), so values ≳ 4 indicate genuinely disjoint modes.
+    pub bimodality: f64,
+}
+
+/// Whole-dataset geometry summary.
+#[derive(Debug, Clone)]
+pub struct DatasetDiagnostics {
+    /// Per-category rows.
+    pub categories: Vec<CategoryDiagnostics>,
+    /// Mean within-category spread.
+    pub mean_within: f64,
+    /// Mean nearest-other-centroid distance.
+    pub mean_between: f64,
+    /// Approximate radius of a top-k result ball: the mean k-th NN
+    /// distance over a sample of query points.
+    pub knn_reach: f64,
+    /// `k` used for the reach estimate.
+    pub reach_k: usize,
+}
+
+impl DatasetDiagnostics {
+    /// Separation ratio `mean_between / mean_within` — ≳ 2 means
+    /// categories are retrievable at all.
+    pub fn separation_ratio(&self) -> f64 {
+        self.mean_between / self.mean_within.max(1e-300)
+    }
+
+    /// Fraction of categories with bimodality ≥ 4 (disjoint modes; the
+    /// threshold sits above the 2√3 ≈ 3.46 score that splitting unimodal
+    /// uniform data produces).
+    pub fn multimodal_fraction(&self) -> f64 {
+        let n = self.categories.len().max(1);
+        self.categories.iter().filter(|c| c.bimodality >= 4.0).count() as f64 / n as f64
+    }
+}
+
+/// Computes the diagnostics; `reach_k` sets the k for the reach estimate
+/// (use the retrieval k).
+///
+/// # Panics
+///
+/// Panics when `reach_k` is zero or exceeds the dataset size.
+pub fn analyze(dataset: &Dataset, reach_k: usize) -> DatasetDiagnostics {
+    assert!(reach_k > 0 && reach_k <= dataset.len(), "bad reach_k");
+    let per = dataset.images_per_category();
+    let num_categories = dataset.len() / per;
+    let dim = dataset.dim();
+
+    // Centroids + spreads.
+    let mut centroids = Vec::with_capacity(num_categories);
+    let mut spreads = Vec::with_capacity(num_categories);
+    for c in 0..num_categories {
+        let members: Vec<&[f64]> = (c * per..(c + 1) * per).map(|i| dataset.vector(i)).collect();
+        let mut centroid = vec![0.0; dim];
+        for m in &members {
+            vecops::axpy(&mut centroid, m, 1.0);
+        }
+        for v in &mut centroid {
+            *v /= members.len() as f64;
+        }
+        let spread = (members
+            .iter()
+            .map(|m| vecops::sq_euclidean(m, &centroid))
+            .sum::<f64>()
+            / members.len() as f64)
+            .sqrt();
+        centroids.push(centroid);
+        spreads.push(spread);
+    }
+
+    let mut rows = Vec::with_capacity(num_categories);
+    for c in 0..num_categories {
+        let nearest = (0..num_categories)
+            .filter(|&o| o != c)
+            .map(|o| vecops::sq_euclidean(&centroids[c], &centroids[o]).sqrt())
+            .fold(f64::INFINITY, f64::min);
+        let members: Vec<&[f64]> =
+            (c * per..(c + 1) * per).map(|i| dataset.vector(i)).collect();
+        rows.push(CategoryDiagnostics {
+            category: c,
+            within_spread: spreads[c],
+            nearest_other_centroid: nearest,
+            bimodality: bimodality(&members),
+        });
+    }
+
+    // k-NN reach: mean k-th neighbor distance over a deterministic sample.
+    let scan = qcluster_index::LinearScan::new(dataset.vectors());
+    let sample: Vec<usize> = (0..dataset.len())
+        .step_by((dataset.len() / 25).max(1))
+        .collect();
+    let mut reach = 0.0;
+    for &q in &sample {
+        let query = qcluster_index::EuclideanQuery::new(dataset.vector(q).to_vec());
+        let nn = scan.knn(&query, reach_k);
+        reach += nn.last().expect("non-empty").distance.sqrt();
+    }
+    reach /= sample.len() as f64;
+
+    let mean_within = spreads.iter().sum::<f64>() / spreads.len() as f64;
+    let mean_between = rows
+        .iter()
+        .map(|r| r.nearest_other_centroid)
+        .sum::<f64>()
+        / rows.len() as f64;
+    DatasetDiagnostics {
+        categories: rows,
+        mean_within,
+        mean_between,
+        knn_reach: reach,
+        reach_k,
+    }
+}
+
+/// 2-means bimodality score of a point set: split with a few Lloyd
+/// iterations seeded by the farthest pair, then report
+/// `centroid gap / mean sub-mode spread`. Near-unimodal data scores ≈ 1–2;
+/// disjoint modes score ≫ 3.
+fn bimodality(points: &[&[f64]]) -> f64 {
+    if points.len() < 4 {
+        return 0.0;
+    }
+    let dim = points[0].len();
+    // Seed with the farthest pair from point 0 (cheap approximation).
+    let far1 = (0..points.len())
+        .max_by(|&a, &b| {
+            vecops::sq_euclidean(points[a], points[0])
+                .partial_cmp(&vecops::sq_euclidean(points[b], points[0]))
+                .expect("non-NaN")
+        })
+        .expect("non-empty");
+    let far2 = (0..points.len())
+        .max_by(|&a, &b| {
+            vecops::sq_euclidean(points[a], points[far1])
+                .partial_cmp(&vecops::sq_euclidean(points[b], points[far1]))
+                .expect("non-NaN")
+        })
+        .expect("non-empty");
+    let mut c1 = points[far1].to_vec();
+    let mut c2 = points[far2].to_vec();
+
+    let mut assign = vec![false; points.len()];
+    for _ in 0..8 {
+        for (i, p) in points.iter().enumerate() {
+            assign[i] = vecops::sq_euclidean(p, &c2) < vecops::sq_euclidean(p, &c1);
+        }
+        let mut n1 = 0.0;
+        let mut n2 = 0.0;
+        let mut s1 = vec![0.0; dim];
+        let mut s2 = vec![0.0; dim];
+        for (i, p) in points.iter().enumerate() {
+            if assign[i] {
+                vecops::axpy(&mut s2, p, 1.0);
+                n2 += 1.0;
+            } else {
+                vecops::axpy(&mut s1, p, 1.0);
+                n1 += 1.0;
+            }
+        }
+        if n1 == 0.0 || n2 == 0.0 {
+            return 0.0;
+        }
+        for v in &mut s1 {
+            *v /= n1;
+        }
+        for v in &mut s2 {
+            *v /= n2;
+        }
+        c1 = s1;
+        c2 = s2;
+    }
+    let gap = vecops::sq_euclidean(&c1, &c2).sqrt();
+    let spread_of = |which: bool, center: &[f64]| -> (f64, usize) {
+        let mut acc = 0.0;
+        let mut n = 0;
+        for (i, p) in points.iter().enumerate() {
+            if assign[i] == which {
+                acc += vecops::sq_euclidean(p, center);
+                n += 1;
+            }
+        }
+        (acc, n)
+    };
+    let (a1, n1) = spread_of(false, &c1);
+    let (a2, n2) = spread_of(true, &c2);
+    if n1 == 0 || n2 == 0 {
+        return 0.0;
+    }
+    let sigma = ((a1 + a2) / (n1 + n2) as f64).sqrt();
+    gap / sigma.max(1e-300)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SemanticGapConfig;
+
+    #[test]
+    fn semantic_gap_workload_reads_as_multimodal() {
+        let ds = Dataset::semantic_gap(&SemanticGapConfig {
+            categories: 20,
+            per_mode: 10,
+            ..SemanticGapConfig::default()
+        });
+        let d = analyze(&ds, 20);
+        assert_eq!(d.categories.len(), 20);
+        assert!(
+            d.multimodal_fraction() > 0.9,
+            "built-to-be-bimodal categories: {}",
+            d.multimodal_fraction()
+        );
+        assert!(d.separation_ratio() > 1.0);
+        assert!(d.knn_reach > 0.0);
+    }
+
+    #[test]
+    fn unimodal_blobs_read_as_unimodal() {
+        // Tight single-mode categories on a line.
+        let mut vectors = Vec::new();
+        let mut cats = Vec::new();
+        for c in 0..5usize {
+            for i in 0..10usize {
+                vectors.push(vec![c as f64 * 10.0 + (i as f64) * 0.01, 0.0]);
+                cats.push(c);
+            }
+        }
+        let ds = Dataset::from_parts(vectors, cats.clone(), cats, 10);
+        let d = analyze(&ds, 10);
+        assert!(
+            d.multimodal_fraction() < 0.3,
+            "uniform blobs misread: {}",
+            d.multimodal_fraction()
+        );
+        assert!(d.separation_ratio() > 10.0, "clearly separated categories");
+    }
+
+    #[test]
+    fn reach_grows_with_k() {
+        let ds = Dataset::semantic_gap(&SemanticGapConfig {
+            categories: 15,
+            per_mode: 10,
+            ..SemanticGapConfig::default()
+        });
+        let small = analyze(&ds, 5).knn_reach;
+        let large = analyze(&ds, 50).knn_reach;
+        assert!(large > small);
+    }
+}

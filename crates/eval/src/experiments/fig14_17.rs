@@ -1,0 +1,229 @@
+//! Figs. 14–17 — classification error rate of Algorithm 2 on synthetic
+//! Gaussian clusters.
+//!
+//! "The synthetic data in ℝ¹⁶ are generated. The data consist of 3
+//! clusters and their inter-cluster distance values vary from 0.5 to 2.5.
+//! Then the principal component analysis is used to reduce the dimension
+//! … to 12, 9, 6, 3." The grid crosses cluster shape (spherical vs
+//! elliptical, Figs. 14/16 vs 15/17) with the covariance scheme (inverse
+//! vs diagonal, Figs. 14/15 vs 16/17). Expected shapes:
+//!
+//! - error falls as inter-cluster distance grows,
+//! - error rises as the PCA dimension shrinks (information loss). Note:
+//!   for *perfectly spherical* clusters this effect is absent by
+//!   symmetry — every dropped principal component is pure isotropic
+//!   noise, so the reduction loses nothing. The paper's information-loss
+//!   mechanism appears once the data is anisotropic (the elliptical
+//!   grids, Figs. 15/17), where PCA can rank the between-cluster signal
+//!   below high-variance nuisance directions and dropping components
+//!   drops signal,
+//! - error is (nearly) shape-independent — Theorem 1's invariance.
+//!
+//! Protocol: fit clusters on a labelled training split, classify a
+//! held-out split with the pure Bayesian assignment (no outlier cut),
+//! count wrong assignments.
+
+use crate::synthetic::{ClusterShape, GaussianClusters};
+use qcluster_core::{BayesianClassifier, Cluster, CovarianceScheme, FeedbackPoint};
+
+/// Parameters of the classification-error grid.
+#[derive(Debug, Clone)]
+pub struct Fig1417Config {
+    /// Points per cluster (train + test).
+    pub points_per_cluster: usize,
+    /// PCA target dimensions (paper: 12, 9, 6, 3 from ℝ¹⁶).
+    pub dims: Vec<usize>,
+    /// Inter-cluster distances (paper: 0.5 … 2.5).
+    pub distances: Vec<f64>,
+    /// Repetitions averaged per grid cell.
+    pub trials: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig1417Config {
+    fn default() -> Self {
+        Fig1417Config {
+            points_per_cluster: 40,
+            dims: vec![12, 9, 6, 3],
+            distances: vec![0.5, 1.0, 1.5, 2.0, 2.5],
+            trials: 3,
+            seed: 1234,
+        }
+    }
+}
+
+impl Fig1417Config {
+    /// Heavier averaging for the repro binary.
+    pub fn paper_scale() -> Self {
+        Fig1417Config {
+            points_per_cluster: 60,
+            trials: 10,
+            ..Self::default()
+        }
+    }
+}
+
+/// One grid cell: error rate at (dim, inter-cluster distance).
+#[derive(Debug, Clone, Copy)]
+pub struct ErrorCell {
+    /// PCA dimension.
+    pub dim: usize,
+    /// Inter-cluster distance.
+    pub distance: f64,
+    /// Mean held-out misclassification rate.
+    pub error_rate: f64,
+    /// Mean retained-variance ratio of the PCA reduction.
+    pub variance_ratio: f64,
+}
+
+/// Classification error of one train/test trial.
+fn one_trial(
+    data: &GaussianClusters,
+    scheme: CovarianceScheme,
+) -> f64 {
+    // Split: even indices train, odd test (labels are interleaved only
+    // within clusters, so both splits cover all clusters).
+    let mut train: Vec<Vec<FeedbackPoint>> = vec![Vec::new(); data.means.len()];
+    let mut test: Vec<(Vec<f64>, usize)> = Vec::new();
+    for (i, (p, &l)) in data.points.iter().zip(&data.labels).enumerate() {
+        if i % 2 == 0 {
+            train[l].push(FeedbackPoint::new(i, p.clone(), 1.0));
+        } else {
+            test.push((p.clone(), l));
+        }
+    }
+    let clusters: Vec<Cluster> = train
+        .into_iter()
+        .map(|pts| Cluster::from_points(pts).expect("non-empty training split"))
+        .collect();
+    // Pure assignment error (Sec. 4.5 / Figs. 14–17): a point is wrong
+    // when the classification function puts it in the wrong cluster; the
+    // effective-radius outlier cut is not part of this measurement.
+    let classifier =
+        BayesianClassifier::fit(&clusters, scheme, 0.05).expect("classifier fits");
+    let mut wrong = 0usize;
+    for (x, label) in &test {
+        if classifier.nearest(&clusters, x) != *label {
+            wrong += 1;
+        }
+    }
+    wrong as f64 / test.len() as f64
+}
+
+/// Runs the grid for one (shape, scheme) combination — i.e. one of the
+/// four figures.
+pub fn run(
+    config: &Fig1417Config,
+    shape: ClusterShape,
+    scheme: CovarianceScheme,
+) -> Vec<ErrorCell> {
+    let mut cells = Vec::new();
+    for &dim in &config.dims {
+        for &distance in &config.distances {
+            let mut err = 0.0;
+            let mut var = 0.0;
+            for t in 0..config.trials {
+                let seed = config
+                    .seed
+                    .wrapping_add(t as u64)
+                    .wrapping_mul(dim as u64 + 1)
+                    .wrapping_add((distance * 100.0) as u64);
+                let full = GaussianClusters::generate(
+                    3,
+                    config.points_per_cluster,
+                    16,
+                    distance,
+                    shape,
+                    seed,
+                );
+                let (reduced, ratio) = full.reduce(dim).expect("PCA reduces");
+                err += one_trial(&reduced, scheme);
+                var += ratio;
+            }
+            cells.push(ErrorCell {
+                dim,
+                distance,
+                error_rate: err / config.trials as f64,
+                variance_ratio: var / config.trials as f64,
+            });
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Fig1417Config {
+        Fig1417Config {
+            points_per_cluster: 30,
+            dims: vec![12, 3],
+            distances: vec![0.5, 2.5],
+            trials: 3,
+            seed: 77,
+        }
+    }
+
+    #[test]
+    fn error_falls_with_separation() {
+        let cells = run(
+            &cfg(),
+            ClusterShape::Spherical,
+            CovarianceScheme::default_full(),
+        );
+        let at = |dim: usize, dist: f64| {
+            cells
+                .iter()
+                .find(|c| c.dim == dim && (c.distance - dist).abs() < 1e-9)
+                .unwrap()
+                .error_rate
+        };
+        assert!(
+            at(12, 2.5) <= at(12, 0.5),
+            "error must fall with distance: {} vs {}",
+            at(12, 2.5),
+            at(12, 0.5)
+        );
+    }
+
+    #[test]
+    fn shape_invariance_under_full_inverse() {
+        // Theorem 1: with the full-inverse scheme the error rate should be
+        // nearly identical for spherical and elliptical data.
+        let cfg = cfg();
+        let s = run(&cfg, ClusterShape::Spherical, CovarianceScheme::default_full());
+        let e = run(&cfg, ClusterShape::Elliptical, CovarianceScheme::default_full());
+        for (a, b) in s.iter().zip(e.iter()) {
+            assert!(
+                (a.error_rate - b.error_rate).abs() < 0.25,
+                "shape changed error too much at dim {} dist {}: {} vs {}",
+                a.dim,
+                a.distance,
+                a.error_rate,
+                b.error_rate
+            );
+        }
+    }
+
+    #[test]
+    fn variance_ratio_tracks_dimension() {
+        let cells = run(
+            &cfg(),
+            ClusterShape::Spherical,
+            CovarianceScheme::default_diagonal(),
+        );
+        let v12: f64 = cells
+            .iter()
+            .filter(|c| c.dim == 12)
+            .map(|c| c.variance_ratio)
+            .sum();
+        let v3: f64 = cells
+            .iter()
+            .filter(|c| c.dim == 3)
+            .map(|c| c.variance_ratio)
+            .sum();
+        assert!(v12 > v3, "more dims must retain more variance");
+    }
+}

@@ -1,0 +1,150 @@
+//! Figs. 18–19 — Q–Q plots of T² values against critical distances.
+//!
+//! "Given 100 pairs of clusters of size 30 … Figure 18 and 19 show the
+//! quantile-quantile plot of 100 T² values and 100 critical distance
+//! values for 50 pairs of clusters with same mean and 50 pairs of clusters
+//! with different mean. Critical distance values are calculated from
+//! random F value\[s\] … (Eq. 20)."
+//!
+//! The expected picture: same-mean pairs sit at or below the `T² = c²`
+//! line (mergeable); different-mean pairs sit above it (separate). Both
+//! statistics are reported on the F scale (`T² / scale-factor`), matching
+//! the magnitudes printed in the paper's Tables 2–3.
+
+use qcluster_stats::hotelling::PooledScheme;
+use qcluster_stats::sampling::random_f;
+use qcluster_stats::{two_sample_t2, MultivariateNormal};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parameters of the Q–Q experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig1819Config {
+    /// Pairs per group (paper: 50 same-mean + 50 different-mean).
+    pub pairs_per_group: usize,
+    /// Cluster size (paper: 30).
+    pub cluster_size: usize,
+    /// Data dimensionality after reduction (paper's Q–Q uses 12).
+    pub dim: usize,
+    /// Mean separation of the "different" group.
+    pub separation: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig1819Config {
+    fn default() -> Self {
+        Fig1819Config {
+            pairs_per_group: 50,
+            cluster_size: 30,
+            dim: 12,
+            separation: 2.0,
+            seed: 99,
+        }
+    }
+}
+
+/// One Q–Q point set.
+#[derive(Debug, Clone)]
+pub struct Fig1819Result {
+    /// Sorted F-scaled T² values of the same-mean pairs.
+    pub t2_same: Vec<f64>,
+    /// Sorted F-scaled T² values of the different-mean pairs.
+    pub t2_diff: Vec<f64>,
+    /// Sorted random-F critical values (Eq. 20), one per pair.
+    pub critical: Vec<f64>,
+}
+
+/// Scale factor turning T² into an F statistic for `(p, m)`:
+/// `F = T² (m − p − 1) / (p (m − 2))`.
+pub fn f_scale(p: usize, m: f64) -> f64 {
+    (m - p as f64 - 1.0) / (p as f64 * (m - 2.0))
+}
+
+/// Runs the Q–Q experiment under one pooled-covariance scheme
+/// (Fig. 18: `FullInverse`; Fig. 19: `Diagonal`).
+pub fn run(config: &Fig1819Config, scheme: PooledScheme) -> Fig1819Result {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let p = config.dim;
+    let n = config.cluster_size;
+    let m = 2.0 * n as f64;
+    let scale = f_scale(p, m);
+    let d2 = m as usize - p - 1;
+
+    let sample_pair = |separated: bool, rng: &mut StdRng| -> f64 {
+        let mean_b = if separated {
+            let mut v = vec![0.0; p];
+            v[0] = config.separation;
+            v
+        } else {
+            vec![0.0; p]
+        };
+        let a = MultivariateNormal::standard(vec![0.0; p]).sample_matrix(rng, n);
+        let b = MultivariateNormal::standard(mean_b).sample_matrix(rng, n);
+        let test = two_sample_t2(&a, &b, 0.05, scheme).expect("t2 computes");
+        test.t2 * scale
+    };
+
+    let mut t2_same: Vec<f64> = (0..config.pairs_per_group)
+        .map(|_| sample_pair(false, &mut rng))
+        .collect();
+    let mut t2_diff: Vec<f64> = (0..config.pairs_per_group)
+        .map(|_| sample_pair(true, &mut rng))
+        .collect();
+    let mut critical: Vec<f64> = (0..2 * config.pairs_per_group)
+        .map(|_| random_f(&mut rng, p, d2))
+        .collect();
+
+    t2_same.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN"));
+    t2_diff.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN"));
+    critical.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN"));
+    Fig1819Result {
+        t2_same,
+        t2_diff,
+        critical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn median(xs: &[f64]) -> f64 {
+        xs[xs.len() / 2]
+    }
+
+    #[test]
+    fn same_mean_pairs_sit_near_the_f_line() {
+        for scheme in [PooledScheme::FullInverse, PooledScheme::Diagonal] {
+            let r = run(&Fig1819Config::default(), scheme);
+            // Median F-scaled T² of same-mean pairs ≈ median of random F.
+            let m_t2 = median(&r.t2_same);
+            let m_f = median(&r.critical);
+            assert!(
+                (m_t2 - m_f).abs() < 0.75,
+                "{scheme:?}: medians {m_t2} vs {m_f}"
+            );
+        }
+    }
+
+    #[test]
+    fn different_mean_pairs_sit_above_the_line() {
+        let r = run(&Fig1819Config::default(), PooledScheme::FullInverse);
+        // The smallest different-mean statistic should exceed the median
+        // critical value by a comfortable margin.
+        assert!(
+            r.t2_diff[0] > median(&r.critical),
+            "separated pairs not separated: {} vs {}",
+            r.t2_diff[0],
+            median(&r.critical)
+        );
+    }
+
+    #[test]
+    fn outputs_are_sorted() {
+        let r = run(&Fig1819Config::default(), PooledScheme::Diagonal);
+        for v in [&r.t2_same, &r.t2_diff, &r.critical] {
+            assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Fig. 6 — CPU cost of the inverse-matrix vs diagonal-matrix scheme.
+//!
+//! "Figure 6 compares the CPU cost of an inverse matrix scheme and a
+//! diagonal matrix scheme for the Qcluster approach when color moments are
+//! used as a feature. The diagonal matrix scheme … significantly
+//! outperforms the inverse matrix scheme in terms of CPU time."
+//!
+//! The driver runs the same query workload under both
+//! [`CovarianceScheme`]s and reports the mean per-iteration wall-clock
+//! time. The dominant asymptotic difference (O(p) vs O(p³) inversions plus
+//! O(p) vs O(p²) distance kernels) is hardware-independent, so the *shape*
+//! — diagonal ≪ inverse — carries over from the paper's Sun Ultra II.
+
+use crate::dataset::Dataset;
+use crate::session::FeedbackSession;
+use qcluster_core::{CovarianceScheme, QclusterConfig, QclusterEngine};
+use std::time::Duration;
+
+/// Parameters for the scheme-cost comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6Config {
+    /// Number of random initial queries (paper: 100).
+    pub num_queries: usize,
+    /// Feedback iterations after the initial query (paper: 5).
+    pub iterations: usize,
+    /// Result-set size (paper: 100).
+    pub k: usize,
+    /// RNG seed for query selection.
+    pub seed: u64,
+}
+
+impl Default for Fig6Config {
+    fn default() -> Self {
+        Fig6Config {
+            num_queries: 10,
+            iterations: 3,
+            k: 20,
+            seed: 17,
+        }
+    }
+}
+
+impl Fig6Config {
+    /// The paper's workload shape.
+    pub fn paper_scale() -> Self {
+        Fig6Config {
+            num_queries: 100,
+            iterations: 5,
+            k: 100,
+            seed: 17,
+        }
+    }
+}
+
+/// One row: per-iteration mean CPU time under both schemes.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6Row {
+    /// Iteration index (0 = initial query).
+    pub iteration: usize,
+    /// Mean wall-clock time with the diagonal scheme.
+    pub diagonal: Duration,
+    /// Mean wall-clock time with the full-inverse scheme.
+    pub inverse: Duration,
+}
+
+/// Runs the workload under one scheme, returning per-iteration mean times.
+fn run_scheme(
+    dataset: &Dataset,
+    config: &Fig6Config,
+    scheme: CovarianceScheme,
+) -> Vec<Duration> {
+    let session = FeedbackSession::new(dataset, config.k.min(dataset.len()));
+    let mut engine = QclusterEngine::new(QclusterConfig {
+        scheme,
+        ..QclusterConfig::default()
+    });
+    let mut totals = vec![Duration::ZERO; config.iterations + 1];
+    let queries = query_ids(dataset, config);
+    for &q in &queries {
+        let out = session
+            .run(&mut engine, q, config.iterations)
+            .expect("session runs");
+        for (i, rec) in out.iterations.iter().enumerate() {
+            totals[i] += rec.elapsed;
+        }
+    }
+    totals
+        .into_iter()
+        .map(|t| t / queries.len() as u32)
+        .collect()
+}
+
+/// Deterministic pseudo-random query image ids.
+pub(crate) fn query_ids(dataset: &Dataset, config: &Fig6Config) -> Vec<usize> {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    (0..config.num_queries)
+        .map(|_| rng.gen_range(0..dataset.len()))
+        .collect()
+}
+
+/// Runs the full comparison.
+pub fn run(dataset: &Dataset, config: &Fig6Config) -> Vec<Fig6Row> {
+    let diag = run_scheme(dataset, config, CovarianceScheme::default_diagonal());
+    let inv = run_scheme(dataset, config, CovarianceScheme::default_full());
+    diag.into_iter()
+        .zip(inv)
+        .enumerate()
+        .map(|(iteration, (diagonal, inverse))| Fig6Row {
+            iteration,
+            diagonal,
+            inverse,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcluster_imaging::FeatureKind;
+
+    #[test]
+    fn produces_one_row_per_iteration() {
+        let ds = Dataset::small_default(FeatureKind::ColorMoments, 3).unwrap();
+        let cfg = Fig6Config {
+            num_queries: 3,
+            iterations: 2,
+            k: 15,
+            seed: 1,
+        };
+        let rows = run(&ds, &cfg);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.diagonal > Duration::ZERO));
+        assert!(rows.iter().all(|r| r.inverse > Duration::ZERO));
+    }
+}

@@ -1,0 +1,120 @@
+//! Fig. 7 — execution cost of the three approaches.
+//!
+//! "The proposed Qcluster shows … similar performance with the multipoint
+//! approach and outperforms the centroid-based approach such as MARS and
+//! FALCON. This is because our k-NN search is based on the multipoint
+//! approach that saves the execution cost of an iteration by caching the
+//! information of index nodes generated during the previous iterations."
+//!
+//! The cost proxy is **simulated disk reads**: node accesses not served by
+//! the session's cross-iteration [`NodeCache`](qcluster_index::NodeCache).
+//! Qcluster runs with the
+//! cache (the multipoint approach); the centroid-style baselines (QPM,
+//! QEX) re-issue fresh queries each round, so they run without it.
+
+use crate::dataset::Dataset;
+use crate::experiments::fig6::{query_ids, Fig6Config};
+use crate::session::FeedbackSession;
+use qcluster_baselines::{QueryExpansion, QueryPointMovement, RetrievalMethod};
+use qcluster_core::{QclusterConfig, QclusterEngine};
+use std::time::Duration;
+
+/// Parameters (shared shape with Fig. 6's workload).
+pub type Fig7Config = Fig6Config;
+
+/// Per-iteration cost of one approach.
+#[derive(Debug, Clone)]
+pub struct ApproachCost {
+    /// Display name.
+    pub name: &'static str,
+    /// Mean simulated disk reads per iteration (index 0 = initial query).
+    pub disk_reads: Vec<f64>,
+    /// Mean wall-clock per iteration.
+    pub elapsed: Vec<Duration>,
+}
+
+/// Runs one approach over the workload.
+fn run_method(
+    dataset: &Dataset,
+    config: &Fig7Config,
+    method: &mut dyn RetrievalMethod,
+    with_cache: bool,
+) -> ApproachCost {
+    let mut session = FeedbackSession::new(dataset, config.k.min(dataset.len()));
+    if !with_cache {
+        session = session.without_node_cache();
+    }
+    let queries = query_ids(dataset, config);
+    let mut reads = vec![0.0; config.iterations + 1];
+    let mut times = vec![Duration::ZERO; config.iterations + 1];
+    for &q in &queries {
+        let out = session
+            .run(method, q, config.iterations)
+            .expect("session runs");
+        for (i, rec) in out.iterations.iter().enumerate() {
+            reads[i] += rec.stats.disk_reads as f64;
+            times[i] += rec.elapsed;
+        }
+    }
+    let n = queries.len() as f64;
+    ApproachCost {
+        name: method.name(),
+        disk_reads: reads.into_iter().map(|r| r / n).collect(),
+        elapsed: times
+            .into_iter()
+            .map(|t| t / queries.len() as u32)
+            .collect(),
+    }
+}
+
+/// Runs the three-approach comparison.
+pub fn run(dataset: &Dataset, config: &Fig7Config) -> Vec<ApproachCost> {
+    let mut qcluster = QclusterEngine::new(QclusterConfig::default());
+    let mut qpm = QueryPointMovement::new();
+    let mut qex = QueryExpansion::new();
+    vec![
+        run_method(dataset, config, &mut qcluster, true),
+        run_method(dataset, config, &mut qpm, false),
+        run_method(dataset, config, &mut qex, false),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcluster_imaging::FeatureKind;
+
+    #[test]
+    fn qcluster_saves_disk_reads_after_first_iteration() {
+        let ds = Dataset::small_default(FeatureKind::ColorMoments, 3).unwrap();
+        let cfg = Fig7Config {
+            num_queries: 5,
+            iterations: 3,
+            k: 20,
+            seed: 2,
+        };
+        let costs = run(&ds, &cfg);
+        assert_eq!(costs.len(), 3);
+        let qcluster = &costs[0];
+        assert_eq!(qcluster.name, "qcluster");
+        // Later iterations of the cached approach must be cheaper than its
+        // own cold first iteration.
+        let cold = qcluster.disk_reads[0];
+        let warm_max = qcluster.disk_reads[1..]
+            .iter()
+            .cloned()
+            .fold(0.0_f64, f64::max);
+        assert!(
+            warm_max <= cold * 1.5,
+            "warm iterations should not balloon: cold {cold}, warm {warm_max}"
+        );
+        // And the total cached cost should undercut the uncached baselines'.
+        let total = |c: &ApproachCost| c.disk_reads.iter().sum::<f64>();
+        assert!(
+            total(qcluster) <= total(&costs[1]) * 1.25,
+            "qcluster {} vs qpm {}",
+            total(qcluster),
+            total(&costs[1])
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Figs. 8–9 — precision–recall graphs of Qcluster per iteration.
+//!
+//! "Figure 8 and 9 show the precision-recall graphs for our method when
+//! color moments and co-occurrence matrix texture are used … one line is
+//! plotted per iteration. Each line is drawn with 100 points, each of
+//! which shows precision and recall as the number of retrieved images
+//! increases from 1 to 100." The paper's two observations to reproduce:
+//! quality improves every iteration, and the first iteration improves it
+//! the most (fast convergence).
+
+use crate::dataset::Dataset;
+use crate::experiments::fig6::{query_ids, Fig6Config};
+use crate::pr::{average_pr_curve, pr_curve, PrCurve};
+use crate::session::FeedbackSession;
+use qcluster_core::{QclusterConfig, QclusterEngine};
+
+/// Parameters (same workload shape as Fig. 6).
+pub type Fig89Config = Fig6Config;
+
+/// The averaged P–R curve of each iteration (index 0 = initial query).
+#[derive(Debug, Clone)]
+pub struct Fig89Result {
+    /// `curves[i]` is the average P–R curve after `i` feedback rounds.
+    pub curves: Vec<PrCurve>,
+}
+
+impl Fig89Result {
+    /// Area under the (recall, precision) polyline of iteration `i` —
+    /// a scalar summary used by the convergence checks.
+    pub fn aupr(&self, iteration: usize) -> f64 {
+        let c = &self.curves[iteration];
+        // Trapezoid over recall; curves are monotone in recall.
+        let mut area = 0.0;
+        for w in c.windows(2) {
+            let dr = w[1].recall - w[0].recall;
+            area += dr * 0.5 * (w[0].precision + w[1].precision);
+        }
+        area
+    }
+}
+
+/// Runs the per-iteration P–R measurement for Qcluster on `dataset`.
+pub fn run(dataset: &Dataset, config: &Fig89Config) -> Fig89Result {
+    let session = FeedbackSession::new(dataset, config.k.min(dataset.len()));
+    let mut engine = QclusterEngine::new(QclusterConfig::default());
+    let queries = query_ids(dataset, config);
+    let mut per_iteration: Vec<Vec<PrCurve>> = vec![Vec::new(); config.iterations + 1];
+    for &q in &queries {
+        let out = session
+            .run(&mut engine, q, config.iterations)
+            .expect("session runs");
+        let cat = dataset.category(q);
+        for (i, rec) in out.iterations.iter().enumerate() {
+            per_iteration[i].push(pr_curve(dataset, cat, &rec.retrieved));
+        }
+    }
+    Fig89Result {
+        curves: per_iteration
+            .into_iter()
+            .map(|cs| average_pr_curve(&cs))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcluster_imaging::FeatureKind;
+
+    #[test]
+    fn quality_improves_with_feedback() {
+        let ds = Dataset::small_default(FeatureKind::ColorMoments, 21).unwrap();
+        let cfg = Fig89Config {
+            num_queries: 8,
+            iterations: 3,
+            k: 24,
+            seed: 5,
+        };
+        let res = run(&ds, &cfg);
+        assert_eq!(res.curves.len(), 4);
+        let first = res.aupr(0);
+        let last = res.aupr(cfg.iterations);
+        assert!(
+            last >= first * 0.95,
+            "final AUPR {last} should not fall below initial {first}"
+        );
+    }
+
+    #[test]
+    fn curves_have_full_depth() {
+        let ds = Dataset::small_default(FeatureKind::CooccurrenceTexture, 21).unwrap();
+        let cfg = Fig89Config {
+            num_queries: 3,
+            iterations: 1,
+            k: 10,
+            seed: 5,
+        };
+        let res = run(&ds, &cfg);
+        assert!(res.curves.iter().all(|c| c.len() == 10));
+        for c in &res.curves {
+            for w in c.windows(2) {
+                assert!(w[1].recall >= w[0].recall, "recall must be monotone");
+            }
+        }
+    }
+}

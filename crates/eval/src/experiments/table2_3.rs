@@ -1,0 +1,226 @@
+//! Tables 2–3 — accuracy of the T² merge test, same vs different means,
+//! inverse vs diagonal pooled covariance, across PCA dimensions.
+//!
+//! "Given 100 pairs of clusters of size 30, 100 T² values and
+//! corresponding critical distance (c²) values are computed. Quantile-F
+//! values … are the critical distance values given by the 95th percentile
+//! F_{p,n−p}(0.05) … If \[the\] T² value is larger than \[the\] corresponding
+//! c² value, reject H₀." Table 2 holds the same-mean pairs (error =
+//! spurious rejection), Table 3 the different-mean pairs (error = missed
+//! rejection).
+//!
+//! Data generation follows Sec. 5: 16-dim Gaussians (spherical for the
+//! tables' reference runs) PCA-reduced to 12/9/6/3 with the retained
+//! "variation ratio" reported per row. Statistics are reported on the F
+//! scale like the paper's T² column (see `fig18_19::f_scale`).
+
+use crate::experiments::fig18_19::f_scale;
+use crate::synthetic::{ClusterShape, GaussianClusters};
+use qcluster_linalg::Matrix;
+use qcluster_stats::f_quantile;
+use qcluster_stats::hotelling::{two_sample_t2, PooledScheme};
+
+/// Parameters of the table experiment.
+#[derive(Debug, Clone)]
+pub struct Table23Config {
+    /// Pairs per grid cell (paper: 100).
+    pub pairs: usize,
+    /// Cluster size (paper: 30).
+    pub cluster_size: usize,
+    /// PCA target dimensions (paper: 12, 9, 6, 3 from ℝ¹⁶).
+    pub dims: Vec<usize>,
+    /// Mean separation of the different-mean group.
+    pub separation: f64,
+    /// Significance level (paper: 0.05).
+    pub alpha: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Table23Config {
+    fn default() -> Self {
+        Table23Config {
+            pairs: 40,
+            cluster_size: 30,
+            dims: vec![12, 9, 6, 3],
+            separation: 2.0,
+            alpha: 0.05,
+            seed: 4242,
+        }
+    }
+}
+
+impl Table23Config {
+    /// The paper's scale (100 pairs per cell).
+    pub fn paper_scale() -> Self {
+        Table23Config {
+            pairs: 100,
+            ..Self::default()
+        }
+    }
+}
+
+/// One table row.
+#[derive(Debug, Clone, Copy)]
+pub struct TableRow {
+    /// PCA dimension.
+    pub dim: usize,
+    /// Mean retained-variance ("variation ratio" column).
+    pub variation_ratio: f64,
+    /// Mean F-scaled T² over the pairs ("T²" column).
+    pub mean_t2: f64,
+    /// `F_{p, n−p}(α)` ("quantile-F" column).
+    pub quantile_f: f64,
+    /// Percentage of wrong verdicts ("error-ratio (%)" column).
+    pub error_ratio: f64,
+}
+
+/// Which population the pairs are drawn from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeanHypothesis {
+    /// Both clusters share one mean (Table 2; error = false rejection).
+    Same,
+    /// Means differ by `separation` (Table 3; error = missed rejection).
+    Different,
+}
+
+/// Runs one table (same- or different-mean) under one pooled scheme.
+pub fn run(
+    config: &Table23Config,
+    hypothesis: MeanHypothesis,
+    scheme: PooledScheme,
+) -> Vec<TableRow> {
+    let n = config.cluster_size;
+    let m = 2.0 * n as f64;
+    let mut rows = Vec::with_capacity(config.dims.len());
+    for (di, &dim) in config.dims.iter().enumerate() {
+        let scale = f_scale(dim, m);
+        let quantile_f = f_quantile(dim, 2 * n - dim, config.alpha);
+        let mut sum_t2 = 0.0;
+        let mut errors = 0usize;
+        let mut sum_ratio = 0.0;
+        for pair in 0..config.pairs {
+            let seed = config
+                .seed
+                .wrapping_add(pair as u64)
+                .wrapping_mul(di as u64 + 7)
+                .wrapping_add(match hypothesis {
+                    MeanHypothesis::Same => 0,
+                    MeanHypothesis::Different => 1_000_000,
+                });
+            // Two 16-dim clusters at the requested separation (0 for the
+            // same-mean table), reduced together so both live in one PCA
+            // basis — the same pipeline the engine uses.
+            let separation = match hypothesis {
+                MeanHypothesis::Same => 0.0,
+                MeanHypothesis::Different => config.separation,
+            };
+            let full = GaussianClusters::generate(
+                2,
+                n,
+                16,
+                separation.max(1e-9),
+                ClusterShape::Spherical,
+                seed,
+            );
+            let (reduced, ratio) = full.reduce(dim).expect("PCA reduces");
+            sum_ratio += ratio;
+            let (a, b) = split_pair(&reduced, n, dim);
+            let t = two_sample_t2(&a, &b, config.alpha, scheme).expect("t2 computes");
+            sum_t2 += t.t2 * scale;
+            let wrong = match hypothesis {
+                MeanHypothesis::Same => t.t2 * scale > quantile_f,
+                MeanHypothesis::Different => t.t2 * scale <= quantile_f,
+            };
+            if wrong {
+                errors += 1;
+            }
+        }
+        rows.push(TableRow {
+            dim,
+            variation_ratio: sum_ratio / config.pairs as f64,
+            mean_t2: sum_t2 / config.pairs as f64,
+            quantile_f,
+            error_ratio: 100.0 * errors as f64 / config.pairs as f64,
+        });
+    }
+    rows
+}
+
+fn split_pair(data: &GaussianClusters, n: usize, dim: usize) -> (Matrix, Matrix) {
+    let mut a = Matrix::zeros(n, dim);
+    let mut b = Matrix::zeros(n, dim);
+    let (mut ia, mut ib) = (0, 0);
+    for (p, &l) in data.points.iter().zip(&data.labels) {
+        if l == 0 {
+            a.row_mut(ia).copy_from_slice(p);
+            ia += 1;
+        } else {
+            b.row_mut(ib).copy_from_slice(p);
+            ib += 1;
+        }
+    }
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Table23Config {
+        Table23Config {
+            pairs: 25,
+            dims: vec![12, 3],
+            ..Table23Config::default()
+        }
+    }
+
+    #[test]
+    fn same_mean_error_is_near_alpha() {
+        for scheme in [PooledScheme::FullInverse, PooledScheme::Diagonal] {
+            let rows = run(&cfg(), MeanHypothesis::Same, scheme);
+            for row in &rows {
+                assert!(
+                    row.error_ratio <= 25.0,
+                    "{scheme:?} dim {}: error {}%",
+                    row.dim,
+                    row.error_ratio
+                );
+                // Mean F-scaled T² should be O(1), like the paper's
+                // 0.4–1.1 column.
+                assert!(row.mean_t2 < 3.0, "mean T² {}", row.mean_t2);
+            }
+        }
+    }
+
+    #[test]
+    fn different_mean_t2_is_large() {
+        let rows = run(&cfg(), MeanHypothesis::Different, PooledScheme::FullInverse);
+        for row in &rows {
+            assert!(
+                row.mean_t2 > row.quantile_f,
+                "dim {}: separated means not detected ({} <= {})",
+                row.dim,
+                row.mean_t2,
+                row.quantile_f
+            );
+            assert!(row.error_ratio <= 20.0);
+        }
+    }
+
+    #[test]
+    fn quantile_f_matches_paper_values() {
+        let rows = run(&cfg(), MeanHypothesis::Same, PooledScheme::Diagonal);
+        let q12 = rows.iter().find(|r| r.dim == 12).unwrap().quantile_f;
+        // Paper Table 2: quantile-F at dim 12 is 1.96 (F_{12,48}(0.05)).
+        assert!((q12 - 1.96).abs() < 0.02, "q12 = {q12}");
+    }
+
+    #[test]
+    fn variation_ratio_decreases_with_dim() {
+        let rows = run(&cfg(), MeanHypothesis::Same, PooledScheme::Diagonal);
+        let v12 = rows.iter().find(|r| r.dim == 12).unwrap().variation_ratio;
+        let v3 = rows.iter().find(|r| r.dim == 3).unwrap().variation_ratio;
+        assert!(v12 > v3);
+    }
+}

@@ -1,0 +1,234 @@
+//! Multi-feature retrieval: weighted fusion of per-feature rankings.
+//!
+//! The paper evaluates its features separately, but the MARS system it
+//! extends answers queries over **combinations** of features (color AND
+//! texture), weighting each feature's distance. This module provides that
+//! production capability: several [`Dataset`]s over the same image ids
+//! (one per feature space), a query per space, and a fused ranking by the
+//! normalized weighted sum of per-feature distances.
+//!
+//! Distance scales differ across feature spaces, so raw sums would let
+//! one feature dominate. Each feature's distances are normalized by their
+//! mean over the candidate pool before weighting — the standard MARS-era
+//! intra-/inter-feature normalization.
+
+use crate::dataset::Dataset;
+use qcluster_index::{Neighbor, QueryDistance};
+
+/// A stack of feature spaces over one image collection.
+#[derive(Debug, Clone)]
+pub struct MultiFeatureDataset {
+    features: Vec<Dataset>,
+}
+
+impl MultiFeatureDataset {
+    /// Bundles per-feature datasets. All must describe the same images:
+    /// equal lengths and identical category labelling.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty list or mismatched collections.
+    pub fn new(features: Vec<Dataset>) -> Self {
+        assert!(!features.is_empty(), "need at least one feature space");
+        let n = features[0].len();
+        for f in &features[1..] {
+            assert_eq!(f.len(), n, "feature spaces must cover the same images");
+            assert!(
+                (0..n).all(|i| f.category(i) == features[0].category(i)),
+                "feature spaces must share ground truth"
+            );
+        }
+        MultiFeatureDataset { features }
+    }
+
+    /// Number of feature spaces.
+    pub fn num_features(&self) -> usize {
+        self.features.len()
+    }
+
+    /// The `f`-th feature space.
+    pub fn feature(&self, f: usize) -> &Dataset {
+        &self.features[f]
+    }
+
+    /// Number of images.
+    pub fn len(&self) -> usize {
+        self.features[0].len()
+    }
+
+    /// `true` when the collection is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Category of image `id` (shared across feature spaces).
+    pub fn category(&self, id: usize) -> usize {
+        self.features[0].category(id)
+    }
+
+    /// Fused k-NN: for each image, each feature's distance is divided by
+    /// that feature's mean distance over the collection, then combined as
+    /// `Σ w_f · d̃_f`; the `k` smallest win.
+    ///
+    /// `queries` supplies one compiled query per feature space (same
+    /// order); `weights` the per-feature importances (non-negative, at
+    /// least one positive).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches, invalid weights, or `k == 0`.
+    pub fn knn_fused(
+        &self,
+        queries: &[&dyn QueryDistance],
+        weights: &[f64],
+        k: usize,
+    ) -> Vec<Neighbor> {
+        assert_eq!(queries.len(), self.features.len(), "one query per feature");
+        assert_eq!(weights.len(), self.features.len(), "one weight per feature");
+        assert!(weights.iter().all(|&w| w >= 0.0), "weights must be non-negative");
+        assert!(weights.iter().any(|&w| w > 0.0), "need a positive weight");
+        assert!(k > 0, "k must be positive");
+
+        let n = self.len();
+        let mut fused = vec![0.0; n];
+        for ((dataset, query), &w) in
+            self.features.iter().zip(queries.iter()).zip(weights.iter())
+        {
+            if w == 0.0 {
+                continue;
+            }
+            let mut dists = Vec::with_capacity(n);
+            let mut sum = 0.0;
+            for id in 0..n {
+                let d = query.distance(dataset.vector(id));
+                sum += d;
+                dists.push(d);
+            }
+            let mean = (sum / n as f64).max(1e-300);
+            for (acc, d) in fused.iter_mut().zip(dists.iter()) {
+                *acc += w * d / mean;
+            }
+        }
+        let mut out: Vec<Neighbor> = fused
+            .into_iter()
+            .enumerate()
+            .map(|(id, distance)| Neighbor { id, distance })
+            .collect();
+        out.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .expect("non-NaN distances")
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        out.truncate(k);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcluster_index::EuclideanQuery;
+
+    /// Two synthetic feature spaces over 4 categories × 5 images:
+    /// categories 0/1 are separable only in "color", 2/3 only in
+    /// "texture"; the other feature is uninformative noise-free overlap.
+    fn stack() -> MultiFeatureDataset {
+        let mut color = Vec::new();
+        let mut texture = Vec::new();
+        let mut cats = Vec::new();
+        for cat in 0..4usize {
+            for i in 0..5usize {
+                let jitter = i as f64 * 0.01;
+                let color_value = match cat {
+                    0 => 0.0,
+                    1 => 1.0,
+                    _ => 0.5, // categories 2/3 overlap in color
+                };
+                let texture_value = match cat {
+                    2 => 0.0,
+                    3 => 1.0,
+                    _ => 0.5, // categories 0/1 overlap in texture
+                };
+                color.push(vec![color_value + jitter]);
+                texture.push(vec![texture_value + jitter]);
+                cats.push(cat);
+            }
+        }
+        let supers = cats.clone();
+        MultiFeatureDataset::new(vec![
+            Dataset::from_parts(color, cats.clone(), supers.clone(), 5),
+            Dataset::from_parts(texture, cats, supers, 5),
+        ])
+    }
+
+    fn hits(mf: &MultiFeatureDataset, result: &[Neighbor], cat: usize) -> usize {
+        result.iter().filter(|n| mf.category(n.id) == cat).count()
+    }
+
+    #[test]
+    fn fusion_beats_single_features_when_both_matter() {
+        let mf = stack();
+        // Query image 0 (category 0): color separates it; texture is blind.
+        let qc = EuclideanQuery::new(mf.feature(0).vector(0).to_vec());
+        let qt = EuclideanQuery::new(mf.feature(1).vector(0).to_vec());
+        let color_only = mf.knn_fused(&[&qc, &qt], &[1.0, 0.0], 5);
+        let both = mf.knn_fused(&[&qc, &qt], &[1.0, 1.0], 5);
+        assert_eq!(hits(&mf, &color_only, 0), 5);
+        assert_eq!(hits(&mf, &both, 0), 5, "fusion must keep the color win");
+
+        // Query image 10 (category 2): texture separates it.
+        let qc = EuclideanQuery::new(mf.feature(0).vector(10).to_vec());
+        let qt = EuclideanQuery::new(mf.feature(1).vector(10).to_vec());
+        let texture_only = mf.knn_fused(&[&qc, &qt], &[0.0, 1.0], 5);
+        let both = mf.knn_fused(&[&qc, &qt], &[1.0, 1.0], 5);
+        assert_eq!(hits(&mf, &texture_only, 2), 5);
+        assert_eq!(hits(&mf, &both, 2), 5, "fusion must keep the texture win");
+    }
+
+    #[test]
+    fn blind_feature_alone_cannot_separate() {
+        let mf = stack();
+        // Texture alone cannot distinguish category 0 from 1.
+        let qt = EuclideanQuery::new(mf.feature(1).vector(0).to_vec());
+        let qc = EuclideanQuery::new(mf.feature(0).vector(0).to_vec());
+        let texture_only = mf.knn_fused(&[&qc, &qt], &[0.0, 1.0], 10);
+        let cat0 = hits(&mf, &texture_only, 0);
+        let cat1 = hits(&mf, &texture_only, 1);
+        assert!(cat0 + cat1 == 10, "blind feature mixes the two categories");
+        assert!(cat1 > 0, "category 1 leaks in without the color feature");
+    }
+
+    #[test]
+    fn results_are_sorted_and_unique() {
+        let mf = stack();
+        let qc = EuclideanQuery::new(mf.feature(0).vector(3).to_vec());
+        let qt = EuclideanQuery::new(mf.feature(1).vector(3).to_vec());
+        let out = mf.knn_fused(&[&qc, &qt], &[0.7, 0.3], 20);
+        assert_eq!(out.len(), 20);
+        for w in out.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+        let mut ids: Vec<usize> = out.iter().map(|n| n.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "share ground truth")]
+    fn mismatched_labels_rejected() {
+        let a = Dataset::from_parts(vec![vec![0.0], vec![1.0]], vec![0, 0], vec![0, 0], 2);
+        let b = Dataset::from_parts(vec![vec![0.0], vec![1.0]], vec![0, 1], vec![0, 0], 1);
+        let _ = MultiFeatureDataset::new(vec![a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "need a positive weight")]
+    fn zero_weights_rejected() {
+        let mf = stack();
+        let qc = EuclideanQuery::new(mf.feature(0).vector(0).to_vec());
+        let qt = EuclideanQuery::new(mf.feature(1).vector(0).to_vec());
+        let _ = mf.knn_fused(&[&qc, &qt], &[0.0, 0.0], 5);
+    }
+}

@@ -1,0 +1,43 @@
+//! Evaluation harness for the Qcluster reproduction.
+//!
+//! This crate turns the substrates (imaging, index, core, baselines) into
+//! the paper's experiments:
+//!
+//! - [`dataset`] — an indexed image database with ground truth.
+//! - [`oracle`] — the category-based relevance oracle (Sec. 5: "images
+//!   from the same category are considered most relevant and images from
+//!   related categories … are considered relevant").
+//! - [`user`] — the simulated user that scores retrieved images.
+//! - [`pr`] — precision/recall machinery and averaging over query sets.
+//! - [`session`] — the feedback-session driver: initial k-NN, user marks,
+//!   method refines, repeat.
+//! - [`synthetic`] — the synthetic data generators of Sec. 5 (uniform
+//!   cube for Fig. 5, spherical/elliptical Gaussian clusters in ℝ¹⁶ for
+//!   Figs. 14–19 and Tables 2–3).
+//! - [`experiments`] — one driver per paper figure/table, each returning
+//!   printable structured rows (consumed by the `repro` binary and the
+//!   criterion benches).
+
+#![warn(missing_docs)]
+// Indexed loops over multiple parallel buffers are the clearest (and often
+// fastest) form for the dense numeric kernels in this workspace.
+#![allow(clippy::needless_range_loop)]
+
+pub mod dataset;
+pub mod diagnostics;
+pub mod experiments;
+pub mod fusion;
+pub mod oracle;
+pub mod persist;
+pub mod pr;
+pub mod session;
+pub mod synthetic;
+pub mod user;
+
+pub use dataset::Dataset;
+pub use fusion::MultiFeatureDataset;
+pub use oracle::RelevanceOracle;
+pub use persist::{load_dataset, save_dataset};
+pub use pr::{average_pr_curve, pr_at, PrCurve, PrPoint};
+pub use session::{FeedbackSession, IterationRecord, SessionOutcome};
+pub use user::SimulatedUser;

@@ -1,0 +1,126 @@
+//! The category-based relevance oracle (paper Sec. 5).
+//!
+//! "We use high-level category information as the ground truth to obtain
+//! the relevance feedback … images from the same category are considered
+//! most relevant and images from related categories (such as flowers and
+//! plants) are considered relevant."
+//!
+//! Scores: 3 for same category, 1 for same super-category (the "related"
+//! grade), 0 otherwise. Precision/recall use the **binary** same-category
+//! ground truth — the graded scores exist to weight the feedback, not to
+//! redefine the target set.
+
+use crate::dataset::Dataset;
+
+/// Relevance score for the most relevant grade (same category).
+pub const SCORE_SAME_CATEGORY: f64 = 3.0;
+/// Relevance score for the related grade (same super-category).
+pub const SCORE_RELATED: f64 = 1.0;
+
+/// Ground-truth relevance judgements for one dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct RelevanceOracle<'a> {
+    dataset: &'a Dataset,
+}
+
+impl<'a> RelevanceOracle<'a> {
+    /// Creates an oracle over `dataset`.
+    pub fn new(dataset: &'a Dataset) -> Self {
+        RelevanceOracle { dataset }
+    }
+
+    /// The graded relevance score of `image` for a query of
+    /// `query_category`: 3, 1, or 0.
+    pub fn score(&self, query_category: usize, image: usize) -> f64 {
+        if self.dataset.category(image) == query_category {
+            SCORE_SAME_CATEGORY
+        } else if self.same_super(query_category, image) {
+            SCORE_RELATED
+        } else {
+            0.0
+        }
+    }
+
+    /// Binary ground truth used by precision/recall: same category only.
+    pub fn is_relevant(&self, query_category: usize, image: usize) -> bool {
+        self.dataset.category(image) == query_category
+    }
+
+    /// Whether `image` is "related" (same super-category, different
+    /// category).
+    pub fn same_super(&self, query_category: usize, image: usize) -> bool {
+        let img_cat = self.dataset.category(image);
+        if img_cat == query_category {
+            return false;
+        }
+        // Find the super-category of the query category via any image
+        // labelled with it — categories are contiguous blocks.
+        let per = self.dataset.images_per_category();
+        let probe = query_category * per;
+        self.dataset.super_category(image) == self.dataset.super_category(probe)
+    }
+
+    /// Total number of relevant images for a query of `query_category`
+    /// (the recall denominator).
+    pub fn total_relevant(&self, _query_category: usize) -> usize {
+        self.dataset.images_per_category()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Dataset {
+        // 3 categories × 2 images; categories 0 and 1 share super 0.
+        Dataset::from_parts(
+            vec![
+                vec![0.0],
+                vec![0.1],
+                vec![1.0],
+                vec![1.1],
+                vec![5.0],
+                vec![5.1],
+            ],
+            vec![0, 0, 1, 1, 2, 2],
+            vec![0, 0, 0, 0, 1, 1],
+            2,
+        )
+    }
+
+    #[test]
+    fn grades_follow_category_structure() {
+        let ds = dataset();
+        let o = RelevanceOracle::new(&ds);
+        assert_eq!(o.score(0, 0), SCORE_SAME_CATEGORY);
+        assert_eq!(o.score(0, 1), SCORE_SAME_CATEGORY);
+        assert_eq!(o.score(0, 2), SCORE_RELATED);
+        assert_eq!(o.score(0, 4), 0.0);
+    }
+
+    #[test]
+    fn binary_relevance_is_same_category_only() {
+        let ds = dataset();
+        let o = RelevanceOracle::new(&ds);
+        assert!(o.is_relevant(0, 1));
+        assert!(!o.is_relevant(0, 2));
+        assert!(!o.is_relevant(0, 4));
+    }
+
+    #[test]
+    fn recall_denominator_is_category_size() {
+        let ds = dataset();
+        let o = RelevanceOracle::new(&ds);
+        assert_eq!(o.total_relevant(0), 2);
+        assert_eq!(o.total_relevant(2), 2);
+    }
+
+    #[test]
+    fn related_requires_same_super_different_category() {
+        let ds = dataset();
+        let o = RelevanceOracle::new(&ds);
+        assert!(o.same_super(0, 2));
+        assert!(!o.same_super(0, 0));
+        assert!(!o.same_super(0, 4));
+    }
+}

@@ -1,0 +1,197 @@
+//! Dataset persistence.
+//!
+//! Building a dataset is the expensive step of every experiment: rendering
+//! tens of thousands of images and extracting color-moment/GLCM features
+//! takes orders of magnitude longer than the retrieval runs themselves.
+//! This module serializes a prepared [`Dataset`] (vectors + ground truth;
+//! the index is rebuilt on load, which is fast) to JSON, so a corpus can
+//! be prepared once and reused across experiment invocations and by
+//! external tooling.
+
+use crate::dataset::Dataset;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// The serialized form of a dataset (index excluded — rebuilt on load).
+#[derive(Debug, Serialize, Deserialize)]
+struct DatasetFile {
+    /// Format version for forward compatibility.
+    version: u32,
+    vectors: Vec<Vec<f64>>,
+    categories: Vec<usize>,
+    super_categories: Vec<usize>,
+    images_per_category: usize,
+}
+
+const FORMAT_VERSION: u32 = 1;
+
+/// Errors from dataset persistence.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Malformed or incompatible file contents.
+    Format(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "I/O failure: {e}"),
+            PersistError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Format(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Serializes a dataset to a JSON writer.
+///
+/// # Errors
+///
+/// I/O failures; serialization itself cannot fail for this data model.
+pub fn write_dataset<W: Write>(dataset: &Dataset, mut writer: W) -> Result<(), PersistError> {
+    let file = DatasetFile {
+        version: FORMAT_VERSION,
+        vectors: dataset.vectors().to_vec(),
+        categories: (0..dataset.len()).map(|i| dataset.category(i)).collect(),
+        super_categories: (0..dataset.len()).map(|i| dataset.super_category(i)).collect(),
+        images_per_category: dataset.images_per_category(),
+    };
+    let json = serde_json::to_string(&file)
+        .map_err(|e| PersistError::Format(e.to_string()))?;
+    writer.write_all(json.as_bytes())?;
+    Ok(())
+}
+
+/// Deserializes a dataset from a JSON reader, rebuilding the index.
+///
+/// # Errors
+///
+/// I/O failures, malformed JSON, wrong format version, or inconsistent
+/// label lengths.
+pub fn read_dataset<R: Read>(mut reader: R) -> Result<Dataset, PersistError> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf)?;
+    let file: DatasetFile =
+        serde_json::from_str(&buf).map_err(|e| PersistError::Format(e.to_string()))?;
+    if file.version != FORMAT_VERSION {
+        return Err(PersistError::Format(format!(
+            "unsupported format version {} (expected {FORMAT_VERSION})",
+            file.version
+        )));
+    }
+    if file.vectors.is_empty() {
+        return Err(PersistError::Format("empty dataset".into()));
+    }
+    if file.vectors.len() != file.categories.len()
+        || file.vectors.len() != file.super_categories.len()
+    {
+        return Err(PersistError::Format("label length mismatch".into()));
+    }
+    Ok(Dataset::from_parts(
+        file.vectors,
+        file.categories,
+        file.super_categories,
+        file.images_per_category,
+    ))
+}
+
+/// Saves a dataset to a file.
+///
+/// # Errors
+///
+/// See [`write_dataset`].
+pub fn save_dataset(dataset: &Dataset, path: &Path) -> Result<(), PersistError> {
+    let file = std::fs::File::create(path)?;
+    write_dataset(dataset, std::io::BufWriter::new(file))
+}
+
+/// Loads a dataset from a file.
+///
+/// # Errors
+///
+/// See [`read_dataset`].
+pub fn load_dataset(path: &Path) -> Result<Dataset, PersistError> {
+    let file = std::fs::File::open(path)?;
+    read_dataset(std::io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcluster_imaging::FeatureKind;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let ds = Dataset::small_default(FeatureKind::ColorMoments, 3).unwrap();
+        let mut buf = Vec::new();
+        write_dataset(&ds, &mut buf).unwrap();
+        let loaded = read_dataset(buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), ds.len());
+        assert_eq!(loaded.dim(), ds.dim());
+        assert_eq!(loaded.images_per_category(), ds.images_per_category());
+        for i in 0..ds.len() {
+            assert_eq!(loaded.vector(i), ds.vector(i));
+            assert_eq!(loaded.category(i), ds.category(i));
+            assert_eq!(loaded.super_category(i), ds.super_category(i));
+        }
+        // Rebuilt index answers identically.
+        let q = qcluster_index::EuclideanQuery::new(ds.vector(0).to_vec());
+        let (a, _) = ds.tree().knn(&q, 10, None);
+        let (b, _) = loaded.tree().knn(&q, 10, None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(matches!(
+            read_dataset("not json".as_bytes()),
+            Err(PersistError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let json = r#"{"version":99,"vectors":[[0.0]],"categories":[0],"super_categories":[0],"images_per_category":1}"#;
+        assert!(matches!(
+            read_dataset(json.as_bytes()),
+            Err(PersistError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_inconsistent_labels() {
+        let json = r#"{"version":1,"vectors":[[0.0],[1.0]],"categories":[0],"super_categories":[0,0],"images_per_category":1}"#;
+        assert!(matches!(
+            read_dataset(json.as_bytes()),
+            Err(PersistError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let ds = Dataset::small_default(FeatureKind::ColorMoments, 4).unwrap();
+        let dir = std::env::temp_dir().join("qcluster_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.json");
+        save_dataset(&ds, &path).unwrap();
+        let loaded = load_dataset(&path).unwrap();
+        assert_eq!(loaded.len(), ds.len());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,162 @@
+//! Precision/recall machinery (paper Figs. 8–13).
+//!
+//! The paper's precision–recall graphs plot, per feedback iteration, 100
+//! points "each of which shows precision and recall as the number of
+//! retrieved images increases from 1 to 100", averaged over 100 random
+//! queries.
+
+use crate::dataset::Dataset;
+use crate::oracle::RelevanceOracle;
+
+/// One (recall, precision) point at a retrieval depth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    /// Retrieval depth `n` (1-based).
+    pub n: usize,
+    /// Recall at `n`.
+    pub recall: f64,
+    /// Precision at `n`.
+    pub precision: f64,
+}
+
+/// A full precision–recall curve: one point per retrieval depth.
+pub type PrCurve = Vec<PrPoint>;
+
+/// Precision and recall at a single depth `n` of one ranked list.
+///
+/// # Panics
+///
+/// Panics when `n == 0` or exceeds the ranking length.
+pub fn pr_at(
+    dataset: &Dataset,
+    query_category: usize,
+    ranking: &[usize],
+    n: usize,
+) -> PrPoint {
+    assert!(n > 0 && n <= ranking.len(), "depth out of range");
+    let oracle = RelevanceOracle::new(dataset);
+    let hits = ranking[..n]
+        .iter()
+        .filter(|&&id| oracle.is_relevant(query_category, id))
+        .count();
+    let total = oracle.total_relevant(query_category);
+    PrPoint {
+        n,
+        recall: hits as f64 / total as f64,
+        precision: hits as f64 / n as f64,
+    }
+}
+
+/// The whole curve for one ranked list (depths `1..=ranking.len()`).
+pub fn pr_curve(dataset: &Dataset, query_category: usize, ranking: &[usize]) -> PrCurve {
+    let oracle = RelevanceOracle::new(dataset);
+    let total = oracle.total_relevant(query_category) as f64;
+    let mut hits = 0usize;
+    ranking
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| {
+            if oracle.is_relevant(query_category, id) {
+                hits += 1;
+            }
+            PrPoint {
+                n: i + 1,
+                recall: hits as f64 / total,
+                precision: hits as f64 / (i + 1) as f64,
+            }
+        })
+        .collect()
+}
+
+/// Averages several equal-length curves point-wise (the "averaged over 100
+/// queries" step).
+///
+/// # Panics
+///
+/// Panics on an empty set or ragged curve lengths.
+pub fn average_pr_curve(curves: &[PrCurve]) -> PrCurve {
+    assert!(!curves.is_empty(), "need at least one curve");
+    let len = curves[0].len();
+    assert!(
+        curves.iter().all(|c| c.len() == len),
+        "curves must have equal length"
+    );
+    (0..len)
+        .map(|i| {
+            let inv = 1.0 / curves.len() as f64;
+            PrPoint {
+                n: curves[0][i].n,
+                recall: curves.iter().map(|c| c[i].recall).sum::<f64>() * inv,
+                precision: curves.iter().map(|c| c[i].precision).sum::<f64>() * inv,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Dataset {
+        // Category 0 has 3 images (ids 0–2), category 1 has 3 (ids 3–5).
+        Dataset::from_parts(
+            (0..6).map(|i| vec![i as f64]).collect(),
+            vec![0, 0, 0, 1, 1, 1],
+            vec![0, 0, 0, 0, 0, 0],
+            3,
+        )
+    }
+
+    #[test]
+    fn perfect_ranking_has_unit_precision() {
+        let ds = dataset();
+        let curve = pr_curve(&ds, 0, &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(curve[0].precision, 1.0);
+        assert_eq!(curve[2].precision, 1.0);
+        assert_eq!(curve[2].recall, 1.0);
+        // After all relevant found, precision decays.
+        assert!((curve[5].precision - 0.5).abs() < 1e-12);
+        assert_eq!(curve[5].recall, 1.0);
+    }
+
+    #[test]
+    fn worst_ranking_has_zero_prefix() {
+        let ds = dataset();
+        let curve = pr_curve(&ds, 0, &[3, 4, 5, 0, 1, 2]);
+        assert_eq!(curve[2].precision, 0.0);
+        assert_eq!(curve[2].recall, 0.0);
+        assert_eq!(curve[5].recall, 1.0);
+    }
+
+    #[test]
+    fn pr_at_matches_curve() {
+        let ds = dataset();
+        let ranking = [0, 3, 1, 4, 2, 5];
+        let curve = pr_curve(&ds, 0, &ranking);
+        for n in 1..=6 {
+            let p = pr_at(&ds, 0, &ranking, n);
+            assert_eq!(p, curve[n - 1]);
+        }
+    }
+
+    #[test]
+    fn averaging_is_pointwise() {
+        let ds = dataset();
+        let c1 = pr_curve(&ds, 0, &[0, 1, 2, 3, 4, 5]);
+        let c2 = pr_curve(&ds, 0, &[3, 4, 5, 0, 1, 2]);
+        let avg = average_pr_curve(&[c1.clone(), c2.clone()]);
+        for i in 0..6 {
+            assert!(
+                (avg[i].precision - 0.5 * (c1[i].precision + c2[i].precision)).abs()
+                    < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "depth out of range")]
+    fn zero_depth_panics() {
+        let ds = dataset();
+        let _ = pr_at(&ds, 0, &[0, 1], 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! The feedback-session driver (paper Sec. 5 protocol).
+//!
+//! One session reproduces the paper's measurement loop: an initial k-NN
+//! from the query example, then `iterations` rounds of
+//! *mark-relevant → refine → re-query*. Every approach (Qcluster and all
+//! baselines) runs through the same driver via
+//! [`RetrievalMethod`], with the same simulated user, so the comparisons
+//! of Figs. 7 and 10–13 differ only in the refinement strategy.
+//!
+//! The driver optionally threads a [`NodeCache`] through the session —
+//! the multipoint approach's cross-iteration buffer whose effect Fig. 7
+//! measures.
+
+use crate::dataset::Dataset;
+use crate::user::SimulatedUser;
+use qcluster_baselines::RetrievalMethod;
+use qcluster_core::FeedbackPoint;
+use qcluster_index::{EuclideanQuery, NodeCache, SearchStats};
+use std::time::{Duration, Instant};
+
+/// What one retrieval round produced.
+#[derive(Debug, Clone)]
+pub struct IterationRecord {
+    /// Ranked retrieved image ids (best first), length ≤ k.
+    pub retrieved: Vec<usize>,
+    /// Tree-search statistics of this round.
+    pub stats: SearchStats,
+    /// Wall-clock time of the k-NN search plus query compilation.
+    pub elapsed: Duration,
+    /// How many retrieved images the user marked relevant.
+    pub num_marked: usize,
+}
+
+/// A completed session: the initial round plus each feedback round.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// `iterations[0]` is the initial query; `iterations[i]` the result
+    /// after `i` rounds of feedback.
+    pub iterations: Vec<IterationRecord>,
+}
+
+impl SessionOutcome {
+    /// Total simulated disk reads across the session.
+    pub fn total_disk_reads(&self) -> u64 {
+        self.iterations.iter().map(|r| r.stats.disk_reads).sum()
+    }
+
+    /// Total wall-clock time across the session.
+    pub fn total_elapsed(&self) -> Duration {
+        self.iterations.iter().map(|r| r.elapsed).sum()
+    }
+}
+
+/// Drives feedback sessions over one dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct FeedbackSession<'a> {
+    dataset: &'a Dataset,
+    /// Result-set size `k` (the paper fixes k = 100).
+    pub k: usize,
+    /// Whether to thread the multipoint node cache across iterations.
+    pub use_node_cache: bool,
+}
+
+impl<'a> FeedbackSession<'a> {
+    /// Creates a session driver with the paper's defaults for this
+    /// dataset scale.
+    pub fn new(dataset: &'a Dataset, k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        FeedbackSession {
+            dataset,
+            k,
+            use_node_cache: true,
+        }
+    }
+
+    /// Disables the cross-iteration node cache (fresh I/O every round —
+    /// the centroid-approach accounting of Fig. 7).
+    pub fn without_node_cache(mut self) -> Self {
+        self.use_node_cache = false;
+        self
+    }
+
+    /// Runs `feedback_rounds` rounds of relevance feedback with `method`
+    /// for a query whose example image is `query_image`.
+    ///
+    /// The method is `reset` first, so one method instance can serve many
+    /// queries. If a round marks nothing relevant, the query example
+    /// itself is fed (score 3) so every method always has at least one
+    /// relevant point — mirroring that the user's example is trivially
+    /// relevant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates method failures.
+    pub fn run(
+        &self,
+        method: &mut dyn RetrievalMethod,
+        query_image: usize,
+        feedback_rounds: usize,
+    ) -> qcluster_core::Result<SessionOutcome> {
+        method.reset();
+        let query_category = self.dataset.category(query_image);
+        let user = SimulatedUser::new(self.dataset, query_category);
+        let mut cache = self
+            .use_node_cache
+            .then(|| NodeCache::new(self.dataset.tree().num_nodes()));
+        let mut iterations = Vec::with_capacity(feedback_rounds + 1);
+
+        // Initial round: plain k-NN from the example image.
+        let t0 = Instant::now();
+        let initial = EuclideanQuery::new(self.dataset.vector(query_image).to_vec());
+        let (neighbors, stats) =
+            self.dataset.tree().knn(&initial, self.k, cache.as_mut());
+        let retrieved: Vec<usize> = neighbors.iter().map(|n| n.id).collect();
+        let mut marked = user.mark(&retrieved);
+        Self::ensure_nonempty(&mut marked, self.dataset, query_image);
+        iterations.push(IterationRecord {
+            num_marked: marked.len(),
+            retrieved,
+            stats,
+            elapsed: t0.elapsed(),
+        });
+
+        for _ in 0..feedback_rounds {
+            let t = Instant::now();
+            method.feed(&marked)?;
+            let query = method.query()?;
+            let (neighbors, stats) =
+                self.dataset.tree().knn(&query, self.k, cache.as_mut());
+            let retrieved: Vec<usize> = neighbors.iter().map(|n| n.id).collect();
+            marked = user.mark(&retrieved);
+            Self::ensure_nonempty(&mut marked, self.dataset, query_image);
+            iterations.push(IterationRecord {
+                num_marked: marked.len(),
+                retrieved,
+                stats,
+                elapsed: t.elapsed(),
+            });
+        }
+        Ok(SessionOutcome { iterations })
+    }
+
+    fn ensure_nonempty(marked: &mut Vec<FeedbackPoint>, dataset: &Dataset, query: usize) {
+        if marked.is_empty() {
+            marked.push(FeedbackPoint::new(
+                query,
+                dataset.vector(query).to_vec(),
+                crate::oracle::SCORE_SAME_CATEGORY,
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcluster_core::{QclusterConfig, QclusterEngine};
+    use qcluster_imaging::FeatureKind;
+
+    fn dataset() -> Dataset {
+        Dataset::small_default(FeatureKind::ColorMoments, 9).unwrap()
+    }
+
+    #[test]
+    fn session_produces_expected_round_count() {
+        let ds = dataset();
+        let session = FeedbackSession::new(&ds, 20);
+        let mut engine = QclusterEngine::new(QclusterConfig::default());
+        let out = session.run(&mut engine, 0, 3).unwrap();
+        assert_eq!(out.iterations.len(), 4);
+        assert!(out.iterations.iter().all(|r| r.retrieved.len() == 20));
+    }
+
+    #[test]
+    fn feedback_improves_precision_on_average() {
+        let ds = dataset();
+        let session = FeedbackSession::new(&ds, 20);
+        let mut engine = QclusterEngine::new(QclusterConfig::default());
+        let mut init_hits = 0usize;
+        let mut final_hits = 0usize;
+        for q in [0usize, 24, 50, 75, 100, 130] {
+            let out = session.run(&mut engine, q, 3).unwrap();
+            let cat = ds.category(q);
+            let count = |r: &IterationRecord| {
+                r.retrieved.iter().filter(|&&id| ds.category(id) == cat).count()
+            };
+            init_hits += count(&out.iterations[0]);
+            final_hits += count(out.iterations.last().unwrap());
+        }
+        assert!(
+            final_hits >= init_hits,
+            "feedback should not hurt: {init_hits} -> {final_hits}"
+        );
+    }
+
+    #[test]
+    fn node_cache_reduces_disk_reads() {
+        let ds = dataset();
+        let mut engine = QclusterEngine::new(QclusterConfig::default());
+        let cached = FeedbackSession::new(&ds, 20)
+            .run(&mut engine, 0, 3)
+            .unwrap();
+        let fresh = FeedbackSession::new(&ds, 20)
+            .without_node_cache()
+            .run(&mut engine, 0, 3)
+            .unwrap();
+        assert!(
+            cached.total_disk_reads() <= fresh.total_disk_reads(),
+            "cache must not increase reads: {} vs {}",
+            cached.total_disk_reads(),
+            fresh.total_disk_reads()
+        );
+    }
+
+    #[test]
+    fn baselines_run_through_the_same_driver() {
+        let ds = dataset();
+        let session = FeedbackSession::new(&ds, 15);
+        let mut qpm = qcluster_baselines::QueryPointMovement::new();
+        let mut qex = qcluster_baselines::QueryExpansion::new();
+        let mut falcon = qcluster_baselines::Falcon::new();
+        for m in [
+            &mut qpm as &mut dyn RetrievalMethod,
+            &mut qex,
+            &mut falcon,
+        ] {
+            let out = session.run(m, 10, 2).unwrap();
+            assert_eq!(out.iterations.len(), 3, "{}", m.name());
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Synthetic data generators for the paper's controlled experiments.
+//!
+//! - [`uniform_cube`] — "10,000 points in ℝ³, randomly distributed
+//!   uniformly within the axis-aligned cube (−2,−2,−2) ~ (2,2,2)"
+//!   (Example 3 / Fig. 5).
+//! - [`GaussianClusters`] — "synthetic data in ℝ¹⁶ … 3 clusters and
+//!   their inter-cluster distance values vary from 0.5 to 2.5"; spherical
+//!   (`z ~ N(0, I)`) or elliptical (`y = A·z`, `COV(y) = A·Aᵀ`) shapes
+//!   (Sec. 5, Figs. 14–17). PCA then reduces 16 → 12/9/6/3 dims.
+
+use qcluster_linalg::{Matrix, Pca};
+use qcluster_stats::{GaussianSampler, MultivariateNormal};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform points in the axis-aligned cube `[lo, hi]^dim`.
+pub fn uniform_cube(n: usize, dim: usize, lo: f64, hi: f64, seed: u64) -> Vec<Vec<f64>> {
+    assert!(hi > lo, "invalid cube bounds");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen_range(lo..hi)).collect())
+        .collect()
+}
+
+/// The cluster geometry of the classification/merging experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterShape {
+    /// `z ~ N(μ, I)` — spherical clusters.
+    Spherical,
+    /// `y = A·z` for a random well-conditioned `A` — elliptical clusters
+    /// with covariance `A·Aᵀ` shared by all clusters.
+    Elliptical,
+}
+
+/// Labelled synthetic Gaussian clusters in ℝ^dim.
+#[derive(Debug, Clone)]
+pub struct GaussianClusters {
+    /// One row per point.
+    pub points: Vec<Vec<f64>>,
+    /// Cluster label per point.
+    pub labels: Vec<usize>,
+    /// The true cluster means.
+    pub means: Vec<Vec<f64>>,
+}
+
+impl GaussianClusters {
+    /// Generates `num_clusters` clusters of `points_per_cluster` points in
+    /// `dim` dimensions with pairwise mean separation `inter_distance`
+    /// (Euclidean, before any linear map).
+    ///
+    /// Cluster means sit at `inter_distance`-scaled corners of a simplex
+    /// along distinct axes, so every pair is equally separated. For
+    /// [`ClusterShape::Elliptical`] one random map `A` (orthogonal times
+    /// anisotropic scaling in `[0.5, 2]`) is applied to all points and
+    /// means, exactly the paper's `y = A·z` construction.
+    pub fn generate(
+        num_clusters: usize,
+        points_per_cluster: usize,
+        dim: usize,
+        inter_distance: f64,
+        shape: ClusterShape,
+        seed: u64,
+    ) -> Self {
+        assert!(num_clusters >= 1 && num_clusters <= dim, "need clusters <= dim");
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Simplex-like means: cluster c sits at inter_distance/√2 on axis c,
+        // giving pairwise distance exactly inter_distance.
+        let scale = inter_distance / std::f64::consts::SQRT_2;
+        let mut means: Vec<Vec<f64>> = (0..num_clusters)
+            .map(|c| {
+                let mut m = vec![0.0; dim];
+                m[c] = scale;
+                m
+            })
+            .collect();
+
+        let mut points = Vec::with_capacity(num_clusters * points_per_cluster);
+        let mut labels = Vec::with_capacity(num_clusters * points_per_cluster);
+        for (c, mean) in means.iter().enumerate() {
+            let mut mvn = MultivariateNormal::standard(mean.clone());
+            for _ in 0..points_per_cluster {
+                points.push(mvn.sample(&mut rng));
+                labels.push(c);
+            }
+        }
+
+        if shape == ClusterShape::Elliptical {
+            let a = random_linear_map(dim, &mut rng);
+            for p in &mut points {
+                *p = a.matvec(p);
+            }
+            for m in &mut means {
+                *m = a.matvec(m);
+            }
+        }
+        GaussianClusters {
+            points,
+            labels,
+            means,
+        }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// PCA-projects all points to `k` dimensions (fitted on this data),
+    /// returning the projected copy — the paper's 16 → 12/9/6/3 reduction
+    /// plus the retained-variance ratio reported in Tables 2–3.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PCA failures.
+    pub fn reduce(&self, k: usize) -> qcluster_linalg::Result<(GaussianClusters, f64)> {
+        let rows: Vec<&[f64]> = self.points.iter().map(|p| p.as_slice()).collect();
+        let data = Matrix::from_rows(&rows);
+        let pca = Pca::fit(&data)?;
+        let projected = self
+            .points
+            .iter()
+            .map(|p| pca.transform(p, k))
+            .collect();
+        let means = self.means.iter().map(|m| pca.transform(m, k)).collect();
+        Ok((
+            GaussianClusters {
+                points: projected,
+                labels: self.labels.clone(),
+                means,
+            },
+            pca.retained_variance(k),
+        ))
+    }
+}
+
+/// Parameters of the **semantic-gap retrieval workload** — the controlled
+/// feature-space counterpart of the paper's Corel experiments.
+///
+/// The paper's premise is that a user's category is *multimodal in feature
+/// space*: "the relevant images are mapped to disjoint clusters of
+/// arbitrary shapes" (Sec. 1). This workload realizes that premise
+/// directly: every category is a pair of tight uniform modes at a
+/// controlled separation. Three regime conditions (all satisfied by the
+/// defaults, and all verified by the experiments to be necessary for the
+/// paper's headline comparison) define when disjunctive queries pay off:
+///
+/// 1. **Disjoint**: mode separation ≫ within-mode spread
+///    (`gap / sigma ≈ 7`), so one moved/averaged query point cannot cover
+///    both modes without covering the junk between them.
+/// 2. **Discoverable**: mode separation is within the k-NN reach
+///    (`gap < diameter · (k/n)^(1/dim)`), so the *other* mode's images
+///    appear in early result sets and get marked — no feedback method can
+///    exploit structure the user never sees.
+/// 3. **Dense**: enough categories that the volume between and around a
+///    category's modes contains competing images — the regime of 30,000
+///    heterogeneous Corel images in a 3-dim color feature space.
+#[derive(Debug, Clone, Copy)]
+pub struct SemanticGapConfig {
+    /// Number of categories (paper: ~300).
+    pub categories: usize,
+    /// Points per mode (category size = 2 × this).
+    pub per_mode: usize,
+    /// Within-mode half-spread scale.
+    pub sigma: f64,
+    /// Distance between a category's two mode centers.
+    pub gap: f64,
+    /// Feature dimensionality (paper's color feature: 3).
+    pub dim: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SemanticGapConfig {
+    fn default() -> Self {
+        SemanticGapConfig {
+            categories: 300,
+            per_mode: 25,
+            sigma: 0.015,
+            gap: 0.10,
+            dim: 3,
+            seed: 11,
+        }
+    }
+}
+
+/// Generates the semantic-gap workload: vectors, category labels, and
+/// super-category labels (5 categories per super-category).
+///
+/// Returns `(vectors, categories, super_categories, images_per_category)`
+/// ready for `Dataset::from_parts`.
+pub fn semantic_gap_corpus(
+    config: &SemanticGapConfig,
+) -> (Vec<Vec<f64>>, Vec<usize>, Vec<usize>, usize) {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let dim = config.dim;
+    let mut vectors = Vec::with_capacity(2 * config.per_mode * config.categories);
+    let mut cats = Vec::with_capacity(vectors.capacity());
+    let mut supers = Vec::with_capacity(vectors.capacity());
+    for c in 0..config.categories {
+        // Mode A center uniform in the unit cube; mode B at `gap` along a
+        // random direction.
+        let a: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let dir: Vec<f64> = {
+            let v: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let n = qcluster_linalg::vecops::norm(&v).max(1e-12);
+            v.iter().map(|x| x / n).collect()
+        };
+        let b: Vec<f64> = a
+            .iter()
+            .zip(&dir)
+            .map(|(x, d)| x + d * config.gap)
+            .collect();
+        for center in [&a, &b] {
+            for _ in 0..config.per_mode {
+                vectors.push(
+                    center
+                        .iter()
+                        .map(|&m| m + rng.gen_range(-1.5..1.5) * config.sigma)
+                        .collect(),
+                );
+                cats.push(c);
+                supers.push(c / 5);
+            }
+        }
+    }
+    (vectors, cats, supers, 2 * config.per_mode)
+}
+
+/// A random well-conditioned linear map: orthogonal basis (via Gram–
+/// Schmidt on Gaussian vectors) times anisotropic scaling in `[0.5, 2]`.
+pub fn random_linear_map(dim: usize, rng: &mut StdRng) -> Matrix {
+    let mut g = GaussianSampler::new();
+    // Random Gaussian matrix → orthonormalize columns.
+    let mut cols: Vec<Vec<f64>> = Vec::with_capacity(dim);
+    while cols.len() < dim {
+        let mut v = g.sample_vec(rng, dim);
+        for c in &cols {
+            let proj = qcluster_linalg::vecops::dot(&v, c);
+            qcluster_linalg::vecops::axpy(&mut v, c, -proj);
+        }
+        let n = qcluster_linalg::vecops::norm(&v);
+        if n > 1e-8 {
+            for x in &mut v {
+                *x /= n;
+            }
+            cols.push(v);
+        }
+    }
+    let mut a = Matrix::zeros(dim, dim);
+    for (j, col) in cols.iter().enumerate() {
+        let s = rng.gen_range(0.5..2.0);
+        for i in 0..dim {
+            a.set(i, j, col[i] * s);
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_cube_respects_bounds() {
+        let pts = uniform_cube(500, 3, -2.0, 2.0, 1);
+        assert_eq!(pts.len(), 500);
+        assert!(pts
+            .iter()
+            .all(|p| p.iter().all(|&x| (-2.0..2.0).contains(&x))));
+    }
+
+    #[test]
+    fn gaussian_clusters_have_requested_structure() {
+        let g = GaussianClusters::generate(3, 50, 16, 2.0, ClusterShape::Spherical, 7);
+        assert_eq!(g.len(), 150);
+        assert_eq!(g.means.len(), 3);
+        // Pairwise mean distances equal the requested separation.
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                let d = qcluster_linalg::vecops::sq_euclidean(&g.means[i], &g.means[j])
+                    .sqrt();
+                assert!((d - 2.0).abs() < 1e-12, "pair ({i},{j}): {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn elliptical_shape_changes_covariance() {
+        let s = GaussianClusters::generate(3, 200, 8, 1.0, ClusterShape::Spherical, 3);
+        let e = GaussianClusters::generate(3, 200, 8, 1.0, ClusterShape::Elliptical, 3);
+        // Per-dimension variance of cluster 0 should be ≈1 for spherical
+        // and visibly anisotropic for elliptical.
+        let var_of = |g: &GaussianClusters, d: usize| {
+            let vals: Vec<f64> = g
+                .points
+                .iter()
+                .zip(&g.labels)
+                .filter(|(_, &l)| l == 0)
+                .map(|(p, _)| p[d])
+                .collect();
+            qcluster_stats::descriptive::population_variance(&vals).unwrap()
+        };
+        let s_vars: Vec<f64> = (0..8).map(|d| var_of(&s, d)).collect();
+        let e_vars: Vec<f64> = (0..8).map(|d| var_of(&e, d)).collect();
+        let spread = |v: &[f64]| {
+            v.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                / v.iter().cloned().fold(f64::INFINITY, f64::min)
+        };
+        assert!(spread(&s_vars) < 2.0, "spherical spread {:?}", s_vars);
+        assert!(spread(&e_vars) > spread(&s_vars), "elliptical not anisotropic");
+    }
+
+    #[test]
+    fn reduction_keeps_labels_and_reports_variance() {
+        let g = GaussianClusters::generate(3, 40, 16, 1.5, ClusterShape::Spherical, 5);
+        let (r, ratio) = g.reduce(9).unwrap();
+        assert_eq!(r.len(), g.len());
+        assert_eq!(r.points[0].len(), 9);
+        assert_eq!(r.labels, g.labels);
+        assert!(ratio > 0.4 && ratio <= 1.0, "ratio {ratio}");
+        // Reducing to full dim keeps all variance.
+        let (_, full) = g.reduce(16).unwrap();
+        assert!((full - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = GaussianClusters::generate(2, 10, 4, 1.0, ClusterShape::Elliptical, 11);
+        let b = GaussianClusters::generate(2, 10, 4, 1.0, ClusterShape::Elliptical, 11);
+        assert_eq!(a.points, b.points);
+    }
+}

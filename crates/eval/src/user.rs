@@ -1,0 +1,122 @@
+//! The simulated user (paper Sec. 5 protocol).
+//!
+//! The paper obtains feedback from the category ground truth: the "user"
+//! marks each retrieved image with its oracle grade. This module wraps
+//! that protocol: given the retrieved ids of one round, it returns the
+//! relevant set as scored [`FeedbackPoint`]s (same-category images at
+//! score 3, related at score 1, the rest unmarked).
+
+use crate::dataset::Dataset;
+use crate::oracle::RelevanceOracle;
+use qcluster_core::FeedbackPoint;
+
+/// A deterministic oracle-backed user for one query category.
+#[derive(Debug, Clone, Copy)]
+pub struct SimulatedUser<'a> {
+    dataset: &'a Dataset,
+    query_category: usize,
+    /// Whether related (super-category) images are marked at score 1.
+    mark_related: bool,
+}
+
+impl<'a> SimulatedUser<'a> {
+    /// Creates a user judging for `query_category`, marking related
+    /// images too (the paper's protocol).
+    pub fn new(dataset: &'a Dataset, query_category: usize) -> Self {
+        SimulatedUser {
+            dataset,
+            query_category,
+            mark_related: true,
+        }
+    }
+
+    /// Disables the related grade (strict same-category feedback).
+    pub fn strict(mut self) -> Self {
+        self.mark_related = false;
+        self
+    }
+
+    /// The category this user searches for.
+    pub fn query_category(&self) -> usize {
+        self.query_category
+    }
+
+    /// Marks one round of retrieved images, returning the scored relevant
+    /// set (possibly empty — the caller decides how to proceed when the
+    /// round surfaced nothing relevant).
+    pub fn mark(&self, retrieved: &[usize]) -> Vec<FeedbackPoint> {
+        let oracle = RelevanceOracle::new(self.dataset);
+        retrieved
+            .iter()
+            .filter_map(|&id| {
+                let score = oracle.score(self.query_category, id);
+                let keep = if self.mark_related {
+                    score > 0.0
+                } else {
+                    oracle.is_relevant(self.query_category, id)
+                };
+                keep.then(|| {
+                    FeedbackPoint::new(id, self.dataset.vector(id).to_vec(), score)
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{SCORE_RELATED, SCORE_SAME_CATEGORY};
+
+    fn dataset() -> Dataset {
+        Dataset::from_parts(
+            vec![
+                vec![0.0],
+                vec![0.1],
+                vec![1.0],
+                vec![1.1],
+                vec![5.0],
+                vec![5.1],
+            ],
+            vec![0, 0, 1, 1, 2, 2],
+            vec![0, 0, 0, 0, 1, 1],
+            2,
+        )
+    }
+
+    #[test]
+    fn marks_same_and_related() {
+        let ds = dataset();
+        let user = SimulatedUser::new(&ds, 0);
+        let marked = user.mark(&[0, 2, 4]);
+        assert_eq!(marked.len(), 2);
+        assert_eq!(marked[0].id, 0);
+        assert_eq!(marked[0].score, SCORE_SAME_CATEGORY);
+        assert_eq!(marked[1].id, 2);
+        assert_eq!(marked[1].score, SCORE_RELATED);
+    }
+
+    #[test]
+    fn strict_mode_drops_related() {
+        let ds = dataset();
+        let user = SimulatedUser::new(&ds, 0).strict();
+        let marked = user.mark(&[0, 2, 4]);
+        assert_eq!(marked.len(), 1);
+        assert_eq!(marked[0].id, 0);
+    }
+
+    #[test]
+    fn empty_when_nothing_relevant() {
+        let ds = dataset();
+        let user = SimulatedUser::new(&ds, 0);
+        assert!(user.mark(&[4, 5]).is_empty());
+    }
+
+    #[test]
+    fn feedback_points_carry_vectors() {
+        let ds = dataset();
+        let user = SimulatedUser::new(&ds, 2);
+        let marked = user.mark(&[4]);
+        assert_eq!(marked[0].vector, vec![5.0]);
+    }
+}

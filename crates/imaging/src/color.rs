@@ -1,0 +1,129 @@
+//! Color-space conversions: RGB ↔ HSV and RGB → gray.
+//!
+//! The paper extracts color moments in **HSV space** "because of its
+//! perceptual uniformity of color" (Sec. 5), and the co-occurrence texture
+//! works on gray levels.
+
+/// Converts an 8-bit RGB triple to HSV with `h ∈ [0, 1)`, `s, v ∈ [0, 1]`.
+///
+/// Hue is scaled from the conventional degrees/360 to `[0, 1)` so all three
+/// channels share a range — this keeps the per-channel moments comparable
+/// before PCA. For achromatic pixels (`max == min`) the hue is `0`.
+pub fn rgb_to_hsv(rgb: [u8; 3]) -> [f64; 3] {
+    let r = rgb[0] as f64 / 255.0;
+    let g = rgb[1] as f64 / 255.0;
+    let b = rgb[2] as f64 / 255.0;
+    let max = r.max(g).max(b);
+    let min = r.min(g).min(b);
+    let delta = max - min;
+
+    let v = max;
+    let s = if max > 0.0 { delta / max } else { 0.0 };
+    let h = if delta == 0.0 {
+        0.0
+    } else if max == r {
+        (((g - b) / delta).rem_euclid(6.0)) / 6.0
+    } else if max == g {
+        ((b - r) / delta + 2.0) / 6.0
+    } else {
+        ((r - g) / delta + 4.0) / 6.0
+    };
+    [h, s, v]
+}
+
+/// Converts HSV (`h ∈ [0, 1)`, `s, v ∈ [0, 1]`) back to 8-bit RGB.
+///
+/// Inputs outside the canonical ranges are clamped (hue wraps).
+pub fn hsv_to_rgb(hsv: [f64; 3]) -> [u8; 3] {
+    let h = hsv[0].rem_euclid(1.0) * 6.0;
+    let s = hsv[1].clamp(0.0, 1.0);
+    let v = hsv[2].clamp(0.0, 1.0);
+    let c = v * s;
+    let x = c * (1.0 - ((h % 2.0) - 1.0).abs());
+    let m = v - c;
+    let (r1, g1, b1) = match h as u32 {
+        0 => (c, x, 0.0),
+        1 => (x, c, 0.0),
+        2 => (0.0, c, x),
+        3 => (0.0, x, c),
+        4 => (x, 0.0, c),
+        _ => (c, 0.0, x),
+    };
+    [
+        ((r1 + m) * 255.0).round().clamp(0.0, 255.0) as u8,
+        ((g1 + m) * 255.0).round().clamp(0.0, 255.0) as u8,
+        ((b1 + m) * 255.0).round().clamp(0.0, 255.0) as u8,
+    ]
+}
+
+/// Luma conversion RGB → gray level 0–255 (ITU-R BT.601 weights).
+#[inline]
+pub fn rgb_to_gray(rgb: [u8; 3]) -> u8 {
+    let y = 0.299 * rgb[0] as f64 + 0.587 * rgb[1] as f64 + 0.114 * rgb[2] as f64;
+    y.round().clamp(0.0, 255.0) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_colors() {
+        // Red: h=0, s=1, v=1
+        let [h, s, v] = rgb_to_hsv([255, 0, 0]);
+        assert!(h.abs() < 1e-12 && (s - 1.0).abs() < 1e-12 && (v - 1.0).abs() < 1e-12);
+        // Green: h=1/3
+        let [h, _, _] = rgb_to_hsv([0, 255, 0]);
+        assert!((h - 1.0 / 3.0).abs() < 1e-12);
+        // Blue: h=2/3
+        let [h, _, _] = rgb_to_hsv([0, 0, 255]);
+        assert!((h - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grayscale_is_unsaturated() {
+        for &g in &[0u8, 37, 128, 255] {
+            let [_, s, v] = rgb_to_hsv([g, g, g]);
+            assert_eq!(s, 0.0);
+            assert!((v - g as f64 / 255.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hsv_roundtrip_all_corners() {
+        for &rgb in &[
+            [0u8, 0, 0],
+            [255, 255, 255],
+            [255, 0, 0],
+            [0, 255, 0],
+            [0, 0, 255],
+            [255, 255, 0],
+            [0, 255, 255],
+            [255, 0, 255],
+            [12, 200, 99],
+            [240, 13, 77],
+        ] {
+            let back = hsv_to_rgb(rgb_to_hsv(rgb));
+            for i in 0..3 {
+                assert!(
+                    (back[i] as i32 - rgb[i] as i32).abs() <= 1,
+                    "roundtrip failed for {rgb:?} -> {back:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hue_wraps() {
+        assert_eq!(hsv_to_rgb([1.25, 1.0, 1.0]), hsv_to_rgb([0.25, 1.0, 1.0]));
+    }
+
+    #[test]
+    fn gray_weights() {
+        assert_eq!(rgb_to_gray([255, 255, 255]), 255);
+        assert_eq!(rgb_to_gray([0, 0, 0]), 0);
+        // Green dominates luma.
+        assert!(rgb_to_gray([0, 255, 0]) > rgb_to_gray([255, 0, 0]));
+        assert!(rgb_to_gray([255, 0, 0]) > rgb_to_gray([0, 0, 255]));
+    }
+}

@@ -1,0 +1,298 @@
+//! Gray-level co-occurrence matrix (GLCM) texture features (paper Sec. 5).
+//!
+//! "The (i, j)th element of \[the\] co-occurrence matrix is built by counting
+//! the number of pixels, the gray-level of which is i and the gray-level of
+//! its adjacent pixel is j … Texture feature values are derived by weighting
+//! each of the co-occurrence matrix elements and then summing these weighted
+//! values … a vector of the texture feature whose 16 elements are energy,
+//! inertia, entropy, homogeneity, etc." The raw 16-dim vector is later
+//! PCA-reduced to 4 dims.
+//!
+//! We quantize the 0–255 gray range to [`GLCM_LEVELS`] bins before counting:
+//! a full 256×256 matrix is overwhelmingly sparse for small images and
+//! quantization is the standard practice (Haralick's original proposal
+//! already worked on quantized levels). The co-occurrence counts are
+//! accumulated symmetrically over the four canonical offsets (→, ↓, ↘, ↙)
+//! and normalized to a joint probability matrix.
+
+use crate::color::rgb_to_gray;
+use crate::image::ImageRgb;
+
+/// Number of quantized gray levels used for the co-occurrence matrix.
+pub const GLCM_LEVELS: usize = 32;
+
+/// Dimensionality of the texture feature vector.
+pub const TEXTURE_DIM: usize = 16;
+
+/// A normalized gray-level co-occurrence matrix.
+#[derive(Debug, Clone)]
+pub struct Glcm {
+    /// `GLCM_LEVELS × GLCM_LEVELS` joint probabilities, row-major.
+    p: Vec<f64>,
+}
+
+impl Glcm {
+    /// Builds the symmetric, normalized GLCM of an image over the four
+    /// canonical unit offsets.
+    pub fn from_image(img: &ImageRgb) -> Glcm {
+        let w = img.width();
+        let h = img.height();
+        // Quantize once.
+        let mut gray = vec![0usize; w * h];
+        for y in 0..h {
+            for x in 0..w {
+                gray[y * w + x] =
+                    (rgb_to_gray(img.get(x, y)) as usize * GLCM_LEVELS) / 256;
+            }
+        }
+        let mut counts = vec![0u64; GLCM_LEVELS * GLCM_LEVELS];
+        let offsets: [(isize, isize); 4] = [(1, 0), (0, 1), (1, 1), (1, -1)];
+        for y in 0..h as isize {
+            for x in 0..w as isize {
+                let a = gray[y as usize * w + x as usize];
+                for &(dx, dy) in &offsets {
+                    let (nx, ny) = (x + dx, y + dy);
+                    if nx < 0 || ny < 0 || nx >= w as isize || ny >= h as isize {
+                        continue;
+                    }
+                    let b = gray[ny as usize * w + nx as usize];
+                    // Symmetric accumulation.
+                    counts[a * GLCM_LEVELS + b] += 1;
+                    counts[b * GLCM_LEVELS + a] += 1;
+                }
+            }
+        }
+        let total: u64 = counts.iter().sum();
+        let norm = if total > 0 { 1.0 / total as f64 } else { 0.0 };
+        Glcm {
+            p: counts.iter().map(|&c| c as f64 * norm).collect(),
+        }
+    }
+
+    /// Joint probability `P(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.p[i * GLCM_LEVELS + j]
+    }
+
+    /// Computes the 16-element texture feature vector.
+    ///
+    /// Features (indices):
+    /// 0 energy (angular second moment), 1 inertia (contrast), 2 entropy,
+    /// 3 homogeneity (inverse difference moment), 4 correlation,
+    /// 5 variance (sum of squares), 6 sum average, 7 sum variance,
+    /// 8 sum entropy, 9 difference average, 10 difference variance,
+    /// 11 difference entropy, 12 maximum probability, 13 cluster shade,
+    /// 14 cluster prominence, 15 dissimilarity.
+    pub fn features(&self) -> Vec<f64> {
+        let g = GLCM_LEVELS;
+        // Marginals.
+        let mut px = vec![0.0; g];
+        let mut py = vec![0.0; g];
+        for i in 0..g {
+            for j in 0..g {
+                let p = self.get(i, j);
+                px[i] += p;
+                py[j] += p;
+            }
+        }
+        let mean_x: f64 = px.iter().enumerate().map(|(i, &p)| i as f64 * p).sum();
+        let mean_y: f64 = py.iter().enumerate().map(|(j, &p)| j as f64 * p).sum();
+        let var_x: f64 = px
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (i as f64 - mean_x).powi(2) * p)
+            .sum();
+        let var_y: f64 = py
+            .iter()
+            .enumerate()
+            .map(|(j, &p)| (j as f64 - mean_y).powi(2) * p)
+            .sum();
+
+        // p_{x+y}(k), k = 0..2g−2 and p_{x−y}(k), k = 0..g−1.
+        let mut p_sum = vec![0.0; 2 * g - 1];
+        let mut p_diff = vec![0.0; g];
+
+        let mut energy = 0.0;
+        let mut inertia = 0.0;
+        let mut entropy = 0.0;
+        let mut homogeneity = 0.0;
+        let mut correlation_acc = 0.0;
+        let mut variance = 0.0;
+        let mut max_prob = 0.0_f64;
+        let mut shade = 0.0;
+        let mut prominence = 0.0;
+        let mut dissimilarity = 0.0;
+
+        for i in 0..g {
+            for j in 0..g {
+                let p = self.get(i, j);
+                if p == 0.0 {
+                    continue;
+                }
+                let (fi, fj) = (i as f64, j as f64);
+                let d = fi - fj;
+                energy += p * p;
+                inertia += d * d * p;
+                entropy -= p * p.ln();
+                homogeneity += p / (1.0 + d * d);
+                correlation_acc += fi * fj * p;
+                variance += (fi - mean_x).powi(2) * p;
+                max_prob = max_prob.max(p);
+                let c = fi + fj - mean_x - mean_y;
+                shade += c.powi(3) * p;
+                prominence += c.powi(4) * p;
+                dissimilarity += d.abs() * p;
+                p_sum[i + j] += p;
+                p_diff[i.abs_diff(j)] += p;
+            }
+        }
+        let correlation = if var_x > 0.0 && var_y > 0.0 {
+            (correlation_acc - mean_x * mean_y) / (var_x.sqrt() * var_y.sqrt())
+        } else {
+            0.0
+        };
+
+        let sum_avg: f64 = p_sum.iter().enumerate().map(|(k, &p)| k as f64 * p).sum();
+        let sum_var: f64 = p_sum
+            .iter()
+            .enumerate()
+            .map(|(k, &p)| (k as f64 - sum_avg).powi(2) * p)
+            .sum();
+        let sum_entropy: f64 = -p_sum
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p * p.ln())
+            .sum::<f64>();
+        let diff_avg: f64 = p_diff.iter().enumerate().map(|(k, &p)| k as f64 * p).sum();
+        let diff_var: f64 = p_diff
+            .iter()
+            .enumerate()
+            .map(|(k, &p)| (k as f64 - diff_avg).powi(2) * p)
+            .sum();
+        let diff_entropy: f64 = -p_diff
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p * p.ln())
+            .sum::<f64>();
+
+        vec![
+            energy,
+            inertia,
+            entropy,
+            homogeneity,
+            correlation,
+            variance,
+            sum_avg,
+            sum_var,
+            sum_entropy,
+            diff_avg,
+            diff_var,
+            diff_entropy,
+            max_prob,
+            shade,
+            prominence,
+            dissimilarity,
+        ]
+    }
+}
+
+/// Convenience: GLCM texture features straight from an image.
+pub fn texture_features(img: &ImageRgb) -> Vec<f64> {
+    Glcm::from_image(img).features()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solid(v: u8) -> ImageRgb {
+        ImageRgb::from_pixels(8, 8, vec![[v, v, v]; 64])
+    }
+
+    fn checkerboard() -> ImageRgb {
+        let mut img = ImageRgb::new(8, 8);
+        for y in 0..8 {
+            for x in 0..8 {
+                let v = if (x + y) % 2 == 0 { 0 } else { 255 };
+                img.set(x, y, [v, v, v]);
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn glcm_is_normalized_probability() {
+        for img in [solid(100), checkerboard()] {
+            let glcm = Glcm::from_image(&img);
+            let total: f64 = (0..GLCM_LEVELS)
+                .flat_map(|i| (0..GLCM_LEVELS).map(move |j| (i, j)))
+                .map(|(i, j)| glcm.get(i, j))
+                .sum();
+            assert!((total - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn glcm_is_symmetric() {
+        let glcm = Glcm::from_image(&checkerboard());
+        for i in 0..GLCM_LEVELS {
+            for j in 0..GLCM_LEVELS {
+                assert_eq!(glcm.get(i, j), glcm.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn feature_vector_has_sixteen_dims() {
+        let f = texture_features(&checkerboard());
+        assert_eq!(f.len(), TEXTURE_DIM);
+        assert!(f.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn solid_image_is_maximally_ordered() {
+        let f = texture_features(&solid(128));
+        // energy = 1 (all mass on one cell), inertia = 0, entropy = 0.
+        assert!((f[0] - 1.0).abs() < 1e-12, "energy {}", f[0]);
+        assert_eq!(f[1], 0.0, "inertia");
+        assert!(f[2].abs() < 1e-12, "entropy {}", f[2]);
+        assert!((f[3] - 1.0).abs() < 1e-12, "homogeneity {}", f[3]);
+        assert!((f[12] - 1.0).abs() < 1e-12, "max prob {}", f[12]);
+    }
+
+    #[test]
+    fn checkerboard_has_high_contrast() {
+        let fc = texture_features(&checkerboard());
+        let fs = texture_features(&solid(128));
+        assert!(fc[1] > fs[1], "inertia should rise with contrast");
+        assert!(fc[2] > fs[2], "entropy should rise with disorder");
+        assert!(fc[0] < fs[0], "energy should fall with disorder");
+        assert!(fc[15] > fs[15], "dissimilarity should rise with contrast");
+    }
+
+    #[test]
+    fn gradient_vs_checkerboard_texture_differs() {
+        let mut grad = ImageRgb::new(8, 8);
+        for y in 0..8 {
+            for x in 0..8 {
+                let v = (x * 8) as u8;
+                grad.set(x, y, [v, v, v]);
+            }
+        }
+        let fg = texture_features(&grad);
+        let fc = texture_features(&checkerboard());
+        // A smooth gradient has far lower contrast than a checkerboard.
+        assert!(fg[1] < fc[1]);
+        // And higher homogeneity.
+        assert!(fg[3] > fc[3]);
+    }
+
+    #[test]
+    fn correlation_bounded() {
+        for img in [solid(10), checkerboard()] {
+            let f = texture_features(&img);
+            assert!(f[4] >= -1.0 - 1e-9 && f[4] <= 1.0 + 1e-9, "corr {}", f[4]);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! A minimal RGB raster type.
+
+/// An 8-bit RGB image stored row-major as `[r, g, b]` triples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageRgb {
+    width: usize,
+    height: usize,
+    pixels: Vec<[u8; 3]>,
+}
+
+impl ImageRgb {
+    /// Creates a black image of the given size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        ImageRgb {
+            width,
+            height,
+            pixels: vec![[0, 0, 0]; width * height],
+        }
+    }
+
+    /// Creates an image from an existing pixel buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pixels.len() != width * height`.
+    pub fn from_pixels(width: usize, height: usize, pixels: Vec<[u8; 3]>) -> Self {
+        assert_eq!(pixels.len(), width * height, "pixel buffer size mismatch");
+        ImageRgb {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total pixel count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pixels.len()
+    }
+
+    /// `true` if the image holds no pixels (never true by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pixels.is_empty()
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> [u8; 3] {
+        assert!(x < self.width && y < self.height, "pixel index out of bounds");
+        self.pixels[y * self.width + x]
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, rgb: [u8; 3]) {
+        assert!(x < self.width && y < self.height, "pixel index out of bounds");
+        self.pixels[y * self.width + x] = rgb;
+    }
+
+    /// The flat pixel buffer, row-major.
+    #[inline]
+    pub fn pixels(&self) -> &[[u8; 3]] {
+        &self.pixels
+    }
+
+    /// Iterates over all pixels row-major.
+    pub fn iter(&self) -> impl Iterator<Item = &[u8; 3]> {
+        self.pixels.iter()
+    }
+
+    /// Writes the image as a binary PPM (P6) — the simplest portable
+    /// format every image viewer opens; lets users inspect the synthetic
+    /// corpus visually.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer failures.
+    pub fn write_ppm<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "P6\n{} {}\n255", self.width, self.height)?;
+        for px in &self.pixels {
+            w.write_all(px)?;
+        }
+        Ok(())
+    }
+
+    /// Parses a binary PPM (P6) image previously written by
+    /// [`ImageRgb::write_ppm`] (supports the minimal header subset this
+    /// library emits: one width/height line and maxval 255).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on malformed headers or truncated pixel data.
+    pub fn read_ppm<R: std::io::Read>(mut r: R) -> std::io::Result<ImageRgb> {
+        use std::io::{Error, ErrorKind};
+        let mut buf = Vec::new();
+        r.read_to_end(&mut buf)?;
+        let bad = |m: &str| Error::new(ErrorKind::InvalidData, m.to_string());
+        // Header: "P6\n<w> <h>\n255\n" followed by raw RGB bytes.
+        let header_end = buf
+            .windows(4)
+            .position(|w| w == b"255\n")
+            .ok_or_else(|| bad("missing maxval"))?
+            + 4;
+        let header = std::str::from_utf8(&buf[..header_end])
+            .map_err(|_| bad("non-UTF8 header"))?;
+        let mut tokens = header.split_ascii_whitespace();
+        if tokens.next() != Some("P6") {
+            return Err(bad("not a P6 PPM"));
+        }
+        let width: usize = tokens
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| bad("bad width"))?;
+        let height: usize = tokens
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| bad("bad height"))?;
+        if tokens.next() != Some("255") {
+            return Err(bad("unsupported maxval"));
+        }
+        let body = &buf[header_end..];
+        if body.len() != width * height * 3 {
+            return Err(bad("truncated pixel data"));
+        }
+        let pixels = body
+            .chunks_exact(3)
+            .map(|c| [c[0], c[1], c[2]])
+            .collect();
+        Ok(ImageRgb::from_pixels(width, height, pixels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_black() {
+        let img = ImageRgb::new(4, 3);
+        assert_eq!(img.width(), 4);
+        assert_eq!(img.height(), 3);
+        assert_eq!(img.len(), 12);
+        assert!(img.iter().all(|&p| p == [0, 0, 0]));
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut img = ImageRgb::new(2, 2);
+        img.set(1, 0, [10, 20, 30]);
+        assert_eq!(img.get(1, 0), [10, 20, 30]);
+        assert_eq!(img.get(0, 0), [0, 0, 0]);
+    }
+
+    #[test]
+    fn from_pixels_layout() {
+        let img = ImageRgb::from_pixels(2, 1, vec![[1, 1, 1], [2, 2, 2]]);
+        assert_eq!(img.get(0, 0), [1, 1, 1]);
+        assert_eq!(img.get(1, 0), [2, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let img = ImageRgb::new(2, 2);
+        let _ = img.get(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn from_pixels_rejects_bad_len() {
+        let _ = ImageRgb::from_pixels(2, 2, vec![[0, 0, 0]]);
+    }
+
+    #[test]
+    fn ppm_roundtrip() {
+        let mut img = ImageRgb::new(3, 2);
+        img.set(0, 0, [255, 0, 0]);
+        img.set(2, 1, [0, 128, 255]);
+        let mut buf = Vec::new();
+        img.write_ppm(&mut buf).unwrap();
+        assert!(buf.starts_with(b"P6\n3 2\n255\n"));
+        let back = ImageRgb::read_ppm(buf.as_slice()).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn ppm_rejects_garbage() {
+        assert!(ImageRgb::read_ppm(&b"P5 2 2 255 xxxx"[..]).is_err());
+        assert!(ImageRgb::read_ppm(&b"nonsense"[..]).is_err());
+        // Truncated body.
+        assert!(ImageRgb::read_ppm(&b"P6\n2 2\n255\nxx"[..]).is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! Spatial color layout: per-cell color moments on a grid.
+//!
+//! Global color moments discard *where* color sits; QBIC-family systems
+//! therefore also index a coarse spatial layout. This feature divides the
+//! image into a [`GRID`]×[`GRID`] grid and extracts the HSV mean and
+//! standard deviation per cell (skewness is too noisy on small cells),
+//! giving `GRID² × 6` raw dimensions that the pipeline PCA-reduces. It
+//! distinguishes e.g. "dark object on light ground" from its inverse —
+//! identical global histograms, different layouts.
+
+use crate::color::rgb_to_hsv;
+use crate::image::ImageRgb;
+use qcluster_stats::descriptive::{mean, population_std};
+
+/// Grid side length.
+pub const GRID: usize = 2;
+
+/// Moments per cell (mean + σ for H, S, V).
+pub const CELL_DIM: usize = 6;
+
+/// Total layout feature dimensionality.
+pub const LAYOUT_DIM: usize = GRID * GRID * CELL_DIM;
+
+/// Extracts the spatial color-layout vector.
+///
+/// Cells partition the image as evenly as integer division allows; every
+/// pixel belongs to exactly one cell. Degenerate (empty) cells cannot
+/// occur because images are at least 1×1 per cell boundary construction —
+/// images smaller than the grid put all pixels in the covering cells.
+pub fn color_layout(img: &ImageRgb) -> Vec<f64> {
+    let w = img.width();
+    let h = img.height();
+    // Per-cell channel accumulators.
+    let mut cells: Vec<[Vec<f64>; 3]> = (0..GRID * GRID)
+        .map(|_| [Vec::new(), Vec::new(), Vec::new()])
+        .collect();
+    for y in 0..h {
+        for x in 0..w {
+            let cx = (x * GRID / w).min(GRID - 1);
+            let cy = (y * GRID / h).min(GRID - 1);
+            let cell = &mut cells[cy * GRID + cx];
+            let [hh, ss, vv] = rgb_to_hsv(img.get(x, y));
+            cell[0].push(hh);
+            cell[1].push(ss);
+            cell[2].push(vv);
+        }
+    }
+    let mut out = Vec::with_capacity(LAYOUT_DIM);
+    for cell in &cells {
+        for channel in cell {
+            if channel.is_empty() {
+                // Image smaller than the grid: empty cells contribute
+                // neutral statistics.
+                out.push(0.0);
+                out.push(0.0);
+            } else {
+                out.push(mean(channel).expect("non-empty"));
+                out.push(population_std(channel).expect("non-empty"));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_shape_and_finiteness() {
+        let img = ImageRgb::from_pixels(8, 8, vec![[100, 150, 200]; 64]);
+        let f = color_layout(&img);
+        assert_eq!(f.len(), LAYOUT_DIM);
+        assert!(f.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn layout_distinguishes_mirrored_images() {
+        // Left-red/right-blue vs left-blue/right-red: identical global
+        // statistics, different layouts.
+        let mut a = ImageRgb::new(8, 8);
+        let mut b = ImageRgb::new(8, 8);
+        for y in 0..8 {
+            for x in 0..8 {
+                let (red, blue) = ([255, 0, 0], [0, 0, 255]);
+                a.set(x, y, if x < 4 { red } else { blue });
+                b.set(x, y, if x < 4 { blue } else { red });
+            }
+        }
+        let fa = color_layout(&a);
+        let fb = color_layout(&b);
+        let diff: f64 = fa.iter().zip(&fb).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 0.5, "mirrored layouts must differ: {diff}");
+        // …whereas global color moments cannot tell them apart.
+        let ga = crate::moments::color_moments(&a);
+        let gb = crate::moments::color_moments(&b);
+        let gdiff: f64 = ga.iter().zip(&gb).map(|(x, y)| (x - y).abs()).sum();
+        assert!(gdiff < 1e-5, "global moments are near-identical: {gdiff}");
+    }
+
+    #[test]
+    fn uniform_image_has_zero_cell_sigma() {
+        let img = ImageRgb::from_pixels(4, 4, vec![[50, 100, 150]; 16]);
+        let f = color_layout(&img);
+        // Odd indices are σ entries.
+        for (i, v) in f.iter().enumerate() {
+            if i % 2 == 1 {
+                assert!(v.abs() < 1e-12, "sigma at {i} should be 0, got {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_images_still_produce_full_vectors() {
+        let img = ImageRgb::from_pixels(1, 1, vec![[10, 20, 30]]);
+        let f = color_layout(&img);
+        assert_eq!(f.len(), LAYOUT_DIM);
+        assert!(f.iter().all(|x| x.is_finite()));
+    }
+}

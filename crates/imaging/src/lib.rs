@@ -1,0 +1,42 @@
+//! Image substrate and feature extraction for the Qcluster reproduction.
+//!
+//! The paper evaluates on the Corel & Mantan collection: 30,000 color
+//! images hand-classified into ~300 categories of ~100 images each. That
+//! collection is proprietary, so this crate substitutes a **procedural
+//! synthetic corpus** ([`corpus`]) that preserves the properties the
+//! experiments rely on:
+//!
+//! - a known ground-truth partition into categories and super-categories,
+//! - per-category visual coherence (palette + texture parameters) with
+//!   per-image jitter,
+//! - deliberately **multimodal** categories — e.g. the paper's Example 1
+//!   "bird images on a light-green vs. dark-blue background" — which map to
+//!   disjoint clusters in feature space and are exactly the queries that
+//!   need Qcluster's disjunctive handling.
+//!
+//! The feature pipeline is the paper's (Sec. 5):
+//!
+//! - **Color moments** ([`moments`]): mean, standard deviation, and
+//!   skewness of each HSV channel (9 dims), PCA-reduced to 3.
+//! - **Co-occurrence texture** ([`glcm`]): a gray-level co-occurrence
+//!   matrix summarized by 16 Haralick-style statistics (energy, inertia,
+//!   entropy, homogeneity, …), PCA-reduced to 4.
+
+#![warn(missing_docs)]
+// Indexed loops over multiple parallel buffers are the clearest (and often
+// fastest) form for the dense numeric kernels in this workspace.
+#![allow(clippy::needless_range_loop)]
+
+pub mod color;
+pub mod corpus;
+pub mod features;
+pub mod glcm;
+pub mod histogram;
+pub mod image;
+pub mod layout;
+pub mod moments;
+
+pub use color::{hsv_to_rgb, rgb_to_gray, rgb_to_hsv};
+pub use corpus::{CategorySpec, Corpus, CorpusBuilder, TexturePattern};
+pub use features::{FeatureKind, FeaturePipeline, FeatureSet};
+pub use image::ImageRgb;

@@ -1,0 +1,93 @@
+//! Color-moment feature extraction (paper Sec. 5).
+//!
+//! "For each of three color channels, we extract the mean, standard
+//! deviation, and skewness" — in HSV space — giving a 9-dimensional raw
+//! color feature that the pipeline later reduces to 3 dimensions with PCA.
+
+use crate::color::rgb_to_hsv;
+use crate::image::ImageRgb;
+use qcluster_stats::descriptive::{mean, population_std, skewness};
+
+/// Dimensionality of the raw color-moment vector (3 moments × 3 channels).
+pub const COLOR_MOMENT_DIM: usize = 9;
+
+/// Extracts the 9-dim color-moment vector
+/// `[μ_H, σ_H, s_H, μ_S, σ_S, s_S, μ_V, σ_V, s_V]` from an image.
+///
+/// The skewness entry is the signed cube root of the third central moment,
+/// which keeps it on the same scale as μ and σ (see
+/// [`qcluster_stats::descriptive::skewness`]).
+pub fn color_moments(img: &ImageRgb) -> Vec<f64> {
+    let n = img.len();
+    let mut h = Vec::with_capacity(n);
+    let mut s = Vec::with_capacity(n);
+    let mut v = Vec::with_capacity(n);
+    for &px in img.iter() {
+        let [hh, ss, vv] = rgb_to_hsv(px);
+        h.push(hh);
+        s.push(ss);
+        v.push(vv);
+    }
+    let mut out = Vec::with_capacity(COLOR_MOMENT_DIM);
+    for channel in [&h, &s, &v] {
+        // Non-empty by ImageRgb construction.
+        out.push(mean(channel).expect("non-empty image"));
+        out.push(population_std(channel).expect("non-empty image"));
+        out.push(skewness(channel).expect("non-empty image"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::hsv_to_rgb;
+
+    fn solid(color: [u8; 3]) -> ImageRgb {
+        ImageRgb::from_pixels(4, 4, vec![color; 16])
+    }
+
+    #[test]
+    fn vector_has_nine_dims() {
+        let f = color_moments(&solid([10, 200, 30]));
+        assert_eq!(f.len(), COLOR_MOMENT_DIM);
+        assert!(f.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn solid_image_has_zero_spread() {
+        let f = color_moments(&solid([10, 200, 30]));
+        // σ and skew of every channel are zero for a constant image.
+        for ch in 0..3 {
+            assert!(f[ch * 3 + 1].abs() < 1e-9, "sigma channel {ch}");
+            assert!(f[ch * 3 + 2].abs() < 1e-9, "skew channel {ch}");
+        }
+    }
+
+    #[test]
+    fn mean_value_channel_tracks_brightness() {
+        let dark = color_moments(&solid([20, 20, 20]));
+        let bright = color_moments(&solid([230, 230, 230]));
+        // μ_V is index 6.
+        assert!(bright[6] > dark[6]);
+    }
+
+    #[test]
+    fn hue_mean_distinguishes_green_from_blue() {
+        let green = color_moments(&solid(hsv_to_rgb([0.33, 0.9, 0.8])));
+        let blue = color_moments(&solid(hsv_to_rgb([0.66, 0.9, 0.3])));
+        // μ_H is index 0; green ≈ 0.33, blue ≈ 0.66.
+        assert!((green[0] - 0.33).abs() < 0.02);
+        assert!((blue[0] - 0.66).abs() < 0.02);
+    }
+
+    #[test]
+    fn two_tone_image_has_positive_sigma() {
+        let mut px = vec![[0u8, 0, 0]; 8];
+        px.extend(vec![[255u8, 255, 255]; 8]);
+        let img = ImageRgb::from_pixels(4, 4, px);
+        let f = color_moments(&img);
+        // σ_V (index 7) is 0.5 for a half-black/half-white image.
+        assert!((f[7] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the imaging substrate.
+
+use proptest::prelude::*;
+use qcluster_imaging::glcm::{Glcm, GLCM_LEVELS, TEXTURE_DIM};
+use qcluster_imaging::moments::{color_moments, COLOR_MOMENT_DIM};
+use qcluster_imaging::{hsv_to_rgb, rgb_to_gray, rgb_to_hsv, ImageRgb};
+
+fn arb_pixel() -> impl Strategy<Value = [u8; 3]> {
+    (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(r, g, b)| [r, g, b])
+}
+
+fn arb_image(side: std::ops::Range<usize>) -> impl Strategy<Value = ImageRgb> {
+    side.prop_flat_map(|s| {
+        prop::collection::vec(arb_pixel(), s * s)
+            .prop_map(move |px| ImageRgb::from_pixels(s, s, px))
+    })
+}
+
+proptest! {
+    #[test]
+    fn hsv_roundtrip_within_quantization(px in arb_pixel()) {
+        let back = hsv_to_rgb(rgb_to_hsv(px));
+        for i in 0..3 {
+            prop_assert!(
+                (back[i] as i32 - px[i] as i32).abs() <= 1,
+                "{px:?} -> {back:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hsv_ranges_are_canonical(px in arb_pixel()) {
+        let [h, s, v] = rgb_to_hsv(px);
+        prop_assert!((0.0..1.0).contains(&h) || h == 0.0);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn gray_is_bounded_by_channel_extremes(px in arb_pixel()) {
+        let g = rgb_to_gray(px);
+        let min = *px.iter().min().unwrap();
+        let max = *px.iter().max().unwrap();
+        prop_assert!(g >= min.saturating_sub(1) && g <= max.saturating_add(1));
+    }
+
+    #[test]
+    fn color_moments_are_finite_and_shaped(img in arb_image(2..12)) {
+        let f = color_moments(&img);
+        prop_assert_eq!(f.len(), COLOR_MOMENT_DIM);
+        prop_assert!(f.iter().all(|x| x.is_finite()));
+        // Means and sigmas of unit-range channels stay in range.
+        for ch in 0..3 {
+            prop_assert!((0.0..=1.0).contains(&f[ch * 3]), "mean out of range");
+            prop_assert!((0.0..=0.5 + 1e-9).contains(&f[ch * 3 + 1]), "sigma out of range");
+        }
+    }
+
+    #[test]
+    fn color_moments_are_permutation_invariant(img in arb_image(3..8)) {
+        // Moments are pixel statistics: shuffling pixel positions must not
+        // change them.
+        let mut pixels: Vec<[u8; 3]> = img.pixels().to_vec();
+        pixels.reverse();
+        let shuffled = ImageRgb::from_pixels(img.width(), img.height(), pixels);
+        let a = color_moments(&img);
+        let b = color_moments(&shuffled);
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn glcm_is_a_symmetric_probability_matrix(img in arb_image(2..12)) {
+        let g = Glcm::from_image(&img);
+        let mut total = 0.0;
+        for i in 0..GLCM_LEVELS {
+            for j in 0..GLCM_LEVELS {
+                let p = g.get(i, j);
+                prop_assert!(p >= 0.0);
+                prop_assert!((g.get(j, i) - p).abs() < 1e-15);
+                total += p;
+            }
+        }
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn texture_features_are_finite_and_bounded(img in arb_image(2..12)) {
+        let f = Glcm::from_image(&img).features();
+        prop_assert_eq!(f.len(), TEXTURE_DIM);
+        prop_assert!(f.iter().all(|x| x.is_finite()));
+        // energy ∈ (0, 1], entropy ≥ 0, homogeneity ∈ (0, 1], max prob ∈ (0, 1].
+        prop_assert!(f[0] > 0.0 && f[0] <= 1.0 + 1e-12);
+        prop_assert!(f[2] >= -1e-12);
+        prop_assert!(f[3] > 0.0 && f[3] <= 1.0 + 1e-12);
+        prop_assert!(f[12] > 0.0 && f[12] <= 1.0 + 1e-12);
+        // correlation ∈ [−1, 1].
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&f[4]));
+    }
+
+    #[test]
+    fn energy_lower_bounds_max_prob_squared(img in arb_image(2..10)) {
+        // energy = Σp² ≥ (max p)² and ≤ max p (since Σp = 1).
+        let f = Glcm::from_image(&img).features();
+        let (energy, max_p) = (f[0], f[12]);
+        prop_assert!(energy >= max_p * max_p - 1e-12);
+        prop_assert!(energy <= max_p + 1e-12);
+    }
+}

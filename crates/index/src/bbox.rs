@@ -1,0 +1,180 @@
+//! Axis-aligned bounding boxes for tree nodes.
+
+/// An axis-aligned hyper-rectangle `[lo, hi]` in feature space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundingBox {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl BoundingBox {
+    /// An "empty" box ready to be grown with [`BoundingBox::expand`]:
+    /// `lo = +∞`, `hi = −∞` per dimension.
+    pub fn empty(dim: usize) -> Self {
+        assert!(dim > 0, "bounding box needs at least one dimension");
+        BoundingBox {
+            lo: vec![f64::INFINITY; dim],
+            hi: vec![f64::NEG_INFINITY; dim],
+        }
+    }
+
+    /// A box from explicit bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when lengths differ or any `lo > hi`.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        assert_eq!(lo.len(), hi.len(), "bound lengths differ");
+        assert!(
+            lo.iter().zip(hi.iter()).all(|(l, h)| l <= h),
+            "lo must not exceed hi"
+        );
+        BoundingBox { lo, hi }
+    }
+
+    /// The tight box around a set of points.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty point set.
+    pub fn from_points<'a, I>(points: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        let mut iter = points.into_iter();
+        let first = iter.next().expect("at least one point required");
+        let mut b = BoundingBox {
+            lo: first.to_vec(),
+            hi: first.to_vec(),
+        };
+        for p in iter {
+            b.expand(p);
+        }
+        b
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Lower corner.
+    pub fn lo(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Upper corner.
+    pub fn hi(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// Grows the box (in place) to cover `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p.len() != dim`.
+    pub fn expand(&mut self, p: &[f64]) {
+        assert_eq!(p.len(), self.dim(), "point dimension mismatch");
+        for i in 0..p.len() {
+            if p[i] < self.lo[i] {
+                self.lo[i] = p[i];
+            }
+            if p[i] > self.hi[i] {
+                self.hi[i] = p[i];
+            }
+        }
+    }
+
+    /// `true` when `p` lies inside (inclusive).
+    pub fn contains(&self, p: &[f64]) -> bool {
+        p.len() == self.dim()
+            && p.iter()
+                .zip(self.lo.iter().zip(self.hi.iter()))
+                .all(|(&x, (&l, &h))| x >= l && x <= h)
+    }
+
+    /// The point of the box closest to `p` (the clamp of `p` to the box),
+    /// written into `out`.
+    ///
+    /// This is the workhorse of lower-bounding: for any distance that is
+    /// non-decreasing in each coordinate's deviation from a center, the
+    /// distance to the clamped point lower-bounds the distance to every
+    /// point in the box.
+    ///
+    /// # Panics
+    ///
+    /// Panics when lengths differ.
+    pub fn clamp_point(&self, p: &[f64], out: &mut [f64]) {
+        assert_eq!(p.len(), self.dim(), "point dimension mismatch");
+        assert_eq!(out.len(), self.dim(), "output dimension mismatch");
+        for i in 0..p.len() {
+            out[i] = p[i].clamp(self.lo[i], self.hi[i]);
+        }
+    }
+
+    /// Index and extent of the widest dimension.
+    pub fn widest_dim(&self) -> (usize, f64) {
+        let mut best = (0, f64::NEG_INFINITY);
+        for i in 0..self.dim() {
+            let ext = self.hi[i] - self.lo[i];
+            if ext > best.1 {
+                best = (i, ext);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_points_is_tight() {
+        let pts: Vec<Vec<f64>> = vec![vec![0.0, 5.0], vec![2.0, -1.0], vec![1.0, 3.0]];
+        let b = BoundingBox::from_points(pts.iter().map(|p| p.as_slice()));
+        assert_eq!(b.lo(), &[0.0, -1.0]);
+        assert_eq!(b.hi(), &[2.0, 5.0]);
+    }
+
+    #[test]
+    fn expand_grows_monotonically() {
+        let mut b = BoundingBox::empty(2);
+        b.expand(&[1.0, 1.0]);
+        assert_eq!(b.lo(), &[1.0, 1.0]);
+        b.expand(&[-1.0, 3.0]);
+        assert_eq!(b.lo(), &[-1.0, 1.0]);
+        assert_eq!(b.hi(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn contains_boundary_inclusive() {
+        let b = BoundingBox::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        assert!(b.contains(&[0.0, 1.0]));
+        assert!(b.contains(&[0.5, 0.5]));
+        assert!(!b.contains(&[1.5, 0.5]));
+        assert!(!b.contains(&[0.5]));
+    }
+
+    #[test]
+    fn clamp_inside_is_identity() {
+        let b = BoundingBox::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let mut out = [0.0; 2];
+        b.clamp_point(&[0.3, 0.7], &mut out);
+        assert_eq!(out, [0.3, 0.7]);
+        b.clamp_point(&[-5.0, 2.0], &mut out);
+        assert_eq!(out, [0.0, 1.0]);
+    }
+
+    #[test]
+    fn widest_dim_finds_extent() {
+        let b = BoundingBox::new(vec![0.0, 0.0, 0.0], vec![1.0, 5.0, 2.0]);
+        assert_eq!(b.widest_dim(), (1, 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "lo must not exceed hi")]
+    fn new_rejects_inverted_bounds() {
+        let _ = BoundingBox::new(vec![1.0], vec![0.0]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Cross-iteration node cache — the "multipoint approach" buffer.
+//!
+//! Chakrabarti, Porkaew & Mehrotra's multipoint query refinement (paper
+//! reference \[7\]) observes that consecutive feedback iterations of the same
+//! session touch largely-overlapping regions of the index, so it caches
+//! "the information of index nodes generated during the previous iterations
+//! of the query" and only charges I/O for nodes not yet buffered. Figure 7
+//! of the Qcluster paper attributes Qcluster's low execution cost to
+//! exactly this reuse.
+//!
+//! [`NodeCache`] models that buffer at node granularity: the first access
+//! to a node in a session is a **miss** (a disk read); subsequent accesses
+//! across any number of iterations are **hits**.
+
+/// A per-session cache of index node ids.
+///
+/// By default the buffer is unbounded (every node read once stays
+/// resident — the idealized multipoint-approach accounting). For a
+/// realistic memory-bounded buffer pool, construct with
+/// [`NodeCache::with_capacity`]: residency is then limited to `capacity`
+/// nodes with least-recently-used eviction.
+#[derive(Debug, Clone, Default)]
+pub struct NodeCache {
+    /// Clock value of the last access per node; 0 = not resident.
+    last_used: Vec<u64>,
+    /// Monotone access clock.
+    clock: u64,
+    /// Maximum resident nodes (`usize::MAX` = unbounded).
+    capacity: usize,
+    /// Currently resident node count.
+    resident: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl NodeCache {
+    /// An unbounded cache sized for a tree with `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        Self::with_capacity(num_nodes, usize::MAX)
+    }
+
+    /// A cache holding at most `capacity` resident nodes (LRU eviction).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn with_capacity(num_nodes: usize, capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        NodeCache {
+            last_used: vec![0; num_nodes],
+            clock: 0,
+            capacity,
+            resident: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Records an access to `node`; returns `true` on a hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of range for the tree this cache was
+    /// sized for.
+    pub fn access(&mut self, node: usize) -> bool {
+        assert!(node < self.last_used.len(), "node id out of range");
+        self.clock += 1;
+        if self.last_used[node] != 0 {
+            self.last_used[node] = self.clock;
+            self.hits += 1;
+            return true;
+        }
+        // Miss: admit, evicting the LRU resident if at capacity.
+        if self.resident >= self.capacity {
+            if let Some(victim) = self
+                .last_used
+                .iter()
+                .enumerate()
+                .filter(|&(_, &t)| t != 0)
+                .min_by_key(|&(_, &t)| t)
+                .map(|(i, _)| i)
+            {
+                self.last_used[victim] = 0;
+                self.resident -= 1;
+            }
+        }
+        self.last_used[node] = self.clock;
+        self.resident += 1;
+        self.misses += 1;
+        false
+    }
+
+    /// Number of cached nodes.
+    pub fn resident(&self) -> usize {
+        self.resident
+    }
+
+    /// Total hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses (≡ simulated disk reads) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Empties the cache and zeroes the counters (start of a new session).
+    pub fn clear(&mut self) {
+        self.last_used.iter_mut().for_each(|c| *c = 0);
+        self.clock = 0;
+        self.resident = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = NodeCache::new(4);
+        assert!(!c.access(2));
+        assert!(c.access(2));
+        assert!(c.access(2));
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.resident(), 1);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut c = NodeCache::new(4);
+        c.access(0);
+        c.access(0);
+        c.clear();
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 0);
+        assert_eq!(c.resident(), 0);
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut c = NodeCache::new(2);
+        c.access(2);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_lru() {
+        let mut c = NodeCache::with_capacity(4, 2);
+        assert!(!c.access(0));
+        assert!(!c.access(1));
+        assert!(c.access(0)); // 0 now most recent; LRU = 1
+        assert!(!c.access(2)); // evicts 1
+        assert_eq!(c.resident(), 2);
+        assert!(c.access(0), "0 must survive");
+        assert!(!c.access(1), "1 was evicted");
+    }
+
+    #[test]
+    fn capacity_one_thrashes() {
+        let mut c = NodeCache::with_capacity(3, 1);
+        assert!(!c.access(0));
+        assert!(!c.access(1));
+        assert!(!c.access(0));
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.resident(), 1);
+    }
+
+    #[test]
+    fn unbounded_never_evicts() {
+        let mut c = NodeCache::new(100);
+        for i in 0..100 {
+            assert!(!c.access(i));
+        }
+        for i in 0..100 {
+            assert!(c.access(i));
+        }
+        assert_eq!(c.resident(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = NodeCache::with_capacity(4, 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! The pluggable distance abstraction for k-NN search.
+//!
+//! Every retrieval approach in the paper boils down to a distance function
+//! over feature space that a best-first tree search must be able to
+//! lower-bound over a bounding box:
+//!
+//! - MARS QPM: weighted Euclidean (diagonal quadratic form),
+//! - MindReader: generalized Euclidean (full quadratic form),
+//! - MARS QEX: weighted sum of per-representative quadratic forms,
+//! - Qcluster: the disjunctive harmonic aggregate of per-cluster quadratic
+//!   forms (Eq. 5),
+//! - FALCON: the `α`-norm aggregate over all relevant points.
+//!
+//! All implement [`QueryDistance`]; the tree search is generic over it.
+
+use crate::bbox::BoundingBox;
+
+/// A distance function a best-first search can prune with.
+///
+/// Implementations must satisfy the **lower-bound contract**: for every box
+/// `b` and every point `x ∈ b`, `min_distance(b) <= distance(x)`. When the
+/// contract holds the tree search is exact.
+pub trait QueryDistance {
+    /// Dimensionality of the feature space this query lives in.
+    fn dim(&self) -> usize;
+
+    /// The distance from the query to `x` (smaller = more similar).
+    fn distance(&self, x: &[f64]) -> f64;
+
+    /// A lower bound on `distance(x)` over all `x` in `b`.
+    fn min_distance(&self, b: &BoundingBox) -> f64;
+}
+
+impl<T: QueryDistance + ?Sized> QueryDistance for &T {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn distance(&self, x: &[f64]) -> f64 {
+        (**self).distance(x)
+    }
+    fn min_distance(&self, b: &BoundingBox) -> f64 {
+        (**self).min_distance(b)
+    }
+}
+
+impl<T: QueryDistance + ?Sized> QueryDistance for Box<T> {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn distance(&self, x: &[f64]) -> f64 {
+        (**self).distance(x)
+    }
+    fn min_distance(&self, b: &BoundingBox) -> f64 {
+        (**self).min_distance(b)
+    }
+}
+
+/// Plain squared Euclidean distance to a single query point.
+#[derive(Debug, Clone)]
+pub struct EuclideanQuery {
+    center: Vec<f64>,
+}
+
+impl EuclideanQuery {
+    /// Creates a query centered at `center`.
+    pub fn new(center: Vec<f64>) -> Self {
+        assert!(!center.is_empty(), "query center must be non-empty");
+        EuclideanQuery { center }
+    }
+
+    /// The query point.
+    pub fn center(&self) -> &[f64] {
+        &self.center
+    }
+}
+
+impl QueryDistance for EuclideanQuery {
+    fn dim(&self) -> usize {
+        self.center.len()
+    }
+
+    fn distance(&self, x: &[f64]) -> f64 {
+        qcluster_linalg::vecops::sq_euclidean(x, &self.center)
+    }
+
+    fn min_distance(&self, b: &BoundingBox) -> f64 {
+        // Distance to the clamped point: exact for monotone coordinate-wise
+        // distances.
+        let mut acc = 0.0;
+        for i in 0..self.center.len() {
+            let c = self.center[i].clamp(b.lo()[i], b.hi()[i]);
+            let d = self.center[i] - c;
+            acc += d * d;
+        }
+        acc
+    }
+}
+
+/// Weighted squared Euclidean distance — MARS's re-weighted query
+/// (a diagonal quadratic form `Σ w_i (x_i − c_i)²` with `w_i ≥ 0`).
+#[derive(Debug, Clone)]
+pub struct WeightedEuclideanQuery {
+    center: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl WeightedEuclideanQuery {
+    /// Creates a weighted query.
+    ///
+    /// # Panics
+    ///
+    /// Panics when lengths differ, the center is empty, or any weight is
+    /// negative (negative weights break the lower-bound contract).
+    pub fn new(center: Vec<f64>, weights: Vec<f64>) -> Self {
+        assert!(!center.is_empty(), "query center must be non-empty");
+        assert_eq!(center.len(), weights.len(), "weight length mismatch");
+        assert!(
+            weights.iter().all(|&w| w >= 0.0),
+            "weights must be non-negative"
+        );
+        WeightedEuclideanQuery { center, weights }
+    }
+
+    /// The query point.
+    pub fn center(&self) -> &[f64] {
+        &self.center
+    }
+
+    /// Per-dimension weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl QueryDistance for WeightedEuclideanQuery {
+    fn dim(&self) -> usize {
+        self.center.len()
+    }
+
+    fn distance(&self, x: &[f64]) -> f64 {
+        qcluster_linalg::vecops::weighted_sq_euclidean(x, &self.center, &self.weights)
+    }
+
+    fn min_distance(&self, b: &BoundingBox) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..self.center.len() {
+            let c = self.center[i].clamp(b.lo()[i], b.hi()[i]);
+            let d = self.center[i] - c;
+            acc += self.weights[i] * d * d;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_distance_and_bound() {
+        let q = EuclideanQuery::new(vec![0.0, 0.0]);
+        assert_eq!(q.distance(&[3.0, 4.0]), 25.0);
+        let b = BoundingBox::new(vec![1.0, 1.0], vec![2.0, 2.0]);
+        assert_eq!(q.min_distance(&b), 2.0);
+        // Query inside the box: lower bound is zero.
+        let b2 = BoundingBox::new(vec![-1.0, -1.0], vec![1.0, 1.0]);
+        assert_eq!(q.min_distance(&b2), 0.0);
+    }
+
+    #[test]
+    fn weighted_distance_and_bound() {
+        let q = WeightedEuclideanQuery::new(vec![0.0, 0.0], vec![1.0, 100.0]);
+        assert_eq!(q.distance(&[1.0, 1.0]), 101.0);
+        let b = BoundingBox::new(vec![0.0, 1.0], vec![1.0, 2.0]);
+        assert_eq!(q.min_distance(&b), 100.0);
+    }
+
+    #[test]
+    fn lower_bound_contract_on_grid() {
+        let q = WeightedEuclideanQuery::new(vec![0.3, -0.2], vec![2.0, 0.7]);
+        let b = BoundingBox::new(vec![-1.0, 0.0], vec![1.0, 1.0]);
+        let lb = q.min_distance(&b);
+        for i in 0..=10 {
+            for j in 0..=10 {
+                let x = [-1.0 + 0.2 * i as f64, 0.1 * j as f64];
+                assert!(q.distance(&x) >= lb - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weights_rejected() {
+        let _ = WeightedEuclideanQuery::new(vec![0.0], vec![-1.0]);
+    }
+}

@@ -1,0 +1,220 @@
+//! A growable index over the bulk-loaded hybrid tree.
+//!
+//! The paper's database is static, but a production CBIR system ingests
+//! images continuously. [`DynamicIndex`] extends the immutable
+//! [`HybridTree`] with the classic *side-buffer + rebuild* design: inserts
+//! land in an unindexed buffer that every query scans alongside the tree;
+//! when the buffer outgrows its threshold the whole index is bulk-reloaded
+//! (bulk loading is fast — see `benches/knn.rs`). Queries are exact at
+//! every moment, and ids are stable across rebuilds.
+
+use crate::cache::NodeCache;
+use crate::distance::QueryDistance;
+use crate::knn::{Neighbor, SearchStats};
+use crate::tree::HybridTree;
+
+/// Default buffer size that triggers a rebuild.
+pub const DEFAULT_REBUILD_THRESHOLD: usize = 1024;
+
+/// An exact k-NN index supporting appends.
+#[derive(Debug, Clone)]
+pub struct DynamicIndex {
+    /// All points ever inserted, in id order (id = position).
+    points: Vec<Vec<f64>>,
+    /// Tree over `points[..indexed]`.
+    tree: HybridTree,
+    /// Number of points covered by the tree.
+    indexed: usize,
+    rebuild_threshold: usize,
+    rebuilds: usize,
+}
+
+impl DynamicIndex {
+    /// Builds the index over an initial point set with the default
+    /// rebuild threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty set or ragged dimensionalities (per
+    /// [`HybridTree::bulk_load`]).
+    pub fn new(points: Vec<Vec<f64>>) -> Self {
+        Self::with_rebuild_threshold(points, DEFAULT_REBUILD_THRESHOLD)
+    }
+
+    /// Builds with an explicit rebuild threshold (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threshold == 0` or on invalid points.
+    pub fn with_rebuild_threshold(points: Vec<Vec<f64>>, threshold: usize) -> Self {
+        assert!(threshold > 0, "rebuild threshold must be positive");
+        let tree = HybridTree::bulk_load(&points);
+        let indexed = points.len();
+        DynamicIndex {
+            points,
+            tree,
+            indexed,
+            rebuild_threshold: threshold,
+            rebuilds: 0,
+        }
+    }
+
+    /// Total number of points (indexed + buffered).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.tree.dim()
+    }
+
+    /// Points currently awaiting the next rebuild.
+    pub fn buffered(&self) -> usize {
+        self.points.len() - self.indexed
+    }
+
+    /// Number of rebuilds performed so far.
+    pub fn rebuilds(&self) -> usize {
+        self.rebuilds
+    }
+
+    /// The point with id `id`.
+    pub fn point(&self, id: usize) -> &[f64] {
+        &self.points[id]
+    }
+
+    /// Appends one point, returning its id. Triggers a rebuild when the
+    /// buffer reaches the threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimensionality mismatch.
+    pub fn insert(&mut self, point: Vec<f64>) -> usize {
+        assert_eq!(point.len(), self.dim(), "point dimensionality mismatch");
+        let id = self.points.len();
+        self.points.push(point);
+        if self.buffered() >= self.rebuild_threshold {
+            self.rebuild();
+        }
+        id
+    }
+
+    /// Forces a rebuild (normally automatic).
+    pub fn rebuild(&mut self) {
+        self.tree = HybridTree::bulk_load(&self.points);
+        self.indexed = self.points.len();
+        self.rebuilds += 1;
+    }
+
+    /// Exact k-NN over indexed + buffered points.
+    ///
+    /// The buffer is scanned linearly (it is small by construction); its
+    /// distance evaluations are charged to the stats but it costs no node
+    /// accesses — buffered points live in memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k == 0` or on dimensionality mismatch.
+    pub fn knn<Q: QueryDistance>(
+        &self,
+        query: &Q,
+        k: usize,
+        cache: Option<&mut NodeCache>,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        let (mut result, mut stats) = self.tree.knn(query, k, cache);
+        for id in self.indexed..self.points.len() {
+            stats.distance_evaluations += 1;
+            result.push(Neighbor {
+                id,
+                distance: query.distance(&self.points[id]),
+            });
+        }
+        result.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .expect("non-NaN distances")
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        result.truncate(k);
+        (result, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::EuclideanQuery;
+    use crate::scan::LinearScan;
+
+    fn grid_points(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .flat_map(|i| (0..n).map(move |j| vec![i as f64, j as f64]))
+            .collect()
+    }
+
+    #[test]
+    fn insert_then_query_is_exact() {
+        let mut idx = DynamicIndex::with_rebuild_threshold(grid_points(6), 100);
+        let new_id = idx.insert(vec![2.25, 2.25]);
+        assert_eq!(new_id, 36);
+        let q = EuclideanQuery::new(vec![2.3, 2.3]);
+        let (nn, _) = idx.knn(&q, 1, None);
+        assert_eq!(nn[0].id, new_id, "freshly inserted point must be found");
+    }
+
+    #[test]
+    fn matches_scan_after_many_inserts() {
+        let mut idx = DynamicIndex::with_rebuild_threshold(grid_points(5), 7);
+        let mut all = grid_points(5);
+        for i in 0..20 {
+            let p = vec![0.3 * i as f64, 4.7 - 0.2 * i as f64];
+            idx.insert(p.clone());
+            all.push(p);
+        }
+        assert!(idx.rebuilds() >= 2, "threshold 7 should trigger rebuilds");
+        let scan = LinearScan::new(&all);
+        let q = EuclideanQuery::new(vec![2.0, 2.0]);
+        let (a, _) = idx.knn(&q, 12, None);
+        let b = scan.knn(&q, 12);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.id, y.id);
+        }
+    }
+
+    #[test]
+    fn ids_are_stable_across_rebuilds() {
+        let mut idx = DynamicIndex::with_rebuild_threshold(grid_points(3), 2);
+        let a = idx.insert(vec![10.0, 10.0]);
+        let b = idx.insert(vec![11.0, 11.0]); // triggers rebuild
+        let c = idx.insert(vec![12.0, 12.0]);
+        assert_eq!((a, b, c), (9, 10, 11));
+        assert_eq!(idx.point(a), &[10.0, 10.0]);
+        assert_eq!(idx.point(c), &[12.0, 12.0]);
+    }
+
+    #[test]
+    fn buffer_accounting() {
+        let mut idx = DynamicIndex::with_rebuild_threshold(grid_points(3), 3);
+        assert_eq!(idx.buffered(), 0);
+        idx.insert(vec![0.5, 0.5]);
+        idx.insert(vec![0.6, 0.6]);
+        assert_eq!(idx.buffered(), 2);
+        idx.insert(vec![0.7, 0.7]); // hits threshold → rebuild
+        assert_eq!(idx.buffered(), 0);
+        assert_eq!(idx.rebuilds(), 1);
+        assert_eq!(idx.len(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn rejects_wrong_dim_insert() {
+        let mut idx = DynamicIndex::new(grid_points(2));
+        idx.insert(vec![1.0, 2.0, 3.0]);
+    }
+}

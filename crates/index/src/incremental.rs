@@ -1,0 +1,240 @@
+//! Incremental (lazy) nearest-neighbor iteration.
+//!
+//! The Hjaltason–Samet *incremental* algorithm in its original form: a
+//! single priority queue holds both nodes (keyed by their distance lower
+//! bound) and points (keyed by their exact distance); popping a point
+//! yields the next-nearest neighbor. Unlike the batch
+//! [`knn`](crate::tree::HybridTree::knn), the caller does not fix `k` up
+//! front — it pulls results until satisfied (e.g. "keep retrieving until
+//! 20 relevant images are on screen"), paying only for what it consumes.
+
+use crate::cache::NodeCache;
+use crate::distance::QueryDistance;
+use crate::knn::{Neighbor, SearchStats};
+use crate::tree::{HybridTree, Node};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A queue entry: either an unexpanded node or a concrete point.
+#[derive(Debug)]
+enum Entry {
+    Node { bound: f64, node: usize },
+    Point { distance: f64, id: usize },
+}
+
+impl Entry {
+    fn key(&self) -> f64 {
+        match *self {
+            Entry::Node { bound, .. } => bound,
+            Entry::Point { distance, .. } => distance,
+        }
+    }
+
+    /// Tie-break: points before nodes at equal key (a point at distance d
+    /// is definitely the next neighbor once no node bound is smaller),
+    /// then by id/node for determinism.
+    fn tie_rank(&self) -> (u8, usize) {
+        match *self {
+            Entry::Point { id, .. } => (0, id),
+            Entry::Node { node, .. } => (1, node),
+        }
+    }
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for a min-heap on (key, tie_rank).
+        other
+            .key()
+            .partial_cmp(&self.key())
+            .expect("non-NaN keys")
+            .then_with(|| other.tie_rank().cmp(&self.tie_rank()))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A lazy stream of neighbors in ascending distance order.
+///
+/// Created by [`HybridTree::knn_iter`]; each [`next`](Iterator::next)
+/// call performs just enough tree expansion to prove the returned point
+/// is the closest remaining one.
+pub struct KnnIter<'a, Q: QueryDistance> {
+    tree: &'a HybridTree,
+    query: &'a Q,
+    heap: BinaryHeap<Entry>,
+    cache: Option<&'a mut NodeCache>,
+    stats: SearchStats,
+}
+
+impl<'a, Q: QueryDistance> KnnIter<'a, Q> {
+    /// Work counters accumulated so far.
+    pub fn stats(&self) -> SearchStats {
+        self.stats
+    }
+}
+
+impl<'a, Q: QueryDistance> Iterator for KnnIter<'a, Q> {
+    type Item = Neighbor;
+
+    fn next(&mut self) -> Option<Neighbor> {
+        while let Some(entry) = self.heap.pop() {
+            match entry {
+                Entry::Point { distance, id } => {
+                    return Some(Neighbor { id, distance });
+                }
+                Entry::Node { node, .. } => {
+                    self.stats.nodes_accessed += 1;
+                    let hit = self
+                        .cache
+                        .as_deref_mut()
+                        .is_some_and(|c| c.access(node));
+                    if hit {
+                        self.stats.cache_hits += 1;
+                    } else {
+                        self.stats.disk_reads += 1;
+                    }
+                    match &self.tree.nodes[node] {
+                        Node::Leaf { start, end, .. } => {
+                            for pos in *start..*end {
+                                let d = self.query.distance(self.tree.point_at(pos));
+                                self.stats.distance_evaluations += 1;
+                                self.heap.push(Entry::Point {
+                                    distance: d,
+                                    id: self.tree.order[pos],
+                                });
+                            }
+                        }
+                        Node::Internal { left, right, .. } => {
+                            for &child in &[*left, *right] {
+                                self.heap.push(Entry::Node {
+                                    bound: self
+                                        .query
+                                        .min_distance(self.tree.nodes[child].bbox()),
+                                    node: child,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+impl HybridTree {
+    /// Starts an incremental nearest-neighbor scan (ascending distance).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the query dimensionality disagrees with the tree's.
+    pub fn knn_iter<'a, Q: QueryDistance>(
+        &'a self,
+        query: &'a Q,
+        cache: Option<&'a mut NodeCache>,
+    ) -> KnnIter<'a, Q> {
+        assert_eq!(query.dim(), self.dim(), "query dimensionality mismatch");
+        let mut heap = BinaryHeap::new();
+        heap.push(Entry::Node {
+            bound: query.min_distance(self.nodes[self.root].bbox()),
+            node: self.root,
+        });
+        KnnIter {
+            tree: self,
+            query,
+            heap,
+            cache,
+            stats: SearchStats::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::EuclideanQuery;
+
+    fn grid_points(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .flat_map(|i| (0..n).map(move |j| vec![i as f64, j as f64]))
+            .collect()
+    }
+
+    #[test]
+    fn iterator_matches_batch_knn() {
+        let pts = grid_points(15);
+        let tree = HybridTree::bulk_load_with_page_size(&pts, 96);
+        let q = EuclideanQuery::new(vec![7.3, 2.8]);
+        let (batch, _) = tree.knn(&q, 40, None);
+        let lazy: Vec<Neighbor> = tree.knn_iter(&q, None).take(40).collect();
+        assert_eq!(batch.len(), lazy.len());
+        for (a, b) in batch.iter().zip(lazy.iter()) {
+            assert!((a.distance - b.distance).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn distances_are_non_decreasing() {
+        let pts = grid_points(10);
+        let tree = HybridTree::bulk_load_with_page_size(&pts, 64);
+        let q = EuclideanQuery::new(vec![4.4, 4.6]);
+        let ds: Vec<f64> = tree.knn_iter(&q, None).map(|n| n.distance).collect();
+        assert_eq!(ds.len(), 100);
+        for w in ds.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn early_stop_touches_fewer_nodes() {
+        let pts = grid_points(40);
+        let tree = HybridTree::bulk_load_with_page_size(&pts, 256);
+        let q = EuclideanQuery::new(vec![1.0, 1.0]);
+        let mut iter = tree.knn_iter(&q, None);
+        let _first_five: Vec<Neighbor> = iter.by_ref().take(5).collect();
+        let early = iter.stats().nodes_accessed;
+        let _rest: Vec<Neighbor> = iter.by_ref().collect();
+        let full = iter.stats().nodes_accessed;
+        assert!(
+            early < full / 2,
+            "early stop used {early} of {full} node accesses"
+        );
+    }
+
+    #[test]
+    fn exhausts_exactly_once() {
+        let pts = grid_points(4);
+        let tree = HybridTree::bulk_load(&pts);
+        let q = EuclideanQuery::new(vec![0.0, 0.0]);
+        let mut iter = tree.knn_iter(&q, None);
+        let all: Vec<Neighbor> = iter.by_ref().collect();
+        assert_eq!(all.len(), 16);
+        assert!(iter.next().is_none());
+    }
+
+    #[test]
+    fn cache_counts_hits_across_scans() {
+        let pts = grid_points(12);
+        let tree = HybridTree::bulk_load_with_page_size(&pts, 96);
+        let q = EuclideanQuery::new(vec![6.0, 6.0]);
+        let mut cache = NodeCache::new(tree.num_nodes());
+        let _: Vec<Neighbor> = tree.knn_iter(&q, Some(&mut cache)).take(20).collect();
+        let first_misses = cache.misses();
+        let _: Vec<Neighbor> = tree.knn_iter(&q, Some(&mut cache)).take(20).collect();
+        assert!(cache.hits() > 0);
+        assert_eq!(cache.misses(), first_misses, "second scan fully cached");
+    }
+}

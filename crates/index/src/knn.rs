@@ -1,0 +1,292 @@
+//! Exact best-first k-NN search over the hybrid tree.
+//!
+//! The classic Hjaltason–Samet incremental algorithm: a min-priority queue
+//! over nodes ordered by the distance lower bound, pruned against the
+//! current k-th best candidate. Exactness follows from the
+//! [`QueryDistance`] lower-bound contract.
+//!
+//! Every node dequeued counts as one **node access** — the experiments'
+//! I/O proxy. When a [`NodeCache`] is supplied (the multipoint approach of
+//! paper reference \[7\]), accesses to nodes already touched earlier in the
+//! same feedback session are cache hits and do not count as disk reads.
+
+use crate::cache::NodeCache;
+use crate::distance::QueryDistance;
+use crate::tree::{HybridTree, Node};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One k-NN result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Index of the point in the array the tree was bulk-loaded from.
+    pub id: usize,
+    /// Distance under the query's distance function.
+    pub distance: f64,
+}
+
+/// Counters describing the work one search performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Nodes dequeued and expanded.
+    pub nodes_accessed: u64,
+    /// Of those, how many were already resident in the session cache.
+    pub cache_hits: u64,
+    /// Node accesses charged as disk reads (`nodes_accessed − cache_hits`).
+    pub disk_reads: u64,
+    /// Point-level distance evaluations.
+    pub distance_evaluations: u64,
+}
+
+/// Max-heap entry for the result set (largest distance on top).
+#[derive(Debug, PartialEq)]
+struct Candidate {
+    distance: f64,
+    id: usize,
+}
+
+impl Eq for Candidate {}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.distance
+            .partial_cmp(&other.distance)
+            .expect("non-NaN distances")
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-heap entry (via reversed ordering) for the node frontier.
+#[derive(Debug, PartialEq)]
+struct Frontier {
+    min_dist: f64,
+    node: usize,
+}
+
+impl Eq for Frontier {}
+
+impl Ord for Frontier {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want smallest first.
+        other
+            .min_dist
+            .partial_cmp(&self.min_dist)
+            .expect("non-NaN bounds")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for Frontier {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl HybridTree {
+    /// Finds the `k` nearest points to `query`, ties broken by id.
+    ///
+    /// Returns the neighbors sorted by ascending distance together with the
+    /// search statistics. Pass a [`NodeCache`] to model the multipoint
+    /// approach's cross-iteration buffer; pass `None` to charge every node
+    /// access as a disk read (a fresh query).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k == 0` or the query dimensionality disagrees with the
+    /// tree's.
+    pub fn knn<Q: QueryDistance>(
+        &self,
+        query: &Q,
+        k: usize,
+        mut cache: Option<&mut NodeCache>,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        assert!(k > 0, "k must be positive");
+        assert_eq!(query.dim(), self.dim(), "query dimensionality mismatch");
+        let mut stats = SearchStats::default();
+        let mut results: BinaryHeap<Candidate> = BinaryHeap::with_capacity(k + 1);
+        let mut frontier = BinaryHeap::new();
+        frontier.push(Frontier {
+            min_dist: query.min_distance(self.nodes[self.root].bbox()),
+            node: self.root,
+        });
+
+        while let Some(Frontier { min_dist, node }) = frontier.pop() {
+            // Prune: nothing in this subtree can beat the current k-th best.
+            if results.len() == k {
+                let worst = results.peek().expect("non-empty results").distance;
+                if min_dist > worst {
+                    break;
+                }
+            }
+            stats.nodes_accessed += 1;
+            let hit = cache.as_deref_mut().is_some_and(|c| c.access(node));
+            if hit {
+                stats.cache_hits += 1;
+            }
+
+            match &self.nodes[node] {
+                Node::Leaf { start, end, .. } => {
+                    for pos in *start..*end {
+                        let d = query.distance(self.point_at(pos));
+                        stats.distance_evaluations += 1;
+                        if results.len() < k {
+                            results.push(Candidate {
+                                distance: d,
+                                id: self.order[pos],
+                            });
+                        } else if d < results.peek().expect("non-empty").distance {
+                            results.pop();
+                            results.push(Candidate {
+                                distance: d,
+                                id: self.order[pos],
+                            });
+                        }
+                    }
+                }
+                Node::Internal { left, right, .. } => {
+                    for &child in &[*left, *right] {
+                        let lb = query.min_distance(self.nodes[child].bbox());
+                        if results.len() < k
+                            || lb <= results.peek().expect("non-empty").distance
+                        {
+                            frontier.push(Frontier {
+                                min_dist: lb,
+                                node: child,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        stats.disk_reads = stats.nodes_accessed - stats.cache_hits;
+
+        let mut out: Vec<Neighbor> = results
+            .into_sorted_vec()
+            .into_iter()
+            .map(|c| Neighbor {
+                id: c.id,
+                distance: c.distance,
+            })
+            .collect();
+        // into_sorted_vec gives ascending order already; keep ties stable.
+        out.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .expect("non-NaN distances")
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::EuclideanQuery;
+    use crate::scan::LinearScan;
+
+    fn grid_points(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .flat_map(|i| (0..n).map(move |j| vec![i as f64, j as f64]))
+            .collect()
+    }
+
+    #[test]
+    fn nearest_neighbor_is_exact_on_grid() {
+        let pts = grid_points(10);
+        let tree = HybridTree::bulk_load_with_page_size(&pts, 128);
+        let q = EuclideanQuery::new(vec![3.2, 6.9]);
+        let (nn, _) = tree.knn(&q, 1, None);
+        assert_eq!(nn.len(), 1);
+        assert_eq!(pts[nn[0].id], vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn knn_matches_linear_scan() {
+        let pts = grid_points(12);
+        let tree = HybridTree::bulk_load_with_page_size(&pts, 96);
+        let scan = LinearScan::new(&pts);
+        let q = EuclideanQuery::new(vec![5.3, 2.8]);
+        let (a, _) = tree.knn(&q, 10, None);
+        let b = scan.knn(&q, 10);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.id, y.id);
+            assert!((x.distance - y.distance).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_all() {
+        let pts = grid_points(3);
+        let tree = HybridTree::bulk_load(&pts);
+        let q = EuclideanQuery::new(vec![0.0, 0.0]);
+        let (nn, _) = tree.knn(&q, 100, None);
+        assert_eq!(nn.len(), 9);
+    }
+
+    #[test]
+    fn results_sorted_ascending() {
+        let pts = grid_points(8);
+        let tree = HybridTree::bulk_load_with_page_size(&pts, 64);
+        let q = EuclideanQuery::new(vec![4.0, 4.0]);
+        let (nn, _) = tree.knn(&q, 20, None);
+        for w in nn.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn pruning_beats_full_traversal() {
+        let pts = grid_points(40); // 1600 points
+        let tree = HybridTree::bulk_load_with_page_size(&pts, 256);
+        let q = EuclideanQuery::new(vec![1.0, 1.0]);
+        let (_, stats) = tree.knn(&q, 5, None);
+        assert!(
+            stats.nodes_accessed < tree.num_nodes() as u64 / 2,
+            "accessed {} of {} nodes",
+            stats.nodes_accessed,
+            tree.num_nodes()
+        );
+    }
+
+    #[test]
+    fn cache_converts_repeat_accesses_to_hits() {
+        let pts = grid_points(20);
+        let tree = HybridTree::bulk_load_with_page_size(&pts, 128);
+        let mut cache = NodeCache::new(tree.num_nodes());
+        let q = EuclideanQuery::new(vec![10.0, 10.0]);
+        let (_, s1) = tree.knn(&q, 10, Some(&mut cache));
+        assert_eq!(s1.cache_hits, 0);
+        assert!(s1.disk_reads > 0);
+        // A nearby refined query revisits mostly the same nodes.
+        let q2 = EuclideanQuery::new(vec![10.5, 9.5]);
+        let (_, s2) = tree.knn(&q2, 10, Some(&mut cache));
+        assert!(s2.cache_hits > 0);
+        assert!(s2.disk_reads < s1.disk_reads);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let pts = grid_points(2);
+        let tree = HybridTree::bulk_load(&pts);
+        let q = EuclideanQuery::new(vec![0.0, 0.0]);
+        let _ = tree.knn(&q, 0, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn dim_mismatch_panics() {
+        let pts = grid_points(2);
+        let tree = HybridTree::bulk_load(&pts);
+        let q = EuclideanQuery::new(vec![0.0, 0.0, 0.0]);
+        let _ = tree.knn(&q, 1, None);
+    }
+}

@@ -1,0 +1,134 @@
+//! Range queries over the hybrid tree.
+//!
+//! The paper frames CBIR queries as "a range query or a nearest-neighbor
+//! query" (Sec. 1); the retrieval experiments use k-NN, but the Example 3
+//! / Fig. 5 semantics ("points … within 1.0 units of either center") is a
+//! range query under the aggregate distance. This module adds the exact
+//! tree-pruned range search, generic over the same
+//! [`QueryDistance`] abstraction.
+
+use crate::distance::QueryDistance;
+use crate::knn::{Neighbor, SearchStats};
+use crate::tree::{HybridTree, Node};
+
+impl HybridTree {
+    /// All points with `distance ≤ radius`, sorted ascending by distance
+    /// (ties by id), with search statistics.
+    ///
+    /// Exact under the lower-bound contract: a subtree is pruned only when
+    /// its bounding box's distance lower bound exceeds `radius`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the query dimensionality disagrees with the tree's or
+    /// `radius` is negative.
+    pub fn range<Q: QueryDistance>(
+        &self,
+        query: &Q,
+        radius: f64,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        assert_eq!(query.dim(), self.dim(), "query dimensionality mismatch");
+        assert!(radius >= 0.0, "radius must be non-negative");
+        let mut stats = SearchStats::default();
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(node) = stack.pop() {
+            if query.min_distance(self.nodes[node].bbox()) > radius {
+                continue;
+            }
+            stats.nodes_accessed += 1;
+            match &self.nodes[node] {
+                Node::Leaf { start, end, .. } => {
+                    for pos in *start..*end {
+                        let d = query.distance(self.point_at(pos));
+                        stats.distance_evaluations += 1;
+                        if d <= radius {
+                            out.push(Neighbor {
+                                id: self.order[pos],
+                                distance: d,
+                            });
+                        }
+                    }
+                }
+                Node::Internal { left, right, .. } => {
+                    stack.push(*left);
+                    stack.push(*right);
+                }
+            }
+        }
+        stats.disk_reads = stats.nodes_accessed;
+        out.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .expect("non-NaN distances")
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::EuclideanQuery;
+    use crate::scan::LinearScan;
+
+    fn grid_points(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .flat_map(|i| (0..n).map(move |j| vec![i as f64, j as f64]))
+            .collect()
+    }
+
+    #[test]
+    fn range_matches_scan() {
+        let pts = grid_points(12);
+        let tree = HybridTree::bulk_load_with_page_size(&pts, 96);
+        let scan = LinearScan::new(&pts);
+        let q = EuclideanQuery::new(vec![5.5, 5.5]);
+        let (tree_hits, _) = tree.range(&q, 9.0);
+        let mut scan_hits = scan.range(&q, 9.0);
+        scan_hits.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap()
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        assert_eq!(tree_hits.len(), scan_hits.len());
+        for (a, b) in tree_hits.iter().zip(scan_hits.iter()) {
+            assert_eq!(a.id, b.id);
+        }
+    }
+
+    #[test]
+    fn zero_radius_finds_exact_matches_only() {
+        let pts = grid_points(5);
+        let tree = HybridTree::bulk_load(&pts);
+        let q = EuclideanQuery::new(vec![2.0, 3.0]);
+        let (hits, _) = tree.range(&q, 0.0);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(pts[hits[0].id], vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn pruning_skips_distant_subtrees() {
+        let pts = grid_points(40);
+        let tree = HybridTree::bulk_load_with_page_size(&pts, 256);
+        let q = EuclideanQuery::new(vec![0.0, 0.0]);
+        let (_, stats) = tree.range(&q, 4.0);
+        assert!(
+            stats.nodes_accessed < tree.num_nodes() as u64 / 2,
+            "accessed {} of {}",
+            stats.nodes_accessed,
+            tree.num_nodes()
+        );
+    }
+
+    #[test]
+    fn empty_result_for_out_of_reach_radius() {
+        let pts = grid_points(4);
+        let tree = HybridTree::bulk_load(&pts);
+        let q = EuclideanQuery::new(vec![100.0, 100.0]);
+        let (hits, _) = tree.range(&q, 1.0);
+        assert!(hits.is_empty());
+    }
+}

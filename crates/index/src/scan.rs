@@ -1,0 +1,130 @@
+//! Brute-force linear scan — the exactness oracle and small-data path.
+
+use crate::distance::QueryDistance;
+use crate::knn::Neighbor;
+
+/// A flat copy of the data set answering k-NN by full scan.
+///
+/// Used to validate the tree search (they must agree exactly) and for the
+/// small in-memory candidate sets inside the relevance-feedback loop where
+/// building a tree wouldn't pay off.
+#[derive(Debug, Clone)]
+pub struct LinearScan {
+    data: Vec<f64>,
+    dim: usize,
+    len: usize,
+}
+
+impl LinearScan {
+    /// Copies `points` into a contiguous buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty set or ragged dimensionalities.
+    pub fn new(points: &[Vec<f64>]) -> Self {
+        assert!(!points.is_empty(), "cannot scan an empty point set");
+        let dim = points[0].len();
+        assert!(
+            points.iter().all(|p| p.len() == dim),
+            "all points must share one dimensionality"
+        );
+        let mut data = Vec::with_capacity(points.len() * dim);
+        for p in points {
+            data.extend_from_slice(p);
+        }
+        LinearScan {
+            data,
+            dim,
+            len: points.len(),
+        }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The point with index `id`.
+    pub fn point(&self, id: usize) -> &[f64] {
+        &self.data[id * self.dim..(id + 1) * self.dim]
+    }
+
+    /// Exact k-NN by full scan, ties broken by id, ascending distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k == 0` or the query dimensionality disagrees.
+    pub fn knn<Q: QueryDistance>(&self, query: &Q, k: usize) -> Vec<Neighbor> {
+        assert!(k > 0, "k must be positive");
+        assert_eq!(query.dim(), self.dim, "query dimensionality mismatch");
+        let mut all: Vec<Neighbor> = (0..self.len)
+            .map(|id| Neighbor {
+                id,
+                distance: query.distance(self.point(id)),
+            })
+            .collect();
+        all.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .expect("non-NaN distances")
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        all.truncate(k);
+        all
+    }
+
+    /// All points within `radius` of the query (distance ≤ radius).
+    pub fn range<Q: QueryDistance>(&self, query: &Q, radius: f64) -> Vec<Neighbor> {
+        (0..self.len)
+            .filter_map(|id| {
+                let d = query.distance(self.point(id));
+                (d <= radius).then_some(Neighbor { id, distance: d })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::EuclideanQuery;
+
+    #[test]
+    fn knn_orders_by_distance() {
+        let pts = vec![vec![0.0], vec![10.0], vec![3.0], vec![-2.0]];
+        let scan = LinearScan::new(&pts);
+        let q = EuclideanQuery::new(vec![1.0]);
+        let nn = scan.knn(&q, 3);
+        assert_eq!(nn[0].id, 0);
+        assert_eq!(nn[1].id, 2);
+        assert_eq!(nn[2].id, 3);
+    }
+
+    #[test]
+    fn range_query_filters_by_radius() {
+        let pts = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![5.0, 5.0]];
+        let scan = LinearScan::new(&pts);
+        let q = EuclideanQuery::new(vec![0.0, 0.0]);
+        let within = scan.range(&q, 1.0);
+        assert_eq!(within.len(), 2);
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let pts = vec![vec![1.0], vec![-1.0], vec![1.0]];
+        let scan = LinearScan::new(&pts);
+        let q = EuclideanQuery::new(vec![0.0]);
+        let nn = scan.knn(&q, 3);
+        assert_eq!(nn.iter().map(|n| n.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+}

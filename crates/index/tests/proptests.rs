@@ -1,0 +1,83 @@
+//! Property tests: the tree search must agree exactly with linear scan
+//! for every distance satisfying the lower-bound contract.
+
+use proptest::prelude::*;
+use qcluster_index::{
+    EuclideanQuery, HybridTree, LinearScan, NodeCache, WeightedEuclideanQuery,
+};
+
+fn points(dim: usize, n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(-100.0..100.0f64, dim), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tree_knn_equals_scan_euclidean(
+        pts in points(3, 1..200),
+        q in prop::collection::vec(-100.0..100.0f64, 3),
+        k in 1usize..20,
+    ) {
+        let tree = HybridTree::bulk_load_with_page_size(&pts, 128);
+        let scan = LinearScan::new(&pts);
+        let query = EuclideanQuery::new(q);
+        let (a, _) = tree.knn(&query, k, None);
+        let b = scan.knn(&query, k);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert!((x.distance - y.distance).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tree_knn_equals_scan_weighted(
+        pts in points(4, 1..150),
+        q in prop::collection::vec(-50.0..50.0f64, 4),
+        w in prop::collection::vec(0.0..10.0f64, 4),
+        k in 1usize..10,
+    ) {
+        let tree = HybridTree::bulk_load_with_page_size(&pts, 96);
+        let scan = LinearScan::new(&pts);
+        let query = WeightedEuclideanQuery::new(q, w);
+        let (a, _) = tree.knn(&query, k, None);
+        let b = scan.knn(&query, k);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert!((x.distance - y.distance).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cached_search_returns_identical_results(
+        pts in points(3, 10..150),
+        q in prop::collection::vec(-50.0..50.0f64, 3),
+        k in 1usize..10,
+    ) {
+        let tree = HybridTree::bulk_load_with_page_size(&pts, 96);
+        let query = EuclideanQuery::new(q);
+        let (plain, _) = tree.knn(&query, k, None);
+        let mut cache = NodeCache::new(tree.num_nodes());
+        let (warm1, s1) = tree.knn(&query, k, Some(&mut cache));
+        let (warm2, s2) = tree.knn(&query, k, Some(&mut cache));
+        // The cache changes accounting, never results.
+        prop_assert_eq!(&plain, &warm1);
+        prop_assert_eq!(&plain, &warm2);
+        prop_assert_eq!(s1.cache_hits, 0);
+        prop_assert_eq!(s2.cache_hits, s2.nodes_accessed);
+        prop_assert_eq!(s2.disk_reads, 0);
+    }
+
+    #[test]
+    fn stats_are_consistent(
+        pts in points(2, 5..100),
+        q in prop::collection::vec(-50.0..50.0f64, 2),
+    ) {
+        let tree = HybridTree::bulk_load_with_page_size(&pts, 64);
+        let query = EuclideanQuery::new(q);
+        let (_, s) = tree.knn(&query, 5, None);
+        prop_assert!(s.nodes_accessed >= 1);
+        prop_assert_eq!(s.disk_reads, s.nodes_accessed - s.cache_hits);
+        prop_assert!(s.distance_evaluations <= pts.len() as u64);
+    }
+}

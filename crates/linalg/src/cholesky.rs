@@ -1,0 +1,229 @@
+//! Cholesky decomposition for symmetric positive-definite matrices.
+//!
+//! Covariance matrices are symmetric positive (semi-)definite, so a Cholesky
+//! factorization is both the cheapest way to invert them and the standard
+//! way to sample correlated Gaussian data (`y = A·z` with `A·Aᵀ = Σ`, the
+//! construction the paper uses for its elliptical synthetic clusters in
+//! Section 5).
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// A lower-triangular Cholesky factor `L` with `L·Lᵀ = A`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; the caller is responsible
+    /// for `a` being symmetric.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] when `a` is not square,
+    /// [`LinalgError::NotPositiveDefinite`] when a diagonal pivot is not
+    /// strictly positive.
+    pub fn decompose(a: &Matrix) -> Result<Cholesky> {
+        if !a.is_square() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: "square matrix".into(),
+                found: format!("{}x{}", a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(LinalgError::NotPositiveDefinite);
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `A·x = b` via forward then backward substitution.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `b.len()` differs from the matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        // L·y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = b[i];
+            for j in 0..i {
+                acc -= self.l.get(i, j) * y[j];
+            }
+            y[i] = acc / self.l.get(i, i);
+        }
+        // Lᵀ·x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.l.get(j, i) * x[j];
+            }
+            x[i] = acc / self.l.get(i, i);
+        }
+        x
+    }
+
+    /// Inverse of the original matrix.
+    pub fn inverse(&self) -> Matrix {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e);
+            for i in 0..n {
+                inv.set(i, j, col[i]);
+            }
+            e[j] = 0.0;
+        }
+        inv
+    }
+
+    /// `ln det A = 2 · Σ ln L_ii` — used by the Bayesian classifier's
+    /// `−½ ln |S_i|` term without forming the determinant itself.
+    pub fn ln_determinant(&self) -> f64 {
+        (0..self.dim())
+            .map(|i| self.l.get(i, i).ln())
+            .sum::<f64>()
+            * 2.0
+    }
+
+    /// Applies the factor to a vector: `L·z`.
+    ///
+    /// When `z` is standard normal, `L·z` is a zero-mean Gaussian with
+    /// covariance `A` — the sampling square root.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `z.len()` differs from the matrix dimension.
+    pub fn apply(&self, z: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(z.len(), n, "vector length mismatch");
+        let mut out = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = 0.0;
+            for j in 0..=i {
+                acc += self.l.get(i, j) * z[j];
+            }
+            out[i] = acc;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[
+            &[4.0, 2.0, 0.6],
+            &[2.0, 5.0, 1.0],
+            &[0.6, 1.0, 3.0],
+        ])
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd3();
+        let ch = Cholesky::decompose(&a).unwrap();
+        let l = ch.factor();
+        let recon = l.matmul(&l.transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((recon.get(i, j) - a.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matches_lu() {
+        let a = spd3();
+        let b = [1.0, -2.0, 0.5];
+        let x_ch = Cholesky::decompose(&a).unwrap().solve(&b);
+        let x_lu = crate::lu::Lu::decompose(&a).unwrap().solve(&b);
+        for (c, l) in x_ch.iter().zip(x_lu.iter()) {
+            assert!((c - l).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn inverse_matches_lu_inverse() {
+        let a = spd3();
+        let inv_ch = Cholesky::decompose(&a).unwrap().inverse();
+        let inv_lu = a.inverse().unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((inv_ch.get(i, j) - inv_lu.get(i, j)).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn ln_determinant_matches_lu() {
+        let a = spd3();
+        let ld = Cholesky::decompose(&a).unwrap().ln_determinant();
+        let det = a.determinant().unwrap();
+        assert!((ld - det.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert_eq!(
+            Cholesky::decompose(&a).unwrap_err(),
+            LinalgError::NotPositiveDefinite
+        );
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::decompose(&a),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn apply_is_lower_triangular_product() {
+        let a = spd3();
+        let ch = Cholesky::decompose(&a).unwrap();
+        let z = [1.0, 1.0, 1.0];
+        let got = ch.apply(&z);
+        let want = ch.factor().matvec(&z);
+        for (g, w) in got.iter().zip(want.iter()) {
+            assert!((g - w).abs() < 1e-14);
+        }
+    }
+}

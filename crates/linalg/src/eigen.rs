@@ -1,0 +1,224 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! Principal component analysis (paper Sec. 4.4) needs the eigenvectors and
+//! eigenvalues of sample covariance matrices. Covariances are symmetric, so
+//! the Jacobi method is a good fit: it is simple, unconditionally convergent
+//! for symmetric input, and accurate to machine precision — and the matrices
+//! involved are small (feature dimensions of 9, 16, or the synthetic 16-dim
+//! data), so its O(n³) per sweep cost is irrelevant.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Eigenvalues and eigenvectors of a symmetric matrix, sorted by
+/// **descending** eigenvalue (the order PCA wants: λ₁ ≥ λ₂ ≥ … ≥ λ_p).
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in descending order.
+    pub eigenvalues: Vec<f64>,
+    /// Matrix whose **columns** are the corresponding unit eigenvectors.
+    pub eigenvectors: Matrix,
+}
+
+/// Maximum number of full Jacobi sweeps before declaring non-convergence.
+const MAX_SWEEPS: usize = 64;
+
+impl SymmetricEigen {
+    /// Computes the eigendecomposition of a symmetric matrix.
+    ///
+    /// Only requires `a` to be symmetric up to `1e-8` in absolute terms; the
+    /// strictly upper triangle drives the rotations.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] when `a` is not square or not
+    /// symmetric; [`LinalgError::NoConvergence`] if the off-diagonal mass
+    /// fails to vanish within the sweep budget (does not happen for finite
+    /// symmetric input in practice).
+    pub fn decompose(a: &Matrix) -> Result<SymmetricEigen> {
+        if !a.is_square() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: "square matrix".into(),
+                found: format!("{}x{}", a.rows(), a.cols()),
+            });
+        }
+        if !a.is_symmetric(1e-8 * (1.0 + a.max_abs())) {
+            return Err(LinalgError::DimensionMismatch {
+                expected: "symmetric matrix".into(),
+                found: "asymmetric matrix".into(),
+            });
+        }
+        let n = a.rows();
+        let mut m = a.clone();
+        let mut v = Matrix::identity(n);
+
+        for sweep in 0..MAX_SWEEPS {
+            let mut off = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    off += m.get(i, j).abs();
+                }
+            }
+            if off == 0.0 || off < 1e-14 * (1.0 + m.max_abs()) * (n * n) as f64 {
+                return Ok(Self::collect(&m, &v, n));
+            }
+            let _ = sweep;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = m.get(p, q);
+                    if apq.abs() < 1e-300 {
+                        continue;
+                    }
+                    let app = m.get(p, p);
+                    let aqq = m.get(q, q);
+                    // Rotation angle from the standard Jacobi formulas.
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = if theta >= 0.0 {
+                        1.0 / (theta + (1.0 + theta * theta).sqrt())
+                    } else {
+                        1.0 / (theta - (1.0 + theta * theta).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+
+                    // Apply rotation to rows/columns p and q of m.
+                    for k in 0..n {
+                        let akp = m.get(k, p);
+                        let akq = m.get(k, q);
+                        m.set(k, p, c * akp - s * akq);
+                        m.set(k, q, s * akp + c * akq);
+                    }
+                    for k in 0..n {
+                        let apk = m.get(p, k);
+                        let aqk = m.get(q, k);
+                        m.set(p, k, c * apk - s * aqk);
+                        m.set(q, k, s * apk + c * aqk);
+                    }
+                    // Accumulate eigenvectors.
+                    for k in 0..n {
+                        let vkp = v.get(k, p);
+                        let vkq = v.get(k, q);
+                        v.set(k, p, c * vkp - s * vkq);
+                        v.set(k, q, s * vkp + c * vkq);
+                    }
+                }
+            }
+        }
+        Err(LinalgError::NoConvergence {
+            iterations: MAX_SWEEPS,
+        })
+    }
+
+    fn collect(m: &Matrix, v: &Matrix, n: usize) -> SymmetricEigen {
+        let mut pairs: Vec<(f64, usize)> =
+            (0..n).map(|i| (m.get(i, i), i)).collect();
+        // Descending eigenvalue order, NaN-free by construction.
+        pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("non-NaN eigenvalues"));
+        let eigenvalues: Vec<f64> = pairs.iter().map(|&(l, _)| l).collect();
+        let mut eigenvectors = Matrix::zeros(n, n);
+        for (new_col, &(_, old_col)) in pairs.iter().enumerate() {
+            for row in 0..n {
+                eigenvectors.set(row, new_col, v.get(row, old_col));
+            }
+        }
+        SymmetricEigen {
+            eigenvalues,
+            eigenvectors,
+        }
+    }
+
+    /// Dimension of the decomposed matrix.
+    pub fn dim(&self) -> usize {
+        self.eigenvalues.len()
+    }
+
+    /// Reconstructs the original matrix `V·Λ·Vᵀ` (useful for testing).
+    pub fn reconstruct(&self) -> Matrix {
+        let lambda = Matrix::from_diagonal(&self.eigenvalues);
+        self.eigenvectors
+            .matmul(&lambda)
+            .matmul(&self.eigenvectors.transpose())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_sorted() {
+        let a = Matrix::from_diagonal(&[1.0, 5.0, 3.0]);
+        let e = SymmetricEigen::decompose(&a).unwrap();
+        assert_eq!(e.eigenvalues, vec![5.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = SymmetricEigen::decompose(&a).unwrap();
+        assert!((e.eigenvalues[0] - 3.0).abs() < 1e-12);
+        assert!((e.eigenvalues[1] - 1.0).abs() < 1e-12);
+        // Eigenvector for λ=3 is (1,1)/√2 up to sign.
+        let v0 = e.eigenvectors.column(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!((v0[0] - v0[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_matches_original() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.5, 0.0],
+            &[1.0, 3.0, -1.0, 0.2],
+            &[0.5, -1.0, 5.0, 0.7],
+            &[0.0, 0.2, 0.7, 2.0],
+        ]);
+        let e = SymmetricEigen::decompose(&a).unwrap();
+        let r = e.reconstruct();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(
+                    (r.get(i, j) - a.get(i, j)).abs() < 1e-10,
+                    "mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_rows(&[
+            &[2.0, 0.5, 0.1],
+            &[0.5, 1.0, 0.3],
+            &[0.1, 0.3, 3.0],
+        ]);
+        let e = SymmetricEigen::decompose(&a).unwrap();
+        let vtv = e.eigenvectors.transpose().matmul(&e.eigenvectors);
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((vtv.get(i, j) - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = Matrix::from_rows(&[&[2.5, 0.7], &[0.7, 1.5]]);
+        let e = SymmetricEigen::decompose(&a).unwrap();
+        let sum: f64 = e.eigenvalues.iter().sum();
+        assert!((sum - a.trace()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_asymmetric() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        assert!(SymmetricEigen::decompose(&a).is_err());
+    }
+
+    #[test]
+    fn handles_identity() {
+        let e = SymmetricEigen::decompose(&Matrix::identity(5)).unwrap();
+        assert!(e.eigenvalues.iter().all(|&l| (l - 1.0).abs() < 1e-14));
+    }
+}

@@ -1,0 +1,52 @@
+//! Error type shared by every decomposition in this crate.
+
+use std::fmt;
+
+/// Errors produced by linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the expected shape.
+        expected: String,
+        /// Human-readable description of the shape actually supplied.
+        found: String,
+    },
+    /// The matrix is singular (or numerically singular) and cannot be
+    /// factored or inverted.
+    Singular,
+    /// A Cholesky factorization was requested for a matrix that is not
+    /// positive definite.
+    NotPositiveDefinite,
+    /// An iterative method (e.g. Jacobi eigendecomposition) failed to
+    /// converge within its sweep budget.
+    NoConvergence {
+        /// Number of iterations or sweeps performed before giving up.
+        iterations: usize,
+    },
+    /// The input was empty where at least one element is required.
+    EmptyInput,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::NotPositiveDefinite => {
+                write!(f, "matrix is not positive definite")
+            }
+            LinalgError::NoConvergence { iterations } => {
+                write!(f, "no convergence after {iterations} iterations")
+            }
+            LinalgError::EmptyInput => write!(f, "empty input"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,51 @@
+//! Dense linear-algebra substrate for the Qcluster reproduction.
+//!
+//! Qcluster (Kim & Chung, SIGMOD 2003) relies on a small but non-trivial set
+//! of matrix computations: weighted covariance matrices and their inverses,
+//! pooled covariances, quadratic forms, eigendecompositions for principal
+//! component analysis, and determinants for Bayesian classification. This
+//! crate implements all of them from scratch on row-major `f64` storage.
+//!
+//! # Contents
+//!
+//! - [`Matrix`] — a dense row-major matrix with the usual algebra.
+//! - [`lu`] — LU decomposition with partial pivoting (solve, inverse,
+//!   determinant).
+//! - [`cholesky`] — Cholesky decomposition for symmetric positive-definite
+//!   matrices (solve, inverse, log-determinant, sampling square roots).
+//! - [`eigen`] — cyclic Jacobi eigendecomposition for symmetric matrices.
+//! - [`pca`] — principal component analysis built on [`eigen`].
+//! - [`vecops`] — free functions on `&[f64]` slices for the hot paths
+//!   (dot products, quadratic forms) that must not allocate.
+//!
+//! # Example
+//!
+//! ```
+//! use qcluster_linalg::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+//! let inv = a.inverse().unwrap();
+//! let id = a.matmul(&inv);
+//! assert!((id.get(0, 0) - 1.0).abs() < 1e-12);
+//! assert!(id.get(0, 1).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+// Indexed loops over multiple parallel buffers are the clearest (and often
+// fastest) form for the dense numeric kernels in this workspace.
+#![allow(clippy::needless_range_loop)]
+
+pub mod cholesky;
+pub mod eigen;
+pub mod error;
+pub mod lu;
+pub mod matrix;
+pub mod pca;
+pub mod vecops;
+
+pub use cholesky::Cholesky;
+pub use eigen::SymmetricEigen;
+pub use error::{LinalgError, Result};
+pub use lu::Lu;
+pub use matrix::Matrix;
+pub use pca::Pca;

@@ -1,0 +1,250 @@
+//! LU decomposition with partial pivoting.
+//!
+//! Used for inverting full (non-diagonal) covariance matrices in the
+//! paper's "inverse matrix scheme" (MindReader-style `d²`, Eq. 1) and for
+//! the determinants that appear in the Bayesian classification function.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// An LU factorization `P·A = L·U` of a square matrix.
+///
+/// `L` is unit lower triangular, `U` upper triangular, and `P` a row
+/// permutation recorded in `perm`. Both factors are stored packed in one
+/// matrix (the unit diagonal of `L` is implicit).
+#[derive(Debug, Clone)]
+pub struct Lu {
+    lu: Matrix,
+    perm: Vec<usize>,
+    /// +1.0 or −1.0 depending on the parity of the permutation.
+    sign: f64,
+}
+
+/// Pivot magnitudes below this threshold are treated as exact zeros,
+/// i.e. the matrix is declared singular.
+const PIVOT_EPS: f64 = 1e-12;
+
+impl Lu {
+    /// Factorizes `a`, which must be square.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] when `a` is not square,
+    /// [`LinalgError::Singular`] when a pivot collapses below threshold.
+    pub fn decompose(a: &Matrix) -> Result<Lu> {
+        if !a.is_square() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: "square matrix".into(),
+                found: format!("{}x{}", a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        // Scale factors for implicit scaled partial pivoting: without them a
+        // covariance matrix whose features have wildly different variances
+        // picks bad pivots.
+        let mut scales = vec![0.0; n];
+        for i in 0..n {
+            let big = lu.row(i).iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+            if big == 0.0 {
+                return Err(LinalgError::Singular);
+            }
+            scales[i] = 1.0 / big;
+        }
+
+        for k in 0..n {
+            // Choose pivot row.
+            let mut pivot_row = k;
+            let mut best = 0.0;
+            for i in k..n {
+                let cand = scales[i] * lu.get(i, k).abs();
+                if cand > best {
+                    best = cand;
+                    pivot_row = i;
+                }
+            }
+            if lu.get(pivot_row, k).abs() < PIVOT_EPS {
+                return Err(LinalgError::Singular);
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = lu.get(k, j);
+                    lu.set(k, j, lu.get(pivot_row, j));
+                    lu.set(pivot_row, j, tmp);
+                }
+                perm.swap(k, pivot_row);
+                scales.swap(k, pivot_row);
+                sign = -sign;
+            }
+            let pivot = lu.get(k, k);
+            for i in (k + 1)..n {
+                let factor = lu.get(i, k) / pivot;
+                lu.set(i, k, factor);
+                if factor != 0.0 {
+                    for j in (k + 1)..n {
+                        let v = lu.get(i, j) - factor * lu.get(k, j);
+                        lu.set(i, j, v);
+                    }
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·x = b` for a single right-hand side.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `b.len()` differs from the matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        // Apply permutation, then forward substitution (L has unit diagonal).
+        let mut x: Vec<f64> = self.perm.iter().map(|&pi| b[pi]).collect();
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu.get(i, j) * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu.get(i, j) * x[j];
+            }
+            x[i] = acc / self.lu.get(i, i);
+        }
+        x
+    }
+
+    /// Inverse matrix, solved column by column.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after a successful decomposition, but returns
+    /// `Result` for interface symmetry with [`Matrix::inverse`].
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e);
+            for i in 0..n {
+                inv.set(i, j, col[i]);
+            }
+            e[j] = 0.0;
+        }
+        Ok(inv)
+    }
+
+    /// Determinant: product of `U`'s diagonal times the permutation sign.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.sign;
+        for i in 0..self.dim() {
+            det *= self.lu.get(i, i);
+        }
+        det
+    }
+
+    /// Natural log of `|det A|` — numerically safe for high-dimensional
+    /// covariance matrices whose determinant under/overflows `f64`.
+    pub fn ln_abs_determinant(&self) -> f64 {
+        (0..self.dim())
+            .map(|i| self.lu.get(i, i).abs().ln())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5 ; x + 3y = 10 → x = 1, y = 3
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let lu = Lu::decompose(&a).unwrap();
+        let x = lu.solve(&[5.0, 10.0]);
+        assert_close(x[0], 1.0, 1e-12);
+        assert_close(x[1], 3.0, 1e-12);
+    }
+
+    #[test]
+    fn determinant_2x2() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]);
+        let lu = Lu::decompose(&a).unwrap();
+        assert_close(lu.determinant(), 5.0, 1e-12);
+        assert_close(lu.ln_abs_determinant(), 5.0_f64.ln(), 1e-12);
+    }
+
+    #[test]
+    fn determinant_sign_with_pivoting() {
+        // Requires a row swap; det = -2.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[2.0, 0.0]]);
+        let lu = Lu::decompose(&a).unwrap();
+        assert_close(lu.determinant(), -2.0, 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.5],
+            &[1.0, 3.0, -1.0],
+            &[0.5, -1.0, 5.0],
+        ]);
+        let inv = a.inverse().unwrap();
+        let id = a.matmul(&inv);
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert_close(id.get(i, j), want, 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(Lu::decompose(&a).unwrap_err(), LinalgError::Singular);
+    }
+
+    #[test]
+    fn zero_row_rejected() {
+        let a = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]);
+        assert_eq!(Lu::decompose(&a).unwrap_err(), LinalgError::Singular);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Lu::decompose(&a),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn badly_scaled_rows_still_solve() {
+        // Row scales differ by 1e8; scaled pivoting keeps this accurate.
+        let a = Matrix::from_rows(&[&[1e8, 2e8], &[1.0, 3.0]]);
+        let lu = Lu::decompose(&a).unwrap();
+        let x = lu.solve(&[3e8, 4.0]); // solution x=1, y=1
+        assert_close(x[0], 1.0, 1e-8);
+        assert_close(x[1], 1.0, 1e-8);
+    }
+}

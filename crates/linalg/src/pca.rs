@@ -1,0 +1,278 @@
+//! Principal component analysis (paper Sec. 4.4).
+//!
+//! Qcluster reduces the 9-dim color-moment vector to 3 dimensions and the
+//! 16-dim co-occurrence texture vector to 4 dimensions with PCA, and the
+//! synthetic classification experiments (Figs. 14–17) project 16-dim
+//! Gaussian clusters to 12/9/6/3 dimensions. Section 4.4.4 picks the number
+//! of components `k` as the smallest prefix whose retained variance ratio
+//! `Σ_{i≤k} λ_i / Σ λ_i` reaches `1 − ε` (ε ≤ 0.15 in the paper).
+
+use crate::eigen::SymmetricEigen;
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// A fitted PCA model: the sample mean, the eigenvectors of the sample
+/// covariance (columns of `components`, descending eigenvalue), and the
+/// eigenvalues themselves.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    mean: Vec<f64>,
+    /// `p × p` matrix `G`; column `i` is the `i`-th principal axis.
+    components: Matrix,
+    /// Eigenvalues λ₁ ≥ … ≥ λ_p of the sample covariance.
+    eigenvalues: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits PCA on a data matrix with one sample per row.
+    ///
+    /// Uses the unbiased (n−1) sample covariance `S = Xᶜᵀ Xᶜ / (n−1)` of the
+    /// centered data, matching the paper's "sample principal components"
+    /// (Sec. 4.4.2).
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::EmptyInput`] with fewer than two samples, or the
+    /// eigensolver's error if the covariance fails to decompose.
+    pub fn fit(data: &Matrix) -> Result<Pca> {
+        let n = data.rows();
+        let p = data.cols();
+        if n < 2 {
+            return Err(LinalgError::EmptyInput);
+        }
+        let mut mean = vec![0.0; p];
+        for i in 0..n {
+            for (m, &x) in mean.iter_mut().zip(data.row(i).iter()) {
+                *m += x;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+
+        let mut cov = Matrix::zeros(p, p);
+        let mut centered = vec![0.0; p];
+        for i in 0..n {
+            for (c, (&x, &m)) in centered
+                .iter_mut()
+                .zip(data.row(i).iter().zip(mean.iter()))
+            {
+                *c = x - m;
+            }
+            for a in 0..p {
+                let ca = centered[a];
+                if ca == 0.0 {
+                    continue;
+                }
+                for b in a..p {
+                    let v = cov.get(a, b) + ca * centered[b];
+                    cov.set(a, b, v);
+                }
+            }
+        }
+        let denom = (n - 1) as f64;
+        for a in 0..p {
+            for b in a..p {
+                let v = cov.get(a, b) / denom;
+                cov.set(a, b, v);
+                cov.set(b, a, v);
+            }
+        }
+
+        let eig = SymmetricEigen::decompose(&cov)?;
+        Ok(Pca {
+            mean,
+            components: eig.eigenvectors,
+            // Clamp tiny negative eigenvalues introduced by round-off.
+            eigenvalues: eig.eigenvalues.iter().map(|&l| l.max(0.0)).collect(),
+        })
+    }
+
+    /// The sample mean the model was centered on.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Eigenvalues λ₁ ≥ … ≥ λ_p of the sample covariance.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// The full `p × p` eigenvector matrix `G` (principal axes as columns).
+    pub fn components(&self) -> &Matrix {
+        &self.components
+    }
+
+    /// Original dimensionality `p`.
+    pub fn input_dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Fraction of total variance captured by the first `k` components:
+    /// `(λ₁ + … + λ_k) / (λ₁ + … + λ_p)`.
+    ///
+    /// Returns `1.0` for degenerate zero-variance data.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k > p`.
+    pub fn retained_variance(&self, k: usize) -> f64 {
+        assert!(k <= self.eigenvalues.len(), "k exceeds dimensionality");
+        let total: f64 = self.eigenvalues.iter().sum();
+        if total <= 0.0 {
+            return 1.0;
+        }
+        self.eigenvalues[..k].iter().sum::<f64>() / total
+    }
+
+    /// Smallest `k` with retained variance ≥ `1 − epsilon` (Sec. 4.4.4).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `epsilon` is outside `[0, 1)`.
+    pub fn components_for_epsilon(&self, epsilon: f64) -> usize {
+        assert!((0.0..1.0).contains(&epsilon), "epsilon must be in [0,1)");
+        let target = 1.0 - epsilon;
+        for k in 1..=self.eigenvalues.len() {
+            if self.retained_variance(k) >= target {
+                return k;
+            }
+        }
+        self.eigenvalues.len()
+    }
+
+    /// Projects one point onto the first `k` principal components:
+    /// `z = G_kᵀ (x − mean)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != p` or `k > p`.
+    pub fn transform(&self, x: &[f64], k: usize) -> Vec<f64> {
+        let p = self.input_dim();
+        assert_eq!(x.len(), p, "point dimension mismatch");
+        assert!(k <= p, "k exceeds dimensionality");
+        let mut out = vec![0.0; k];
+        for (j, o) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for i in 0..p {
+                acc += (x[i] - self.mean[i]) * self.components.get(i, j);
+            }
+            *o = acc;
+        }
+        out
+    }
+
+    /// Projects every row of `data` onto the first `k` components.
+    pub fn transform_matrix(&self, data: &Matrix, k: usize) -> Matrix {
+        let mut out = Matrix::zeros(data.rows(), k);
+        for i in 0..data.rows() {
+            let z = self.transform(data.row(i), k);
+            out.row_mut(i).copy_from_slice(&z);
+        }
+        out
+    }
+
+    /// Maps a `k`-dim score vector back to the original space:
+    /// `x ≈ mean + G_k z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `z.len() > p`.
+    pub fn inverse_transform(&self, z: &[f64]) -> Vec<f64> {
+        let p = self.input_dim();
+        assert!(z.len() <= p, "score dimension exceeds p");
+        let mut out = self.mean.clone();
+        for (j, &zj) in z.iter().enumerate() {
+            for i in 0..p {
+                out[i] += self.components.get(i, j) * zj;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Data on the line y = 2x: one dominant component.
+    fn line_data() -> Matrix {
+        let pts: Vec<Vec<f64>> = (0..20)
+            .map(|i| {
+                let t = i as f64 / 5.0;
+                vec![t, 2.0 * t]
+            })
+            .collect();
+        let rows: Vec<&[f64]> = pts.iter().map(|r| r.as_slice()).collect();
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn one_dominant_component_on_a_line() {
+        let pca = Pca::fit(&line_data()).unwrap();
+        assert!(pca.eigenvalues()[0] > 1.0);
+        assert!(pca.eigenvalues()[1].abs() < 1e-10);
+        assert!((pca.retained_variance(1) - 1.0).abs() < 1e-10);
+        assert_eq!(pca.components_for_epsilon(0.05), 1);
+    }
+
+    #[test]
+    fn first_axis_is_line_direction() {
+        let pca = Pca::fit(&line_data()).unwrap();
+        let g0 = pca.components().column(0);
+        // Direction (1,2)/√5, up to sign.
+        let expected = [1.0 / 5.0_f64.sqrt(), 2.0 / 5.0_f64.sqrt()];
+        let dotp: f64 = g0.iter().zip(expected.iter()).map(|(a, b)| a * b).sum();
+        assert!((dotp.abs() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn transform_then_inverse_recovers_on_subspace() {
+        let pca = Pca::fit(&line_data()).unwrap();
+        let x = [1.0, 2.0];
+        let z = pca.transform(&x, 1);
+        let back = pca.inverse_transform(&z);
+        assert!((back[0] - x[0]).abs() < 1e-10);
+        assert!((back[1] - x[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn transformed_data_is_centered_and_decorrelated() {
+        // Correlated 2-D blob.
+        let pts: Vec<Vec<f64>> = (0..50)
+            .map(|i| {
+                let t = i as f64 * 0.37;
+                vec![t.sin() + 0.3 * t.cos(), t.sin() * 0.5 + (t * 1.3).cos()]
+            })
+            .collect();
+        let rows: Vec<&[f64]> = pts.iter().map(|r| r.as_slice()).collect();
+        let data = Matrix::from_rows(&rows);
+        let pca = Pca::fit(&data).unwrap();
+        let z = pca.transform_matrix(&data, 2);
+        let n = z.rows() as f64;
+        let mean0: f64 = (0..z.rows()).map(|i| z.get(i, 0)).sum::<f64>() / n;
+        let mean1: f64 = (0..z.rows()).map(|i| z.get(i, 1)).sum::<f64>() / n;
+        assert!(mean0.abs() < 1e-10);
+        assert!(mean1.abs() < 1e-10);
+        let cross: f64 = (0..z.rows()).map(|i| z.get(i, 0) * z.get(i, 1)).sum::<f64>()
+            / (n - 1.0);
+        assert!(cross.abs() < 1e-8, "components should be uncorrelated");
+        // Variance of component i equals eigenvalue i.
+        let var0: f64 =
+            (0..z.rows()).map(|i| z.get(i, 0) * z.get(i, 0)).sum::<f64>() / (n - 1.0);
+        assert!((var0 - pca.eigenvalues()[0]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn needs_two_samples() {
+        let data = Matrix::from_rows(&[&[1.0, 2.0]]);
+        assert!(matches!(Pca::fit(&data), Err(LinalgError::EmptyInput)));
+    }
+
+    #[test]
+    fn epsilon_zero_keeps_enough_for_full_variance() {
+        let pca = Pca::fit(&line_data()).unwrap();
+        // Line data: one component already reaches 100% variance.
+        assert_eq!(pca.components_for_epsilon(0.0), 1);
+    }
+}

@@ -1,0 +1,216 @@
+//! Allocation-free vector kernels used on the retrieval hot path.
+//!
+//! Distance evaluation dominates Qcluster's query cost: every k-NN search
+//! evaluates the disjunctive distance (paper Eq. 5) against every candidate
+//! feature vector. These helpers therefore take plain slices, never allocate,
+//! and are `#[inline]` so the caller's loop can fuse them.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance between two points.
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+#[inline]
+pub fn sq_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "sq_euclidean length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Weighted squared Euclidean distance `Σ w_i (a_i − b_i)²`.
+///
+/// This is the quadratic form `(a−b)ᵀ D (a−b)` for a diagonal matrix `D`,
+/// i.e. the paper's diagonal-covariance scheme for `d²` (Eq. 1).
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+#[inline]
+pub fn weighted_sq_euclidean(a: &[f64], b: &[f64], w: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "weighted_sq_euclidean length mismatch");
+    assert_eq!(a.len(), w.len(), "weight length mismatch");
+    let mut acc = 0.0;
+    for i in 0..a.len() {
+        let d = a[i] - b[i];
+        acc += w[i] * d * d;
+    }
+    acc
+}
+
+/// Full quadratic form `(x−c)ᵀ M (x−c)` for a dense row-major `p × p`
+/// matrix `M` stored flat in `m`.
+///
+/// This is the generalized Euclidean distance of MindReader and the paper's
+/// `d²` (Eq. 1) with a full inverse covariance. `scratch` must have length
+/// `p` and is used to hold `x − c` without allocating.
+///
+/// # Panics
+///
+/// Panics when any length disagrees with `p = x.len()`.
+#[inline]
+pub fn quadratic_form(x: &[f64], c: &[f64], m: &[f64], scratch: &mut [f64]) -> f64 {
+    let p = x.len();
+    assert_eq!(c.len(), p, "center length mismatch");
+    assert_eq!(scratch.len(), p, "scratch length mismatch");
+    assert_eq!(m.len(), p * p, "matrix length mismatch");
+    for i in 0..p {
+        scratch[i] = x[i] - c[i];
+    }
+    let mut acc = 0.0;
+    for i in 0..p {
+        let di = scratch[i];
+        if di == 0.0 {
+            continue;
+        }
+        let row = &m[i * p..(i + 1) * p];
+        let mut inner = 0.0;
+        for j in 0..p {
+            inner += row[j] * scratch[j];
+        }
+        acc += di * inner;
+    }
+    acc
+}
+
+/// Element-wise `a − b` into a fresh vector.
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+#[inline]
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x - y).collect()
+}
+
+/// Element-wise `a + b` into a fresh vector.
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+#[inline]
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x + y).collect()
+}
+
+/// `a * s` into a fresh vector.
+#[inline]
+pub fn scale(a: &[f64], s: f64) -> Vec<f64> {
+    a.iter().map(|x| x * s).collect()
+}
+
+/// In-place `a += b * s`.
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+#[inline]
+pub fn axpy(a: &mut [f64], b: &[f64], s: f64) {
+    assert_eq!(a.len(), b.len(), "axpy length mismatch");
+    for (x, &y) in a.iter_mut().zip(b.iter()) {
+        *x += y * s;
+    }
+}
+
+/// Arithmetic mean of a set of equal-length points, one slice per point.
+///
+/// Returns `None` for an empty input.
+pub fn mean(points: &[&[f64]]) -> Option<Vec<f64>> {
+    let first = points.first()?;
+    let mut acc = vec![0.0; first.len()];
+    for p in points {
+        axpy(&mut acc, p, 1.0);
+    }
+    let inv = 1.0 / points.len() as f64;
+    for v in &mut acc {
+        *v *= inv;
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn squared_distances() {
+        assert_eq!(sq_euclidean(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(
+            weighted_sq_euclidean(&[0.0, 0.0], &[1.0, 2.0], &[2.0, 0.5]),
+            2.0 + 2.0
+        );
+    }
+
+    #[test]
+    fn quadratic_form_identity_matches_euclidean() {
+        let x = [1.0, 2.0, 3.0];
+        let c = [0.0, 1.0, -1.0];
+        let id = [1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0];
+        let mut scratch = [0.0; 3];
+        let q = quadratic_form(&x, &c, &id, &mut scratch);
+        assert!((q - sq_euclidean(&x, &c)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadratic_form_dense() {
+        // M = [[2,1],[1,3]], d = (1,1): q = 2+1+1+3 = 7
+        let m = [2.0, 1.0, 1.0, 3.0];
+        let mut scratch = [0.0; 2];
+        let q = quadratic_form(&[1.0, 1.0], &[0.0, 0.0], &m, &mut scratch);
+        assert!((q - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elementwise_helpers() {
+        assert_eq!(sub(&[3.0, 2.0], &[1.0, 1.0]), vec![2.0, 1.0]);
+        assert_eq!(add(&[3.0, 2.0], &[1.0, 1.0]), vec![4.0, 3.0]);
+        assert_eq!(scale(&[3.0, 2.0], 2.0), vec![6.0, 4.0]);
+        let mut a = vec![1.0, 1.0];
+        axpy(&mut a, &[1.0, 2.0], 2.0);
+        assert_eq!(a, vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn mean_of_points() {
+        let p1 = [0.0, 0.0];
+        let p2 = [2.0, 4.0];
+        let m = mean(&[&p1, &p2]).unwrap();
+        assert_eq!(m, vec![1.0, 2.0]);
+        assert!(mean(&[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

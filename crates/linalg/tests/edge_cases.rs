@@ -1,0 +1,86 @@
+//! Edge-case unit tests complementing the property tests: numerically
+//! delicate inputs the decompositions must handle gracefully.
+
+use qcluster_linalg::{Cholesky, LinalgError, Lu, Matrix, Pca, SymmetricEigen};
+
+#[test]
+fn lu_one_by_one() {
+    let m = Matrix::from_rows(&[&[4.0]]);
+    let lu = Lu::decompose(&m).unwrap();
+    assert_eq!(lu.determinant(), 4.0);
+    assert_eq!(lu.solve(&[8.0]), vec![2.0]);
+}
+
+#[test]
+fn cholesky_one_by_one() {
+    let m = Matrix::from_rows(&[&[9.0]]);
+    let ch = Cholesky::decompose(&m).unwrap();
+    assert_eq!(ch.factor().get(0, 0), 3.0);
+    assert!((ch.ln_determinant() - 9.0_f64.ln()).abs() < 1e-14);
+}
+
+#[test]
+fn eigen_one_by_one() {
+    let m = Matrix::from_rows(&[&[7.0]]);
+    let e = SymmetricEigen::decompose(&m).unwrap();
+    assert_eq!(e.eigenvalues, vec![7.0]);
+}
+
+#[test]
+fn lu_near_singular_is_rejected_not_garbage() {
+    // Rows differ by 1e-15 of each other: numerically singular.
+    let m = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0 + 1e-16]]);
+    assert!(matches!(
+        Lu::decompose(&m),
+        Err(LinalgError::Singular) | Ok(_)
+    ));
+    // Either verdict is acceptable, but an Ok decomposition must still
+    // solve its own system consistently.
+    if let Ok(lu) = Lu::decompose(&m) {
+        let x = lu.solve(&[2.0, 2.0]);
+        let back = m.matvec(&x);
+        assert!((back[0] - 2.0).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn eigen_handles_tiny_and_huge_scales_together() {
+    let m = Matrix::from_diagonal(&[1e12, 1e-9, 1.0]);
+    let e = SymmetricEigen::decompose(&m).unwrap();
+    assert!((e.eigenvalues[0] - 1e12).abs() / 1e12 < 1e-12);
+    assert!((e.eigenvalues[2] - 1e-9).abs() < 1e-15);
+}
+
+#[test]
+fn pca_on_constant_data_is_degenerate_but_finite() {
+    let rows: Vec<Vec<f64>> = (0..10).map(|_| vec![3.0, -1.0, 2.0]).collect();
+    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    let pca = Pca::fit(&Matrix::from_rows(&refs)).unwrap();
+    // Zero variance everywhere: eigenvalues clamp to zero, retained
+    // variance reports 1.0 by convention, transforms stay finite.
+    assert!(pca.eigenvalues().iter().all(|&l| l == 0.0));
+    assert_eq!(pca.retained_variance(1), 1.0);
+    let z = pca.transform(&[3.0, -1.0, 2.0], 2);
+    assert!(z.iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn matrix_negative_and_zero_entries_roundtrip_algebra() {
+    let a = Matrix::from_rows(&[&[0.0, -2.0], &[-3.0, 0.0]]);
+    let det = a.determinant().unwrap();
+    assert!((det - (-6.0)).abs() < 1e-12);
+    let inv = a.inverse().unwrap();
+    let id = a.matmul(&inv);
+    assert!((id.get(0, 0) - 1.0).abs() < 1e-12);
+    assert!(id.get(1, 0).abs() < 1e-12);
+}
+
+#[test]
+fn outer_product_rank_one_structure() {
+    let m = Matrix::outer(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]);
+    // Rank-1 symmetric: eigenvalues are (‖x‖², 0, 0).
+    let e = SymmetricEigen::decompose(&m).unwrap();
+    assert!((e.eigenvalues[0] - 14.0).abs() < 1e-10);
+    assert!(e.eigenvalues[1].abs() < 1e-10);
+    assert!(e.eigenvalues[2].abs() < 1e-10);
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use qcluster_linalg::{Cholesky, Lu, Matrix, Pca, SymmetricEigen};
+
+/// Strategy: a square matrix of the given size with bounded entries.
+fn square_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0..10.0f64, n * n)
+        .prop_map(move |data| Matrix::from_vec(n, n, data))
+}
+
+/// Strategy: a symmetric positive-definite matrix `AᵀA + I`.
+fn spd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    square_matrix(n).prop_map(move |a| {
+        let mut m = a.transpose().matmul(&a);
+        m.regularize(1.0);
+        m
+    })
+}
+
+fn vector(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0..10.0f64, n)
+}
+
+proptest! {
+    #[test]
+    fn lu_solve_satisfies_system(a in spd_matrix(4), b in vector(4)) {
+        let lu = Lu::decompose(&a).unwrap();
+        let x = lu.solve(&b);
+        let ax = a.matvec(&x);
+        for (got, want) in ax.iter().zip(b.iter()) {
+            prop_assert!((got - want).abs() < 1e-6 * (1.0 + want.abs()));
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip(a in spd_matrix(3)) {
+        let inv = a.inverse().unwrap();
+        let id = a.matmul(&inv);
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((id.get(i, j) - want).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn determinant_of_product_is_product_of_determinants(
+        a in spd_matrix(3),
+        b in spd_matrix(3),
+    ) {
+        let da = a.determinant().unwrap();
+        let db = b.determinant().unwrap();
+        let dab = a.matmul(&b).determinant().unwrap();
+        prop_assert!((dab - da * db).abs() < 1e-6 * (1.0 + dab.abs()));
+    }
+
+    #[test]
+    fn cholesky_matches_lu_solve(a in spd_matrix(4), b in vector(4)) {
+        let ch = Cholesky::decompose(&a).unwrap();
+        let lu = Lu::decompose(&a).unwrap();
+        let xc = ch.solve(&b);
+        let xl = lu.solve(&b);
+        for (c, l) in xc.iter().zip(xl.iter()) {
+            prop_assert!((c - l).abs() < 1e-6 * (1.0 + l.abs()));
+        }
+    }
+
+    #[test]
+    fn eigen_reconstruction(a in spd_matrix(4)) {
+        let e = SymmetricEigen::decompose(&a).unwrap();
+        let r = e.reconstruct();
+        for i in 0..4 {
+            for j in 0..4 {
+                prop_assert!((r.get(i, j) - a.get(i, j)).abs() < 1e-7 * (1.0 + a.max_abs()));
+            }
+        }
+        // SPD ⇒ all eigenvalues strictly positive, sorted descending.
+        for w in e.eigenvalues.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        prop_assert!(e.eigenvalues.iter().all(|&l| l > 0.0));
+    }
+
+    #[test]
+    fn eigen_trace_identity(a in spd_matrix(5)) {
+        let e = SymmetricEigen::decompose(&a).unwrap();
+        let sum: f64 = e.eigenvalues.iter().sum();
+        prop_assert!((sum - a.trace()).abs() < 1e-7 * (1.0 + a.trace().abs()));
+    }
+
+    #[test]
+    fn matmul_associative(a in square_matrix(3), b in square_matrix(3), c in square_matrix(3)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for i in 0..3 {
+            for j in 0..3 {
+                let scale = 1.0 + left.max_abs();
+                prop_assert!((left.get(i, j) - right.get(i, j)).abs() < 1e-8 * scale);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_of_product(a in square_matrix(3), b in square_matrix(3)) {
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((lhs.get(i, j) - rhs.get(i, j)).abs() < 1e-9 * (1.0 + lhs.max_abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn pca_retained_variance_is_monotone(data in prop::collection::vec(vector(4), 5..40)) {
+        let rows: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
+        let m = Matrix::from_rows(&rows);
+        if let Ok(pca) = Pca::fit(&m) {
+            let mut prev = 0.0;
+            for k in 1..=4 {
+                let rv = pca.retained_variance(k);
+                prop_assert!(rv + 1e-12 >= prev);
+                prop_assert!(rv <= 1.0 + 1e-9);
+                prev = rv;
+            }
+            prop_assert!((pca.retained_variance(4) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn quadratic_form_nonnegative_for_spd(a in spd_matrix(4), x in vector(4), c in vector(4)) {
+        let mut scratch = vec![0.0; 4];
+        let q = qcluster_linalg::vecops::quadratic_form(&x, &c, a.as_slice(), &mut scratch);
+        prop_assert!(q >= -1e-9);
+    }
+}

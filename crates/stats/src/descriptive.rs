@@ -1,0 +1,158 @@
+//! Descriptive statistics: means, variances, skewness, quantiles.
+//!
+//! The color-moment feature extractor (paper Sec. 5) computes the mean,
+//! standard deviation, and skewness of each HSV channel; the experiment
+//! harness additionally needs sample quantiles for the Q–Q plots of
+//! Figs. 18–19.
+
+/// Arithmetic mean; returns `None` for empty input.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population variance (divides by `n`); returns `None` for empty input.
+///
+/// The *population* convention matches the moment-based feature extraction,
+/// where the image's pixels are the entire population of interest.
+pub fn population_variance(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Unbiased sample variance (divides by `n − 1`); `None` for fewer than
+/// two observations.
+pub fn sample_variance(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// Population standard deviation.
+pub fn population_std(xs: &[f64]) -> Option<f64> {
+    population_variance(xs).map(f64::sqrt)
+}
+
+/// Third standardized moment (skewness), population convention.
+///
+/// The paper's color-moment feature uses mean, standard deviation, and
+/// skewness per channel. For a constant channel (σ = 0) the skewness is
+/// defined here as `0.0`, so degenerate single-color images still produce
+/// finite feature vectors. Following the common CBIR formulation the value
+/// returned is the **cube root of the third central moment** — it keeps the
+/// feature on the same scale as the mean and σ.
+pub fn skewness(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    let n = xs.len() as f64;
+    let third = xs.iter().map(|x| (x - m).powi(3)).sum::<f64>() / n;
+    // Signed cube root.
+    Some(third.signum() * third.abs().powf(1.0 / 3.0))
+}
+
+/// Classical standardized skewness `E[(x−μ)³]/σ³` (population convention).
+///
+/// Returns `0.0` when σ = 0.
+pub fn standardized_skewness(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    let sd = population_std(xs)?;
+    if sd == 0.0 {
+        return Some(0.0);
+    }
+    let n = xs.len() as f64;
+    let third = xs.iter().map(|x| (x - m).powi(3)).sum::<f64>() / n;
+    Some(third / sd.powi(3))
+}
+
+/// Sample quantile with linear interpolation (type-7, the R default).
+///
+/// # Panics
+///
+/// Panics for empty input or `q` outside `[0, 1]`.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0,1]");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted"
+    );
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = q * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = (lo + 1).min(n - 1);
+    let frac = h - lo as f64;
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
+/// Sorts a copy of the data and returns it — the input for repeated
+/// [`quantile`] calls and the Q–Q plot series.
+pub fn sorted_copy(xs: &[f64]) -> Vec<f64> {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN data"));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), Some(5.0));
+        assert_eq!(population_variance(&xs), Some(4.0));
+        assert_eq!(population_std(&xs), Some(2.0));
+        assert!((sample_variance(&xs).unwrap() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_are_none() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(population_variance(&[]), None);
+        assert_eq!(sample_variance(&[1.0]), None);
+        assert_eq!(skewness(&[]), None);
+    }
+
+    #[test]
+    fn skewness_of_symmetric_data_is_zero() {
+        let xs = [-2.0, -1.0, 0.0, 1.0, 2.0];
+        assert!(skewness(&xs).unwrap().abs() < 1e-12);
+        assert!(standardized_skewness(&xs).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewness_sign_follows_tail() {
+        let right = [0.0, 0.0, 0.0, 0.0, 10.0];
+        assert!(skewness(&right).unwrap() > 0.0);
+        assert!(standardized_skewness(&right).unwrap() > 0.0);
+        let left = [0.0, 0.0, 0.0, 0.0, -10.0];
+        assert!(skewness(&left).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn constant_data_has_zero_skewness() {
+        let xs = [3.0; 10];
+        assert_eq!(skewness(&xs), Some(0.0));
+        assert_eq!(standardized_skewness(&xs), Some(0.0));
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(quantile(&xs, 0.5), 2.5);
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sorted_copy_sorts() {
+        assert_eq!(sorted_copy(&[3.0, 1.0, 2.0]), vec![1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,269 @@
+//! χ², F, and standard normal distributions (CDFs and quantiles).
+//!
+//! The Qcluster engine queries exactly two quantiles:
+//!
+//! - `χ²_p(α)` — the **effective radius** of a cluster's hyper-ellipsoid
+//!   (paper Lemma 1): for significance level α, `100(1−α)%` of a Gaussian
+//!   cluster falls inside the ellipsoid of squared Mahalanobis radius
+//!   `χ²_p(α)`.
+//! - `F_{p, m−p−1}(α)` — the critical value of Hotelling's T² merge test
+//!   (paper Eq. 16).
+//!
+//! Quantiles are computed by monotone bisection on the CDF, which is plenty
+//! fast (the engine caches them per `(p, α)`), robust, and accurate to
+//! ~1e-12.
+
+use crate::special::{reg_inc_beta, reg_lower_gamma};
+
+/// CDF of the χ² distribution with `k` degrees of freedom.
+///
+/// `P(X ≤ x) = P(k/2, x/2)` via the regularized lower incomplete gamma.
+///
+/// # Panics
+///
+/// Panics for `k == 0` or `x < 0`.
+pub fn chi_squared_cdf(k: usize, x: f64) -> f64 {
+    assert!(k > 0, "chi-squared needs at least 1 degree of freedom");
+    assert!(x >= 0.0, "chi-squared support is x >= 0");
+    reg_lower_gamma(k as f64 / 2.0, x / 2.0)
+}
+
+/// Upper quantile of χ²_k: the value `x` with `P(X > x) = alpha`.
+///
+/// This is the paper's effective radius `χ²_p(α)` — as α decreases the
+/// radius grows and clusters accept more distant points.
+///
+/// ```
+/// use qcluster_stats::chi_squared_quantile;
+/// // The classic table value: χ²₃(0.05) ≈ 7.815.
+/// assert!((chi_squared_quantile(3, 0.05) - 7.815).abs() < 1e-3);
+/// ```
+///
+/// # Panics
+///
+/// Panics for `k == 0` or `alpha` outside `(0, 1)`.
+pub fn chi_squared_quantile(k: usize, alpha: f64) -> f64 {
+    assert!(k > 0, "chi-squared needs at least 1 degree of freedom");
+    assert!(
+        alpha > 0.0 && alpha < 1.0,
+        "alpha must be in (0,1), got {alpha}"
+    );
+    let target = 1.0 - alpha;
+    invert_monotone_cdf(|x| chi_squared_cdf(k, x), target, k as f64)
+}
+
+/// CDF of the F distribution with `(d1, d2)` degrees of freedom.
+///
+/// `P(F ≤ x) = I_{d1 x / (d1 x + d2)}(d1/2, d2/2)`.
+///
+/// # Panics
+///
+/// Panics for zero degrees of freedom or `x < 0`.
+pub fn f_cdf(d1: usize, d2: usize, x: f64) -> f64 {
+    assert!(d1 > 0 && d2 > 0, "F distribution needs positive dof");
+    assert!(x >= 0.0, "F support is x >= 0");
+    let (d1, d2) = (d1 as f64, d2 as f64);
+    let t = d1 * x / (d1 * x + d2);
+    reg_inc_beta(d1 / 2.0, d2 / 2.0, t)
+}
+
+/// Upper quantile of `F_{d1,d2}`: the value `x` with `P(F > x) = alpha`.
+///
+/// This is the `F_{p, m_i+m_j−p−1}(α)` appearing in the merge test's
+/// critical distance `c²` (paper Eq. 16).
+///
+/// # Panics
+///
+/// Panics for zero degrees of freedom or `alpha` outside `(0, 1)`.
+pub fn f_quantile(d1: usize, d2: usize, alpha: f64) -> f64 {
+    assert!(d1 > 0 && d2 > 0, "F distribution needs positive dof");
+    assert!(
+        alpha > 0.0 && alpha < 1.0,
+        "alpha must be in (0,1), got {alpha}"
+    );
+    let target = 1.0 - alpha;
+    invert_monotone_cdf(|x| f_cdf(d1, d2, x), target, 1.0)
+}
+
+/// CDF of the standard normal distribution.
+///
+/// Uses `Φ(x) = ½ erfc(−x/√2)` with erfc evaluated through the regularized
+/// incomplete gamma (`erfc(z) = Q(1/2, z²)` for `z ≥ 0`).
+pub fn std_normal_cdf(x: f64) -> f64 {
+    let z = x / std::f64::consts::SQRT_2;
+    if z >= 0.0 {
+        1.0 - 0.5 * (1.0 - reg_lower_gamma(0.5, z * z))
+    } else {
+        0.5 * (1.0 - reg_lower_gamma(0.5, z * z))
+    }
+}
+
+/// Quantile of the standard normal distribution.
+///
+/// # Panics
+///
+/// Panics for `p` outside `(0, 1)`.
+pub fn std_normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "p must be in (0,1), got {p}");
+    if p == 0.5 {
+        return 0.0;
+    }
+    // Bisection on a symmetric bracket; expand until it contains p.
+    let mut lo = -1.0;
+    let mut hi = 1.0;
+    while std_normal_cdf(lo) > p {
+        lo *= 2.0;
+    }
+    while std_normal_cdf(hi) < p {
+        hi *= 2.0;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if std_normal_cdf(mid) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-13 {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Inverts a monotone CDF by expanding an upper bracket then bisecting.
+///
+/// `seed` is a starting guess for the scale of the answer (e.g. the degrees
+/// of freedom for χ², whose mean is `k`).
+fn invert_monotone_cdf(cdf: impl Fn(f64) -> f64, target: f64, seed: f64) -> f64 {
+    debug_assert!((0.0..1.0).contains(&target));
+    let mut hi = seed.max(1.0);
+    let mut iter = 0;
+    while cdf(hi) < target {
+        hi *= 2.0;
+        iter += 1;
+        assert!(iter < 2000, "failed to bracket CDF quantile");
+    }
+    let mut lo = 0.0;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if cdf(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-12 * (1.0 + hi) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn chi2_cdf_known_values() {
+        // Standard table values.
+        assert!(close(chi_squared_cdf(1, 3.841), 0.95, 5e-4));
+        assert!(close(chi_squared_cdf(2, 5.991), 0.95, 5e-4));
+        assert!(close(chi_squared_cdf(10, 18.307), 0.95, 5e-4));
+    }
+
+    #[test]
+    fn chi2_quantile_matches_tables() {
+        assert!(close(chi_squared_quantile(1, 0.05), 3.841, 1e-3));
+        assert!(close(chi_squared_quantile(2, 0.05), 5.991, 1e-3));
+        assert!(close(chi_squared_quantile(3, 0.05), 7.815, 1e-3));
+        assert!(close(chi_squared_quantile(16, 0.05), 26.296, 1e-3));
+        assert!(close(chi_squared_quantile(3, 0.01), 11.345, 1e-3));
+    }
+
+    #[test]
+    fn chi2_quantile_roundtrip() {
+        for &k in &[1usize, 3, 9, 16] {
+            for &a in &[0.01, 0.05, 0.2, 0.5] {
+                let q = chi_squared_quantile(k, a);
+                assert!(close(chi_squared_cdf(k, q), 1.0 - a, 1e-10));
+            }
+        }
+    }
+
+    #[test]
+    fn chi2_radius_grows_as_alpha_shrinks() {
+        // Paper: "As α decreases, a given effective radius increases."
+        let r1 = chi_squared_quantile(7, 0.10);
+        let r2 = chi_squared_quantile(7, 0.05);
+        let r3 = chi_squared_quantile(7, 0.01);
+        assert!(r1 < r2 && r2 < r3);
+    }
+
+    #[test]
+    fn f_cdf_known_values() {
+        // F_{1,1} CDF at 1 is 0.5 (ratio of iid chi2's).
+        assert!(close(f_cdf(1, 1, 1.0), 0.5, 1e-12));
+        // Table: F_{5,10}(0.05) = 3.326
+        assert!(close(f_cdf(5, 10, 3.326), 0.95, 5e-4));
+    }
+
+    #[test]
+    fn f_quantile_matches_tables() {
+        assert!(close(f_quantile(5, 10, 0.05), 3.326, 2e-3));
+        assert!(close(f_quantile(10, 20, 0.05), 2.348, 2e-3));
+        assert!(close(f_quantile(1, 30, 0.05), 4.171, 2e-3));
+        // Paper Table 2's "quantile-F" row for dim 12, n=60: F_{12,48}(0.05) ≈ 1.96
+        assert!(close(f_quantile(12, 48, 0.05), 1.96, 1e-2));
+        // dim 9: F_{9,51}(0.05) ≈ 2.07 ; dim 6: F_{6,54}(0.05) ≈ 2.28 ;
+        // dim 3: F_{3,57}(0.05) ≈ 2.77
+        assert!(close(f_quantile(9, 51, 0.05), 2.07, 1e-2));
+        assert!(close(f_quantile(6, 54, 0.05), 2.28, 1e-2));
+        assert!(close(f_quantile(3, 57, 0.05), 2.77, 1e-2));
+    }
+
+    #[test]
+    fn f_quantile_roundtrip() {
+        for &(d1, d2) in &[(3usize, 7usize), (12, 48), (6, 54)] {
+            for &a in &[0.01, 0.05, 0.25] {
+                let q = f_quantile(d1, d2, a);
+                assert!(close(f_cdf(d1, d2, q), 1.0 - a, 1e-10));
+            }
+        }
+    }
+
+    #[test]
+    fn normal_cdf_symmetry_and_tables() {
+        assert!(close(std_normal_cdf(0.0), 0.5, 1e-14));
+        assert!(close(std_normal_cdf(1.96), 0.975, 1e-4));
+        assert!(close(std_normal_cdf(-1.96), 0.025, 1e-4));
+        for &x in &[0.3, 1.0, 2.5] {
+            assert!(close(std_normal_cdf(x) + std_normal_cdf(-x), 1.0, 1e-12));
+        }
+    }
+
+    #[test]
+    fn normal_quantile_roundtrip() {
+        for &p in &[0.01, 0.1, 0.5, 0.9, 0.99] {
+            let q = std_normal_quantile(p);
+            assert!(close(std_normal_cdf(q), p, 1e-10));
+        }
+    }
+
+    #[test]
+    fn chi2_is_f_limit_consistency() {
+        // For large d2, d1·F_{d1,d2} → χ²_{d1}.
+        let f95 = f_quantile(4, 100_000, 0.05);
+        let c95 = chi_squared_quantile(4, 0.05);
+        assert!(close(4.0 * f95, c95, 1e-2));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0,1)")]
+    fn rejects_bad_alpha() {
+        let _ = chi_squared_quantile(3, 1.5);
+    }
+}

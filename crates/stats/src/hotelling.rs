@@ -1,0 +1,303 @@
+//! Hotelling's two-sample T² test (paper Sec. 4.3, Eqs. 14–16).
+//!
+//! Qcluster merges two clusters when their mean vectors are statistically
+//! indistinguishable: it computes
+//!
+//! ```text
+//! T² = (m_i·m_j)/(m_i+m_j) · (x̄_i − x̄_j)ᵀ S_pooled⁻¹ (x̄_i − x̄_j)
+//! ```
+//!
+//! and compares it against the critical distance
+//!
+//! ```text
+//! c² = p(m_i+m_j−2)/(m_i+m_j−p−1) · F_{p, m_i+m_j−p−1}(α).
+//! ```
+//!
+//! If `T² ≤ c²` the null hypothesis μ_i = μ_j stands and the clusters merge.
+//! The weights `m_i` are the clusters' relevance-score sums, which the paper
+//! substitutes for sample sizes throughout.
+//!
+//! This module exposes the statistic in three layers:
+//!
+//! - [`t2_from_quadratic_form`] — when the caller already evaluated the
+//!   quadratic form under its covariance scheme (diagonal or full inverse),
+//! - [`two_sample_t2`] — from two raw samples (rows of a matrix), used by
+//!   the synthetic merging experiments of Tables 2–3, and
+//! - [`T2Test`] — statistic, critical value, and the merge/separate verdict.
+
+use crate::distributions::f_quantile;
+use qcluster_linalg::{vecops, LinalgError, Matrix};
+
+/// Outcome of one Hotelling T² comparison between two clusters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct T2Test {
+    /// The T² statistic (Eq. 14).
+    pub t2: f64,
+    /// The critical distance c² (Eq. 16).
+    pub c2: f64,
+    /// `true` when `T² > c²`, i.e. the means differ and the null
+    /// hypothesis μ_i = μ_j is rejected — the clusters must stay separate.
+    pub reject: bool,
+}
+
+impl T2Test {
+    /// `true` when the clusters are statistically indistinguishable and
+    /// should merge.
+    pub fn should_merge(&self) -> bool {
+        !self.reject
+    }
+}
+
+/// Scales a precomputed quadratic form into the T² statistic:
+/// `T² = m_i·m_j/(m_i+m_j) · q` where
+/// `q = (x̄_i − x̄_j)ᵀ S_pooled⁻¹ (x̄_i − x̄_j)`.
+///
+/// # Panics
+///
+/// Panics for non-positive weights.
+pub fn t2_from_quadratic_form(q: f64, m_i: f64, m_j: f64) -> f64 {
+    assert!(m_i > 0.0 && m_j > 0.0, "cluster weights must be positive");
+    m_i * m_j / (m_i + m_j) * q
+}
+
+/// Critical distance `c²` for dimension `p`, weights `m_i`, `m_j`, and
+/// significance level `alpha` (Eq. 16).
+///
+/// The F degrees of freedom are `p` and `m_i + m_j − p − 1`; the weights are
+/// rounded to the nearest integer for the second dof as the paper treats
+/// them as effective sample sizes.
+///
+/// Returns `f64::INFINITY` when `m_i + m_j − p − 1 < 1` — with too few
+/// effective samples the test has no power and the caller should always
+/// merge (or defer the decision).
+pub fn hotelling_critical_value(p: usize, m_i: f64, m_j: f64, alpha: f64) -> f64 {
+    assert!(p > 0, "dimension must be positive");
+    assert!(m_i > 0.0 && m_j > 0.0, "cluster weights must be positive");
+    let m = m_i + m_j;
+    let d2 = (m - p as f64 - 1.0).round();
+    if d2 < 1.0 {
+        return f64::INFINITY;
+    }
+    let scale = p as f64 * (m - 2.0) / (m - p as f64 - 1.0);
+    scale * f_quantile(p, d2 as usize, alpha)
+}
+
+/// Covariance handling for the pooled matrix in the T² quadratic form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PooledScheme {
+    /// Invert the full pooled covariance (paper's "inverse matrix scheme").
+    FullInverse,
+    /// Keep only the diagonal and invert element-wise (paper's "diagonal
+    /// matrix scheme", which avoids singularity and is much cheaper).
+    Diagonal,
+}
+
+/// Computes the full two-sample T² test from raw samples.
+///
+/// ```
+/// use qcluster_linalg::Matrix;
+/// use qcluster_stats::hotelling::{two_sample_t2, PooledScheme};
+///
+/// // Two clearly separated 2-D samples.
+/// let a = Matrix::from_rows(&[&[0.0, 0.0], &[0.1, 0.1], &[-0.1, 0.1], &[0.1, -0.1]]);
+/// let b = Matrix::from_rows(&[&[5.0, 5.0], &[5.1, 5.1], &[4.9, 5.1], &[5.1, 4.9]]);
+/// let test = two_sample_t2(&a, &b, 0.05, PooledScheme::Diagonal)?;
+/// assert!(test.reject, "distant means must be distinguished");
+/// # Ok::<(), qcluster_linalg::LinalgError>(())
+/// ```
+///
+/// `xi` and `xj` hold one observation per row (equal column counts). All
+/// observations carry unit weight, matching the synthetic experiments of
+/// Tables 2–3 where every generated point counts once. The pooled
+/// covariance follows Eq. 15 with `v ≡ 1`:
+/// `S_pooled = (Σ_i (x−x̄_i)(x−x̄_i)ᵀ + Σ_j (x−x̄_j)(x−x̄_j)ᵀ) / (n_i+n_j)`.
+///
+/// # Errors
+///
+/// Propagates [`LinalgError`] when the pooled covariance cannot be
+/// inverted under [`PooledScheme::FullInverse`] (e.g. fewer samples than
+/// dimensions — exactly the singularity problem the diagonal scheme dodges).
+pub fn two_sample_t2(
+    xi: &Matrix,
+    xj: &Matrix,
+    alpha: f64,
+    scheme: PooledScheme,
+) -> Result<T2Test, LinalgError> {
+    let p = xi.cols();
+    if xj.cols() != p {
+        return Err(LinalgError::DimensionMismatch {
+            expected: format!("{p} columns"),
+            found: format!("{} columns", xj.cols()),
+        });
+    }
+    let (ni, nj) = (xi.rows(), xj.rows());
+    if ni == 0 || nj == 0 {
+        return Err(LinalgError::EmptyInput);
+    }
+    let mean_i = sample_mean(xi);
+    let mean_j = sample_mean(xj);
+
+    // Pooled scatter normalized by total weight (Eq. 15 with unit scores).
+    let mut pooled = Matrix::zeros(p, p);
+    accumulate_scatter(&mut pooled, xi, &mean_i);
+    accumulate_scatter(&mut pooled, xj, &mean_j);
+    let scale = 1.0 / (ni + nj) as f64;
+    let pooled = pooled.scale(scale);
+
+    let diff = vecops::sub(&mean_i, &mean_j);
+    let q = match scheme {
+        PooledScheme::FullInverse => {
+            let inv = pooled.inverse()?;
+            let mut scratch = vec![0.0; p];
+            vecops::quadratic_form(&diff, &vec![0.0; p], inv.as_slice(), &mut scratch)
+        }
+        PooledScheme::Diagonal => {
+            let weights: Vec<f64> = pooled
+                .diagonal()
+                .iter()
+                .map(|&d| if d > 1e-12 { 1.0 / d } else { 0.0 })
+                .collect();
+            vecops::weighted_sq_euclidean(&diff, &vec![0.0; p], &weights)
+        }
+    };
+    let (mi, mj) = (ni as f64, nj as f64);
+    let t2 = t2_from_quadratic_form(q, mi, mj);
+    let c2 = hotelling_critical_value(p, mi, mj, alpha);
+    Ok(T2Test {
+        t2,
+        c2,
+        reject: t2 > c2,
+    })
+}
+
+fn sample_mean(x: &Matrix) -> Vec<f64> {
+    let mut m = vec![0.0; x.cols()];
+    for i in 0..x.rows() {
+        vecops::axpy(&mut m, x.row(i), 1.0);
+    }
+    let inv = 1.0 / x.rows() as f64;
+    for v in &mut m {
+        *v *= inv;
+    }
+    m
+}
+
+fn accumulate_scatter(acc: &mut Matrix, x: &Matrix, mean: &[f64]) {
+    let p = x.cols();
+    let mut centered = vec![0.0; p];
+    for i in 0..x.rows() {
+        for (c, (&xi, &mi)) in centered.iter_mut().zip(x.row(i).iter().zip(mean.iter())) {
+            *c = xi - mi;
+        }
+        for a in 0..p {
+            let ca = centered[a];
+            if ca == 0.0 {
+                continue;
+            }
+            for b in 0..p {
+                let v = acc.get(a, b) + ca * centered[b];
+                acc.set(a, b, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::MultivariateNormal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cluster(rng: &mut StdRng, mean: Vec<f64>, n: usize) -> Matrix {
+        MultivariateNormal::standard(mean).sample_matrix(rng, n)
+    }
+
+    #[test]
+    fn same_mean_clusters_merge() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = cluster(&mut rng, vec![0.0; 4], 30);
+        let b = cluster(&mut rng, vec![0.0; 4], 30);
+        let t = two_sample_t2(&a, &b, 0.05, PooledScheme::FullInverse).unwrap();
+        assert!(t.should_merge(), "t2={} c2={}", t.t2, t.c2);
+    }
+
+    #[test]
+    fn distant_clusters_stay_separate() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = cluster(&mut rng, vec![0.0; 4], 30);
+        let b = cluster(&mut rng, vec![5.0; 4], 30);
+        for scheme in [PooledScheme::FullInverse, PooledScheme::Diagonal] {
+            let t = two_sample_t2(&a, &b, 0.05, scheme).unwrap();
+            assert!(t.reject, "{scheme:?}: t2={} c2={}", t.t2, t.c2);
+        }
+    }
+
+    #[test]
+    fn diagonal_scheme_agrees_for_spherical_data() {
+        // With (near-)diagonal covariance, both schemes should agree in
+        // verdict on clearly-separated and clearly-overlapping pairs.
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = cluster(&mut rng, vec![0.0; 3], 40);
+        let b = cluster(&mut rng, vec![0.2; 3], 40);
+        let full = two_sample_t2(&a, &b, 0.05, PooledScheme::FullInverse).unwrap();
+        let diag = two_sample_t2(&a, &b, 0.05, PooledScheme::Diagonal).unwrap();
+        assert_eq!(full.reject, diag.reject);
+        assert!((full.t2 - diag.t2).abs() < full.t2.max(1.0));
+    }
+
+    #[test]
+    fn critical_value_matches_paper_table() {
+        // Paper Tables 2–3: dim 12, two clusters of size 30 →
+        // c² scale with F_{12,47}; quantile-F column lists ≈1.96 for the
+        // F quantile itself.
+        let f = f_quantile(12, 47, 0.05);
+        assert!((f - 1.97).abs() < 0.03, "F={f}");
+        let c2 = hotelling_critical_value(12, 30.0, 30.0, 0.05);
+        let scale = 12.0 * 58.0 / 47.0;
+        assert!((c2 - scale * f).abs() < 1e-9);
+    }
+
+    #[test]
+    fn too_few_samples_gives_infinite_critical_value() {
+        let c2 = hotelling_critical_value(12, 4.0, 4.0, 0.05);
+        assert!(c2.is_infinite());
+    }
+
+    #[test]
+    fn singular_pooled_covariance_fails_full_scheme_only() {
+        // 3 points in 4-D: pooled covariance is singular.
+        let a = Matrix::from_rows(&[&[1.0, 0.0, 0.0, 0.0], &[0.0, 1.0, 0.0, 0.0]]);
+        let b = Matrix::from_rows(&[&[0.0, 0.0, 1.0, 0.0]]);
+        assert!(two_sample_t2(&a, &b, 0.05, PooledScheme::FullInverse).is_err());
+        assert!(two_sample_t2(&a, &b, 0.05, PooledScheme::Diagonal).is_ok());
+    }
+
+    #[test]
+    fn t2_scales_with_weights() {
+        let q = 2.0;
+        assert!((t2_from_quadratic_form(q, 10.0, 10.0) - 10.0).abs() < 1e-12);
+        assert!(
+            t2_from_quadratic_form(q, 100.0, 100.0)
+                > t2_from_quadratic_form(q, 10.0, 10.0)
+        );
+    }
+
+    #[test]
+    fn type_i_error_near_alpha() {
+        // With same-mean clusters the rejection rate should be ≈ α.
+        let mut rng = StdRng::seed_from_u64(9);
+        let trials = 300;
+        let mut rejects = 0;
+        for _ in 0..trials {
+            let a = cluster(&mut rng, vec![0.0; 3], 30);
+            let b = cluster(&mut rng, vec![0.0; 3], 30);
+            let t = two_sample_t2(&a, &b, 0.05, PooledScheme::FullInverse).unwrap();
+            if t.reject {
+                rejects += 1;
+            }
+        }
+        let rate = rejects as f64 / trials as f64;
+        assert!(rate < 0.12, "type-I error rate {rate} too high");
+    }
+}

@@ -1,0 +1,32 @@
+//! Statistical substrate for the Qcluster reproduction.
+//!
+//! The Qcluster engine (Kim & Chung, SIGMOD 2003) is built on classical
+//! multivariate statistics:
+//!
+//! - the **χ² effective radius** (Lemma 1) that decides whether a relevant
+//!   image lies inside a cluster's hyper-ellipsoid,
+//! - the **F-distribution critical values** behind Hotelling's T² test that
+//!   drives cluster merging (Eq. 16),
+//! - the **Hotelling two-sample T² statistic** itself (Eq. 14),
+//! - Gaussian samplers for the synthetic-data experiments (Sec. 5), and
+//! - descriptive moments (mean/σ/skewness) used by the color-moment
+//!   feature extractor.
+//!
+//! Everything is implemented from scratch — log-gamma via a Lanczos
+//! approximation, the regularized incomplete gamma and beta functions via
+//! series/continued fractions, and quantiles via bracketed bisection.
+
+#![warn(missing_docs)]
+// Indexed loops over multiple parallel buffers are the clearest (and often
+// fastest) form for the dense numeric kernels in this workspace.
+#![allow(clippy::needless_range_loop)]
+
+pub mod descriptive;
+pub mod distributions;
+pub mod hotelling;
+pub mod sampling;
+pub mod special;
+
+pub use distributions::{chi_squared_cdf, chi_squared_quantile, f_cdf, f_quantile};
+pub use hotelling::{hotelling_critical_value, two_sample_t2, T2Test};
+pub use sampling::{GaussianSampler, MultivariateNormal};

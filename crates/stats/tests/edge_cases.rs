@@ -1,0 +1,97 @@
+//! Edge-case tests for the statistical substrate: extreme parameters and
+//! boundary behavior the paper's engine can actually encounter.
+
+use qcluster_stats::descriptive::{mean, quantile, skewness, sorted_copy};
+use qcluster_stats::distributions::{
+    chi_squared_cdf, chi_squared_quantile, f_quantile, std_normal_quantile,
+};
+use qcluster_stats::hotelling::{hotelling_critical_value, t2_from_quadratic_form};
+use qcluster_stats::special::{ln_gamma, reg_inc_beta, reg_lower_gamma};
+
+#[test]
+fn high_dimensional_effective_radius() {
+    // The engine computes χ²_p(α) for feature dims up to 16 and the
+    // synthetic experiments up to 12; sanity for much larger p.
+    let r = chi_squared_quantile(100, 0.05);
+    assert!((r - 124.34).abs() < 0.1, "χ²₁₀₀(0.05) ≈ 124.34, got {r}");
+    // Radius ordering holds at scale.
+    assert!(chi_squared_quantile(100, 0.01) > r);
+}
+
+#[test]
+fn extreme_significance_levels() {
+    // α near the ends of (0,1) must stay finite and ordered.
+    let tight = chi_squared_quantile(3, 0.999);
+    let loose = chi_squared_quantile(3, 0.001);
+    assert!(tight < loose);
+    assert!(tight > 0.0);
+    let f_tight = f_quantile(5, 20, 0.999);
+    let f_loose = f_quantile(5, 20, 0.001);
+    assert!(f_tight < f_loose);
+}
+
+#[test]
+fn ln_gamma_large_arguments_match_stirling() {
+    // Stirling: lnΓ(x) ≈ (x−½)ln x − x + ½ln(2π) for large x.
+    for &x in &[50.0f64, 200.0, 1000.0] {
+        let stirling = (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln();
+        let exact = ln_gamma(x);
+        assert!(
+            (exact - stirling).abs() / exact.abs() < 1e-3,
+            "x={x}: {exact} vs {stirling}"
+        );
+    }
+}
+
+#[test]
+fn incomplete_functions_at_tiny_parameters() {
+    assert!(reg_lower_gamma(1e-3, 1e-6).is_finite());
+    assert!(reg_inc_beta(1e-2, 1e-2, 0.5).is_finite());
+    // I_{0.5}(a, a) = 0.5 by symmetry for any a.
+    assert!((reg_inc_beta(1e-2, 1e-2, 0.5) - 0.5).abs() < 1e-9);
+}
+
+#[test]
+fn chi2_cdf_far_tail() {
+    assert!(chi_squared_cdf(2, 1000.0) > 1.0 - 1e-12);
+    assert_eq!(chi_squared_cdf(2, 0.0), 0.0);
+}
+
+#[test]
+fn normal_quantile_extremes_are_symmetric() {
+    let lo = std_normal_quantile(1e-6);
+    let hi = std_normal_quantile(1.0 - 1e-6);
+    assert!((lo + hi).abs() < 1e-6, "{lo} vs {hi}");
+    assert!(lo < -4.0 && hi > 4.0);
+}
+
+#[test]
+fn t2_critical_value_boundary_dof() {
+    // Exactly p + 2 effective samples: one F dof — huge but finite.
+    let c = hotelling_critical_value(3, 3.0, 3.0, 0.05);
+    assert!(c.is_finite() && c > 10.0);
+    // Below p + 1 effective samples the F dof rounds to zero and the
+    // test loses all power.
+    assert!(hotelling_critical_value(3, 2.0, 2.3, 0.05).is_infinite());
+}
+
+#[test]
+fn t2_zero_quadratic_form_is_zero() {
+    assert_eq!(t2_from_quadratic_form(0.0, 10.0, 20.0), 0.0);
+}
+
+#[test]
+fn descriptive_single_element() {
+    assert_eq!(mean(&[5.0]), Some(5.0));
+    assert_eq!(skewness(&[5.0]), Some(0.0));
+    let s = sorted_copy(&[5.0]);
+    assert_eq!(quantile(&s, 0.0), 5.0);
+    assert_eq!(quantile(&s, 1.0), 5.0);
+}
+
+#[test]
+fn quantile_handles_duplicates() {
+    let s = sorted_copy(&[1.0, 1.0, 1.0, 2.0]);
+    assert_eq!(quantile(&s, 0.5), 1.0);
+    assert!((quantile(&s, 0.9) - 1.7).abs() < 1e-12);
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the statistical substrate.
+
+use proptest::prelude::*;
+use qcluster_stats::descriptive::{
+    mean, population_variance, quantile, sorted_copy, standardized_skewness,
+};
+use qcluster_stats::distributions::{
+    chi_squared_cdf, chi_squared_quantile, f_cdf, f_quantile, std_normal_cdf,
+    std_normal_quantile,
+};
+use qcluster_stats::hotelling::{hotelling_critical_value, t2_from_quadratic_form};
+use qcluster_stats::special::{ln_gamma, reg_inc_beta, reg_lower_gamma};
+
+proptest! {
+    #[test]
+    fn ln_gamma_recurrence(x in 0.1..50.0f64) {
+        // Γ(x+1) = x·Γ(x)  ⇔  lnΓ(x+1) = ln x + lnΓ(x)
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-10 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn incomplete_gamma_is_a_cdf(a in 0.2..20.0f64, x in 0.0..50.0f64, dx in 0.01..5.0f64) {
+        let p1 = reg_lower_gamma(a, x);
+        let p2 = reg_lower_gamma(a, x + dx);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p1));
+        prop_assert!(p2 + 1e-12 >= p1, "monotone: P({a},{x})={p1} vs P({a},{})={p2}", x + dx);
+    }
+
+    #[test]
+    fn incomplete_beta_is_a_cdf(a in 0.2..10.0f64, b in 0.2..10.0f64, x in 0.0..1.0f64, dx in 0.0..0.2f64) {
+        let hi = (x + dx).min(1.0);
+        let p1 = reg_inc_beta(a, b, x);
+        let p2 = reg_inc_beta(a, b, hi);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p1));
+        prop_assert!(p2 + 1e-9 >= p1);
+    }
+
+    #[test]
+    fn beta_symmetry(a in 0.2..10.0f64, b in 0.2..10.0f64, x in 0.001..0.999f64) {
+        let lhs = reg_inc_beta(a, b, x);
+        let rhs = 1.0 - reg_inc_beta(b, a, 1.0 - x);
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chi2_quantile_inverts_cdf(k in 1usize..40, alpha in 0.001..0.5f64) {
+        let q = chi_squared_quantile(k, alpha);
+        prop_assert!((chi_squared_cdf(k, q) - (1.0 - alpha)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn f_quantile_inverts_cdf(d1 in 1usize..30, d2 in 2usize..60, alpha in 0.005..0.5f64) {
+        let q = f_quantile(d1, d2, alpha);
+        prop_assert!((f_cdf(d1, d2, q) - (1.0 - alpha)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn f_reciprocal_duality(d1 in 1usize..20, d2 in 1usize..20, x in 0.05..20.0f64) {
+        // P(F_{d1,d2} ≤ x) = 1 − P(F_{d2,d1} ≤ 1/x)
+        let lhs = f_cdf(d1, d2, x);
+        let rhs = 1.0 - f_cdf(d2, d1, 1.0 / x);
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_quantile_inverts_cdf(p in 0.001..0.999f64) {
+        let q = std_normal_quantile(p);
+        prop_assert!((std_normal_cdf(q) - p).abs() < 1e-8);
+    }
+
+    #[test]
+    fn variance_is_translation_invariant(
+        xs in prop::collection::vec(-100.0..100.0f64, 2..50),
+        shift in -50.0..50.0f64,
+    ) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        let v1 = population_variance(&xs).unwrap();
+        let v2 = population_variance(&shifted).unwrap();
+        prop_assert!((v1 - v2).abs() < 1e-7 * (1.0 + v1));
+        let m1 = mean(&xs).unwrap();
+        let m2 = mean(&shifted).unwrap();
+        prop_assert!((m2 - m1 - shift).abs() < 1e-9 * (1.0 + shift.abs()));
+    }
+
+    #[test]
+    fn skewness_is_scale_invariant(
+        xs in prop::collection::vec(-10.0..10.0f64, 3..40),
+        scale in 0.1..10.0f64,
+    ) {
+        let v = population_variance(&xs).unwrap();
+        prop_assume!(v > 1e-6);
+        let scaled: Vec<f64> = xs.iter().map(|x| x * scale).collect();
+        let s1 = standardized_skewness(&xs).unwrap();
+        let s2 = standardized_skewness(&scaled).unwrap();
+        prop_assert!((s1 - s2).abs() < 1e-6 * (1.0 + s1.abs()));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        xs in prop::collection::vec(-100.0..100.0f64, 1..60),
+        q1 in 0.0..1.0f64,
+        q2 in 0.0..1.0f64,
+    ) {
+        let sorted = sorted_copy(&xs);
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&sorted, lo);
+        let b = quantile(&sorted, hi);
+        prop_assert!(a <= b + 1e-12);
+        prop_assert!(a >= sorted[0] - 1e-12);
+        prop_assert!(b <= sorted[sorted.len() - 1] + 1e-12);
+    }
+
+    #[test]
+    fn t2_is_linear_in_quadratic_form(q in 0.0..100.0f64, mi in 1.0..50.0f64, mj in 1.0..50.0f64, s in 0.1..5.0f64) {
+        let t1 = t2_from_quadratic_form(q, mi, mj);
+        let t2 = t2_from_quadratic_form(q * s, mi, mj);
+        prop_assert!((t2 - t1 * s).abs() < 1e-9 * (1.0 + t2.abs()));
+    }
+
+    #[test]
+    fn critical_value_shrinks_with_mass(p in 1usize..8, extra in 1.0..100.0f64, alpha in 0.01..0.2f64) {
+        // More effective samples → tighter critical distance.
+        let base = p as f64 + 3.0;
+        let c_small = hotelling_critical_value(p, base, base, alpha);
+        let c_big = hotelling_critical_value(p, base + extra, base + extra, alpha);
+        prop_assert!(c_big <= c_small * 1.0001 || c_small.is_infinite());
+    }
+
+    #[test]
+    fn critical_value_grows_as_alpha_falls(p in 1usize..8, m in 20.0..80.0f64) {
+        let strict = hotelling_critical_value(p, m, m, 0.01);
+        let loose = hotelling_critical_value(p, m, m, 0.2);
+        prop_assert!(strict >= loose);
+    }
+}

@@ -1,0 +1,118 @@
+//! An interactive relevance-feedback session on the terminal.
+//!
+//! Plays the paper's loop with *you* as the user: the system shows the
+//! top-k images (as category/mode descriptions — the corpus is synthetic),
+//! you type the ranks you consider relevant, and the engine refines the
+//! query. Blank input accepts the oracle's judgement (same-category =
+//! relevant); `q` quits.
+//!
+//! ```text
+//! cargo run --release --example interactive
+//! ```
+
+use qcluster::core::{FeedbackPoint, QclusterConfig, QclusterEngine};
+use qcluster::eval::{Dataset, RelevanceOracle};
+use qcluster::imaging::{CorpusBuilder, FeatureKind};
+use qcluster::index::{EuclideanQuery, NodeCache, QueryDistance};
+use std::io::{BufRead, Write};
+
+const K: usize = 12;
+
+fn main() {
+    let corpus = CorpusBuilder::new()
+        .categories(30)
+        .images_per_category(15)
+        .image_size(24)
+        .multimodal_fraction(0.5)
+        .seed(23)
+        .build();
+    let dataset =
+        Dataset::from_corpus(&corpus, FeatureKind::ColorMoments).expect("features build");
+    let oracle = RelevanceOracle::new(&dataset);
+
+    let query_image = 0;
+    let category = dataset.category(query_image);
+    println!(
+        "Searching for images like image {query_image} (category {category}).\n\
+         Mark relevant ranks like `1 3 4`, press Enter to accept the oracle's\n\
+         marks, or `q` to quit.\n"
+    );
+
+    let mut engine = QclusterEngine::new(QclusterConfig::default());
+    let mut cache = NodeCache::new(dataset.tree().num_nodes());
+    let mut retrieved: Vec<usize> = {
+        let q = EuclideanQuery::new(dataset.vector(query_image).to_vec());
+        dataset
+            .tree()
+            .knn(&q, K, Some(&mut cache))
+            .0
+            .iter()
+            .map(|n| n.id)
+            .collect()
+    };
+
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    for round in 1.. {
+        let hits = retrieved
+            .iter()
+            .filter(|&&id| dataset.category(id) == category)
+            .count();
+        println!("--- round {round}: {hits}/{K} relevant in view ---");
+        for (rank, &id) in retrieved.iter().enumerate() {
+            let cat = dataset.category(id);
+            let mode = corpus.mode_of(cat, id % corpus.images_per_category());
+            let tag = if cat == category {
+                "RELEVANT"
+            } else if oracle.same_super(category, id) {
+                "related"
+            } else {
+                ""
+            };
+            println!("  [{:>2}] image {:>5}  category {:>3} mode {mode}  {tag}", rank + 1, id, cat);
+        }
+        print!("relevant ranks> ");
+        std::io::stdout().flush().expect("stdout flushes");
+
+        let Some(Ok(line)) = lines.next() else { break };
+        let line = line.trim().to_string();
+        if line == "q" {
+            break;
+        }
+        let marked: Vec<FeedbackPoint> = if line.is_empty() {
+            retrieved
+                .iter()
+                .filter_map(|&id| {
+                    let score = oracle.score(category, id);
+                    (score > 0.0).then(|| {
+                        FeedbackPoint::new(id, dataset.vector(id).to_vec(), score)
+                    })
+                })
+                .collect()
+        } else {
+            line.split_whitespace()
+                .filter_map(|t| t.parse::<usize>().ok())
+                .filter(|&r| r >= 1 && r <= retrieved.len())
+                .map(|r| {
+                    let id = retrieved[r - 1];
+                    FeedbackPoint::new(id, dataset.vector(id).to_vec(), 3.0)
+                })
+                .collect()
+        };
+        if marked.is_empty() {
+            println!("nothing marked — try again");
+            continue;
+        }
+        engine.feed(&marked).expect("engine feeds");
+        let query = engine.query().expect("query compiles");
+        let (nn, stats) = dataset.tree().knn(&query, K, Some(&mut cache));
+        retrieved = nn.iter().map(|n| n.id).collect();
+        println!(
+            "refined: {} clusters, {} disk reads (distance at top hit {:.4})\n",
+            engine.num_clusters(),
+            stats.disk_reads,
+            query.distance(dataset.vector(retrieved[0]))
+        );
+    }
+    println!("bye");
+}

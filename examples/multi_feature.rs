@@ -1,0 +1,53 @@
+//! Multi-feature retrieval: fusing color and texture rankings.
+//!
+//! The paper evaluates color moments and GLCM texture separately; real
+//! MARS-style systems combine them. This example builds both feature
+//! spaces over one corpus and compares single-feature retrieval against
+//! the normalized weighted fusion.
+//!
+//! ```text
+//! cargo run --release --example multi_feature
+//! ```
+
+use qcluster::eval::{Dataset, MultiFeatureDataset};
+use qcluster::imaging::{CorpusBuilder, FeatureKind};
+use qcluster::index::EuclideanQuery;
+
+fn main() {
+    let corpus = CorpusBuilder::new()
+        .categories(40)
+        .images_per_category(20)
+        .image_size(24)
+        .jitter(0.8)
+        .seed(19)
+        .build();
+    println!("corpus: {} images, {} categories", corpus.len(), corpus.num_categories());
+
+    let color = Dataset::from_corpus(&corpus, FeatureKind::ColorMoments).expect("color");
+    let texture =
+        Dataset::from_corpus(&corpus, FeatureKind::CooccurrenceTexture).expect("texture");
+    let stack = MultiFeatureDataset::new(vec![color, texture]);
+
+    let k = 20;
+    let mut scores = [0usize; 3]; // color-only, texture-only, fused
+    let queries: Vec<usize> = (0..stack.len()).step_by(53).collect();
+    for &q in &queries {
+        let cat = stack.category(q);
+        let qc = EuclideanQuery::new(stack.feature(0).vector(q).to_vec());
+        let qt = EuclideanQuery::new(stack.feature(1).vector(q).to_vec());
+        for (slot, weights) in [[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]].iter().enumerate() {
+            let result = stack.knn_fused(&[&qc, &qt], weights, k);
+            scores[slot] += result
+                .iter()
+                .filter(|n| stack.category(n.id) == cat)
+                .count();
+        }
+    }
+    let denom = (queries.len() * k) as f64;
+    println!("\nmean precision@{k} over {} queries:", queries.len());
+    println!("  color moments only : {:.3}", scores[0] as f64 / denom);
+    println!("  GLCM texture only  : {:.3}", scores[1] as f64 / denom);
+    println!("  fused (1:1)        : {:.3}", scores[2] as f64 / denom);
+    println!("\nFusion combines complementary evidence: categories that collide");
+    println!("in color space are often separated by texture, and vice versa.");
+}

@@ -1,0 +1,61 @@
+//! # qcluster
+//!
+//! A Rust reproduction of **Qcluster: Relevance Feedback Using Adaptive
+//! Clustering for Content-Based Image Retrieval** (Kim & Chung, SIGMOD
+//! 2003) — the complete system: feature extraction, high-dimensional
+//! indexing, the adaptive-clustering feedback engine, every baseline the
+//! paper compares against, and the experimental harness that regenerates
+//! every table and figure.
+//!
+//! This crate is a facade: each subsystem lives in its own crate and is
+//! re-exported here. See the README for the architecture overview and
+//! DESIGN.md for the system inventory.
+//!
+//! ## The full pipeline in one example
+//!
+//! ```
+//! use qcluster::core::{QclusterConfig, QclusterEngine};
+//! use qcluster::eval::{Dataset, FeedbackSession, SimulatedUser};
+//! use qcluster::imaging::{CorpusBuilder, FeatureKind};
+//!
+//! // 1. A labelled synthetic image corpus (the Corel stand-in).
+//! let corpus = CorpusBuilder::new()
+//!     .categories(8)
+//!     .images_per_category(8)
+//!     .image_size(16)
+//!     .seed(1)
+//!     .build();
+//!
+//! // 2. Features (HSV color moments → PCA → 3 dims) + hybrid-tree index.
+//! let dataset = Dataset::from_corpus(&corpus, FeatureKind::ColorMoments)?;
+//!
+//! // 3. A relevance-feedback session: initial k-NN from a query image,
+//! //    then rounds of mark → classify/merge → disjunctive re-query.
+//! let session = FeedbackSession::new(&dataset, 10);
+//! let mut engine = QclusterEngine::new(QclusterConfig::default());
+//! let outcome = session.run(&mut engine, 0, 2)?;
+//!
+//! assert_eq!(outcome.iterations.len(), 3); // initial + 2 feedback rounds
+//! assert!(engine.num_clusters() >= 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`linalg`] | `qcluster-linalg` | matrices, LU/Cholesky/Jacobi, PCA |
+//! | [`stats`] | `qcluster-stats` | χ²/F distributions, Hotelling's T² |
+//! | [`imaging`] | `qcluster-imaging` | synthetic corpus, color moments, GLCM |
+//! | [`index`] | `qcluster-index` | hybrid tree, k-NN, range queries, node cache |
+//! | [`core`] | `qcluster-core` | **the paper's contribution** — the engine |
+//! | [`baselines`] | `qcluster-baselines` | QPM, MindReader, QEX, FALCON |
+//! | [`eval`] | `qcluster-eval` | oracle, sessions, P/R, experiments, persistence |
+
+pub use qcluster_baselines as baselines;
+pub use qcluster_core as core;
+pub use qcluster_eval as eval;
+pub use qcluster_imaging as imaging;
+pub use qcluster_index as index;
+pub use qcluster_linalg as linalg;
+pub use qcluster_stats as stats;

@@ -1,0 +1,112 @@
+//! Cross-method integration: every relevance-feedback approach runs
+//! through the same session driver and satisfies the paper's comparative
+//! structure.
+
+use qcluster::baselines::{Falcon, QueryExpansion, QueryPointMovement, RetrievalMethod};
+use qcluster::core::{QclusterConfig, QclusterEngine};
+use qcluster::eval::pr::pr_at;
+use qcluster::eval::synthetic::SemanticGapConfig;
+use qcluster::eval::{Dataset, FeedbackSession};
+
+fn semantic_gap() -> Dataset {
+    Dataset::semantic_gap(&SemanticGapConfig {
+        categories: 80,
+        per_mode: 15,
+        ..SemanticGapConfig::default()
+    })
+}
+
+fn final_recall(ds: &Dataset, method: &mut dyn RetrievalMethod, queries: &[usize]) -> f64 {
+    let session = FeedbackSession::new(ds, 30);
+    let mut total = 0.0;
+    for &q in queries {
+        let outcome = session.run(method, q, 3).expect("session runs");
+        let last = outcome.iterations.last().expect("non-empty");
+        total += pr_at(ds, ds.category(q), &last.retrieved, last.retrieved.len()).recall;
+    }
+    total / queries.len() as f64
+}
+
+#[test]
+fn initial_round_is_method_independent() {
+    // "They produce the same precision and the same recall for the initial
+    // query" (paper Sec. 5) — the first k-NN happens before any refinement.
+    let ds = semantic_gap();
+    let session = FeedbackSession::new(&ds, 25);
+    let mut qc = QclusterEngine::new(QclusterConfig::default());
+    let mut qpm = QueryPointMovement::new();
+    let mut qex = QueryExpansion::new();
+    let mut falcon = Falcon::new();
+    let mut initials = Vec::new();
+    for m in [
+        &mut qc as &mut dyn RetrievalMethod,
+        &mut qpm,
+        &mut qex,
+        &mut falcon,
+    ] {
+        let outcome = session.run(m, 11, 1).expect("runs");
+        initials.push(outcome.iterations[0].retrieved.clone());
+    }
+    for other in &initials[1..] {
+        assert_eq!(&initials[0], other);
+    }
+}
+
+#[test]
+fn qcluster_wins_on_disjunctive_workload() {
+    let ds = semantic_gap();
+    let queries: Vec<usize> = (0..ds.len()).step_by(157).collect();
+    let mut qc = QclusterEngine::new(QclusterConfig::default());
+    let mut qpm = QueryPointMovement::new();
+    let r_qc = final_recall(&ds, &mut qc, &queries);
+    let r_qpm = final_recall(&ds, &mut qpm, &queries);
+    assert!(
+        r_qc >= r_qpm,
+        "qcluster ({r_qc}) must not trail qpm ({r_qpm}) on disjunctive data"
+    );
+}
+
+#[test]
+fn all_methods_improve_over_initial() {
+    let ds = semantic_gap();
+    let session = FeedbackSession::new(&ds, 30);
+    let queries: Vec<usize> = (0..ds.len()).step_by(311).collect();
+    let mut qc = QclusterEngine::new(QclusterConfig::default());
+    let mut qpm = QueryPointMovement::new();
+    let mut qex = QueryExpansion::new();
+    let mut falcon = Falcon::new();
+    for m in [
+        &mut qc as &mut dyn RetrievalMethod,
+        &mut qpm,
+        &mut qex,
+        &mut falcon,
+    ] {
+        let mut init = 0.0;
+        let mut fin = 0.0;
+        for &q in &queries {
+            let outcome = session.run(m, q, 3).expect("runs");
+            let cat = ds.category(q);
+            let d0 = outcome.iterations[0].retrieved.len();
+            init += pr_at(&ds, cat, &outcome.iterations[0].retrieved, d0).recall;
+            let last = outcome.iterations.last().expect("non-empty");
+            fin += pr_at(&ds, cat, &last.retrieved, last.retrieved.len()).recall;
+        }
+        assert!(
+            fin >= init,
+            "{} failed to improve: {init} -> {fin}",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn methods_are_resettable_and_reusable() {
+    let ds = semantic_gap();
+    let session = FeedbackSession::new(&ds, 20);
+    let mut falcon = Falcon::new();
+    let a = session.run(&mut falcon, 3, 2).expect("runs");
+    let b = session.run(&mut falcon, 3, 2).expect("runs");
+    for (x, y) in a.iterations.iter().zip(b.iterations.iter()) {
+        assert_eq!(x.retrieved, y.retrieved);
+    }
+}

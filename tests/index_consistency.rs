@@ -1,0 +1,89 @@
+//! Index integration: the hybrid tree must return exactly the linear-scan
+//! answer under every production distance function — including Qcluster's
+//! disjunctive aggregate on real extracted features — and the node cache
+//! must never change results.
+
+use qcluster::core::{CovarianceScheme, DisjunctiveQuery, FeedbackPoint, QclusterConfig, QclusterEngine};
+use qcluster::eval::Dataset;
+use qcluster::imaging::FeatureKind;
+use qcluster::index::{HybridTree, LinearScan, NodeCache};
+
+fn dataset() -> Dataset {
+    Dataset::small_default(FeatureKind::ColorMoments, 77).expect("builds")
+}
+
+fn engine_query(ds: &Dataset) -> DisjunctiveQuery {
+    // Build a realistic disjunctive query from two categories' images.
+    let mut engine = QclusterEngine::new(QclusterConfig::default());
+    let mut pts = Vec::new();
+    for id in 0..6 {
+        pts.push(FeedbackPoint::new(id, ds.vector(id).to_vec(), 3.0));
+    }
+    for id in 60..66 {
+        pts.push(FeedbackPoint::new(id, ds.vector(id).to_vec(), 3.0));
+    }
+    engine.feed(&pts).expect("feeds");
+    engine.query().expect("compiles")
+}
+
+#[test]
+fn tree_matches_scan_under_disjunctive_query() {
+    let ds = dataset();
+    let query = engine_query(&ds);
+    let scan = LinearScan::new(ds.vectors());
+    let (tree_result, _) = ds.tree().knn(&query, 25, None);
+    let scan_result = scan.knn(&query, 25);
+    assert_eq!(tree_result.len(), scan_result.len());
+    for (a, b) in tree_result.iter().zip(scan_result.iter()) {
+        assert_eq!(a.id, b.id);
+        assert!((a.distance - b.distance).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn tree_matches_scan_under_full_inverse_scheme() {
+    let ds = dataset();
+    let mut engine = QclusterEngine::new(QclusterConfig {
+        scheme: CovarianceScheme::default_full(),
+        ..QclusterConfig::default()
+    });
+    let pts: Vec<FeedbackPoint> = (0..10)
+        .map(|id| FeedbackPoint::new(id, ds.vector(id).to_vec(), 1.0))
+        .collect();
+    engine.feed(&pts).expect("feeds");
+    let query = engine.query().expect("compiles");
+    let scan = LinearScan::new(ds.vectors());
+    let (tree_result, _) = ds.tree().knn(&query, 15, None);
+    let scan_result = scan.knn(&query, 15);
+    for (a, b) in tree_result.iter().zip(scan_result.iter()) {
+        assert_eq!(a.id, b.id, "full-inverse lower bound must stay admissible");
+    }
+}
+
+#[test]
+fn node_cache_is_result_transparent() {
+    let ds = dataset();
+    let query = engine_query(&ds);
+    let (plain, stats_plain) = ds.tree().knn(&query, 20, None);
+    let mut cache = NodeCache::new(ds.tree().num_nodes());
+    let (cold, stats_cold) = ds.tree().knn(&query, 20, Some(&mut cache));
+    let (warm, stats_warm) = ds.tree().knn(&query, 20, Some(&mut cache));
+    assert_eq!(plain, cold);
+    assert_eq!(plain, warm);
+    assert_eq!(stats_plain.nodes_accessed, stats_cold.nodes_accessed);
+    assert_eq!(stats_warm.disk_reads, 0, "second pass fully cached");
+}
+
+#[test]
+fn page_size_does_not_change_results() {
+    let ds = dataset();
+    let query = engine_query(&ds);
+    let small = HybridTree::bulk_load_with_page_size(ds.vectors(), 256);
+    let big = HybridTree::bulk_load_with_page_size(ds.vectors(), 16_384);
+    let (a, _) = small.knn(&query, 30, None);
+    let (b, _) = big.knn(&query, 30, None);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.id, y.id);
+    }
+}

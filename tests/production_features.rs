@@ -1,0 +1,129 @@
+//! Integration tests for the production-oriented capabilities that extend
+//! the paper's scope: dataset persistence, the growable index, lazy k-NN,
+//! and multi-feature fusion — exercised together, across crates.
+
+use qcluster::core::{QclusterConfig, QclusterEngine};
+use qcluster::eval::synthetic::SemanticGapConfig;
+use qcluster::eval::{persist, Dataset, FeedbackSession, MultiFeatureDataset};
+use qcluster::imaging::{CorpusBuilder, FeatureKind};
+use qcluster::index::{DynamicIndex, EuclideanQuery, QueryDistance};
+
+#[test]
+fn persisted_dataset_reproduces_feedback_sessions() {
+    let original = Dataset::small_default(FeatureKind::ColorMoments, 55).unwrap();
+    let mut buf = Vec::new();
+    persist::write_dataset(&original, &mut buf).unwrap();
+    let restored = persist::read_dataset(buf.as_slice()).unwrap();
+
+    // An identical feedback session over original and restored datasets
+    // must retrieve identical results at every iteration.
+    let mut engine = QclusterEngine::new(QclusterConfig::default());
+    let a = FeedbackSession::new(&original, 15)
+        .run(&mut engine, 3, 3)
+        .unwrap();
+    let b = FeedbackSession::new(&restored, 15)
+        .run(&mut engine, 3, 3)
+        .unwrap();
+    for (x, y) in a.iterations.iter().zip(b.iterations.iter()) {
+        assert_eq!(x.retrieved, y.retrieved);
+    }
+}
+
+#[test]
+fn dynamic_index_serves_engine_queries_after_growth() {
+    let ds = Dataset::semantic_gap(&SemanticGapConfig {
+        categories: 20,
+        per_mode: 10,
+        ..SemanticGapConfig::default()
+    });
+    let mut index = DynamicIndex::with_rebuild_threshold(ds.vectors().to_vec(), 16);
+
+    // Grow the collection with near-duplicates of category 0's images.
+    for i in 0..40 {
+        let mut p = ds.vector(i % 20).to_vec();
+        p[0] += 1e-4;
+        index.insert(p);
+    }
+    assert!(index.rebuilds() >= 1);
+
+    // A disjunctive engine query over the grown index is exact: compare
+    // against a from-scratch bulk load of the same points.
+    let mut engine = QclusterEngine::new(QclusterConfig::default());
+    let pts: Vec<qcluster::core::FeedbackPoint> = (0..8)
+        .map(|id| qcluster::core::FeedbackPoint::new(id, ds.vector(id).to_vec(), 3.0))
+        .collect();
+    engine.feed(&pts).unwrap();
+    let query = engine.query().unwrap();
+
+    let all: Vec<Vec<f64>> = (0..index.len()).map(|i| index.point(i).to_vec()).collect();
+    let fresh = qcluster::index::HybridTree::bulk_load(&all);
+    let (grown, _) = index.knn(&query, 30, None);
+    let (reference, _) = fresh.knn(&query, 30, None);
+    for (a, b) in grown.iter().zip(reference.iter()) {
+        assert_eq!(a.id, b.id);
+    }
+}
+
+#[test]
+fn lazy_knn_matches_batch_on_real_features() {
+    let ds = Dataset::small_default(FeatureKind::CooccurrenceTexture, 8).unwrap();
+    let query = EuclideanQuery::new(ds.vector(10).to_vec());
+    let (batch, _) = ds.tree().knn(&query, 25, None);
+    let lazy: Vec<_> = ds.tree().knn_iter(&query, None).take(25).collect();
+    for (a, b) in batch.iter().zip(lazy.iter()) {
+        assert_eq!(a.id, b.id);
+    }
+    // And the stream keeps going past any fixed k, still ordered.
+    let more: Vec<_> = ds.tree().knn_iter(&query, None).take(100).collect();
+    assert_eq!(more.len(), 100);
+    for w in more.windows(2) {
+        assert!(w[0].distance <= w[1].distance + 1e-12);
+    }
+}
+
+#[test]
+fn fusion_over_real_image_features() {
+    let corpus = CorpusBuilder::new()
+        .categories(10)
+        .images_per_category(10)
+        .image_size(16)
+        .seed(91)
+        .build();
+    let color = Dataset::from_corpus(&corpus, FeatureKind::ColorMoments).unwrap();
+    let texture = Dataset::from_corpus(&corpus, FeatureKind::CooccurrenceTexture).unwrap();
+    let stack = MultiFeatureDataset::new(vec![color, texture]);
+
+    let qc = EuclideanQuery::new(stack.feature(0).vector(0).to_vec());
+    let qt = EuclideanQuery::new(stack.feature(1).vector(0).to_vec());
+    let fused = stack.knn_fused(&[&qc, &qt], &[1.0, 1.0], 10);
+    assert_eq!(fused.len(), 10);
+    assert_eq!(fused[0].id, 0, "the query image itself ranks first");
+    // Fused distances are finite and sorted.
+    for w in fused.windows(2) {
+        assert!(w[0].distance <= w[1].distance);
+        assert!(w[1].distance.is_finite());
+    }
+}
+
+#[test]
+fn all_four_feature_kinds_build_consistent_datasets() {
+    let corpus = CorpusBuilder::new()
+        .categories(6)
+        .images_per_category(6)
+        .image_size(16)
+        .seed(17)
+        .build();
+    for kind in [
+        FeatureKind::ColorMoments,
+        FeatureKind::CooccurrenceTexture,
+        FeatureKind::ColorHistogram,
+        FeatureKind::ColorLayout,
+    ] {
+        let ds = Dataset::from_corpus(&corpus, kind).unwrap();
+        assert_eq!(ds.len(), 36, "{kind:?}");
+        assert_eq!(ds.dim(), kind.reduced_dim(), "{kind:?}");
+        let q = EuclideanQuery::new(ds.vector(0).to_vec());
+        let (nn, _) = ds.tree().knn(&q, 5, None);
+        assert_eq!(nn[0].id, 0, "{kind:?}: self is nearest");
+    }
+}
