@@ -213,13 +213,16 @@ mod tests {
         let soft = two_points(AggregateKind::FuzzyOr { alpha: -1.0 });
         let hard = two_points(AggregateKind::FuzzyOr { alpha: -8.0 });
         let x = [2.0, 0.0]; // d = (4, 64)
-        // The harder OR should be closer to the min component (4).
+                            // The harder OR should be closer to the min component (4).
         assert!((hard.distance(&x) - 4.0).abs() < (soft.distance(&x) - 4.0).abs());
     }
 
     #[test]
     fn lower_bound_contract_both_kinds() {
-        for kind in [AggregateKind::Convex, AggregateKind::FuzzyOr { alpha: -2.0 }] {
+        for kind in [
+            AggregateKind::Convex,
+            AggregateKind::FuzzyOr { alpha: -2.0 },
+        ] {
             let q = two_points(kind);
             let b = BoundingBox::new(vec![3.0, 1.0], vec![6.0, 2.0]);
             let lb = q.min_distance(&b);
@@ -235,10 +238,7 @@ mod tests {
     #[test]
     fn mass_weights_shift_convex_combination() {
         let q = MultiPointQuery::new(
-            vec![
-                (vec![0.0], vec![1.0], 3.0),
-                (vec![10.0], vec![1.0], 1.0),
-            ],
+            vec![(vec![0.0], vec![1.0], 3.0), (vec![10.0], vec![1.0], 1.0)],
             AggregateKind::Convex,
         );
         // d = (25, 25) at x=5 regardless of mass.

@@ -107,7 +107,8 @@ mod tests {
     #[test]
     fn every_relevant_point_is_a_query_point() {
         let mut f = Falcon::new();
-        f.feed(&[pt(0, &[0.0]), pt(1, &[1.0]), pt(2, &[2.0])]).unwrap();
+        f.feed(&[pt(0, &[0.0]), pt(1, &[1.0]), pt(2, &[2.0])])
+            .unwrap();
         assert_eq!(f.num_good_points(), 3);
         f.feed(&[pt(3, &[3.0]), pt(0, &[99.0])]).unwrap();
         // New point added, duplicate id skipped.

@@ -54,10 +54,7 @@ use qcluster_core::QclusterEngine;
 
 /// Validates a feedback batch: non-empty, consistent dimensionality,
 /// positive scores. Returns the dimensionality.
-pub(crate) fn validate(
-    relevant: &[FeedbackPoint],
-    expected_dim: Option<usize>,
-) -> Result<usize> {
+pub(crate) fn validate(relevant: &[FeedbackPoint], expected_dim: Option<usize>) -> Result<usize> {
     use qcluster_core::CoreError;
     let first = relevant.first().ok_or(CoreError::EmptyFeedback)?;
     let dim = expected_dim.unwrap_or_else(|| first.dim());

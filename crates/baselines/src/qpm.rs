@@ -203,10 +203,7 @@ mod tests {
         ])
         .unwrap();
         let w = m.current_weights().unwrap();
-        assert!(
-            w[1] > w[0],
-            "agreeing dimension should weigh more: {w:?}"
-        );
+        assert!(w[1] > w[0], "agreeing dimension should weigh more: {w:?}");
     }
 
     #[test]

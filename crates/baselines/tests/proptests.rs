@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use qcluster_baselines::{
-    AggregateKind, Falcon, MindReader, MultiPointQuery, QueryExpansion,
-    QueryPointMovement, RetrievalMethod,
+    AggregateKind, Falcon, MindReader, MultiPointQuery, QueryExpansion, QueryPointMovement,
+    RetrievalMethod,
 };
 use qcluster_core::FeedbackPoint;
 use qcluster_index::{BoundingBox, QueryDistance};

@@ -9,7 +9,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use qcluster_baselines::{AggregateKind, MultiPointQuery};
-use qcluster_core::{QclusterConfig, QclusterEngine, FeedbackPoint};
+use qcluster_core::{FeedbackPoint, QclusterConfig, QclusterEngine};
 use qcluster_linalg::{Matrix, Pca};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -27,9 +27,7 @@ fn blob(center: f64, n: usize, base: usize, rng: &mut StdRng) -> Vec<FeedbackPoi
 
 fn make_clusters(g: usize, per: usize, rng: &mut StdRng) -> Vec<Cluster> {
     (0..g)
-        .map(|i| {
-            Cluster::from_points(blob(i as f64 * 3.0, per, i * 1000, rng)).expect("non-empty")
-        })
+        .map(|i| Cluster::from_points(blob(i as f64 * 3.0, per, i * 1000, rng)).expect("non-empty"))
         .collect()
 }
 
@@ -102,11 +100,7 @@ fn bench_hierarchical(c: &mut Criterion) {
         let mut pts = blob(0.0, n / 2, 0, &mut rng);
         pts.extend(blob(5.0, n - n / 2, 1000, &mut rng));
         group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
-            b.iter(|| {
-                black_box(
-                    hierarchical_clustering(pts.clone(), 5, 0.5).expect("clusters"),
-                )
-            })
+            b.iter(|| black_box(hierarchical_clustering(pts.clone(), 5, 0.5).expect("clusters")))
         });
     }
     group.finish();
@@ -118,12 +112,8 @@ fn bench_leave_one_out(c: &mut Criterion) {
     c.bench_function("leave_one_out_error", |b| {
         b.iter(|| {
             black_box(
-                leave_one_out_error_rate(
-                    &clusters,
-                    CovarianceScheme::default_diagonal(),
-                    0.05,
-                )
-                .expect("computes"),
+                leave_one_out_error_rate(&clusters, CovarianceScheme::default_diagonal(), 0.05)
+                    .expect("computes"),
             )
         })
     });

@@ -53,11 +53,9 @@ fn bench_disjunctive(c: &mut Criterion) {
             (CovarianceScheme::default_full(), "inverse"),
         ] {
             let q = DisjunctiveQuery::new(&clusters, scheme).expect("compiles");
-            group.bench_with_input(
-                BenchmarkId::new(label, g),
-                &q,
-                |b, q| b.iter(|| black_box(q.distance(black_box(&x)))),
-            );
+            group.bench_with_input(BenchmarkId::new(label, g), &q, |b, q| {
+                b.iter(|| black_box(q.distance(black_box(&x))))
+            });
         }
     }
     group.finish();

@@ -57,5 +57,10 @@ fn bench_cache_effect(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_tree_vs_scan, bench_bulk_load, bench_cache_effect);
+criterion_group!(
+    benches,
+    bench_tree_vs_scan,
+    bench_bulk_load,
+    bench_cache_effect
+);
 criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Service throughput: sharded parallel k-NN on the executor's worker
+//! pool vs the seed's single full-sort linear scan.
+//!
+//! Two effects stack. Per shard, the bounded top-k max-heap does
+//! O(n log k) work instead of the scan baseline's full O(n log n) sort;
+//! across shards the fan-out overlaps work on the pool. On a ≥ 50k-point
+//! corpus the sharded path at 4+ shards must not be slower than the
+//! single-shard scan — this is the acceptance benchmark for the service
+//! subsystem.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qcluster_index::{EuclideanQuery, LinearScan};
+use qcluster_service::{Executor, ShardKind, ShardedCorpus};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 8;
+const N: usize = 50_000;
+const K: usize = 100;
+
+fn make_points(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..DIM).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect()
+}
+
+fn bench_sharded_vs_single_scan(c: &mut Criterion) {
+    let points = make_points(N, 17);
+    let query = EuclideanQuery::new(vec![0.5; DIM]);
+
+    let mut group = c.benchmark_group("service_knn_50k");
+    group.throughput(Throughput::Elements(N as u64));
+
+    // Seed baseline: one linear scan sorting the whole corpus per query.
+    let scan = LinearScan::new(&points);
+    group.bench_function("single_scan_full_sort", |b| {
+        b.iter(|| black_box(scan.knn(&query, K)))
+    });
+
+    // Sharded executor: S scan shards with bounded top-k heaps, merged.
+    for &shards in &[1usize, 2, 4, 8] {
+        let corpus = ShardedCorpus::build(&points, shards, ShardKind::Scan);
+        let executor = Executor::new(shards);
+        group.bench_with_input(
+            BenchmarkId::new("sharded_scan", shards),
+            &corpus,
+            |b, corpus| b.iter(|| black_box(executor.knn(corpus, &query, K, None))),
+        );
+    }
+
+    // Tree shards: best-first search touches a fraction of the corpus.
+    for &shards in &[1usize, 4] {
+        let corpus = ShardedCorpus::build(&points, shards, ShardKind::Tree);
+        let executor = Executor::new(shards);
+        group.bench_with_input(
+            BenchmarkId::new("sharded_tree", shards),
+            &corpus,
+            |b, corpus| b.iter(|| black_box(executor.knn(corpus, &query, K, None))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_vs_single_scan);
+criterion_main!(benches);

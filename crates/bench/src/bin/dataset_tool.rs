@@ -46,7 +46,10 @@ fn main() -> ExitCode {
 
 fn stats(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("stats needs a file path")?;
-    let k: usize = args.get(1).map_or(Ok(50), |s| s.parse()).map_err(|_| "k must be an integer")?;
+    let k: usize = args
+        .get(1)
+        .map_or(Ok(50), |s| s.parse())
+        .map_err(|_| "k must be an integer")?;
     let dataset = load_dataset(Path::new(path)).map_err(|e| e.to_string())?;
     let d = qcluster_eval::diagnostics::analyze(&dataset, k.min(dataset.len()));
     println!("categories            : {}", d.categories.len());
@@ -54,9 +57,15 @@ fn stats(args: &[String]) -> Result<(), String> {
     println!("mean between-centroid : {:.4}", d.mean_between);
     println!("separation ratio      : {:.2}", d.separation_ratio());
     println!("k-NN reach (k={})     : {:.4}", d.reach_k, d.knn_reach);
-    println!("multimodal fraction   : {:.2} (bimodality ≥ 4)", d.multimodal_fraction());
+    println!(
+        "multimodal fraction   : {:.2} (bimodality ≥ 4)",
+        d.multimodal_fraction()
+    );
     println!();
-    println!("{:<10} {:>12} {:>14} {:>12}", "category", "within", "nearest-other", "bimodality");
+    println!(
+        "{:<10} {:>12} {:>14} {:>12}",
+        "category", "within", "nearest-other", "bimodality"
+    );
     for row in d.categories.iter().take(20) {
         println!(
             "{:<10} {:>12.4} {:>14.4} {:>12.2}",
@@ -149,17 +158,29 @@ fn query(args: &[String]) -> Result<(), String> {
         .ok_or("query needs an image id")?
         .parse()
         .map_err(|_| "image id must be an integer")?;
-    let k: usize = args.get(2).map_or(Ok(10), |s| s.parse()).map_err(|_| "k must be an integer")?;
+    let k: usize = args
+        .get(2)
+        .map_or(Ok(10), |s| s.parse())
+        .map_err(|_| "k must be an integer")?;
     let dataset = load_dataset(Path::new(path)).map_err(|e| e.to_string())?;
     if id >= dataset.len() {
-        return Err(format!("image id {id} out of range (dataset has {})", dataset.len()));
+        return Err(format!(
+            "image id {id} out of range (dataset has {})",
+            dataset.len()
+        ));
     }
     let oracle = RelevanceOracle::new(&dataset);
     let cat = dataset.category(id);
     let q = EuclideanQuery::new(dataset.vector(id).to_vec());
     let (results, stats) = dataset.tree().knn(&q, k, None);
-    println!("query image {id} (category {cat}); {} node accesses", stats.nodes_accessed);
-    println!("{:<6} {:>6} {:>12} {:>10} {:>9}", "rank", "id", "distance", "category", "grade");
+    println!(
+        "query image {id} (category {cat}); {} node accesses",
+        stats.nodes_accessed
+    );
+    println!(
+        "{:<6} {:>6} {:>12} {:>10} {:>9}",
+        "rank", "id", "distance", "category", "grade"
+    );
     for (rank, n) in results.iter().enumerate() {
         let grade = oracle.score(cat, n.id);
         println!(

@@ -103,9 +103,9 @@ fn main() {
         .collect();
     if wanted.is_empty() || wanted.contains(&"all") {
         wanted = vec![
-            "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-            "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "table2", "table3",
-            "headline", "ablation",
+            "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+            "fig15", "fig16", "fig17", "fig18", "fig19", "table2", "table3", "headline",
+            "ablation",
         ];
     }
     println!("# Qcluster paper reproduction — scale: {scale:?}\n");
@@ -117,13 +117,9 @@ fn main() {
             "fig8" => run_fig89(scale, FeatureKind::ColorMoments, "Figure 8"),
             "fig9" => run_fig89(scale, FeatureKind::CooccurrenceTexture, "Figure 9"),
             "fig10" => run_fig1013(scale, FeatureKind::ColorMoments, true, "Figure 10"),
-            "fig11" => {
-                run_fig1013(scale, FeatureKind::CooccurrenceTexture, true, "Figure 11")
-            }
+            "fig11" => run_fig1013(scale, FeatureKind::CooccurrenceTexture, true, "Figure 11"),
             "fig12" => run_fig1013(scale, FeatureKind::ColorMoments, false, "Figure 12"),
-            "fig13" => {
-                run_fig1013(scale, FeatureKind::CooccurrenceTexture, false, "Figure 13")
-            }
+            "fig13" => run_fig1013(scale, FeatureKind::CooccurrenceTexture, false, "Figure 13"),
             "fig14" => run_fig1417(
                 scale,
                 ClusterShape::Spherical,
@@ -151,9 +147,7 @@ fn main() {
             "fig18" => run_fig1819(scale, PooledScheme::FullInverse, "Figure 18"),
             "fig19" => run_fig1819(scale, PooledScheme::Diagonal, "Figure 19"),
             "table2" => run_table23(scale, table2_3::MeanHypothesis::Same, "Table 2"),
-            "table3" => {
-                run_table23(scale, table2_3::MeanHypothesis::Different, "Table 3")
-            }
+            "table3" => run_table23(scale, table2_3::MeanHypothesis::Different, "Table 3"),
             "headline" => run_headline(scale),
             "ablation" => run_ablation(scale),
             other => eprintln!("unknown experiment: {other}"),
@@ -184,7 +178,10 @@ fn run_fig6(scale: Scale) {
     println!("## Figure 6 — CPU time per iteration, inverse vs diagonal scheme (color)\n");
     let ds = image_dataset(scale, FeatureKind::ColorMoments);
     let rows = fig6::run(&ds, &workload(scale));
-    println!("{:<10} {:>14} {:>14} {:>8}", "iteration", "diagonal(µs)", "inverse(µs)", "ratio");
+    println!(
+        "{:<10} {:>14} {:>14} {:>8}",
+        "iteration", "diagonal(µs)", "inverse(µs)", "ratio"
+    );
     for row in rows {
         let d = row.diagonal.as_micros() as f64;
         let i = row.inverse.as_micros() as f64;
@@ -224,7 +221,10 @@ fn run_fig89(scale: Scale, kind: FeatureKind, title: &str) {
     println!("## {title} — precision–recall per iteration ({kind:?})\n");
     let ds = image_dataset(scale, kind);
     let res = fig8_9::run(&ds, &workload(scale));
-    println!("{:<10} {:>10} {:>22}", "iteration", "AUPR", "P@k / R@k (full depth)");
+    println!(
+        "{:<10} {:>10} {:>22}",
+        "iteration", "AUPR", "P@k / R@k (full depth)"
+    );
     for (i, curve) in res.curves.iter().enumerate() {
         let last = curve.last().expect("non-empty curve");
         println!(
@@ -274,7 +274,11 @@ fn run_headline(scale: Scale) {
 }
 
 fn print_headline_comparison(ds: &Dataset, scale: Scale) {
-    print_results(&fig10_13::run_all(ds, &headline_workload(scale)), true, "semantic_gap")
+    print_results(
+        &fig10_13::run_all(ds, &headline_workload(scale)),
+        true,
+        "semantic_gap",
+    )
 }
 
 fn print_comparison(ds: &Dataset, scale: Scale, recall: bool, tag: &str) {
@@ -319,7 +323,13 @@ fn print_results(results: &[fig10_13::ApproachQuality], recall: bool, tag: &str)
         results
             .iter()
             .find(|r| r.name == name)
-            .map(|r| if recall { r.recall[last] } else { r.precision[last] })
+            .map(|r| {
+                if recall {
+                    r.recall[last]
+                } else {
+                    r.precision[last]
+                }
+            })
             .unwrap_or(f64::NAN)
     };
     let (qc, qpm, qex) = (get("qcluster"), get("qpm"), get("qex"));
@@ -384,10 +394,18 @@ fn run_fig1417(scale: Scale, shape: ClusterShape, scheme: CovarianceScheme, titl
         "dim,distance,error,variance_ratio",
         &cells
             .iter()
-            .map(|c| format!("{},{},{:.6},{:.6}", c.dim, c.distance, c.error_rate, c.variance_ratio))
+            .map(|c| {
+                format!(
+                    "{},{},{:.6},{:.6}",
+                    c.dim, c.distance, c.error_rate, c.variance_ratio
+                )
+            })
             .collect::<Vec<_>>(),
     );
-    println!("{:<6} {:>10} {:>12} {:>12}", "dim", "distance", "error", "var.ratio");
+    println!(
+        "{:<6} {:>10} {:>12} {:>12}",
+        "dim", "distance", "error", "var.ratio"
+    );
     for c in cells {
         println!(
             "{:<6} {:>10.1} {:>12.3} {:>12.3}",
@@ -417,7 +435,12 @@ fn run_fig1819(scale: Scale, scheme: PooledScheme, title: &str) {
         &format!("qq_{scheme:?}.csv"),
         "critical,t2_same,t2_diff",
         &(0..r.t2_same.len())
-            .map(|i| format!("{:.6},{:.6},{:.6}", r.critical[i], r.t2_same[i], r.t2_diff[i]))
+            .map(|i| {
+                format!(
+                    "{:.6},{:.6},{:.6}",
+                    r.critical[i], r.t2_same[i], r.t2_diff[i]
+                )
+            })
             .collect::<Vec<_>>(),
     );
     show("T² same-mean (F scale)", &r.t2_same);

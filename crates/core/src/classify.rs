@@ -180,25 +180,32 @@ mod tests {
     }
 
     fn two_blobs() -> Vec<Cluster> {
-        vec![blob([0.0, 0.0], 1.0, 0, 1.0), blob([10.0, 10.0], 1.0, 4, 1.0)]
+        vec![
+            blob([0.0, 0.0], 1.0, 0, 1.0),
+            blob([10.0, 10.0], 1.0, 4, 1.0),
+        ]
     }
 
     #[test]
     fn assigns_to_nearest_cluster() {
         let clusters = two_blobs();
         let clf =
-            BayesianClassifier::fit(&clusters, CovarianceScheme::default_diagonal(), 0.05)
-                .unwrap();
-        assert_eq!(clf.classify(&clusters, &[0.3, -0.2]), Classification::Assign(0));
-        assert_eq!(clf.classify(&clusters, &[9.8, 10.1]), Classification::Assign(1));
+            BayesianClassifier::fit(&clusters, CovarianceScheme::default_diagonal(), 0.05).unwrap();
+        assert_eq!(
+            clf.classify(&clusters, &[0.3, -0.2]),
+            Classification::Assign(0)
+        );
+        assert_eq!(
+            clf.classify(&clusters, &[9.8, 10.1]),
+            Classification::Assign(1)
+        );
     }
 
     #[test]
     fn far_outlier_becomes_new_cluster() {
         let clusters = two_blobs();
         let clf =
-            BayesianClassifier::fit(&clusters, CovarianceScheme::default_diagonal(), 0.05)
-                .unwrap();
+            BayesianClassifier::fit(&clusters, CovarianceScheme::default_diagonal(), 0.05).unwrap();
         assert_eq!(
             clf.classify(&clusters, &[100.0, -100.0]),
             Classification::NewCluster
@@ -209,11 +216,9 @@ mod tests {
     fn radius_follows_alpha() {
         let clusters = two_blobs();
         let tight =
-            BayesianClassifier::fit(&clusters, CovarianceScheme::default_diagonal(), 0.20)
-                .unwrap();
+            BayesianClassifier::fit(&clusters, CovarianceScheme::default_diagonal(), 0.20).unwrap();
         let loose =
-            BayesianClassifier::fit(&clusters, CovarianceScheme::default_diagonal(), 0.01)
-                .unwrap();
+            BayesianClassifier::fit(&clusters, CovarianceScheme::default_diagonal(), 0.01).unwrap();
         // Lower α ⇒ larger radius (paper Lemma 1 discussion).
         assert!(loose.effective_radius() > tight.effective_radius());
         // A borderline point can flip from outlier to member as α drops.
@@ -233,18 +238,22 @@ mod tests {
             blob([3.0, 0.0], 1.0, 4, 30.0),
         ];
         let clf =
-            BayesianClassifier::fit(&clusters, CovarianceScheme::default_diagonal(), 0.05)
-                .unwrap();
-        assert_eq!(clf.classify(&clusters, &[1.5, 0.0]), Classification::Assign(1));
+            BayesianClassifier::fit(&clusters, CovarianceScheme::default_diagonal(), 0.05).unwrap();
+        assert_eq!(
+            clf.classify(&clusters, &[1.5, 0.0]),
+            Classification::Assign(1)
+        );
     }
 
     #[test]
     fn works_with_full_inverse_scheme() {
         let clusters = two_blobs();
         let clf =
-            BayesianClassifier::fit(&clusters, CovarianceScheme::default_full(), 0.05)
-                .unwrap();
-        assert_eq!(clf.classify(&clusters, &[0.1, 0.1]), Classification::Assign(0));
+            BayesianClassifier::fit(&clusters, CovarianceScheme::default_full(), 0.05).unwrap();
+        assert_eq!(
+            clf.classify(&clusters, &[0.1, 0.1]),
+            Classification::Assign(0)
+        );
     }
 
     #[test]
@@ -259,8 +268,7 @@ mod tests {
     fn classification_function_decreases_with_distance() {
         let clusters = two_blobs();
         let clf =
-            BayesianClassifier::fit(&clusters, CovarianceScheme::default_diagonal(), 0.05)
-                .unwrap();
+            BayesianClassifier::fit(&clusters, CovarianceScheme::default_diagonal(), 0.05).unwrap();
         let near = clf.score(&clusters, 0, &[0.1, 0.1]);
         let far = clf.score(&clusters, 0, &[5.0, 5.0]);
         assert!(near > far);

@@ -284,8 +284,8 @@ mod tests {
     #[test]
     fn weighted_centroid_matches_def1() {
         // x̄ = (3·(0,0) + 1·(4,4)) / 4 = (1,1)
-        let c = Cluster::from_points(vec![pt(0, &[0.0, 0.0], 3.0), pt(1, &[4.0, 4.0], 1.0)])
-            .unwrap();
+        let c =
+            Cluster::from_points(vec![pt(0, &[0.0, 0.0], 3.0), pt(1, &[4.0, 4.0], 1.0)]).unwrap();
         assert_eq!(c.mean(), &[1.0, 1.0]);
         assert_eq!(c.mass(), 4.0);
     }
@@ -318,11 +318,8 @@ mod tests {
             pt(2, &[0.5, 1.0], 2.0),
         ])
         .unwrap();
-        let b = Cluster::from_points(vec![
-            pt(3, &[5.0, 5.0], 3.0),
-            pt(4, &[6.0, 4.5], 3.0),
-        ])
-        .unwrap();
+        let b =
+            Cluster::from_points(vec![pt(3, &[5.0, 5.0], 3.0), pt(4, &[6.0, 4.5], 3.0)]).unwrap();
         let merged = Cluster::merge(&a, &b);
         let mut union = a.members().to_vec();
         union.extend(b.members().iter().cloned());
@@ -335,8 +332,7 @@ mod tests {
         for i in 0..2 {
             for j in 0..2 {
                 assert!(
-                    (merged.covariance().get(i, j) - direct.covariance().get(i, j)).abs()
-                        < 1e-12,
+                    (merged.covariance().get(i, j) - direct.covariance().get(i, j)).abs() < 1e-12,
                     "cov mismatch at ({i},{j})"
                 );
             }

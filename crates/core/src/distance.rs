@@ -71,8 +71,7 @@ impl Representative {
             }
             None => {
                 b.clamp_point(&self.mean, scratch);
-                let sq =
-                    qcluster_linalg::vecops::sq_euclidean(&self.mean, scratch);
+                let sq = qcluster_linalg::vecops::sq_euclidean(&self.mean, scratch);
                 self.min_eig * sq
             }
         }
@@ -254,8 +253,8 @@ mod tests {
         let q = two_cluster_query(CovarianceScheme::default_diagonal());
         let x = [1.0, 1.0];
         let d_agg = q.distance(&x);
-        let c0 = ClusterDistance::new(&blob(0.0, 0.0, 0), CovarianceScheme::default_diagonal())
-            .unwrap();
+        let c0 =
+            ClusterDistance::new(&blob(0.0, 0.0, 0), CovarianceScheme::default_diagonal()).unwrap();
         assert!(d_agg <= 2.0 * c0.distance(&x) + 1e-9);
     }
 
@@ -269,8 +268,7 @@ mod tests {
         let heavy = Cluster::from_points(heavy_pts).unwrap();
         let light = blob(10.0, 10.0, 4);
         let q =
-            DisjunctiveQuery::new(&[heavy, light], CovarianceScheme::default_diagonal())
-                .unwrap();
+            DisjunctiveQuery::new(&[heavy, light], CovarianceScheme::default_diagonal()).unwrap();
         let balanced = two_cluster_query(CovarianceScheme::default_diagonal());
         // At the midpoint the heavy query should pull the distance down
         // relative to cluster 1's side compared to the balanced query.

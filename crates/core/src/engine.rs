@@ -65,17 +65,23 @@ fn median_nn_distance(points: &[FeedbackPoint]) -> f64 {
         .iter()
         .enumerate()
         .map(|(i, p)| {
-            points
-                .iter()
-                .enumerate()
-                .filter(|&(j, _)| j != i)
-                .map(|(_, q)| {
-                    qcluster_linalg::vecops::sq_euclidean(&p.vector, &q.vector)
-                })
-                .fold(f64::INFINITY, f64::min)
+            let mut best = f64::INFINITY;
+            for (j, q) in points.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                let d = qcluster_linalg::vecops::sq_euclidean(&p.vector, &q.vector);
+                if d == 0.0 {
+                    // A duplicate point: nothing can be nearer.
+                    best = 0.0;
+                    break;
+                }
+                best = best.min(d);
+            }
+            best
         })
         .collect();
-    nn.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN distances"));
+    nn.sort_by(f64::total_cmp);
     nn[nn.len() / 2].sqrt()
 }
 
@@ -199,11 +205,8 @@ impl QclusterEngine {
         let threshold = self.config.threshold.resolve(relevant);
         if self.clusters.is_empty() {
             // Initial iteration: hierarchical clustering (Alg. 1 step 1).
-            self.clusters = hierarchical_clustering(
-                relevant.to_vec(),
-                self.config.target_clusters,
-                threshold,
-            )?;
+            self.clusters =
+                hierarchical_clustering(relevant.to_vec(), self.config.target_clusters, threshold)?;
         } else {
             // Adaptive classification (Alg. 2) against the clusters from
             // the previous iteration; the classifier is fitted once and the
@@ -212,11 +215,8 @@ impl QclusterEngine {
                 if self.clusters.iter().any(|c| c.contains_id(p.id)) {
                     continue;
                 }
-                let classifier = BayesianClassifier::fit(
-                    &self.clusters,
-                    self.config.scheme,
-                    self.config.alpha,
-                )?;
+                let classifier =
+                    BayesianClassifier::fit(&self.clusters, self.config.scheme, self.config.alpha)?;
                 match classifier.classify(&self.clusters, &p.vector) {
                     Classification::Assign(k) => self.clusters[k].push(p.clone()),
                     Classification::NewCluster => {
@@ -390,18 +390,36 @@ mod tests {
     #[test]
     fn threshold_policy_resolves_scale() {
         // Auto threshold tracks the marked set's scale.
-        let tight: Vec<FeedbackPoint> = (0..5)
-            .map(|i| pt(i, &[i as f64 * 0.01, 0.0]))
-            .collect();
-        let wide: Vec<FeedbackPoint> = (0..5)
-            .map(|i| pt(i, &[i as f64 * 10.0, 0.0]))
-            .collect();
+        let tight: Vec<FeedbackPoint> = (0..5).map(|i| pt(i, &[i as f64 * 0.01, 0.0])).collect();
+        let wide: Vec<FeedbackPoint> = (0..5).map(|i| pt(i, &[i as f64 * 10.0, 0.0])).collect();
         let policy = ThresholdPolicy::Auto { multiplier: 2.0 };
         assert!(policy.resolve(&tight) < policy.resolve(&wide));
         // Fixed ignores the data.
         assert_eq!(ThresholdPolicy::Fixed(0.7).resolve(&tight), 0.7);
         // Degenerate inputs resolve to zero.
         assert_eq!(policy.resolve(&tight[..1]), 0.0);
+    }
+
+    #[test]
+    fn median_nn_distance_handles_identical_points() {
+        // All-duplicate marks: every nearest-neighbor distance is exactly
+        // zero, so the auto threshold must resolve to zero instead of
+        // panicking or producing NaN.
+        let dupes: Vec<FeedbackPoint> = (0..4).map(|i| pt(i, &[1.5, -2.5])).collect();
+        let policy = ThresholdPolicy::Auto { multiplier: 2.0 };
+        assert_eq!(policy.resolve(&dupes), 0.0);
+        assert_eq!(median_nn_distance(&dupes), 0.0);
+
+        // A mixed set — one duplicate pair among spread points — keeps a
+        // finite, non-NaN median.
+        let mixed = vec![
+            pt(0, &[0.0, 0.0]),
+            pt(1, &[0.0, 0.0]),
+            pt(2, &[3.0, 0.0]),
+            pt(3, &[0.0, 4.0]),
+        ];
+        let med = median_nn_distance(&mixed);
+        assert!(med.is_finite() && med >= 0.0);
     }
 
     #[test]

@@ -55,10 +55,8 @@ pub fn hierarchical_clustering(
         let mut best = (0usize, 1usize, f64::INFINITY);
         for i in 0..clusters.len() {
             for j in (i + 1)..clusters.len() {
-                let d = qcluster_linalg::vecops::sq_euclidean(
-                    clusters[i].mean(),
-                    clusters[j].mean(),
-                );
+                let d =
+                    qcluster_linalg::vecops::sq_euclidean(clusters[i].mean(), clusters[j].mean());
                 if d < best.2 {
                     best = (i, j, d);
                 }

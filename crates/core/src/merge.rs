@@ -164,7 +164,10 @@ pub fn merge_clusters(
 ) -> Result<MergeOutcome> {
     assert!(target > 0, "target cluster count must be positive");
     assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
-    assert!(degenerate_threshold >= 0.0, "threshold must be non-negative");
+    assert!(
+        degenerate_threshold >= 0.0,
+        "threshold must be non-negative"
+    );
     let mut outcome = MergeOutcome::default();
     let mut alpha = alpha;
     let mut threshold = degenerate_threshold;
@@ -180,8 +183,7 @@ pub fn merge_clusters(
             let mut best: Option<(usize, usize, f64)> = None;
             for i in 0..clusters.len() {
                 for j in (i + 1)..clusters.len() {
-                    let s =
-                        score_pair(&clusters[i], &clusters[j], scheme, alpha, threshold)?;
+                    let s = score_pair(&clusters[i], &clusters[j], scheme, alpha, threshold)?;
                     outcome.tests += 1;
                     let ratio = s.ratio();
                     if best.is_none_or(|(_, _, r)| ratio < r) {

@@ -100,18 +100,16 @@ mod tests {
     #[test]
     fn well_separated_clusters_have_zero_error() {
         let clusters = vec![ring(0.0, 0.0, 1.0, 0, 8), ring(20.0, 20.0, 1.0, 8, 8)];
-        let err =
-            leave_one_out_error_rate(&clusters, CovarianceScheme::default_diagonal(), 0.05)
-                .unwrap();
+        let err = leave_one_out_error_rate(&clusters, CovarianceScheme::default_diagonal(), 0.05)
+            .unwrap();
         assert_eq!(err, 0.0);
     }
 
     #[test]
     fn heavily_overlapping_clusters_have_high_error() {
         let clusters = vec![ring(0.0, 0.0, 2.0, 0, 8), ring(0.3, 0.0, 2.0, 8, 8)];
-        let err =
-            leave_one_out_error_rate(&clusters, CovarianceScheme::default_diagonal(), 0.05)
-                .unwrap();
+        let err = leave_one_out_error_rate(&clusters, CovarianceScheme::default_diagonal(), 0.05)
+            .unwrap();
         assert!(err > 0.2, "error rate {err} unexpectedly low");
     }
 
@@ -119,8 +117,7 @@ mod tests {
     fn error_rate_is_bounded() {
         let clusters = vec![ring(0.0, 0.0, 1.0, 0, 6), ring(3.0, 0.0, 1.5, 6, 6)];
         let err =
-            leave_one_out_error_rate(&clusters, CovarianceScheme::default_full(), 0.05)
-                .unwrap();
+            leave_one_out_error_rate(&clusters, CovarianceScheme::default_full(), 0.05).unwrap();
         assert!((0.0..=1.0).contains(&err));
     }
 
@@ -130,17 +127,16 @@ mod tests {
             ring(0.0, 0.0, 1.0, 0, 8),
             Cluster::from_point(pt(99, &[0.2, 0.2])),
         ];
-        let err =
-            leave_one_out_error_rate(&clusters, CovarianceScheme::default_diagonal(), 0.05)
-                .unwrap();
+        let err = leave_one_out_error_rate(&clusters, CovarianceScheme::default_diagonal(), 0.05)
+            .unwrap();
         // 9 points, the singleton is always wrong: error ≥ 1/9.
         assert!(err >= 1.0 / 9.0 - 1e-12);
     }
 
     #[test]
     fn empty_input_is_zero_error() {
-        let err = leave_one_out_error_rate(&[], CovarianceScheme::default_diagonal(), 0.05)
-            .unwrap();
+        let err =
+            leave_one_out_error_rate(&[], CovarianceScheme::default_diagonal(), 0.05).unwrap();
         assert_eq!(err, 0.0);
     }
 }

@@ -176,8 +176,7 @@ mod tests {
         // Sample covariance and its inverse (ridged the same way).
         let pca = Pca::fit(&data).unwrap();
         let mut cov = pca.components().matmul(
-            &Matrix::from_diagonal(pca.eigenvalues())
-                .matmul(&pca.components().transpose()),
+            &Matrix::from_diagonal(pca.eigenvalues()).matmul(&pca.components().transpose()),
         );
         cov.regularize(0.0);
         let inv = cov.inverse().unwrap();
@@ -189,12 +188,8 @@ mod tests {
         let spectral = space.spectral_sq_distance(&zx, &zy);
         let diff = qcluster_linalg::vecops::sub(&x, &y);
         let mut scratch = vec![0.0; 4];
-        let direct = qcluster_linalg::vecops::quadratic_form(
-            &diff,
-            &[0.0; 4],
-            inv.as_slice(),
-            &mut scratch,
-        );
+        let direct =
+            qcluster_linalg::vecops::quadratic_form(&diff, &[0.0; 4], inv.as_slice(), &mut scratch);
         assert!(
             (spectral - direct).abs() < 1e-8 * (1.0 + direct),
             "{spectral} vs {direct}"
@@ -214,7 +209,10 @@ mod tests {
         let d_full = full.spectral_sq_distance(&full.project(&x), &full.project(&y));
         let d_trunc = trunc.spectral_sq_distance(&trunc.project(&x), &trunc.project(&y));
         assert!(d_trunc <= d_full + 1e-9);
-        assert!(d_trunc > 0.5 * d_full, "dominant-subspace points: {d_trunc} vs {d_full}");
+        assert!(
+            d_trunc > 0.5 * d_full,
+            "dominant-subspace points: {d_trunc} vs {d_full}"
+        );
     }
 
     #[test]

@@ -48,8 +48,9 @@ impl CovarianceScheme {
     /// The ridge parameter.
     pub fn lambda(&self) -> f64 {
         match *self {
-            CovarianceScheme::FullInverse { lambda }
-            | CovarianceScheme::Diagonal { lambda } => lambda,
+            CovarianceScheme::FullInverse { lambda } | CovarianceScheme::Diagonal { lambda } => {
+                lambda
+            }
         }
     }
 
@@ -206,7 +207,9 @@ mod tests {
         // Round-off can make a variance slightly negative; the diagonal
         // scheme must still produce positive weights.
         let cov = Matrix::from_diagonal(&[-1e-15, 1.0]);
-        let inv = CovarianceScheme::Diagonal { lambda: 1e-3 }.invert(&cov).unwrap();
+        let inv = CovarianceScheme::Diagonal { lambda: 1e-3 }
+            .invert(&cov)
+            .unwrap();
         let w = inv.diagonal_weights().unwrap();
         assert!(w[0] > 0.0 && w[0] <= 1000.0);
     }

@@ -22,8 +22,7 @@ fn linear_map() -> impl Strategy<Value = Matrix> {
 /// non-degenerate covariance in both dimensions.
 fn cluster_points(offset: f64) -> impl Strategy<Value = Vec<Vec<f64>>> {
     prop::collection::vec(
-        (offset - 2.0..offset + 2.0, offset - 2.0..offset + 2.0)
-            .prop_map(|(x, y)| vec![x, y]),
+        (offset - 2.0..offset + 2.0, offset - 2.0..offset + 2.0).prop_map(|(x, y)| vec![x, y]),
         6..14,
     )
     .prop_filter("needs spread in both dims", |pts| {

@@ -50,10 +50,7 @@ impl Dataset {
     /// # Errors
     ///
     /// Propagates feature-pipeline failures.
-    pub fn from_corpus(
-        corpus: &Corpus,
-        kind: FeatureKind,
-    ) -> qcluster_linalg::Result<Self> {
+    pub fn from_corpus(corpus: &Corpus, kind: FeatureKind) -> qcluster_linalg::Result<Self> {
         let fs = FeatureSet::build(corpus, kind)?;
         let n = fs.len();
         Ok(Dataset::from_parts(

@@ -61,7 +61,11 @@ impl DatasetDiagnostics {
     /// uniform data produces).
     pub fn multimodal_fraction(&self) -> f64 {
         let n = self.categories.len().max(1);
-        self.categories.iter().filter(|c| c.bimodality >= 4.0).count() as f64 / n as f64
+        self.categories
+            .iter()
+            .filter(|c| c.bimodality >= 4.0)
+            .count() as f64
+            / n as f64
     }
 }
 
@@ -81,7 +85,9 @@ pub fn analyze(dataset: &Dataset, reach_k: usize) -> DatasetDiagnostics {
     let mut centroids = Vec::with_capacity(num_categories);
     let mut spreads = Vec::with_capacity(num_categories);
     for c in 0..num_categories {
-        let members: Vec<&[f64]> = (c * per..(c + 1) * per).map(|i| dataset.vector(i)).collect();
+        let members: Vec<&[f64]> = (c * per..(c + 1) * per)
+            .map(|i| dataset.vector(i))
+            .collect();
         let mut centroid = vec![0.0; dim];
         for m in &members {
             vecops::axpy(&mut centroid, m, 1.0);
@@ -105,8 +111,9 @@ pub fn analyze(dataset: &Dataset, reach_k: usize) -> DatasetDiagnostics {
             .filter(|&o| o != c)
             .map(|o| vecops::sq_euclidean(&centroids[c], &centroids[o]).sqrt())
             .fold(f64::INFINITY, f64::min);
-        let members: Vec<&[f64]> =
-            (c * per..(c + 1) * per).map(|i| dataset.vector(i)).collect();
+        let members: Vec<&[f64]> = (c * per..(c + 1) * per)
+            .map(|i| dataset.vector(i))
+            .collect();
         rows.push(CategoryDiagnostics {
             category: c,
             within_spread: spreads[c],
@@ -129,11 +136,8 @@ pub fn analyze(dataset: &Dataset, reach_k: usize) -> DatasetDiagnostics {
     reach /= sample.len() as f64;
 
     let mean_within = spreads.iter().sum::<f64>() / spreads.len() as f64;
-    let mean_between = rows
-        .iter()
-        .map(|r| r.nearest_other_centroid)
-        .sum::<f64>()
-        / rows.len() as f64;
+    let mean_between =
+        rows.iter().map(|r| r.nearest_other_centroid).sum::<f64>() / rows.len() as f64;
     DatasetDiagnostics {
         categories: rows,
         mean_within,

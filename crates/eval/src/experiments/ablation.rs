@@ -50,9 +50,18 @@ pub fn aggregate_rule_sweep(dataset: &Dataset, config: &AblationConfig) -> Vec<A
     let kinds: Vec<(String, AggregateKind)> = vec![
         ("convex (α=+1)".into(), AggregateKind::Convex),
         ("multi-focal".into(), AggregateKind::MultiFocal),
-        ("fuzzy OR α=-1".into(), AggregateKind::FuzzyOr { alpha: -1.0 }),
-        ("fuzzy OR α=-2".into(), AggregateKind::FuzzyOr { alpha: -2.0 }),
-        ("fuzzy OR α=-5".into(), AggregateKind::FuzzyOr { alpha: -5.0 }),
+        (
+            "fuzzy OR α=-1".into(),
+            AggregateKind::FuzzyOr { alpha: -1.0 },
+        ),
+        (
+            "fuzzy OR α=-2".into(),
+            AggregateKind::FuzzyOr { alpha: -2.0 },
+        ),
+        (
+            "fuzzy OR α=-5".into(),
+            AggregateKind::FuzzyOr { alpha: -5.0 },
+        ),
     ];
     let k = config.k.min(dataset.len());
     let queries = query_ids(dataset, config);
@@ -65,7 +74,10 @@ pub fn aggregate_rule_sweep(dataset: &Dataset, config: &AblationConfig) -> Vec<A
             }
             AblationRow {
                 variant: label,
-                recall: recall.into_iter().map(|r| r / queries.len() as f64).collect(),
+                recall: recall
+                    .into_iter()
+                    .map(|r| r / queries.len() as f64)
+                    .collect(),
             }
         })
         .collect()
@@ -168,10 +180,7 @@ pub fn merge_forcing_sweep(dataset: &Dataset, config: &AblationConfig) -> Vec<Ab
 /// Sweep 4: QPM's Rocchio negative-feedback weight γ. The simulated user
 /// additionally marks every *non-relevant* retrieved image as a negative
 /// example (score 1); γ = 0 reduces to the standard positive-only QPM.
-pub fn negative_feedback_sweep(
-    dataset: &Dataset,
-    config: &AblationConfig,
-) -> Vec<AblationRow> {
+pub fn negative_feedback_sweep(dataset: &Dataset, config: &AblationConfig) -> Vec<AblationRow> {
     [0.0, 0.25, 0.5, 1.0]
         .into_iter()
         .map(|gamma| {
@@ -183,7 +192,10 @@ pub fn negative_feedback_sweep(
             }
             AblationRow {
                 variant: format!("qpm gamma={gamma}"),
-                recall: recall.into_iter().map(|r| r / queries.len() as f64).collect(),
+                recall: recall
+                    .into_iter()
+                    .map(|r| r / queries.len() as f64)
+                    .collect(),
             }
         })
         .collect()
@@ -220,9 +232,7 @@ fn run_qpm_with_negatives(
         let negatives: Vec<qcluster_core::FeedbackPoint> = retrieved
             .iter()
             .filter(|&&id| oracle.score(cat, id) == 0.0)
-            .map(|&id| {
-                qcluster_core::FeedbackPoint::new(id, dataset.vector(id).to_vec(), 1.0)
-            })
+            .map(|&id| qcluster_core::FeedbackPoint::new(id, dataset.vector(id).to_vec(), 1.0))
             .collect();
         method.feed(&marked).expect("feeds");
         if !negatives.is_empty() {
@@ -245,7 +255,9 @@ pub fn clustering_quality(dataset: &Dataset, config: &AblationConfig) -> (f64, f
     let mut total_clusters = 0.0;
     for &q in &queries {
         let mut engine = QclusterEngine::new(QclusterConfig::default());
-        session.run(&mut engine, q, config.iterations).expect("runs");
+        session
+            .run(&mut engine, q, config.iterations)
+            .expect("runs");
         let err = qcluster_core::leave_one_out_error_rate(
             engine.clusters(),
             engine.config().scheme,
@@ -275,7 +287,10 @@ fn method_recall(
             recall[i] += pr_at(dataset, cat, &rec.retrieved, rec.retrieved.len()).recall;
         }
     }
-    recall.into_iter().map(|r| r / queries.len() as f64).collect()
+    recall
+        .into_iter()
+        .map(|r| r / queries.len() as f64)
+        .collect()
 }
 
 #[cfg(test)]
@@ -337,7 +352,12 @@ mod tests {
         let rows = negative_feedback_sweep(&ds, &cfg());
         assert_eq!(rows.len(), 4);
         for r in &rows {
-            assert!(r.final_recall() > 0.1, "{}: {}", r.variant, r.final_recall());
+            assert!(
+                r.final_recall() > 0.1,
+                "{}: {}",
+                r.variant,
+                r.final_recall()
+            );
         }
     }
 

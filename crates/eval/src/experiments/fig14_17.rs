@@ -78,10 +78,7 @@ pub struct ErrorCell {
 }
 
 /// Classification error of one train/test trial.
-fn one_trial(
-    data: &GaussianClusters,
-    scheme: CovarianceScheme,
-) -> f64 {
+fn one_trial(data: &GaussianClusters, scheme: CovarianceScheme) -> f64 {
     // Split: even indices train, odd test (labels are interleaved only
     // within clusters, so both splits cover all clusters).
     let mut train: Vec<Vec<FeedbackPoint>> = vec![Vec::new(); data.means.len()];
@@ -100,8 +97,7 @@ fn one_trial(
     // Pure assignment error (Sec. 4.5 / Figs. 14–17): a point is wrong
     // when the classification function puts it in the wrong cluster; the
     // effective-radius outlier cut is not part of this measurement.
-    let classifier =
-        BayesianClassifier::fit(&clusters, scheme, 0.05).expect("classifier fits");
+    let classifier = BayesianClassifier::fit(&clusters, scheme, 0.05).expect("classifier fits");
     let mut wrong = 0usize;
     for (x, label) in &test {
         if classifier.nearest(&clusters, x) != *label {
@@ -193,8 +189,16 @@ mod tests {
         // Theorem 1: with the full-inverse scheme the error rate should be
         // nearly identical for spherical and elliptical data.
         let cfg = cfg();
-        let s = run(&cfg, ClusterShape::Spherical, CovarianceScheme::default_full());
-        let e = run(&cfg, ClusterShape::Elliptical, CovarianceScheme::default_full());
+        let s = run(
+            &cfg,
+            ClusterShape::Spherical,
+            CovarianceScheme::default_full(),
+        );
+        let e = run(
+            &cfg,
+            ClusterShape::Elliptical,
+            CovarianceScheme::default_full(),
+        );
         for (a, b) in s.iter().zip(e.iter()) {
             assert!(
                 (a.error_rate - b.error_rate).abs() < 0.25,

@@ -94,10 +94,7 @@ pub fn run(config: &Fig5Config) -> Fig5Result {
     let scan = LinearScan::new(&points);
     let top = scan.knn(&query, in_region.len().max(1));
 
-    let hits = top
-        .iter()
-        .filter(|n| ball(&points[n.id]) != 2)
-        .count();
+    let hits = top.iter().filter(|n| ball(&points[n.id]) != 2).count();
     let retrieved = top
         .iter()
         .map(|n| (points[n.id].clone(), ball(&points[n.id])))

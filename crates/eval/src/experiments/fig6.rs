@@ -64,11 +64,7 @@ pub struct Fig6Row {
 }
 
 /// Runs the workload under one scheme, returning per-iteration mean times.
-fn run_scheme(
-    dataset: &Dataset,
-    config: &Fig6Config,
-    scheme: CovarianceScheme,
-) -> Vec<Duration> {
+fn run_scheme(dataset: &Dataset, config: &Fig6Config, scheme: CovarianceScheme) -> Vec<Duration> {
     let session = FeedbackSession::new(dataset, config.k.min(dataset.len()));
     let mut engine = QclusterEngine::new(QclusterConfig {
         scheme,

@@ -85,15 +85,16 @@ impl MultiFeatureDataset {
     ) -> Vec<Neighbor> {
         assert_eq!(queries.len(), self.features.len(), "one query per feature");
         assert_eq!(weights.len(), self.features.len(), "one weight per feature");
-        assert!(weights.iter().all(|&w| w >= 0.0), "weights must be non-negative");
+        assert!(
+            weights.iter().all(|&w| w >= 0.0),
+            "weights must be non-negative"
+        );
         assert!(weights.iter().any(|&w| w > 0.0), "need a positive weight");
         assert!(k > 0, "k must be positive");
 
         let n = self.len();
         let mut fused = vec![0.0; n];
-        for ((dataset, query), &w) in
-            self.features.iter().zip(queries.iter()).zip(weights.iter())
-        {
+        for ((dataset, query), &w) in self.features.iter().zip(queries.iter()).zip(weights.iter()) {
             if w == 0.0 {
                 continue;
             }

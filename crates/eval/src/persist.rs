@@ -69,11 +69,12 @@ pub fn write_dataset<W: Write>(dataset: &Dataset, mut writer: W) -> Result<(), P
         version: FORMAT_VERSION,
         vectors: dataset.vectors().to_vec(),
         categories: (0..dataset.len()).map(|i| dataset.category(i)).collect(),
-        super_categories: (0..dataset.len()).map(|i| dataset.super_category(i)).collect(),
+        super_categories: (0..dataset.len())
+            .map(|i| dataset.super_category(i))
+            .collect(),
         images_per_category: dataset.images_per_category(),
     };
-    let json = serde_json::to_string(&file)
-        .map_err(|e| PersistError::Format(e.to_string()))?;
+    let json = serde_json::to_string(&file).map_err(|e| PersistError::Format(e.to_string()))?;
     writer.write_all(json.as_bytes())?;
     Ok(())
 }

@@ -27,12 +27,7 @@ pub type PrCurve = Vec<PrPoint>;
 /// # Panics
 ///
 /// Panics when `n == 0` or exceeds the ranking length.
-pub fn pr_at(
-    dataset: &Dataset,
-    query_category: usize,
-    ranking: &[usize],
-    n: usize,
-) -> PrPoint {
+pub fn pr_at(dataset: &Dataset, query_category: usize, ranking: &[usize], n: usize) -> PrPoint {
     assert!(n > 0 && n <= ranking.len(), "depth out of range");
     let oracle = RelevanceOracle::new(dataset);
     let hits = ranking[..n]
@@ -146,10 +141,7 @@ mod tests {
         let c2 = pr_curve(&ds, 0, &[3, 4, 5, 0, 1, 2]);
         let avg = average_pr_curve(&[c1.clone(), c2.clone()]);
         for i in 0..6 {
-            assert!(
-                (avg[i].precision - 0.5 * (c1[i].precision + c2[i].precision)).abs()
-                    < 1e-12
-            );
+            assert!((avg[i].precision - 0.5 * (c1[i].precision + c2[i].precision)).abs() < 1e-12);
         }
     }
 

@@ -109,8 +109,7 @@ impl<'a> FeedbackSession<'a> {
         // Initial round: plain k-NN from the example image.
         let t0 = Instant::now();
         let initial = EuclideanQuery::new(self.dataset.vector(query_image).to_vec());
-        let (neighbors, stats) =
-            self.dataset.tree().knn(&initial, self.k, cache.as_mut());
+        let (neighbors, stats) = self.dataset.tree().knn(&initial, self.k, cache.as_mut());
         let retrieved: Vec<usize> = neighbors.iter().map(|n| n.id).collect();
         let mut marked = user.mark(&retrieved);
         Self::ensure_nonempty(&mut marked, self.dataset, query_image);
@@ -125,8 +124,7 @@ impl<'a> FeedbackSession<'a> {
             let t = Instant::now();
             method.feed(&marked)?;
             let query = method.query()?;
-            let (neighbors, stats) =
-                self.dataset.tree().knn(&query, self.k, cache.as_mut());
+            let (neighbors, stats) = self.dataset.tree().knn(&query, self.k, cache.as_mut());
             let retrieved: Vec<usize> = neighbors.iter().map(|n| n.id).collect();
             marked = user.mark(&retrieved);
             Self::ensure_nonempty(&mut marked, self.dataset, query_image);
@@ -182,7 +180,10 @@ mod tests {
             let out = session.run(&mut engine, q, 3).unwrap();
             let cat = ds.category(q);
             let count = |r: &IterationRecord| {
-                r.retrieved.iter().filter(|&&id| ds.category(id) == cat).count()
+                r.retrieved
+                    .iter()
+                    .filter(|&&id| ds.category(id) == cat)
+                    .count()
             };
             init_hits += count(&out.iterations[0]);
             final_hits += count(out.iterations.last().unwrap());
@@ -219,11 +220,7 @@ mod tests {
         let mut qpm = qcluster_baselines::QueryPointMovement::new();
         let mut qex = qcluster_baselines::QueryExpansion::new();
         let mut falcon = qcluster_baselines::Falcon::new();
-        for m in [
-            &mut qpm as &mut dyn RetrievalMethod,
-            &mut qex,
-            &mut falcon,
-        ] {
+        for m in [&mut qpm as &mut dyn RetrievalMethod, &mut qex, &mut falcon] {
             let out = session.run(m, 10, 2).unwrap();
             assert_eq!(out.iterations.len(), 3, "{}", m.name());
         }

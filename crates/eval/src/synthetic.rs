@@ -61,7 +61,10 @@ impl GaussianClusters {
         shape: ClusterShape,
         seed: u64,
     ) -> Self {
-        assert!(num_clusters >= 1 && num_clusters <= dim, "need clusters <= dim");
+        assert!(
+            num_clusters >= 1 && num_clusters <= dim,
+            "need clusters <= dim"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         // Simplex-like means: cluster c sits at inter_distance/√2 on axis c,
         // giving pairwise distance exactly inter_distance.
@@ -121,11 +124,7 @@ impl GaussianClusters {
         let rows: Vec<&[f64]> = self.points.iter().map(|p| p.as_slice()).collect();
         let data = Matrix::from_rows(&rows);
         let pca = Pca::fit(&data)?;
-        let projected = self
-            .points
-            .iter()
-            .map(|p| pca.transform(p, k))
-            .collect();
+        let projected = self.points.iter().map(|p| pca.transform(p, k)).collect();
         let means = self.means.iter().map(|m| pca.transform(m, k)).collect();
         Ok((
             GaussianClusters {
@@ -282,8 +281,7 @@ mod tests {
         // Pairwise mean distances equal the requested separation.
         for i in 0..3 {
             for j in (i + 1)..3 {
-                let d = qcluster_linalg::vecops::sq_euclidean(&g.means[i], &g.means[j])
-                    .sqrt();
+                let d = qcluster_linalg::vecops::sq_euclidean(&g.means[i], &g.means[j]).sqrt();
                 assert!((d - 2.0).abs() < 1e-12, "pair ({i},{j}): {d}");
             }
         }
@@ -312,7 +310,10 @@ mod tests {
                 / v.iter().cloned().fold(f64::INFINITY, f64::min)
         };
         assert!(spread(&s_vars) < 2.0, "spherical spread {:?}", s_vars);
-        assert!(spread(&e_vars) > spread(&s_vars), "elliptical not anisotropic");
+        assert!(
+            spread(&e_vars) > spread(&s_vars),
+            "elliptical not anisotropic"
+        );
     }
 
     #[test]

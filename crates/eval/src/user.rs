@@ -55,9 +55,7 @@ impl<'a> SimulatedUser<'a> {
                 } else {
                     oracle.is_relevant(self.query_category, id)
                 };
-                keep.then(|| {
-                    FeedbackPoint::new(id, self.dataset.vector(id).to_vec(), score)
-                })
+                keep.then(|| FeedbackPoint::new(id, self.dataset.vector(id).to_vec(), score))
             })
             .collect()
     }

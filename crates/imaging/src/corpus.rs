@@ -200,8 +200,7 @@ impl CorpusBuilder {
                 // on one mode surfaces a few images of the other — the
                 // regime where a single moved/averaged query point fails
                 // and a disjunctive multipoint query wins.
-                let alt_hue =
-                    (first_mode.high[0] + 0.05 + 0.03 * rng.gen::<f64>()).rem_euclid(1.0);
+                let alt_hue = (first_mode.high[0] + 0.05 + 0.03 * rng.gen::<f64>()).rem_euclid(1.0);
                 modes.push(PaletteMode {
                     low: first_mode.low,
                     high: [alt_hue, first_mode.high[1], first_mode.high[2]],
@@ -322,9 +321,7 @@ impl Corpus {
         assert!(category < self.specs.len(), "category out of range");
         assert!(index < self.images_per_category, "image index out of range");
         let spec = &self.specs[category];
-        let mut rng = StdRng::seed_from_u64(
-            self.seed ^ ((category as u64) << 32) ^ index as u64,
-        );
+        let mut rng = StdRng::seed_from_u64(self.seed ^ ((category as u64) << 32) ^ index as u64);
         rng.gen_range(0..spec.modes.len())
     }
 
@@ -337,9 +334,7 @@ impl Corpus {
         assert!(category < self.specs.len(), "category out of range");
         assert!(index < self.images_per_category, "image index out of range");
         let spec = &self.specs[category];
-        let mut rng = StdRng::seed_from_u64(
-            self.seed ^ ((category as u64) << 32) ^ index as u64,
-        );
+        let mut rng = StdRng::seed_from_u64(self.seed ^ ((category as u64) << 32) ^ index as u64);
         // Mode choice: multimodal categories alternate between palettes.
         let mode = spec.modes[rng.gen_range(0..spec.modes.len())];
         // Per-image jitter, scaled by the corpus jitter parameter.
@@ -375,13 +370,7 @@ impl Corpus {
     }
 }
 
-fn pattern_value(
-    pattern: TexturePattern,
-    u: f64,
-    v: f64,
-    phase: f64,
-    freq_jit: f64,
-) -> f64 {
+fn pattern_value(pattern: TexturePattern, u: f64, v: f64, phase: f64, freq_jit: f64) -> f64 {
     use std::f64::consts::TAU;
     match pattern {
         TexturePattern::Stripes { frequency, angle } => {

@@ -260,8 +260,7 @@ mod tests {
 
     #[test]
     fn texture_feature_set_shape() {
-        let fs =
-            FeatureSet::build(&tiny_corpus(), FeatureKind::CooccurrenceTexture).unwrap();
+        let fs = FeatureSet::build(&tiny_corpus(), FeatureKind::CooccurrenceTexture).unwrap();
         assert_eq!(fs.dim(), 4);
         assert!(fs.vectors().iter().all(|v| v.iter().all(|x| x.is_finite())));
     }

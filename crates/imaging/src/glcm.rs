@@ -41,8 +41,7 @@ impl Glcm {
         let mut gray = vec![0usize; w * h];
         for y in 0..h {
             for x in 0..w {
-                gray[y * w + x] =
-                    (rgb_to_gray(img.get(x, y)) as usize * GLCM_LEVELS) / 256;
+                gray[y * w + x] = (rgb_to_gray(img.get(x, y)) as usize * GLCM_LEVELS) / 256;
             }
         }
         let mut counts = vec![0u64; GLCM_LEVELS * GLCM_LEVELS];

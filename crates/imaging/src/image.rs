@@ -68,7 +68,10 @@ impl ImageRgb {
     /// Panics when out of bounds.
     #[inline]
     pub fn get(&self, x: usize, y: usize) -> [u8; 3] {
-        assert!(x < self.width && y < self.height, "pixel index out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel index out of bounds"
+        );
         self.pixels[y * self.width + x]
     }
 
@@ -79,7 +82,10 @@ impl ImageRgb {
     /// Panics when out of bounds.
     #[inline]
     pub fn set(&mut self, x: usize, y: usize, rgb: [u8; 3]) {
-        assert!(x < self.width && y < self.height, "pixel index out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel index out of bounds"
+        );
         self.pixels[y * self.width + x] = rgb;
     }
 
@@ -127,8 +133,7 @@ impl ImageRgb {
             .position(|w| w == b"255\n")
             .ok_or_else(|| bad("missing maxval"))?
             + 4;
-        let header = std::str::from_utf8(&buf[..header_end])
-            .map_err(|_| bad("non-UTF8 header"))?;
+        let header = std::str::from_utf8(&buf[..header_end]).map_err(|_| bad("non-UTF8 header"))?;
         let mut tokens = header.split_ascii_whitespace();
         if tokens.next() != Some("P6") {
             return Err(bad("not a P6 PPM"));
@@ -148,10 +153,7 @@ impl ImageRgb {
         if body.len() != width * height * 3 {
             return Err(bad("truncated pixel data"));
         }
-        let pixels = body
-            .chunks_exact(3)
-            .map(|c| [c[0], c[1], c[2]])
-            .collect();
+        let pixels = body.chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect();
         Ok(ImageRgb::from_pixels(width, height, pixels))
     }
 }

@@ -97,10 +97,7 @@ impl<'a, Q: QueryDistance> Iterator for KnnIter<'a, Q> {
                 }
                 Entry::Node { node, .. } => {
                     self.stats.nodes_accessed += 1;
-                    let hit = self
-                        .cache
-                        .as_deref_mut()
-                        .is_some_and(|c| c.access(node));
+                    let hit = self.cache.as_deref_mut().is_some_and(|c| c.access(node));
                     if hit {
                         self.stats.cache_hits += 1;
                     } else {
@@ -120,9 +117,7 @@ impl<'a, Q: QueryDistance> Iterator for KnnIter<'a, Q> {
                         Node::Internal { left, right, .. } => {
                             for &child in &[*left, *right] {
                                 self.heap.push(Entry::Node {
-                                    bound: self
-                                        .query
-                                        .min_distance(self.tree.nodes[child].bbox()),
+                                    bound: self.query.min_distance(self.tree.nodes[child].bbox()),
                                     node: child,
                                 });
                             }

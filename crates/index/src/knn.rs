@@ -88,6 +88,76 @@ impl PartialOrd for Frontier {
     }
 }
 
+/// Merges per-shard top-`k` lists into the global top-`k`.
+///
+/// Each input list must be sorted ascending by `(distance, id)` — the
+/// order produced by [`LinearScan::knn`](crate::LinearScan::knn) and
+/// [`HybridTree::knn`]. The merge is the classic k-way heap merge: it
+/// pops at most `k` elements overall, so the cost is `O(k log s)` for
+/// `s` shards rather than re-sorting all `s·k` candidates.
+///
+/// # Panics
+///
+/// Panics when `k == 0` or any distance is NaN.
+pub fn merge_top_k(lists: Vec<Vec<Neighbor>>, k: usize) -> Vec<Neighbor> {
+    assert!(k > 0, "k must be positive");
+
+    /// Min-heap head entry (reversed ordering on `(distance, id)`).
+    struct Head {
+        neighbor: Neighbor,
+        shard: usize,
+    }
+
+    impl PartialEq for Head {
+        fn eq(&self, other: &Self) -> bool {
+            self.cmp(other) == Ordering::Equal
+        }
+    }
+
+    impl Eq for Head {}
+
+    impl Ord for Head {
+        fn cmp(&self, other: &Self) -> Ordering {
+            other
+                .neighbor
+                .distance
+                .partial_cmp(&self.neighbor.distance)
+                .expect("non-NaN distances")
+                .then_with(|| other.neighbor.id.cmp(&self.neighbor.id))
+        }
+    }
+
+    impl PartialOrd for Head {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut iters: Vec<std::vec::IntoIter<Neighbor>> =
+        lists.into_iter().map(|l| l.into_iter()).collect();
+    let mut heads = BinaryHeap::with_capacity(iters.len());
+    for (shard, it) in iters.iter_mut().enumerate() {
+        if let Some(neighbor) = it.next() {
+            heads.push(Head { neighbor, shard });
+        }
+    }
+
+    let mut out = Vec::with_capacity(k.min(heads.len()));
+    while out.len() < k {
+        let Some(Head { neighbor, shard }) = heads.pop() else {
+            break;
+        };
+        out.push(neighbor);
+        if let Some(next) = iters[shard].next() {
+            heads.push(Head {
+                neighbor: next,
+                shard,
+            });
+        }
+    }
+    out
+}
+
 impl HybridTree {
     /// Finds the `k` nearest points to `query`, ties broken by id.
     ///
@@ -152,9 +222,7 @@ impl HybridTree {
                 Node::Internal { left, right, .. } => {
                     for &child in &[*left, *right] {
                         let lb = query.min_distance(self.nodes[child].bbox());
-                        if results.len() < k
-                            || lb <= results.peek().expect("non-empty").distance
-                        {
+                        if results.len() < k || lb <= results.peek().expect("non-empty").distance {
                             frontier.push(Frontier {
                                 min_dist: lb,
                                 node: child,
@@ -188,7 +256,7 @@ impl HybridTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::distance::EuclideanQuery;
+    use crate::distance::{EuclideanQuery, QueryDistance};
     use crate::scan::LinearScan;
 
     fn grid_points(n: usize) -> Vec<Vec<f64>> {
@@ -288,5 +356,82 @@ mod tests {
         let tree = HybridTree::bulk_load(&pts);
         let q = EuclideanQuery::new(vec![0.0, 0.0, 0.0]);
         let _ = tree.knn(&q, 1, None);
+    }
+
+    #[test]
+    fn merge_top_k_matches_global_scan() {
+        let pts = grid_points(9); // 81 points
+        let q = EuclideanQuery::new(vec![3.7, 4.1]);
+        // Split into 4 contiguous shards, scan each, merge with global ids.
+        let per_shard: Vec<Vec<Neighbor>> = pts
+            .chunks(21)
+            .enumerate()
+            .map(|(s, chunk)| {
+                let scan = LinearScan::new(chunk);
+                scan.knn(&q, 10)
+                    .into_iter()
+                    .map(|n| Neighbor {
+                        id: s * 21 + n.id,
+                        distance: n.distance,
+                    })
+                    .collect()
+            })
+            .collect();
+        let merged = merge_top_k(per_shard, 10);
+        let global = LinearScan::new(&pts).knn(&q, 10);
+        assert_eq!(merged.len(), global.len());
+        for (a, b) in merged.iter().zip(global.iter()) {
+            assert_eq!(a.id, b.id);
+            assert!((a.distance - b.distance).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn merge_top_k_breaks_ties_by_id() {
+        let mk = |ids: &[usize]| -> Vec<Neighbor> {
+            ids.iter()
+                .map(|&id| Neighbor { id, distance: 1.0 })
+                .collect()
+        };
+        let merged = merge_top_k(vec![mk(&[1, 5]), mk(&[0, 3]), mk(&[2])], 4);
+        assert_eq!(
+            merged.iter().map(|n| n.id).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn merge_top_k_short_inputs_return_everything() {
+        let lists = vec![
+            vec![Neighbor {
+                id: 0,
+                distance: 2.0,
+            }],
+            Vec::new(),
+            vec![Neighbor {
+                id: 1,
+                distance: 1.0,
+            }],
+        ];
+        let merged = merge_top_k(lists, 10);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].id, 1);
+        assert_eq!(merged[1].id, 0);
+    }
+
+    #[test]
+    fn query_distance_object_safe_through_reference() {
+        // The service fans out `&dyn QueryDistance`; the reference blanket
+        // impl must keep tree search usable through it.
+        let pts = grid_points(6);
+        let tree = HybridTree::bulk_load(&pts);
+        let q = EuclideanQuery::new(vec![2.2, 2.8]);
+        let dyn_q: &dyn QueryDistance = &q;
+        let (a, _) = tree.knn(&dyn_q, 4, None);
+        let (b, _) = tree.knn(&q, 4, None);
+        assert_eq!(
+            a.iter().map(|n| n.id).collect::<Vec<_>>(),
+            b.iter().map(|n| n.id).collect::<Vec<_>>()
+        );
     }
 }

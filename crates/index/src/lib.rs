@@ -41,6 +41,6 @@ pub use cache::NodeCache;
 pub use distance::{EuclideanQuery, QueryDistance, WeightedEuclideanQuery};
 pub use dynamic::DynamicIndex;
 pub use incremental::KnnIter;
-pub use knn::{Neighbor, SearchStats};
+pub use knn::{merge_top_k, Neighbor, SearchStats};
 pub use scan::LinearScan;
 pub use tree::HybridTree;

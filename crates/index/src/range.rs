@@ -22,11 +22,7 @@ impl HybridTree {
     ///
     /// Panics when the query dimensionality disagrees with the tree's or
     /// `radius` is negative.
-    pub fn range<Q: QueryDistance>(
-        &self,
-        query: &Q,
-        radius: f64,
-    ) -> (Vec<Neighbor>, SearchStats) {
+    pub fn range<Q: QueryDistance>(&self, query: &Q, radius: f64) -> (Vec<Neighbor>, SearchStats) {
         assert_eq!(query.dim(), self.dim(), "query dimensionality mismatch");
         assert!(radius >= 0.0, "radius must be non-negative");
         let mut stats = SearchStats::default();

@@ -108,7 +108,14 @@ impl HybridTree {
 
         let mut order: Vec<usize> = (0..points.len()).collect();
         let mut nodes = Vec::new();
-        let root = build(points, &mut order, 0, points.len(), leaf_capacity, &mut nodes);
+        let root = build(
+            points,
+            &mut order,
+            0,
+            points.len(),
+            leaf_capacity,
+            &mut nodes,
+        );
 
         // Pack the reordered points contiguously.
         let mut data = Vec::with_capacity(points.len() * dim);

@@ -2,9 +2,7 @@
 //! for every distance satisfying the lower-bound contract.
 
 use proptest::prelude::*;
-use qcluster_index::{
-    EuclideanQuery, HybridTree, LinearScan, NodeCache, WeightedEuclideanQuery,
-};
+use qcluster_index::{EuclideanQuery, HybridTree, LinearScan, NodeCache, WeightedEuclideanQuery};
 
 fn points(dim: usize, n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Vec<f64>>> {
     prop::collection::vec(prop::collection::vec(-100.0..100.0f64, dim), n)

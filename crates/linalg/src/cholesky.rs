@@ -112,10 +112,7 @@ impl Cholesky {
     /// `ln det A = 2 · Σ ln L_ii` — used by the Bayesian classifier's
     /// `−½ ln |S_i|` term without forming the determinant itself.
     pub fn ln_determinant(&self) -> f64 {
-        (0..self.dim())
-            .map(|i| self.l.get(i, i).ln())
-            .sum::<f64>()
-            * 2.0
+        (0..self.dim()).map(|i| self.l.get(i, i).ln()).sum::<f64>() * 2.0
     }
 
     /// Applies the factor to a vector: `L·z`.
@@ -146,11 +143,7 @@ mod tests {
     use super::*;
 
     fn spd3() -> Matrix {
-        Matrix::from_rows(&[
-            &[4.0, 2.0, 0.6],
-            &[2.0, 5.0, 1.0],
-            &[0.6, 1.0, 3.0],
-        ])
+        Matrix::from_rows(&[&[4.0, 2.0, 0.6], &[2.0, 5.0, 1.0], &[0.6, 1.0, 3.0]])
     }
 
     #[test]

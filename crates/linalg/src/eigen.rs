@@ -110,8 +110,7 @@ impl SymmetricEigen {
     }
 
     fn collect(m: &Matrix, v: &Matrix, n: usize) -> SymmetricEigen {
-        let mut pairs: Vec<(f64, usize)> =
-            (0..n).map(|i| (m.get(i, i), i)).collect();
+        let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m.get(i, i), i)).collect();
         // Descending eigenvalue order, NaN-free by construction.
         pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("non-NaN eigenvalues"));
         let eigenvalues: Vec<f64> = pairs.iter().map(|&(l, _)| l).collect();
@@ -187,11 +186,7 @@ mod tests {
 
     #[test]
     fn eigenvectors_are_orthonormal() {
-        let a = Matrix::from_rows(&[
-            &[2.0, 0.5, 0.1],
-            &[0.5, 1.0, 0.3],
-            &[0.1, 0.3, 3.0],
-        ]);
+        let a = Matrix::from_rows(&[&[2.0, 0.5, 0.1], &[0.5, 1.0, 0.3], &[0.1, 0.3, 3.0]]);
         let e = SymmetricEigen::decompose(&a).unwrap();
         let vtv = e.eigenvectors.transpose().matmul(&e.eigenvectors);
         for i in 0..3 {

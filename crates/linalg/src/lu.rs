@@ -160,9 +160,7 @@ impl Lu {
     /// Natural log of `|det A|` — numerically safe for high-dimensional
     /// covariance matrices whose determinant under/overflows `f64`.
     pub fn ln_abs_determinant(&self) -> f64 {
-        (0..self.dim())
-            .map(|i| self.lu.get(i, i).abs().ln())
-            .sum()
+        (0..self.dim()).map(|i| self.lu.get(i, i).abs().ln()).sum()
     }
 }
 
@@ -202,11 +200,7 @@ mod tests {
 
     #[test]
     fn inverse_times_original_is_identity() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, 0.5],
-            &[1.0, 3.0, -1.0],
-            &[0.5, -1.0, 5.0],
-        ]);
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, -1.0], &[0.5, -1.0, 5.0]]);
         let inv = a.inverse().unwrap();
         let id = a.matmul(&inv);
         for i in 0..3 {

@@ -146,7 +146,9 @@ impl Matrix {
     /// Copies column `j` into a new vector.
     pub fn column(&self, j: usize) -> Vec<f64> {
         assert!(j < self.cols, "column index out of bounds");
-        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+        (0..self.rows)
+            .map(|i| self.data[i * self.cols + j])
+            .collect()
     }
 
     /// Returns the flat row-major buffer.
@@ -273,7 +275,9 @@ impl Matrix {
     /// Panics when the matrix is not square.
     pub fn diagonal(&self) -> Vec<f64> {
         assert!(self.is_square(), "diagonal requires a square matrix");
-        (0..self.rows).map(|i| self.data[i * self.cols + i]).collect()
+        (0..self.rows)
+            .map(|i| self.data[i * self.cols + i])
+            .collect()
     }
 
     /// `true` when `|a_ij - a_ji| <= tol` for all pairs.
@@ -387,7 +391,11 @@ impl Add<&Matrix> for &Matrix {
     type Output = Matrix;
 
     fn add(self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "add shape mismatch"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
@@ -405,7 +413,11 @@ impl Sub<&Matrix> for &Matrix {
     type Output = Matrix;
 
     fn sub(self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "sub shape mismatch"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,

@@ -53,10 +53,7 @@ impl Pca {
         let mut cov = Matrix::zeros(p, p);
         let mut centered = vec![0.0; p];
         for i in 0..n {
-            for (c, (&x, &m)) in centered
-                .iter_mut()
-                .zip(data.row(i).iter().zip(mean.iter()))
-            {
+            for (c, (&x, &m)) in centered.iter_mut().zip(data.row(i).iter().zip(mean.iter())) {
                 *c = x - m;
             }
             for a in 0..p {
@@ -254,12 +251,16 @@ mod tests {
         let mean1: f64 = (0..z.rows()).map(|i| z.get(i, 1)).sum::<f64>() / n;
         assert!(mean0.abs() < 1e-10);
         assert!(mean1.abs() < 1e-10);
-        let cross: f64 = (0..z.rows()).map(|i| z.get(i, 0) * z.get(i, 1)).sum::<f64>()
+        let cross: f64 = (0..z.rows())
+            .map(|i| z.get(i, 0) * z.get(i, 1))
+            .sum::<f64>()
             / (n - 1.0);
         assert!(cross.abs() < 1e-8, "components should be uncorrelated");
         // Variance of component i equals eigenvalue i.
-        let var0: f64 =
-            (0..z.rows()).map(|i| z.get(i, 0) * z.get(i, 0)).sum::<f64>() / (n - 1.0);
+        let var0: f64 = (0..z.rows())
+            .map(|i| z.get(i, 0) * z.get(i, 0))
+            .sum::<f64>()
+            / (n - 1.0);
         assert!((var0 - pca.eigenvalues()[0]).abs() < 1e-8);
     }
 

@@ -5,8 +5,7 @@ use qcluster_linalg::{Cholesky, Lu, Matrix, Pca, SymmetricEigen};
 
 /// Strategy: a square matrix of the given size with bounded entries.
 fn square_matrix(n: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-10.0..10.0f64, n * n)
-        .prop_map(move |data| Matrix::from_vec(n, n, data))
+    prop::collection::vec(-10.0..10.0f64, n * n).prop_map(move |data| Matrix::from_vec(n, n, data))
 }
 
 /// Strategy: a symmetric positive-definite matrix `AᵀA + I`.

@@ -1,0 +1,121 @@
+//! Structured, wire-serializable service errors.
+
+use qcluster_core::CoreError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Everything that can go wrong handling a service request.
+///
+/// Serializable so it travels inside [`Response::Error`]
+/// (crate::protocol::Response::Error) unchanged.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServiceError {
+    /// The session id is unknown (never created, closed, or evicted).
+    UnknownSession(u64),
+    /// A vector's dimensionality disagrees with the corpus.
+    DimensionMismatch {
+        /// Corpus dimensionality.
+        expected: usize,
+        /// Offending dimensionality.
+        found: usize,
+    },
+    /// The registry is full and LRU eviction is disabled.
+    CapacityExhausted {
+        /// The configured session cap.
+        max_sessions: usize,
+    },
+    /// A feed carried no relevant points.
+    EmptyFeedback,
+    /// A feed referenced an image id outside the corpus.
+    InvalidImageId {
+        /// The offending id.
+        id: usize,
+        /// Corpus size (valid ids are `0..corpus_len`).
+        corpus_len: usize,
+    },
+    /// A structurally invalid request (zero `k`, unknown engine name,
+    /// mismatched score count, …).
+    InvalidRequest(String),
+    /// The session's engine rejected the operation (no clusters yet,
+    /// numerical failure, invalid score, …).
+    Engine(String),
+}
+
+impl ServiceError {
+    /// Maps an engine error onto the service vocabulary, keeping the
+    /// variants the protocol distinguishes structurally.
+    pub fn from_core(e: CoreError) -> Self {
+        match e {
+            CoreError::EmptyFeedback => ServiceError::EmptyFeedback,
+            CoreError::DimensionMismatch { expected, found } => {
+                ServiceError::DimensionMismatch { expected, found }
+            }
+            other => ServiceError::Engine(other.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ServiceError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            ServiceError::CapacityExhausted { max_sessions } => {
+                write!(f, "session capacity exhausted ({max_sessions} max)")
+            }
+            ServiceError::EmptyFeedback => write!(f, "empty relevant set"),
+            ServiceError::InvalidImageId { id, corpus_len } => {
+                write!(f, "image id {id} outside corpus of {corpus_len}")
+            }
+            ServiceError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            ServiceError::Engine(msg) => write!(f, "engine error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<CoreError> for ServiceError {
+    fn from(e: CoreError) -> Self {
+        ServiceError::from_core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_errors_map_structurally() {
+        assert_eq!(
+            ServiceError::from_core(CoreError::EmptyFeedback),
+            ServiceError::EmptyFeedback
+        );
+        assert_eq!(
+            ServiceError::from_core(CoreError::DimensionMismatch {
+                expected: 3,
+                found: 2
+            }),
+            ServiceError::DimensionMismatch {
+                expected: 3,
+                found: 2
+            }
+        );
+        assert!(matches!(
+            ServiceError::from_core(CoreError::NoClusters),
+            ServiceError::Engine(_)
+        ));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = ServiceError::InvalidImageId {
+            id: 9,
+            corpus_len: 4,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+    }
+}

@@ -1,0 +1,231 @@
+//! The parallel k-NN executor: a persistent worker pool fed through
+//! crossbeam channels, fanning one query out across all shards and
+//! merging the per-shard top-k lists into the global result.
+//!
+//! Refined queries (e.g. [`DisjunctiveQuery`](qcluster_core::DisjunctiveQuery))
+//! carry interior scratch buffers, so they are `Send` but not `Sync`: the
+//! executor never shares one query between workers — each shard job gets
+//! its own clone via [`FanoutQuery::clone_fanout`].
+
+use crate::shard::ShardedCorpus;
+use crossbeam::channel::{self, Sender};
+use qcluster_index::{merge_top_k, Neighbor, NodeCache, QueryDistance, SearchStats};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A query that can be fanned out to worker threads: evaluable, sendable,
+/// and cloneable per shard.
+///
+/// Blanket-implemented for every `Clone + Send` [`QueryDistance`], which
+/// covers all query types in this workspace (Euclidean, weighted
+/// Euclidean, cluster, and disjunctive queries).
+pub trait FanoutQuery: QueryDistance + Send {
+    /// A boxed clone for one shard job.
+    fn clone_fanout(&self) -> Box<dyn FanoutQuery>;
+}
+
+impl<T: QueryDistance + Clone + Send + 'static> FanoutQuery for T {
+    fn clone_fanout(&self) -> Box<dyn FanoutQuery> {
+        Box::new(self.clone())
+    }
+}
+
+/// A unit of work for the pool.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent pool of worker threads consuming shard jobs from a
+/// shared channel. Dropping the executor closes the channel; workers
+/// drain outstanding jobs and exit.
+#[derive(Debug)]
+pub struct Executor {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Executor {
+    /// Spawns a pool of `num_workers` threads (at least one).
+    pub fn new(num_workers: usize) -> Self {
+        let (tx, rx) = channel::unbounded::<Job>();
+        let workers = (0..num_workers.max(1))
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("qcluster-knn-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn k-NN worker")
+            })
+            .collect();
+        Executor {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn submit(&self, job: Job) {
+        self.tx
+            .as_ref()
+            .expect("executor channel open while alive")
+            .send(job)
+            .expect("workers alive while executor alive");
+    }
+
+    /// Runs `query` against every shard of `corpus` in parallel and merges
+    /// the per-shard top-`k` into the global top-`k` (ties by id).
+    ///
+    /// `caches` optionally supplies one per-shard session cache; pass the
+    /// same slice across a session's queries to model the multipoint
+    /// approach's cross-iteration node buffer. The returned
+    /// [`SearchStats`] are summed over all shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k == 0`, the query dimensionality disagrees with the
+    /// corpus, or `caches` is present with the wrong length.
+    pub fn knn(
+        &self,
+        corpus: &ShardedCorpus,
+        query: &dyn FanoutQuery,
+        k: usize,
+        caches: Option<&[Arc<Mutex<NodeCache>>]>,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        assert!(k > 0, "k must be positive");
+        assert_eq!(query.dim(), corpus.dim(), "query dimensionality mismatch");
+        if let Some(caches) = caches {
+            assert_eq!(
+                caches.len(),
+                corpus.num_shards(),
+                "one cache per shard required"
+            );
+        }
+
+        let num_shards = corpus.num_shards();
+        let (result_tx, result_rx) = channel::unbounded();
+        for (i, shard) in corpus.shards().iter().enumerate() {
+            let shard = Arc::clone(shard);
+            let shard_query = query.clone_fanout();
+            let cache = caches.map(|c| Arc::clone(&c[i]));
+            let result_tx = result_tx.clone();
+            self.submit(Box::new(move || {
+                let result = match cache {
+                    Some(cache) => {
+                        let mut cache = cache.lock().unwrap_or_else(|e| e.into_inner());
+                        shard.knn(&*shard_query, k, Some(&mut cache))
+                    }
+                    None => shard.knn(&*shard_query, k, None),
+                };
+                // A send failure means the requester gave up; drop quietly.
+                let _ = result_tx.send(result);
+            }));
+        }
+        drop(result_tx);
+
+        let mut per_shard = Vec::with_capacity(num_shards);
+        let mut stats = SearchStats::default();
+        for _ in 0..num_shards {
+            let (neighbors, shard_stats) = result_rx.recv().expect("all shard jobs complete");
+            stats.nodes_accessed += shard_stats.nodes_accessed;
+            stats.cache_hits += shard_stats.cache_hits;
+            stats.disk_reads += shard_stats.disk_reads;
+            stats.distance_evaluations += shard_stats.distance_evaluations;
+            per_shard.push(neighbors);
+        }
+        (merge_top_k(per_shard, k), stats)
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        // Close the job channel so workers exit, then join them.
+        self.tx = None;
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::ShardKind;
+    use qcluster_index::{EuclideanQuery, LinearScan};
+
+    fn spiral(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 * 0.1;
+                vec![t * t.cos(), t * t.sin(), (i % 7) as f64]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_knn_is_exact() {
+        let pts = spiral(500);
+        let expect = LinearScan::new(&pts).knn(&EuclideanQuery::new(vec![1.0, -2.0, 3.0]), 25);
+        let executor = Executor::new(3);
+        for kind in [ShardKind::Scan, ShardKind::Tree] {
+            for shards in [1, 2, 4, 7] {
+                let corpus = ShardedCorpus::build(&pts, shards, kind);
+                let q = EuclideanQuery::new(vec![1.0, -2.0, 3.0]);
+                let (got, stats) = executor.knn(&corpus, &q, 25, None);
+                assert_eq!(got.len(), 25, "{kind:?}/{shards}");
+                for (a, b) in got.iter().zip(expect.iter()) {
+                    assert_eq!(a.id, b.id, "{kind:?}/{shards}");
+                    assert!((a.distance - b.distance).abs() < 1e-12);
+                }
+                assert!(stats.nodes_accessed >= corpus.num_shards() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn session_caches_accumulate_hits_across_queries() {
+        let pts = spiral(400);
+        let corpus = ShardedCorpus::build(&pts, 4, ShardKind::Tree);
+        let executor = Executor::new(2);
+        let caches: Vec<Arc<Mutex<NodeCache>>> = corpus
+            .shards()
+            .iter()
+            .map(|s| Arc::new(Mutex::new(NodeCache::new(s.num_nodes()))))
+            .collect();
+        let q = EuclideanQuery::new(vec![0.0, 0.0, 2.0]);
+        let (_, first) = executor.knn(&corpus, &q, 10, Some(&caches));
+        assert_eq!(first.cache_hits, 0);
+        let q2 = EuclideanQuery::new(vec![0.1, -0.1, 2.0]);
+        let (_, second) = executor.knn(&corpus, &q2, 10, Some(&caches));
+        assert!(second.cache_hits > 0, "refined query must reuse nodes");
+        assert!(second.disk_reads < first.disk_reads);
+    }
+
+    #[test]
+    fn executor_outlives_many_rounds_and_drops_cleanly() {
+        let pts = spiral(120);
+        let corpus = ShardedCorpus::build(&pts, 3, ShardKind::Scan);
+        let executor = Executor::new(4);
+        assert_eq!(executor.num_workers(), 4);
+        for round in 0..50 {
+            let q = EuclideanQuery::new(vec![round as f64 * 0.05, 0.0, 1.0]);
+            let (got, _) = executor.knn(&corpus, &q, 5, None);
+            assert_eq!(got.len(), 5);
+        }
+        drop(executor); // must join workers without hanging
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn dimension_mismatch_panics() {
+        let corpus = ShardedCorpus::build(&spiral(10), 2, ShardKind::Scan);
+        let executor = Executor::new(1);
+        let q = EuclideanQuery::new(vec![0.0]);
+        let _ = executor.knn(&corpus, &q, 1, None);
+    }
+}

@@ -1,0 +1,60 @@
+//! # qcluster-service
+//!
+//! A concurrent multi-session retrieval service over the Qcluster
+//! relevance-feedback engine: the paper's single-session loop
+//! (example query → mark relevant → adaptive clustering → disjunctive
+//! re-query) packaged as a shared, thread-safe server component.
+//!
+//! Subsystems:
+//!
+//! - [`shard`] — the corpus split into contiguous partitions, each with
+//!   its own index (linear scan with bounded top-k heaps, or hybrid
+//!   tree), answering k-NN with global ids.
+//! - [`executor`] — a persistent worker pool fed through crossbeam
+//!   channels; one query fans out across all shards (each job gets its
+//!   own query clone, because refined queries are `Send` but not `Sync`)
+//!   and the per-shard top-k lists merge into the global top-k.
+//! - [`session`] — per-client state (engine + per-shard node caches)
+//!   behind a registry with idle-TTL expiry and a max-sessions cap with
+//!   LRU eviction.
+//! - [`metrics`] — lock-free latency summaries and cache/eviction/session
+//!   counters, snapshotable at any time.
+//! - [`protocol`] — serializable `Request`/`Response` enums plus the
+//!   [`dispatch`] function, so any byte transport can front the service.
+//!
+//! ```
+//! use qcluster_service::{dispatch, Request, Response, Service, ServiceConfig};
+//!
+//! let points: Vec<Vec<f64>> = (0..64)
+//!     .map(|i| vec![(i % 8) as f64, (i / 8) as f64])
+//!     .collect();
+//! let service = Service::new(&points, ServiceConfig::default());
+//!
+//! let Response::SessionCreated { session } =
+//!     dispatch(&service, Request::CreateSession { engine: None })
+//! else { unreachable!() };
+//! let Response::Neighbors { neighbors, .. } = dispatch(&service, Request::Query {
+//!     session,
+//!     k: 5,
+//!     vector: Some(vec![3.0, 3.0]),
+//! }) else { unreachable!() };
+//! assert_eq!(neighbors.len(), 5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod executor;
+pub mod metrics;
+pub mod protocol;
+pub mod service;
+pub mod session;
+pub mod shard;
+
+pub use error::ServiceError;
+pub use executor::{Executor, FanoutQuery};
+pub use metrics::{MetricsSnapshot, OpHistogram, OpSummary, ServiceMetrics};
+pub use protocol::{dispatch, NeighborDto, Request, Response, SearchStatsDto};
+pub use service::{FeedOutcome, QueryOutcome, Service, ServiceConfig};
+pub use session::{RegistryConfig, ServiceEngine, Session, SessionHandle, SessionRegistry};
+pub use shard::{Shard, ShardKind, ShardedCorpus};

@@ -1,0 +1,242 @@
+//! Lock-free service metrics: per-operation latency summaries plus
+//! cache, eviction, and session gauges — all plain atomics so the hot
+//! query path never takes a lock to record.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A histogram-lite over one operation: count, sum, min, max (ns).
+///
+/// Min/max use `fetch_min`/`fetch_max`, so concurrent recorders never
+/// lose an extremum; `sum`/`count` are independently atomic, which makes
+/// the mean a *snapshot* mean (exact once recording quiesces).
+#[derive(Debug)]
+pub struct OpHistogram {
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    /// Seeded to `u64::MAX` so the first `fetch_min` always wins.
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for OpHistogram {
+    fn default() -> Self {
+        OpHistogram {
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl OpHistogram {
+    /// Records one operation's duration.
+    pub fn record(&self, elapsed: Duration) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time summary.
+    pub fn snapshot(&self) -> OpSummary {
+        let count = self.count.load(Ordering::Relaxed);
+        let sum_ns = self.sum_ns.load(Ordering::Relaxed);
+        let min_ns = self.min_ns.load(Ordering::Relaxed);
+        let max_ns = self.max_ns.load(Ordering::Relaxed);
+        OpSummary {
+            count,
+            sum_ns,
+            min_ns: if count == 0 { 0 } else { min_ns },
+            max_ns,
+            mean_ns: if count == 0 {
+                0.0
+            } else {
+                sum_ns as f64 / count as f64
+            },
+        }
+    }
+}
+
+/// Serializable summary of one [`OpHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpSummary {
+    /// Operations recorded.
+    pub count: u64,
+    /// Total time across all operations, nanoseconds.
+    pub sum_ns: u64,
+    /// Fastest operation, nanoseconds (0 when `count == 0`).
+    pub min_ns: u64,
+    /// Slowest operation, nanoseconds (0 when `count == 0`).
+    pub max_ns: u64,
+    /// Mean latency, nanoseconds.
+    pub mean_ns: f64,
+}
+
+/// All counters the service maintains.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// End-to-end `query` latency (engine compile + fan-out + merge).
+    pub query_latency: OpHistogram,
+    /// End-to-end `feed` latency (clustering + merging).
+    pub feed_latency: OpHistogram,
+    /// Shard fan-out time alone (submit → all shard results merged).
+    pub shard_fanout: OpHistogram,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    evictions: AtomicU64,
+    sessions_created: AtomicU64,
+    sessions_closed: AtomicU64,
+}
+
+impl ServiceMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        ServiceMetrics::default()
+    }
+
+    /// Folds one query's cache accounting into the totals.
+    pub fn record_cache(&self, hits: u64, misses: u64) {
+        self.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        self.cache_misses.fetch_add(misses, Ordering::Relaxed);
+    }
+
+    /// Counts `n` evicted sessions (TTL or LRU).
+    pub fn record_evictions(&self, n: u64) {
+        self.evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts one created session.
+    pub fn record_session_created(&self) {
+        self.sessions_created.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one explicitly closed session.
+    pub fn record_session_closed(&self) {
+        self.sessions_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A serializable snapshot; `active_sessions` is supplied by the
+    /// session registry (the metrics object does not track liveness
+    /// itself, so the gauge can never drift from the registry's truth).
+    pub fn snapshot(&self, active_sessions: u64) -> MetricsSnapshot {
+        let cache_hits = self.cache_hits.load(Ordering::Relaxed);
+        let cache_misses = self.cache_misses.load(Ordering::Relaxed);
+        let touched = cache_hits + cache_misses;
+        MetricsSnapshot {
+            query: self.query_latency.snapshot(),
+            feed: self.feed_latency.snapshot(),
+            fanout: self.shard_fanout.snapshot(),
+            cache_hits,
+            cache_misses,
+            cache_hit_ratio: if touched == 0 {
+                0.0
+            } else {
+                cache_hits as f64 / touched as f64
+            },
+            evictions: self.evictions.load(Ordering::Relaxed),
+            sessions_created: self.sessions_created.load(Ordering::Relaxed),
+            sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
+            active_sessions,
+        }
+    }
+}
+
+/// Point-in-time view of every service metric, as returned by the
+/// `Stats` request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Query latency summary.
+    pub query: OpSummary,
+    /// Feed latency summary.
+    pub feed: OpSummary,
+    /// Shard fan-out time summary.
+    pub fanout: OpSummary,
+    /// Node-cache hits across all sessions.
+    pub cache_hits: u64,
+    /// Node-cache misses (simulated disk reads).
+    pub cache_misses: u64,
+    /// `hits / (hits + misses)`; 0 before any access.
+    pub cache_hit_ratio: f64,
+    /// Sessions evicted by TTL or LRU pressure.
+    pub evictions: u64,
+    /// Sessions ever created.
+    pub sessions_created: u64,
+    /// Sessions explicitly closed by clients.
+    pub sessions_closed: u64,
+    /// Sessions currently live.
+    pub active_sessions: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_tracks_extrema_and_mean() {
+        let h = OpHistogram::default();
+        h.record(Duration::from_nanos(100));
+        h.record(Duration::from_nanos(300));
+        h.record(Duration::from_nanos(200));
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum_ns, 600);
+        assert_eq!(s.min_ns, 100);
+        assert_eq!(s.max_ns, 300);
+        assert!((s.mean_ns - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zero() {
+        let m = ServiceMetrics::new();
+        let s = m.snapshot(0);
+        assert_eq!(s.query.count, 0);
+        assert_eq!(s.query.min_ns, 0);
+        assert_eq!(s.query.mean_ns, 0.0);
+        assert_eq!(s.cache_hit_ratio, 0.0);
+    }
+
+    #[test]
+    fn cache_ratio_and_counters() {
+        let m = ServiceMetrics::new();
+        m.record_cache(3, 1);
+        m.record_cache(0, 4);
+        m.record_evictions(2);
+        m.record_session_created();
+        m.record_session_created();
+        m.record_session_closed();
+        let s = m.snapshot(1);
+        assert_eq!(s.cache_hits, 3);
+        assert_eq!(s.cache_misses, 5);
+        assert!((s.cache_hit_ratio - 0.375).abs() < 1e-12);
+        assert_eq!(s.evictions, 2);
+        assert_eq!(s.sessions_created, 2);
+        assert_eq!(s.sessions_closed, 1);
+        assert_eq!(s.active_sessions, 1);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let m = std::sync::Arc::new(ServiceMetrics::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let m = std::sync::Arc::clone(&m);
+                scope.spawn(move || {
+                    for i in 1..=250u64 {
+                        m.query_latency.record(Duration::from_nanos(i));
+                        m.record_cache(1, 1);
+                    }
+                });
+            }
+        });
+        let s = m.snapshot(0);
+        assert_eq!(s.query.count, 1000);
+        assert_eq!(s.cache_hits, 1000);
+        assert_eq!(s.cache_misses, 1000);
+        assert_eq!(s.query.min_ns, 1);
+        assert_eq!(s.query.max_ns, 250);
+    }
+}

@@ -1,0 +1,282 @@
+//! The wire protocol: serializable request/response enums and the
+//! dispatcher that maps them onto [`Service`] calls.
+//!
+//! The protocol is transport-agnostic — any byte channel that can carry
+//! JSON (or any other serde format) can front the service. Errors never
+//! escape as `Err`: [`dispatch`] always returns a [`Response`], with
+//! failures folded into [`Response::Error`] so a wire client sees every
+//! outcome uniformly.
+
+use crate::error::ServiceError;
+use crate::metrics::MetricsSnapshot;
+use crate::service::Service;
+use qcluster_index::{Neighbor, SearchStats};
+use serde::{Deserialize, Serialize};
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Open a session. `engine` selects `"qcluster"` (default when
+    /// `None`) or `"qpm"`.
+    CreateSession {
+        /// Engine name, or `None` for the default.
+        engine: Option<String>,
+    },
+    /// Run a k-NN round. With `vector` set this is the initial
+    /// example-image query; with `vector` omitted the session engine's
+    /// refined (disjunctive) query runs.
+    Query {
+        /// Target session.
+        session: u64,
+        /// Result count.
+        k: usize,
+        /// Optional explicit query vector (initial round).
+        vector: Option<Vec<f64>>,
+    },
+    /// Mark corpus images as relevant, optionally graded.
+    Feed {
+        /// Target session.
+        session: u64,
+        /// Corpus ids of the marked images.
+        relevant_ids: Vec<usize>,
+        /// Optional per-id relevance scores (defaults when omitted).
+        scores: Option<Vec<f64>>,
+    },
+    /// Close a session.
+    CloseSession {
+        /// Target session.
+        session: u64,
+    },
+    /// Fetch the service metrics snapshot.
+    Stats,
+}
+
+/// One neighbor on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NeighborDto {
+    /// Corpus image id.
+    pub id: usize,
+    /// Distance under the round's query.
+    pub distance: f64,
+}
+
+impl From<Neighbor> for NeighborDto {
+    fn from(n: Neighbor) -> Self {
+        NeighborDto {
+            id: n.id,
+            distance: n.distance,
+        }
+    }
+}
+
+/// Search work counters on the wire.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchStatsDto {
+    /// Index nodes expanded, summed over shards.
+    pub nodes_accessed: u64,
+    /// Node accesses served from the session cache.
+    pub cache_hits: u64,
+    /// Node accesses charged as disk reads.
+    pub disk_reads: u64,
+    /// Point-level distance evaluations.
+    pub distance_evaluations: u64,
+}
+
+impl From<SearchStats> for SearchStatsDto {
+    fn from(s: SearchStats) -> Self {
+        SearchStatsDto {
+            nodes_accessed: s.nodes_accessed,
+            cache_hits: s.cache_hits,
+            disk_reads: s.disk_reads,
+            distance_evaluations: s.distance_evaluations,
+        }
+    }
+}
+
+/// A service response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// A session was opened.
+    SessionCreated {
+        /// The new session id.
+        session: u64,
+    },
+    /// A query round's results.
+    Neighbors {
+        /// The session that ran the query.
+        session: u64,
+        /// Global top-k, ascending by `(distance, id)`.
+        neighbors: Vec<NeighborDto>,
+        /// Search work, summed over shards.
+        stats: SearchStatsDto,
+    },
+    /// A feed round was ingested.
+    FeedAccepted {
+        /// The session that was fed.
+        session: u64,
+        /// Feed rounds completed so far.
+        iteration: u64,
+        /// Cluster count, when the engine exposes one.
+        clusters: Option<usize>,
+    },
+    /// A session was closed.
+    SessionClosed {
+        /// The closed session id.
+        session: u64,
+    },
+    /// The metrics snapshot.
+    Stats(MetricsSnapshot),
+    /// The request failed.
+    Error(ServiceError),
+}
+
+/// Maps one request onto the service. Infallible by construction: every
+/// service error becomes [`Response::Error`].
+pub fn dispatch(service: &Service, request: Request) -> Response {
+    let result = match request {
+        Request::CreateSession { engine } => match engine {
+            None => service.create_session(),
+            Some(name) => service.create_session_named(&name),
+        }
+        .map(|session| Response::SessionCreated { session }),
+        Request::Query { session, k, vector } => match vector {
+            Some(v) => service.query_vector(session, v, k),
+            None => service.query(session, k),
+        }
+        .map(|out| Response::Neighbors {
+            session,
+            neighbors: out.neighbors.into_iter().map(NeighborDto::from).collect(),
+            stats: SearchStatsDto::from(out.stats),
+        }),
+        Request::Feed {
+            session,
+            relevant_ids,
+            scores,
+        } => service
+            .feed_ids(session, &relevant_ids, scores.as_deref())
+            .map(|out| Response::FeedAccepted {
+                session,
+                iteration: out.iteration,
+                clusters: out.clusters,
+            }),
+        Request::CloseSession { session } => service
+            .close_session(session)
+            .map(|()| Response::SessionClosed { session }),
+        Request::Stats => Ok(Response::Stats(service.stats())),
+    };
+    result.unwrap_or_else(Response::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+
+    fn corpus() -> Vec<Vec<f64>> {
+        (0..40)
+            .map(|i| {
+                let a = i as f64 * 0.37;
+                let offset = if i < 20 { 0.0 } else { 9.0 };
+                vec![offset + a.cos(), offset + a.sin()]
+            })
+            .collect()
+    }
+
+    fn service() -> Service {
+        Service::new(
+            &corpus(),
+            ServiceConfig {
+                num_shards: 2,
+                num_workers: 2,
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn dispatch_drives_a_whole_session() {
+        let svc = service();
+        let Response::SessionCreated { session } =
+            dispatch(&svc, Request::CreateSession { engine: None })
+        else {
+            panic!("expected SessionCreated");
+        };
+
+        let Response::Neighbors { neighbors, .. } = dispatch(
+            &svc,
+            Request::Query {
+                session,
+                k: 6,
+                vector: Some(vec![0.5, 0.5]),
+            },
+        ) else {
+            panic!("expected Neighbors");
+        };
+        assert_eq!(neighbors.len(), 6);
+
+        let ids: Vec<usize> = neighbors.iter().take(4).map(|n| n.id).collect();
+        let Response::FeedAccepted { iteration, .. } = dispatch(
+            &svc,
+            Request::Feed {
+                session,
+                relevant_ids: ids,
+                scores: None,
+            },
+        ) else {
+            panic!("expected FeedAccepted");
+        };
+        assert_eq!(iteration, 1);
+
+        let Response::Neighbors { stats, .. } = dispatch(
+            &svc,
+            Request::Query {
+                session,
+                k: 6,
+                vector: None,
+            },
+        ) else {
+            panic!("expected refined Neighbors");
+        };
+        assert!(stats.nodes_accessed > 0);
+
+        let Response::Stats(snapshot) = dispatch(&svc, Request::Stats) else {
+            panic!("expected Stats");
+        };
+        assert_eq!(snapshot.query.count, 2);
+        assert_eq!(snapshot.active_sessions, 1);
+
+        assert_eq!(
+            dispatch(&svc, Request::CloseSession { session }),
+            Response::SessionClosed { session }
+        );
+    }
+
+    #[test]
+    fn dispatch_folds_failures_into_error_responses() {
+        let svc = service();
+        assert_eq!(
+            dispatch(
+                &svc,
+                Request::Query {
+                    session: 7,
+                    k: 1,
+                    vector: None
+                }
+            ),
+            Response::Error(ServiceError::UnknownSession(7))
+        );
+        assert!(matches!(
+            dispatch(
+                &svc,
+                Request::CreateSession {
+                    engine: Some("nope".into())
+                }
+            ),
+            Response::Error(ServiceError::InvalidRequest(_))
+        ));
+        assert_eq!(
+            dispatch(&svc, Request::CloseSession { session: 3 }),
+            Response::Error(ServiceError::UnknownSession(3))
+        );
+    }
+}

@@ -1,0 +1,500 @@
+//! The retrieval service: corpus shards + executor + session registry +
+//! metrics behind one concurrency-safe façade.
+//!
+//! Every public method takes `&self` — a single [`Service`] value wrapped
+//! in an [`Arc`](std::sync::Arc) is the intended deployment shape, with
+//! any number of client threads calling into it concurrently.
+
+use crate::error::ServiceError;
+use crate::executor::{Executor, FanoutQuery};
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::session::{RegistryConfig, ServiceEngine, Session, SessionRegistry};
+use crate::shard::{ShardKind, ShardedCorpus};
+use qcluster_baselines::QueryPointMovement;
+use qcluster_core::{FeedbackPoint, QclusterConfig, QclusterEngine};
+use qcluster_index::{EuclideanQuery, Neighbor, NodeCache, SearchStats};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Everything tunable about a service instance.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Number of corpus shards (clamped so shards are never empty).
+    pub num_shards: usize,
+    /// Worker threads in the k-NN pool.
+    pub num_workers: usize,
+    /// Index structure per shard.
+    pub shard_kind: ShardKind,
+    /// Maximum live sessions.
+    pub max_sessions: usize,
+    /// Idle TTL before a session may be reaped (`None` = never).
+    pub idle_ttl: Option<Duration>,
+    /// At capacity, evict the LRU session instead of failing creation.
+    pub evict_lru_at_capacity: bool,
+    /// Per-shard node-cache capacity (`None` = unbounded residency).
+    pub cache_capacity: Option<usize>,
+    /// Configuration for default (Qcluster) engines.
+    pub engine: QclusterConfig,
+    /// Relevance score assigned to id-only feedback.
+    pub default_score: f64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            num_shards: 4,
+            num_workers: 4,
+            shard_kind: ShardKind::Tree,
+            max_sessions: 64,
+            idle_ttl: None,
+            evict_lru_at_capacity: true,
+            cache_capacity: None,
+            engine: QclusterConfig::default(),
+            default_score: 3.0,
+        }
+    }
+}
+
+/// Result of one feed round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeedOutcome {
+    /// Feed rounds this session has completed.
+    pub iteration: u64,
+    /// Cluster count, for engines that expose one.
+    pub clusters: Option<usize>,
+}
+
+/// Result of one query round.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The global top-k, ascending by `(distance, id)`.
+    pub neighbors: Vec<Neighbor>,
+    /// Search work summed across shards.
+    pub stats: SearchStats,
+}
+
+/// The concurrent multi-session retrieval service.
+#[derive(Debug)]
+pub struct Service {
+    corpus: ShardedCorpus,
+    executor: Executor,
+    registry: SessionRegistry,
+    metrics: ServiceMetrics,
+    config: ServiceConfig,
+}
+
+impl Service {
+    /// Builds the service over `points`: shards the corpus, spawns the
+    /// worker pool, and readies an empty session registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty corpus, ragged dimensionalities, or zero
+    /// shards/sessions.
+    pub fn new(points: &[Vec<f64>], config: ServiceConfig) -> Self {
+        let corpus = ShardedCorpus::build(points, config.num_shards, config.shard_kind);
+        let executor = Executor::new(config.num_workers);
+        let registry = SessionRegistry::new(RegistryConfig {
+            max_sessions: config.max_sessions,
+            idle_ttl: config.idle_ttl,
+            evict_lru_at_capacity: config.evict_lru_at_capacity,
+        });
+        Service {
+            corpus,
+            executor,
+            registry,
+            metrics: ServiceMetrics::new(),
+            config,
+        }
+    }
+
+    /// The sharded corpus.
+    pub fn corpus(&self) -> &ShardedCorpus {
+        &self.corpus
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Live metrics (for direct embedding; wire clients use `stats`).
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// Number of live sessions.
+    pub fn active_sessions(&self) -> usize {
+        self.registry.len()
+    }
+
+    fn fresh_caches(&self) -> Vec<Arc<Mutex<NodeCache>>> {
+        self.corpus
+            .shards()
+            .iter()
+            .map(|s| {
+                let cache = match self.config.cache_capacity {
+                    Some(cap) => NodeCache::with_capacity(s.num_nodes(), cap),
+                    None => NodeCache::new(s.num_nodes()),
+                };
+                Arc::new(Mutex::new(cache))
+            })
+            .collect()
+    }
+
+    /// Opens a session hosting the default Qcluster engine.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::CapacityExhausted`] when full and LRU eviction is
+    /// disabled.
+    pub fn create_session(&self) -> Result<u64, ServiceError> {
+        self.create_session_with(Box::new(QclusterEngine::new(self.config.engine)))
+    }
+
+    /// Opens a session hosting an engine selected by name
+    /// (`"qcluster"` or `"qpm"`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidRequest`] for unknown names, plus the
+    /// capacity errors of [`Service::create_session`].
+    pub fn create_session_named(&self, engine: &str) -> Result<u64, ServiceError> {
+        match engine {
+            "qcluster" => self.create_session(),
+            "qpm" => self.create_session_with(Box::new(QueryPointMovement::new())),
+            other => Err(ServiceError::InvalidRequest(format!(
+                "unknown engine '{other}'"
+            ))),
+        }
+    }
+
+    /// Opens a session hosting the given engine.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::CapacityExhausted`] when full and LRU eviction is
+    /// disabled.
+    pub fn create_session_with(&self, engine: Box<dyn ServiceEngine>) -> Result<u64, ServiceError> {
+        let caches = self.fresh_caches();
+        let (id, evicted) = self
+            .registry
+            .create(move |id| Session::new(id, engine, caches))?;
+        self.metrics.record_session_created();
+        self.metrics.record_evictions(evicted);
+        Ok(id)
+    }
+
+    /// Closes a session explicitly.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`] when the id is not live.
+    pub fn close_session(&self, session: u64) -> Result<(), ServiceError> {
+        self.registry.close(session)?;
+        self.metrics.record_session_closed();
+        Ok(())
+    }
+
+    /// Feeds one round of relevant points into a session's engine.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`], [`ServiceError::EmptyFeedback`],
+    /// [`ServiceError::DimensionMismatch`], or engine failures.
+    pub fn feed(
+        &self,
+        session: u64,
+        relevant: &[FeedbackPoint],
+    ) -> Result<FeedOutcome, ServiceError> {
+        if relevant.is_empty() {
+            return Err(ServiceError::EmptyFeedback);
+        }
+        for p in relevant {
+            if p.dim() != self.corpus.dim() {
+                return Err(ServiceError::DimensionMismatch {
+                    expected: self.corpus.dim(),
+                    found: p.dim(),
+                });
+            }
+        }
+        let handle = self.registry.get(session)?;
+        let start = Instant::now();
+        let outcome = {
+            let mut guard = handle.lock();
+            let engine = guard.engine_mut_for_feed();
+            engine.feed(relevant).map_err(ServiceError::from_core)?;
+            FeedOutcome {
+                iteration: guard.feeds(),
+                clusters: guard.engine().num_clusters(),
+            }
+        };
+        self.metrics.feed_latency.record(start.elapsed());
+        Ok(outcome)
+    }
+
+    /// Feeds relevant points identified by corpus image id. `scores`
+    /// optionally grades each id; omitted scores default to the
+    /// configured `default_score`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidImageId`] for out-of-range ids,
+    /// [`ServiceError::InvalidRequest`] on a score-count mismatch, plus
+    /// everything [`Service::feed`] returns.
+    pub fn feed_ids(
+        &self,
+        session: u64,
+        relevant_ids: &[usize],
+        scores: Option<&[f64]>,
+    ) -> Result<FeedOutcome, ServiceError> {
+        if let Some(scores) = scores {
+            if scores.len() != relevant_ids.len() {
+                return Err(ServiceError::InvalidRequest(format!(
+                    "{} ids but {} scores",
+                    relevant_ids.len(),
+                    scores.len()
+                )));
+            }
+        }
+        let points = relevant_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| {
+                if id >= self.corpus.len() {
+                    return Err(ServiceError::InvalidImageId {
+                        id,
+                        corpus_len: self.corpus.len(),
+                    });
+                }
+                let score = scores.map_or(self.config.default_score, |s| s[i]);
+                if score <= 0.0 || score.is_nan() {
+                    return Err(ServiceError::InvalidRequest(format!(
+                        "score {score} for id {id} must be positive"
+                    )));
+                }
+                Ok(FeedbackPoint::new(
+                    id,
+                    self.corpus.point(id).to_vec(),
+                    score,
+                ))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        self.feed(session, &points)
+    }
+
+    /// Runs the session's refined query: compiles the engine's current
+    /// query (e.g. the disjunctive multipoint query) and fans it out
+    /// across the shards through the session's node caches.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`], [`ServiceError::InvalidRequest`]
+    /// for `k == 0`, or [`ServiceError::Engine`] before any feedback.
+    pub fn query(&self, session: u64, k: usize) -> Result<QueryOutcome, ServiceError> {
+        let handle = self.registry.get(session)?;
+        let start = Instant::now();
+        let mut guard = handle.lock();
+        let query = guard.engine().query().map_err(ServiceError::from_core)?;
+        self.run_query(&mut guard, &*query, k, start)
+    }
+
+    /// Runs an ad-hoc query from an explicit vector — the session's
+    /// initial example-image round, before any feedback exists. The
+    /// session's node caches still warm up, so the following refined
+    /// rounds get the multipoint approach's buffer reuse.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`],
+    /// [`ServiceError::DimensionMismatch`], or
+    /// [`ServiceError::InvalidRequest`] for `k == 0`.
+    pub fn query_vector(
+        &self,
+        session: u64,
+        vector: Vec<f64>,
+        k: usize,
+    ) -> Result<QueryOutcome, ServiceError> {
+        if vector.len() != self.corpus.dim() {
+            return Err(ServiceError::DimensionMismatch {
+                expected: self.corpus.dim(),
+                found: vector.len(),
+            });
+        }
+        let handle = self.registry.get(session)?;
+        let start = Instant::now();
+        let mut guard = handle.lock();
+        let query = EuclideanQuery::new(vector);
+        self.run_query(&mut guard, &query, k, start)
+    }
+
+    fn run_query(
+        &self,
+        session: &mut Session,
+        query: &dyn FanoutQuery,
+        k: usize,
+        start: Instant,
+    ) -> Result<QueryOutcome, ServiceError> {
+        if k == 0 {
+            return Err(ServiceError::InvalidRequest("k must be positive".into()));
+        }
+        let caches = session.caches_for_query().to_vec();
+        let fanout_start = Instant::now();
+        let (neighbors, stats) = self.executor.knn(&self.corpus, query, k, Some(&caches));
+        self.metrics.shard_fanout.record(fanout_start.elapsed());
+        self.metrics
+            .record_cache(stats.cache_hits, stats.disk_reads);
+        self.metrics.query_latency.record(start.elapsed());
+        Ok(QueryOutcome { neighbors, stats })
+    }
+
+    /// A point-in-time snapshot of every service metric.
+    pub fn stats(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(self.registry.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blob_corpus(n_per: usize) -> Vec<Vec<f64>> {
+        // Two well-separated blobs; ids < n_per are blob A.
+        (0..n_per)
+            .map(|i| {
+                let a = i as f64 * 0.7;
+                vec![a.cos() * 0.5, a.sin() * 0.5]
+            })
+            .chain((0..n_per).map(|i| {
+                let a = i as f64 * 0.9;
+                vec![10.0 + a.cos() * 0.5, 10.0 + a.sin() * 0.5]
+            }))
+            .collect()
+    }
+
+    fn small_service() -> Service {
+        Service::new(
+            &two_blob_corpus(24),
+            ServiceConfig {
+                num_shards: 3,
+                num_workers: 2,
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn full_session_lifecycle_end_to_end() {
+        let svc = small_service();
+        let id = svc.create_session().unwrap();
+
+        // Round 0: example-image query near blob A.
+        let initial = svc.query_vector(id, vec![0.4, 0.1], 8).unwrap();
+        assert_eq!(initial.neighbors.len(), 8);
+        assert!(initial.neighbors.iter().all(|n| n.id < 24), "blob A only");
+
+        // Mark some blob-A images relevant, then re-query refined.
+        let marked: Vec<usize> = initial.neighbors.iter().take(5).map(|n| n.id).collect();
+        let fed = svc.feed_ids(id, &marked, None).unwrap();
+        assert_eq!(fed.iteration, 1);
+        assert!(fed.clusters.unwrap() >= 1);
+
+        let refined = svc.query(id, 8).unwrap();
+        assert_eq!(refined.neighbors.len(), 8);
+        assert!(refined.neighbors.iter().all(|n| n.id < 24));
+        // Refined rounds reuse the session's node buffer.
+        assert!(refined.stats.cache_hits > 0);
+
+        svc.close_session(id).unwrap();
+        assert!(svc.query(id, 3).is_err());
+
+        let stats = svc.stats();
+        assert_eq!(stats.sessions_created, 1);
+        assert_eq!(stats.sessions_closed, 1);
+        assert_eq!(stats.active_sessions, 0);
+        assert_eq!(stats.query.count, 2);
+        assert_eq!(stats.feed.count, 1);
+        assert!(stats.cache_hit_ratio > 0.0);
+    }
+
+    #[test]
+    fn error_paths_are_structured() {
+        let svc = small_service();
+        assert!(matches!(
+            svc.query(999, 5),
+            Err(ServiceError::UnknownSession(999))
+        ));
+        let id = svc.create_session().unwrap();
+        assert!(matches!(svc.query(id, 5), Err(ServiceError::Engine(_)),));
+        assert!(matches!(
+            svc.feed(id, &[]),
+            Err(ServiceError::EmptyFeedback)
+        ));
+        assert!(matches!(
+            svc.query_vector(id, vec![1.0, 2.0, 3.0], 5),
+            Err(ServiceError::DimensionMismatch {
+                expected: 2,
+                found: 3
+            })
+        ));
+        assert!(matches!(
+            svc.feed_ids(id, &[99999], None),
+            Err(ServiceError::InvalidImageId { id: 99999, .. })
+        ));
+        assert!(matches!(
+            svc.feed_ids(id, &[0, 1], Some(&[1.0])),
+            Err(ServiceError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            svc.query_vector(id, vec![0.0, 0.0], 0),
+            Err(ServiceError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn named_engines_and_unknown_names() {
+        let svc = small_service();
+        let q = svc.create_session_named("qcluster").unwrap();
+        let m = svc.create_session_named("qpm").unwrap();
+        assert!(svc.create_session_named("falcon9").is_err());
+        svc.feed_ids(q, &[0, 1, 2], None).unwrap();
+        svc.feed_ids(m, &[0, 1, 2], None).unwrap();
+        assert!(svc.query(q, 4).is_ok());
+        assert!(svc.query(m, 4).is_ok());
+    }
+
+    #[test]
+    fn graded_scores_flow_through() {
+        let svc = small_service();
+        let id = svc.create_session().unwrap();
+        let out = svc
+            .feed_ids(id, &[0, 1, 2], Some(&[3.0, 2.0, 1.0]))
+            .unwrap();
+        assert_eq!(out.iteration, 1);
+        assert!(
+            svc.feed_ids(id, &[3], Some(&[0.0])).is_err(),
+            "non-positive score rejected"
+        );
+    }
+
+    #[test]
+    fn capacity_eviction_shows_in_metrics() {
+        let svc = Service::new(
+            &two_blob_corpus(8),
+            ServiceConfig {
+                num_shards: 2,
+                num_workers: 1,
+                max_sessions: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        let a = svc.create_session().unwrap();
+        let _b = svc.create_session().unwrap();
+        let _c = svc.create_session().unwrap(); // evicts `a`
+        assert_eq!(svc.active_sessions(), 2);
+        assert!(svc.query_vector(a, vec![0.0, 0.0], 1).is_err());
+        let stats = svc.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.sessions_created, 3);
+    }
+}

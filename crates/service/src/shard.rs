@@ -1,0 +1,337 @@
+//! Corpus sharding: contiguous partitions of the point set, each backed by
+//! its own index, answering k-NN with **global** point ids.
+//!
+//! Shard `i` holds the contiguous id range `[i·chunk, min((i+1)·chunk, n))`,
+//! so translating a shard-local hit back to the corpus id is a single
+//! addition and [`ShardedCorpus::point`] locates any vector with one
+//! division. Contiguity also means the shards together are exactly the
+//! corpus — the merged per-shard top-k equals the global top-k.
+
+use qcluster_index::{HybridTree, LinearScan, Neighbor, NodeCache, QueryDistance, SearchStats};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Which index structure backs each shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardKind {
+    /// Brute-force scan with a bounded top-k heap (`O(n log k)` per
+    /// query). No interior nodes, so the node cache degenerates to one
+    /// sequential-read slot.
+    Scan,
+    /// Bulk-loaded hybrid tree: pruned best-first search plus real
+    /// node-granular cache accounting (the multipoint approach).
+    #[default]
+    Tree,
+}
+
+#[derive(Debug)]
+enum ShardIndex {
+    Scan(LinearScan),
+    Tree(HybridTree),
+}
+
+/// One corpus partition: an index over a contiguous slice of the points.
+#[derive(Debug)]
+pub struct Shard {
+    index: ShardIndex,
+    /// Global id of this shard's first point.
+    base: usize,
+}
+
+impl Shard {
+    fn build(points: &[Vec<f64>], base: usize, kind: ShardKind) -> Self {
+        let index = match kind {
+            ShardKind::Scan => ShardIndex::Scan(LinearScan::new(points)),
+            ShardKind::Tree => ShardIndex::Tree(HybridTree::bulk_load(points)),
+        };
+        Shard { index, base }
+    }
+
+    /// Number of points in this shard.
+    pub fn len(&self) -> usize {
+        match &self.index {
+            ShardIndex::Scan(s) => s.len(),
+            ShardIndex::Tree(t) => t.len(),
+        }
+    }
+
+    /// `true` when the shard holds no points (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Global id of the shard's first point.
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Node count for sizing a per-session [`NodeCache`]: the tree's node
+    /// count, or a single slot for a scan shard (one sequential read).
+    pub fn num_nodes(&self) -> usize {
+        match &self.index {
+            ShardIndex::Scan(_) => 1,
+            ShardIndex::Tree(t) => t.num_nodes(),
+        }
+    }
+
+    /// Exact k-NN within this shard, returned with **global** ids, sorted
+    /// ascending by `(distance, id)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k == 0` or the query dimensionality disagrees.
+    pub fn knn<Q: QueryDistance + ?Sized>(
+        &self,
+        query: &Q,
+        k: usize,
+        cache: Option<&mut NodeCache>,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        let (mut neighbors, stats) = match &self.index {
+            ShardIndex::Scan(s) => scan_top_k(s, query, k, cache),
+            ShardIndex::Tree(t) => t.knn(&query, k, cache),
+        };
+        for n in &mut neighbors {
+            n.id += self.base;
+        }
+        (neighbors, stats)
+    }
+}
+
+/// Max-heap entry for the bounded top-k scan (worst candidate on top).
+struct Worst {
+    distance: f64,
+    id: usize,
+}
+
+impl PartialEq for Worst {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Worst {}
+
+impl Ord for Worst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.distance
+            .partial_cmp(&other.distance)
+            .expect("non-NaN distances")
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for Worst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Bounded-heap top-k over a linear scan: `O(n log k)` instead of the
+/// full `O(n log n)` sort of [`LinearScan::knn`]. This is where the
+/// sharded path's single-core throughput win comes from.
+fn scan_top_k<Q: QueryDistance + ?Sized>(
+    scan: &LinearScan,
+    query: &Q,
+    k: usize,
+    cache: Option<&mut NodeCache>,
+) -> (Vec<Neighbor>, SearchStats) {
+    assert!(k > 0, "k must be positive");
+    assert_eq!(query.dim(), scan.dim(), "query dimensionality mismatch");
+    let mut stats = SearchStats {
+        nodes_accessed: 1,
+        ..SearchStats::default()
+    };
+    // The whole scan is one "node": a session's repeat scan is a buffer hit.
+    let hit = cache.is_some_and(|c| c.access(0));
+    if hit {
+        stats.cache_hits = 1;
+    }
+    stats.disk_reads = stats.nodes_accessed - stats.cache_hits;
+
+    let mut heap: BinaryHeap<Worst> = BinaryHeap::with_capacity(k + 1);
+    for id in 0..scan.len() {
+        let distance = query.distance(scan.point(id));
+        stats.distance_evaluations += 1;
+        if heap.len() < k {
+            heap.push(Worst { distance, id });
+        } else {
+            let worst = heap.peek().expect("non-empty heap");
+            if (distance, id) < (worst.distance, worst.id) {
+                heap.pop();
+                heap.push(Worst { distance, id });
+            }
+        }
+    }
+    let neighbors = heap
+        .into_sorted_vec()
+        .into_iter()
+        .map(|w| Neighbor {
+            id: w.id,
+            distance: w.distance,
+        })
+        .collect();
+    (neighbors, stats)
+}
+
+/// The corpus split into contiguous shards behind [`Arc`]s, ready to be
+/// fanned out across the executor's workers.
+#[derive(Debug, Clone)]
+pub struct ShardedCorpus {
+    shards: Vec<Arc<Shard>>,
+    /// Flat copy of every point for O(1) id → vector lookups (the shards'
+    /// own buffers are permuted by tree bulk-loading).
+    data: Arc<Vec<f64>>,
+    dim: usize,
+    len: usize,
+}
+
+impl ShardedCorpus {
+    /// Partitions `points` into at most `num_shards` contiguous shards.
+    ///
+    /// The effective shard count is `ceil(n / ceil(n / num_shards))`,
+    /// which may be smaller than requested for tiny corpora — shards are
+    /// never empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty corpus, `num_shards == 0`, or ragged
+    /// dimensionalities.
+    pub fn build(points: &[Vec<f64>], num_shards: usize, kind: ShardKind) -> Self {
+        assert!(!points.is_empty(), "cannot shard an empty corpus");
+        assert!(num_shards > 0, "need at least one shard");
+        let dim = points[0].len();
+        assert!(
+            points.iter().all(|p| p.len() == dim),
+            "all points must share one dimensionality"
+        );
+        let chunk = points.len().div_ceil(num_shards);
+        let shards = points
+            .chunks(chunk)
+            .enumerate()
+            .map(|(i, slice)| Arc::new(Shard::build(slice, i * chunk, kind)))
+            .collect();
+        let mut data = Vec::with_capacity(points.len() * dim);
+        for p in points {
+            data.extend_from_slice(p);
+        }
+        ShardedCorpus {
+            shards,
+            data: Arc::new(data),
+            dim,
+            len: points.len(),
+        }
+    }
+
+    /// Number of shards actually built.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Corpus dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total number of points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the corpus is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The shards, in id order.
+    pub fn shards(&self) -> &[Arc<Shard>] {
+        &self.shards
+    }
+
+    /// The vector of the point with global id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range.
+    pub fn point(&self, id: usize) -> &[f64] {
+        assert!(id < self.len, "point id out of range");
+        &self.data[id * self.dim..(id + 1) * self.dim]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcluster_index::EuclideanQuery;
+
+    fn ring(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let a = i as f64 * std::f64::consts::TAU / n as f64;
+                vec![a.cos() * (1.0 + i as f64 * 0.01), a.sin()]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_knn_matches_global_scan_for_both_kinds() {
+        let pts = ring(97);
+        let q = EuclideanQuery::new(vec![0.4, -0.3]);
+        let expect = LinearScan::new(&pts).knn(&q, 12);
+        for kind in [ShardKind::Scan, ShardKind::Tree] {
+            let corpus = ShardedCorpus::build(&pts, 5, kind);
+            let per_shard: Vec<Vec<Neighbor>> = corpus
+                .shards()
+                .iter()
+                .map(|s| s.knn(&q, 12, None).0)
+                .collect();
+            let merged = qcluster_index::merge_top_k(per_shard, 12);
+            assert_eq!(merged.len(), expect.len());
+            for (a, b) in merged.iter().zip(expect.iter()) {
+                assert_eq!(a.id, b.id, "{kind:?}");
+                assert!((a.distance - b.distance).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn global_ids_and_point_lookup_round_trip() {
+        let pts = ring(23);
+        let corpus = ShardedCorpus::build(&pts, 4, ShardKind::Tree);
+        assert_eq!(corpus.len(), 23);
+        for (id, p) in pts.iter().enumerate() {
+            assert_eq!(corpus.point(id), p.as_slice());
+        }
+        let total: usize = corpus.shards().iter().map(|s| s.len()).sum();
+        assert_eq!(total, 23);
+    }
+
+    #[test]
+    fn tiny_corpus_clamps_shard_count() {
+        let corpus = ShardedCorpus::build(&ring(3), 8, ShardKind::Scan);
+        assert!(corpus.num_shards() <= 3);
+        assert!(corpus.shards().iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn scan_shard_cache_models_sequential_reads() {
+        let pts = ring(10);
+        let corpus = ShardedCorpus::build(&pts, 1, ShardKind::Scan);
+        let shard = &corpus.shards()[0];
+        let mut cache = NodeCache::new(shard.num_nodes());
+        let q = EuclideanQuery::new(vec![1.0, 0.0]);
+        let (_, s1) = shard.knn(&q, 3, Some(&mut cache));
+        assert_eq!(s1.disk_reads, 1);
+        let (_, s2) = shard.knn(&q, 3, Some(&mut cache));
+        assert_eq!(s2.cache_hits, 1);
+        assert_eq!(s2.disk_reads, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let corpus = ShardedCorpus::build(&ring(5), 1, ShardKind::Scan);
+        let q = EuclideanQuery::new(vec![0.0, 0.0]);
+        let _ = corpus.shards()[0].knn(&q, 0, None);
+    }
+}

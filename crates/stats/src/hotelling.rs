@@ -277,10 +277,7 @@ mod tests {
     fn t2_scales_with_weights() {
         let q = 2.0;
         assert!((t2_from_quadratic_form(q, 10.0, 10.0) - 10.0).abs() < 1e-12);
-        assert!(
-            t2_from_quadratic_form(q, 100.0, 100.0)
-                > t2_from_quadratic_form(q, 10.0, 10.0)
-        );
+        assert!(t2_from_quadratic_form(q, 100.0, 100.0) > t2_from_quadratic_form(q, 10.0, 10.0));
     }
 
     #[test]

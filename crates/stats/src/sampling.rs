@@ -211,8 +211,7 @@ mod tests {
         // E[F_{d1,d2}] = d2/(d2−2) for d2 > 2.
         let mut rng = StdRng::seed_from_u64(11);
         let n = 20_000;
-        let mean_f: f64 =
-            (0..n).map(|_| random_f(&mut rng, 12, 48)).sum::<f64>() / n as f64;
+        let mean_f: f64 = (0..n).map(|_| random_f(&mut rng, 12, 48)).sum::<f64>() / n as f64;
         let want = 48.0 / 46.0;
         assert!((mean_f - want).abs() < 0.05, "mean F {mean_f} vs {want}");
     }
@@ -221,10 +220,7 @@ mod tests {
     fn random_chi_squared_mean_is_dof() {
         let mut rng = StdRng::seed_from_u64(5);
         let n = 20_000;
-        let m: f64 = (0..n)
-            .map(|_| random_chi_squared(&mut rng, 9))
-            .sum::<f64>()
-            / n as f64;
+        let m: f64 = (0..n).map(|_| random_chi_squared(&mut rng, 9)).sum::<f64>() / n as f64;
         assert!((m - 9.0).abs() < 0.15, "chi2 mean {m}");
     }
 

@@ -129,7 +129,10 @@ pub fn ln_beta(a: f64, b: f64) -> f64 {
 /// Panics for non-positive `a`/`b` or `x` outside `[0, 1]`.
 pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
     assert!(a > 0.0 && b > 0.0, "reg_inc_beta requires a, b > 0");
-    assert!((0.0..=1.0).contains(&x), "reg_inc_beta requires 0 <= x <= 1");
+    assert!(
+        (0.0..=1.0).contains(&x),
+        "reg_inc_beta requires 0 <= x <= 1"
+    );
     if x == 0.0 {
         return 0.0;
     }

@@ -5,8 +5,7 @@ use qcluster_stats::descriptive::{
     mean, population_variance, quantile, sorted_copy, standardized_skewness,
 };
 use qcluster_stats::distributions::{
-    chi_squared_cdf, chi_squared_quantile, f_cdf, f_quantile, std_normal_cdf,
-    std_normal_quantile,
+    chi_squared_cdf, chi_squared_quantile, f_cdf, f_quantile, std_normal_cdf, std_normal_quantile,
 };
 use qcluster_stats::hotelling::{hotelling_critical_value, t2_from_quadratic_form};
 use qcluster_stats::special::{ln_gamma, reg_inc_beta, reg_lower_gamma};

@@ -27,8 +27,7 @@ fn main() {
         .jitter(0.5)
         .seed(7)
         .build();
-    let dataset =
-        Dataset::from_corpus(&corpus, FeatureKind::ColorMoments).expect("features build");
+    let dataset = Dataset::from_corpus(&corpus, FeatureKind::ColorMoments).expect("features build");
 
     let query_image = 0; // a "bird" photo from mode A of category 0
     let category = dataset.category(query_image);
@@ -54,7 +53,9 @@ fn main() {
 
     println!("\nQcluster (disjunctive multipoint query):");
     let mut engine = QclusterEngine::new(QclusterConfig::default());
-    let outcome = session.run(&mut engine, query_image, 4).expect("session runs");
+    let outcome = session
+        .run(&mut engine, query_image, 4)
+        .expect("session runs");
     for (i, rec) in outcome.iterations.iter().enumerate() {
         let (a, b) = mode_counts(&rec.retrieved);
         println!("  iter {i}: {a:>2} green-background + {b:>2} blue-background birds retrieved");

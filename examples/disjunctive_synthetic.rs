@@ -25,7 +25,10 @@ fn main() {
             .any(|c| qcluster::linalg::vecops::sq_euclidean(p, c) <= 1.0)
     };
     let region_size = points.iter().filter(|p| in_region(p)).count();
-    println!("points inside either unit ball: {region_size} of {}", points.len());
+    println!(
+        "points inside either unit ball: {region_size} of {}",
+        points.len()
+    );
 
     // Eq. 5: harmonic (α = −1 over squared distances) mass-weighted
     // aggregate — identical to the paper's disjunctive distance.

@@ -26,15 +26,31 @@ fn main() {
     let cm = color_moments(&img);
     println!("\nHSV color moments (9 dims: μ/σ/skew per channel):");
     for (label, chunk) in ["H", "S", "V"].iter().zip(cm.chunks(3)) {
-        println!("  {label}: mean={:+.3} std={:.3} skew={:+.3}", chunk[0], chunk[1], chunk[2]);
+        println!(
+            "  {label}: mean={:+.3} std={:.3} skew={:+.3}",
+            chunk[0], chunk[1], chunk[2]
+        );
     }
 
     let tx = texture_features(&img);
     println!("\nGLCM texture statistics (16 dims):");
     let names = [
-        "energy", "inertia", "entropy", "homogeneity", "correlation", "variance",
-        "sum avg", "sum var", "sum entropy", "diff avg", "diff var", "diff entropy",
-        "max prob", "shade", "prominence", "dissimilarity",
+        "energy",
+        "inertia",
+        "entropy",
+        "homogeneity",
+        "correlation",
+        "variance",
+        "sum avg",
+        "sum var",
+        "sum entropy",
+        "diff avg",
+        "diff var",
+        "diff entropy",
+        "max prob",
+        "shade",
+        "prominence",
+        "dissimilarity",
     ];
     for (name, v) in names.iter().zip(tx.iter()) {
         println!("  {name:<14} {v:+.4}");
@@ -49,7 +65,12 @@ fn main() {
             fs.dim(),
             100.0 * fs.pipeline().retained_variance()
         );
-        println!("  image (0,0) reduced vector: {:?}",
-            fs.vector(0).iter().map(|x| (x * 100.0).round() / 100.0).collect::<Vec<_>>());
+        println!(
+            "  image (0,0) reduced vector: {:?}",
+            fs.vector(0)
+                .iter()
+                .map(|x| (x * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
+        );
     }
 }

@@ -72,7 +72,13 @@ fn main() {
         finals.push((method.name(), *recall.last().expect("non-empty")));
     }
 
-    let get = |n: &str| finals.iter().find(|(m, _)| *m == n).map(|(_, v)| *v).unwrap();
+    let get = |n: &str| {
+        finals
+            .iter()
+            .find(|(m, _)| *m == n)
+            .map(|(_, v)| *v)
+            .unwrap()
+    };
     println!(
         "\nfinal-iteration improvement of Qcluster: vs QEX {:+.1}%, vs QPM {:+.1}%",
         100.0 * (get("qcluster") / get("qex") - 1.0),

@@ -26,8 +26,7 @@ fn main() {
         .multimodal_fraction(0.5)
         .seed(23)
         .build();
-    let dataset =
-        Dataset::from_corpus(&corpus, FeatureKind::ColorMoments).expect("features build");
+    let dataset = Dataset::from_corpus(&corpus, FeatureKind::ColorMoments).expect("features build");
     let oracle = RelevanceOracle::new(&dataset);
 
     let query_image = 0;
@@ -69,7 +68,12 @@ fn main() {
             } else {
                 ""
             };
-            println!("  [{:>2}] image {:>5}  category {:>3} mode {mode}  {tag}", rank + 1, id, cat);
+            println!(
+                "  [{:>2}] image {:>5}  category {:>3} mode {mode}  {tag}",
+                rank + 1,
+                id,
+                cat
+            );
         }
         print!("relevant ranks> ");
         std::io::stdout().flush().expect("stdout flushes");
@@ -84,9 +88,8 @@ fn main() {
                 .iter()
                 .filter_map(|&id| {
                     let score = oracle.score(category, id);
-                    (score > 0.0).then(|| {
-                        FeedbackPoint::new(id, dataset.vector(id).to_vec(), score)
-                    })
+                    (score > 0.0)
+                        .then(|| FeedbackPoint::new(id, dataset.vector(id).to_vec(), score))
                 })
                 .collect()
         } else {

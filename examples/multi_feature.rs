@@ -21,11 +21,14 @@ fn main() {
         .jitter(0.8)
         .seed(19)
         .build();
-    println!("corpus: {} images, {} categories", corpus.len(), corpus.num_categories());
+    println!(
+        "corpus: {} images, {} categories",
+        corpus.len(),
+        corpus.num_categories()
+    );
 
     let color = Dataset::from_corpus(&corpus, FeatureKind::ColorMoments).expect("color");
-    let texture =
-        Dataset::from_corpus(&corpus, FeatureKind::CooccurrenceTexture).expect("texture");
+    let texture = Dataset::from_corpus(&corpus, FeatureKind::CooccurrenceTexture).expect("texture");
     let stack = MultiFeatureDataset::new(vec![color, texture]);
 
     let k = 20;

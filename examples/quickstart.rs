@@ -19,13 +19,20 @@ fn main() {
         .image_size(24)
         .seed(42)
         .build();
-    println!("corpus: {} images in {} categories", corpus.len(), corpus.num_categories());
+    println!(
+        "corpus: {} images in {} categories",
+        corpus.len(),
+        corpus.num_categories()
+    );
 
     // 2. Extract HSV color moments, PCA-reduce to 3 dims, index with the
     //    hybrid tree. `Dataset` wraps features + ground truth + index.
-    let dataset =
-        Dataset::from_corpus(&corpus, FeatureKind::ColorMoments).expect("features build");
-    println!("features: {} dims, tree with {} nodes", dataset.dim(), dataset.tree().num_nodes());
+    let dataset = Dataset::from_corpus(&corpus, FeatureKind::ColorMoments).expect("features build");
+    println!(
+        "features: {} dims, tree with {} nodes",
+        dataset.dim(),
+        dataset.tree().num_nodes()
+    );
 
     // 3. Run a feedback session: initial k-NN from a query image, then 4
     //    rounds of (mark relevant → refine → re-query) with the simulated
@@ -34,13 +41,20 @@ fn main() {
     let k = 20;
     let session = FeedbackSession::new(&dataset, k);
     let mut engine = QclusterEngine::new(QclusterConfig::default());
-    let outcome = session.run(&mut engine, query_image, 4).expect("session runs");
+    let outcome = session
+        .run(&mut engine, query_image, 4)
+        .expect("session runs");
 
     // 4. Report precision/recall per iteration.
     let category = dataset.category(query_image);
     println!("\niteration  precision@{k}  recall@{k}");
     for (i, record) in outcome.iterations.iter().enumerate() {
-        let pr = pr_at(&dataset, category, &record.retrieved, record.retrieved.len());
+        let pr = pr_at(
+            &dataset,
+            category,
+            &record.retrieved,
+            record.retrieved.len(),
+        );
         println!("{i:<10} {:<13.3} {:.3}", pr.precision, pr.recall);
     }
     println!(

@@ -1,0 +1,170 @@
+//! Service demo: one shared `Service` front-ending the Qcluster engine
+//! for many concurrent clients, each running its own relevance-feedback
+//! session over the wire protocol.
+//!
+//! ```text
+//! cargo run --release --example service_demo
+//! ```
+//!
+//! Every client thread speaks JSON through [`dispatch`], exactly as a
+//! network front-end would: create a session, run the initial
+//! example-image query, mark the best hits relevant, re-query with the
+//! refined disjunctive query, and close. The service fans each k-NN out
+//! across its shards on a persistent worker pool and keeps per-session
+//! node caches, so the final stats show cache hits (the multipoint
+//! approach of the paper's Figure 7) and per-operation latencies.
+
+use std::sync::Arc;
+use std::thread;
+
+use qcluster::service::{dispatch, Request, Response, Service, ServiceConfig};
+
+const CLIENTS: usize = 8;
+const ROUNDS: usize = 3;
+const K: usize = 10;
+
+/// A small clustered corpus: `CLIENTS` well-separated Gaussian-ish blobs,
+/// so each client has a "category" whose images its feedback should
+/// concentrate on.
+fn make_corpus(per_blob: usize) -> Vec<Vec<f64>> {
+    let mut points = Vec::with_capacity(CLIENTS * per_blob);
+    for blob in 0..CLIENTS {
+        let cx = (blob % 4) as f64 * 10.0;
+        let cy = (blob / 4) as f64 * 10.0;
+        for i in 0..per_blob {
+            let a = i as f64 * 0.61;
+            let r = 0.2 + 0.8 * ((i * 7919 % per_blob) as f64 / per_blob as f64);
+            points.push(vec![cx + r * a.cos(), cy + r * a.sin()]);
+        }
+    }
+    points
+}
+
+/// One JSON round-trip through the dispatcher, as a byte transport would
+/// carry it.
+fn call(service: &Service, request: &Request) -> Response {
+    let wire = serde_json::to_string(request).expect("serialize request");
+    let parsed: Request = serde_json::from_str(&wire).expect("parse request");
+    let response = dispatch(service, parsed);
+    let wire_back = serde_json::to_string(&response).expect("serialize response");
+    serde_json::from_str(&wire_back).expect("parse response")
+}
+
+fn client(service: &Service, blob: usize, per_blob: usize) -> (u64, usize) {
+    let Response::SessionCreated { session } =
+        call(service, &Request::CreateSession { engine: None })
+    else {
+        panic!("session create failed");
+    };
+
+    // Initial round: query by an example vector near the blob's centre.
+    let cx = (blob % 4) as f64 * 10.0;
+    let cy = (blob / 4) as f64 * 10.0;
+    let mut response = call(
+        service,
+        &Request::Query {
+            session,
+            k: K,
+            vector: Some(vec![cx + 0.3, cy - 0.2]),
+        },
+    );
+
+    let blob_range = blob * per_blob..(blob + 1) * per_blob;
+    let mut in_blob = 0usize;
+    for _ in 0..ROUNDS {
+        let Response::Neighbors { neighbors, .. } = response else {
+            panic!("query failed");
+        };
+        in_blob = neighbors
+            .iter()
+            .filter(|n| blob_range.contains(&n.id))
+            .count();
+        // Mark the in-blob results relevant and ask for the refined round.
+        let relevant_ids: Vec<usize> = neighbors
+            .iter()
+            .map(|n| n.id)
+            .filter(|id| blob_range.contains(id))
+            .collect();
+        let Response::FeedAccepted { .. } = call(
+            service,
+            &Request::Feed {
+                session,
+                relevant_ids,
+                scores: None,
+            },
+        ) else {
+            panic!("feed failed");
+        };
+        response = call(
+            service,
+            &Request::Query {
+                session,
+                k: K,
+                vector: None,
+            },
+        );
+    }
+
+    let Response::SessionClosed { .. } = call(service, &Request::CloseSession { session }) else {
+        panic!("close failed");
+    };
+    (session, in_blob)
+}
+
+fn main() {
+    let per_blob = 64;
+    let points = make_corpus(per_blob);
+    let service = Arc::new(Service::new(
+        &points,
+        ServiceConfig {
+            num_shards: 4,
+            num_workers: 4,
+            ..ServiceConfig::default()
+        },
+    ));
+    println!(
+        "service: {} images, {} shards, {} workers",
+        points.len(),
+        service.config().num_shards,
+        service.config().num_workers
+    );
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|blob| {
+            let service = Arc::clone(&service);
+            thread::spawn(move || client(&service, blob, per_blob))
+        })
+        .collect();
+    for (blob, handle) in handles.into_iter().enumerate() {
+        let (session, in_blob) = handle.join().expect("client thread");
+        println!(
+            "client {blob}: session {session} finished, final top-{K} has {in_blob}/{K} \
+             images from its category"
+        );
+    }
+
+    let Response::Stats(stats) = call(&service, &Request::Stats) else {
+        panic!("stats failed");
+    };
+    println!("\nservice stats after {} concurrent clients:", CLIENTS);
+    println!(
+        "  queries: {} (mean {:.1} µs)   feeds: {} (mean {:.1} µs)",
+        stats.query.count,
+        stats.query.mean_ns / 1_000.0,
+        stats.feed.count,
+        stats.feed.mean_ns / 1_000.0
+    );
+    println!(
+        "  fan-out: mean {:.1} µs over {} shards",
+        stats.fanout.mean_ns / 1_000.0,
+        service.config().num_shards
+    );
+    println!(
+        "  cache: {} hits / {} misses (hit ratio {:.2})",
+        stats.cache_hits, stats.cache_misses, stats.cache_hit_ratio
+    );
+    println!(
+        "  sessions: {} created, {} closed, {} active, {} evicted",
+        stats.sessions_created, stats.sessions_closed, stats.active_sessions, stats.evictions
+    );
+}

@@ -51,6 +51,7 @@
 //! | [`core`] | `qcluster-core` | **the paper's contribution** — the engine |
 //! | [`baselines`] | `qcluster-baselines` | QPM, MindReader, QEX, FALCON |
 //! | [`eval`] | `qcluster-eval` | oracle, sessions, P/R, experiments, persistence |
+//! | [`service`] | `qcluster-service` | multi-session server: shards, worker pool, protocol, metrics |
 
 pub use qcluster_baselines as baselines;
 pub use qcluster_core as core;
@@ -58,4 +59,5 @@ pub use qcluster_eval as eval;
 pub use qcluster_imaging as imaging;
 pub use qcluster_index as index;
 pub use qcluster_linalg as linalg;
+pub use qcluster_service as service;
 pub use qcluster_stats as stats;

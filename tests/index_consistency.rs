@@ -3,7 +3,9 @@
 //! disjunctive aggregate on real extracted features — and the node cache
 //! must never change results.
 
-use qcluster::core::{CovarianceScheme, DisjunctiveQuery, FeedbackPoint, QclusterConfig, QclusterEngine};
+use qcluster::core::{
+    CovarianceScheme, DisjunctiveQuery, FeedbackPoint, QclusterConfig, QclusterEngine,
+};
 use qcluster::eval::Dataset;
 use qcluster::imaging::FeatureKind;
 use qcluster::index::{HybridTree, LinearScan, NodeCache};

@@ -6,7 +6,7 @@ use qcluster::core::{QclusterConfig, QclusterEngine};
 use qcluster::eval::synthetic::SemanticGapConfig;
 use qcluster::eval::{persist, Dataset, FeedbackSession, MultiFeatureDataset};
 use qcluster::imaging::{CorpusBuilder, FeatureKind};
-use qcluster::index::{DynamicIndex, EuclideanQuery, QueryDistance};
+use qcluster::index::{DynamicIndex, EuclideanQuery};
 
 #[test]
 fn persisted_dataset_reproduces_feedback_sessions() {

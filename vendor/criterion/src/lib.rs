@@ -1,0 +1,318 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Provides the API surface this workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], [`black_box`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros — backed by a
+//! simple wall-clock timer instead of criterion's statistical machinery.
+//! Each benchmark prints a single `name ... median ns/iter` line.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// An identifier for a benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: `function_name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Passed to benchmark closures; drives timed iterations.
+pub struct Bencher {
+    samples: usize,
+    measured: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, running enough iterations per sample to get a
+    /// stable per-iteration estimate.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and size the batch so one sample takes ~2ms.
+        let warmup = Instant::now();
+        black_box(routine());
+        let once = warmup.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 100_000);
+
+        self.measured.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.measured.push(Duration::from_nanos(
+                (elapsed.as_nanos() / per_sample) as u64,
+            ));
+        }
+    }
+
+    /// Times `routine` with explicit per-call setup excluded from timing.
+    pub fn iter_with_setup<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+    ) {
+        self.measured.clear();
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.measured.push(start.elapsed());
+        }
+    }
+
+    fn median_ns(&mut self) -> u64 {
+        if self.measured.is_empty() {
+            return 0;
+        }
+        self.measured.sort();
+        self.measured[self.measured.len() / 2].as_nanos() as u64
+    }
+}
+
+fn report(name: &str, bencher: &mut Bencher) {
+    println!(
+        "bench: {name:<52} {:>12} ns/iter (median)",
+        bencher.median_ns()
+    );
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Sets the target measurement time (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up time (accepted for API compatibility).
+    pub fn warm_up_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Notes the throughput of one iteration (accepted, not reported).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: R,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.criterion.sample_size,
+            measured: Vec::new(),
+        };
+        routine(&mut b);
+        report(&format!("{}/{}", self.name, id), &mut b);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.criterion.sample_size,
+            measured: Vec::new(),
+        };
+        routine(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &mut b);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Throughput specification (accepted for API compatibility).
+#[derive(Debug, Clone)]
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Applies CLI configuration (no-op in the vendored harness).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            measured: Vec::new(),
+        };
+        routine(&mut b);
+        report(name, &mut b);
+        self
+    }
+
+    /// Runs a standalone benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            measured: Vec::new(),
+        };
+        routine(&mut b, input);
+        report(&id.to_string(), &mut b);
+        self
+    }
+
+    #[doc(hidden)]
+    pub fn final_summary(&self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fib(n: u64) -> u64 {
+        (1..=n).fold(1, |acc, i| acc.wrapping_mul(i) % 0x7fff_ffff)
+    }
+
+    #[test]
+    fn group_and_function_benches_run() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("standalone", |b| b.iter(|| fib(black_box(64))));
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(3);
+        for n in [8u64, 16] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| fib(black_box(n)))
+            });
+        }
+        group.bench_function(BenchmarkId::new("named", 4), |b| b.iter(|| fib(4)));
+        group.finish();
+    }
+
+    criterion_group!(sanity, sanity_target);
+
+    fn sanity_target(c: &mut Criterion) {
+        c.bench_function("macro_target", |b| b.iter(|| fib(black_box(10))));
+    }
+
+    #[test]
+    fn macro_group_invocable() {
+        sanity();
+    }
+}

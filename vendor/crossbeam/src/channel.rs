@@ -1,0 +1,284 @@
+//! MPMC channels with clonable senders *and* receivers.
+//!
+//! Built on [`std::sync::mpsc`]: the receiver side is shared behind a
+//! mutex, which gives crossbeam's multi-consumer semantics (each message
+//! is delivered to exactly one receiver). The worker pools in
+//! `qcluster-service` rely on exactly this: many workers pull jobs from
+//! one shared queue.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Error returned by [`Sender::send`] when all receivers are gone.
+#[derive(PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SendError(..)")
+    }
+}
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when all senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Channel currently empty.
+    Empty,
+    /// All senders dropped and the queue is drained.
+    Disconnected,
+}
+
+impl std::fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "channel empty"),
+            TryRecvError::Disconnected => write!(f, "channel disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// Nothing arrived within the deadline.
+    Timeout,
+    /// All senders dropped and the queue is drained.
+    Disconnected,
+}
+
+impl std::fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "receive timed out"),
+            RecvTimeoutError::Disconnected => write!(f, "channel disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+/// The sending half; clonable.
+pub struct Sender<T> {
+    inner: mpsc::Sender<T>,
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sender {{ .. }}")
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a message.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError`] when every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.inner
+            .send(value)
+            .map_err(|mpsc::SendError(v)| SendError(v))
+    }
+}
+
+/// The receiving half; clonable (multi-consumer: each message goes to one
+/// receiver).
+pub struct Receiver<T> {
+    inner: Arc<Mutex<mpsc::Receiver<T>>>,
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Receiver {{ .. }}")
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Blocks until a message arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError`] when the channel is drained and all senders dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.lock().recv().map_err(|_| RecvError)
+    }
+
+    /// Non-blocking receive.
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] / [`TryRecvError::Disconnected`].
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.lock().try_recv().map_err(|e| match e {
+            mpsc::TryRecvError::Empty => TryRecvError::Empty,
+            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
+    }
+
+    /// Blocks up to `timeout` for a message.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] / [`RecvTimeoutError::Disconnected`].
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.lock().recv_timeout(timeout).map_err(|e| match e {
+            mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+            mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+        })
+    }
+
+    /// A blocking iterator over messages, ending when the channel
+    /// disconnects.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+}
+
+/// Blocking iterator returned by [`Receiver::iter`].
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+/// An unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (
+        Sender { inner: tx },
+        Receiver {
+            inner: Arc::new(Mutex::new(rx)),
+        },
+    )
+}
+
+/// A bounded channel (senders block when `cap` messages are queued).
+///
+/// Note: unlike crossbeam, `cap == 0` is a rendezvous channel only in the
+/// `std` sense (send blocks until a receive happens).
+pub fn bounded<T>(cap: usize) -> (BoundedSender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap);
+    (
+        BoundedSender { inner: tx },
+        Receiver {
+            inner: Arc::new(Mutex::new(rx)),
+        },
+    )
+}
+
+/// The sending half of a bounded channel; clonable.
+pub struct BoundedSender<T> {
+    inner: mpsc::SyncSender<T>,
+}
+
+impl<T> std::fmt::Debug for BoundedSender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BoundedSender {{ .. }}")
+    }
+}
+
+impl<T> Clone for BoundedSender<T> {
+    fn clone(&self) -> Self {
+        BoundedSender {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> BoundedSender<T> {
+    /// Enqueues a message, blocking while the channel is full.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError`] when every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.inner
+            .send(value)
+            .map_err(|mpsc::SendError(v)| SendError(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multi_consumer_delivers_each_message_once() {
+        let (tx, rx) = unbounded::<u32>();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let rx2 = rx.clone();
+        let h = std::thread::spawn(move || rx2.iter().count());
+        let mine = rx.iter().count();
+        let theirs = h.join().unwrap();
+        assert_eq!(mine + theirs, 100);
+    }
+
+    #[test]
+    fn recv_errors_after_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(rx.recv().is_err());
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn bounded_roundtrip() {
+        let (tx, rx) = bounded::<u8>(2);
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv(), Ok(7));
+    }
+}

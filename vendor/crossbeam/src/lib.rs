@@ -1,0 +1,13 @@
+//! Offline vendored stand-in for the `crossbeam` crate.
+//!
+//! Provides the two facilities this workspace uses, implemented on top of
+//! the standard library:
+//!
+//! - [`thread::scope`] — scoped threads with the crossbeam 0.8 calling
+//!   convention (the spawn closure receives the scope, `scope` returns a
+//!   `Result`), backed by [`std::thread::scope`];
+//! - [`channel`] — MPMC channels with clonable receivers, backed by
+//!   [`std::sync::mpsc`] plus a mutex on the receiving side.
+
+pub mod channel;
+pub mod thread;

@@ -1,0 +1,225 @@
+//! Offline vendored stand-in for the `rand` crate.
+//!
+//! The build container has no access to crates.io, so the workspace
+//! patches `rand` to this minimal, dependency-free implementation of the
+//! API subset the repository actually uses: [`Rng`] (`gen`, `gen_range`,
+//! `gen_bool`, `sample`), [`SeedableRng::seed_from_u64`], and
+//! [`rngs::StdRng`] (a deterministic xoshiro256++ generator).
+//!
+//! The streams differ from the real `rand` crate, but every generator here
+//! is deterministic for a given seed, which is all the experiments and
+//! tests rely on.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+pub use distributions::{Distribution, Standard, Uniform};
+
+/// Low-level source of randomness: everything derives from `next_u64`.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanded with SplitMix64.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64 — used for seed expansion.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// User-facing random-value methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// A random value of type `T` from its standard distribution
+    /// (`f64`/`f32` uniform in `[0, 1)`, integers over their full range).
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// A random value in `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    /// Samples from an explicit distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range that can produce a uniform sample.
+///
+/// Implemented once for `Range<T>` / `RangeInclusive<T>` over every
+/// [`SampleUniform`] `T`, mirroring the real crate's blanket impl so that
+/// float-literal ranges (`-1.0..1.0`) infer `f64` through the default
+/// numeric fallback.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types uniformly sampleable between two bounds.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws a uniform value in `[lo, hi)` (or `[lo, hi]` if `inclusive`).
+    fn sample_between<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty range");
+        T::sample_between(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "empty range");
+        T::sample_between(lo, hi, true, rng)
+    }
+}
+
+#[inline]
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // 53 random bits into [0, 1).
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleUniform for f64 {
+    fn sample_between<R: RngCore + ?Sized>(lo: f64, hi: f64, _inclusive: bool, rng: &mut R) -> f64 {
+        lo + (hi - lo) * unit_f64(rng)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_between<R: RngCore + ?Sized>(lo: f32, hi: f32, _inclusive: bool, rng: &mut R) -> f32 {
+        lo + (hi - lo) * unit_f64(rng) as f32
+    }
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                lo: $t,
+                hi: $t,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> $t {
+                let span = (hi as i128 - lo as i128) as u128 + u128::from(inclusive);
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        use super::RngCore;
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_interval_and_ranges() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y = rng.gen_range(-2.5..7.5);
+            assert!((-2.5..7.5).contains(&y));
+            let n = rng.gen_range(3..9usize);
+            assert!((3..9).contains(&n));
+            let m = rng.gen_range(-5..5i32);
+            assert!((-5..5).contains(&m));
+        }
+    }
+
+    #[test]
+    fn covers_integer_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
