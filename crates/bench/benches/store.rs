@@ -1,0 +1,72 @@
+//! Dataset load paths: the JSON persistence format vs the binary
+//! fast paths (the `QDSB` dataset file and a raw `qcluster-store`
+//! segment) on a 50k × 24-d corpus.
+//!
+//! JSON pays for decimal parsing of ~1.2M floats; the binary formats
+//! read fixed-width little-endian records behind a CRC, so loads are
+//! dominated by I/O. This is the acceptance benchmark for the storage
+//! subsystem's load path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qcluster_eval::{
+    load_dataset, load_dataset_binary, save_dataset, save_dataset_binary, Dataset,
+};
+use qcluster_store::{write_segment, SegmentReader};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+
+const N: usize = 50_000;
+const DIM: usize = 24;
+const IMAGES_PER_CATEGORY: usize = 100;
+
+fn synthetic_dataset() -> Dataset {
+    let mut rng = StdRng::seed_from_u64(42);
+    let vectors: Vec<Vec<f64>> = (0..N)
+        .map(|_| (0..DIM).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    let categories: Vec<usize> = (0..N).map(|i| i / IMAGES_PER_CATEGORY).collect();
+    let supers: Vec<usize> = categories.iter().map(|c| c / 10).collect();
+    Dataset::from_parts(vectors, categories, supers, IMAGES_PER_CATEGORY)
+}
+
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("qbench_store_{}_{name}", std::process::id()))
+}
+
+fn bench_load_paths(c: &mut Criterion) {
+    let dataset = synthetic_dataset();
+    let json_path = scratch("ds.json");
+    let bin_path = scratch("ds.qdsb");
+    let seg_path = scratch("ds.qseg");
+    save_dataset(&dataset, &json_path).unwrap();
+    save_dataset_binary(&dataset, &bin_path).unwrap();
+    write_segment(&seg_path, DIM, dataset.vectors()).unwrap();
+
+    let mut group = c.benchmark_group("dataset_load_50k_x_24");
+    // Full-file loads are slow enough that criterion's default sample
+    // count would take minutes; a small sample still separates the
+    // formats by an order of magnitude.
+    group.sample_size(10);
+
+    group.bench_function("json_load_dataset", |b| {
+        b.iter(|| black_box(load_dataset(&json_path).unwrap().len()))
+    });
+    group.bench_function("binary_load_dataset", |b| {
+        b.iter(|| black_box(load_dataset_binary(&bin_path).unwrap().len()))
+    });
+    group.bench_function("segment_read_all", |b| {
+        b.iter(|| {
+            let mut reader = SegmentReader::open(&seg_path).unwrap();
+            black_box(reader.read_all().unwrap().len())
+        })
+    });
+    group.finish();
+
+    std::fs::remove_file(&json_path).ok();
+    std::fs::remove_file(&bin_path).ok();
+    std::fs::remove_file(&seg_path).ok();
+}
+
+criterion_group!(benches, bench_load_paths);
+criterion_main!(benches);

@@ -2,20 +2,26 @@
 //! datasets without re-rendering the corpus every run.
 //!
 //! ```text
-//! dataset-tool build  <out.json> [--texture] [--semantic-gap] [--paper-scale]
-//! dataset-tool info   <file.json>
-//! dataset-tool query  <file.json> <image-id> [k]
-//! dataset-tool render <category> <index> <out.ppm> [--paper-scale]
-//! dataset-tool stats  <file.json> [k]
+//! dataset-tool build   <out.json> [--texture] [--semantic-gap] [--paper-scale]
+//! dataset-tool info    <file.json>
+//! dataset-tool query   <file.json> <image-id> [k]
+//! dataset-tool render  <category> <index> <out.ppm> [--paper-scale]
+//! dataset-tool stats   <file.json> [k]
+//! dataset-tool convert <in> <out>
 //! ```
 //!
 //! `build` renders the corpus (or generates the semantic-gap workload),
 //! extracts features, and saves the prepared dataset; `info` prints its
 //! shape; `query` runs one k-NN search and prints the ranked result with
-//! ground-truth annotations.
+//! ground-truth annotations. `convert` re-encodes a dataset between
+//! formats by output extension: `.json` (JSON), `.qseg` (a raw
+//! `qcluster-store` vector segment — labels dropped), anything else the
+//! binary `QDSB` dataset; the input format is sniffed automatically.
 
 use qcluster_bench::{image_dataset, semantic_gap_dataset, Scale};
-use qcluster_eval::{load_dataset, save_dataset, RelevanceOracle};
+use qcluster_eval::{
+    load_dataset, load_dataset_auto, save_dataset, save_dataset_binary, RelevanceOracle,
+};
 use qcluster_imaging::FeatureKind;
 use qcluster_index::EuclideanQuery;
 use std::path::Path;
@@ -33,6 +39,7 @@ fn main() -> ExitCode {
         "query" => query(&args[1..]),
         "render" => render(&args[1..]),
         "stats" => stats(&args[1..]),
+        "convert" => convert(&args[1..]),
         other => Err(format!("unknown command: {other}")),
     };
     match result {
@@ -75,6 +82,36 @@ fn stats(args: &[String]) -> Result<(), String> {
     if d.categories.len() > 20 {
         println!("… ({} more)", d.categories.len() - 20);
     }
+    Ok(())
+}
+
+fn convert(args: &[String]) -> Result<(), String> {
+    let input = args.first().ok_or("convert needs an input path")?;
+    let output = args.get(1).ok_or("convert needs an output path")?;
+    let dataset = load_dataset_auto(Path::new(input)).map_err(|e| e.to_string())?;
+    let out_path = Path::new(output);
+    let kind = match out_path.extension().and_then(|e| e.to_str()) {
+        Some("json") => {
+            save_dataset(&dataset, out_path).map_err(|e| e.to_string())?;
+            "JSON dataset"
+        }
+        Some("qseg") => {
+            // A raw vector segment: ground-truth labels are dropped, the
+            // vectors become loadable by any qcluster-store reader.
+            qcluster_store::write_segment(out_path, dataset.dim(), dataset.vectors())
+                .map_err(|e| e.to_string())?;
+            "vector segment (labels dropped)"
+        }
+        _ => {
+            save_dataset_binary(&dataset, out_path).map_err(|e| e.to_string())?;
+            "binary dataset"
+        }
+    };
+    println!(
+        "converted {} vectors x {} dims: {input} -> {output} ({kind})",
+        dataset.len(),
+        dataset.dim()
+    );
     Ok(())
 }
 

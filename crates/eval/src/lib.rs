@@ -37,7 +37,10 @@ pub mod user;
 pub use dataset::Dataset;
 pub use fusion::MultiFeatureDataset;
 pub use oracle::RelevanceOracle;
-pub use persist::{load_dataset, save_dataset};
+pub use persist::{
+    load_dataset, load_dataset_auto, load_dataset_binary, save_dataset, save_dataset_binary,
+    PersistError,
+};
 pub use pr::{average_pr_curve, pr_at, PrCurve, PrPoint};
 pub use session::{FeedbackSession, IterationRecord, SessionOutcome};
 pub use user::SimulatedUser;

@@ -16,6 +16,21 @@ use crate::tree::HybridTree;
 /// Default buffer size that triggers a rebuild.
 pub const DEFAULT_REBUILD_THRESHOLD: usize = 1024;
 
+/// A snapshot of a [`DynamicIndex`]'s growth counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynamicStats {
+    /// Total points (indexed + buffered).
+    pub len: usize,
+    /// Points covered by the bulk-loaded tree.
+    pub indexed: usize,
+    /// Points awaiting the next rebuild.
+    pub buffered: usize,
+    /// Rebuilds performed since construction.
+    pub rebuilds: usize,
+    /// Buffer size that triggers a rebuild.
+    pub rebuild_threshold: usize,
+}
+
 /// An exact k-NN index supporting appends.
 #[derive(Debug, Clone)]
 pub struct DynamicIndex {
@@ -59,6 +74,41 @@ impl DynamicIndex {
         }
     }
 
+    /// Restores an index from recovered parts without insert-by-insert
+    /// rebuild churn: the tree is bulk-loaded **once** over
+    /// `points[..indexed]` and the tail `points[indexed..]` lands
+    /// directly in the side buffer — exactly the shape a durable store
+    /// recovers (sealed segments + WAL tail).
+    ///
+    /// A buffer already at or beyond the threshold is left as-is; the
+    /// next [`DynamicIndex::insert`] folds it into a rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threshold == 0`, `indexed == 0`,
+    /// `indexed > points.len()`, or on invalid points (per
+    /// [`HybridTree::bulk_load`]).
+    pub fn from_parts(points: Vec<Vec<f64>>, indexed: usize, threshold: usize) -> Self {
+        assert!(threshold > 0, "rebuild threshold must be positive");
+        assert!(indexed > 0, "need at least one indexed point");
+        assert!(
+            indexed <= points.len(),
+            "indexed prefix exceeds the point count"
+        );
+        let tree = HybridTree::bulk_load(&points[..indexed]);
+        assert!(
+            points.iter().all(|p| p.len() == tree.dim()),
+            "buffered points must match the indexed dimensionality"
+        );
+        DynamicIndex {
+            points,
+            tree,
+            indexed,
+            rebuild_threshold: threshold,
+            rebuilds: 0,
+        }
+    }
+
     /// Total number of points (indexed + buffered).
     pub fn len(&self) -> usize {
         self.points.len()
@@ -82,6 +132,19 @@ impl DynamicIndex {
     /// Number of rebuilds performed so far.
     pub fn rebuilds(&self) -> usize {
         self.rebuilds
+    }
+
+    /// A point-in-time view of the index's growth state, for operator
+    /// metrics (rebuild churn shows up as `rebuilds` climbing while
+    /// `buffered` saws between 0 and the threshold).
+    pub fn stats(&self) -> DynamicStats {
+        DynamicStats {
+            len: self.points.len(),
+            indexed: self.indexed,
+            buffered: self.buffered(),
+            rebuilds: self.rebuilds,
+            rebuild_threshold: self.rebuild_threshold,
+        }
     }
 
     /// The point with id `id`.
@@ -216,5 +279,49 @@ mod tests {
     fn rejects_wrong_dim_insert() {
         let mut idx = DynamicIndex::new(grid_points(2));
         idx.insert(vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn from_parts_restores_without_rebuilds() {
+        let mut all = grid_points(4);
+        all.push(vec![7.5, 7.5]);
+        all.push(vec![8.5, 8.5]);
+        let idx = DynamicIndex::from_parts(all.clone(), 16, 100);
+        assert_eq!(idx.len(), 18);
+        assert_eq!(idx.buffered(), 2);
+        assert_eq!(idx.rebuilds(), 0, "restore is rebuild-free");
+        // Queries are exact across both the tree and the restored buffer.
+        let q = EuclideanQuery::new(vec![8.0, 8.0]);
+        let (nn, _) = idx.knn(&q, 2, None);
+        let got: Vec<usize> = nn.iter().map(|n| n.id).collect();
+        assert_eq!(got, vec![16, 17]);
+        let scan = LinearScan::new(&all);
+        let q2 = EuclideanQuery::new(vec![2.2, 1.7]);
+        let (a, _) = idx.knn(&q2, 9, None);
+        for (x, y) in a.iter().zip(scan.knn(&q2, 9).iter()) {
+            assert_eq!(x.id, y.id);
+        }
+    }
+
+    #[test]
+    fn stats_snapshot_tracks_growth() {
+        let mut idx = DynamicIndex::with_rebuild_threshold(grid_points(3), 3);
+        idx.insert(vec![0.1, 0.1]);
+        let s = idx.stats();
+        assert_eq!(s.len, 10);
+        assert_eq!(s.indexed, 9);
+        assert_eq!(s.buffered, 1);
+        assert_eq!(s.rebuilds, 0);
+        assert_eq!(s.rebuild_threshold, 3);
+        idx.insert(vec![0.2, 0.2]);
+        idx.insert(vec![0.3, 0.3]); // hits threshold
+        let s = idx.stats();
+        assert_eq!((s.buffered, s.rebuilds, s.indexed), (0, 1, 12));
+    }
+
+    #[test]
+    #[should_panic(expected = "indexed prefix exceeds")]
+    fn from_parts_rejects_bad_prefix() {
+        let _ = DynamicIndex::from_parts(grid_points(2), 9, 10);
     }
 }

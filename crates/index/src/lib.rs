@@ -39,7 +39,7 @@ pub mod tree;
 pub use bbox::BoundingBox;
 pub use cache::NodeCache;
 pub use distance::{EuclideanQuery, QueryDistance, WeightedEuclideanQuery};
-pub use dynamic::DynamicIndex;
+pub use dynamic::{DynamicIndex, DynamicStats};
 pub use incremental::KnnIter;
 pub use knn::{merge_top_k, Neighbor, SearchStats};
 pub use scan::LinearScan;

@@ -39,6 +39,9 @@ pub enum ServiceError {
     /// The session's engine rejected the operation (no clusters yet,
     /// numerical failure, invalid score, …).
     Engine(String),
+    /// The durable store failed (I/O, corruption) or the request needs
+    /// one and the service runs memory-only.
+    Storage(String),
 }
 
 impl ServiceError {
@@ -71,6 +74,7 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             ServiceError::Engine(msg) => write!(f, "engine error: {msg}"),
+            ServiceError::Storage(msg) => write!(f, "storage error: {msg}"),
         }
     }
 }
@@ -80,6 +84,12 @@ impl std::error::Error for ServiceError {}
 impl From<CoreError> for ServiceError {
     fn from(e: CoreError) -> Self {
         ServiceError::from_core(e)
+    }
+}
+
+impl From<qcluster_store::StoreError> for ServiceError {
+    fn from(e: qcluster_store::StoreError) -> Self {
+        ServiceError::Storage(e.to_string())
     }
 }
 

@@ -22,6 +22,12 @@
 //! - [`protocol`] — serializable `Request`/`Response` enums plus the
 //!   [`dispatch`] function, so any byte transport can front the service.
 //!
+//! A service can also be **durable**: [`Service::open_durable`] backs it
+//! with a `qcluster-store` segment + WAL directory, enabling live
+//! `Request::Ingest` (WAL-append + in-memory overlay index, ids stable
+//! across restarts), `Request::Flush` (WAL → segment compaction), and
+//! crash recovery that restores the corpus and the session registry.
+//!
 //! ```
 //! use qcluster_service::{dispatch, Request, Response, Service, ServiceConfig};
 //!
@@ -53,8 +59,9 @@ pub mod shard;
 
 pub use error::ServiceError;
 pub use executor::{Executor, FanoutQuery};
-pub use metrics::{MetricsSnapshot, OpHistogram, OpSummary, ServiceMetrics};
+pub use metrics::{MetricsSnapshot, OpHistogram, OpSummary, ServiceMetrics, StorageGauges};
 pub use protocol::{dispatch, NeighborDto, Request, Response, SearchStatsDto};
-pub use service::{FeedOutcome, QueryOutcome, Service, ServiceConfig};
+pub use qcluster_store::{CompactionStats, StoreConfig};
+pub use service::{FeedOutcome, IngestOutcome, QueryOutcome, Service, ServiceConfig};
 pub use session::{RegistryConfig, ServiceEngine, Session, SessionHandle, SessionRegistry};
 pub use shard::{Shard, ShardKind, ShardedCorpus};

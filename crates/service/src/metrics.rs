@@ -90,6 +90,9 @@ pub struct ServiceMetrics {
     evictions: AtomicU64,
     sessions_created: AtomicU64,
     sessions_closed: AtomicU64,
+    ingests: AtomicU64,
+    flushes: AtomicU64,
+    recoveries: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -119,10 +122,27 @@ impl ServiceMetrics {
         self.sessions_closed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one ingested vector.
+    pub fn record_ingest(&self) {
+        self.ingests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one WAL → segment flush (compaction).
+    pub fn record_flush(&self) {
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one crash recovery (a durable open that found prior state).
+    pub fn record_recovery(&self) {
+        self.recoveries.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A serializable snapshot; `active_sessions` is supplied by the
     /// session registry (the metrics object does not track liveness
-    /// itself, so the gauge can never drift from the registry's truth).
-    pub fn snapshot(&self, active_sessions: u64) -> MetricsSnapshot {
+    /// itself, so the gauge can never drift from the registry's truth),
+    /// and `storage` by the durable store / live-ingest overlay for the
+    /// same reason (all zero for a memory-only service).
+    pub fn snapshot(&self, active_sessions: u64, storage: StorageGauges) -> MetricsSnapshot {
         let cache_hits = self.cache_hits.load(Ordering::Relaxed);
         let cache_misses = self.cache_misses.load(Ordering::Relaxed);
         let touched = cache_hits + cache_misses;
@@ -141,8 +161,32 @@ impl ServiceMetrics {
             sessions_created: self.sessions_created.load(Ordering::Relaxed),
             sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
             active_sessions,
+            ingests: self.ingests.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+            storage,
         }
     }
+}
+
+/// Storage and live-index gauges sampled at snapshot time (the durable
+/// subsystem owns these; the metrics object never caches them).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StorageGauges {
+    /// WAL frames appended since the store opened.
+    pub wal_appends: u64,
+    /// WAL fsyncs since the store opened.
+    pub wal_fsyncs: u64,
+    /// Sealed segment files.
+    pub segments: u64,
+    /// Vectors sealed in segments.
+    pub segment_vectors: u64,
+    /// Vectors durable only in the WAL.
+    pub wal_vectors: u64,
+    /// Live-ingest overlay rebuilds (side-buffer folds) so far.
+    pub index_rebuilds: u64,
+    /// Overlay points awaiting the next rebuild.
+    pub index_buffered: u64,
 }
 
 /// Point-in-time view of every service metric, as returned by the
@@ -169,6 +213,14 @@ pub struct MetricsSnapshot {
     pub sessions_closed: u64,
     /// Sessions currently live.
     pub active_sessions: u64,
+    /// Vectors ingested through the live path.
+    pub ingests: u64,
+    /// WAL → segment flushes (compactions) requested.
+    pub flushes: u64,
+    /// Crash recoveries performed (durable opens that found state).
+    pub recoveries: u64,
+    /// Storage + overlay gauges (all zero for a memory-only service).
+    pub storage: StorageGauges,
 }
 
 #[cfg(test)]
@@ -192,7 +244,7 @@ mod tests {
     #[test]
     fn empty_histogram_snapshot_is_zero() {
         let m = ServiceMetrics::new();
-        let s = m.snapshot(0);
+        let s = m.snapshot(0, StorageGauges::default());
         assert_eq!(s.query.count, 0);
         assert_eq!(s.query.min_ns, 0);
         assert_eq!(s.query.mean_ns, 0.0);
@@ -208,7 +260,7 @@ mod tests {
         m.record_session_created();
         m.record_session_created();
         m.record_session_closed();
-        let s = m.snapshot(1);
+        let s = m.snapshot(1, StorageGauges::default());
         assert_eq!(s.cache_hits, 3);
         assert_eq!(s.cache_misses, 5);
         assert!((s.cache_hit_ratio - 0.375).abs() < 1e-12);
@@ -232,7 +284,7 @@ mod tests {
                 });
             }
         });
-        let s = m.snapshot(0);
+        let s = m.snapshot(0, StorageGauges::default());
         assert_eq!(s.query.count, 1000);
         assert_eq!(s.cache_hits, 1000);
         assert_eq!(s.cache_misses, 1000);

@@ -47,6 +47,16 @@ pub enum Request {
         /// Target session.
         session: u64,
     },
+    /// Durably add one vector to the live corpus (durable services
+    /// only): WAL-append, then index into the live overlay. The
+    /// assigned id is immediately queryable and survives restarts.
+    Ingest {
+        /// The feature vector to add.
+        vector: Vec<f64>,
+    },
+    /// Fold the WAL into a sealed segment and fsync (durable services
+    /// only).
+    Flush,
     /// Fetch the service metrics snapshot.
     Stats,
 }
@@ -124,6 +134,22 @@ pub enum Response {
         /// The closed session id.
         session: u64,
     },
+    /// A vector was durably ingested.
+    Ingested {
+        /// The new vector's corpus id (stable across restarts).
+        id: usize,
+        /// Corpus size after the ingest.
+        total: usize,
+    },
+    /// The WAL was folded into a sealed segment.
+    Flushed {
+        /// Vectors moved from the WAL into the new segment.
+        folded_vectors: u64,
+        /// Sealed segments after the fold.
+        segments: u64,
+        /// Records remaining in the rewritten WAL.
+        wal_records: u64,
+    },
     /// The metrics snapshot.
     Stats(MetricsSnapshot),
     /// The request failed.
@@ -162,6 +188,15 @@ pub fn dispatch(service: &Service, request: Request) -> Response {
         Request::CloseSession { session } => service
             .close_session(session)
             .map(|()| Response::SessionClosed { session }),
+        Request::Ingest { vector } => service.ingest(vector).map(|out| Response::Ingested {
+            id: out.id,
+            total: out.total,
+        }),
+        Request::Flush => service.flush().map(|stats| Response::Flushed {
+            folded_vectors: stats.folded_vectors,
+            segments: stats.segments,
+            wal_records: stats.wal_records,
+        }),
         Request::Stats => Ok(Response::Stats(service.stats())),
     };
     result.unwrap_or_else(Response::Error)

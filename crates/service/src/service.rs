@@ -7,13 +7,15 @@
 
 use crate::error::ServiceError;
 use crate::executor::{Executor, FanoutQuery};
-use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::metrics::{MetricsSnapshot, ServiceMetrics, StorageGauges};
 use crate::session::{RegistryConfig, ServiceEngine, Session, SessionRegistry};
 use crate::shard::{ShardKind, ShardedCorpus};
 use qcluster_baselines::QueryPointMovement;
 use qcluster_core::{FeedbackPoint, QclusterConfig, QclusterEngine};
-use qcluster_index::{EuclideanQuery, Neighbor, NodeCache, SearchStats};
-use std::sync::{Arc, Mutex};
+use qcluster_index::{merge_top_k, DynamicIndex, EuclideanQuery, Neighbor, NodeCache, SearchStats};
+use qcluster_store::{CompactionStats, StoreConfig, VectorStore};
+use std::path::Path;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// Everything tunable about a service instance.
@@ -37,6 +39,9 @@ pub struct ServiceConfig {
     pub engine: QclusterConfig,
     /// Relevance score assigned to id-only feedback.
     pub default_score: f64,
+    /// Side-buffer size at which the live-ingest overlay index rebuilds
+    /// (only relevant for durable services; see [`Service::ingest`]).
+    pub overlay_rebuild_threshold: usize,
 }
 
 impl Default for ServiceConfig {
@@ -51,6 +56,7 @@ impl Default for ServiceConfig {
             cache_capacity: None,
             engine: QclusterConfig::default(),
             default_score: 3.0,
+            overlay_rebuild_threshold: 256,
         }
     }
 }
@@ -73,6 +79,29 @@ pub struct QueryOutcome {
     pub stats: SearchStats,
 }
 
+/// Result of one live ingest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestOutcome {
+    /// The new vector's corpus id (stable across restarts).
+    pub id: usize,
+    /// Total corpus size after the ingest (base + overlay).
+    pub total: usize,
+}
+
+/// Mutable live-ingest state: the durable store plus the in-memory
+/// overlay index holding every vector ingested since this process
+/// opened the store. The overlay is created lazily on the first ingest
+/// because the underlying tree cannot be bulk-loaded empty.
+///
+/// Lock order: a session lock (registry → session) is always taken
+/// *before* this mutex, never after — queries hold their session guard
+/// while merging overlay results.
+#[derive(Debug, Default)]
+struct LiveState {
+    store: Option<VectorStore>,
+    overlay: Option<DynamicIndex>,
+}
+
 /// The concurrent multi-session retrieval service.
 #[derive(Debug)]
 pub struct Service {
@@ -81,6 +110,9 @@ pub struct Service {
     registry: SessionRegistry,
     metrics: ServiceMetrics,
     config: ServiceConfig,
+    /// Vectors in the sharded base corpus; overlay ids start here.
+    base_len: usize,
+    live: Mutex<LiveState>,
 }
 
 impl Service {
@@ -105,7 +137,89 @@ impl Service {
             registry,
             metrics: ServiceMetrics::new(),
             config,
+            base_len: points.len(),
+            live: Mutex::new(LiveState::default()),
         }
+    }
+
+    /// Opens a durable service over a store directory.
+    ///
+    /// On a fresh directory the store is bootstrapped from `seed` (which
+    /// becomes ids `0..seed.len()`). On a directory with prior state the
+    /// full durable corpus — sealed segments plus the WAL tail, torn
+    /// final record discarded — is recovered as the base shards, live
+    /// sessions are restored under their original ids (engines come back
+    /// *fresh*: feedback state is not persisted, so clients re-feed
+    /// after a crash), and `seed` is ignored.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Storage`] for I/O or corruption, and
+    /// [`ServiceError::InvalidRequest`] when the directory is empty and
+    /// no seed was given (the service cannot shard an empty corpus).
+    pub fn open_durable(
+        dir: &Path,
+        seed: &[Vec<f64>],
+        config: ServiceConfig,
+        store_config: StoreConfig,
+    ) -> Result<Self, ServiceError> {
+        let (mut store, recovered) = VectorStore::open(dir, store_config)?;
+        let had_prior = !recovered.vectors.is_empty() || !recovered.sessions.is_empty();
+        let base = if recovered.vectors.is_empty() {
+            if seed.is_empty() {
+                return Err(ServiceError::InvalidRequest(
+                    "durable open needs prior state or a non-empty seed".into(),
+                ));
+            }
+            store.bootstrap(seed)?;
+            seed.to_vec()
+        } else {
+            recovered.vectors
+        };
+        let service = {
+            let mut s = Service::new(&base, config);
+            s.live = Mutex::new(LiveState {
+                store: Some(store),
+                overlay: None,
+            });
+            s
+        };
+        for snap in &recovered.sessions {
+            let engine = service.engine_by_name(&snap.engine);
+            let caches = service.fresh_caches();
+            let feeds = snap.feeds;
+            service.registry.restore(snap.session, move |id| {
+                Session::restored(id, engine, caches, feeds)
+            });
+        }
+        if had_prior {
+            service.metrics.record_recovery();
+        }
+        Ok(service)
+    }
+
+    /// Instantiates an engine for a recovered session. Unknown names
+    /// (from a newer writer's WAL) degrade to the default engine rather
+    /// than failing the whole recovery.
+    fn engine_by_name(&self, name: &str) -> Box<dyn ServiceEngine> {
+        match name {
+            "qpm" => Box::new(QueryPointMovement::new()),
+            _ => Box::new(QclusterEngine::new(self.config.engine)),
+        }
+    }
+
+    fn lock_live(&self) -> MutexGuard<'_, LiveState> {
+        self.live.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// `true` when the service is backed by a durable store.
+    pub fn is_durable(&self) -> bool {
+        self.lock_live().store.is_some()
+    }
+
+    /// Total corpus size: base shards plus the live-ingest overlay.
+    pub fn total_vectors(&self) -> usize {
+        self.base_len + self.lock_live().overlay.as_ref().map_or(0, |o| o.len())
     }
 
     /// The sharded corpus.
@@ -176,13 +290,31 @@ impl Service {
     /// [`ServiceError::CapacityExhausted`] when full and LRU eviction is
     /// disabled.
     pub fn create_session_with(&self, engine: Box<dyn ServiceEngine>) -> Result<u64, ServiceError> {
+        let engine_name = engine.name();
         let caches = self.fresh_caches();
         let (id, evicted) = self
             .registry
             .create(move |id| Session::new(id, engine, caches))?;
         self.metrics.record_session_created();
         self.metrics.record_evictions(evicted);
+        self.snapshot_session(id, engine_name, 0, true)?;
         Ok(id)
+    }
+
+    /// Best-effort durable session snapshot (no-op for a memory-only
+    /// service). Takes the live lock, so callers must not hold it.
+    fn snapshot_session(
+        &self,
+        session: u64,
+        engine: &str,
+        feeds: u64,
+        live: bool,
+    ) -> Result<(), ServiceError> {
+        let mut state = self.lock_live();
+        if let Some(store) = state.store.as_mut() {
+            store.record_session(session, engine, feeds, live)?;
+        }
+        Ok(())
     }
 
     /// Closes a session explicitly.
@@ -193,6 +325,7 @@ impl Service {
     pub fn close_session(&self, session: u64) -> Result<(), ServiceError> {
         self.registry.close(session)?;
         self.metrics.record_session_closed();
+        self.snapshot_session(session, "", 0, false)?;
         Ok(())
     }
 
@@ -220,16 +353,20 @@ impl Service {
         }
         let handle = self.registry.get(session)?;
         let start = Instant::now();
-        let outcome = {
+        let (outcome, engine_name) = {
             let mut guard = handle.lock();
             let engine = guard.engine_mut_for_feed();
             engine.feed(relevant).map_err(ServiceError::from_core)?;
-            FeedOutcome {
-                iteration: guard.feeds(),
-                clusters: guard.engine().num_clusters(),
-            }
+            (
+                FeedOutcome {
+                    iteration: guard.feeds(),
+                    clusters: guard.engine().num_clusters(),
+                },
+                guard.engine().name(),
+            )
         };
         self.metrics.feed_latency.record(start.elapsed());
+        self.snapshot_session(session, engine_name, outcome.iteration, true)?;
         Ok(outcome)
     }
 
@@ -257,29 +394,40 @@ impl Service {
                 )));
             }
         }
-        let points = relevant_ids
-            .iter()
-            .enumerate()
-            .map(|(i, &id)| {
-                if id >= self.corpus.len() {
-                    return Err(ServiceError::InvalidImageId {
-                        id,
-                        corpus_len: self.corpus.len(),
-                    });
-                }
-                let score = scores.map_or(self.config.default_score, |s| s[i]);
-                if score <= 0.0 || score.is_nan() {
-                    return Err(ServiceError::InvalidRequest(format!(
-                        "score {score} for id {id} must be positive"
-                    )));
-                }
-                Ok(FeedbackPoint::new(
-                    id,
-                    self.corpus.point(id).to_vec(),
-                    score,
-                ))
-            })
-            .collect::<Result<Vec<_>, _>>()?;
+        let points = {
+            // Scoped: the live lock must be released before `feed` takes
+            // the session lock (lock order is session → live).
+            let live = self.lock_live();
+            let total = self.base_len + live.overlay.as_ref().map_or(0, |o| o.len());
+            relevant_ids
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| {
+                    if id >= total {
+                        return Err(ServiceError::InvalidImageId {
+                            id,
+                            corpus_len: total,
+                        });
+                    }
+                    let score = scores.map_or(self.config.default_score, |s| s[i]);
+                    if score <= 0.0 || score.is_nan() {
+                        return Err(ServiceError::InvalidRequest(format!(
+                            "score {score} for id {id} must be positive"
+                        )));
+                    }
+                    let vector = if id < self.base_len {
+                        self.corpus.point(id).to_vec()
+                    } else {
+                        live.overlay
+                            .as_ref()
+                            .expect("total > base_len implies overlay")
+                            .point(id - self.base_len)
+                            .to_vec()
+                    };
+                    Ok(FeedbackPoint::new(id, vector, score))
+                })
+                .collect::<Result<Vec<_>, _>>()?
+        };
         self.feed(session, &points)
     }
 
@@ -340,17 +488,119 @@ impl Service {
         }
         let caches = session.caches_for_query().to_vec();
         let fanout_start = Instant::now();
-        let (neighbors, stats) = self.executor.knn(&self.corpus, query, k, Some(&caches));
+        let (mut neighbors, mut stats) = self.executor.knn(&self.corpus, query, k, Some(&caches));
         self.metrics.shard_fanout.record(fanout_start.elapsed());
+        {
+            // Merge in live-ingested vectors (ids offset past the base
+            // corpus). Session lock is already held; live comes second.
+            let live = self.lock_live();
+            if let Some(overlay) = live.overlay.as_ref() {
+                let (mut extra, extra_stats) = overlay.knn(&query, k, None);
+                for n in &mut extra {
+                    n.id += self.base_len;
+                }
+                stats.nodes_accessed += extra_stats.nodes_accessed;
+                stats.cache_hits += extra_stats.cache_hits;
+                stats.disk_reads += extra_stats.disk_reads;
+                stats.distance_evaluations += extra_stats.distance_evaluations;
+                neighbors = merge_top_k(vec![neighbors, extra], k);
+            }
+        }
         self.metrics
             .record_cache(stats.cache_hits, stats.disk_reads);
         self.metrics.query_latency.record(start.elapsed());
         Ok(QueryOutcome { neighbors, stats })
     }
 
-    /// A point-in-time snapshot of every service metric.
+    /// Durably ingests one vector into the live corpus: WAL-append (fsync
+    /// per [`StoreConfig::fsync_on_commit`]), then insert into the
+    /// in-memory overlay index. The returned id is immediately queryable
+    /// and feedable, and survives restarts — recovery folds overlay
+    /// vectors into the base shards under the same ids.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Storage`] when the service is memory-only or the
+    /// WAL append fails, [`ServiceError::DimensionMismatch`], or
+    /// [`ServiceError::InvalidRequest`] for non-finite components.
+    pub fn ingest(&self, vector: Vec<f64>) -> Result<IngestOutcome, ServiceError> {
+        if vector.len() != self.corpus.dim() {
+            return Err(ServiceError::DimensionMismatch {
+                expected: self.corpus.dim(),
+                found: vector.len(),
+            });
+        }
+        if vector.iter().any(|v| !v.is_finite()) {
+            return Err(ServiceError::InvalidRequest(
+                "vector components must be finite".into(),
+            ));
+        }
+        let mut live = self.lock_live();
+        let store = live.store.as_mut().ok_or_else(|| {
+            ServiceError::Storage("service is memory-only; ingest needs open_durable".into())
+        })?;
+        let store_id = store.ingest(vector.clone())?;
+        match live.overlay.as_mut() {
+            Some(overlay) => {
+                overlay.insert(vector);
+            }
+            None => {
+                live.overlay = Some(DynamicIndex::with_rebuild_threshold(
+                    vec![vector],
+                    self.config.overlay_rebuild_threshold,
+                ));
+            }
+        }
+        let total = self.base_len + live.overlay.as_ref().map_or(0, |o| o.len());
+        debug_assert_eq!(store_id as usize + 1, total, "store and overlay ids agree");
+        drop(live);
+        self.metrics.record_ingest();
+        Ok(IngestOutcome {
+            id: store_id as usize,
+            total,
+        })
+    }
+
+    /// Folds the WAL into a sealed segment (compaction) and fsyncs
+    /// everything durable.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Storage`] when the service is memory-only or the
+    /// fold fails.
+    pub fn flush(&self) -> Result<CompactionStats, ServiceError> {
+        let mut live = self.lock_live();
+        let store = live.store.as_mut().ok_or_else(|| {
+            ServiceError::Storage("service is memory-only; flush needs open_durable".into())
+        })?;
+        let stats = store.compact()?;
+        drop(live);
+        self.metrics.record_flush();
+        Ok(stats)
+    }
+
+    /// A point-in-time snapshot of every service metric, with storage
+    /// and overlay gauges sampled live.
     pub fn stats(&self) -> MetricsSnapshot {
-        self.metrics.snapshot(self.registry.len() as u64)
+        let storage = {
+            let live = self.lock_live();
+            let mut g = StorageGauges::default();
+            if let Some(store) = live.store.as_ref() {
+                let s = store.stats();
+                g.wal_appends = s.wal_appends;
+                g.wal_fsyncs = s.wal_fsyncs;
+                g.segments = s.segments;
+                g.segment_vectors = s.segment_vectors;
+                g.wal_vectors = s.wal_vectors;
+            }
+            if let Some(overlay) = live.overlay.as_ref() {
+                let d = overlay.stats();
+                g.index_rebuilds = d.rebuilds as u64;
+                g.index_buffered = d.buffered as u64;
+            }
+            g
+        };
+        self.metrics.snapshot(self.registry.len() as u64, storage)
     }
 }
 
@@ -475,6 +725,169 @@ mod tests {
             svc.feed_ids(id, &[3], Some(&[0.0])).is_err(),
             "non-positive score rejected"
         );
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("qsvc_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn durable_config() -> ServiceConfig {
+        ServiceConfig {
+            num_shards: 2,
+            num_workers: 2,
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn memory_only_service_rejects_ingest_and_flush() {
+        let svc = small_service();
+        assert!(!svc.is_durable());
+        assert!(matches!(
+            svc.ingest(vec![0.0, 0.0]),
+            Err(ServiceError::Storage(_))
+        ));
+        assert!(matches!(svc.flush(), Err(ServiceError::Storage(_))));
+    }
+
+    #[test]
+    fn ingested_vectors_are_queryable_and_feedable() {
+        let dir = tmp_dir("live_ingest");
+        let seed = two_blob_corpus(16);
+        let svc =
+            Service::open_durable(&dir, &seed, durable_config(), StoreConfig::default()).unwrap();
+        assert!(svc.is_durable());
+        assert_eq!(svc.total_vectors(), 32);
+
+        // A third blob, ingested live.
+        let mut ids = Vec::new();
+        for i in 0..6 {
+            let a = i as f64 * 0.8;
+            let out = svc
+                .ingest(vec![-10.0 + a.cos() * 0.3, -10.0 + a.sin() * 0.3])
+                .unwrap();
+            ids.push(out.id);
+        }
+        assert_eq!(ids, vec![32, 33, 34, 35, 36, 37]);
+        assert_eq!(svc.total_vectors(), 38);
+
+        let session = svc.create_session().unwrap();
+        let near = svc.query_vector(session, vec![-10.0, -10.0], 6).unwrap();
+        let got: Vec<usize> = near.neighbors.iter().map(|n| n.id).collect();
+        assert_eq!(got.len(), 6);
+        assert!(got.iter().all(|&id| id >= 32), "live blob wins: {got:?}");
+
+        // Overlay ids are feedable (their vectors come from the overlay).
+        svc.feed_ids(session, &got, None).unwrap();
+        let refined = svc.query(session, 6).unwrap();
+        assert!(refined.neighbors.iter().all(|n| n.id >= 32));
+
+        // Out-of-range uses the *total* corpus length.
+        assert!(matches!(
+            svc.feed_ids(session, &[38], None),
+            Err(ServiceError::InvalidImageId {
+                id: 38,
+                corpus_len: 38
+            })
+        ));
+
+        let stats = svc.stats();
+        assert_eq!(stats.ingests, 6);
+        assert_eq!(stats.storage.wal_vectors, 6);
+        assert!(stats.storage.wal_appends >= 6);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restart_recovers_identical_topk_and_sessions() {
+        let dir = tmp_dir("restart");
+        let seed = two_blob_corpus(12);
+        let probe = vec![-5.0, -5.0];
+        let (pre_crash, session_id) = {
+            let svc = Service::open_durable(&dir, &seed, durable_config(), StoreConfig::default())
+                .unwrap();
+            for i in 0..9 {
+                let a = i as f64 * 1.1;
+                svc.ingest(vec![-5.0 + a.cos(), -5.0 + a.sin()]).unwrap();
+            }
+            svc.flush().unwrap(); // seal some, then ingest more into the WAL
+            for i in 0..5 {
+                let a = i as f64 * 0.6;
+                svc.ingest(vec![-5.0 + a.sin() * 2.0, -5.0 + a.cos() * 2.0])
+                    .unwrap();
+            }
+            let session = svc.create_session().unwrap();
+            svc.feed_ids(session, &[24, 25, 26], None).unwrap();
+            let s = svc.create_session_named("qpm").unwrap();
+            svc.close_session(s).unwrap();
+            let out = svc.query_vector(session, probe.clone(), 10).unwrap();
+            (out.neighbors, session)
+            // Drop = crash: nothing beyond the WAL survives the process.
+        };
+
+        let svc =
+            Service::open_durable(&dir, &[], durable_config(), StoreConfig::default()).unwrap();
+        assert_eq!(svc.total_vectors(), 38);
+        assert_eq!(svc.active_sessions(), 1, "closed session stays closed");
+        let handle_feeds = {
+            let out = svc.query_vector(session_id, probe.clone(), 10).unwrap();
+            assert_eq!(out.neighbors.len(), pre_crash.len());
+            for (a, b) in out.neighbors.iter().zip(pre_crash.iter()) {
+                assert_eq!(a.id, b.id, "recovered top-k must match pre-crash");
+                assert!((a.distance - b.distance).abs() < 1e-12);
+            }
+            // Feed numbering continues from the recovered snapshot.
+            svc.feed_ids(session_id, &[24, 25], None).unwrap().iteration
+        };
+        assert_eq!(handle_feeds, 2);
+        assert_eq!(svc.stats().recoveries, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restart_with_torn_wal_tail_drops_only_the_torn_record() {
+        let dir = tmp_dir("torn_tail");
+        let seed = two_blob_corpus(10);
+        let committed = {
+            let svc = Service::open_durable(&dir, &seed, durable_config(), StoreConfig::default())
+                .unwrap();
+            for i in 0..4 {
+                svc.ingest(vec![50.0 + i as f64, 50.0]).unwrap();
+            }
+            svc.total_vectors()
+        };
+        // Tear the last WAL record mid-frame.
+        let wal = dir.join("wal.log");
+        let len = std::fs::metadata(&wal).unwrap().len();
+        let file = std::fs::OpenOptions::new().write(true).open(&wal).unwrap();
+        file.set_len(len - 7).unwrap();
+        drop(file);
+
+        let svc =
+            Service::open_durable(&dir, &[], durable_config(), StoreConfig::default()).unwrap();
+        assert_eq!(
+            svc.total_vectors(),
+            committed - 1,
+            "only the torn record is lost"
+        );
+        let session = svc.create_session().unwrap();
+        let out = svc.query_vector(session, vec![50.0, 50.0], 3).unwrap();
+        assert!(out.neighbors.iter().all(|n| n.id >= 20 && n.id < 23));
+        // The store stays writable after healing the tail.
+        assert_eq!(svc.ingest(vec![50.0, 51.0]).unwrap().id, committed - 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_open_with_no_seed_and_no_state_is_invalid() {
+        let dir = tmp_dir("empty_open");
+        assert!(matches!(
+            Service::open_durable(&dir, &[], durable_config(), StoreConfig::default()),
+            Err(ServiceError::InvalidRequest(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

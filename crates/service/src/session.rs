@@ -120,6 +120,24 @@ impl Session {
         }
     }
 
+    /// Reassembles a recovered session: like [`Session::new`] but with
+    /// the feed counter restored from a durable snapshot, so feed
+    /// iteration numbers keep counting from where the crash left them.
+    pub fn restored(
+        id: u64,
+        engine: Box<dyn ServiceEngine>,
+        caches: Vec<Arc<Mutex<NodeCache>>>,
+        feeds: u64,
+    ) -> Self {
+        Session {
+            id,
+            engine,
+            caches,
+            feeds,
+            queries: 0,
+        }
+    }
+
     /// The session id.
     pub fn id(&self) -> u64 {
         self.id
@@ -321,6 +339,21 @@ impl SessionRegistry {
         Ok((id, evicted))
     }
 
+    /// Re-inserts a session under a **specific** id — the recovery path,
+    /// where ids must survive a restart because clients still hold them.
+    /// Advances the id allocator past `id` so future creations never
+    /// collide. Replaces any live session with the same id.
+    pub fn restore(&self, id: u64, make: impl FnOnce(u64) -> Session) {
+        self.next_id.fetch_max(id + 1, Ordering::Relaxed);
+        let now = self.now_ms();
+        let entry = Arc::new(Entry {
+            session: Mutex::new(make(id)),
+            last_touched_ms: AtomicU64::new(now),
+            touch_seq: AtomicU64::new(self.next_tick()),
+        });
+        self.lock_entries().insert(id, entry);
+    }
+
     /// Checks out a session, refreshing its recency.
     ///
     /// # Errors
@@ -449,6 +482,15 @@ mod tests {
         assert!(r.get(a).is_err());
         assert!(r.get(b).is_ok());
         assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn restore_preserves_ids_and_advances_allocator() {
+        let r = registry(8, true);
+        r.restore(41, mk_session);
+        assert_eq!(r.get(41).unwrap().lock().id(), 41);
+        let (next, _) = r.create(mk_session).unwrap();
+        assert!(next > 41, "allocator must clear restored ids");
     }
 
     #[test]

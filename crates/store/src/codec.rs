@@ -1,0 +1,226 @@
+//! Little-endian byte codec and CRC-32 used by every on-disk format.
+//!
+//! Both the segment and the WAL frame their bytes with CRC-32/ISO-HDLC
+//! (the "zlib" polynomial, reflected 0xEDB88320) so corruption anywhere
+//! in a record is detected on read. Everything is little-endian,
+//! matching the native layout of every platform this workspace targets —
+//! a segment is therefore `mmap`-compatible in spirit even though the
+//! reader goes through buffered I/O.
+
+use std::io::{Read, Write};
+
+/// Incremental CRC-32 (ISO-HDLC / zlib polynomial).
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+/// The 256-entry lookup table for the reflected polynomial 0xEDB88320.
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// A fresh checksum.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            let idx = (self.state ^ u32::from(b)) & 0xFF;
+            self.state = (self.state >> 8) ^ CRC_TABLE[idx as usize];
+        }
+    }
+
+    /// The finalized checksum value.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+
+    /// One-shot checksum of `bytes`.
+    pub fn checksum(bytes: &[u8]) -> u32 {
+        let mut crc = Crc32::new();
+        crc.update(bytes);
+        crc.finish()
+    }
+}
+
+/// Appends a `u32` in little-endian.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` in little-endian.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` in little-endian (bit-exact).
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A cursor over a byte slice for decoding framed payloads.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A cursor at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    /// Reads a little-endian `u32`, or `None` past the end.
+    pub fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`, or `None` past the end.
+    pub fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a little-endian `f64`, or `None` past the end.
+    pub fn f64(&mut self) -> Option<f64> {
+        self.take(8)
+            .map(|b| f64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads `n` raw bytes, or `None` past the end.
+    pub fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        self.take(n)
+    }
+}
+
+/// Reads exactly `buf.len()` bytes, distinguishing clean EOF (at offset
+/// zero) from a short read.
+///
+/// Returns `Ok(false)` when the source was already exhausted, `Ok(true)`
+/// on a full read.
+///
+/// # Errors
+///
+/// I/O failures, or `UnexpectedEof` when the source ends mid-buffer —
+/// callers treating a torn tail as benign catch that kind specifically.
+pub fn read_exact_or_eof<R: Read>(reader: &mut R, buf: &mut [u8]) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = reader.read(&mut buf[filled..])?;
+        if n == 0 {
+            return if filled == 0 {
+                Ok(false)
+            } else {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "short read",
+                ))
+            };
+        }
+        filled += n;
+    }
+    Ok(true)
+}
+
+/// Writes all of `bytes`, updating `crc` with exactly what was written.
+///
+/// # Errors
+///
+/// I/O failures.
+pub fn write_checksummed<W: Write>(
+    writer: &mut W,
+    crc: &mut Crc32,
+    bytes: &[u8],
+) -> std::io::Result<()> {
+    writer.write_all(bytes)?;
+    crc.update(bytes);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical check value for CRC-32/ISO-HDLC.
+        assert_eq!(Crc32::checksum(b"123456789"), 0xCBF4_3926);
+        assert_eq!(Crc32::checksum(b""), 0);
+    }
+
+    #[test]
+    fn crc32_incremental_equals_oneshot() {
+        let mut crc = Crc32::new();
+        crc.update(b"hello ");
+        crc.update(b"world");
+        assert_eq!(crc.finish(), Crc32::checksum(b"hello world"));
+    }
+
+    #[test]
+    fn byte_reader_round_trips() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, 42);
+        put_f64(&mut buf, -0.125);
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u32(), Some(0xDEAD_BEEF));
+        assert_eq!(r.u64(), Some(42));
+        assert_eq!(r.f64(), Some(-0.125));
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.u32(), None, "reads past the end are None, not panic");
+    }
+
+    #[test]
+    fn read_exact_or_eof_distinguishes_clean_and_torn() {
+        let data = [1u8, 2, 3];
+        let mut src: &[u8] = &data;
+        let mut buf = [0u8; 3];
+        assert!(read_exact_or_eof(&mut src, &mut buf).unwrap());
+        assert!(!read_exact_or_eof(&mut src, &mut buf).unwrap());
+        let mut short: &[u8] = &data[..2];
+        let err = read_exact_or_eof(&mut short, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+}

@@ -1,0 +1,62 @@
+//! Structured storage errors.
+
+use std::path::PathBuf;
+
+/// Everything that can go wrong in the storage layer.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A file's contents failed validation (bad magic, CRC mismatch,
+    /// inconsistent counts, …). Carries the offending path so operators
+    /// can find the damaged file.
+    Corrupt {
+        /// The file that failed validation.
+        path: PathBuf,
+        /// What exactly was wrong.
+        detail: String,
+    },
+    /// The caller broke an API contract (dimension mismatch, bootstrap
+    /// of a non-empty store, …).
+    InvalidArg(String),
+}
+
+impl StoreError {
+    /// A corruption error for `path`.
+    pub fn corrupt(path: impl Into<PathBuf>, detail: impl Into<String>) -> Self {
+        StoreError::Corrupt {
+            path: path.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "I/O failure: {e}"),
+            StoreError::Corrupt { path, detail } => {
+                write!(f, "corrupt file {}: {detail}", path.display())
+            }
+            StoreError::InvalidArg(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,78 @@
+//! # qcluster-store
+//!
+//! Durable storage for the Qcluster stack: the paper's corpus is static
+//! and in-memory, but a production retrieval service must survive
+//! restarts with every ingested image and session intact. This crate
+//! provides the robustness foundation:
+//!
+//! - [`segment`] — the append-only binary segment format: fixed-width
+//!   `f64` records behind a versioned header and a CRC-32 footer,
+//!   written via staging + atomic rename and read through a paged,
+//!   validate-on-open [`SegmentReader`].
+//! - [`wal`] — the write-ahead log: length-prefixed CRC-framed
+//!   mutation records ([`WalRecord::Ingest`],
+//!   [`WalRecord::SessionSnapshot`], [`WalRecord::Checkpoint`]) with
+//!   fsync-on-commit and replay that tolerates a torn tail.
+//! - [`store`] — [`VectorStore`]: open a directory, recover
+//!   `segments + WAL` into an id-ordered corpus plus the live session
+//!   set, ingest durably, and compact the WAL into freshly sealed
+//!   segments.
+//!
+//! ```
+//! use qcluster_store::{RecoveredState, StoreConfig, VectorStore};
+//!
+//! let dir = std::env::temp_dir().join(format!("qstore_doc_{}", std::process::id()));
+//! # std::fs::remove_dir_all(&dir).ok();
+//! let (mut store, _) = VectorStore::open(&dir, StoreConfig::default())?;
+//! store.bootstrap(&[vec![0.0, 0.0], vec![1.0, 1.0]])?;
+//! let id = store.ingest(vec![2.0, 2.0])?;
+//! assert_eq!(id, 2);
+//! drop(store);
+//!
+//! // Crash-restart: everything committed comes back, index-ready.
+//! let (_store, recovered) = VectorStore::open(&dir, StoreConfig::default())?;
+//! assert_eq!(recovered.vectors.len(), 3);
+//! let index = recovered.into_index(1024);
+//! assert_eq!(index.len(), 3);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok::<(), qcluster_store::StoreError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod error;
+pub mod segment;
+pub mod store;
+pub mod wal;
+
+pub use codec::Crc32;
+pub use error::{Result, StoreError};
+pub use segment::{write_segment, SegmentReader, SegmentWriter};
+pub use store::{
+    CompactionStats, RecoveredState, SessionState, StoreConfig, StoreStats, VectorStore,
+};
+pub use wal::{replay, WalRecord, WalReplay, WalWriter};
+
+use qcluster_index::DynamicIndex;
+
+impl RecoveredState {
+    /// Restores a [`DynamicIndex`] from the recovered corpus without a
+    /// per-insert rebuild churn: segment vectors become the bulk-loaded
+    /// tree, the WAL tail lands in the index's side buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty recovered corpus (per
+    /// [`DynamicIndex::from_parts`]).
+    pub fn into_index(self, rebuild_threshold: usize) -> DynamicIndex {
+        let indexed = if self.segment_vectors == 0 {
+            // Nothing sealed yet: bulk-load everything (recovery-time
+            // cost identical, and the tree covers the whole corpus).
+            self.vectors.len()
+        } else {
+            self.segment_vectors
+        };
+        DynamicIndex::from_parts(self.vectors, indexed, rebuild_threshold)
+    }
+}

@@ -1,0 +1,430 @@
+//! The append-only binary segment format for vector corpora.
+//!
+//! A segment is an immutable run of fixed-width `f64` records:
+//!
+//! ```text
+//! ┌────────────────────── header (16 B) ──────────────────────┐
+//! │ magic "QSEG" │ version u32 │ dim u32 │ reserved u32 (= 0) │
+//! ├────────────────────── records ────────────────────────────┤
+//! │ count × dim × f64, little-endian, bit-exact               │
+//! ├────────────────────── footer (20 B) ──────────────────────┤
+//! │ count u64 │ dim u32 │ CRC-32 of records │ magic "SEGF"    │
+//! └───────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Writers stage into a `.tmp` sibling and atomically rename on
+//! [`SegmentWriter::finish`], so a crash mid-write never leaves a
+//! half-segment under the real name. [`SegmentReader::open`] validates
+//! the header, footer, file length, and record CRC before returning;
+//! reads after that are paged so a 50k-vector corpus never has to be
+//! resident twice.
+
+use crate::codec::{read_exact_or_eof, Crc32};
+use crate::error::{Result, StoreError};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"QSEG";
+const FOOTER_MAGIC: &[u8; 4] = b"SEGF";
+const VERSION: u32 = 1;
+const HEADER_LEN: u64 = 16;
+const FOOTER_LEN: u64 = 20;
+
+/// Default records per [`SegmentReader`] page.
+pub const DEFAULT_PAGE_RECORDS: usize = 1024;
+
+/// Durably syncs the directory containing `path`, so a rename into it
+/// survives a crash. Best-effort on platforms where directories cannot
+/// be opened for sync.
+pub(crate) fn sync_parent_dir(path: &Path) {
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+}
+
+/// Streaming writer producing one segment file.
+#[derive(Debug)]
+pub struct SegmentWriter {
+    file: BufWriter<File>,
+    tmp_path: PathBuf,
+    final_path: PathBuf,
+    dim: usize,
+    count: u64,
+    crc: Crc32,
+}
+
+impl SegmentWriter {
+    /// Starts a segment at `path` (staged as `path` + `.tmp`).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidArg` for `dim == 0`, otherwise I/O failures.
+    pub fn create(path: &Path, dim: usize) -> Result<Self> {
+        if dim == 0 {
+            return Err(StoreError::InvalidArg(
+                "segment dim must be positive".into(),
+            ));
+        }
+        let mut tmp_path = path.as_os_str().to_owned();
+        tmp_path.push(".tmp");
+        let tmp_path = PathBuf::from(tmp_path);
+        let mut file = BufWriter::new(File::create(&tmp_path)?);
+        file.write_all(MAGIC)?;
+        file.write_all(&VERSION.to_le_bytes())?;
+        file.write_all(&u32::try_from(dim).expect("dim fits u32").to_le_bytes())?;
+        file.write_all(&0u32.to_le_bytes())?;
+        Ok(SegmentWriter {
+            file,
+            tmp_path,
+            final_path: path.to_path_buf(),
+            dim,
+            count: 0,
+            crc: Crc32::new(),
+        })
+    }
+
+    /// Records appended so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Appends one vector.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidArg` on dimensionality mismatch, otherwise I/O failures.
+    pub fn append(&mut self, vector: &[f64]) -> Result<()> {
+        if vector.len() != self.dim {
+            return Err(StoreError::InvalidArg(format!(
+                "vector dim {} but segment dim {}",
+                vector.len(),
+                self.dim
+            )));
+        }
+        for &v in vector {
+            let bytes = v.to_le_bytes();
+            self.file.write_all(&bytes)?;
+            self.crc.update(&bytes);
+        }
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Writes the footer, fsyncs, and atomically renames the staged file
+    /// into place. Returns the record count.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures; the staged `.tmp` file is left behind for debugging
+    /// on failure (and ignored by [`SegmentReader`] and the store).
+    pub fn finish(mut self) -> Result<u64> {
+        self.file.write_all(&self.count.to_le_bytes())?;
+        self.file
+            .write_all(&u32::try_from(self.dim).expect("dim fits u32").to_le_bytes())?;
+        self.file.write_all(&self.crc.finish().to_le_bytes())?;
+        self.file.write_all(FOOTER_MAGIC)?;
+        self.file.flush()?;
+        self.file.get_ref().sync_all()?;
+        std::fs::rename(&self.tmp_path, &self.final_path)?;
+        sync_parent_dir(&self.final_path);
+        Ok(self.count)
+    }
+}
+
+/// Writes `vectors` as one segment file in a single call.
+///
+/// # Errors
+///
+/// See [`SegmentWriter`].
+pub fn write_segment(path: &Path, dim: usize, vectors: &[Vec<f64>]) -> Result<u64> {
+    let mut writer = SegmentWriter::create(path, dim)?;
+    for v in vectors {
+        writer.append(v)?;
+    }
+    writer.finish()
+}
+
+/// Validating, paged reader over one segment file.
+#[derive(Debug)]
+pub struct SegmentReader {
+    file: File,
+    path: PathBuf,
+    dim: usize,
+    count: u64,
+    page_records: usize,
+}
+
+impl SegmentReader {
+    /// Opens and fully validates a segment: magic, version, length
+    /// arithmetic, header/footer dim agreement, and the record CRC
+    /// (one streaming pass).
+    ///
+    /// # Errors
+    ///
+    /// `Corrupt` with the offending path and detail, or I/O failures.
+    pub fn open(path: &Path) -> Result<Self> {
+        Self::open_with_page_size(path, DEFAULT_PAGE_RECORDS)
+    }
+
+    /// [`SegmentReader::open`] with an explicit page size (records per
+    /// page, ≥ 1).
+    ///
+    /// # Errors
+    ///
+    /// See [`SegmentReader::open`]; `InvalidArg` for a zero page size.
+    pub fn open_with_page_size(path: &Path, page_records: usize) -> Result<Self> {
+        if page_records == 0 {
+            return Err(StoreError::InvalidArg(
+                "page_records must be positive".into(),
+            ));
+        }
+        let file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < HEADER_LEN + FOOTER_LEN {
+            return Err(StoreError::corrupt(
+                path,
+                "file shorter than header + footer",
+            ));
+        }
+
+        let mut reader = BufReader::new(&file);
+        let mut header = [0u8; HEADER_LEN as usize];
+        reader.read_exact(&mut header)?;
+        if &header[0..4] != MAGIC {
+            return Err(StoreError::corrupt(path, "bad segment magic"));
+        }
+        let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(StoreError::corrupt(
+                path,
+                format!("unsupported segment version {version} (expected {VERSION})"),
+            ));
+        }
+        let dim = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
+        if dim == 0 {
+            return Err(StoreError::corrupt(path, "zero dimensionality"));
+        }
+
+        let mut footer = [0u8; FOOTER_LEN as usize];
+        reader.seek(SeekFrom::End(-(FOOTER_LEN as i64)))?;
+        reader.read_exact(&mut footer)?;
+        if &footer[16..20] != FOOTER_MAGIC {
+            return Err(StoreError::corrupt(path, "bad footer magic"));
+        }
+        let count = u64::from_le_bytes(footer[0..8].try_into().expect("8 bytes"));
+        let footer_dim = u32::from_le_bytes(footer[8..12].try_into().expect("4 bytes")) as usize;
+        let stored_crc = u32::from_le_bytes(footer[12..16].try_into().expect("4 bytes"));
+        if footer_dim != dim {
+            return Err(StoreError::corrupt(
+                path,
+                format!("header dim {dim} disagrees with footer dim {footer_dim}"),
+            ));
+        }
+        let record_bytes = count
+            .checked_mul(dim as u64)
+            .and_then(|n| n.checked_mul(8))
+            .ok_or_else(|| StoreError::corrupt(path, "record byte count overflows"))?;
+        if file_len != HEADER_LEN + record_bytes + FOOTER_LEN {
+            return Err(StoreError::corrupt(
+                path,
+                format!("file length {file_len} inconsistent with {count} records of dim {dim}"),
+            ));
+        }
+
+        // Streaming CRC pass over the records.
+        reader.seek(SeekFrom::Start(HEADER_LEN))?;
+        let mut crc = Crc32::new();
+        let mut remaining = record_bytes;
+        let mut chunk = [0u8; 64 * 1024];
+        while remaining > 0 {
+            let take = remaining.min(chunk.len() as u64) as usize;
+            reader.read_exact(&mut chunk[..take])?;
+            crc.update(&chunk[..take]);
+            remaining -= take as u64;
+        }
+        if crc.finish() != stored_crc {
+            return Err(StoreError::corrupt(path, "record CRC mismatch"));
+        }
+
+        Ok(SegmentReader {
+            file,
+            path: path.to_path_buf(),
+            dim,
+            count,
+            page_records,
+        })
+    }
+
+    /// Record dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of records.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of pages ([`Self::page`] accepts `0..num_pages()`).
+    pub fn num_pages(&self) -> usize {
+        (self.count as usize).div_ceil(self.page_records)
+    }
+
+    /// Reads one page of records (the final page may be short).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidArg` for an out-of-range page, `Corrupt` on a short read
+    /// (the file shrank after open), or I/O failures.
+    pub fn page(&mut self, page: usize) -> Result<Vec<Vec<f64>>> {
+        if page >= self.num_pages() {
+            return Err(StoreError::InvalidArg(format!(
+                "page {page} out of range ({} pages)",
+                self.num_pages()
+            )));
+        }
+        let start = page * self.page_records;
+        let len = self.page_records.min(self.count as usize - start);
+        let offset = HEADER_LEN + (start as u64) * (self.dim as u64) * 8;
+        self.file.seek(SeekFrom::Start(offset))?;
+        let mut reader = BufReader::new(&self.file);
+        let mut out = Vec::with_capacity(len);
+        let mut record = vec![0u8; self.dim * 8];
+        for _ in 0..len {
+            if !read_exact_or_eof(&mut reader, &mut record)? {
+                return Err(StoreError::corrupt(&self.path, "segment shrank after open"));
+            }
+            out.push(
+                record
+                    .chunks_exact(8)
+                    .map(|b| f64::from_le_bytes(b.try_into().expect("8 bytes")))
+                    .collect(),
+            );
+        }
+        Ok(out)
+    }
+
+    /// Reads every record, page by page.
+    ///
+    /// # Errors
+    ///
+    /// See [`SegmentReader::page`].
+    pub fn read_all(&mut self) -> Result<Vec<Vec<f64>>> {
+        let mut out = Vec::with_capacity(self.count as usize);
+        for page in 0..self.num_pages() {
+            out.extend(self.page(page)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qstore_segment_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn vectors(n: usize, dim: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                (0..dim)
+                    .map(|d| (i * dim + d) as f64 * 0.123 - 3.0)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn write_reopen_bitwise_equal() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("seg.qseg");
+        let vecs = vectors(2500, 7); // spans multiple default pages
+        write_segment(&path, 7, &vecs).unwrap();
+        let mut reader = SegmentReader::open(&path).unwrap();
+        assert_eq!(reader.dim(), 7);
+        assert_eq!(reader.count(), 2500);
+        let back = reader.read_all().unwrap();
+        assert_eq!(back.len(), vecs.len());
+        for (a, b) in back.iter().zip(vecs.iter()) {
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "bitwise-equal round trip");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn paged_reads_cover_exactly_the_records() {
+        let dir = tmp_dir("pages");
+        let path = dir.join("seg.qseg");
+        let vecs = vectors(10, 3);
+        write_segment(&path, 3, &vecs).unwrap();
+        let mut reader = SegmentReader::open_with_page_size(&path, 4).unwrap();
+        assert_eq!(reader.num_pages(), 3);
+        assert_eq!(reader.page(0).unwrap().len(), 4);
+        assert_eq!(reader.page(2).unwrap().len(), 2, "short final page");
+        assert_eq!(reader.page(1).unwrap(), vecs[4..8].to_vec());
+        assert!(reader.page(3).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flipped_bit_is_detected_on_open() {
+        let dir = tmp_dir("crc");
+        let path = dir.join("seg.qseg");
+        write_segment(&path, 4, &vectors(64, 4)).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            SegmentReader::open(&path),
+            Err(StoreError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_segment_is_rejected() {
+        let dir = tmp_dir("trunc");
+        let path = dir.join("seg.qseg");
+        write_segment(&path, 4, &vectors(64, 4)).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 9]).unwrap();
+        assert!(matches!(
+            SegmentReader::open(&path),
+            Err(StoreError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unfinished_writer_leaves_no_segment() {
+        let dir = tmp_dir("atomic");
+        let path = dir.join("seg.qseg");
+        let mut w = SegmentWriter::create(&path, 2).unwrap();
+        w.append(&[1.0, 2.0]).unwrap();
+        drop(w); // simulated crash before finish()
+        assert!(!path.exists(), "only finish() publishes the segment");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_segment_round_trips() {
+        let dir = tmp_dir("empty");
+        let path = dir.join("seg.qseg");
+        write_segment(&path, 5, &[]).unwrap();
+        let mut reader = SegmentReader::open(&path).unwrap();
+        assert_eq!(reader.count(), 0);
+        assert_eq!(reader.num_pages(), 0);
+        assert!(reader.read_all().unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,589 @@
+//! The durable vector store: a directory of sealed segments plus one
+//! write-ahead log, with crash recovery and WAL → segment compaction.
+//!
+//! Directory layout:
+//!
+//! ```text
+//! <dir>/seg-000000.qseg   sealed, immutable, CRC-validated segments
+//! <dir>/seg-000001.qseg   (id ranges are contiguous in file order)
+//! <dir>/wal.log           mutations since the last compaction
+//! ```
+//!
+//! **Recovery** reads every segment in order (ids are positional), then
+//! replays the WAL's committed prefix: `Ingest` records extend the
+//! corpus, `SessionSnapshot` records rebuild the session registry
+//! (latest per id wins; tombstones drop), and a torn WAL tail is
+//! truncated. `Ingest` records carry their assigned global id, so a
+//! compaction that crashed after sealing a segment but before folding
+//! the WAL replays idempotently — ids already covered by segments are
+//! skipped.
+//!
+//! **Compaction** folds the WAL tail into a freshly sealed segment
+//! (staged + atomic rename), then rewrites the WAL to hold only what
+//! must outlive the fold: live session snapshots and a checkpoint.
+
+use crate::error::{Result, StoreError};
+use crate::segment::{write_segment, SegmentReader};
+use crate::wal::{replay, WalRecord, WalWriter};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Tunables for one store instance.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Fsync the WAL on every committed mutation (`true` = a returned
+    /// ingest survives power loss; `false` trades durability for
+    /// throughput and syncs only on compaction and shutdown).
+    pub fsync_on_commit: bool,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            fsync_on_commit: true,
+        }
+    }
+}
+
+/// A session restored from WAL snapshots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionState {
+    /// Session id.
+    pub session: u64,
+    /// Hosted engine name.
+    pub engine: String,
+    /// Feed rounds completed at the last snapshot.
+    pub feeds: u64,
+}
+
+/// Everything recovery reconstructs from `segments + WAL`.
+#[derive(Debug)]
+pub struct RecoveredState {
+    /// The full corpus in id order: segment vectors, then the WAL tail.
+    pub vectors: Vec<Vec<f64>>,
+    /// How many of [`Self::vectors`] came from sealed segments (the
+    /// rest were replayed from the WAL — callers restoring a
+    /// [`qcluster_index::DynamicIndex`] pass this as the indexed
+    /// prefix).
+    pub segment_vectors: usize,
+    /// Live sessions, ascending by id.
+    pub sessions: Vec<SessionState>,
+    /// `true` when a torn WAL tail was discarded during replay.
+    pub wal_truncated: bool,
+}
+
+/// Counters and gauges describing one store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// WAL frames appended since open.
+    pub wal_appends: u64,
+    /// WAL fsyncs since open.
+    pub wal_fsyncs: u64,
+    /// Sealed segment files.
+    pub segments: u64,
+    /// Vectors sealed in segments.
+    pub segment_vectors: u64,
+    /// Vectors still only in the WAL.
+    pub wal_vectors: u64,
+}
+
+/// Result of one compaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Vectors folded from the WAL into the new segment (0 = no new
+    /// segment was written).
+    pub folded_vectors: u64,
+    /// Sealed segments after the fold.
+    pub segments: u64,
+    /// Records in the rewritten WAL (session snapshots + checkpoint).
+    pub wal_records: u64,
+}
+
+/// The durable segment + WAL vector store.
+#[derive(Debug)]
+pub struct VectorStore {
+    dir: PathBuf,
+    config: StoreConfig,
+    dim: Option<usize>,
+    /// Sealed segment paths in id order.
+    segments: Vec<PathBuf>,
+    /// Total vectors across sealed segments.
+    segment_vectors: u64,
+    /// Vectors living only in the WAL (id order), kept resident so
+    /// compaction can seal them without re-reading the log.
+    wal_tail: Vec<Vec<f64>>,
+    /// Latest snapshot per session (including tombstones).
+    sessions: BTreeMap<u64, (SessionState, bool)>,
+    wal: WalWriter,
+    /// Counter bases carried across WAL rewrites.
+    appends_base: u64,
+    fsyncs_base: u64,
+}
+
+fn segment_index(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let rest = name.strip_prefix("seg-")?.strip_suffix(".qseg")?;
+    rest.parse().ok()
+}
+
+impl VectorStore {
+    /// Opens (or initializes) a store directory and recovers its state.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or `Corrupt` for damaged segments / an undecodable
+    /// WAL frame. A torn WAL *tail* is not an error — it is truncated
+    /// and reported via [`RecoveredState::wal_truncated`].
+    pub fn open(dir: &Path, config: StoreConfig) -> Result<(Self, RecoveredState)> {
+        std::fs::create_dir_all(dir)?;
+
+        // Collect sealed segments; sweep stale staging files.
+        let mut segments: Vec<PathBuf> = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "tmp") {
+                let _ = std::fs::remove_file(&path);
+            } else if segment_index(&path).is_some() {
+                segments.push(path);
+            }
+        }
+        segments.sort();
+
+        let mut vectors: Vec<Vec<f64>> = Vec::new();
+        let mut dim: Option<usize> = None;
+        for path in &segments {
+            let mut reader = SegmentReader::open(path)?;
+            match dim {
+                None => dim = Some(reader.dim()),
+                Some(d) if d != reader.dim() => {
+                    return Err(StoreError::corrupt(
+                        path,
+                        format!("segment dim {} disagrees with store dim {d}", reader.dim()),
+                    ));
+                }
+                Some(_) => {}
+            }
+            vectors.extend(reader.read_all()?);
+        }
+        let segment_vectors = vectors.len() as u64;
+
+        // Replay the WAL's committed prefix.
+        let wal_path = dir.join("wal.log");
+        let replayed = replay(&wal_path)?;
+        let mut wal_tail: Vec<Vec<f64>> = Vec::new();
+        let mut sessions: BTreeMap<u64, (SessionState, bool)> = BTreeMap::new();
+        for record in replayed.records {
+            match record {
+                WalRecord::Ingest { id, vector } => {
+                    if id < segment_vectors {
+                        continue; // sealed by a compaction that crashed pre-fold
+                    }
+                    let expected = segment_vectors + wal_tail.len() as u64;
+                    if id != expected {
+                        return Err(StoreError::corrupt(
+                            &wal_path,
+                            format!("ingest id {id} but expected {expected}"),
+                        ));
+                    }
+                    match dim {
+                        None => dim = Some(vector.len()),
+                        Some(d) if d != vector.len() => {
+                            return Err(StoreError::corrupt(
+                                &wal_path,
+                                format!("ingest dim {} disagrees with store dim {d}", vector.len()),
+                            ));
+                        }
+                        Some(_) => {}
+                    }
+                    wal_tail.push(vector);
+                }
+                WalRecord::SessionSnapshot {
+                    session,
+                    engine,
+                    feeds,
+                    live,
+                } => {
+                    sessions.insert(
+                        session,
+                        (
+                            SessionState {
+                                session,
+                                engine,
+                                feeds,
+                            },
+                            live,
+                        ),
+                    );
+                }
+                WalRecord::Checkpoint { durable_vectors } => {
+                    if durable_vectors > segment_vectors {
+                        return Err(StoreError::corrupt(
+                            &wal_path,
+                            format!(
+                                "checkpoint claims {durable_vectors} sealed vectors but \
+                                 segments hold {segment_vectors}"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        vectors.extend(wal_tail.iter().cloned());
+
+        let wal = WalWriter::open(&wal_path, replayed.valid_len, config.fsync_on_commit)?;
+        let live_sessions = sessions
+            .values()
+            .filter(|(_, live)| *live)
+            .map(|(s, _)| s.clone())
+            .collect();
+        let store = VectorStore {
+            dir: dir.to_path_buf(),
+            config,
+            dim,
+            segments,
+            segment_vectors,
+            wal_tail,
+            sessions,
+            wal,
+            appends_base: 0,
+            fsyncs_base: 0,
+        };
+        let recovered = RecoveredState {
+            vectors,
+            segment_vectors: segment_vectors as usize,
+            sessions: live_sessions,
+            wal_truncated: replayed.truncated,
+        };
+        Ok((store, recovered))
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Vector dimensionality, once known (first segment or ingest).
+    pub fn dim(&self) -> Option<usize> {
+        self.dim
+    }
+
+    /// Total vectors (sealed + WAL tail).
+    pub fn total_vectors(&self) -> u64 {
+        self.segment_vectors + self.wal_tail.len() as u64
+    }
+
+    /// `true` when the store holds no vectors yet.
+    pub fn is_empty(&self) -> bool {
+        self.total_vectors() == 0
+    }
+
+    /// Seeds an empty store with an initial corpus, sealed directly into
+    /// a segment (no WAL traffic).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidArg` when the store already holds vectors or on ragged /
+    /// empty input, otherwise I/O failures.
+    pub fn bootstrap(&mut self, points: &[Vec<f64>]) -> Result<()> {
+        if !self.is_empty() {
+            return Err(StoreError::InvalidArg(
+                "bootstrap requires an empty store".into(),
+            ));
+        }
+        let Some(first) = points.first() else {
+            return Err(StoreError::InvalidArg(
+                "bootstrap needs at least one vector".into(),
+            ));
+        };
+        let dim = first.len();
+        if points.iter().any(|p| p.len() != dim) {
+            return Err(StoreError::InvalidArg(
+                "bootstrap vectors must share one dimensionality".into(),
+            ));
+        }
+        let path = self.next_segment_path();
+        write_segment(&path, dim, points)?;
+        self.segments.push(path);
+        self.segment_vectors = points.len() as u64;
+        self.dim = Some(dim);
+        Ok(())
+    }
+
+    /// Durably ingests one vector, returning its global corpus id.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidArg` on dimensionality mismatch or non-finite values,
+    /// otherwise I/O failures.
+    pub fn ingest(&mut self, vector: Vec<f64>) -> Result<u64> {
+        if let Some(d) = self.dim {
+            if vector.len() != d {
+                return Err(StoreError::InvalidArg(format!(
+                    "vector dim {} but store dim {d}",
+                    vector.len()
+                )));
+            }
+        } else if vector.is_empty() {
+            return Err(StoreError::InvalidArg(
+                "cannot ingest an empty vector".into(),
+            ));
+        }
+        if vector.iter().any(|v| !v.is_finite()) {
+            return Err(StoreError::InvalidArg(
+                "cannot ingest non-finite components".into(),
+            ));
+        }
+        let id = self.total_vectors();
+        self.wal.append(&WalRecord::Ingest {
+            id,
+            vector: vector.clone(),
+        })?;
+        self.dim.get_or_insert(vector.len());
+        self.wal_tail.push(vector);
+        Ok(id)
+    }
+
+    /// Durably records the latest view of a session (`live = false`
+    /// tombstones it for recovery).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn record_session(
+        &mut self,
+        session: u64,
+        engine: &str,
+        feeds: u64,
+        live: bool,
+    ) -> Result<()> {
+        self.wal.append(&WalRecord::SessionSnapshot {
+            session,
+            engine: engine.to_string(),
+            feeds,
+            live,
+        })?;
+        self.sessions.insert(
+            session,
+            (
+                SessionState {
+                    session,
+                    engine: engine.to_string(),
+                    feeds,
+                },
+                live,
+            ),
+        );
+        Ok(())
+    }
+
+    /// Folds the WAL into a freshly sealed segment and resets the log.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures. The segment seal is atomic; a crash between the
+    /// seal and the WAL rewrite is healed on the next open (ingest ids
+    /// below the segment total are skipped during replay).
+    pub fn compact(&mut self) -> Result<CompactionStats> {
+        let folded = self.wal_tail.len() as u64;
+        if folded > 0 {
+            let dim = self.dim.expect("dim known when vectors exist");
+            let path = self.next_segment_path();
+            write_segment(&path, dim, &self.wal_tail)?;
+            self.segments.push(path);
+            self.segment_vectors += folded;
+            self.wal_tail.clear();
+        }
+
+        // The rewritten WAL keeps only live-session snapshots + checkpoint.
+        let mut keep: Vec<WalRecord> = self
+            .sessions
+            .values()
+            .filter(|(_, live)| *live)
+            .map(|(s, _)| WalRecord::SessionSnapshot {
+                session: s.session,
+                engine: s.engine.clone(),
+                feeds: s.feeds,
+                live: true,
+            })
+            .collect();
+        keep.push(WalRecord::Checkpoint {
+            durable_vectors: self.segment_vectors,
+        });
+        self.sessions.retain(|_, (_, live)| *live);
+
+        self.appends_base += self.wal.appends();
+        self.fsyncs_base += self.wal.fsyncs();
+        self.wal = WalWriter::rewrite(
+            &self.dir.join("wal.log"),
+            &keep,
+            self.config.fsync_on_commit,
+        )?;
+
+        Ok(CompactionStats {
+            folded_vectors: folded,
+            segments: self.segments.len() as u64,
+            wal_records: keep.len() as u64,
+        })
+    }
+
+    /// Forces buffered WAL bytes to stable storage (a no-op under
+    /// fsync-on-commit, where every append already synced).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn sync(&mut self) -> Result<()> {
+        self.wal.sync()
+    }
+
+    /// Current counters and gauges.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            wal_appends: self.appends_base + self.wal.appends(),
+            wal_fsyncs: self.fsyncs_base + self.wal.fsyncs(),
+            segments: self.segments.len() as u64,
+            segment_vectors: self.segment_vectors,
+            wal_vectors: self.wal_tail.len() as u64,
+        }
+    }
+
+    fn next_segment_path(&self) -> PathBuf {
+        let next = self
+            .segments
+            .iter()
+            .filter_map(|p| segment_index(p))
+            .max()
+            .map_or(0, |i| i + 1);
+        self.dir.join(format!("seg-{next:06}.qseg"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_store(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qstore_store_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn vecs(n: usize, dim: usize, offset: f64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| (0..dim).map(|d| offset + (i * dim + d) as f64).collect())
+            .collect()
+    }
+
+    #[test]
+    fn bootstrap_ingest_reopen_recovers_everything() {
+        let dir = tmp_store("lifecycle");
+        let base = vecs(20, 3, 0.0);
+        {
+            let (mut store, recovered) = VectorStore::open(&dir, StoreConfig::default()).unwrap();
+            assert!(recovered.vectors.is_empty());
+            store.bootstrap(&base).unwrap();
+            for (i, v) in vecs(5, 3, 100.0).into_iter().enumerate() {
+                assert_eq!(store.ingest(v).unwrap(), 20 + i as u64);
+            }
+            store.record_session(1, "qcluster", 2, true).unwrap();
+            assert_eq!(store.total_vectors(), 25);
+        }
+        let (store, recovered) = VectorStore::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(recovered.vectors.len(), 25);
+        assert_eq!(recovered.segment_vectors, 20);
+        assert_eq!(recovered.vectors[..20].to_vec(), base);
+        assert_eq!(recovered.vectors[20], vec![100.0, 101.0, 102.0]);
+        assert_eq!(recovered.sessions.len(), 1);
+        assert_eq!(recovered.sessions[0].engine, "qcluster");
+        assert!(!recovered.wal_truncated);
+        assert_eq!(store.dim(), Some(3));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_seals_wal_and_survives_reopen() {
+        let dir = tmp_store("compact");
+        {
+            let (mut store, _) = VectorStore::open(&dir, StoreConfig::default()).unwrap();
+            store.bootstrap(&vecs(10, 2, 0.0)).unwrap();
+            for v in vecs(7, 2, 50.0) {
+                store.ingest(v).unwrap();
+            }
+            store.record_session(3, "qpm", 1, true).unwrap();
+            store.record_session(4, "qcluster", 9, false).unwrap(); // closed
+            let stats = store.compact().unwrap();
+            assert_eq!(stats.folded_vectors, 7);
+            assert_eq!(stats.segments, 2);
+            assert_eq!(stats.wal_records, 2); // live session + checkpoint
+            assert_eq!(store.stats().wal_vectors, 0);
+            assert_eq!(store.stats().segment_vectors, 17);
+        }
+        let (_, recovered) = VectorStore::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(recovered.vectors.len(), 17);
+        assert_eq!(recovered.segment_vectors, 17);
+        assert_eq!(recovered.sessions.len(), 1, "tombstoned session stays dead");
+        assert_eq!(recovered.sessions[0].session, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_wal_tail_loses_only_the_uncommitted_record() {
+        let dir = tmp_store("torn");
+        {
+            let (mut store, _) = VectorStore::open(&dir, StoreConfig::default()).unwrap();
+            for v in vecs(4, 2, 0.0) {
+                store.ingest(v).unwrap();
+            }
+        }
+        // Tear the final frame mid-payload.
+        let wal = dir.join("wal.log");
+        let bytes = std::fs::read(&wal).unwrap();
+        std::fs::write(&wal, &bytes[..bytes.len() - 3]).unwrap();
+        let (mut store, recovered) = VectorStore::open(&dir, StoreConfig::default()).unwrap();
+        assert!(recovered.wal_truncated);
+        assert_eq!(recovered.vectors.len(), 3);
+        // The store keeps working: the torn id is reassigned.
+        assert_eq!(store.ingest(vec![9.0, 9.0]).unwrap(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interrupted_compaction_replays_idempotently() {
+        let dir = tmp_store("crashfold");
+        {
+            let (mut store, _) = VectorStore::open(&dir, StoreConfig::default()).unwrap();
+            store.bootstrap(&vecs(3, 2, 0.0)).unwrap();
+            for v in vecs(4, 2, 30.0) {
+                store.ingest(v).unwrap();
+            }
+            // Simulate the crash window: seal the WAL tail into a segment
+            // as compaction would, but "crash" before the WAL rewrite.
+            write_segment(&dir.join("seg-000001.qseg"), 2, &vecs(4, 2, 30.0)).unwrap();
+        }
+        let (store, recovered) = VectorStore::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(recovered.vectors.len(), 7, "WAL ingests not double-counted");
+        assert_eq!(recovered.segment_vectors, 7);
+        assert_eq!(store.stats().wal_vectors, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_ragged_and_non_finite_ingests() {
+        let dir = tmp_store("validate");
+        let (mut store, _) = VectorStore::open(&dir, StoreConfig::default()).unwrap();
+        store.ingest(vec![1.0, 2.0]).unwrap();
+        assert!(matches!(
+            store.ingest(vec![1.0]),
+            Err(StoreError::InvalidArg(_))
+        ));
+        assert!(matches!(
+            store.ingest(vec![f64::NAN, 0.0]),
+            Err(StoreError::InvalidArg(_))
+        ));
+        assert!(matches!(
+            store.bootstrap(&vecs(2, 2, 0.0)),
+            Err(StoreError::InvalidArg(_)),
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

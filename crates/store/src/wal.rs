@@ -1,0 +1,488 @@
+//! The write-ahead log: length-prefixed, CRC-framed mutation records
+//! with fsync-on-commit and truncated-tail-tolerant replay.
+//!
+//! Every mutation becomes one frame:
+//!
+//! ```text
+//! │ payload_len u32 │ CRC-32(payload) u32 │ payload … │
+//! ```
+//!
+//! Payloads are a tagged binary encoding (see [`WalRecord`]) — vectors
+//! are raw little-endian `f64`s, so replay reproduces ingested vectors
+//! bit-exactly. A crash can tear the final frame (short header, short
+//! payload, or a payload that fails its CRC); [`replay`] stops at the
+//! first damaged frame and reports the byte length of the valid prefix,
+//! which the writer truncates to before appending again. Everything
+//! before the tear — the *committed prefix* — is recovered exactly;
+//! nothing after a damaged frame is trusted.
+
+use crate::codec::{put_f64, put_u32, put_u64, read_exact_or_eof, ByteReader, Crc32};
+use crate::error::{Result, StoreError};
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Hard sanity cap on one frame's payload (a length prefix beyond this
+/// is treated as tail corruption, not an allocation request).
+const MAX_PAYLOAD: u32 = 1 << 28;
+
+const TAG_INGEST: u8 = 1;
+const TAG_SESSION: u8 = 2;
+const TAG_CHECKPOINT: u8 = 3;
+
+/// One durable mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A vector ingested into the corpus. `id` is the global corpus id
+    /// the store assigned, making replay idempotent across compaction
+    /// crash windows (ids already covered by segments are skipped).
+    Ingest {
+        /// Assigned global corpus id.
+        id: u64,
+        /// The ingested feature vector.
+        vector: Vec<f64>,
+    },
+    /// The latest durable view of one client session. Replay keeps the
+    /// last snapshot per session id; `live == false` is a tombstone.
+    SessionSnapshot {
+        /// Session id.
+        session: u64,
+        /// Hosted engine name (`"qcluster"`, `"qpm"`, …).
+        engine: String,
+        /// Feed rounds the session had completed at snapshot time.
+        feeds: u64,
+        /// `false` once the session was closed.
+        live: bool,
+    },
+    /// Compaction marker: every vector with id below `durable_vectors`
+    /// is sealed in segments.
+    Checkpoint {
+        /// Count of vectors durable in segment files.
+        durable_vectors: u64,
+    },
+}
+
+impl WalRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            WalRecord::Ingest { id, vector } => {
+                buf.push(TAG_INGEST);
+                put_u64(&mut buf, *id);
+                put_u32(&mut buf, u32::try_from(vector.len()).expect("dim fits u32"));
+                for &v in vector {
+                    put_f64(&mut buf, v);
+                }
+            }
+            WalRecord::SessionSnapshot {
+                session,
+                engine,
+                feeds,
+                live,
+            } => {
+                buf.push(TAG_SESSION);
+                put_u64(&mut buf, *session);
+                put_u64(&mut buf, *feeds);
+                buf.push(u8::from(*live));
+                put_u32(
+                    &mut buf,
+                    u32::try_from(engine.len()).expect("name fits u32"),
+                );
+                buf.extend_from_slice(engine.as_bytes());
+            }
+            WalRecord::Checkpoint { durable_vectors } => {
+                buf.push(TAG_CHECKPOINT);
+                put_u64(&mut buf, *durable_vectors);
+            }
+        }
+        buf
+    }
+
+    fn decode(payload: &[u8]) -> Option<WalRecord> {
+        let mut r = ByteReader::new(payload);
+        let tag = r.bytes(1)?[0];
+        let record = match tag {
+            TAG_INGEST => {
+                let id = r.u64()?;
+                let dim = r.u32()? as usize;
+                let mut vector = Vec::with_capacity(dim);
+                for _ in 0..dim {
+                    vector.push(r.f64()?);
+                }
+                WalRecord::Ingest { id, vector }
+            }
+            TAG_SESSION => {
+                let session = r.u64()?;
+                let feeds = r.u64()?;
+                let live = r.bytes(1)?[0] != 0;
+                let name_len = r.u32()? as usize;
+                let engine = String::from_utf8(r.bytes(name_len)?.to_vec()).ok()?;
+                WalRecord::SessionSnapshot {
+                    session,
+                    engine,
+                    feeds,
+                    live,
+                }
+            }
+            TAG_CHECKPOINT => WalRecord::Checkpoint {
+                durable_vectors: r.u64()?,
+            },
+            _ => return None,
+        };
+        (r.remaining() == 0).then_some(record)
+    }
+}
+
+/// The outcome of replaying one WAL file.
+#[derive(Debug)]
+pub struct WalReplay {
+    /// Every record of the committed prefix, in append order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the committed prefix (the writer truncates the
+    /// file to this before appending again).
+    pub valid_len: u64,
+    /// `true` when a torn or corrupt tail was discarded.
+    pub truncated: bool,
+}
+
+/// Replays a WAL file, tolerating a torn tail. A missing file replays
+/// as empty (a fresh store has no WAL yet).
+///
+/// # Errors
+///
+/// I/O failures, or `Corrupt` when a frame passes its CRC but does not
+/// decode (format-version skew — *not* a torn write, which CRC framing
+/// catches and tolerates).
+pub fn replay(path: &Path) -> Result<WalReplay> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(WalReplay {
+                records: Vec::new(),
+                valid_len: 0,
+                truncated: false,
+            })
+        }
+        Err(e) => return Err(e.into()),
+    };
+    let mut reader = BufReader::new(file);
+    let mut records = Vec::new();
+    let mut valid_len = 0u64;
+    let mut truncated = false;
+
+    loop {
+        let mut frame_header = [0u8; 8];
+        match read_exact_or_eof(&mut reader, &mut frame_header) {
+            Ok(false) => break, // clean end
+            Ok(true) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                truncated = true;
+                break;
+            }
+            Err(e) => return Err(e.into()),
+        }
+        let len = u32::from_le_bytes(frame_header[0..4].try_into().expect("4 bytes"));
+        let stored_crc = u32::from_le_bytes(frame_header[4..8].try_into().expect("4 bytes"));
+        if len > MAX_PAYLOAD {
+            truncated = true;
+            break;
+        }
+        let mut payload = vec![0u8; len as usize];
+        match read_exact_or_eof(&mut reader, &mut payload) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => {
+                truncated = true;
+                break;
+            }
+        }
+        if Crc32::checksum(&payload) != stored_crc {
+            truncated = true;
+            break;
+        }
+        let record = WalRecord::decode(&payload).ok_or_else(|| {
+            StoreError::corrupt(path, "CRC-valid frame failed to decode (version skew?)")
+        })?;
+        records.push(record);
+        valid_len += 8 + u64::from(len);
+    }
+
+    Ok(WalReplay {
+        records,
+        valid_len,
+        truncated,
+    })
+}
+
+/// Appender over one WAL file.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: BufWriter<File>,
+    path: PathBuf,
+    fsync_on_commit: bool,
+    appends: u64,
+    fsyncs: u64,
+}
+
+impl WalWriter {
+    /// Opens the WAL for appending at `valid_len` (as reported by
+    /// [`replay`]), truncating any torn tail beyond it. Creates the file
+    /// when missing.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn open(path: &Path, valid_len: u64, fsync_on_commit: bool) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        if file.metadata()?.len() > valid_len {
+            file.set_len(valid_len)?;
+            file.sync_all()?;
+        }
+        let mut file = file;
+        file.seek(SeekFrom::Start(valid_len))?;
+        Ok(WalWriter {
+            file: BufWriter::new(file),
+            path: path.to_path_buf(),
+            fsync_on_commit,
+            appends: 0,
+            fsyncs: 0,
+        })
+    }
+
+    /// Rewrites the WAL from scratch with `records` (atomically, via a
+    /// staged sibling + rename), then reopens it for appending. This is
+    /// the compaction path: the folded WAL restarts with only the
+    /// records that must outlive the fold (session snapshots and the
+    /// checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn rewrite(path: &Path, records: &[WalRecord], fsync_on_commit: bool) -> Result<Self> {
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        let mut staged = BufWriter::new(File::create(&tmp)?);
+        let mut len = 0u64;
+        for record in records {
+            len += write_frame(&mut staged, record)?;
+        }
+        staged.flush()?;
+        staged.get_ref().sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        crate::segment::sync_parent_dir(path);
+        WalWriter::open(path, len, fsync_on_commit)
+    }
+
+    /// The WAL file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Frames appended through this writer.
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+
+    /// Fsyncs issued by this writer.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs
+    }
+
+    /// Appends one record; with fsync-on-commit the record is durable
+    /// when this returns.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn append(&mut self, record: &WalRecord) -> Result<()> {
+        write_frame(&mut self.file, record)?;
+        self.file.flush()?;
+        self.appends += 1;
+        if self.fsync_on_commit {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Forces everything appended so far to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.flush()?;
+        self.file.get_ref().sync_data()?;
+        self.fsyncs += 1;
+        Ok(())
+    }
+}
+
+fn write_frame<W: Write>(writer: &mut W, record: &WalRecord) -> Result<u64> {
+    let payload = record.encode();
+    let len = u32::try_from(payload.len()).expect("payload below MAX_PAYLOAD");
+    writer.write_all(&len.to_le_bytes())?;
+    writer.write_all(&Crc32::checksum(&payload).to_le_bytes())?;
+    writer.write_all(&payload)?;
+    Ok(8 + u64::from(len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_wal(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qstore_wal_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Ingest {
+                id: 0,
+                vector: vec![1.5, -2.25, f64::MIN_POSITIVE],
+            },
+            WalRecord::SessionSnapshot {
+                session: 7,
+                engine: "qcluster".into(),
+                feeds: 3,
+                live: true,
+            },
+            WalRecord::Checkpoint { durable_vectors: 1 },
+            WalRecord::SessionSnapshot {
+                session: 7,
+                engine: "qcluster".into(),
+                feeds: 4,
+                live: false,
+            },
+            WalRecord::Ingest {
+                id: 1,
+                vector: vec![0.0, -0.0, 1e300],
+            },
+        ]
+    }
+
+    #[test]
+    fn append_replay_round_trips() {
+        let path = tmp_wal("roundtrip");
+        let records = sample_records();
+        let mut w = WalWriter::open(&path, 0, true).unwrap();
+        for r in &records {
+            w.append(r).unwrap();
+        }
+        assert_eq!(w.appends(), 5);
+        assert!(w.fsyncs() >= 5);
+        drop(w);
+        let replayed = replay(&path).unwrap();
+        assert!(!replayed.truncated);
+        assert_eq!(replayed.records, records);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn torn_tail_recovers_committed_prefix() {
+        let path = tmp_wal("torn");
+        let records = sample_records();
+        let mut w = WalWriter::open(&path, 0, false).unwrap();
+        for r in &records {
+            w.append(r).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        let full = std::fs::read(&path).unwrap();
+        // Cut mid-way through the final frame.
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        let replayed = replay(&path).unwrap();
+        assert!(replayed.truncated);
+        assert_eq!(replayed.records, records[..4].to_vec());
+        // Reopening at the valid prefix truncates the tear and appends cleanly.
+        let mut w = WalWriter::open(&path, replayed.valid_len, false).unwrap();
+        w.append(&records[4]).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let again = replay(&path).unwrap();
+        assert!(!again.truncated);
+        assert_eq!(again.records, records);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn corrupt_byte_in_tail_frame_is_discarded() {
+        let path = tmp_wal("flip");
+        let mut w = WalWriter::open(&path, 0, false).unwrap();
+        let records = sample_records();
+        for r in &records {
+            w.append(r).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let replayed = replay(&path).unwrap();
+        assert!(replayed.truncated);
+        assert_eq!(replayed.records, records[..4].to_vec());
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn missing_wal_replays_empty() {
+        let path = tmp_wal("missing").with_file_name("never-written.log");
+        let replayed = replay(&path).unwrap();
+        assert!(replayed.records.is_empty());
+        assert_eq!(replayed.valid_len, 0);
+        assert!(!replayed.truncated);
+    }
+
+    #[test]
+    fn rewrite_folds_to_exactly_the_given_records() {
+        let path = tmp_wal("rewrite");
+        let mut w = WalWriter::open(&path, 0, false).unwrap();
+        for r in &sample_records() {
+            w.append(r).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        let keep = vec![WalRecord::Checkpoint { durable_vectors: 2 }];
+        let mut w = WalWriter::rewrite(&path, &keep, false).unwrap();
+        w.append(&WalRecord::Ingest {
+            id: 2,
+            vector: vec![9.0],
+        })
+        .unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let replayed = replay(&path).unwrap();
+        assert_eq!(replayed.records.len(), 2);
+        assert_eq!(replayed.records[0], keep[0]);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn ingested_vectors_replay_bit_exactly() {
+        let path = tmp_wal("bits");
+        let vector = vec![0.1 + 0.2, -0.0, f64::MAX, 1.0 / 3.0];
+        let mut w = WalWriter::open(&path, 0, false).unwrap();
+        w.append(&WalRecord::Ingest {
+            id: 0,
+            vector: vector.clone(),
+        })
+        .unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let replayed = replay(&path).unwrap();
+        let WalRecord::Ingest { vector: back, .. } = &replayed.records[0] else {
+            panic!("expected ingest");
+        };
+        for (a, b) in back.iter().zip(vector.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+}

@@ -13,11 +13,17 @@
 //! across its shards on a persistent worker pool and keeps per-session
 //! node caches, so the final stats show cache hits (the multipoint
 //! approach of the paper's Figure 7) and per-operation latencies.
+//!
+//! The service is **durable**: it opens a `qcluster-store` directory,
+//! each client live-ingests one extra image (`Request::Ingest` —
+//! WAL-append, immediately queryable), and the run ends with a
+//! `Request::Flush` folding the WAL into a sealed segment, followed by
+//! a restart proving every ingest survived.
 
 use std::sync::Arc;
 use std::thread;
 
-use qcluster::service::{dispatch, Request, Response, Service, ServiceConfig};
+use qcluster::service::{dispatch, Request, Response, Service, ServiceConfig, StoreConfig};
 
 const CLIENTS: usize = 8;
 const ROUNDS: usize = 3;
@@ -57,9 +63,20 @@ fn client(service: &Service, blob: usize, per_blob: usize) -> (u64, usize) {
         panic!("session create failed");
     };
 
-    // Initial round: query by an example vector near the blob's centre.
+    // Live-ingest one new image into this client's blob: WAL-append on
+    // the shared store, immediately queryable under the returned id.
     let cx = (blob % 4) as f64 * 10.0;
     let cy = (blob / 4) as f64 * 10.0;
+    let Response::Ingested { id: ingested, .. } = call(
+        service,
+        &Request::Ingest {
+            vector: vec![cx + 0.05, cy + 0.05],
+        },
+    ) else {
+        panic!("ingest failed");
+    };
+
+    // Initial round: query by an example vector near the blob's centre.
     let mut response = call(
         service,
         &Request::Query {
@@ -70,20 +87,18 @@ fn client(service: &Service, blob: usize, per_blob: usize) -> (u64, usize) {
     );
 
     let blob_range = blob * per_blob..(blob + 1) * per_blob;
+    let in_this_blob = |id: usize| blob_range.contains(&id) || id == ingested;
     let mut in_blob = 0usize;
     for _ in 0..ROUNDS {
         let Response::Neighbors { neighbors, .. } = response else {
             panic!("query failed");
         };
-        in_blob = neighbors
-            .iter()
-            .filter(|n| blob_range.contains(&n.id))
-            .count();
+        in_blob = neighbors.iter().filter(|n| in_this_blob(n.id)).count();
         // Mark the in-blob results relevant and ask for the refined round.
         let relevant_ids: Vec<usize> = neighbors
             .iter()
             .map(|n| n.id)
-            .filter(|id| blob_range.contains(id))
+            .filter(|&id| in_this_blob(id))
             .collect();
         let Response::FeedAccepted { .. } = call(
             service,
@@ -114,19 +129,23 @@ fn client(service: &Service, blob: usize, per_blob: usize) -> (u64, usize) {
 fn main() {
     let per_blob = 64;
     let points = make_corpus(per_blob);
-    let service = Arc::new(Service::new(
-        &points,
-        ServiceConfig {
-            num_shards: 4,
-            num_workers: 4,
-            ..ServiceConfig::default()
-        },
-    ));
+    let store_dir = std::env::temp_dir().join(format!("qcluster_demo_{}", std::process::id()));
+    std::fs::remove_dir_all(&store_dir).ok();
+    let config = ServiceConfig {
+        num_shards: 4,
+        num_workers: 4,
+        ..ServiceConfig::default()
+    };
+    let service = Arc::new(
+        Service::open_durable(&store_dir, &points, config.clone(), StoreConfig::default())
+            .expect("open durable service"),
+    );
     println!(
-        "service: {} images, {} shards, {} workers",
+        "service: {} images, {} shards, {} workers, store at {}",
         points.len(),
         service.config().num_shards,
-        service.config().num_workers
+        service.config().num_workers,
+        store_dir.display()
     );
 
     let handles: Vec<_> = (0..CLIENTS)
@@ -167,4 +186,35 @@ fn main() {
         "  sessions: {} created, {} closed, {} active, {} evicted",
         stats.sessions_created, stats.sessions_closed, stats.active_sessions, stats.evictions
     );
+    println!(
+        "  storage: {} ingests, {} WAL appends, {} fsyncs, {} WAL-only vectors",
+        stats.ingests,
+        stats.storage.wal_appends,
+        stats.storage.wal_fsyncs,
+        stats.storage.wal_vectors
+    );
+
+    // Seal the WAL into a segment, then restart to prove durability.
+    let Response::Flushed {
+        folded_vectors,
+        segments,
+        ..
+    } = call(&service, &Request::Flush)
+    else {
+        panic!("flush failed");
+    };
+    println!("\nflush: folded {folded_vectors} vectors, {segments} sealed segments");
+
+    let expected = service.total_vectors();
+    drop(service);
+    let reopened = Service::open_durable(&store_dir, &[], config, StoreConfig::default())
+        .expect("recover service");
+    assert_eq!(reopened.total_vectors(), expected);
+    println!(
+        "restart: recovered {} vectors ({} ingested live) and {} session(s)",
+        reopened.total_vectors(),
+        CLIENTS,
+        reopened.active_sessions()
+    );
+    std::fs::remove_dir_all(&store_dir).ok();
 }

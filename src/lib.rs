@@ -52,6 +52,7 @@
 //! | [`baselines`] | `qcluster-baselines` | QPM, MindReader, QEX, FALCON |
 //! | [`eval`] | `qcluster-eval` | oracle, sessions, P/R, experiments, persistence |
 //! | [`service`] | `qcluster-service` | multi-session server: shards, worker pool, protocol, metrics |
+//! | [`store`] | `qcluster-store` | durable segments + WAL, crash recovery, compaction |
 
 pub use qcluster_baselines as baselines;
 pub use qcluster_core as core;
@@ -61,3 +62,4 @@ pub use qcluster_index as index;
 pub use qcluster_linalg as linalg;
 pub use qcluster_service as service;
 pub use qcluster_stats as stats;
+pub use qcluster_store as store;

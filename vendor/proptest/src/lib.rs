@@ -35,8 +35,15 @@ impl ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
+        // Mirror real proptest: `PROPTEST_CASES` overrides the per-test
+        // case count (CI raises it for the storage-recovery job).
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(64);
         ProptestConfig {
-            cases: 64,
+            cases,
             max_global_rejects: 65536,
         }
     }

@@ -64,6 +64,41 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     Ok(T::deserialize(&value)?)
 }
 
+/// Serializes a value as compact JSON into an [`std::io::Write`] sink,
+/// emitting the text in bounded chunks instead of handing the caller one
+/// giant `String` to write.
+///
+/// # Errors
+///
+/// Non-finite floats, or sink I/O failures.
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let json = to_string(value)?;
+    for chunk in json.as_bytes().chunks(64 * 1024) {
+        writer
+            .write_all(chunk)
+            .map_err(|e| Error::new(format!("write failure: {e}")))?;
+    }
+    Ok(())
+}
+
+/// Reads a complete JSON document from an [`std::io::Read`] source and
+/// deserializes it.
+///
+/// # Errors
+///
+/// Source I/O failures, malformed JSON, or a value shape that does not
+/// match `T`.
+pub fn from_reader<R: std::io::Read, T: Deserialize>(mut reader: R) -> Result<T, Error> {
+    let mut text = String::new();
+    reader
+        .read_to_string(&mut text)
+        .map_err(|e| Error::new(format!("read failure: {e}")))?;
+    from_str(&text)
+}
+
 // ---- emission ----
 
 fn emit(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) -> Result<(), Error> {
