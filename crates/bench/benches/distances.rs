@@ -5,6 +5,8 @@
 //!
 //! - the disjunctive aggregate (Eq. 5) under the diagonal and full-inverse
 //!   schemes at several cluster counts `g`,
+//! - the same aggregate through `distance_batch` over 256-point blocks,
+//!   reported per point — the blocked-kernel win over scalar dispatch,
 //! - MARS's weighted Euclidean (the QPM query),
 //! - FALCON's aggregate as the relevant-set size grows — the structural
 //!   cost the paper criticizes ("all relevant points are query points").
@@ -61,6 +63,52 @@ fn bench_disjunctive(c: &mut Criterion) {
     group.finish();
 }
 
+/// Scalar per-point dispatch vs one `distance_batch` call per 256-point
+/// block, over the same 1024-point corpus (reported per iteration of the
+/// whole corpus; divide by 1024 for per-point cost).
+fn bench_disjunctive_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disjunctive_scalar_vs_batch");
+    let mut rng = StdRng::seed_from_u64(4);
+    const N: usize = 1024;
+    const BLOCK: usize = 256;
+    let corpus: Vec<f64> = (0..N * DIM).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    for &g in &[1usize, 4, 8] {
+        let clusters = make_clusters(g, &mut rng);
+        for (scheme, label) in [
+            (CovarianceScheme::default_diagonal(), "diagonal"),
+            (CovarianceScheme::default_full(), "inverse"),
+        ] {
+            let q = DisjunctiveQuery::new(&clusters, scheme).expect("compiles");
+            group.bench_with_input(
+                BenchmarkId::new(format!("{label}_scalar"), g),
+                &q,
+                |b, q| {
+                    b.iter(|| {
+                        let mut acc = 0.0;
+                        for p in 0..N {
+                            acc += q.distance(&corpus[p * DIM..(p + 1) * DIM]);
+                        }
+                        black_box(acc)
+                    })
+                },
+            );
+            group.bench_with_input(BenchmarkId::new(format!("{label}_batch"), g), &q, |b, q| {
+                let mut out = vec![0.0f64; BLOCK];
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for block in corpus.chunks(BLOCK * DIM) {
+                        let count = block.len() / DIM;
+                        q.distance_batch(block, DIM, &mut out[..count]);
+                        acc += out[..count].iter().sum::<f64>();
+                    }
+                    black_box(acc)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_weighted_euclidean(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let q = WeightedEuclideanQuery::new(
@@ -90,6 +138,7 @@ fn bench_falcon_scaling(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_disjunctive,
+    bench_disjunctive_batch,
     bench_weighted_euclidean,
     bench_falcon_scaling
 );

@@ -1,0 +1,167 @@
+//! Scalar-vs-batch distance kernel comparison, machine-readable.
+//!
+//! For each cluster count `g` and dimensionality `d`, times a full
+//! corpus evaluation of the compiled disjunctive query two ways:
+//!
+//! - **scalar**: one virtual `distance` call per point — how the scan
+//!   path invoked the kernel before blocked evaluation;
+//! - **batch**: one virtual `distance_batch` call per 256-point block —
+//!   the expanded-form kernels over eight-point transposed tiles.
+//!
+//! Results are written to `BENCH_kernels.json` in the working directory
+//! (per-point nanoseconds and the batch/scalar speedup per
+//! configuration) and summarized on stdout. `-- --test` runs a smoke
+//! pass on a tiny corpus without writing the JSON.
+
+use qcluster_core::{Cluster, CovarianceScheme, DisjunctiveQuery, FeedbackPoint};
+use qcluster_index::{QueryDistance, SCAN_BLOCK_POINTS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+const FULL_N: usize = 50_000;
+const SMOKE_N: usize = 512;
+const GS: [usize; 3] = [1, 4, 8];
+const DS: [usize; 3] = [8, 24, 64];
+
+fn make_corpus(n: usize, d: usize, rng: &mut StdRng) -> Vec<f64> {
+    (0..n * d).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+fn make_clusters(g: usize, d: usize, rng: &mut StdRng) -> Vec<Cluster> {
+    (0..g)
+        .map(|i| {
+            let center: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            Cluster::from_points(
+                (0..10)
+                    .map(|k| {
+                        let v: Vec<f64> = center
+                            .iter()
+                            .map(|&c| c + rng.gen_range(-0.2..0.2))
+                            .collect();
+                        FeedbackPoint::new(i * 100 + k, v, 1.0)
+                    })
+                    .collect(),
+            )
+            .expect("non-empty cluster")
+        })
+        .collect()
+}
+
+/// Best-of-`reps` wall time for one full corpus evaluation, per point.
+fn time_per_point(reps: usize, n: usize, mut pass: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        pass();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best * 1e9 / n as f64
+}
+
+struct Row {
+    g: usize,
+    d: usize,
+    scalar_ns: f64,
+    batch_ns: f64,
+}
+
+fn run(n: usize, reps: usize) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut rows = Vec::new();
+    for &d in &DS {
+        let corpus = make_corpus(n, d, &mut rng);
+        for &g in &GS {
+            let clusters = make_clusters(g, d, &mut rng);
+            let query = DisjunctiveQuery::new(&clusters, CovarianceScheme::default_diagonal())
+                .expect("compiles");
+            // Both arms go through the same trait object, so the only
+            // difference is per-point vs per-block dispatch + kernels.
+            let dq: &dyn QueryDistance = &query;
+            let mut out = vec![0.0f64; SCAN_BLOCK_POINTS];
+
+            let scalar_ns = time_per_point(reps, n, || {
+                let mut acc = 0.0;
+                for p in 0..n {
+                    acc += dq.distance(&corpus[p * d..(p + 1) * d]);
+                }
+                black_box(acc);
+            });
+            let batch_ns = time_per_point(reps, n, || {
+                let mut acc = 0.0;
+                let mut start = 0;
+                while start < n {
+                    let count = SCAN_BLOCK_POINTS.min(n - start);
+                    dq.distance_batch(
+                        &corpus[start * d..(start + count) * d],
+                        d,
+                        &mut out[..count],
+                    );
+                    acc += out[..count].iter().sum::<f64>();
+                    start += count;
+                }
+                black_box(acc);
+            });
+            println!(
+                "g={g:2} d={d:3}  scalar {scalar_ns:8.2} ns/pt  batch {batch_ns:8.2} ns/pt  speedup {:5.2}x",
+                scalar_ns / batch_ns
+            );
+            rows.push(Row {
+                g,
+                d,
+                scalar_ns,
+                batch_ns,
+            });
+        }
+    }
+    rows
+}
+
+fn write_json(path: &str, n: usize, rows: &[Row]) {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"kernels\",\n");
+    s.push_str("  \"scheme\": \"diagonal\",\n");
+    s.push_str(&format!("  \"corpus_points\": {n},\n"));
+    s.push_str(&format!("  \"block_points\": {SCAN_BLOCK_POINTS},\n"));
+    s.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"g\": {}, \"d\": {}, \"scalar_ns_per_point\": {:.3}, \
+             \"batch_ns_per_point\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            r.g,
+            r.d,
+            r.scalar_ns,
+            r.batch_ns,
+            r.scalar_ns / r.batch_ns,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s).expect("write BENCH_kernels.json");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    if smoke {
+        // Smoke mode (CI): tiny corpus, one rep, correctness of the
+        // harness only — no timing claims, no JSON.
+        let rows = run(SMOKE_N, 1);
+        assert_eq!(rows.len(), GS.len() * DS.len());
+        assert!(rows.iter().all(|r| r.scalar_ns > 0.0 && r.batch_ns > 0.0));
+        println!("kernels bench smoke: ok ({} configs)", rows.len());
+        return;
+    }
+    let rows = run(FULL_N, 5);
+    write_json("BENCH_kernels.json", FULL_N, &rows);
+    let target = rows
+        .iter()
+        .find(|r| r.g == 4 && r.d == 24)
+        .expect("g=4 d=24 present");
+    println!(
+        "\nheadline (g=4, d=24, n={FULL_N}): {:.2}x batch over scalar",
+        target.scalar_ns / target.batch_ns
+    );
+    println!("wrote BENCH_kernels.json");
+}

@@ -1,8 +1,10 @@
-//! Index benchmarks: hybrid-tree k-NN vs linear scan, and the effect of
-//! the cross-iteration node cache (the mechanism behind Figure 7).
+//! Index benchmarks: hybrid-tree k-NN vs linear scan, the effect of
+//! the cross-iteration node cache (the mechanism behind Figure 7), and
+//! the blocked partial-selection scan against the old scalar full-sort.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use qcluster_index::{EuclideanQuery, HybridTree, LinearScan, NodeCache};
+use qcluster_core::{Cluster, CovarianceScheme, DisjunctiveQuery, FeedbackPoint};
+use qcluster_index::{EuclideanQuery, HybridTree, LinearScan, NodeCache, QueryDistance};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -26,6 +28,54 @@ fn bench_tree_vs_scan(c: &mut Criterion) {
             b.iter(|| black_box(t.knn(&query, 100, None)))
         });
         group.bench_with_input(BenchmarkId::new("linear_scan", n), &scan, |b, s| {
+            b.iter(|| black_box(s.knn(&query, 100)))
+        });
+    }
+    group.finish();
+}
+
+/// The scan path before this change (per-point virtual `distance`, full
+/// `sort_unstable` of all n distances, truncate to k) vs the blocked
+/// `LinearScan::knn` (per-block `distance_batch` into a bounded top-k
+/// heap), both under a compiled 4-cluster disjunctive query.
+fn bench_blocked_scan_vs_full_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disjunctive_scan");
+    let mut rng = StdRng::seed_from_u64(13);
+    let clusters: Vec<Cluster> = (0..4)
+        .map(|i| {
+            let center: Vec<f64> = (0..DIM).map(|_| rng.gen_range(0.0..1.0)).collect();
+            Cluster::from_points(
+                (0..10)
+                    .map(|k| {
+                        let v: Vec<f64> = center
+                            .iter()
+                            .map(|&cc| cc + rng.gen_range(-0.1..0.1))
+                            .collect();
+                        FeedbackPoint::new(i * 100 + k, v, 1.0)
+                    })
+                    .collect(),
+            )
+            .expect("non-empty")
+        })
+        .collect();
+    let query =
+        DisjunctiveQuery::new(&clusters, CovarianceScheme::default_diagonal()).expect("compiles");
+    for &n in &[10_000usize, 30_000] {
+        let points = make_points(n, 17);
+        let scan = LinearScan::new(&points);
+        group.bench_with_input(BenchmarkId::new("scalar_full_sort", n), &scan, |b, _| {
+            b.iter(|| {
+                let mut dists: Vec<(f64, usize)> = points
+                    .iter()
+                    .enumerate()
+                    .map(|(id, p)| (query.distance(p), id))
+                    .collect();
+                dists.sort_unstable_by(|a, b| a.partial_cmp(b).expect("non-NaN"));
+                dists.truncate(100);
+                black_box(dists)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("blocked_top_k", n), &scan, |b, s| {
             b.iter(|| black_box(s.knn(&query, 100)))
         });
     }
@@ -60,6 +110,7 @@ fn bench_cache_effect(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_tree_vs_scan,
+    bench_blocked_scan_vs_full_sort,
     bench_bulk_load,
     bench_cache_effect
 );

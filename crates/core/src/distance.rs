@@ -31,6 +31,13 @@ use qcluster_index::{BoundingBox, QueryDistance};
 use std::cell::RefCell;
 
 /// One cluster representative compiled for fast distance evaluation.
+///
+/// The diagonal scheme is precompiled into **expanded form**:
+/// `d²(x) = Σ_j (w_j·x_j)·x_j − 2·Σ_j wc_j·x_j + c0` with
+/// `wc_j = w_j·c_j` and `c0 = Σ_j wc_j·c_j`, so evaluation never touches
+/// the center and blocks of points stream through two fused accumulator
+/// passes. The full scheme keeps the difference form (it needs the
+/// `M·(x−c)` product) and amortizes its scratch over whole blocks.
 #[derive(Debug, Clone)]
 struct Representative {
     mean: Vec<f64>,
@@ -38,23 +45,55 @@ struct Representative {
     mass: f64,
     /// Lower-bound scale for the dense case (`λ_min(S⁻¹)`).
     min_eig: f64,
+    /// Expanded-form linear coefficients `w ∘ mean` (diagonal scheme
+    /// only; empty for the full scheme).
+    wc: Vec<f64>,
+    /// Expanded-form constant `Σ wc_j·mean_j` (diagonal scheme only).
+    c0: f64,
 }
 
 impl Representative {
     fn compile(cluster: &Cluster, scheme: CovarianceScheme) -> Result<Self> {
         let inv = cluster.inverse_covariance(scheme)?;
         let min_eig = inv.min_eigenvalue();
+        let mean = cluster.mean().to_vec();
+        let (wc, c0) = match inv.diagonal_weights() {
+            Some(w) => {
+                let wc: Vec<f64> = w.iter().zip(&mean).map(|(&w, &c)| w * c).collect();
+                let c0 = wc.iter().zip(&mean).map(|(&wc, &c)| wc * c).sum();
+                (wc, c0)
+            }
+            None => (Vec::new(), 0.0),
+        };
         Ok(Representative {
-            mean: cluster.mean().to_vec(),
+            mean,
             inv,
             mass: cluster.mass(),
             min_eig,
+            wc,
+            c0,
         })
     }
 
     #[inline]
     fn quadratic(&self, x: &[f64], scratch: &mut [f64]) -> f64 {
-        self.inv.quadratic_form(x, &self.mean, scratch)
+        match self.inv.diagonal_weights() {
+            Some(w) => qcluster_linalg::vecops::expanded_weighted_sq(x, w, &self.wc, self.c0),
+            None => self.inv.quadratic_form(x, &self.mean, scratch),
+        }
+    }
+
+    /// [`Representative::quadratic`] over a contiguous row-major block,
+    /// bit-for-bit identical to the scalar path per point.
+    fn quadratic_batch(&self, block: &[f64], dim: usize, scratch: &mut [f64], out: &mut [f64]) {
+        match self.inv.diagonal_weights() {
+            Some(w) => qcluster_linalg::vecops::expanded_weighted_sq_batch(
+                block, dim, w, &self.wc, self.c0, out,
+            ),
+            None => self
+                .inv
+                .quadratic_form_batch(block, dim, &self.mean, scratch, out),
+        }
     }
 
     /// Lower bound of the quadratic form over a box.
@@ -118,9 +157,27 @@ impl QueryDistance for ClusterDistance {
         self.rep.quadratic(x, &mut self.scratch.borrow_mut())
     }
 
+    fn distance_batch(&self, block: &[f64], dim: usize, out: &mut [f64]) {
+        assert_eq!(dim, self.dim(), "query dimensionality mismatch");
+        assert_eq!(block.len(), out.len() * dim, "block/out length mismatch");
+        self.rep
+            .quadratic_batch(block, dim, &mut self.scratch.borrow_mut(), out);
+    }
+
     fn min_distance(&self, b: &BoundingBox) -> f64 {
         self.rep.lower_bound(b, &mut self.scratch.borrow_mut())
     }
+}
+
+/// Reusable evaluation buffers for [`DisjunctiveQuery`]: the
+/// column-major transpose tile for the diagonal scheme and the
+/// full-scheme difference vector. Held in a `RefCell` so a compiled
+/// query stays `&self`-evaluable without reallocating per call (or per
+/// block).
+#[derive(Debug, Clone)]
+struct Scratch {
+    tile: Vec<f64>,
+    diff: Vec<f64>,
 }
 
 /// The disjunctive multipoint query (paper Eq. 5).
@@ -128,7 +185,7 @@ impl QueryDistance for ClusterDistance {
 pub struct DisjunctiveQuery {
     reps: Vec<Representative>,
     total_mass: f64,
-    scratch: RefCell<Vec<f64>>,
+    scratch: RefCell<Scratch>,
 }
 
 impl DisjunctiveQuery {
@@ -152,7 +209,10 @@ impl DisjunctiveQuery {
         Ok(DisjunctiveQuery {
             reps,
             total_mass,
-            scratch: RefCell::new(vec![0.0; dim]),
+            scratch: RefCell::new(Scratch {
+                tile: Vec::new(),
+                diff: vec![0.0; dim],
+            }),
         })
     }
 
@@ -167,16 +227,20 @@ impl DisjunctiveQuery {
     }
 
     /// Evaluates Eq. 5 given the per-cluster quadratic distances.
+    ///
+    /// Per-cluster distances are clamped at 0 before aggregating: a tiny
+    /// negative artifact from a near-singular covariance behaves exactly
+    /// like coinciding with the representative. The clamp rides on IEEE
+    /// semantics — `d = 0` makes `m / d = +∞`, the sum stays `+∞`, and
+    /// `total_mass / ∞ = 0.0` exactly — so no branch or early return is
+    /// needed and the accumulation order is fixed regardless of which
+    /// cluster (if any) hits zero.
     #[inline]
     fn aggregate(&self, dists: impl Iterator<Item = (f64, f64)>) -> f64 {
         // dists yields (m_i, d_i).
         let mut inv_sum = 0.0;
         for (m, d) in dists {
-            if d <= 0.0 {
-                // x coincides with a representative: distance zero.
-                return 0.0;
-            }
-            inv_sum += m / d;
+            inv_sum += m / d.max(0.0);
         }
         self.total_mass / inv_sum
     }
@@ -189,20 +253,57 @@ impl QueryDistance for DisjunctiveQuery {
 
     fn distance(&self, x: &[f64]) -> f64 {
         let mut scratch = self.scratch.borrow_mut();
-        self.aggregate(
-            self.reps
-                .iter()
-                .map(|r| (r.mass, r.quadratic(x, &mut scratch))),
-        )
+        let diff = &mut scratch.diff;
+        self.aggregate(self.reps.iter().map(|r| (r.mass, r.quadratic(x, diff))))
+    }
+
+    fn distance_batch(&self, block: &[f64], dim: usize, out: &mut [f64]) {
+        use qcluster_linalg::vecops::{expanded_weighted_sq_tile, transpose_tile, TILE_LANES};
+        assert_eq!(dim, self.dim(), "query dimensionality mismatch");
+        assert_eq!(block.len(), out.len() * dim, "block/out length mismatch");
+        let mut scratch = self.scratch.borrow_mut();
+        let Scratch { tile, diff } = &mut *scratch;
+        if self.reps[0].inv.diagonal_weights().is_some() {
+            // Diagonal scheme: transpose eight points at a time into an
+            // L1-resident column-major tile and evaluate every
+            // representative against it while it is hot. The Σ mᵢ/dᵢ
+            // accumulators live in registers; per lane, the adds happen
+            // in the same representative order as the scalar path, so the
+            // result is bit-for-bit identical to calling `distance`.
+            tile.resize(dim * TILE_LANES, 0.0);
+            let count = out.len();
+            let mut p0 = 0;
+            while p0 < count {
+                let pn = TILE_LANES.min(count - p0);
+                transpose_tile(&block[p0 * dim..(p0 + pn) * dim], dim, tile);
+                let mut acc = [0.0f64; TILE_LANES];
+                for r in &self.reps {
+                    let w = r.inv.diagonal_weights().expect("uniform scheme");
+                    let d8 = expanded_weighted_sq_tile(tile, w, &r.wc, r.c0);
+                    for l in 0..TILE_LANES {
+                        acc[l] += r.mass / d8[l].max(0.0);
+                    }
+                }
+                for l in 0..pn {
+                    out[p0 + l] = self.total_mass / acc[l];
+                }
+                p0 += TILE_LANES;
+            }
+        } else {
+            // Full scheme: the dense row pass dominates, so evaluate the
+            // aggregate point by point exactly as `distance` does — the
+            // block only amortizes the dispatch and the arena borrow.
+            for (p, o) in out.iter_mut().enumerate() {
+                let x = &block[p * dim..(p + 1) * dim];
+                *o = self.aggregate(self.reps.iter().map(|r| (r.mass, r.quadratic(x, diff))));
+            }
+        }
     }
 
     fn min_distance(&self, b: &BoundingBox) -> f64 {
         let mut scratch = self.scratch.borrow_mut();
-        self.aggregate(
-            self.reps
-                .iter()
-                .map(|r| (r.mass, r.lower_bound(b, &mut scratch))),
-        )
+        let diff = &mut scratch.diff;
+        self.aggregate(self.reps.iter().map(|r| (r.mass, r.lower_bound(b, diff))))
     }
 }
 
@@ -337,5 +438,98 @@ mod tests {
         let q = two_cluster_query(CovarianceScheme::default_diagonal());
         let b = BoundingBox::new(vec![-1.0, -1.0], vec![1.0, 1.0]);
         assert_eq!(q.min_distance(&b), 0.0);
+    }
+
+    #[test]
+    fn aggregate_clamps_negative_artifacts_to_zero() {
+        // A tiny negative per-cluster distance (numerical artifact of a
+        // near-singular covariance) must aggregate exactly like a zero
+        // distance, not poison the harmonic mean with a negative term.
+        let q = two_cluster_query(CovarianceScheme::default_diagonal());
+        assert_eq!(q.aggregate([(1.0, -1e-14), (1.0, 3.0)].into_iter()), 0.0);
+        assert_eq!(q.aggregate([(1.0, 0.0), (1.0, 3.0)].into_iter()), 0.0);
+        // All-positive distances are unaffected by the clamp.
+        let clean = q.aggregate([(1.0, 2.0), (1.0, 4.0)].into_iter());
+        assert!((clean - q.total_mass / (1.0 / 2.0 + 1.0 / 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn near_singular_cluster_yields_finite_nonnegative_distances() {
+        // Points nearly on a line: the sample covariance is close to
+        // singular, so the full scheme leans on regularization and the
+        // quadratic form can wobble near zero. Distances must stay finite
+        // and non-negative everywhere.
+        let a = Cluster::from_points(vec![
+            pt(0, &[0.0, 0.0], 1.0),
+            pt(1, &[1.0, 1.0 + 1e-9], 1.0),
+            pt(2, &[2.0, 2.0 - 1e-9], 1.0),
+            pt(3, &[3.0, 3.0], 1.0),
+        ])
+        .unwrap();
+        let b = blob(10.0, 10.0, 4);
+        for scheme in [
+            CovarianceScheme::default_diagonal(),
+            CovarianceScheme::default_full(),
+        ] {
+            let q = DisjunctiveQuery::new(&[a.clone(), b.clone()], scheme).unwrap();
+            for &x in &[
+                [0.0, 0.0],
+                [1.5, 1.5],
+                [1.5, 1.5 + 1e-10],
+                [10.0, 10.0],
+                [5.0, 4.0],
+            ] {
+                let d = q.distance(&x);
+                assert!(d.is_finite(), "x={x:?} d={d}");
+                assert!(d >= 0.0, "x={x:?} d={d}");
+            }
+        }
+    }
+
+    fn grid_block(dim: usize, n: usize) -> Vec<f64> {
+        // Deterministic pseudo-random block via an LCG.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut block = Vec::with_capacity(n * dim);
+        for _ in 0..n * dim {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            block.push(((state >> 11) as f64 / (1u64 << 53) as f64) * 12.0 - 1.0);
+        }
+        block
+    }
+
+    #[test]
+    fn batch_matches_scalar_bit_for_bit() {
+        for scheme in [
+            CovarianceScheme::default_diagonal(),
+            CovarianceScheme::default_full(),
+        ] {
+            let q = two_cluster_query(scheme);
+            let cd = ClusterDistance::new(&blob(0.0, 0.0, 0), scheme).unwrap();
+            for n in [1usize, 3, 7, 13] {
+                let block = grid_block(2, n);
+                let mut got = vec![0.0; n];
+                q.distance_batch(&block, 2, &mut got);
+                for p in 0..n {
+                    let want = q.distance(&block[p * 2..(p + 1) * 2]);
+                    assert_eq!(got[p], want, "disjunctive {scheme:?} n={n} p={p}");
+                }
+                cd.distance_batch(&block, 2, &mut got);
+                for p in 0..n {
+                    let want = cd.distance(&block[p * 2..(p + 1) * 2]);
+                    assert_eq!(got[p], want, "cluster {scheme:?} n={n} p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_distance_zero_at_representatives() {
+        let q = two_cluster_query(CovarianceScheme::default_diagonal());
+        let block = [0.0, 0.0, 5.0, 5.0, 10.0, 10.0];
+        let mut out = [0.0; 3];
+        q.distance_batch(&block, 2, &mut out);
+        assert_eq!(out[0], 0.0);
+        assert!(out[1] > 0.0);
+        assert_eq!(out[2], 0.0);
     }
 }

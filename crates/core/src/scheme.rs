@@ -113,6 +113,36 @@ impl InverseCovariance {
         }
     }
 
+    /// Evaluates the quadratic form for every point of a contiguous
+    /// row-major block, reusing `scratch` (length `dim`) across all of
+    /// them — one arena borrow per block instead of one per point.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    pub fn quadratic_form_batch(
+        &self,
+        block: &[f64],
+        dim: usize,
+        c: &[f64],
+        scratch: &mut [f64],
+        out: &mut [f64],
+    ) {
+        match self {
+            InverseCovariance::Diagonal(w) => {
+                qcluster_linalg::vecops::weighted_sq_euclidean_batch(block, dim, c, w, out)
+            }
+            InverseCovariance::Full(m) => qcluster_linalg::vecops::quadratic_form_batch(
+                block,
+                dim,
+                c,
+                m.as_slice(),
+                scratch,
+                out,
+            ),
+        }
+    }
+
     /// A scale factor `s` such that `quadratic_form(x, c) ≥ s · ‖x − c‖²`
     /// for all `x` — the smallest eigenvalue for the dense case, the
     /// smallest weight for the diagonal case. Used to lower-bound the
@@ -125,9 +155,12 @@ impl InverseCovariance {
             InverseCovariance::Full(m) => {
                 match qcluster_linalg::SymmetricEigen::decompose(m) {
                     Ok(e) => e.eigenvalues.last().copied().unwrap_or(0.0).max(0.0),
-                    // A non-symmetric numerical artifact: fall back to the
-                    // always-valid (if loose) bound of zero.
-                    Err(_) => 0.0,
+                    // Eigendecomposition can fail on a numerically
+                    // asymmetric artifact or non-convergence. Zero would
+                    // still be valid but collapses the box lower bound and
+                    // disables all tree pruning; the Gershgorin circle
+                    // bound stays cheap and is usually far tighter.
+                    Err(_) => gershgorin_lower_bound(m).max(0.0),
                 }
             }
         }
@@ -139,6 +172,33 @@ impl InverseCovariance {
             InverseCovariance::Diagonal(w) => Some(w),
             InverseCovariance::Full(_) => None,
         }
+    }
+}
+
+/// Gershgorin-circle lower bound on the smallest eigenvalue of the
+/// symmetric part `S = (M + Mᵀ)/2`:
+/// `λ_min(S) ≥ min_i ( s_ii − Σ_{j≠i} |s_ij| )`.
+///
+/// Because `xᵀMx = xᵀSx` for every `x`, this is a valid scale factor for
+/// the quadratic-form bound even when `M` itself is (numerically) not
+/// quite symmetric — exactly the case where eigendecomposition refuses
+/// to run.
+fn gershgorin_lower_bound(m: &Matrix) -> f64 {
+    let p = m.rows();
+    let mut bound = f64::INFINITY;
+    for i in 0..p {
+        let mut radius = 0.0;
+        for j in 0..p {
+            if j != i {
+                radius += (m.get(i, j) + m.get(j, i)).abs() / 2.0;
+            }
+        }
+        bound = bound.min(m.get(i, i) - radius);
+    }
+    if bound.is_finite() {
+        bound
+    } else {
+        0.0
     }
 }
 
@@ -198,6 +258,63 @@ mod tests {
                 let q = inv.quadratic_form(&x, &[0.0, 0.0], &mut scratch);
                 let n2 = x[0] * x[0] + x[1] * x[1];
                 assert!(q >= lam * n2 - 1e-9, "{scheme:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_full_matrix_falls_back_to_gershgorin() {
+        // Asymmetry beyond the eigen solver's tolerance forces the
+        // fallback path; the regression this guards: that path used to
+        // return 0.0, disabling tree pruning entirely.
+        let m = Matrix::from_rows(&[&[4.0, 0.5], &[0.2, 3.0]]);
+        assert!(qcluster_linalg::SymmetricEigen::decompose(&m).is_err());
+        let inv = InverseCovariance::Full(m);
+        let lam = inv.min_eigenvalue();
+        // Symmetrized off-diagonal is 0.35; rows give 3.65 and 2.65.
+        assert!((lam - 2.65).abs() < 1e-12, "lam={lam}");
+
+        // The bound must stay valid: q(x) ≥ λ·‖x − c‖² on a sample grid.
+        let mut scratch = [0.0; 2];
+        for i in -5..=5 {
+            for j in -5..=5 {
+                let x = [0.4 * i as f64, 0.4 * j as f64];
+                let q = inv.quadratic_form(&x, &[0.0, 0.0], &mut scratch);
+                let n2 = x[0] * x[0] + x[1] * x[1];
+                assert!(q >= lam * n2 - 1e-9, "x={x:?} q={q} bound={}", lam * n2);
+            }
+        }
+    }
+
+    #[test]
+    fn gershgorin_fallback_clamps_at_zero() {
+        // Dominant off-diagonals drive the circle bound negative; the
+        // clamp keeps min_eigenvalue a usable (if loose) scale of 0.
+        let m = Matrix::from_rows(&[&[1.0, 10.0], &[9.0, 1.0]]);
+        assert!(qcluster_linalg::SymmetricEigen::decompose(&m).is_err());
+        assert_eq!(InverseCovariance::Full(m).min_eigenvalue(), 0.0);
+    }
+
+    #[test]
+    fn quadratic_form_batch_matches_scalar_for_both_variants() {
+        let cov = Matrix::from_rows(&[&[2.0, 0.5], &[0.5, 1.0]]);
+        let block = [0.3, -0.7, 1.5, 0.2, -0.9, -0.1, 0.0, 0.0, 2.0, 2.0];
+        let c = [0.1, -0.3];
+        for scheme in [
+            CovarianceScheme::Diagonal { lambda: 0.01 },
+            CovarianceScheme::FullInverse { lambda: 0.01 },
+        ] {
+            let inv = scheme.invert(&cov).unwrap();
+            let mut scratch = [0.0; 2];
+            let mut out = [0.0; 5];
+            inv.quadratic_form_batch(&block, 2, &c, &mut scratch, &mut out);
+            for p in 0..5 {
+                let x = &block[p * 2..(p + 1) * 2];
+                assert_eq!(
+                    out[p],
+                    inv.quadratic_form(x, &c, &mut scratch),
+                    "{scheme:?}"
+                );
             }
         }
     }

@@ -27,6 +27,26 @@ pub trait QueryDistance {
     /// The distance from the query to `x` (smaller = more similar).
     fn distance(&self, x: &[f64]) -> f64;
 
+    /// Evaluates the distance for every point of a contiguous row-major
+    /// block: `out[p] = distance(block[p*dim..(p+1)*dim])`.
+    ///
+    /// The default implementation loops over [`QueryDistance::distance`];
+    /// implementations with a cheaper blocked form (fused passes, shared
+    /// scratch, unrolled accumulators) override it. Overrides must return
+    /// results identical to the scalar path so blocked and per-point scans
+    /// rank candidates the same way.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dim != self.dim()` or `block.len() != out.len() * dim`.
+    fn distance_batch(&self, block: &[f64], dim: usize, out: &mut [f64]) {
+        assert_eq!(dim, self.dim(), "query dimensionality mismatch");
+        assert_eq!(block.len(), out.len() * dim, "block/out length mismatch");
+        for (p, o) in out.iter_mut().enumerate() {
+            *o = self.distance(&block[p * dim..(p + 1) * dim]);
+        }
+    }
+
     /// A lower bound on `distance(x)` over all `x` in `b`.
     fn min_distance(&self, b: &BoundingBox) -> f64;
 }
@@ -37,6 +57,9 @@ impl<T: QueryDistance + ?Sized> QueryDistance for &T {
     }
     fn distance(&self, x: &[f64]) -> f64 {
         (**self).distance(x)
+    }
+    fn distance_batch(&self, block: &[f64], dim: usize, out: &mut [f64]) {
+        (**self).distance_batch(block, dim, out)
     }
     fn min_distance(&self, b: &BoundingBox) -> f64 {
         (**self).min_distance(b)
@@ -49,6 +72,9 @@ impl<T: QueryDistance + ?Sized> QueryDistance for Box<T> {
     }
     fn distance(&self, x: &[f64]) -> f64 {
         (**self).distance(x)
+    }
+    fn distance_batch(&self, block: &[f64], dim: usize, out: &mut [f64]) {
+        (**self).distance_batch(block, dim, out)
     }
     fn min_distance(&self, b: &BoundingBox) -> f64 {
         (**self).min_distance(b)
@@ -81,6 +107,11 @@ impl QueryDistance for EuclideanQuery {
 
     fn distance(&self, x: &[f64]) -> f64 {
         qcluster_linalg::vecops::sq_euclidean(x, &self.center)
+    }
+
+    fn distance_batch(&self, block: &[f64], dim: usize, out: &mut [f64]) {
+        assert_eq!(dim, self.dim(), "query dimensionality mismatch");
+        qcluster_linalg::vecops::sq_euclidean_batch(block, dim, &self.center, out);
     }
 
     fn min_distance(&self, b: &BoundingBox) -> f64 {
@@ -139,6 +170,17 @@ impl QueryDistance for WeightedEuclideanQuery {
 
     fn distance(&self, x: &[f64]) -> f64 {
         qcluster_linalg::vecops::weighted_sq_euclidean(x, &self.center, &self.weights)
+    }
+
+    fn distance_batch(&self, block: &[f64], dim: usize, out: &mut [f64]) {
+        assert_eq!(dim, self.dim(), "query dimensionality mismatch");
+        qcluster_linalg::vecops::weighted_sq_euclidean_batch(
+            block,
+            dim,
+            &self.center,
+            &self.weights,
+            out,
+        );
     }
 
     fn min_distance(&self, b: &BoundingBox) -> f64 {

@@ -62,6 +62,81 @@ impl PartialOrd for Candidate {
     }
 }
 
+/// A bounded top-k accumulator: keeps the `k` smallest `(distance, id)`
+/// pairs seen so far in a max-heap, so selecting the top-k out of `n`
+/// offers costs `O(n log k)` instead of a full `O(n log n)` sort.
+///
+/// Tie-breaking is identical to sorting all candidates ascending by
+/// `(distance, id)` and truncating to `k` — the order every k-NN entry
+/// point in this crate guarantees.
+#[derive(Debug)]
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<Candidate>,
+}
+
+impl TopK {
+    /// An empty accumulator for the `k` best candidates.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        TopK {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Offers one candidate, keeping it only if it beats the current
+    /// k-th best under `(distance, id)` ordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a NaN distance.
+    #[inline]
+    pub fn offer(&mut self, id: usize, distance: f64) {
+        let candidate = Candidate { distance, id };
+        if self.heap.len() < self.k {
+            self.heap.push(candidate);
+        } else if candidate < *self.heap.peek().expect("non-empty full heap") {
+            self.heap.pop();
+            self.heap.push(candidate);
+        }
+    }
+
+    /// Candidates currently held.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no candidate has been offered yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The current k-th best distance once `k` candidates are held —
+    /// the prune threshold for best-first search. `None` while underfull
+    /// (nothing can be pruned yet).
+    pub fn threshold(&self) -> Option<f64> {
+        (self.heap.len() == self.k).then(|| self.heap.peek().expect("full heap").distance)
+    }
+
+    /// Consumes the accumulator into neighbors sorted ascending by
+    /// `(distance, id)`.
+    pub fn into_sorted(self) -> Vec<Neighbor> {
+        self.heap
+            .into_sorted_vec()
+            .into_iter()
+            .map(|c| Neighbor {
+                id: c.id,
+                distance: c.distance,
+            })
+            .collect()
+    }
+}
+
 /// Min-heap entry (via reversed ordering) for the node frontier.
 #[derive(Debug, PartialEq)]
 struct Frontier {
@@ -179,7 +254,9 @@ impl HybridTree {
         assert!(k > 0, "k must be positive");
         assert_eq!(query.dim(), self.dim(), "query dimensionality mismatch");
         let mut stats = SearchStats::default();
-        let mut results: BinaryHeap<Candidate> = BinaryHeap::with_capacity(k + 1);
+        let mut results = TopK::new(k);
+        // Per-leaf batch output, grown to the largest leaf encountered.
+        let mut dists: Vec<f64> = Vec::new();
         let mut frontier = BinaryHeap::new();
         frontier.push(Frontier {
             min_dist: query.min_distance(self.nodes[self.root].bbox()),
@@ -188,8 +265,7 @@ impl HybridTree {
 
         while let Some(Frontier { min_dist, node }) = frontier.pop() {
             // Prune: nothing in this subtree can beat the current k-th best.
-            if results.len() == k {
-                let worst = results.peek().expect("non-empty results").distance;
+            if let Some(worst) = results.threshold() {
                 if min_dist > worst {
                     break;
                 }
@@ -202,27 +278,21 @@ impl HybridTree {
 
             match &self.nodes[node] {
                 Node::Leaf { start, end, .. } => {
-                    for pos in *start..*end {
-                        let d = query.distance(self.point_at(pos));
-                        stats.distance_evaluations += 1;
-                        if results.len() < k {
-                            results.push(Candidate {
-                                distance: d,
-                                id: self.order[pos],
-                            });
-                        } else if d < results.peek().expect("non-empty").distance {
-                            results.pop();
-                            results.push(Candidate {
-                                distance: d,
-                                id: self.order[pos],
-                            });
-                        }
+                    // Leaf points are contiguous in the tree's permuted
+                    // buffer: evaluate the whole page in one batch call.
+                    let count = end - start;
+                    dists.resize(count, 0.0);
+                    let block = &self.data[start * self.dim..end * self.dim];
+                    query.distance_batch(block, self.dim, &mut dists);
+                    stats.distance_evaluations += count as u64;
+                    for (i, &d) in dists.iter().enumerate() {
+                        results.offer(self.order[start + i], d);
                     }
                 }
                 Node::Internal { left, right, .. } => {
                     for &child in &[*left, *right] {
                         let lb = query.min_distance(self.nodes[child].bbox());
-                        if results.len() < k || lb <= results.peek().expect("non-empty").distance {
+                        if results.threshold().is_none_or(|worst| lb <= worst) {
                             frontier.push(Frontier {
                                 min_dist: lb,
                                 node: child,
@@ -233,23 +303,7 @@ impl HybridTree {
             }
         }
         stats.disk_reads = stats.nodes_accessed - stats.cache_hits;
-
-        let mut out: Vec<Neighbor> = results
-            .into_sorted_vec()
-            .into_iter()
-            .map(|c| Neighbor {
-                id: c.id,
-                distance: c.distance,
-            })
-            .collect();
-        // into_sorted_vec gives ascending order already; keep ties stable.
-        out.sort_by(|a, b| {
-            a.distance
-                .partial_cmp(&b.distance)
-                .expect("non-NaN distances")
-                .then_with(|| a.id.cmp(&b.id))
-        });
-        (out, stats)
+        (results.into_sorted(), stats)
     }
 }
 

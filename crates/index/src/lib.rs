@@ -41,6 +41,6 @@ pub use cache::NodeCache;
 pub use distance::{EuclideanQuery, QueryDistance, WeightedEuclideanQuery};
 pub use dynamic::{DynamicIndex, DynamicStats};
 pub use incremental::KnnIter;
-pub use knn::{merge_top_k, Neighbor, SearchStats};
-pub use scan::LinearScan;
+pub use knn::{merge_top_k, Neighbor, SearchStats, TopK};
+pub use scan::{LinearScan, SCAN_BLOCK_POINTS};
 pub use tree::HybridTree;

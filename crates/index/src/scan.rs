@@ -1,7 +1,13 @@
 //! Brute-force linear scan — the exactness oracle and small-data path.
 
 use crate::distance::QueryDistance;
-use crate::knn::Neighbor;
+use crate::knn::{Neighbor, TopK};
+
+/// Points per block when scanning through `distance_batch`: 256 points of
+/// 24-d `f64` data is ~48 KiB — enough to amortize per-block dispatch and
+/// scratch setup while the block and the query's compiled coefficients
+/// stay L1/L2-resident.
+pub const SCAN_BLOCK_POINTS: usize = 256;
 
 /// A flat copy of the data set answering k-NN by full scan.
 ///
@@ -59,38 +65,63 @@ impl LinearScan {
         &self.data[id * self.dim..(id + 1) * self.dim]
     }
 
-    /// Exact k-NN by full scan, ties broken by id, ascending distance.
+    /// The contiguous row-major block of points `[start, start + count)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range exceeds the scan's length.
+    pub fn block(&self, start: usize, count: usize) -> &[f64] {
+        assert!(start + count <= self.len, "block out of range");
+        &self.data[start * self.dim..(start + count) * self.dim]
+    }
+
+    /// Exact k-NN, ties broken by id, ascending distance.
+    ///
+    /// Scans the corpus in [`SCAN_BLOCK_POINTS`]-sized blocks through
+    /// [`QueryDistance::distance_batch`], feeding a bounded top-k heap —
+    /// `O(n log k)` selection instead of a full `O(n log n)` sort, with
+    /// results (including tie-breaks) identical to sorting every
+    /// candidate by `(distance, id)` and truncating.
     ///
     /// # Panics
     ///
     /// Panics when `k == 0` or the query dimensionality disagrees.
-    pub fn knn<Q: QueryDistance>(&self, query: &Q, k: usize) -> Vec<Neighbor> {
+    pub fn knn<Q: QueryDistance + ?Sized>(&self, query: &Q, k: usize) -> Vec<Neighbor> {
         assert!(k > 0, "k must be positive");
         assert_eq!(query.dim(), self.dim, "query dimensionality mismatch");
-        let mut all: Vec<Neighbor> = (0..self.len)
-            .map(|id| Neighbor {
-                id,
-                distance: query.distance(self.point(id)),
-            })
-            .collect();
-        all.sort_by(|a, b| {
-            a.distance
-                .partial_cmp(&b.distance)
-                .expect("non-NaN distances")
-                .then_with(|| a.id.cmp(&b.id))
-        });
-        all.truncate(k);
-        all
+        let mut top = TopK::new(k);
+        let mut dists = [0.0f64; SCAN_BLOCK_POINTS];
+        let mut start = 0;
+        while start < self.len {
+            let count = SCAN_BLOCK_POINTS.min(self.len - start);
+            query.distance_batch(self.block(start, count), self.dim, &mut dists[..count]);
+            for (i, &d) in dists[..count].iter().enumerate() {
+                top.offer(start + i, d);
+            }
+            start += count;
+        }
+        top.into_sorted()
     }
 
     /// All points within `radius` of the query (distance ≤ radius).
-    pub fn range<Q: QueryDistance>(&self, query: &Q, radius: f64) -> Vec<Neighbor> {
-        (0..self.len)
-            .filter_map(|id| {
-                let d = query.distance(self.point(id));
-                (d <= radius).then_some(Neighbor { id, distance: d })
-            })
-            .collect()
+    pub fn range<Q: QueryDistance + ?Sized>(&self, query: &Q, radius: f64) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        let mut dists = [0.0f64; SCAN_BLOCK_POINTS];
+        let mut start = 0;
+        while start < self.len {
+            let count = SCAN_BLOCK_POINTS.min(self.len - start);
+            query.distance_batch(self.block(start, count), self.dim, &mut dists[..count]);
+            for (i, &d) in dists[..count].iter().enumerate() {
+                if d <= radius {
+                    out.push(Neighbor {
+                        id: start + i,
+                        distance: d,
+                    });
+                }
+            }
+            start += count;
+        }
+        out
     }
 }
 

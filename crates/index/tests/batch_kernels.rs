@@ -1,0 +1,168 @@
+//! Property tests for the blocked batch distance kernels: for every
+//! query type, [`QueryDistance::distance_batch`] must reproduce the
+//! scalar `distance` **bit-for-bit** at every block size (the batch
+//! kernels unroll across points, never across dimensions, so each
+//! point's accumulation order is unchanged), and the blocked
+//! heap-selection [`LinearScan::knn`] must return exactly what the old
+//! full `(distance, id)` sort returned — including tie-breaks.
+
+use proptest::prelude::*;
+use qcluster_index::{EuclideanQuery, LinearScan, Neighbor, QueryDistance, WeightedEuclideanQuery};
+
+fn points(dim: usize, n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(-100.0..100.0f64, dim), n)
+}
+
+/// Points on a small integer grid: duplicate points — and therefore
+/// exact distance ties — are common, exercising the id tie-break.
+fn grid_points(dim: usize, n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        prop::collection::vec((-2i32..3i32).prop_map(f64::from), dim),
+        n,
+    )
+}
+
+fn flatten(pts: &[Vec<f64>]) -> Vec<f64> {
+    pts.iter().flatten().copied().collect()
+}
+
+/// Evaluates `query` over the corpus in blocks of `block_size` via
+/// `distance_batch`, returning one distance per point.
+fn batch_in_blocks<Q: QueryDistance>(
+    query: &Q,
+    flat: &[f64],
+    dim: usize,
+    n: usize,
+    block_size: usize,
+) -> Vec<f64> {
+    let mut out = vec![0.0; n];
+    let mut start = 0;
+    while start < n {
+        let count = block_size.min(n - start);
+        query.distance_batch(
+            &flat[start * dim..(start + count) * dim],
+            dim,
+            &mut out[start..start + count],
+        );
+        start += count;
+    }
+    out
+}
+
+/// The pre-blocking reference: every `(distance, id)` pair, fully
+/// sorted, truncated to `k`.
+fn full_sort_knn<Q: QueryDistance>(query: &Q, pts: &[Vec<f64>], k: usize) -> Vec<Neighbor> {
+    let mut all: Vec<Neighbor> = pts
+        .iter()
+        .enumerate()
+        .map(|(id, p)| Neighbor {
+            id,
+            distance: query.distance(p),
+        })
+        .collect();
+    all.sort_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .expect("non-NaN distances")
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    all.truncate(k);
+    all
+}
+
+fn block_sizes(n: usize) -> [usize; 4] {
+    [1, 7, 256, n]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn euclidean_batch_matches_scalar_bitwise(
+        pts in points(5, 1..300),
+        c in prop::collection::vec(-100.0..100.0f64, 5),
+    ) {
+        let q = EuclideanQuery::new(c);
+        let flat = flatten(&pts);
+        for bs in block_sizes(pts.len()) {
+            let got = batch_in_blocks(&q, &flat, 5, pts.len(), bs);
+            for (p, &d) in got.iter().enumerate() {
+                prop_assert_eq!(d, q.distance(&pts[p]), "block_size={} p={}", bs, p);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_batch_matches_scalar_bitwise(
+        pts in points(4, 1..300),
+        c in prop::collection::vec(-50.0..50.0f64, 4),
+        w in prop::collection::vec(0.0..10.0f64, 4),
+    ) {
+        let q = WeightedEuclideanQuery::new(c, w);
+        let flat = flatten(&pts);
+        for bs in block_sizes(pts.len()) {
+            let got = batch_in_blocks(&q, &flat, 4, pts.len(), bs);
+            for (p, &d) in got.iter().enumerate() {
+                prop_assert_eq!(d, q.distance(&pts[p]), "block_size={} p={}", bs, p);
+            }
+        }
+    }
+
+    #[test]
+    fn default_trait_batch_matches_scalar(
+        pts in points(3, 1..100),
+        c in prop::collection::vec(-50.0..50.0f64, 3),
+    ) {
+        // A query type without a native batch kernel exercises the
+        // trait's default per-point loop.
+        #[derive(Clone)]
+        struct Manhattan(Vec<f64>);
+        impl QueryDistance for Manhattan {
+            fn dim(&self) -> usize {
+                self.0.len()
+            }
+            fn distance(&self, x: &[f64]) -> f64 {
+                x.iter().zip(&self.0).map(|(a, b)| (a - b).abs()).sum()
+            }
+            fn min_distance(&self, _b: &qcluster_index::BoundingBox) -> f64 {
+                0.0
+            }
+        }
+        let q = Manhattan(c);
+        let flat = flatten(&pts);
+        for bs in block_sizes(pts.len()) {
+            let got = batch_in_blocks(&q, &flat, 3, pts.len(), bs);
+            for (p, &d) in got.iter().enumerate() {
+                prop_assert_eq!(d, q.distance(&pts[p]));
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_heap_knn_equals_full_sort(
+        pts in points(3, 1..400),
+        c in prop::collection::vec(-100.0..100.0f64, 3),
+        k in 1usize..30,
+    ) {
+        let scan = LinearScan::new(&pts);
+        let q = EuclideanQuery::new(c);
+        let got = scan.knn(&q, k);
+        let want = full_sort_knn(&q, &pts, k);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn blocked_heap_knn_breaks_ties_by_id(
+        pts in grid_points(2, 1..300),
+        c in prop::collection::vec((-2i32..3i32).prop_map(f64::from), 2),
+        k in 1usize..40,
+    ) {
+        // Grid data guarantees duplicate points and exact distance
+        // ties; the heap path must pick the same ids as the full sort.
+        let scan = LinearScan::new(&pts);
+        let q = EuclideanQuery::new(c);
+        let got = scan.knn(&q, k);
+        let want = full_sort_knn(&q, &pts, k);
+        prop_assert_eq!(got, want);
+    }
+}

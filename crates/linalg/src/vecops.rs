@@ -94,6 +94,289 @@ pub fn quadratic_form(x: &[f64], c: &[f64], m: &[f64], scratch: &mut [f64]) -> f
     acc
 }
 
+/// Expanded-form weighted quadratic `Σ (w_j·x_j)·x_j − 2·Σ wc_j·x_j + c0`.
+///
+/// With `wc_j = w_j·c_j` and `c0 = Σ wc_j·c_j` this equals the diagonal
+/// quadratic form `Σ w_j (x_j − c_j)²` algebraically, but needs no
+/// per-point subtraction against the center. The per-dimension
+/// accumulation order here is the contract the batch kernel below
+/// reproduces exactly, so batch and scalar evaluation agree bit-for-bit.
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+#[inline]
+pub fn expanded_weighted_sq(x: &[f64], w: &[f64], wc: &[f64], c0: f64) -> f64 {
+    assert_eq!(x.len(), w.len(), "expanded_weighted_sq length mismatch");
+    assert_eq!(x.len(), wc.len(), "expanded_weighted_sq length mismatch");
+    let mut sq = 0.0;
+    let mut lin = 0.0;
+    for j in 0..x.len() {
+        let xj = x[j];
+        sq += (w[j] * xj) * xj;
+        lin += wc[j] * xj;
+    }
+    sq - 2.0 * lin + c0
+}
+
+/// [`expanded_weighted_sq`] over a contiguous block of `out.len()` points
+/// stored row-major in `block` (`block.len() == out.len() * dim`).
+///
+/// Unrolled 4-wide **across points**: each point keeps its own accumulator
+/// pair, fed in the same per-dimension order as the scalar kernel, so the
+/// results are bit-for-bit identical to calling [`expanded_weighted_sq`]
+/// per point while the independent chains give the FP units the
+/// instruction-level parallelism a single serial sum cannot.
+///
+/// # Panics
+///
+/// Panics when `block.len() != out.len() * dim` or weight lengths differ
+/// from `dim`.
+pub fn expanded_weighted_sq_batch(
+    block: &[f64],
+    dim: usize,
+    w: &[f64],
+    wc: &[f64],
+    c0: f64,
+    out: &mut [f64],
+) {
+    assert!(dim > 0, "dim must be positive");
+    assert_eq!(w.len(), dim, "weight length mismatch");
+    assert_eq!(wc.len(), dim, "weighted-center length mismatch");
+    assert_eq!(block.len(), out.len() * dim, "block/out length mismatch");
+    let n = out.len();
+    let mut p = 0;
+    while p + 4 <= n {
+        let base = p * dim;
+        let x0 = &block[base..base + dim];
+        let x1 = &block[base + dim..base + 2 * dim];
+        let x2 = &block[base + 2 * dim..base + 3 * dim];
+        let x3 = &block[base + 3 * dim..base + 4 * dim];
+        let (mut sq0, mut sq1, mut sq2, mut sq3) = (0.0, 0.0, 0.0, 0.0);
+        let (mut l0, mut l1, mut l2, mut l3) = (0.0, 0.0, 0.0, 0.0);
+        for j in 0..dim {
+            let wj = w[j];
+            let wcj = wc[j];
+            sq0 += (wj * x0[j]) * x0[j];
+            l0 += wcj * x0[j];
+            sq1 += (wj * x1[j]) * x1[j];
+            l1 += wcj * x1[j];
+            sq2 += (wj * x2[j]) * x2[j];
+            l2 += wcj * x2[j];
+            sq3 += (wj * x3[j]) * x3[j];
+            l3 += wcj * x3[j];
+        }
+        out[p] = sq0 - 2.0 * l0 + c0;
+        out[p + 1] = sq1 - 2.0 * l1 + c0;
+        out[p + 2] = sq2 - 2.0 * l2 + c0;
+        out[p + 3] = sq3 - 2.0 * l3 + c0;
+        p += 4;
+    }
+    while p < n {
+        out[p] = expanded_weighted_sq(&block[p * dim..(p + 1) * dim], w, wc, c0);
+        p += 1;
+    }
+}
+
+/// Lane width of the transposed evaluation tile: eight `f64` points, one
+/// AVX-512 vector (or a ymm pair) per lane-wise statement.
+pub const TILE_LANES: usize = 8;
+
+/// Transposes up to [`TILE_LANES`] row-major points into a column-major
+/// tile: `tile[j * TILE_LANES + l] = rows[l * dim + j]`. Lanes past the
+/// supplied rows are zeroed.
+///
+/// The tile (`dim * TILE_LANES` elements, ~1.5 KiB at 24 dimensions)
+/// stays resident in L1 while every component of a compiled query is
+/// evaluated against it, so the transpose is a short burst of in-cache
+/// moves rather than a strided pass over a whole block — a full-block
+/// column-major layout puts columns kilobytes apart and loses more to
+/// cache-set conflicts than it gains from unit-stride loads.
+///
+/// # Panics
+///
+/// Panics when `dim == 0`, `rows.len()` is not a multiple of `dim` or
+/// holds more than [`TILE_LANES`] points, or
+/// `tile.len() != dim * TILE_LANES`.
+pub fn transpose_tile(rows: &[f64], dim: usize, tile: &mut [f64]) {
+    assert!(dim > 0, "dim must be positive");
+    assert_eq!(rows.len() % dim, 0, "rows length not a multiple of dim");
+    let pn = rows.len() / dim;
+    assert!(pn <= TILE_LANES, "too many points for one tile");
+    assert_eq!(tile.len(), dim * TILE_LANES, "tile length mismatch");
+    if pn < TILE_LANES {
+        tile.fill(0.0);
+    }
+    for (l, row) in rows.chunks_exact(dim).enumerate() {
+        for j in 0..dim {
+            tile[j * TILE_LANES + l] = row[j];
+        }
+    }
+}
+
+/// [`expanded_weighted_sq`] over one column-major tile (see
+/// [`transpose_tile`]), bit-for-bit identical to the scalar kernel per
+/// lane.
+///
+/// Keeps all accumulators in registers across the dimension loop and
+/// reads one unit-stride eight-lane column slice per dimension; the
+/// single-purpose lane loops are clean elementwise patterns the SLP
+/// vectorizer turns into whole-vector ops. Each lane accumulates its
+/// `sq`/`lin` terms in ascending-`j` order (the scalar contract), so
+/// vectorizing across lanes changes no result bits. Zero-padded lanes
+/// evaluate to `c0`, the squared distance of the origin.
+///
+/// # Panics
+///
+/// Panics when `dim == 0` or any length disagrees.
+pub fn expanded_weighted_sq_tile(
+    tile: &[f64],
+    w: &[f64],
+    wc: &[f64],
+    c0: f64,
+) -> [f64; TILE_LANES] {
+    let dim = w.len();
+    assert!(dim > 0, "dim must be positive");
+    assert_eq!(wc.len(), dim, "weighted-center length mismatch");
+    assert_eq!(tile.len(), dim * TILE_LANES, "tile length mismatch");
+    let mut sq = [0.0f64; TILE_LANES];
+    let mut li = [0.0f64; TILE_LANES];
+    for j in 0..dim {
+        let col = &tile[j * TILE_LANES..(j + 1) * TILE_LANES];
+        let wj = w[j];
+        let wcj = wc[j];
+        for l in 0..TILE_LANES {
+            sq[l] += (wj * col[l]) * col[l];
+        }
+        for l in 0..TILE_LANES {
+            li[l] += wcj * col[l];
+        }
+    }
+    let mut out = [0.0f64; TILE_LANES];
+    for l in 0..TILE_LANES {
+        out[l] = sq[l] - 2.0 * li[l] + c0;
+    }
+    out
+}
+
+/// [`sq_euclidean`] against `center` over a contiguous row-major block.
+///
+/// Same 4-wide across-points unrolling (and therefore the same bit-for-bit
+/// scalar agreement) as [`expanded_weighted_sq_batch`].
+///
+/// # Panics
+///
+/// Panics when `block.len() != out.len() * dim` or `center.len() != dim`.
+pub fn sq_euclidean_batch(block: &[f64], dim: usize, center: &[f64], out: &mut [f64]) {
+    assert!(dim > 0, "dim must be positive");
+    assert_eq!(center.len(), dim, "center length mismatch");
+    assert_eq!(block.len(), out.len() * dim, "block/out length mismatch");
+    let n = out.len();
+    let mut p = 0;
+    while p + 4 <= n {
+        let base = p * dim;
+        let x0 = &block[base..base + dim];
+        let x1 = &block[base + dim..base + 2 * dim];
+        let x2 = &block[base + 2 * dim..base + 3 * dim];
+        let x3 = &block[base + 3 * dim..base + 4 * dim];
+        let (mut a0, mut a1, mut a2, mut a3) = (0.0, 0.0, 0.0, 0.0);
+        for j in 0..dim {
+            let cj = center[j];
+            let d0 = x0[j] - cj;
+            let d1 = x1[j] - cj;
+            let d2 = x2[j] - cj;
+            let d3 = x3[j] - cj;
+            a0 += d0 * d0;
+            a1 += d1 * d1;
+            a2 += d2 * d2;
+            a3 += d3 * d3;
+        }
+        out[p] = a0;
+        out[p + 1] = a1;
+        out[p + 2] = a2;
+        out[p + 3] = a3;
+        p += 4;
+    }
+    while p < n {
+        out[p] = sq_euclidean(&block[p * dim..(p + 1) * dim], center);
+        p += 1;
+    }
+}
+
+/// [`weighted_sq_euclidean`] against `center` over a contiguous row-major
+/// block, with the same across-points unrolling contract.
+///
+/// # Panics
+///
+/// Panics when `block.len() != out.len() * dim` or `center`/`w` lengths
+/// differ from `dim`.
+pub fn weighted_sq_euclidean_batch(
+    block: &[f64],
+    dim: usize,
+    center: &[f64],
+    w: &[f64],
+    out: &mut [f64],
+) {
+    assert!(dim > 0, "dim must be positive");
+    assert_eq!(center.len(), dim, "center length mismatch");
+    assert_eq!(w.len(), dim, "weight length mismatch");
+    assert_eq!(block.len(), out.len() * dim, "block/out length mismatch");
+    let n = out.len();
+    let mut p = 0;
+    while p + 4 <= n {
+        let base = p * dim;
+        let x0 = &block[base..base + dim];
+        let x1 = &block[base + dim..base + 2 * dim];
+        let x2 = &block[base + 2 * dim..base + 3 * dim];
+        let x3 = &block[base + 3 * dim..base + 4 * dim];
+        let (mut a0, mut a1, mut a2, mut a3) = (0.0, 0.0, 0.0, 0.0);
+        for j in 0..dim {
+            let cj = center[j];
+            let wj = w[j];
+            let d0 = x0[j] - cj;
+            let d1 = x1[j] - cj;
+            let d2 = x2[j] - cj;
+            let d3 = x3[j] - cj;
+            a0 += wj * d0 * d0;
+            a1 += wj * d1 * d1;
+            a2 += wj * d2 * d2;
+            a3 += wj * d3 * d3;
+        }
+        out[p] = a0;
+        out[p + 1] = a1;
+        out[p + 2] = a2;
+        out[p + 3] = a3;
+        p += 4;
+    }
+    while p < n {
+        out[p] = weighted_sq_euclidean(&block[p * dim..(p + 1) * dim], center, w);
+        p += 1;
+    }
+}
+
+/// [`quadratic_form`] over a contiguous row-major block, reusing one
+/// `dim`-sized scratch arena for every point instead of borrowing a
+/// scratch buffer per call.
+///
+/// # Panics
+///
+/// Panics when `block.len() != out.len() * dim` or `c`/`scratch`/`m`
+/// lengths disagree with `dim`.
+pub fn quadratic_form_batch(
+    block: &[f64],
+    dim: usize,
+    c: &[f64],
+    m: &[f64],
+    scratch: &mut [f64],
+    out: &mut [f64],
+) {
+    assert!(dim > 0, "dim must be positive");
+    assert_eq!(block.len(), out.len() * dim, "block/out length mismatch");
+    for (p, o) in out.iter_mut().enumerate() {
+        *o = quadratic_form(&block[p * dim..(p + 1) * dim], c, m, scratch);
+    }
+}
+
 /// Element-wise `a − b` into a fresh vector.
 ///
 /// # Panics
@@ -212,5 +495,120 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn dot_length_mismatch_panics() {
         let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    /// A deterministic pseudo-random block of `n` points in `dim` dims.
+    fn test_block(n: usize, dim: usize) -> Vec<f64> {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        (0..n * dim)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn expanded_form_matches_difference_form() {
+        let dim = 7;
+        let c: Vec<f64> = (0..dim).map(|j| 0.3 * j as f64 - 1.0).collect();
+        let w: Vec<f64> = (0..dim).map(|j| 0.5 + j as f64).collect();
+        let wc: Vec<f64> = w.iter().zip(&c).map(|(&w, &c)| w * c).collect();
+        let c0: f64 = wc.iter().zip(&c).map(|(&wc, &c)| wc * c).sum();
+        let block = test_block(9, dim);
+        for p in 0..9 {
+            let x = &block[p * dim..(p + 1) * dim];
+            let expanded = expanded_weighted_sq(x, &w, &wc, c0);
+            let diff = weighted_sq_euclidean(x, &c, &w);
+            assert!((expanded - diff).abs() <= 1e-12 * (1.0 + diff.abs()));
+        }
+        // At the center the cancellation is exact: C − 2C + C == 0.
+        assert_eq!(expanded_weighted_sq(&c, &w, &wc, c0), 0.0);
+    }
+
+    #[test]
+    fn batch_kernels_match_scalar_bit_for_bit() {
+        let dim = 5;
+        let c: Vec<f64> = (0..dim).map(|j| (j as f64).sin()).collect();
+        let w: Vec<f64> = (0..dim).map(|j| 0.25 + (j as f64).cos().abs()).collect();
+        let wc: Vec<f64> = w.iter().zip(&c).map(|(&w, &c)| w * c).collect();
+        let c0: f64 = wc.iter().zip(&c).map(|(&wc, &c)| wc * c).sum();
+        // Sizes straddling the 4-wide unroll boundary.
+        for n in [1usize, 3, 4, 7, 8, 13] {
+            let block = test_block(n, dim);
+            let mut out = vec![0.0; n];
+
+            expanded_weighted_sq_batch(&block, dim, &w, &wc, c0, &mut out);
+            for p in 0..n {
+                let x = &block[p * dim..(p + 1) * dim];
+                assert_eq!(out[p], expanded_weighted_sq(x, &w, &wc, c0));
+            }
+
+            sq_euclidean_batch(&block, dim, &c, &mut out);
+            for p in 0..n {
+                let x = &block[p * dim..(p + 1) * dim];
+                assert_eq!(out[p], sq_euclidean(x, &c));
+            }
+
+            weighted_sq_euclidean_batch(&block, dim, &c, &w, &mut out);
+            for p in 0..n {
+                let x = &block[p * dim..(p + 1) * dim];
+                assert_eq!(out[p], weighted_sq_euclidean(x, &c, &w));
+            }
+
+            let mut tile = vec![f64::NAN; dim * TILE_LANES];
+            let mut p0 = 0;
+            while p0 < n {
+                let pn = TILE_LANES.min(n - p0);
+                transpose_tile(&block[p0 * dim..(p0 + pn) * dim], dim, &mut tile);
+                let d8 = expanded_weighted_sq_tile(&tile, &w, &wc, c0);
+                for (l, &got) in d8.iter().take(pn).enumerate() {
+                    let x = &block[(p0 + l) * dim..(p0 + l + 1) * dim];
+                    assert_eq!(got, expanded_weighted_sq(x, &w, &wc, c0));
+                }
+                p0 += TILE_LANES;
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_tile_round_trips_and_zeroes_missing_lanes() {
+        let dim = 3;
+        let block = test_block(5, dim);
+        let mut tile = vec![f64::NAN; dim * TILE_LANES];
+        transpose_tile(&block, dim, &mut tile);
+        for p in 0..5 {
+            for j in 0..dim {
+                assert_eq!(tile[j * TILE_LANES + p], block[p * dim + j]);
+            }
+        }
+        // Missing lanes are zeroed so partial tiles can be evaluated.
+        for j in 0..dim {
+            for l in 5..TILE_LANES {
+                assert_eq!(tile[j * TILE_LANES + l], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn quadratic_form_batch_matches_scalar() {
+        let dim = 3;
+        let m = [2.0, 0.5, 0.0, 0.5, 1.0, 0.2, 0.0, 0.2, 3.0];
+        let c = [0.1, -0.2, 0.3];
+        let block = test_block(6, dim);
+        let mut scratch = [0.0; 3];
+        let mut out = [0.0; 6];
+        quadratic_form_batch(&block, dim, &c, &m, &mut scratch, &mut out);
+        for p in 0..6 {
+            let x = &block[p * dim..(p + 1) * dim];
+            assert_eq!(out[p], quadratic_form(x, &c, &m, &mut scratch));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block/out length mismatch")]
+    fn batch_block_length_mismatch_panics() {
+        let mut out = [0.0; 2];
+        sq_euclidean_batch(&[1.0, 2.0, 3.0], 2, &[0.0, 0.0], &mut out);
     }
 }

@@ -87,6 +87,8 @@ pub struct ServiceMetrics {
     pub shard_fanout: OpHistogram,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    plan_cache_hits: AtomicU64,
+    plan_cache_misses: AtomicU64,
     evictions: AtomicU64,
     sessions_created: AtomicU64,
     sessions_closed: AtomicU64,
@@ -105,6 +107,18 @@ impl ServiceMetrics {
     pub fn record_cache(&self, hits: u64, misses: u64) {
         self.cache_hits.fetch_add(hits, Ordering::Relaxed);
         self.cache_misses.fetch_add(misses, Ordering::Relaxed);
+    }
+
+    /// Counts one query served from a session's compiled-plan cache
+    /// (engine version unchanged since the plan was compiled).
+    pub fn record_plan_cache_hit(&self) {
+        self.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one query that had to (re)compile its plan — first query,
+    /// post-feed version bump, or an engine without plan versioning.
+    pub fn record_plan_cache_miss(&self) {
+        self.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counts `n` evicted sessions (TTL or LRU).
@@ -157,6 +171,8 @@ impl ServiceMetrics {
             } else {
                 cache_hits as f64 / touched as f64
             },
+            plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
+            plan_cache_misses: self.plan_cache_misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             sessions_created: self.sessions_created.load(Ordering::Relaxed),
             sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
@@ -205,6 +221,10 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     /// `hits / (hits + misses)`; 0 before any access.
     pub cache_hit_ratio: f64,
+    /// Queries served from a session's compiled-plan cache.
+    pub plan_cache_hits: u64,
+    /// Queries that compiled (or recompiled) their plan.
+    pub plan_cache_misses: u64,
     /// Sessions evicted by TTL or LRU pressure.
     pub evictions: u64,
     /// Sessions ever created.
@@ -256,6 +276,9 @@ mod tests {
         let m = ServiceMetrics::new();
         m.record_cache(3, 1);
         m.record_cache(0, 4);
+        m.record_plan_cache_miss();
+        m.record_plan_cache_hit();
+        m.record_plan_cache_hit();
         m.record_evictions(2);
         m.record_session_created();
         m.record_session_created();
@@ -264,6 +287,8 @@ mod tests {
         assert_eq!(s.cache_hits, 3);
         assert_eq!(s.cache_misses, 5);
         assert!((s.cache_hit_ratio - 0.375).abs() < 1e-12);
+        assert_eq!(s.plan_cache_hits, 2);
+        assert_eq!(s.plan_cache_misses, 1);
         assert_eq!(s.evictions, 2);
         assert_eq!(s.sessions_created, 2);
         assert_eq!(s.sessions_closed, 1);

@@ -150,8 +150,8 @@ pub enum Response {
         /// Records remaining in the rewritten WAL.
         wal_records: u64,
     },
-    /// The metrics snapshot.
-    Stats(MetricsSnapshot),
+    /// The metrics snapshot (boxed: much larger than every other variant).
+    Stats(Box<MetricsSnapshot>),
     /// The request failed.
     Error(ServiceError),
 }
@@ -197,7 +197,7 @@ pub fn dispatch(service: &Service, request: Request) -> Response {
             segments: stats.segments,
             wal_records: stats.wal_records,
         }),
-        Request::Stats => Ok(Response::Stats(service.stats())),
+        Request::Stats => Ok(Response::Stats(Box::new(service.stats()))),
     };
     result.unwrap_or_else(Response::Error)
 }

@@ -435,6 +435,13 @@ impl Service {
     /// query (e.g. the disjunctive multipoint query) and fans it out
     /// across the shards through the session's node caches.
     ///
+    /// Compiled plans are cached per session, keyed on the engine's
+    /// [`ServiceEngine::plan_version`]: repeat queries between feedback
+    /// rounds skip recompilation (covariance inversion and expanded-form
+    /// precomputation) and only re-run the k-NN. A feed or reset bumps
+    /// the version, so the next query recompiles. Hits and misses show
+    /// up in the service metrics as `plan_cache_hits` / `plan_cache_misses`.
+    ///
     /// # Errors
     ///
     /// [`ServiceError::UnknownSession`], [`ServiceError::InvalidRequest`]
@@ -443,7 +450,24 @@ impl Service {
         let handle = self.registry.get(session)?;
         let start = Instant::now();
         let mut guard = handle.lock();
-        let query = guard.engine().query().map_err(ServiceError::from_core)?;
+        let query = match guard.engine().plan_version() {
+            Some(version) => match guard.cached_plan(version) {
+                Some(cached) => {
+                    self.metrics.record_plan_cache_hit();
+                    cached
+                }
+                None => {
+                    let compiled = guard.engine().query().map_err(ServiceError::from_core)?;
+                    self.metrics.record_plan_cache_miss();
+                    guard.store_plan(version, compiled.clone_fanout());
+                    compiled
+                }
+            },
+            None => {
+                self.metrics.record_plan_cache_miss();
+                guard.engine().query().map_err(ServiceError::from_core)?
+            }
+        };
         self.run_query(&mut guard, &*query, k, start)
     }
 
@@ -888,6 +912,43 @@ mod tests {
             Err(ServiceError::InvalidRequest(_))
         ));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn plan_cache_hits_between_feeds_and_invalidates_on_feed() {
+        let svc = small_service();
+        let id = svc.create_session().unwrap();
+        svc.feed_ids(id, &[0, 1, 2], None).unwrap();
+
+        // First refined query compiles; repeats reuse the cached plan.
+        let first = svc.query(id, 5).unwrap();
+        let second = svc.query(id, 5).unwrap();
+        let third = svc.query(id, 5).unwrap();
+        assert_eq!(first.neighbors, second.neighbors);
+        assert_eq!(first.neighbors, third.neighbors);
+        let s = svc.stats();
+        assert_eq!(s.plan_cache_misses, 1);
+        assert_eq!(s.plan_cache_hits, 2);
+
+        // Feedback bumps the engine version: next query recompiles.
+        svc.feed_ids(id, &[3, 4], None).unwrap();
+        svc.query(id, 5).unwrap();
+        svc.query(id, 5).unwrap();
+        let s = svc.stats();
+        assert_eq!(s.plan_cache_misses, 2);
+        assert_eq!(s.plan_cache_hits, 3);
+    }
+
+    #[test]
+    fn unversioned_engine_always_misses_plan_cache() {
+        let svc = small_service();
+        let id = svc.create_session_named("qpm").unwrap();
+        svc.feed_ids(id, &[0, 1, 2], None).unwrap();
+        svc.query(id, 4).unwrap();
+        svc.query(id, 4).unwrap();
+        let s = svc.stats();
+        assert_eq!(s.plan_cache_hits, 0);
+        assert_eq!(s.plan_cache_misses, 2);
     }
 
     #[test]

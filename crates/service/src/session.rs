@@ -48,6 +48,15 @@ pub trait ServiceEngine: Send {
     fn num_clusters(&self) -> Option<usize> {
         None
     }
+
+    /// Monotonic version of the engine state the compiled query depends
+    /// on, for engines that track one. While two calls report the same
+    /// version, [`ServiceEngine::query`] is guaranteed to compile an
+    /// equivalent plan, so the service may reuse a cached one. `None`
+    /// (the default) disables plan caching for this engine.
+    fn plan_version(&self) -> Option<u64> {
+        None
+    }
 }
 
 impl ServiceEngine for QclusterEngine {
@@ -69,6 +78,10 @@ impl ServiceEngine for QclusterEngine {
 
     fn num_clusters(&self) -> Option<usize> {
         Some(QclusterEngine::num_clusters(self))
+    }
+
+    fn plan_version(&self) -> Option<u64> {
+        Some(QclusterEngine::version(self))
     }
 }
 
@@ -94,12 +107,21 @@ impl ServiceEngine for QueryPointMovement {
     }
 }
 
+/// A compiled query plan retained across queries of one session, valid
+/// while the engine's [`ServiceEngine::plan_version`] stays unchanged.
+struct CachedPlan {
+    version: u64,
+    query: Box<dyn FanoutQuery>,
+}
+
 /// One client's retrieval state.
 pub struct Session {
     id: u64,
     engine: Box<dyn ServiceEngine>,
     /// One node cache per shard, shared with in-flight executor jobs.
     caches: Vec<Arc<Mutex<NodeCache>>>,
+    /// Last compiled plan, keyed on the engine's plan version.
+    plan: Option<CachedPlan>,
     feeds: u64,
     queries: u64,
 }
@@ -115,6 +137,7 @@ impl Session {
             id,
             engine,
             caches,
+            plan: None,
             feeds: 0,
             queries: 0,
         }
@@ -133,6 +156,7 @@ impl Session {
             id,
             engine,
             caches,
+            plan: None,
             feeds,
             queries: 0,
         }
@@ -158,6 +182,19 @@ impl Session {
     pub fn caches_for_query(&mut self) -> &[Arc<Mutex<NodeCache>>] {
         self.queries += 1;
         &self.caches
+    }
+
+    /// A clone of the cached plan, if one exists for exactly `version`.
+    pub fn cached_plan(&self, version: u64) -> Option<Box<dyn FanoutQuery>> {
+        self.plan
+            .as_ref()
+            .filter(|p| p.version == version)
+            .map(|p| p.query.clone_fanout())
+    }
+
+    /// Retains `query` as the plan for `version`, replacing any prior one.
+    pub fn store_plan(&mut self, version: u64, query: Box<dyn FanoutQuery>) {
+        self.plan = Some(CachedPlan { version, query });
     }
 
     /// Feed rounds so far.

@@ -8,8 +8,6 @@
 //! corpus — the merged per-shard top-k equals the global top-k.
 
 use qcluster_index::{HybridTree, LinearScan, Neighbor, NodeCache, QueryDistance, SearchStats};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 /// Which index structure backs each shard.
@@ -98,46 +96,16 @@ impl Shard {
     }
 }
 
-/// Max-heap entry for the bounded top-k scan (worst candidate on top).
-struct Worst {
-    distance: f64,
-    id: usize,
-}
-
-impl PartialEq for Worst {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
-}
-
-impl Eq for Worst {}
-
-impl Ord for Worst {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.distance
-            .partial_cmp(&other.distance)
-            .expect("non-NaN distances")
-            .then_with(|| self.id.cmp(&other.id))
-    }
-}
-
-impl PartialOrd for Worst {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// Bounded-heap top-k over a linear scan: `O(n log k)` instead of the
-/// full `O(n log n)` sort of [`LinearScan::knn`]. This is where the
-/// sharded path's single-core throughput win comes from.
+/// Bounded-heap top-k over a linear scan, delegating to the blocked
+/// [`LinearScan::knn`]: corpus points stream through
+/// [`QueryDistance::distance_batch`] in cache-sized blocks into a bounded
+/// top-k heap — `O(n log k)` selection, one virtual dispatch per block.
 fn scan_top_k<Q: QueryDistance + ?Sized>(
     scan: &LinearScan,
     query: &Q,
     k: usize,
     cache: Option<&mut NodeCache>,
 ) -> (Vec<Neighbor>, SearchStats) {
-    assert!(k > 0, "k must be positive");
-    assert_eq!(query.dim(), scan.dim(), "query dimensionality mismatch");
     let mut stats = SearchStats {
         nodes_accessed: 1,
         ..SearchStats::default()
@@ -148,29 +116,8 @@ fn scan_top_k<Q: QueryDistance + ?Sized>(
         stats.cache_hits = 1;
     }
     stats.disk_reads = stats.nodes_accessed - stats.cache_hits;
-
-    let mut heap: BinaryHeap<Worst> = BinaryHeap::with_capacity(k + 1);
-    for id in 0..scan.len() {
-        let distance = query.distance(scan.point(id));
-        stats.distance_evaluations += 1;
-        if heap.len() < k {
-            heap.push(Worst { distance, id });
-        } else {
-            let worst = heap.peek().expect("non-empty heap");
-            if (distance, id) < (worst.distance, worst.id) {
-                heap.pop();
-                heap.push(Worst { distance, id });
-            }
-        }
-    }
-    let neighbors = heap
-        .into_sorted_vec()
-        .into_iter()
-        .map(|w| Neighbor {
-            id: w.id,
-            distance: w.distance,
-        })
-        .collect();
+    let neighbors = scan.knn(query, k);
+    stats.distance_evaluations = scan.len() as u64;
     (neighbors, stats)
 }
 

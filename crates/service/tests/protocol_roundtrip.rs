@@ -136,5 +136,5 @@ fn live_stats_snapshot_roundtrips() {
     assert_eq!(back.query.mean_ns, snapshot.query.mean_ns);
     assert_eq!(back.cache_hit_ratio, snapshot.cache_hit_ratio);
 
-    roundtrip_response(&Response::Stats(snapshot));
+    roundtrip_response(&Response::Stats(Box::new(snapshot)));
 }
