@@ -41,7 +41,7 @@ fn bench_sharded_vs_single_scan(c: &mut Criterion) {
     // Sharded executor: S scan shards with bounded top-k heaps, merged.
     for &shards in &[1usize, 2, 4, 8] {
         let corpus = ShardedCorpus::build(&points, shards, ShardKind::Scan);
-        let executor = Executor::new(shards);
+        let executor = Executor::new(shards).expect("spawn bench pool");
         group.bench_with_input(
             BenchmarkId::new("sharded_scan", shards),
             &corpus,
@@ -52,7 +52,7 @@ fn bench_sharded_vs_single_scan(c: &mut Criterion) {
     // Tree shards: best-first search touches a fraction of the corpus.
     for &shards in &[1usize, 4] {
         let corpus = ShardedCorpus::build(&points, shards, ShardKind::Tree);
-        let executor = Executor::new(shards);
+        let executor = Executor::new(shards).expect("spawn bench pool");
         group.bench_with_input(
             BenchmarkId::new("sharded_tree", shards),
             &corpus,

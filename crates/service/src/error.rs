@@ -42,6 +42,32 @@ pub enum ServiceError {
     /// The durable store failed (I/O, corruption) or the request needs
     /// one and the service runs memory-only.
     Storage(String),
+    /// Spawning an executor worker thread failed (resource exhaustion at
+    /// construction time — the pool was not created).
+    Spawn(String),
+    /// Admission control rejected the request: the executor's job queue
+    /// is at capacity. Retry after backoff; nothing was executed.
+    Overloaded {
+        /// Jobs already queued or running.
+        queued: usize,
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The deadline elapsed before *any* shard produced a result, so
+    /// there is not even a partial ranking to return. (When at least one
+    /// shard arrives in time the service returns a degraded response
+    /// instead of this error.)
+    DeadlineExceeded {
+        /// Milliseconds waited before giving up.
+        waited_ms: u64,
+        /// Shards that responded in time (always 0 for this error).
+        shards_ok: usize,
+        /// Shards the query fanned out to.
+        shards_total: usize,
+    },
+    /// An internal invariant broke (disconnected channel, poisoned
+    /// state). The request failed cleanly; the service keeps running.
+    Internal(String),
 }
 
 impl ServiceError {
@@ -75,6 +101,19 @@ impl fmt::Display for ServiceError {
             ServiceError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             ServiceError::Engine(msg) => write!(f, "engine error: {msg}"),
             ServiceError::Storage(msg) => write!(f, "storage error: {msg}"),
+            ServiceError::Spawn(msg) => write!(f, "worker spawn failed: {msg}"),
+            ServiceError::Overloaded { queued, capacity } => {
+                write!(f, "overloaded: {queued} jobs queued (capacity {capacity})")
+            }
+            ServiceError::DeadlineExceeded {
+                waited_ms,
+                shards_ok,
+                shards_total,
+            } => write!(
+                f,
+                "deadline exceeded after {waited_ms}ms with {shards_ok}/{shards_total} shards"
+            ),
+            ServiceError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }

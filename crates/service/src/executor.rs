@@ -6,12 +6,39 @@
 //! carry interior scratch buffers, so they are `Send` but not `Sync`: the
 //! executor never shares one query between workers — each shard job gets
 //! its own clone via [`FanoutQuery::clone_fanout`].
+//!
+//! ## Fault tolerance
+//!
+//! [`Executor::try_knn`] is the fault-tolerant fan-out. Each shard job
+//! runs under `catch_unwind`, so a panicking shard becomes a per-shard
+//! failure instead of a poisoned pool; an optional deadline bounds the
+//! collection wait, and whatever arrived in time is merged into a
+//! *degraded* result annotated with `shards_ok / shards_total` coverage
+//! ([`FanoutReport`]). A per-shard circuit breaker trips after
+//! consecutive failures and skips that shard (degraded coverage) until
+//! a cooldown elapses, then half-opens to probe it with a single job.
+//! Admission control bounds the total jobs in flight, rejecting new
+//! fan-outs with [`ServiceError::Overloaded`] instead of queueing
+//! without bound. Dead workers are respawned transparently on the next
+//! fan-out ([`Executor::heal`]).
+//!
+//! ## Failpoints
+//!
+//! Chaos tests inject faults through `qcluster-failpoint`:
+//! `executor.shard` (any shard job) and `executor.shard.<i>` (one
+//! shard) support `panic:<msg>`, `error:<msg>`, and `sleep:<ms>`;
+//! `executor.worker.exit` makes a worker thread exit after completing
+//! its next job (exercising [`Executor::heal`]).
 
+use crate::error::ServiceError;
 use crate::shard::ShardedCorpus;
-use crossbeam::channel::{self, Sender};
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use qcluster_failpoint as failpoint;
 use qcluster_index::{merge_top_k, Neighbor, NodeCache, QueryDistance, SearchStats};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// A query that can be fanned out to worker threads: evaluable, sendable,
 /// and cloneable per shard.
@@ -33,63 +60,332 @@ impl<T: QueryDistance + Clone + Send + 'static> FanoutQuery for T {
 /// A unit of work for the pool.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Fault-tolerance tunables for the executor pool.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Worker threads (at least one).
+    pub num_workers: usize,
+    /// Admission cap: shard jobs queued or running at once. A fan-out
+    /// that would exceed it is rejected with
+    /// [`ServiceError::Overloaded`] before submitting anything.
+    pub max_queued_jobs: usize,
+    /// Consecutive failures (panics, injected errors, timeouts) that
+    /// trip one shard's circuit breaker.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker stays open before half-opening to
+    /// probe the shard with a single job.
+    pub breaker_cooldown: Duration,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            num_workers: 4,
+            max_queued_jobs: 4096,
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Why one shard contributed nothing to a fan-out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardFailureKind {
+    /// The shard job panicked; the payload message is preserved.
+    Panic(String),
+    /// The shard job failed without unwinding (injected fault).
+    Failed(String),
+    /// The shard had not responded when the deadline elapsed.
+    Timeout,
+    /// The shard's circuit breaker was open; the job was never run.
+    BreakerOpen,
+    /// The job was lost before producing a result (worker died with the
+    /// job in hand).
+    Lost,
+}
+
+/// One shard's failure in a fan-out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFailure {
+    /// Shard index within the corpus.
+    pub shard: usize,
+    /// What went wrong.
+    pub kind: ShardFailureKind,
+}
+
+/// The outcome of one fault-tolerant fan-out: the merged top-k over
+/// every shard that responded, plus coverage and per-shard failures.
+#[derive(Debug, Clone)]
+pub struct FanoutReport {
+    /// Merged global top-k over the shards in `shards_ok`.
+    pub neighbors: Vec<Neighbor>,
+    /// Search statistics summed over the responding shards.
+    pub stats: SearchStats,
+    /// Shards whose results made it into `neighbors`.
+    pub shards_ok: usize,
+    /// Shards the query addressed (`shards_ok < shards_total` ⇒ the
+    /// response is degraded).
+    pub shards_total: usize,
+    /// Failures for the `shards_total - shards_ok` missing shards.
+    pub failures: Vec<ShardFailure>,
+}
+
+impl FanoutReport {
+    /// `true` when at least one shard is missing from the merge.
+    pub fn degraded(&self) -> bool {
+        self.shards_ok < self.shards_total
+    }
+}
+
+/// Executor-level fault counters, sampled into metrics snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutorFaults {
+    /// Circuit-breaker trips (closed/half-open → open transitions).
+    pub breaker_trips: u64,
+    /// Dead worker threads respawned by [`Executor::heal`].
+    pub workers_respawned: u64,
+}
+
+/// Circuit-breaker state for one shard.
+///
+/// Closed → (threshold consecutive failures) → Open(until) →
+/// (cooldown) → HalfOpen (one probe) → Closed on success, re-Open on
+/// failure.
+#[derive(Debug, Default)]
+struct BreakerInner {
+    consecutive_failures: u32,
+    open_until: Option<Instant>,
+    probing: bool,
+}
+
+#[derive(Debug, Default)]
+struct ShardBreaker {
+    state: Mutex<BreakerInner>,
+    trips: AtomicU64,
+}
+
+impl ShardBreaker {
+    fn lock(&self) -> std::sync::MutexGuard<'_, BreakerInner> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Whether a job for this shard may run now. In the open state this
+    /// admits exactly one half-open probe once the cooldown elapsed.
+    fn admit(&self, now: Instant) -> bool {
+        let mut s = self.lock();
+        match s.open_until {
+            None => true,
+            Some(until) if now < until => false,
+            Some(_) if s.probing => false,
+            Some(_) => {
+                s.probing = true;
+                true
+            }
+        }
+    }
+
+    fn record_success(&self) {
+        let mut s = self.lock();
+        s.consecutive_failures = 0;
+        s.open_until = None;
+        s.probing = false;
+    }
+
+    /// Returns `true` when this failure tripped (or re-tripped) the
+    /// breaker.
+    fn record_failure(&self, now: Instant, threshold: u32, cooldown: Duration) -> bool {
+        let mut s = self.lock();
+        s.consecutive_failures = s.consecutive_failures.saturating_add(1);
+        let trip = s.probing || s.consecutive_failures >= threshold;
+        s.probing = false;
+        if trip {
+            s.open_until = Some(now + cooldown);
+            self.trips.fetch_add(1, Ordering::Relaxed);
+        }
+        trip
+    }
+}
+
+/// What one shard job sends back to the collector.
+type ShardOutcome = (
+    usize,
+    Result<(Vec<Neighbor>, SearchStats), ShardFailureKind>,
+);
+
+/// Decrements the in-flight job counter when the job finishes — on the
+/// success path, the failure path, and the unwind path alike.
+struct QueueSlot(Arc<AtomicUsize>);
+
+impl Drop for QueueSlot {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 /// A persistent pool of worker threads consuming shard jobs from a
-/// shared channel. Dropping the executor closes the channel; workers
-/// drain outstanding jobs and exit.
+/// shared channel, with panic isolation, per-shard circuit breakers,
+/// bounded admission, and deadline-aware collection. Dropping the
+/// executor closes the channel; workers drain outstanding jobs and
+/// exit.
 #[derive(Debug)]
 pub struct Executor {
     tx: Option<Sender<Job>>,
-    workers: Vec<JoinHandle<()>>,
+    /// Kept so submissions cannot race worker deaths: as long as this
+    /// receiver lives, `send` succeeds and [`Executor::heal`] can hand
+    /// the queue to fresh workers.
+    rx: Receiver<Job>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    config: ExecutorConfig,
+    /// Shard jobs queued or running (admission control).
+    queued: Arc<AtomicUsize>,
+    /// Per-shard breakers, grown on demand to the corpus size.
+    breakers: Mutex<Vec<Arc<ShardBreaker>>>,
+    respawned: AtomicU64,
+    next_worker_id: AtomicUsize,
+}
+
+fn spawn_worker(id: usize, rx: Receiver<Job>) -> Result<JoinHandle<()>, ServiceError> {
+    std::thread::Builder::new()
+        .name(format!("qcluster-knn-{id}"))
+        .spawn(move || {
+            while let Ok(job) = rx.recv() {
+                job();
+                // Failpoint `executor.worker.exit`: the worker dies
+                // after completing a job; `heal` must respawn it.
+                if failpoint::evaluate("executor.worker.exit").is_some() {
+                    return;
+                }
+            }
+        })
+        .map_err(|e| ServiceError::Spawn(format!("k-NN worker {id}: {e}")))
 }
 
 impl Executor {
-    /// Spawns a pool of `num_workers` threads (at least one).
-    pub fn new(num_workers: usize) -> Self {
+    /// Spawns a pool of `num_workers` threads (at least one) with
+    /// default fault-tolerance tunables.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Spawn`] when the OS refuses a thread; any workers
+    /// already spawned are shut down cleanly.
+    pub fn new(num_workers: usize) -> Result<Self, ServiceError> {
+        Executor::with_config(ExecutorConfig {
+            num_workers,
+            ..ExecutorConfig::default()
+        })
+    }
+
+    /// Spawns a pool with explicit fault-tolerance tunables.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Spawn`] when the OS refuses a thread.
+    pub fn with_config(config: ExecutorConfig) -> Result<Self, ServiceError> {
         let (tx, rx) = channel::unbounded::<Job>();
-        let workers = (0..num_workers.max(1))
-            .map(|i| {
-                let rx = rx.clone();
-                std::thread::Builder::new()
-                    .name(format!("qcluster-knn-{i}"))
-                    .spawn(move || {
-                        while let Ok(job) = rx.recv() {
-                            job();
-                        }
-                    })
-                    .expect("spawn k-NN worker")
-            })
-            .collect();
-        Executor {
-            tx: Some(tx),
-            workers,
+        let num_workers = config.num_workers.max(1);
+        let mut workers = Vec::with_capacity(num_workers);
+        for i in 0..num_workers {
+            match spawn_worker(i, rx.clone()) {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    // Shut down the partial pool before reporting.
+                    drop(tx);
+                    for handle in workers {
+                        let _ = handle.join();
+                    }
+                    return Err(e);
+                }
+            }
         }
+        Ok(Executor {
+            tx: Some(tx),
+            rx,
+            workers: Mutex::new(workers),
+            next_worker_id: AtomicUsize::new(num_workers),
+            config,
+            queued: Arc::new(AtomicUsize::new(0)),
+            breakers: Mutex::new(Vec::new()),
+            respawned: AtomicU64::new(0),
+        })
     }
 
     /// Number of worker threads.
     pub fn num_workers(&self) -> usize {
-        self.workers.len()
+        self.workers.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
-    fn submit(&self, job: Job) {
-        self.tx
-            .as_ref()
-            .expect("executor channel open while alive")
-            .send(job)
-            .expect("workers alive while executor alive");
+    /// Executor-level fault counters (breaker trips across all shards,
+    /// workers respawned).
+    pub fn fault_stats(&self) -> ExecutorFaults {
+        let trips = self
+            .breakers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|b| b.trips.load(Ordering::Relaxed))
+            .sum();
+        ExecutorFaults {
+            breaker_trips: trips,
+            workers_respawned: self.respawned.load(Ordering::Relaxed),
+        }
     }
 
-    /// Runs `query` against every shard of `corpus` in parallel and merges
-    /// the per-shard top-`k` into the global top-`k` (ties by id).
+    /// Respawns any worker thread that has died, returning how many
+    /// were replaced. Called automatically at the start of every
+    /// fan-out, so the pool self-heals without operator action.
     ///
-    /// `caches` optionally supplies one per-shard session cache; pass the
-    /// same slice across a session's queries to model the multipoint
-    /// approach's cross-iteration node buffer. The returned
-    /// [`SearchStats`] are summed over all shards.
+    /// # Errors
+    ///
+    /// [`ServiceError::Spawn`] when a replacement thread cannot be
+    /// created (the dead slot is left for the next attempt).
+    pub fn heal(&self) -> Result<usize, ServiceError> {
+        let mut workers = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+        let mut respawned = 0usize;
+        for slot in workers.iter_mut() {
+            if slot.is_finished() {
+                let id = self.next_worker_id.fetch_add(1, Ordering::Relaxed);
+                let fresh = spawn_worker(id, self.rx.clone())?;
+                let dead = std::mem::replace(slot, fresh);
+                let _ = dead.join();
+                respawned += 1;
+            }
+        }
+        if respawned > 0 {
+            self.respawned
+                .fetch_add(respawned as u64, Ordering::Relaxed);
+        }
+        Ok(respawned)
+    }
+
+    fn submit(&self, job: Job) -> Result<(), ServiceError> {
+        let tx = self
+            .tx
+            .as_ref()
+            .ok_or_else(|| ServiceError::Internal("executor already shut down".into()))?;
+        tx.send(job)
+            .map_err(|_| ServiceError::Internal("executor job channel disconnected".into()))
+    }
+
+    /// One breaker per shard index, growing the table on demand.
+    fn breakers_for(&self, num_shards: usize) -> Vec<Arc<ShardBreaker>> {
+        let mut breakers = self.breakers.lock().unwrap_or_else(|e| e.into_inner());
+        while breakers.len() < num_shards {
+            breakers.push(Arc::new(ShardBreaker::default()));
+        }
+        breakers[..num_shards].to_vec()
+    }
+
+    /// Runs `query` against every shard of `corpus` in parallel and
+    /// merges the per-shard top-`k` into the global top-`k` (ties by
+    /// id), panicking on failure. Prefer [`Executor::try_knn`] on
+    /// request paths — this wrapper keeps the original infallible
+    /// contract for tests and benchmarks.
     ///
     /// # Panics
     ///
     /// Panics when `k == 0`, the query dimensionality disagrees with the
-    /// corpus, or `caches` is present with the wrong length.
+    /// corpus, `caches` is present with the wrong length, or the
+    /// fan-out fails.
     pub fn knn(
         &self,
         corpus: &ShardedCorpus,
@@ -106,39 +402,268 @@ impl Executor {
                 "one cache per shard required"
             );
         }
+        let report = self
+            .try_knn(corpus, query, k, caches, None)
+            .expect("undeadlined fan-out on a healthy pool");
+        (report.neighbors, report.stats)
+    }
+
+    /// The fault-tolerant fan-out: runs `query` against every shard of
+    /// `corpus`, collecting per-shard results until `deadline` (forever
+    /// when `None`), and merges whatever arrived. See [`FanoutReport`]
+    /// for coverage semantics; shards skipped by an open circuit
+    /// breaker or lost to panics/timeouts appear in
+    /// [`FanoutReport::failures`].
+    ///
+    /// `caches` optionally supplies one per-shard session cache; pass
+    /// the same slice across a session's queries to model the
+    /// multipoint approach's cross-iteration node buffer.
+    ///
+    /// # Errors
+    ///
+    /// - [`ServiceError::InvalidRequest`] for `k == 0` or a bad cache
+    ///   slice length.
+    /// - [`ServiceError::DimensionMismatch`] when the query and corpus
+    ///   disagree.
+    /// - [`ServiceError::Overloaded`] when admission control rejects
+    ///   the fan-out (nothing was submitted).
+    /// - [`ServiceError::DeadlineExceeded`] when the deadline elapsed
+    ///   with *zero* shards responding (no partial result to return).
+    /// - [`ServiceError::Internal`] when every shard failed for
+    ///   non-deadline reasons.
+    pub fn try_knn(
+        &self,
+        corpus: &ShardedCorpus,
+        query: &dyn FanoutQuery,
+        k: usize,
+        caches: Option<&[Arc<Mutex<NodeCache>>]>,
+        deadline: Option<Instant>,
+    ) -> Result<FanoutReport, ServiceError> {
+        if k == 0 {
+            return Err(ServiceError::InvalidRequest("k must be positive".into()));
+        }
+        if query.dim() != corpus.dim() {
+            return Err(ServiceError::DimensionMismatch {
+                expected: corpus.dim(),
+                found: query.dim(),
+            });
+        }
+        if let Some(caches) = caches {
+            if caches.len() != corpus.num_shards() {
+                return Err(ServiceError::InvalidRequest(format!(
+                    "{} session caches for {} shards",
+                    caches.len(),
+                    corpus.num_shards()
+                )));
+            }
+        }
+        self.heal()?;
 
         let num_shards = corpus.num_shards();
-        let (result_tx, result_rx) = channel::unbounded();
-        for (i, shard) in corpus.shards().iter().enumerate() {
-            let shard = Arc::clone(shard);
+        let breakers = self.breakers_for(num_shards);
+        let started = Instant::now();
+        let mut failures: Vec<ShardFailure> = Vec::new();
+
+        // Circuit breakers decide which shards run at all.
+        let admitted: Vec<usize> = (0..num_shards)
+            .filter(|&i| {
+                if breakers[i].admit(started) {
+                    true
+                } else {
+                    failures.push(ShardFailure {
+                        shard: i,
+                        kind: ShardFailureKind::BreakerOpen,
+                    });
+                    false
+                }
+            })
+            .collect();
+
+        // Admission control: reserve queue slots for the whole fan-out
+        // or reject it outright.
+        if !admitted.is_empty() {
+            let prev = self.queued.fetch_add(admitted.len(), Ordering::AcqRel);
+            if prev + admitted.len() > self.config.max_queued_jobs {
+                self.queued.fetch_sub(admitted.len(), Ordering::AcqRel);
+                return Err(ServiceError::Overloaded {
+                    queued: prev,
+                    capacity: self.config.max_queued_jobs,
+                });
+            }
+        }
+
+        let (result_tx, result_rx) = channel::unbounded::<ShardOutcome>();
+        for &i in &admitted {
+            let shard = Arc::clone(&corpus.shards()[i]);
             let shard_query = query.clone_fanout();
             let cache = caches.map(|c| Arc::clone(&c[i]));
             let result_tx = result_tx.clone();
+            let slot = QueueSlot(Arc::clone(&self.queued));
             self.submit(Box::new(move || {
-                let result = match cache {
-                    Some(cache) => {
-                        let mut cache = cache.lock().unwrap_or_else(|e| e.into_inner());
-                        shard.knn(&*shard_query, k, Some(&mut cache))
-                    }
-                    None => shard.knn(&*shard_query, k, None),
-                };
+                let _slot = slot;
+                let outcome = run_shard_job(i, &shard, &*shard_query, k, cache.as_ref());
                 // A send failure means the requester gave up; drop quietly.
-                let _ = result_tx.send(result);
-            }));
+                let _ = result_tx.send((i, outcome));
+            }))?;
         }
         drop(result_tx);
 
-        let mut per_shard = Vec::with_capacity(num_shards);
+        // Collect until every admitted shard reported or the deadline
+        // elapsed. `arrived` attributes timeouts to specific shards.
+        let mut arrived = vec![false; num_shards];
+        let mut per_shard: Vec<Vec<Neighbor>> = Vec::with_capacity(admitted.len());
         let mut stats = SearchStats::default();
-        for _ in 0..num_shards {
-            let (neighbors, shard_stats) = result_rx.recv().expect("all shard jobs complete");
-            stats.nodes_accessed += shard_stats.nodes_accessed;
-            stats.cache_hits += shard_stats.cache_hits;
-            stats.disk_reads += shard_stats.disk_reads;
-            stats.distance_evaluations += shard_stats.distance_evaluations;
-            per_shard.push(neighbors);
+        let mut shards_ok = 0usize;
+        let mut received = 0usize;
+        let mut lost = false;
+        while received < admitted.len() {
+            let outcome = match deadline {
+                None => match result_rx.recv() {
+                    Ok(o) => o,
+                    Err(_) => {
+                        lost = true;
+                        break;
+                    }
+                },
+                Some(d) => {
+                    let now = Instant::now();
+                    let Some(wait) = d.checked_duration_since(now).filter(|w| !w.is_zero()) else {
+                        break; // deadline elapsed
+                    };
+                    match result_rx.recv_timeout(wait) {
+                        Ok(o) => o,
+                        Err(RecvTimeoutError::Timeout) => break,
+                        Err(RecvTimeoutError::Disconnected) => {
+                            lost = true;
+                            break;
+                        }
+                    }
+                }
+            };
+            received += 1;
+            let (shard, result) = outcome;
+            arrived[shard] = true;
+            match result {
+                Ok((neighbors, shard_stats)) => {
+                    breakers[shard].record_success();
+                    stats.nodes_accessed += shard_stats.nodes_accessed;
+                    stats.cache_hits += shard_stats.cache_hits;
+                    stats.disk_reads += shard_stats.disk_reads;
+                    stats.distance_evaluations += shard_stats.distance_evaluations;
+                    per_shard.push(neighbors);
+                    shards_ok += 1;
+                }
+                Err(kind) => {
+                    breakers[shard].record_failure(
+                        Instant::now(),
+                        self.config.breaker_threshold,
+                        self.config.breaker_cooldown,
+                    );
+                    failures.push(ShardFailure { shard, kind });
+                }
+            }
         }
-        (merge_top_k(per_shard, k), stats)
+
+        // Shards that never reported: timed out (deadline path) or lost
+        // with a dying worker (disconnect path).
+        for &i in &admitted {
+            if !arrived[i] {
+                let kind = if lost {
+                    ShardFailureKind::Lost
+                } else {
+                    breakers[i].record_failure(
+                        Instant::now(),
+                        self.config.breaker_threshold,
+                        self.config.breaker_cooldown,
+                    );
+                    ShardFailureKind::Timeout
+                };
+                failures.push(ShardFailure { shard: i, kind });
+            }
+        }
+
+        if shards_ok == 0 {
+            let waited_ms = started.elapsed().as_millis() as u64;
+            return if deadline.is_some_and(|d| Instant::now() >= d) {
+                Err(ServiceError::DeadlineExceeded {
+                    waited_ms,
+                    shards_ok: 0,
+                    shards_total: num_shards,
+                })
+            } else {
+                Err(ServiceError::Internal(format!(
+                    "all {num_shards} shards failed: {failures:?}"
+                )))
+            };
+        }
+
+        failures.sort_by_key(|f| f.shard);
+        Ok(FanoutReport {
+            neighbors: merge_top_k(per_shard, k),
+            stats,
+            shards_ok,
+            shards_total: num_shards,
+            failures,
+        })
+    }
+}
+
+/// The body of one shard job: failpoint evaluation, then the shard
+/// k-NN under `catch_unwind` so a panic becomes a per-shard failure.
+fn run_shard_job(
+    shard_index: usize,
+    shard: &crate::shard::Shard,
+    query: &dyn FanoutQuery,
+    k: usize,
+    cache: Option<&Arc<Mutex<NodeCache>>>,
+) -> Result<(Vec<Neighbor>, SearchStats), ShardFailureKind> {
+    let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+        || -> Result<(Vec<Neighbor>, SearchStats), ShardFailureKind> {
+            // Failpoints: the shard-specific name wins over the generic
+            // one; formatting only happens while any failpoint is armed.
+            if failpoint::active() {
+                let action = failpoint::evaluate_sleepy(&format!("executor.shard.{shard_index}"))
+                    .or_else(|| failpoint::evaluate_sleepy("executor.shard"));
+                match action {
+                    Some(failpoint::Action::Panic(msg)) => {
+                        panic!("injected panic in shard {shard_index}: {msg}")
+                    }
+                    Some(failpoint::Action::Error(msg)) => {
+                        return Err(ShardFailureKind::Failed(format!(
+                            "injected failure in shard {shard_index}: {msg}"
+                        )))
+                    }
+                    Some(failpoint::Action::Partial(n)) => {
+                        return Err(ShardFailureKind::Failed(format!(
+                            "injected partial({n}) in shard {shard_index}"
+                        )))
+                    }
+                    Some(failpoint::Action::Sleep(_)) | None => {}
+                }
+            }
+            Ok(match cache {
+                Some(cache) => {
+                    let mut cache = cache.lock().unwrap_or_else(|e| e.into_inner());
+                    shard.knn(query, k, Some(&mut cache))
+                }
+                None => shard.knn(query, k, None),
+            })
+        },
+    ));
+    match unwound {
+        Ok(result) => result,
+        Err(payload) => Err(ShardFailureKind::Panic(panic_message(payload.as_ref()))),
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -146,7 +671,8 @@ impl Drop for Executor {
     fn drop(&mut self) {
         // Close the job channel so workers exit, then join them.
         self.tx = None;
-        for handle in self.workers.drain(..) {
+        let mut workers = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+        for handle in workers.drain(..) {
             let _ = handle.join();
         }
     }
@@ -171,7 +697,7 @@ mod tests {
     fn parallel_knn_is_exact() {
         let pts = spiral(500);
         let expect = LinearScan::new(&pts).knn(&EuclideanQuery::new(vec![1.0, -2.0, 3.0]), 25);
-        let executor = Executor::new(3);
+        let executor = Executor::new(3).unwrap();
         for kind in [ShardKind::Scan, ShardKind::Tree] {
             for shards in [1, 2, 4, 7] {
                 let corpus = ShardedCorpus::build(&pts, shards, kind);
@@ -191,7 +717,7 @@ mod tests {
     fn session_caches_accumulate_hits_across_queries() {
         let pts = spiral(400);
         let corpus = ShardedCorpus::build(&pts, 4, ShardKind::Tree);
-        let executor = Executor::new(2);
+        let executor = Executor::new(2).unwrap();
         let caches: Vec<Arc<Mutex<NodeCache>>> = corpus
             .shards()
             .iter()
@@ -210,7 +736,7 @@ mod tests {
     fn executor_outlives_many_rounds_and_drops_cleanly() {
         let pts = spiral(120);
         let corpus = ShardedCorpus::build(&pts, 3, ShardKind::Scan);
-        let executor = Executor::new(4);
+        let executor = Executor::new(4).unwrap();
         assert_eq!(executor.num_workers(), 4);
         for round in 0..50 {
             let q = EuclideanQuery::new(vec![round as f64 * 0.05, 0.0, 1.0]);
@@ -224,8 +750,95 @@ mod tests {
     #[should_panic(expected = "dimensionality mismatch")]
     fn dimension_mismatch_panics() {
         let corpus = ShardedCorpus::build(&spiral(10), 2, ShardKind::Scan);
-        let executor = Executor::new(1);
+        let executor = Executor::new(1).unwrap();
         let q = EuclideanQuery::new(vec![0.0]);
         let _ = executor.knn(&corpus, &q, 1, None);
+    }
+
+    #[test]
+    fn try_knn_reports_full_coverage_on_healthy_pool() {
+        let pts = spiral(200);
+        let corpus = ShardedCorpus::build(&pts, 4, ShardKind::Scan);
+        let executor = Executor::new(2).unwrap();
+        let q = EuclideanQuery::new(vec![0.5, 0.5, 1.0]);
+        let report = executor.try_knn(&corpus, &q, 10, None, None).unwrap();
+        assert_eq!(report.shards_ok, 4);
+        assert_eq!(report.shards_total, 4);
+        assert!(!report.degraded());
+        assert!(report.failures.is_empty());
+        assert_eq!(report.neighbors.len(), 10);
+        assert_eq!(executor.fault_stats(), ExecutorFaults::default());
+    }
+
+    #[test]
+    fn try_knn_rejects_invalid_requests_with_typed_errors() {
+        let corpus = ShardedCorpus::build(&spiral(20), 2, ShardKind::Scan);
+        let executor = Executor::new(1).unwrap();
+        let q = EuclideanQuery::new(vec![0.0, 0.0, 0.0]);
+        assert!(matches!(
+            executor.try_knn(&corpus, &q, 0, None, None),
+            Err(ServiceError::InvalidRequest(_))
+        ));
+        let bad = EuclideanQuery::new(vec![0.0]);
+        assert!(matches!(
+            executor.try_knn(&corpus, &bad, 3, None, None),
+            Err(ServiceError::DimensionMismatch {
+                expected: 3,
+                found: 1
+            })
+        ));
+        let short_caches = vec![Arc::new(Mutex::new(NodeCache::new(4)))];
+        assert!(matches!(
+            executor.try_knn(&corpus, &q, 3, Some(&short_caches), None),
+            Err(ServiceError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        let pts = spiral(300);
+        let corpus = ShardedCorpus::build(&pts, 3, ShardKind::Tree);
+        let executor = Executor::new(2).unwrap();
+        let q = EuclideanQuery::new(vec![1.0, 0.0, 2.0]);
+        let (plain, _) = executor.knn(&corpus, &q, 15, None);
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let report = executor
+            .try_knn(&corpus, &q, 15, None, Some(deadline))
+            .unwrap();
+        assert!(!report.degraded());
+        assert_eq!(report.neighbors.len(), plain.len());
+        for (a, b) in report.neighbors.iter().zip(plain.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+        }
+    }
+
+    #[test]
+    fn breaker_admits_closed_trips_then_half_opens() {
+        let breaker = ShardBreaker::default();
+        let t0 = Instant::now();
+        let cooldown = Duration::from_millis(50);
+        assert!(breaker.admit(t0));
+        assert!(!breaker.record_failure(t0, 2, cooldown));
+        assert!(breaker.admit(t0));
+        assert!(
+            breaker.record_failure(t0, 2, cooldown),
+            "second failure trips"
+        );
+        assert!(!breaker.admit(t0), "open: skip");
+        assert!(!breaker.admit(t0 + Duration::from_millis(10)), "still open");
+        // Cooldown elapsed: exactly one half-open probe.
+        let after = t0 + Duration::from_millis(60);
+        assert!(breaker.admit(after), "half-open probe admitted");
+        assert!(!breaker.admit(after), "only one probe at a time");
+        // Probe failure re-trips immediately (no threshold wait).
+        assert!(breaker.record_failure(after, 2, cooldown));
+        assert!(!breaker.admit(after + Duration::from_millis(10)));
+        // Next probe succeeds: breaker closes fully.
+        let later = after + Duration::from_millis(60);
+        assert!(breaker.admit(later));
+        breaker.record_success();
+        assert!(breaker.admit(later), "closed again: everyone admitted");
+        assert_eq!(breaker.trips.load(Ordering::Relaxed), 2);
     }
 }

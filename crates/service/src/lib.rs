@@ -34,7 +34,7 @@
 //! let points: Vec<Vec<f64>> = (0..64)
 //!     .map(|i| vec![(i % 8) as f64, (i / 8) as f64])
 //!     .collect();
-//! let service = Service::new(&points, ServiceConfig::default());
+//! let service = Service::new(&points, ServiceConfig::default()).unwrap();
 //!
 //! let Response::SessionCreated { session } =
 //!     dispatch(&service, Request::CreateSession { engine: None })
@@ -43,6 +43,7 @@
 //!     session,
 //!     k: 5,
 //!     vector: Some(vec![3.0, 3.0]),
+//!     deadline_ms: None,
 //! }) else { unreachable!() };
 //! assert_eq!(neighbors.len(), 5);
 //! ```
@@ -58,8 +59,13 @@ pub mod session;
 pub mod shard;
 
 pub use error::ServiceError;
-pub use executor::{Executor, FanoutQuery};
-pub use metrics::{MetricsSnapshot, OpHistogram, OpSummary, ServiceMetrics, StorageGauges};
+pub use executor::{
+    Executor, ExecutorConfig, ExecutorFaults, FanoutQuery, FanoutReport, ShardFailure,
+    ShardFailureKind,
+};
+pub use metrics::{
+    FaultGauges, MetricsSnapshot, OpHistogram, OpSummary, ServiceMetrics, StorageGauges,
+};
 pub use protocol::{dispatch, NeighborDto, Request, Response, SearchStatsDto};
 pub use qcluster_store::{CompactionStats, StoreConfig};
 pub use service::{FeedOutcome, IngestOutcome, QueryOutcome, Service, ServiceConfig};

@@ -95,6 +95,13 @@ pub struct ServiceMetrics {
     ingests: AtomicU64,
     flushes: AtomicU64,
     recoveries: AtomicU64,
+    shard_panics: AtomicU64,
+    shard_failures: AtomicU64,
+    shard_timeouts: AtomicU64,
+    breaker_skips: AtomicU64,
+    degraded_responses: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    overload_rejections: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -151,12 +158,56 @@ impl ServiceMetrics {
         self.recoveries.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one shard job that panicked during a fan-out.
+    pub fn record_shard_panic(&self) {
+        self.shard_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one shard job that failed without unwinding (injected
+    /// fault, or lost with a dying worker).
+    pub fn record_shard_failure(&self) {
+        self.shard_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one shard that missed a query's deadline.
+    pub fn record_shard_timeout(&self) {
+        self.shard_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one shard skipped because its circuit breaker was open.
+    pub fn record_breaker_skip(&self) {
+        self.breaker_skips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one query answered with partial shard coverage.
+    pub fn record_degraded_response(&self) {
+        self.degraded_responses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one query that returned nothing before its deadline.
+    pub fn record_deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one query rejected by admission control.
+    pub fn record_overload_rejection(&self) {
+        self.overload_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A serializable snapshot; `active_sessions` is supplied by the
     /// session registry (the metrics object does not track liveness
     /// itself, so the gauge can never drift from the registry's truth),
     /// and `storage` by the durable store / live-ingest overlay for the
-    /// same reason (all zero for a memory-only service).
-    pub fn snapshot(&self, active_sessions: u64, storage: StorageGauges) -> MetricsSnapshot {
+    /// same reason (all zero for a memory-only service). `breaker_trips`
+    /// and `workers_respawned` are sampled from the executor, which owns
+    /// those counters.
+    pub fn snapshot(
+        &self,
+        active_sessions: u64,
+        storage: StorageGauges,
+        breaker_trips: u64,
+        workers_respawned: u64,
+    ) -> MetricsSnapshot {
         let cache_hits = self.cache_hits.load(Ordering::Relaxed);
         let cache_misses = self.cache_misses.load(Ordering::Relaxed);
         let touched = cache_hits + cache_misses;
@@ -181,8 +232,45 @@ impl ServiceMetrics {
             flushes: self.flushes.load(Ordering::Relaxed),
             recoveries: self.recoveries.load(Ordering::Relaxed),
             storage,
+            faults: FaultGauges {
+                shard_panics: self.shard_panics.load(Ordering::Relaxed),
+                shard_failures: self.shard_failures.load(Ordering::Relaxed),
+                shard_timeouts: self.shard_timeouts.load(Ordering::Relaxed),
+                breaker_skips: self.breaker_skips.load(Ordering::Relaxed),
+                breaker_trips,
+                degraded_responses: self.degraded_responses.load(Ordering::Relaxed),
+                deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+                overload_rejections: self.overload_rejections.load(Ordering::Relaxed),
+                workers_respawned,
+            },
         }
     }
+}
+
+/// Fault-path counters sampled at snapshot time. Shard-level counters
+/// come from the service's own recorders; `breaker_trips` and
+/// `workers_respawned` are owned by the executor and sampled from it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultGauges {
+    /// Shard jobs that panicked and were isolated (query kept running).
+    pub shard_panics: u64,
+    /// Shard jobs that failed without unwinding, or were lost with a
+    /// dying worker.
+    pub shard_failures: u64,
+    /// Shards that missed a query's deadline.
+    pub shard_timeouts: u64,
+    /// Shards skipped because their circuit breaker was open.
+    pub breaker_skips: u64,
+    /// Circuit-breaker open transitions (closed/half-open → open).
+    pub breaker_trips: u64,
+    /// Queries answered with partial shard coverage.
+    pub degraded_responses: u64,
+    /// Queries that produced nothing before their deadline.
+    pub deadline_exceeded: u64,
+    /// Queries rejected by admission control.
+    pub overload_rejections: u64,
+    /// Dead executor workers replaced by the self-healing pool.
+    pub workers_respawned: u64,
 }
 
 /// Storage and live-index gauges sampled at snapshot time (the durable
@@ -241,6 +329,8 @@ pub struct MetricsSnapshot {
     pub recoveries: u64,
     /// Storage + overlay gauges (all zero for a memory-only service).
     pub storage: StorageGauges,
+    /// Fault-path counters (panics, timeouts, breaker activity, …).
+    pub faults: FaultGauges,
 }
 
 #[cfg(test)]
@@ -264,7 +354,7 @@ mod tests {
     #[test]
     fn empty_histogram_snapshot_is_zero() {
         let m = ServiceMetrics::new();
-        let s = m.snapshot(0, StorageGauges::default());
+        let s = m.snapshot(0, StorageGauges::default(), 0, 0);
         assert_eq!(s.query.count, 0);
         assert_eq!(s.query.min_ns, 0);
         assert_eq!(s.query.mean_ns, 0.0);
@@ -283,7 +373,7 @@ mod tests {
         m.record_session_created();
         m.record_session_created();
         m.record_session_closed();
-        let s = m.snapshot(1, StorageGauges::default());
+        let s = m.snapshot(1, StorageGauges::default(), 0, 0);
         assert_eq!(s.cache_hits, 3);
         assert_eq!(s.cache_misses, 5);
         assert!((s.cache_hit_ratio - 0.375).abs() < 1e-12);
@@ -293,6 +383,34 @@ mod tests {
         assert_eq!(s.sessions_created, 2);
         assert_eq!(s.sessions_closed, 1);
         assert_eq!(s.active_sessions, 1);
+    }
+
+    #[test]
+    fn fault_counters_surface_in_snapshot() {
+        let m = ServiceMetrics::new();
+        m.record_shard_panic();
+        m.record_shard_failure();
+        m.record_shard_failure();
+        m.record_shard_timeout();
+        m.record_breaker_skip();
+        m.record_degraded_response();
+        m.record_deadline_exceeded();
+        m.record_overload_rejection();
+        let s = m.snapshot(0, StorageGauges::default(), 5, 2);
+        assert_eq!(
+            s.faults,
+            FaultGauges {
+                shard_panics: 1,
+                shard_failures: 2,
+                shard_timeouts: 1,
+                breaker_skips: 1,
+                breaker_trips: 5,
+                degraded_responses: 1,
+                deadline_exceeded: 1,
+                overload_rejections: 1,
+                workers_respawned: 2,
+            }
+        );
     }
 
     #[test]
@@ -309,7 +427,7 @@ mod tests {
                 });
             }
         });
-        let s = m.snapshot(0, StorageGauges::default());
+        let s = m.snapshot(0, StorageGauges::default(), 0, 0);
         assert_eq!(s.query.count, 1000);
         assert_eq!(s.cache_hits, 1000);
         assert_eq!(s.cache_misses, 1000);

@@ -32,6 +32,11 @@ pub enum Request {
         k: usize,
         /// Optional explicit query vector (initial round).
         vector: Option<Vec<f64>>,
+        /// Optional per-request deadline in milliseconds. `None` falls
+        /// back to the service's configured default deadline. On expiry
+        /// the response is degraded (partial coverage), not an error,
+        /// unless zero shards responded.
+        deadline_ms: Option<u64>,
     },
     /// Mark corpus images as relevant, optionally graded.
     Feed {
@@ -111,14 +116,22 @@ pub enum Response {
         /// The new session id.
         session: u64,
     },
-    /// A query round's results.
+    /// A query round's results. `shards_ok < shards_total` marks a
+    /// degraded response: the top-k is correct over the shards that
+    /// responded, but silent misses from the failed shards are possible.
     Neighbors {
         /// The session that ran the query.
         session: u64,
         /// Global top-k, ascending by `(distance, id)`.
         neighbors: Vec<NeighborDto>,
-        /// Search work, summed over shards.
+        /// Search work, summed over the shards that responded.
         stats: SearchStatsDto,
+        /// Shards whose results made it into the merge.
+        shards_ok: usize,
+        /// Shards the query fanned out to.
+        shards_total: usize,
+        /// `shards_ok < shards_total`, precomputed for wire clients.
+        degraded: bool,
     },
     /// A feed round was ingested.
     FeedAccepted {
@@ -165,15 +178,31 @@ pub fn dispatch(service: &Service, request: Request) -> Response {
             Some(name) => service.create_session_named(&name),
         }
         .map(|session| Response::SessionCreated { session }),
-        Request::Query { session, k, vector } => match vector {
-            Some(v) => service.query_vector(session, v, k),
-            None => service.query(session, k),
-        }
-        .map(|out| Response::Neighbors {
+        Request::Query {
             session,
-            neighbors: out.neighbors.into_iter().map(NeighborDto::from).collect(),
-            stats: SearchStatsDto::from(out.stats),
-        }),
+            k,
+            vector,
+            deadline_ms,
+        } => {
+            let explicit = deadline_ms.map(std::time::Duration::from_millis);
+            match (vector, explicit) {
+                (Some(v), Some(d)) => service.query_vector_with_deadline(session, v, k, Some(d)),
+                (Some(v), None) => service.query_vector(session, v, k),
+                (None, Some(d)) => service.query_with_deadline(session, k, Some(d)),
+                (None, None) => service.query(session, k),
+            }
+            .map(|out| {
+                let degraded = out.degraded();
+                Response::Neighbors {
+                    session,
+                    neighbors: out.neighbors.into_iter().map(NeighborDto::from).collect(),
+                    stats: SearchStatsDto::from(out.stats),
+                    shards_ok: out.shards_ok,
+                    shards_total: out.shards_total,
+                    degraded,
+                }
+            })
+        }
         Request::Feed {
             session,
             relevant_ids,
@@ -226,6 +255,7 @@ mod tests {
                 ..ServiceConfig::default()
             },
         )
+        .unwrap()
     }
 
     #[test]
@@ -243,6 +273,7 @@ mod tests {
                 session,
                 k: 6,
                 vector: Some(vec![0.5, 0.5]),
+                deadline_ms: None,
             },
         ) else {
             panic!("expected Neighbors");
@@ -268,6 +299,7 @@ mod tests {
                 session,
                 k: 6,
                 vector: None,
+                deadline_ms: None,
             },
         ) else {
             panic!("expected refined Neighbors");
@@ -295,7 +327,8 @@ mod tests {
                 Request::Query {
                     session: 7,
                     k: 1,
-                    vector: None
+                    vector: None,
+                    deadline_ms: None
                 }
             ),
             Response::Error(ServiceError::UnknownSession(7))

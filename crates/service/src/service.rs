@@ -6,7 +6,7 @@
 //! any number of client threads calling into it concurrently.
 
 use crate::error::ServiceError;
-use crate::executor::{Executor, FanoutQuery};
+use crate::executor::{Executor, ExecutorConfig, FanoutQuery, ShardFailureKind};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics, StorageGauges};
 use crate::session::{RegistryConfig, ServiceEngine, Session, SessionRegistry};
 use crate::shard::{ShardKind, ShardedCorpus};
@@ -42,6 +42,17 @@ pub struct ServiceConfig {
     /// Side-buffer size at which the live-ingest overlay index rebuilds
     /// (only relevant for durable services; see [`Service::ingest`]).
     pub overlay_rebuild_threshold: usize,
+    /// Deadline applied to queries that do not carry their own
+    /// (`None` = wait for every shard). On expiry the query returns a
+    /// degraded partial result over the shards that responded.
+    pub default_deadline: Option<Duration>,
+    /// Consecutive shard failures that trip its circuit breaker.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker skips its shard before half-opening.
+    pub breaker_cooldown: Duration,
+    /// Admission cap on shard jobs queued or running at once; fan-outs
+    /// beyond it are rejected with [`ServiceError::Overloaded`].
+    pub max_queued_jobs: usize,
 }
 
 impl Default for ServiceConfig {
@@ -57,6 +68,10 @@ impl Default for ServiceConfig {
             engine: QclusterConfig::default(),
             default_score: 3.0,
             overlay_rebuild_threshold: 256,
+            default_deadline: None,
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(1),
+            max_queued_jobs: 4096,
         }
     }
 }
@@ -77,6 +92,19 @@ pub struct QueryOutcome {
     pub neighbors: Vec<Neighbor>,
     /// Search work summed across shards.
     pub stats: SearchStats,
+    /// Shards whose results made it into the merge.
+    pub shards_ok: usize,
+    /// Shards the query addressed.
+    pub shards_total: usize,
+}
+
+impl QueryOutcome {
+    /// `true` when shard timeouts, panics, or open breakers kept some
+    /// shards out of the merge — the ranking covers only
+    /// `shards_ok / shards_total` of the corpus.
+    pub fn degraded(&self) -> bool {
+        self.shards_ok < self.shards_total
+    }
 }
 
 /// Result of one live ingest.
@@ -119,19 +147,28 @@ impl Service {
     /// Builds the service over `points`: shards the corpus, spawns the
     /// worker pool, and readies an empty session registry.
     ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Spawn`] when a worker thread cannot be created.
+    ///
     /// # Panics
     ///
     /// Panics on an empty corpus, ragged dimensionalities, or zero
     /// shards/sessions.
-    pub fn new(points: &[Vec<f64>], config: ServiceConfig) -> Self {
+    pub fn new(points: &[Vec<f64>], config: ServiceConfig) -> Result<Self, ServiceError> {
         let corpus = ShardedCorpus::build(points, config.num_shards, config.shard_kind);
-        let executor = Executor::new(config.num_workers);
+        let executor = Executor::with_config(ExecutorConfig {
+            num_workers: config.num_workers,
+            max_queued_jobs: config.max_queued_jobs,
+            breaker_threshold: config.breaker_threshold,
+            breaker_cooldown: config.breaker_cooldown,
+        })?;
         let registry = SessionRegistry::new(RegistryConfig {
             max_sessions: config.max_sessions,
             idle_ttl: config.idle_ttl,
             evict_lru_at_capacity: config.evict_lru_at_capacity,
         });
-        Service {
+        Ok(Service {
             corpus,
             executor,
             registry,
@@ -139,7 +176,7 @@ impl Service {
             config,
             base_len: points.len(),
             live: Mutex::new(LiveState::default()),
-        }
+        })
     }
 
     /// Opens a durable service over a store directory.
@@ -177,7 +214,7 @@ impl Service {
             recovered.vectors
         };
         let service = {
-            let mut s = Service::new(&base, config);
+            let mut s = Service::new(&base, config)?;
             s.live = Mutex::new(LiveState {
                 store: Some(store),
                 overlay: None,
@@ -418,11 +455,13 @@ impl Service {
                     let vector = if id < self.base_len {
                         self.corpus.point(id).to_vec()
                     } else {
-                        live.overlay
-                            .as_ref()
-                            .expect("total > base_len implies overlay")
-                            .point(id - self.base_len)
-                            .to_vec()
+                        let overlay = live.overlay.as_ref().ok_or_else(|| {
+                            ServiceError::Internal(format!(
+                                "id {id} past base corpus {} but no overlay exists",
+                                self.base_len
+                            ))
+                        })?;
+                        overlay.point(id - self.base_len).to_vec()
                     };
                     Ok(FeedbackPoint::new(id, vector, score))
                 })
@@ -447,6 +486,27 @@ impl Service {
     /// [`ServiceError::UnknownSession`], [`ServiceError::InvalidRequest`]
     /// for `k == 0`, or [`ServiceError::Engine`] before any feedback.
     pub fn query(&self, session: u64, k: usize) -> Result<QueryOutcome, ServiceError> {
+        self.query_with_deadline(session, k, self.config.default_deadline)
+    }
+
+    /// [`Service::query`] with an explicit per-request deadline
+    /// (`None` = wait for every shard, overriding any configured
+    /// default). On expiry, whatever shards responded are merged into a
+    /// degraded partial result — see [`QueryOutcome::degraded`]; only
+    /// when *zero* shards made the deadline does this return
+    /// [`ServiceError::DeadlineExceeded`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Service::query`] returns, plus
+    /// [`ServiceError::DeadlineExceeded`] and
+    /// [`ServiceError::Overloaded`].
+    pub fn query_with_deadline(
+        &self,
+        session: u64,
+        k: usize,
+        deadline: Option<Duration>,
+    ) -> Result<QueryOutcome, ServiceError> {
         let handle = self.registry.get(session)?;
         let start = Instant::now();
         let mut guard = handle.lock();
@@ -468,7 +528,7 @@ impl Service {
                 guard.engine().query().map_err(ServiceError::from_core)?
             }
         };
-        self.run_query(&mut guard, &*query, k, start)
+        self.run_query(&mut guard, &*query, k, start, deadline)
     }
 
     /// Runs an ad-hoc query from an explicit vector — the session's
@@ -487,6 +547,25 @@ impl Service {
         vector: Vec<f64>,
         k: usize,
     ) -> Result<QueryOutcome, ServiceError> {
+        self.query_vector_with_deadline(session, vector, k, self.config.default_deadline)
+    }
+
+    /// [`Service::query_vector`] with an explicit per-request deadline;
+    /// see [`Service::query_with_deadline`] for the degraded-result
+    /// semantics.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Service::query_vector`] returns, plus
+    /// [`ServiceError::DeadlineExceeded`] and
+    /// [`ServiceError::Overloaded`].
+    pub fn query_vector_with_deadline(
+        &self,
+        session: u64,
+        vector: Vec<f64>,
+        k: usize,
+        deadline: Option<Duration>,
+    ) -> Result<QueryOutcome, ServiceError> {
         if vector.len() != self.corpus.dim() {
             return Err(ServiceError::DimensionMismatch {
                 expected: self.corpus.dim(),
@@ -497,7 +576,7 @@ impl Service {
         let start = Instant::now();
         let mut guard = handle.lock();
         let query = EuclideanQuery::new(vector);
-        self.run_query(&mut guard, &query, k, start)
+        self.run_query(&mut guard, &query, k, start, deadline)
     }
 
     fn run_query(
@@ -506,14 +585,48 @@ impl Service {
         query: &dyn FanoutQuery,
         k: usize,
         start: Instant,
+        deadline: Option<Duration>,
     ) -> Result<QueryOutcome, ServiceError> {
         if k == 0 {
             return Err(ServiceError::InvalidRequest("k must be positive".into()));
         }
         let caches = session.caches_for_query().to_vec();
         let fanout_start = Instant::now();
-        let (mut neighbors, mut stats) = self.executor.knn(&self.corpus, query, k, Some(&caches));
+        // The deadline covers the whole request, so it anchors at
+        // `start` (session lookup and plan compilation count against it).
+        let fanout_deadline = deadline.map(|d| start + d);
+        let report =
+            match self
+                .executor
+                .try_knn(&self.corpus, query, k, Some(&caches), fanout_deadline)
+            {
+                Ok(report) => report,
+                Err(e) => {
+                    match &e {
+                        ServiceError::DeadlineExceeded { .. } => {
+                            self.metrics.record_deadline_exceeded()
+                        }
+                        ServiceError::Overloaded { .. } => self.metrics.record_overload_rejection(),
+                        _ => {}
+                    }
+                    return Err(e);
+                }
+            };
         self.metrics.shard_fanout.record(fanout_start.elapsed());
+        for failure in &report.failures {
+            match failure.kind {
+                ShardFailureKind::Panic(_) => self.metrics.record_shard_panic(),
+                ShardFailureKind::Failed(_) | ShardFailureKind::Lost => {
+                    self.metrics.record_shard_failure()
+                }
+                ShardFailureKind::Timeout => self.metrics.record_shard_timeout(),
+                ShardFailureKind::BreakerOpen => self.metrics.record_breaker_skip(),
+            }
+        }
+        if report.degraded() {
+            self.metrics.record_degraded_response();
+        }
+        let (mut neighbors, mut stats) = (report.neighbors, report.stats);
         {
             // Merge in live-ingested vectors (ids offset past the base
             // corpus). Session lock is already held; live comes second.
@@ -533,7 +646,12 @@ impl Service {
         self.metrics
             .record_cache(stats.cache_hits, stats.disk_reads);
         self.metrics.query_latency.record(start.elapsed());
-        Ok(QueryOutcome { neighbors, stats })
+        Ok(QueryOutcome {
+            neighbors,
+            stats,
+            shards_ok: report.shards_ok,
+            shards_total: report.shards_total,
+        })
     }
 
     /// Durably ingests one vector into the live corpus: WAL-append (fsync
@@ -624,7 +742,13 @@ impl Service {
             }
             g
         };
-        self.metrics.snapshot(self.registry.len() as u64, storage)
+        let faults = self.executor.fault_stats();
+        self.metrics.snapshot(
+            self.registry.len() as u64,
+            storage,
+            faults.breaker_trips,
+            faults.workers_respawned,
+        )
     }
 }
 
@@ -655,6 +779,7 @@ mod tests {
                 ..ServiceConfig::default()
             },
         )
+        .unwrap()
     }
 
     #[test]
@@ -961,7 +1086,8 @@ mod tests {
                 max_sessions: 2,
                 ..ServiceConfig::default()
             },
-        );
+        )
+        .unwrap();
         let a = svc.create_session().unwrap();
         let _b = svc.create_session().unwrap();
         let _c = svc.create_session().unwrap(); // evicts `a`

@@ -318,6 +318,13 @@ impl SessionRegistry {
         self.len() == 0
     }
 
+    /// `true` when `id` is currently live. Does **not** refresh the
+    /// session's recency, so eviction tests and monitoring probes can
+    /// observe liveness without perturbing the LRU order.
+    pub fn contains(&self, id: u64) -> bool {
+        self.lock_entries().contains_key(&id)
+    }
+
     /// Removes every session idle longer than the TTL; returns how many
     /// were reaped.
     pub fn sweep_expired(&self) -> u64 {

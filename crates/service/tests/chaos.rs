@@ -1,0 +1,364 @@
+//! Fault-injection suite for the query path: panicking shards, slow
+//! shards racing deadlines, circuit breakers, admission control, worker
+//! death, and session eviction racing in-flight queries.
+//!
+//! Failpoints are process-global, so every test serializes through
+//! `failpoint::test_lock()` and clears the registry on entry; the whole
+//! suite also passes bit-for-bit against the plain kernels when no
+//! failpoint is armed (see `degraded_query_meets_deadline_with_partial_coverage`,
+//! which re-runs its query after disarming).
+
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use qcluster_failpoint::{self as failpoint, Action};
+use qcluster_index::{EuclideanQuery, LinearScan};
+use qcluster_service::{
+    dispatch, Executor, ExecutorConfig, Request, Response, Service, ServiceConfig, ServiceError,
+    ShardKind, ShardedCorpus,
+};
+
+/// Four well-spread blobs, 64 points each — shard `i` of 4 holds ids
+/// `[64 i, 64 (i + 1))`.
+fn corpus() -> Vec<Vec<f64>> {
+    (0..256)
+        .map(|i| {
+            let a = i as f64 * 0.37;
+            let blob = (i / 64) as f64 * 10.0;
+            vec![blob + a.cos(), blob + a.sin()]
+        })
+        .collect()
+}
+
+fn service(config: ServiceConfig) -> Service {
+    Service::new(&corpus(), config).expect("spawn service worker pool")
+}
+
+/// The headline robustness scenario: with one shard panicking and one
+/// shard sleeping past the deadline, a k-NN request returns *within*
+/// the deadline (plus scheduling epsilon) as a degraded response whose
+/// top-k is exact over the live shards — and the metrics counters
+/// attribute every missing shard. Disarming the failpoints restores
+/// full coverage with bit-for-bit kernel-identical results.
+#[test]
+fn degraded_query_meets_deadline_with_partial_coverage() {
+    let _serial = failpoint::test_lock();
+    failpoint::clear_all();
+
+    let svc = service(ServiceConfig {
+        num_shards: 4,
+        num_workers: 4,
+        // One panic and one timeout must not trip breakers here.
+        breaker_threshold: 10,
+        ..ServiceConfig::default()
+    });
+    let session = svc.create_session().unwrap();
+    let query = vec![25.0, 0.5]; // nearest mass lives in shards 2 and 3
+
+    failpoint::configure("executor.shard.0", Action::Panic("chaos".into()));
+    failpoint::configure("executor.shard.1", Action::Sleep(600));
+
+    let deadline = Duration::from_millis(150);
+    let started = Instant::now();
+    let out = svc
+        .query_vector_with_deadline(session, query.clone(), 10, Some(deadline))
+        .expect("two live shards must still answer");
+    let elapsed = started.elapsed();
+    failpoint::clear_all();
+
+    // Returned within deadline + epsilon, and long before the sleeping
+    // shard's 600 ms would have allowed.
+    assert!(
+        elapsed < Duration::from_millis(450),
+        "degraded response took {elapsed:?}, deadline was {deadline:?}"
+    );
+    assert_eq!(out.shards_ok, 2);
+    assert_eq!(out.shards_total, 4);
+    assert!(out.degraded());
+
+    // The merged top-k is exact over the shards that responded
+    // (ids 128..256): identical ids, kernel-identical distances.
+    let points = corpus();
+    let mut expect = LinearScan::new(&points[128..]).knn(&EuclideanQuery::new(query.clone()), 10);
+    for n in &mut expect {
+        n.id += 128;
+    }
+    assert_eq!(out.neighbors.len(), expect.len());
+    for (got, want) in out.neighbors.iter().zip(expect.iter()) {
+        assert_eq!(got.id, want.id);
+        assert!((got.distance - want.distance).abs() < 1e-12);
+    }
+
+    // Every missing shard is attributed in the metrics.
+    let stats = svc.stats();
+    assert_eq!(stats.faults.shard_panics, 1);
+    assert_eq!(stats.faults.shard_timeouts, 1);
+    assert_eq!(stats.faults.shard_failures, 0);
+    assert_eq!(stats.faults.degraded_responses, 1);
+    assert_eq!(stats.faults.deadline_exceeded, 0);
+    assert_eq!(stats.faults.breaker_skips, 0);
+    assert_eq!(stats.faults.breaker_trips, 0);
+
+    // Failpoints disarmed: the same request under the same deadline is
+    // whole again, and bit-for-bit equal to an undeadlined run.
+    let healthy = svc
+        .query_vector_with_deadline(session, query.clone(), 10, Some(Duration::from_secs(30)))
+        .unwrap();
+    assert!(!healthy.degraded());
+    assert_eq!(healthy.shards_ok, 4);
+    let plain = svc.query_vector(session, query, 10).unwrap();
+    assert_eq!(healthy.neighbors.len(), plain.neighbors.len());
+    for (a, b) in healthy.neighbors.iter().zip(plain.neighbors.iter()) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+    }
+    // And no new fault was recorded by the healthy rounds.
+    assert_eq!(svc.stats().faults.degraded_responses, 1);
+}
+
+/// Same scenario through the wire protocol: the response carries the
+/// coverage annotation, and the deadline rides in `deadline_ms`.
+#[test]
+fn dispatch_surfaces_degraded_coverage_on_the_wire() {
+    let _serial = failpoint::test_lock();
+    failpoint::clear_all();
+
+    let svc = service(ServiceConfig {
+        num_shards: 4,
+        num_workers: 4,
+        breaker_threshold: 10,
+        ..ServiceConfig::default()
+    });
+    let Response::SessionCreated { session } =
+        dispatch(&svc, Request::CreateSession { engine: None })
+    else {
+        panic!("create failed");
+    };
+
+    let _panic = failpoint::scoped("executor.shard.0", Action::Panic("wire chaos".into()));
+    let Response::Neighbors {
+        neighbors,
+        shards_ok,
+        shards_total,
+        degraded,
+        ..
+    } = dispatch(
+        &svc,
+        Request::Query {
+            session,
+            k: 5,
+            vector: Some(vec![25.0, 0.5]),
+            deadline_ms: Some(5_000),
+        },
+    )
+    else {
+        panic!("expected a (degraded) Neighbors response");
+    };
+    assert_eq!(neighbors.len(), 5);
+    assert_eq!(shards_ok, 3);
+    assert_eq!(shards_total, 4);
+    assert!(degraded);
+}
+
+/// When *zero* shards make the deadline there is no partial ranking to
+/// return: the request fails with the typed `DeadlineExceeded`, and the
+/// wait stays bounded by the deadline, not by the slowest shard.
+#[test]
+fn all_shards_late_is_a_typed_deadline_error() {
+    let _serial = failpoint::test_lock();
+    failpoint::clear_all();
+
+    let svc = service(ServiceConfig {
+        num_shards: 2,
+        num_workers: 2,
+        breaker_threshold: 10,
+        ..ServiceConfig::default()
+    });
+    let session = svc.create_session().unwrap();
+
+    let _slow = failpoint::scoped("executor.shard", Action::Sleep(600));
+    let started = Instant::now();
+    let err = svc
+        .query_vector_with_deadline(session, vec![0.5, 0.5], 5, Some(Duration::from_millis(100)))
+        .unwrap_err();
+    assert!(started.elapsed() < Duration::from_millis(450));
+    assert!(
+        matches!(
+            err,
+            ServiceError::DeadlineExceeded {
+                shards_ok: 0,
+                shards_total: 2,
+                ..
+            }
+        ),
+        "got {err:?}"
+    );
+    assert_eq!(svc.stats().faults.deadline_exceeded, 1);
+    assert_eq!(svc.stats().faults.degraded_responses, 0);
+}
+
+/// A persistently failing shard trips its breaker after `threshold`
+/// consecutive failures; tripped, the shard is skipped (cheap degraded
+/// responses, no job submitted) until the cooldown elapses, after which
+/// a half-open probe restores full coverage once the fault is gone.
+#[test]
+fn breaker_trips_on_repeated_failure_and_recovers_after_cooldown() {
+    let _serial = failpoint::test_lock();
+    failpoint::clear_all();
+
+    let svc = service(ServiceConfig {
+        num_shards: 2,
+        num_workers: 2,
+        breaker_threshold: 2,
+        breaker_cooldown: Duration::from_millis(100),
+        ..ServiceConfig::default()
+    });
+    let session = svc.create_session().unwrap();
+    let query = vec![0.5, 0.5];
+
+    failpoint::configure("executor.shard.0", Action::Error("shard down".into()));
+    for round in 1..=2u64 {
+        let out = svc.query_vector(session, query.clone(), 5).unwrap();
+        assert_eq!(out.shards_ok, 1, "round {round}");
+        assert_eq!(svc.stats().faults.shard_failures, round);
+    }
+    // Threshold reached: the breaker is open, so the failing shard is
+    // skipped without running its (still armed) failpoint.
+    let before = failpoint::hits("executor.shard.0");
+    let out = svc.query_vector(session, query.clone(), 5).unwrap();
+    assert!(out.degraded());
+    assert_eq!(failpoint::hits("executor.shard.0"), before, "job never ran");
+    let stats = svc.stats();
+    assert_eq!(stats.faults.breaker_trips, 1);
+    assert!(stats.faults.breaker_skips >= 1);
+
+    // Fault repaired + cooldown elapsed: the half-open probe succeeds
+    // and the shard rejoins the fan-out.
+    failpoint::clear_all();
+    thread::sleep(Duration::from_millis(120));
+    let healed = svc.query_vector(session, query, 5).unwrap();
+    assert!(!healed.degraded());
+    assert_eq!(healed.shards_ok, 2);
+    assert_eq!(svc.stats().faults.breaker_trips, 1, "no re-trip");
+}
+
+/// Admission control: a fan-out that cannot reserve queue slots for all
+/// its shards is rejected with the typed `Overloaded` error before
+/// anything is submitted, and the rejection is counted.
+#[test]
+fn overload_is_rejected_with_a_typed_error() {
+    let _serial = failpoint::test_lock();
+    failpoint::clear_all();
+
+    let svc = service(ServiceConfig {
+        num_shards: 2,
+        num_workers: 2,
+        max_queued_jobs: 1, // a 2-shard fan-out can never fit
+        ..ServiceConfig::default()
+    });
+    let session = svc.create_session().unwrap();
+    let err = svc.query_vector(session, vec![0.5, 0.5], 5).unwrap_err();
+    assert!(
+        matches!(err, ServiceError::Overloaded { capacity: 1, .. }),
+        "got {err:?}"
+    );
+    assert_eq!(svc.stats().faults.overload_rejections, 1);
+    assert_eq!(svc.stats().query.count, 0, "rejected before execution");
+}
+
+/// Workers killed mid-flight are respawned by the self-healing pool on
+/// the next fan-out, and results stay exact throughout.
+#[test]
+fn dead_workers_are_respawned_on_the_next_fanout() {
+    let _serial = failpoint::test_lock();
+    failpoint::clear_all();
+
+    let points = corpus();
+    // Exactly one job per worker: each idle worker takes one shard job,
+    // completes it, and dies — leaving no job stranded in the queue.
+    let sharded = ShardedCorpus::build(&points, 2, ShardKind::Scan);
+    let executor = Executor::with_config(ExecutorConfig {
+        num_workers: 2,
+        ..ExecutorConfig::default()
+    })
+    .unwrap();
+    let q = EuclideanQuery::new(vec![25.0, 0.5]);
+    let expect = LinearScan::new(&points).knn(&q, 10);
+
+    // Both workers exit right after their next completed job.
+    failpoint::configure_counted(
+        "executor.worker.exit",
+        Action::Error("die".into()),
+        0,
+        Some(2),
+    );
+    let first = executor.try_knn(&sharded, &q, 10, None, None).unwrap();
+    failpoint::remove("executor.worker.exit");
+    assert_eq!(first.shards_ok, 2, "jobs complete before the worker dies");
+
+    // Wait for both dying workers to be replaced (worker exit is
+    // asynchronous; `heal` only swaps threads that have finished).
+    let patience = Instant::now() + Duration::from_secs(10);
+    let mut respawned = 0;
+    while respawned < 2 && Instant::now() < patience {
+        respawned += executor.heal().unwrap();
+        thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(respawned, 2, "both dead workers respawned");
+
+    let healed = executor.try_knn(&sharded, &q, 10, None, None).unwrap();
+    assert_eq!(healed.shards_ok, 2);
+    assert!(executor.fault_stats().workers_respawned >= 2);
+    for (got, want) in healed.neighbors.iter().zip(expect.iter()) {
+        assert_eq!(got.id, want.id);
+        assert!((got.distance - want.distance).abs() < 1e-12);
+    }
+}
+
+/// LRU eviction racing an in-flight query: the query holds its session
+/// handle, so eviction must neither deadlock nor corrupt the running
+/// round — the evicted session's query completes exactly, and only
+/// *subsequent* use of the evicted id fails.
+#[test]
+fn lru_eviction_racing_inflight_query_completes_cleanly() {
+    let _serial = failpoint::test_lock();
+    failpoint::clear_all();
+
+    let svc = Arc::new(service(ServiceConfig {
+        num_shards: 2,
+        num_workers: 2,
+        max_sessions: 1, // creating any second session evicts the first
+        ..ServiceConfig::default()
+    }));
+    let victim = svc.create_session().unwrap();
+
+    // Hold the victim's query in flight across the eviction.
+    let _slow = failpoint::scoped("executor.shard", Action::Sleep(300));
+    let inflight = {
+        let svc = Arc::clone(&svc);
+        thread::spawn(move || svc.query_vector(victim, vec![0.5, 0.5], 8))
+    };
+    thread::sleep(Duration::from_millis(100)); // let the fan-out start
+    let usurper = svc.create_session().unwrap();
+    assert_ne!(usurper, victim);
+    assert_eq!(svc.active_sessions(), 1, "victim evicted while queried");
+
+    let out = inflight
+        .join()
+        .expect("in-flight query must not panic")
+        .expect("in-flight query must not fail");
+    assert_eq!(out.neighbors.len(), 8);
+    assert!(!out.degraded(), "eviction must not cost shard coverage");
+    let expect = LinearScan::new(&corpus()).knn(&EuclideanQuery::new(vec![0.5, 0.5]), 8);
+    for (got, want) in out.neighbors.iter().zip(expect.iter()) {
+        assert_eq!(got.id, want.id);
+    }
+
+    // The evicted id is dead for *new* requests.
+    assert!(matches!(
+        svc.query_vector(victim, vec![0.5, 0.5], 1),
+        Err(ServiceError::UnknownSession(id)) if id == victim
+    ));
+    assert_eq!(svc.stats().evictions, 1);
+}

@@ -30,6 +30,7 @@ fn make_service() -> Service {
             ..ServiceConfig::default()
         },
     )
+    .expect("spawn service worker pool")
 }
 
 /// One full create → query → feed → refined query → close lifecycle;
@@ -48,6 +49,7 @@ fn lifecycle(service: &Service, seed: usize) -> u64 {
             session,
             k: K,
             vector: Some(vec![origin + 0.5, origin]),
+            deadline_ms: None,
         },
     ) else {
         panic!("initial query failed");
@@ -75,6 +77,7 @@ fn lifecycle(service: &Service, seed: usize) -> u64 {
             session,
             k: K,
             vector: None,
+            deadline_ms: None,
         },
     )
     else {

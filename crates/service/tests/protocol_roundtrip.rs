@@ -30,11 +30,13 @@ fn every_request_variant_roundtrips() {
             session: 42,
             k: 10,
             vector: Some(vec![0.25, -1.5, 3.0]),
+            deadline_ms: None,
         },
         Request::Query {
             session: 42,
             k: 10,
             vector: None,
+            deadline_ms: Some(150),
         },
         Request::Feed {
             session: 7,
@@ -76,6 +78,9 @@ fn every_response_variant_roundtrips() {
                 },
             ],
             stats: stats.clone(),
+            shards_ok: 2,
+            shards_total: 4,
+            degraded: true,
         },
         Response::FeedAccepted {
             session: 11,
@@ -109,6 +114,17 @@ fn every_error_variant_roundtrips() {
         },
         ServiceError::InvalidRequest("k must be positive".into()),
         ServiceError::Engine("no clusters yet".into()),
+        ServiceError::Spawn("thread limit".into()),
+        ServiceError::Overloaded {
+            queued: 4096,
+            capacity: 4096,
+        },
+        ServiceError::DeadlineExceeded {
+            waited_ms: 150,
+            shards_ok: 0,
+            shards_total: 4,
+        },
+        ServiceError::Internal("channel disconnected".into()),
     ] {
         roundtrip_response(&Response::Error(err));
     }
@@ -121,7 +137,7 @@ fn live_stats_snapshot_roundtrips() {
     let points: Vec<Vec<f64>> = (0..32)
         .map(|i| vec![i as f64, (i * i % 7) as f64])
         .collect();
-    let service = Service::new(&points, ServiceConfig::default());
+    let service = Service::new(&points, ServiceConfig::default()).unwrap();
     let session = service.create_session().unwrap();
     service.query_vector(session, vec![4.0, 2.0], 5).unwrap();
     service.feed_ids(session, &[0, 1, 2], None).unwrap();

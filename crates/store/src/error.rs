@@ -19,6 +19,13 @@ pub enum StoreError {
     /// The caller broke an API contract (dimension mismatch, bootstrap
     /// of a non-empty store, …).
     InvalidArg(String),
+    /// A failed append could not be rolled back, so the on-disk tail is
+    /// in an unknown state. The writer refuses further appends; the
+    /// store must be reopened (replay truncates the damaged tail).
+    Wedged {
+        /// Why the writer wedged (the rollback failure).
+        detail: String,
+    },
 }
 
 impl StoreError {
@@ -39,6 +46,9 @@ impl std::fmt::Display for StoreError {
                 write!(f, "corrupt file {}: {detail}", path.display())
             }
             StoreError::InvalidArg(msg) => write!(f, "invalid argument: {msg}"),
+            StoreError::Wedged { detail } => {
+                write!(f, "WAL writer wedged (reopen the store): {detail}")
+            }
         }
     }
 }

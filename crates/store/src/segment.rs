@@ -127,6 +127,12 @@ impl SegmentWriter {
         self.file.write_all(&self.crc.finish().to_le_bytes())?;
         self.file.write_all(FOOTER_MAGIC)?;
         self.file.flush()?;
+        // Failpoint `segment.finish`: fail the seal before the staged
+        // file is published — the `.tmp` stays behind, the final path
+        // never appears, and recovery must not see a half segment.
+        if let Some(action) = qcluster_failpoint::evaluate_sleepy("segment.finish") {
+            return Err(crate::wal::injected_io("segment.finish", action).into());
+        }
         self.file.get_ref().sync_all()?;
         std::fs::rename(&self.tmp_path, &self.final_path)?;
         sync_parent_dir(&self.final_path);

@@ -394,6 +394,14 @@ impl VectorStore {
             self.wal_tail.clear();
         }
 
+        // Failpoint `store.compact.crash`: abort in the crash window
+        // between the atomic segment seal and the WAL rewrite — the
+        // WAL still holds ingest records for ids the new segment now
+        // covers, which the next open must skip idempotently.
+        if let Some(action) = qcluster_failpoint::evaluate_sleepy("store.compact.crash") {
+            return Err(crate::wal::injected_io("store.compact.crash", action).into());
+        }
+
         // The rewritten WAL keeps only live-session snapshots + checkpoint.
         let mut keep: Vec<WalRecord> = self
             .sessions

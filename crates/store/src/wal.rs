@@ -15,12 +15,50 @@
 //! which the writer truncates to before appending again. Everything
 //! before the tear — the *committed prefix* — is recovered exactly;
 //! nothing after a damaged frame is trusted.
+//!
+//! ## Append self-healing
+//!
+//! [`WalWriter`] tracks the byte length of its committed prefix. When
+//! an append fails partway (short write, injected torn write, fsync
+//! error) the writer rolls the file back to the committed prefix with
+//! `set_len`, so a failed append leaves no torn bytes behind and the
+//! next append starts clean. If the rollback itself fails the tail is
+//! in an unknown state: the writer *wedges* ([`StoreError::Wedged`])
+//! and refuses further appends until the store is reopened — replay's
+//! torn-tail truncation then restores the committed prefix.
+//!
+//! ## Failpoints
+//!
+//! Chaos tests inject faults through `qcluster-failpoint`:
+//! `wal.append` (`error` = failed write, `partial:<n>` = torn write of
+//! `n` bytes), `wal.fsync` (`error` = failed fsync), and
+//! `wal.rollback` (`error` = failed rollback, wedging the writer).
 
 use crate::codec::{put_f64, put_u32, put_u64, read_exact_or_eof, ByteReader, Crc32};
 use crate::error::{Result, StoreError};
+use qcluster_failpoint as failpoint;
 use std::fs::{File, OpenOptions};
 use std::io::{BufReader, BufWriter, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+
+/// Converts a fired failpoint into the I/O error a real fault would
+/// produce. `Sleep` never reaches here (absorbed by `evaluate_sleepy`);
+/// `Panic` unwinds like a real bug; `Partial` is handled at write call
+/// sites and treated as a plain error elsewhere.
+pub(crate) fn injected_io(site: &str, action: failpoint::Action) -> std::io::Error {
+    match action {
+        failpoint::Action::Error(msg) => {
+            std::io::Error::other(format!("injected fault at {site}: {msg}"))
+        }
+        failpoint::Action::Panic(msg) => panic!("injected panic at {site}: {msg}"),
+        failpoint::Action::Partial(n) => {
+            std::io::Error::other(format!("injected torn write at {site} after {n} bytes"))
+        }
+        failpoint::Action::Sleep(_) => {
+            unreachable!("Sleep is absorbed by evaluate_sleepy before reaching {site}")
+        }
+    }
+}
 
 /// Hard sanity cap on one frame's payload (a length prefix beyond this
 /// is treated as tail corruption, not an allocation request).
@@ -214,11 +252,20 @@ pub fn replay(path: &Path) -> Result<WalReplay> {
 }
 
 /// Appender over one WAL file.
+///
+/// Tracks the committed prefix length so a failed append can be rolled
+/// back (see the module docs on self-healing and wedging).
 #[derive(Debug)]
 pub struct WalWriter {
-    file: BufWriter<File>,
+    file: File,
     path: PathBuf,
     fsync_on_commit: bool,
+    /// Byte length of the committed prefix: every frame up to here was
+    /// fully appended (and synced, under fsync-on-commit).
+    committed_len: u64,
+    /// `Some(reason)` once a rollback failed; all further appends are
+    /// refused with [`StoreError::Wedged`].
+    wedged: Option<String>,
     appends: u64,
     fsyncs: u64,
 }
@@ -245,9 +292,11 @@ impl WalWriter {
         let mut file = file;
         file.seek(SeekFrom::Start(valid_len))?;
         Ok(WalWriter {
-            file: BufWriter::new(file),
+            file,
             path: path.to_path_buf(),
             fsync_on_commit,
+            committed_len: valid_len,
+            wedged: None,
             appends: 0,
             fsyncs: 0,
         })
@@ -293,33 +342,126 @@ impl WalWriter {
         self.fsyncs
     }
 
+    /// Byte length of the committed prefix.
+    pub fn committed_len(&self) -> u64 {
+        self.committed_len
+    }
+
+    /// `true` once a failed rollback left the tail in an unknown state;
+    /// every further append returns [`StoreError::Wedged`] until the
+    /// store is reopened.
+    pub fn is_wedged(&self) -> bool {
+        self.wedged.is_some()
+    }
+
+    fn check_wedged(&self) -> Result<()> {
+        match &self.wedged {
+            Some(detail) => Err(StoreError::Wedged {
+                detail: detail.clone(),
+            }),
+            None => Ok(()),
+        }
+    }
+
     /// Appends one record; with fsync-on-commit the record is durable
-    /// when this returns.
+    /// when this returns. On failure the file is rolled back to the
+    /// committed prefix, so the failed frame leaves no torn bytes and
+    /// the writer stays usable — unless the rollback itself fails, in
+    /// which case the writer wedges.
     ///
     /// # Errors
     ///
-    /// I/O failures.
+    /// I/O failures (the append was rolled back), or `Wedged` (the
+    /// rollback failed; reopen the store).
     pub fn append(&mut self, record: &WalRecord) -> Result<()> {
-        write_frame(&mut self.file, record)?;
-        self.file.flush()?;
-        self.appends += 1;
+        self.check_wedged()?;
+        let frame = encode_frame(record);
+        match self.try_append(&frame) {
+            Ok(()) => {
+                self.committed_len += frame.len() as u64;
+                self.appends += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.rollback()?;
+                Err(e)
+            }
+        }
+    }
+
+    /// Writes (and, under fsync-on-commit, syncs) one encoded frame
+    /// without advancing the committed prefix.
+    fn try_append(&mut self, frame: &[u8]) -> Result<()> {
+        if let Some(action) = failpoint::evaluate_sleepy("wal.append") {
+            if let failpoint::Action::Partial(n) = action {
+                // Torn write: some of the frame reaches the file, then
+                // the device gives up.
+                let n = n.min(frame.len());
+                self.file.write_all(&frame[..n])?;
+            }
+            return Err(injected_io("wal.append", action).into());
+        }
+        self.file.write_all(frame)?;
         if self.fsync_on_commit {
-            self.sync()?;
+            self.sync_counted()?;
+        }
+        Ok(())
+    }
+
+    /// Truncates the file back to the committed prefix after a failed
+    /// append. On failure, wedges the writer.
+    fn rollback(&mut self) -> Result<()> {
+        let result = (|| -> std::io::Result<()> {
+            if let Some(action) = failpoint::evaluate_sleepy("wal.rollback") {
+                return Err(injected_io("wal.rollback", action));
+            }
+            self.file.set_len(self.committed_len)?;
+            self.file.seek(SeekFrom::Start(self.committed_len))?;
+            Ok(())
+        })();
+        if let Err(e) = result {
+            let detail = format!(
+                "rollback to committed prefix ({} bytes) failed: {e}",
+                self.committed_len
+            );
+            self.wedged = Some(detail.clone());
+            return Err(StoreError::Wedged { detail });
         }
         Ok(())
     }
 
     /// Forces everything appended so far to stable storage.
     ///
+    /// A failed standalone sync does not un-commit frames: they are
+    /// well-formed on disk and replay accepts them; only their
+    /// durability is pending a later successful sync.
+    ///
     /// # Errors
     ///
-    /// I/O failures.
+    /// I/O failures, or `Wedged`.
     pub fn sync(&mut self) -> Result<()> {
-        self.file.flush()?;
-        self.file.get_ref().sync_data()?;
+        self.check_wedged()?;
+        self.sync_counted()
+    }
+
+    fn sync_counted(&mut self) -> Result<()> {
+        if let Some(action) = failpoint::evaluate_sleepy("wal.fsync") {
+            return Err(injected_io("wal.fsync", action).into());
+        }
+        self.file.sync_data()?;
         self.fsyncs += 1;
         Ok(())
     }
+}
+
+fn encode_frame(record: &WalRecord) -> Vec<u8> {
+    let payload = record.encode();
+    let len = u32::try_from(payload.len()).expect("payload below MAX_PAYLOAD");
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(&Crc32::checksum(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
 }
 
 fn write_frame<W: Write>(writer: &mut W, record: &WalRecord) -> Result<u64> {

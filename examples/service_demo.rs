@@ -83,6 +83,7 @@ fn client(service: &Service, blob: usize, per_blob: usize) -> (u64, usize) {
             session,
             k: K,
             vector: Some(vec![cx + 0.3, cy - 0.2]),
+            deadline_ms: None,
         },
     );
 
@@ -116,6 +117,7 @@ fn client(service: &Service, blob: usize, per_blob: usize) -> (u64, usize) {
                 session,
                 k: K,
                 vector: None,
+                deadline_ms: None,
             },
         );
     }
