@@ -1,0 +1,112 @@
+//! Decoder fuzzing: the frame decoder must never panic, hang, or
+//! over-allocate, whatever bytes arrive — random garbage decodes to a
+//! typed [`FrameError`], mutated valid frames are caught, and honest
+//! frames round-trip bit-for-bit.
+//!
+//! Case count honors `PROPTEST_CASES` (CI runs 256).
+
+use proptest::collection::vec as prop_vec;
+use proptest::prelude::*;
+use std::io::Cursor;
+
+use qcluster_net::frame::{
+    decode_frame, encode_frame, read_frame, FrameKind, ReadFrame, HEADER_LEN,
+};
+
+/// Fuzzing cap on declared payload length: bounds every allocation the
+/// decoder can make while fuzzing, without narrowing the code path.
+const FUZZ_MAX_PAYLOAD: u32 = 1 << 16;
+
+proptest! {
+    /// Arbitrary bytes through the slice decoder: typed error or valid
+    /// frame, never a panic.
+    #[test]
+    fn random_bytes_never_panic_the_slice_decoder(bytes in prop_vec(any::<u8>(), 0..256)) {
+        match decode_frame(&bytes, FUZZ_MAX_PAYLOAD) {
+            Ok((frame, used)) => {
+                prop_assert!(used <= bytes.len());
+                prop_assert_eq!(used, HEADER_LEN + frame.payload.len());
+            }
+            Err(_typed) => {}
+        }
+    }
+
+    /// Arbitrary bytes through the streaming reader (the exact code the
+    /// server runs): always a classified outcome, never a panic, and
+    /// never an allocation beyond the declared cap.
+    #[test]
+    fn random_bytes_never_panic_the_stream_reader(bytes in prop_vec(any::<u8>(), 0..256)) {
+        let mut cursor = Cursor::new(bytes.clone());
+        match read_frame(&mut cursor, FUZZ_MAX_PAYLOAD) {
+            Ok(ReadFrame::Frame(frame)) => {
+                prop_assert!(frame.payload.len() <= FUZZ_MAX_PAYLOAD as usize);
+            }
+            Ok(ReadFrame::Eof) => prop_assert!(bytes.is_empty()),
+            Ok(ReadFrame::Corrupt { .. }) => {}
+            // A `Cursor` cannot time out, so `Idle` and I/O errors are
+            // unreachable here.
+            Ok(ReadFrame::Idle) => prop_assert!(false, "cursor reads cannot be idle"),
+            Err(e) => prop_assert!(false, "cursor reads cannot fail: {e}"),
+        }
+    }
+
+    /// Honest frames round-trip bit-for-bit through encode → decode,
+    /// through both the slice decoder and the streaming reader.
+    #[test]
+    fn honest_frames_roundtrip(
+        request_id in any::<u64>(),
+        is_request in any::<bool>(),
+        payload in prop_vec(any::<u8>(), 0..512),
+    ) {
+        let kind = if is_request { FrameKind::Request } else { FrameKind::Response };
+        let bytes = encode_frame(kind, request_id, &payload);
+
+        let (frame, used) = decode_frame(&bytes, FUZZ_MAX_PAYLOAD)
+            .expect("honest frames must decode");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(frame.kind, kind);
+        prop_assert_eq!(frame.request_id, request_id);
+        prop_assert_eq!(&frame.payload, &payload);
+
+        let mut cursor = Cursor::new(bytes);
+        match read_frame(&mut cursor, FUZZ_MAX_PAYLOAD) {
+            Ok(ReadFrame::Frame(frame)) => {
+                prop_assert_eq!(frame.kind, kind);
+                prop_assert_eq!(frame.request_id, request_id);
+                prop_assert_eq!(&frame.payload, &payload);
+            }
+            other => prop_assert!(false, "streaming reader rejected an honest frame: {other:?}"),
+        }
+    }
+
+    /// Any single-byte mutation of a valid frame is either caught with
+    /// a typed error, or provably harmless (reserved bytes and the
+    /// request-id field are not integrity-checked by design).
+    #[test]
+    fn single_byte_mutations_are_caught_or_harmless(
+        request_id in any::<u64>(),
+        payload in prop_vec(any::<u8>(), 1..128),
+        idx in any::<usize>(),
+        flip in 1u8..255,
+    ) {
+        let bytes = encode_frame(FrameKind::Request, request_id, &payload);
+        let pos = idx % bytes.len();
+        let mut mutated = bytes.clone();
+        mutated[pos] ^= flip;
+
+        match decode_frame(&mutated, FUZZ_MAX_PAYLOAD) {
+            Err(_typed) => {}
+            Ok((frame, _)) => {
+                // The only mutations allowed through: the reserved
+                // header bytes (ignored on receive), the request id
+                // (opaque correlation data), or a kind byte flipping
+                // between the two valid kinds.
+                let harmless = (6..8).contains(&pos) || (8..16).contains(&pos) || pos == 5;
+                prop_assert!(
+                    harmless,
+                    "mutation at byte {pos} slipped through as {frame:?}"
+                );
+            }
+        }
+    }
+}

@@ -31,6 +31,7 @@
 //! its next job (exercising [`Executor::heal`]).
 
 use crate::error::ServiceError;
+use crate::metrics::{HistogramSummary, LatencyHistogram};
 use crate::shard::ShardedCorpus;
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use qcluster_failpoint as failpoint;
@@ -242,6 +243,9 @@ pub struct Executor {
     breakers: Mutex<Vec<Arc<ShardBreaker>>>,
     respawned: AtomicU64,
     next_worker_id: AtomicUsize,
+    /// Per-shard k-NN execution latency, recorded at the job site
+    /// (excludes queueing); sampled into metrics snapshots.
+    shard_latency: Arc<LatencyHistogram>,
 }
 
 fn spawn_worker(id: usize, rx: Receiver<Job>) -> Result<JoinHandle<()>, ServiceError> {
@@ -306,7 +310,14 @@ impl Executor {
             queued: Arc::new(AtomicUsize::new(0)),
             breakers: Mutex::new(Vec::new()),
             respawned: AtomicU64::new(0),
+            shard_latency: Arc::new(LatencyHistogram::new()),
         })
+    }
+
+    /// Quantile summary of per-shard k-NN execution latency across all
+    /// fan-outs this executor has run.
+    pub fn shard_latency(&self) -> HistogramSummary {
+        self.shard_latency.summary()
     }
 
     /// Number of worker threads.
@@ -499,9 +510,14 @@ impl Executor {
             let cache = caches.map(|c| Arc::clone(&c[i]));
             let result_tx = result_tx.clone();
             let slot = QueueSlot(Arc::clone(&self.queued));
+            let shard_latency = Arc::clone(&self.shard_latency);
             self.submit(Box::new(move || {
                 let _slot = slot;
+                let job_start = Instant::now();
                 let outcome = run_shard_job(i, &shard, &*shard_query, k, cache.as_ref());
+                if outcome.is_ok() {
+                    shard_latency.record(job_start.elapsed());
+                }
                 // A send failure means the requester gave up; drop quietly.
                 let _ = result_tx.send((i, outcome));
             }))?;

@@ -64,7 +64,8 @@ pub use executor::{
     ShardFailureKind,
 };
 pub use metrics::{
-    FaultGauges, MetricsSnapshot, OpHistogram, OpSummary, ServiceMetrics, StorageGauges,
+    FaultGauges, HistogramSummary, LatencyHistogram, MetricsSnapshot, OpHistogram, OpSummary,
+    ServiceMetrics, StorageGauges, TransportGauges,
 };
 pub use protocol::{dispatch, NeighborDto, Request, Response, SearchStatsDto};
 pub use qcluster_store::{CompactionStats, StoreConfig};

@@ -76,6 +76,142 @@ pub struct OpSummary {
     pub mean_ns: f64,
 }
 
+/// Exact sub-8ns buckets before the logarithmic region starts.
+const LINEAR_BUCKETS: usize = 8;
+/// Sub-buckets per octave: 4 gives ≤ 25% relative quantile error.
+const SUBS_PER_OCTAVE: usize = 4;
+/// Octaves 3..=63 cover the full `u64` nanosecond range.
+const NUM_BUCKETS: usize = LINEAR_BUCKETS + (64 - 3) * SUBS_PER_OCTAVE;
+
+/// A lock-free log-bucketed latency histogram: every bucket is one
+/// relaxed atomic, so concurrent recorders never contend on a lock and
+/// never lose a sample. Buckets are logarithmic (4 sub-buckets per
+/// power of two), bounding the relative error of a reported quantile at
+/// 25% while keeping the whole histogram at a few KiB of atomics.
+///
+/// [`LatencyHistogram::summary`] reports p50/p95/p99 from the bucket
+/// upper bounds and the maximum exactly (tracked via `fetch_max`).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Box<[AtomicU64; NUM_BUCKETS]>,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+/// The bucket index holding `ns`: exact below [`LINEAR_BUCKETS`], then
+/// `SUBS_PER_OCTAVE` geometric sub-buckets per octave.
+fn bucket_of(ns: u64) -> usize {
+    if ns < LINEAR_BUCKETS as u64 {
+        return ns as usize;
+    }
+    let octave = 63 - ns.leading_zeros() as usize; // ≥ 3 here
+    let sub = ((ns >> (octave - 2)) & 0b11) as usize;
+    LINEAR_BUCKETS + (octave - 3) * SUBS_PER_OCTAVE + sub
+}
+
+/// The largest value stored in bucket `idx` (inverse of [`bucket_of`]).
+fn bucket_upper_bound(idx: usize) -> u64 {
+    if idx < LINEAR_BUCKETS {
+        return idx as u64;
+    }
+    if idx >= NUM_BUCKETS - 1 {
+        // The top sub-bucket of octave 63 would overflow the closed-form
+        // bound; it holds everything up to u64::MAX by construction.
+        return u64::MAX;
+    }
+    let octave = 3 + (idx - LINEAR_BUCKETS) / SUBS_PER_OCTAVE;
+    let sub = ((idx - LINEAR_BUCKETS) % SUBS_PER_OCTAVE) as u64;
+    let width = 1u64 << (octave - 2);
+    (1u64 << octave) + (sub + 1) * width - 1
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// A fresh, all-zero histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one duration. Lock-free: three relaxed adds and a
+    /// `fetch_max`.
+    pub fn record(&self, elapsed: Duration) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.record_ns(ns);
+    }
+
+    /// Records one duration given directly in nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// A point-in-time quantile summary. Quantiles are bucket upper
+    /// bounds (≤ 25% relative error); the max is exact.
+    pub fn summary(&self) -> HistogramSummary {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        let max_ns = self.max_ns.load(Ordering::Relaxed);
+        if count == 0 {
+            return HistogramSummary::default();
+        }
+        let quantile = |q: f64| -> u64 {
+            // Rank of the q-quantile, 1-based, clamped into range.
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (idx, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    // Never report past the exactly-tracked maximum.
+                    return bucket_upper_bound(idx).min(max_ns);
+                }
+            }
+            max_ns
+        };
+        HistogramSummary {
+            count,
+            mean_ns: self.sum_ns.load(Ordering::Relaxed) as f64 / count as f64,
+            p50_ns: quantile(0.50),
+            p95_ns: quantile(0.95),
+            p99_ns: quantile(0.99),
+            max_ns,
+        }
+    }
+}
+
+/// Serializable quantile summary of one [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean latency, nanoseconds.
+    pub mean_ns: f64,
+    /// Median latency, nanoseconds (bucket upper bound, ≤ 25% error).
+    pub p50_ns: u64,
+    /// 95th-percentile latency, nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile latency, nanoseconds.
+    pub p99_ns: u64,
+    /// Slowest sample, nanoseconds (exact).
+    pub max_ns: u64,
+}
+
 /// All counters the service maintains.
 #[derive(Debug, Default)]
 pub struct ServiceMetrics {
@@ -85,6 +221,9 @@ pub struct ServiceMetrics {
     pub feed_latency: OpHistogram,
     /// Shard fan-out time alone (submit → all shard results merged).
     pub shard_fanout: OpHistogram,
+    /// End-to-end query latency quantiles (same samples as
+    /// `query_latency`, but log-bucketed for p50/p95/p99).
+    pub query_hist: LatencyHistogram,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     plan_cache_hits: AtomicU64,
@@ -102,6 +241,14 @@ pub struct ServiceMetrics {
     degraded_responses: AtomicU64,
     deadline_exceeded: AtomicU64,
     overload_rejections: AtomicU64,
+    connections_accepted: AtomicU64,
+    connections_active: AtomicU64,
+    connections_rejected: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    decode_errors: AtomicU64,
+    write_queue_sheds: AtomicU64,
+    shutdown_drains: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -194,19 +341,67 @@ impl ServiceMetrics {
         self.overload_rejections.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one accepted transport connection (and raises the active
+    /// gauge).
+    pub fn record_connection_opened(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+        self.connections_active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lowers the active-connection gauge when a connection closes.
+    pub fn record_connection_closed(&self) {
+        self.connections_active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Counts one connection turned away at the transport's capacity
+    /// limit (never admitted, the active gauge never moved).
+    pub fn record_connection_rejected(&self) {
+        self.connections_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request frame decoded off a transport connection.
+    pub fn record_frame_in(&self) {
+        self.frames_in.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one response frame written to a transport connection.
+    pub fn record_frame_out(&self) {
+        self.frames_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one frame that failed to decode (bad magic, bad CRC,
+    /// oversize, unknown version, or malformed payload).
+    pub fn record_decode_error(&self) {
+        self.decode_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request shed with a typed `Overloaded` reply because
+    /// its connection's writer queue was full.
+    pub fn record_write_queue_shed(&self) {
+        self.write_queue_sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts `n` in-flight requests that completed during a graceful
+    /// shutdown's drain window.
+    pub fn record_shutdown_drains(&self, n: u64) {
+        self.shutdown_drains.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// A serializable snapshot; `active_sessions` is supplied by the
     /// session registry (the metrics object does not track liveness
     /// itself, so the gauge can never drift from the registry's truth),
     /// and `storage` by the durable store / live-ingest overlay for the
     /// same reason (all zero for a memory-only service). `breaker_trips`
     /// and `workers_respawned` are sampled from the executor, which owns
-    /// those counters.
+    /// those counters, and `shard_latency` likewise (the executor's
+    /// workers record per-shard execution time at the job site).
     pub fn snapshot(
         &self,
         active_sessions: u64,
         storage: StorageGauges,
         breaker_trips: u64,
         workers_respawned: u64,
+        shard_latency: HistogramSummary,
     ) -> MetricsSnapshot {
         let cache_hits = self.cache_hits.load(Ordering::Relaxed);
         let cache_misses = self.cache_misses.load(Ordering::Relaxed);
@@ -215,6 +410,8 @@ impl ServiceMetrics {
             query: self.query_latency.snapshot(),
             feed: self.feed_latency.snapshot(),
             fanout: self.shard_fanout.snapshot(),
+            query_percentiles: self.query_hist.summary(),
+            shard_latency,
             cache_hits,
             cache_misses,
             cache_hit_ratio: if touched == 0 {
@@ -243,8 +440,40 @@ impl ServiceMetrics {
                 overload_rejections: self.overload_rejections.load(Ordering::Relaxed),
                 workers_respawned,
             },
+            transport: TransportGauges {
+                connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+                connections_active: self.connections_active.load(Ordering::Relaxed),
+                connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
+                frames_in: self.frames_in.load(Ordering::Relaxed),
+                frames_out: self.frames_out.load(Ordering::Relaxed),
+                decode_errors: self.decode_errors.load(Ordering::Relaxed),
+                write_queue_sheds: self.write_queue_sheds.load(Ordering::Relaxed),
+                shutdown_drains: self.shutdown_drains.load(Ordering::Relaxed),
+            },
         }
     }
+}
+
+/// Transport (TCP front-end) counters sampled at snapshot time. All
+/// zero for a service that is only ever called in-process.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportGauges {
+    /// Connections accepted and admitted by the server.
+    pub connections_accepted: u64,
+    /// Connections currently open (gauge).
+    pub connections_active: u64,
+    /// Connections turned away at the capacity limit.
+    pub connections_rejected: u64,
+    /// Request frames decoded off connections.
+    pub frames_in: u64,
+    /// Response frames written to connections.
+    pub frames_out: u64,
+    /// Frames that failed to decode (bad magic/CRC/version/payload).
+    pub decode_errors: u64,
+    /// Requests shed with a typed `Overloaded` reply (writer queue full).
+    pub write_queue_sheds: u64,
+    /// In-flight requests drained to completion during graceful shutdown.
+    pub shutdown_drains: u64,
 }
 
 /// Fault-path counters sampled at snapshot time. Shard-level counters
@@ -303,6 +532,11 @@ pub struct MetricsSnapshot {
     pub feed: OpSummary,
     /// Shard fan-out time summary.
     pub fanout: OpSummary,
+    /// End-to-end query latency quantiles (p50/p95/p99/max).
+    pub query_percentiles: HistogramSummary,
+    /// Per-shard k-NN execution latency quantiles, recorded at the
+    /// worker job site (excludes queueing and merge time).
+    pub shard_latency: HistogramSummary,
     /// Node-cache hits across all sessions.
     pub cache_hits: u64,
     /// Node-cache misses (simulated disk reads).
@@ -331,6 +565,8 @@ pub struct MetricsSnapshot {
     pub storage: StorageGauges,
     /// Fault-path counters (panics, timeouts, breaker activity, …).
     pub faults: FaultGauges,
+    /// TCP transport counters (all zero without a network front-end).
+    pub transport: TransportGauges,
 }
 
 #[cfg(test)]
@@ -354,7 +590,13 @@ mod tests {
     #[test]
     fn empty_histogram_snapshot_is_zero() {
         let m = ServiceMetrics::new();
-        let s = m.snapshot(0, StorageGauges::default(), 0, 0);
+        let s = m.snapshot(
+            0,
+            StorageGauges::default(),
+            0,
+            0,
+            HistogramSummary::default(),
+        );
         assert_eq!(s.query.count, 0);
         assert_eq!(s.query.min_ns, 0);
         assert_eq!(s.query.mean_ns, 0.0);
@@ -373,7 +615,13 @@ mod tests {
         m.record_session_created();
         m.record_session_created();
         m.record_session_closed();
-        let s = m.snapshot(1, StorageGauges::default(), 0, 0);
+        let s = m.snapshot(
+            1,
+            StorageGauges::default(),
+            0,
+            0,
+            HistogramSummary::default(),
+        );
         assert_eq!(s.cache_hits, 3);
         assert_eq!(s.cache_misses, 5);
         assert!((s.cache_hit_ratio - 0.375).abs() < 1e-12);
@@ -396,7 +644,13 @@ mod tests {
         m.record_degraded_response();
         m.record_deadline_exceeded();
         m.record_overload_rejection();
-        let s = m.snapshot(0, StorageGauges::default(), 5, 2);
+        let s = m.snapshot(
+            0,
+            StorageGauges::default(),
+            5,
+            2,
+            HistogramSummary::default(),
+        );
         assert_eq!(
             s.faults,
             FaultGauges {
@@ -409,6 +663,105 @@ mod tests {
                 deadline_exceeded: 1,
                 overload_rejections: 1,
                 workers_respawned: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn latency_histogram_buckets_are_a_partition() {
+        // Every value maps into exactly one bucket whose bounds contain it.
+        for ns in [0u64, 1, 7, 8, 9, 15, 16, 100, 1_000, 123_456, u64::MAX] {
+            let idx = bucket_of(ns);
+            assert!(ns <= bucket_upper_bound(idx), "ns={ns} idx={idx}");
+            if idx > 0 {
+                assert!(bucket_upper_bound(idx - 1) < ns, "ns={ns} idx={idx}");
+            }
+        }
+        // Upper bounds are strictly increasing across the whole table.
+        for idx in 1..NUM_BUCKETS {
+            assert!(bucket_upper_bound(idx) > bucket_upper_bound(idx - 1));
+        }
+    }
+
+    #[test]
+    fn latency_histogram_quantiles_are_close_and_max_exact() {
+        let h = LatencyHistogram::new();
+        for ns in 1..=10_000u64 {
+            h.record_ns(ns);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 10_000);
+        assert_eq!(s.max_ns, 10_000);
+        // Log-bucketing bounds the quantile error at 25%.
+        assert!(s.p50_ns >= 5_000 && s.p50_ns <= 6_250, "p50={}", s.p50_ns);
+        assert!(s.p95_ns >= 9_500 && s.p95_ns <= 10_000, "p95={}", s.p95_ns);
+        assert!(s.p99_ns >= 9_900 && s.p99_ns <= 10_000, "p99={}", s.p99_ns);
+        assert!(s.p50_ns <= s.p95_ns && s.p95_ns <= s.p99_ns);
+        assert!((s.mean_ns - 5_000.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn latency_histogram_empty_and_single_sample() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.summary(), HistogramSummary::default());
+        h.record(Duration::from_nanos(777));
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max_ns, 777);
+        // A single sample is every quantile, clamped to the exact max.
+        assert_eq!(s.p50_ns, 777);
+        assert_eq!(s.p99_ns, 777);
+    }
+
+    #[test]
+    fn latency_histogram_concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = std::sync::Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..500u64 {
+                        h.record_ns(t * 1_000 + i);
+                    }
+                });
+            }
+        });
+        let s = h.summary();
+        assert_eq!(s.count, 2_000);
+        assert_eq!(s.max_ns, 3_499);
+    }
+
+    #[test]
+    fn transport_counters_surface_in_snapshot() {
+        let m = ServiceMetrics::new();
+        m.record_connection_opened();
+        m.record_connection_opened();
+        m.record_connection_closed();
+        m.record_connection_rejected();
+        m.record_frame_in();
+        m.record_frame_in();
+        m.record_frame_out();
+        m.record_decode_error();
+        m.record_write_queue_shed();
+        m.record_shutdown_drains(3);
+        let s = m.snapshot(
+            0,
+            StorageGauges::default(),
+            0,
+            0,
+            HistogramSummary::default(),
+        );
+        assert_eq!(
+            s.transport,
+            TransportGauges {
+                connections_accepted: 2,
+                connections_active: 1,
+                connections_rejected: 1,
+                frames_in: 2,
+                frames_out: 1,
+                decode_errors: 1,
+                write_queue_sheds: 1,
+                shutdown_drains: 3,
             }
         );
     }
@@ -427,7 +780,13 @@ mod tests {
                 });
             }
         });
-        let s = m.snapshot(0, StorageGauges::default(), 0, 0);
+        let s = m.snapshot(
+            0,
+            StorageGauges::default(),
+            0,
+            0,
+            HistogramSummary::default(),
+        );
         assert_eq!(s.query.count, 1000);
         assert_eq!(s.cache_hits, 1000);
         assert_eq!(s.cache_misses, 1000);

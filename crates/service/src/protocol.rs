@@ -169,9 +169,49 @@ pub enum Response {
     Error(ServiceError),
 }
 
+/// Upper bound on `k` accepted over the wire. Requests past it are
+/// rejected with a typed error *before* any per-result allocation
+/// happens — a hostile frame asking for `usize::MAX` neighbors must not
+/// be able to abort the process on an allocation failure.
+pub const MAX_WIRE_K: usize = 1 << 20;
+
+/// Rejects wire-supplied vectors carrying NaN/±inf components. Distance
+/// kernels stay well-defined only over finite inputs; a non-finite
+/// query would silently poison every comparison in the scan.
+fn check_finite(vector: &[f64]) -> Result<(), ServiceError> {
+    match vector.iter().position(|v| !v.is_finite()) {
+        None => Ok(()),
+        Some(i) => Err(ServiceError::InvalidRequest(format!(
+            "vector component {i} is not finite"
+        ))),
+    }
+}
+
 /// Maps one request onto the service. Infallible by construction: every
-/// service error becomes [`Response::Error`].
+/// service error becomes [`Response::Error`] — including structurally
+/// hostile field values (absurd `k`, non-finite vectors), which are
+/// rejected here before they reach allocation or kernel code.
 pub fn dispatch(service: &Service, request: Request) -> Response {
+    match &request {
+        Request::Query { k, vector, .. } => {
+            if *k > MAX_WIRE_K {
+                return Response::Error(ServiceError::InvalidRequest(format!(
+                    "k {k} exceeds the wire maximum {MAX_WIRE_K}"
+                )));
+            }
+            if let Some(v) = vector {
+                if let Err(e) = check_finite(v) {
+                    return Response::Error(e);
+                }
+            }
+        }
+        Request::Ingest { vector } => {
+            if let Err(e) = check_finite(vector) {
+                return Response::Error(e);
+            }
+        }
+        _ => {}
+    }
     let result = match request {
         Request::CreateSession { engine } => match engine {
             None => service.create_session(),
@@ -316,6 +356,78 @@ mod tests {
             dispatch(&svc, Request::CloseSession { session }),
             Response::SessionClosed { session }
         );
+    }
+
+    #[test]
+    fn dispatch_rejects_hostile_field_values_with_typed_errors() {
+        let svc = service();
+        let Response::SessionCreated { session } =
+            dispatch(&svc, Request::CreateSession { engine: None })
+        else {
+            panic!("expected SessionCreated");
+        };
+        // An absurd k must be rejected before any allocation sized by it.
+        assert!(matches!(
+            dispatch(
+                &svc,
+                Request::Query {
+                    session,
+                    k: usize::MAX,
+                    vector: Some(vec![0.0, 0.0]),
+                    deadline_ms: None
+                }
+            ),
+            Response::Error(ServiceError::InvalidRequest(_))
+        ));
+        // Non-finite query vectors are rejected, not fed to the kernels.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(
+                dispatch(
+                    &svc,
+                    Request::Query {
+                        session,
+                        k: 3,
+                        vector: Some(vec![0.0, bad]),
+                        deadline_ms: None
+                    }
+                ),
+                Response::Error(ServiceError::InvalidRequest(_))
+            ));
+        }
+        assert!(matches!(
+            dispatch(
+                &svc,
+                Request::Ingest {
+                    vector: vec![f64::NAN, 0.0]
+                }
+            ),
+            Response::Error(_)
+        ));
+        // Infinite feedback scores are as invalid as NaN ones.
+        assert!(matches!(
+            dispatch(
+                &svc,
+                Request::Feed {
+                    session,
+                    relevant_ids: vec![0],
+                    scores: Some(vec![f64::INFINITY]),
+                }
+            ),
+            Response::Error(ServiceError::InvalidRequest(_))
+        ));
+        // The session survives every rejected request.
+        assert!(matches!(
+            dispatch(
+                &svc,
+                Request::Query {
+                    session,
+                    k: 3,
+                    vector: Some(vec![0.0, 0.0]),
+                    deadline_ms: None
+                }
+            ),
+            Response::Neighbors { .. }
+        ));
     }
 
     #[test]

@@ -447,9 +447,9 @@ impl Service {
                         });
                     }
                     let score = scores.map_or(self.config.default_score, |s| s[i]);
-                    if score <= 0.0 || score.is_nan() {
+                    if score <= 0.0 || !score.is_finite() {
                         return Err(ServiceError::InvalidRequest(format!(
-                            "score {score} for id {id} must be positive"
+                            "score {score} for id {id} must be positive and finite"
                         )));
                     }
                     let vector = if id < self.base_len {
@@ -645,7 +645,9 @@ impl Service {
         }
         self.metrics
             .record_cache(stats.cache_hits, stats.disk_reads);
-        self.metrics.query_latency.record(start.elapsed());
+        let elapsed = start.elapsed();
+        self.metrics.query_latency.record(elapsed);
+        self.metrics.query_hist.record(elapsed);
         Ok(QueryOutcome {
             neighbors,
             stats,
@@ -748,6 +750,7 @@ impl Service {
             storage,
             faults.breaker_trips,
             faults.workers_respawned,
+            self.executor.shard_latency(),
         )
     }
 }

@@ -1,29 +1,34 @@
-//! Service demo: one shared `Service` front-ending the Qcluster engine
-//! for many concurrent clients, each running its own relevance-feedback
-//! session over the wire protocol.
+//! Service demo: a real TCP server fronting one shared `Service`, with
+//! many concurrent clients each running its own relevance-feedback
+//! session **over localhost** through `qcluster-net`'s framed protocol.
 //!
 //! ```text
 //! cargo run --release --example service_demo
 //! ```
 //!
-//! Every client thread speaks JSON through [`dispatch`], exactly as a
-//! network front-end would: create a session, run the initial
-//! example-image query, mark the best hits relevant, re-query with the
-//! refined disjunctive query, and close. The service fans each k-NN out
-//! across its shards on a persistent worker pool and keeps per-session
-//! node caches, so the final stats show cache hits (the multipoint
-//! approach of the paper's Figure 7) and per-operation latencies.
+//! The server binds `127.0.0.1:0` (an OS-assigned port) and every
+//! client thread opens its own [`Client`] connection: create a session,
+//! run the initial example-image query, mark the best hits relevant,
+//! re-query with the refined disjunctive query, and close — all as
+//! length-prefixed CRC-checked frames on the wire, pipelined where the
+//! protocol allows. The service fans each k-NN out across its shards on
+//! a persistent worker pool, and the final stats show cache behaviour,
+//! end-to-end latency percentiles, and the transport's own counters
+//! (connections, frames, sheds).
 //!
 //! The service is **durable**: it opens a `qcluster-store` directory,
 //! each client live-ingests one extra image (`Request::Ingest` —
 //! WAL-append, immediately queryable), and the run ends with a
-//! `Request::Flush` folding the WAL into a sealed segment, followed by
-//! a restart proving every ingest survived.
+//! `Request::Flush` folding the WAL into a sealed segment, a graceful
+//! server shutdown (drain, then close), and a restart proving every
+//! ingest survived.
 
 use std::sync::Arc;
 use std::thread;
 
-use qcluster::service::{dispatch, Request, Response, Service, ServiceConfig, StoreConfig};
+use qcluster::net::{Client, ClientConfig, Server, ServerConfig};
+use qcluster::service::{Request, Response, Service, ServiceConfig, StoreConfig};
+use std::net::SocketAddr;
 
 const CLIENTS: usize = 8;
 const ROUNDS: usize = 3;
@@ -46,19 +51,15 @@ fn make_corpus(per_blob: usize) -> Vec<Vec<f64>> {
     points
 }
 
-/// One JSON round-trip through the dispatcher, as a byte transport would
-/// carry it.
-fn call(service: &Service, request: &Request) -> Response {
-    let wire = serde_json::to_string(request).expect("serialize request");
-    let parsed: Request = serde_json::from_str(&wire).expect("parse request");
-    let response = dispatch(service, parsed);
-    let wire_back = serde_json::to_string(&response).expect("serialize response");
-    serde_json::from_str(&wire_back).expect("parse response")
-}
+/// One feedback-driven retrieval session over a live TCP connection.
+fn client(addr: SocketAddr, blob: usize, per_blob: usize) -> (u64, usize) {
+    let mut client = Client::connect(addr, ClientConfig::default()).expect("connect");
+    let call = |client: &mut Client, request: &Request| -> Response {
+        client.call(request).expect("wire call")
+    };
 
-fn client(service: &Service, blob: usize, per_blob: usize) -> (u64, usize) {
     let Response::SessionCreated { session } =
-        call(service, &Request::CreateSession { engine: None })
+        call(&mut client, &Request::CreateSession { engine: None })
     else {
         panic!("session create failed");
     };
@@ -68,7 +69,7 @@ fn client(service: &Service, blob: usize, per_blob: usize) -> (u64, usize) {
     let cx = (blob % 4) as f64 * 10.0;
     let cy = (blob / 4) as f64 * 10.0;
     let Response::Ingested { id: ingested, .. } = call(
-        service,
+        &mut client,
         &Request::Ingest {
             vector: vec![cx + 0.05, cy + 0.05],
         },
@@ -78,7 +79,7 @@ fn client(service: &Service, blob: usize, per_blob: usize) -> (u64, usize) {
 
     // Initial round: query by an example vector near the blob's centre.
     let mut response = call(
-        service,
+        &mut client,
         &Request::Query {
             session,
             k: K,
@@ -102,7 +103,7 @@ fn client(service: &Service, blob: usize, per_blob: usize) -> (u64, usize) {
             .filter(|&id| in_this_blob(id))
             .collect();
         let Response::FeedAccepted { .. } = call(
-            service,
+            &mut client,
             &Request::Feed {
                 session,
                 relevant_ids,
@@ -112,7 +113,7 @@ fn client(service: &Service, blob: usize, per_blob: usize) -> (u64, usize) {
             panic!("feed failed");
         };
         response = call(
-            service,
+            &mut client,
             &Request::Query {
                 session,
                 k: K,
@@ -122,7 +123,8 @@ fn client(service: &Service, blob: usize, per_blob: usize) -> (u64, usize) {
         );
     }
 
-    let Response::SessionClosed { .. } = call(service, &Request::CloseSession { session }) else {
+    let Response::SessionClosed { .. } = call(&mut client, &Request::CloseSession { session })
+    else {
         panic!("close failed");
     };
     (session, in_blob)
@@ -142,8 +144,12 @@ fn main() {
         Service::open_durable(&store_dir, &points, config.clone(), StoreConfig::default())
             .expect("open durable service"),
     );
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&service), ServerConfig::default())
+        .expect("bind server");
+    let addr = server.local_addr();
     println!(
-        "service: {} images, {} shards, {} workers, store at {}",
+        "server: {} on {} images, {} shards, {} workers, store at {}",
+        addr,
         points.len(),
         service.config().num_shards,
         service.config().num_workers,
@@ -151,10 +157,7 @@ fn main() {
     );
 
     let handles: Vec<_> = (0..CLIENTS)
-        .map(|blob| {
-            let service = Arc::clone(&service);
-            thread::spawn(move || client(&service, blob, per_blob))
-        })
+        .map(|blob| thread::spawn(move || client(addr, blob, per_blob)))
         .collect();
     for (blob, handle) in handles.into_iter().enumerate() {
         let (session, in_blob) = handle.join().expect("client thread");
@@ -164,7 +167,9 @@ fn main() {
         );
     }
 
-    let Response::Stats(stats) = call(&service, &Request::Stats) else {
+    // Stats and the WAL flush ride the same wire protocol.
+    let mut admin = Client::connect(addr, ClientConfig::default()).expect("connect admin");
+    let Response::Stats(stats) = admin.call(&Request::Stats).expect("stats call") else {
         panic!("stats failed");
     };
     println!("\nservice stats after {} concurrent clients:", CLIENTS);
@@ -176,8 +181,16 @@ fn main() {
         stats.feed.mean_ns / 1_000.0
     );
     println!(
-        "  fan-out: mean {:.1} µs over {} shards",
-        stats.fanout.mean_ns / 1_000.0,
+        "  query latency: p50 {:.1} µs  p95 {:.1} µs  p99 {:.1} µs  max {:.1} µs",
+        stats.query_percentiles.p50_ns as f64 / 1_000.0,
+        stats.query_percentiles.p95_ns as f64 / 1_000.0,
+        stats.query_percentiles.p99_ns as f64 / 1_000.0,
+        stats.query_percentiles.max_ns as f64 / 1_000.0
+    );
+    println!(
+        "  shard latency: p50 {:.1} µs  p99 {:.1} µs over {} shards",
+        stats.shard_latency.p50_ns as f64 / 1_000.0,
+        stats.shard_latency.p99_ns as f64 / 1_000.0,
         service.config().num_shards
     );
     println!(
@@ -189,6 +202,17 @@ fn main() {
         stats.sessions_created, stats.sessions_closed, stats.active_sessions, stats.evictions
     );
     println!(
+        "  transport: {} conns accepted ({} active, {} rejected), {} frames in / {} out, \
+         {} decode errors, {} sheds",
+        stats.transport.connections_accepted,
+        stats.transport.connections_active,
+        stats.transport.connections_rejected,
+        stats.transport.frames_in,
+        stats.transport.frames_out,
+        stats.transport.decode_errors,
+        stats.transport.write_queue_sheds
+    );
+    println!(
         "  storage: {} ingests, {} WAL appends, {} fsyncs, {} WAL-only vectors",
         stats.ingests,
         stats.storage.wal_appends,
@@ -196,16 +220,27 @@ fn main() {
         stats.storage.wal_vectors
     );
 
-    // Seal the WAL into a segment, then restart to prove durability.
+    // Seal the WAL into a segment, then shut the server down gracefully
+    // and restart the service to prove durability.
     let Response::Flushed {
         folded_vectors,
         segments,
         ..
-    } = call(&service, &Request::Flush)
+    } = admin.call(&Request::Flush).expect("flush call")
     else {
         panic!("flush failed");
     };
     println!("\nflush: folded {folded_vectors} vectors, {segments} sealed segments");
+    drop(admin);
+
+    let report = server.shutdown();
+    println!(
+        "shutdown: drained {} in-flight, aborted {}, detached {} (clean: {})",
+        report.drained,
+        report.aborted_inflight,
+        report.detached_threads,
+        report.clean()
+    );
 
     let expected = service.total_vectors();
     drop(service);

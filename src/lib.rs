@@ -53,6 +53,7 @@
 //! | [`eval`] | `qcluster-eval` | oracle, sessions, P/R, experiments, persistence |
 //! | [`service`] | `qcluster-service` | multi-session server: shards, worker pool, protocol, metrics |
 //! | [`store`] | `qcluster-store` | durable segments + WAL, crash recovery, compaction |
+//! | [`net`] | `qcluster-net` | framed TCP transport: pipelining, backpressure, graceful shutdown |
 
 pub use qcluster_baselines as baselines;
 pub use qcluster_core as core;
@@ -60,6 +61,7 @@ pub use qcluster_eval as eval;
 pub use qcluster_imaging as imaging;
 pub use qcluster_index as index;
 pub use qcluster_linalg as linalg;
+pub use qcluster_net as net;
 pub use qcluster_service as service;
 pub use qcluster_stats as stats;
 pub use qcluster_store as store;

@@ -80,6 +80,33 @@ impl std::fmt::Display for RecvTimeoutError {
 
 impl std::error::Error for RecvTimeoutError {}
 
+/// Error returned by [`BoundedSender::try_send`].
+#[derive(PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// Channel at capacity; the message is handed back.
+    Full(T),
+    /// All receivers dropped; the message is handed back.
+    Disconnected(T),
+}
+
+impl<T> std::fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "Full(..)"),
+            TrySendError::Disconnected(_) => write!(f, "Disconnected(..)"),
+        }
+    }
+}
+
+impl<T> std::fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "sending on a full channel"),
+            TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+        }
+    }
+}
+
 /// The sending half; clonable.
 pub struct Sender<T> {
     inner: mpsc::Sender<T>,
@@ -244,6 +271,20 @@ impl<T> BoundedSender<T> {
         self.inner
             .send(value)
             .map_err(|mpsc::SendError(v)| SendError(v))
+    }
+
+    /// Enqueues a message without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySendError::Full`] when the channel is at capacity,
+    /// [`TrySendError::Disconnected`] when every receiver has been
+    /// dropped; both hand the message back.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        self.inner.try_send(value).map_err(|e| match e {
+            mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+            mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+        })
     }
 }
 
