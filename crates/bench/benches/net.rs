@@ -147,7 +147,11 @@ fn write_json(path: &str, n: usize, rows: &[Row]) {
     s.push_str(&format!("  \"dim\": {DIM},\n"));
     s.push_str(&format!("  \"k\": {K},\n"));
     s.push_str("  \"shards\": 4,\n");
-    s.push_str(&format!("  \"cores\": {},\n", cores()));
+    s.push_str(&qcluster_bench::host_fingerprint_json("  "));
+    s.push_str(&format!(
+        "  \"pipelining_gate_enforced\": {},\n",
+        cores() >= 2
+    ));
     s.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(

@@ -120,9 +120,64 @@ pub fn workload(scale: Scale) -> qcluster_eval::experiments::fig6::Fig6Config {
     }
 }
 
+/// Host + build fingerprint embedded in every `BENCH_*.json` artifact,
+/// one `"key": value,` line per field at the given indent.
+///
+/// Core-count-gated acceptance bars (e.g. the transport bench's
+/// deferred ≥2-core 3× pipelining gate) must stay auditable from the
+/// artifact alone: the JSON records how many cores the host had, what
+/// the build targeted (`target_cpu` mirrors the workspace
+/// `.cargo/config.toml` pin, `target_features` proves it took effect),
+/// and when the run happened.
+pub fn host_fingerprint_json(indent: &str) -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let timestamp = std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut features: Vec<&str> = Vec::new();
+    #[cfg(target_feature = "avx2")]
+    features.push("avx2");
+    #[cfg(target_feature = "fma")]
+    features.push("fma");
+    #[cfg(target_feature = "sse4.2")]
+    features.push("sse4.2");
+    #[cfg(target_feature = "neon")]
+    features.push("neon");
+    format!(
+        "{indent}\"cores\": {cores},\n\
+         {indent}\"arch\": \"{arch}\",\n\
+         {indent}\"target_cpu\": \"native\",\n\
+         {indent}\"target_features\": [{features}],\n\
+         {indent}\"unix_timestamp\": {timestamp},\n",
+        arch = std::env::consts::ARCH,
+        features = features
+            .iter()
+            .map(|f| format!("\"{f}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn host_fingerprint_records_auditable_host_facts() {
+        let json = host_fingerprint_json("  ");
+        assert!(json.contains("\"cores\": "));
+        assert!(json.contains("\"target_cpu\": \"native\""));
+        assert!(json.contains("\"unix_timestamp\": "));
+        assert!(json.contains(std::env::consts::ARCH));
+        // Every line must be a complete `"key": value,` fragment so the
+        // benches can splice it into hand-built JSON objects.
+        for line in json.lines() {
+            assert!(line.trim_end().ends_with(','), "fragment line: {line:?}");
+        }
+    }
 
     #[test]
     fn quick_scale_datasets_build() {

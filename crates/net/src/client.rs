@@ -211,6 +211,55 @@ impl Client {
             .collect())
     }
 
+    /// Sends one replication request ([`crate::repl::ReplRequest`]
+    /// bytes) and waits for the peer's [`crate::repl::ReplReply`]
+    /// bytes. Replication frames interleave freely with protocol
+    /// frames on the same connection; the response is matched by id.
+    ///
+    /// Like [`Client::call`], a transport failure drops the connection
+    /// without retry — WAL apply is idempotent on the receiver, so the
+    /// caller can simply re-drive the catch-up loop.
+    pub fn repl_call(&mut self, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+        self.ensure_connected()?;
+        let id = self.next_id;
+        self.next_id += 1;
+        let result = self.repl_call_inner(payload, id);
+        if result.is_err() {
+            self.disconnect();
+        }
+        result
+    }
+
+    fn repl_call_inner(&mut self, payload: &[u8], id: u64) -> Result<Vec<u8>, NetError> {
+        let stream = self.stream.as_mut().expect("connected");
+        frame::write_frame(stream, FrameKind::ReplRequest, id, payload)?;
+        match frame::read_frame(stream, self.config.max_frame_len)? {
+            ReadFrame::Frame(f) => {
+                if f.kind != FrameKind::ReplResponse {
+                    return Err(NetError::Protocol(format!(
+                        "expected a replication response, got {:?}",
+                        f.kind
+                    )));
+                }
+                if f.request_id != id {
+                    return Err(NetError::Protocol(format!(
+                        "replication response for unknown request id {}",
+                        f.request_id
+                    )));
+                }
+                Ok(f.payload)
+            }
+            ReadFrame::Idle => Err(NetError::Timeout(format!(
+                "no replication response within {:?}",
+                self.config.read_timeout
+            ))),
+            ReadFrame::Eof => Err(NetError::Closed(
+                "server closed before the replication response".into(),
+            )),
+            ReadFrame::Corrupt { error, .. } => Err(NetError::Frame(error)),
+        }
+    }
+
     /// Drops the current connection; the next call redials.
     pub fn disconnect(&mut self) {
         if let Some(stream) = self.stream.take() {

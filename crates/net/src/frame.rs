@@ -8,12 +8,15 @@
 //!  ------  ----  -----------------------------------------------
 //!       0     4  magic  "QNET"
 //!       4     1  protocol version (currently 1)
-//!       5     1  kind   (1 = request, 2 = response)
+//!       5     1  kind   (1 = request, 2 = response,
+//!                        3 = replication request, 4 = replication response)
 //!       6     2  reserved (must be 0 on send, ignored on receive)
 //!       8     8  request id, u64 little-endian
 //!      16     4  payload length, u32 little-endian
 //!      20     4  CRC-32 (ISO-HDLC) over the payload bytes
 //!      24     n  payload: one JSON-encoded `Request` or `Response`
+//!                (kinds 1/2), or a binary replication message
+//!                (kinds 3/4, see the `repl` module)
 //! ```
 //!
 //! The request id is chosen by the client and echoed by the server, so
@@ -42,13 +45,19 @@ pub const HEADER_LEN: usize = 24;
 /// even a 1k-dimensional ingest vector is ~20 KiB, so this is generous.
 pub const DEFAULT_MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
 
-/// Whether a frame carries a request or a response.
+/// Whether a frame carries a request, a response, or a replication
+/// message (binary payload instead of JSON; see the `repl` module).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FrameKind {
     /// Client → server.
     Request,
     /// Server → client.
     Response,
+    /// Replication peer → node: a fetch/apply/status message carrying a
+    /// binary payload of CRC-framed WAL records or control fields.
+    ReplRequest,
+    /// Node → replication peer: the reply to a [`FrameKind::ReplRequest`].
+    ReplResponse,
 }
 
 impl FrameKind {
@@ -56,6 +65,8 @@ impl FrameKind {
         match self {
             FrameKind::Request => 1,
             FrameKind::Response => 2,
+            FrameKind::ReplRequest => 3,
+            FrameKind::ReplResponse => 4,
         }
     }
 
@@ -63,6 +74,8 @@ impl FrameKind {
         match b {
             1 => Some(FrameKind::Request),
             2 => Some(FrameKind::Response),
+            3 => Some(FrameKind::ReplRequest),
+            4 => Some(FrameKind::ReplResponse),
             _ => None,
         }
     }
@@ -87,7 +100,7 @@ pub enum FrameError {
     BadMagic([u8; 4]),
     /// The version byte names a protocol this build does not speak.
     UnsupportedVersion(u8),
-    /// The kind byte is neither request nor response.
+    /// The kind byte names no known frame kind.
     BadKind(u8),
     /// The declared payload length exceeds the configured cap.
     Oversize {
@@ -124,7 +137,7 @@ impl fmt::Display for FrameError {
                     "unsupported protocol version {v} (this build speaks {PROTOCOL_VERSION})"
                 )
             }
-            FrameError::BadKind(k) => write!(f, "bad frame kind {k} (expected 1 or 2)"),
+            FrameError::BadKind(k) => write!(f, "bad frame kind {k} (expected 1..=4)"),
             FrameError::Oversize { len, max } => {
                 write!(
                     f,
@@ -208,6 +221,17 @@ pub fn decode_header(
 /// for best-effort typed error replies about frames that failed header
 /// validation. Returns 0 when the magic is wrong (the id bytes would be
 /// garbage).
+///
+/// Salvage requires a **complete** 24-byte header — the sized parameter
+/// enforces that at the type level. A header truncated *inside* the
+/// request-id field (bytes 8..16) never reaches this function:
+/// [`read_frame`] reports such tears as
+/// [`ReadFrame::Corrupt`]`{ request_id: 0, .. }` without salvaging,
+/// because any id reconstructed from partial bytes would be garbage
+/// padded with zeros, and addressing an error reply at a fabricated id
+/// could cancel an unrelated in-flight request on a pipelined
+/// connection. Id 0 is the reserved connection-level id, so the typed
+/// reply stays unambiguous.
 pub fn salvage_request_id(bytes: &[u8; HEADER_LEN]) -> u64 {
     if bytes[0..4] != MAGIC {
         return 0;
@@ -349,6 +373,10 @@ pub fn read_frame<R: Read>(r: &mut R, max_payload: u32) -> std::io::Result<ReadF
     }
     let filled = 1 + read_full(r, &mut header[1..])?;
     if filled < HEADER_LEN {
+        // Never salvage from a partial header: even if the tear lands
+        // past byte 16, trusting id bytes from an incomplete read risks
+        // addressing the error reply at a garbage id. Id 0 keeps the
+        // reply connection-level (see `salvage_request_id`).
         return Ok(ReadFrame::Corrupt {
             request_id: 0,
             error: FrameError::Truncated {
@@ -446,6 +474,17 @@ mod tests {
             Err(FrameError::BadKind(7))
         ));
 
+        // The replication kinds are valid wire bytes, not BadKind.
+        for (kind, byte) in [
+            (FrameKind::ReplRequest, 3u8),
+            (FrameKind::ReplResponse, 4u8),
+        ] {
+            let buf = encode_frame(kind, 5, b"repl");
+            assert_eq!(buf[5], byte);
+            let (frame, _) = decode_frame(&buf, DEFAULT_MAX_PAYLOAD).unwrap();
+            assert_eq!(frame.kind, kind);
+        }
+
         // A tiny cap turns the 1-byte payload into an oversize claim.
         assert!(matches!(
             decode_frame(&good, 0),
@@ -482,6 +521,42 @@ mod tests {
         .is_fatal());
         assert!(!FrameError::BadKind(9).is_fatal());
         assert!(!FrameError::Payload("nope".into()).is_fatal());
+    }
+
+    #[test]
+    fn header_truncated_inside_the_request_id_field_salvages_nothing() {
+        // Regression pin: a connection that dies mid-header must never
+        // "salvage" a request id from the partial bytes — even when the
+        // tear lands inside (or after) the id field at bytes 8..16, the
+        // id could be half-written garbage that addresses the error
+        // reply at an unrelated pipelined request. The contract is a
+        // connection-level reply: `request_id: 0`.
+        let full = encode_frame(FrameKind::Request, 0x1122_3344_5566_7788, b"x");
+        for cut in [9, 12, 15, 16, 20, HEADER_LEN - 1] {
+            let mut r = &full[..cut];
+            match read_frame(&mut r, DEFAULT_MAX_PAYLOAD).unwrap() {
+                ReadFrame::Corrupt { request_id, error } => {
+                    assert_eq!(request_id, 0, "cut at {cut} must stay connection-level");
+                    assert_eq!(
+                        error,
+                        FrameError::Truncated {
+                            needed: HEADER_LEN,
+                            have: cut
+                        }
+                    );
+                }
+                other => panic!("cut at {cut}: expected Corrupt, got {other:?}"),
+            }
+        }
+        // A complete header *may* salvage: the same frame truncated in
+        // the payload reports the real id.
+        let mut r = &full[..HEADER_LEN];
+        match read_frame(&mut r, DEFAULT_MAX_PAYLOAD).unwrap() {
+            ReadFrame::Corrupt { request_id, .. } => {
+                assert_eq!(request_id, 0x1122_3344_5566_7788);
+            }
+            other => panic!("expected Corrupt with salvaged id, got {other:?}"),
+        }
     }
 
     #[test]

@@ -59,6 +59,7 @@
 pub mod client;
 pub mod error;
 pub mod frame;
+pub mod repl;
 pub mod server;
 
 pub use client::{Client, ClientConfig};
@@ -67,4 +68,5 @@ pub use frame::{
     decode_frame, encode_frame, Frame, FrameError, FrameHeader, FrameKind, DEFAULT_MAX_PAYLOAD,
     HEADER_LEN, MAGIC, PROTOCOL_VERSION,
 };
+pub use repl::{ReplReply, ReplRequest};
 pub use server::{Server, ServerConfig, ShutdownReport};

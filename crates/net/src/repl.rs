@@ -1,0 +1,331 @@
+//! Binary replication protocol carried in [`FrameKind::ReplRequest`] /
+//! [`FrameKind::ReplResponse`](crate::frame::FrameKind::ReplResponse)
+//! frames.
+//!
+//! Replication ships the store's CRC-framed WAL records
+//! (`qcluster_store::encode_record_frame` byte format) from a leader to
+//! followers. The payload here is deliberately *not* JSON: WAL frames
+//! are opaque binary and the follower applies them through the same
+//! strict decoder it uses at recovery, so the codec is a thin tagged
+//! envelope around them.
+//!
+//! | tag | request                    | reply                          |
+//! |-----|----------------------------|--------------------------------|
+//! | 1   | `Fetch { from, max }`      | `Chunk { total, frames }`      |
+//! | 2   | `Apply { frames }`         | `Applied { total, applied }`   |
+//! | 3   | `Status`                   | `Status { total, durable }`    |
+//! | 4   | —                          | `Err { msg }`                  |
+//!
+//! All integers are little-endian. Variable-length fields carry a
+//! `u32` length prefix. The envelope is versioned implicitly by the
+//! frame header's protocol version; decode failures map onto
+//! [`FrameError::Payload`] so the server's existing recoverable-error
+//! reply path covers them.
+
+use crate::frame::FrameError;
+
+/// Cap on a variable-length field inside a replication payload, so a
+/// corrupt length prefix cannot drive a huge allocation. Matches the
+/// frame-level default payload cap.
+const MAX_FIELD: u32 = crate::frame::DEFAULT_MAX_PAYLOAD;
+
+/// A replication request, leader/follower → peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplRequest {
+    /// Ask the peer (a leader) for ingest records starting at global
+    /// vector id `from`, at most `max` records.
+    Fetch {
+        /// First global vector id wanted (the follower's current
+        /// committed total).
+        from: u64,
+        /// Maximum number of records to return in one chunk.
+        max: u32,
+    },
+    /// Ship WAL frames for the peer (a follower) to apply. `frames` is
+    /// a concatenation of store WAL frames
+    /// (`[len u32][crc u32][payload]` each), byte-identical to what a
+    /// local `WalWriter` would have produced.
+    Apply {
+        /// Concatenated WAL frame bytes.
+        frames: Vec<u8>,
+    },
+    /// Ask the peer for its replication position.
+    Status,
+}
+
+/// A replication reply, peer → requester.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplReply {
+    /// Records from `Fetch`. `total` is the leader's committed vector
+    /// count; an empty `frames` with `from == total` means caught up.
+    Chunk {
+        /// Leader's committed total (vectors durably ingested).
+        total: u64,
+        /// Concatenated WAL frame bytes, in id order starting at the
+        /// requested `from`.
+        frames: Vec<u8>,
+    },
+    /// Outcome of `Apply`. `applied` counts records actually ingested
+    /// (duplicates below `total` are skipped idempotently and not
+    /// counted).
+    Applied {
+        /// Follower's committed total after the apply.
+        total: u64,
+        /// Records newly applied by this request.
+        applied: u64,
+    },
+    /// Replication position from `Status`.
+    Status {
+        /// Committed vector count.
+        total: u64,
+        /// Vectors durable on disk (equals `total` when the node runs
+        /// a store; 0 when memory-only).
+        durable: u64,
+    },
+    /// The peer could not serve the request (gap, storage failure, …).
+    Err {
+        /// Human-readable reason.
+        msg: String,
+    },
+}
+
+fn put_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
+    buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    buf.extend_from_slice(bytes);
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], FrameError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| FrameError::Payload(format!("repl payload: {what} length overflows")))?;
+        if end > self.bytes.len() {
+            return Err(FrameError::Payload(format!(
+                "repl payload truncated reading {what}: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.bytes.len() - self.pos
+            )));
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, FrameError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn bytes_field(&mut self, what: &str) -> Result<&'a [u8], FrameError> {
+        let len = self.u32(what)?;
+        if len > MAX_FIELD {
+            return Err(FrameError::Payload(format!(
+                "repl payload: {what} declares {len} bytes (cap {MAX_FIELD})"
+            )));
+        }
+        self.take(len as usize, what)
+    }
+
+    fn finish(&self, what: &str) -> Result<(), FrameError> {
+        if self.pos != self.bytes.len() {
+            return Err(FrameError::Payload(format!(
+                "repl payload: {} trailing bytes after {what}",
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl ReplRequest {
+    /// Serializes into the tagged binary envelope.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            ReplRequest::Fetch { from, max } => {
+                buf.push(1);
+                buf.extend_from_slice(&from.to_le_bytes());
+                buf.extend_from_slice(&max.to_le_bytes());
+            }
+            ReplRequest::Apply { frames } => {
+                buf.push(2);
+                put_bytes(&mut buf, frames);
+            }
+            ReplRequest::Status => buf.push(3),
+        }
+        buf
+    }
+
+    /// Parses the tagged binary envelope, rejecting trailing bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, FrameError> {
+        let mut r = Reader::new(bytes);
+        let out = match r.u8("request tag")? {
+            1 => ReplRequest::Fetch {
+                from: r.u64("fetch.from")?,
+                max: r.u32("fetch.max")?,
+            },
+            2 => ReplRequest::Apply {
+                frames: r.bytes_field("apply.frames")?.to_vec(),
+            },
+            3 => ReplRequest::Status,
+            tag => {
+                return Err(FrameError::Payload(format!(
+                    "repl payload: unknown request tag {tag}"
+                )))
+            }
+        };
+        r.finish("request")?;
+        Ok(out)
+    }
+}
+
+impl ReplReply {
+    /// Serializes into the tagged binary envelope.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            ReplReply::Chunk { total, frames } => {
+                buf.push(1);
+                buf.extend_from_slice(&total.to_le_bytes());
+                put_bytes(&mut buf, frames);
+            }
+            ReplReply::Applied { total, applied } => {
+                buf.push(2);
+                buf.extend_from_slice(&total.to_le_bytes());
+                buf.extend_from_slice(&applied.to_le_bytes());
+            }
+            ReplReply::Status { total, durable } => {
+                buf.push(3);
+                buf.extend_from_slice(&total.to_le_bytes());
+                buf.extend_from_slice(&durable.to_le_bytes());
+            }
+            ReplReply::Err { msg } => {
+                buf.push(4);
+                put_bytes(&mut buf, msg.as_bytes());
+            }
+        }
+        buf
+    }
+
+    /// Parses the tagged binary envelope, rejecting trailing bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, FrameError> {
+        let mut r = Reader::new(bytes);
+        let out = match r.u8("reply tag")? {
+            1 => ReplReply::Chunk {
+                total: r.u64("chunk.total")?,
+                frames: r.bytes_field("chunk.frames")?.to_vec(),
+            },
+            2 => ReplReply::Applied {
+                total: r.u64("applied.total")?,
+                applied: r.u64("applied.applied")?,
+            },
+            3 => ReplReply::Status {
+                total: r.u64("status.total")?,
+                durable: r.u64("status.durable")?,
+            },
+            4 => ReplReply::Err {
+                msg: String::from_utf8_lossy(r.bytes_field("err.msg")?).into_owned(),
+            },
+            tag => {
+                return Err(FrameError::Payload(format!(
+                    "repl payload: unknown reply tag {tag}"
+                )))
+            }
+        };
+        r.finish("reply")?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            ReplRequest::Fetch { from: 0, max: 128 },
+            ReplRequest::Fetch {
+                from: u64::MAX,
+                max: u32::MAX,
+            },
+            ReplRequest::Apply { frames: vec![] },
+            ReplRequest::Apply {
+                frames: vec![1, 2, 3, 0xFF],
+            },
+            ReplRequest::Status,
+        ] {
+            let bytes = req.encode();
+            assert_eq!(ReplRequest::decode(&bytes).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        for reply in [
+            ReplReply::Chunk {
+                total: 7,
+                frames: vec![9, 9, 9],
+            },
+            ReplReply::Chunk {
+                total: 0,
+                frames: vec![],
+            },
+            ReplReply::Applied {
+                total: 12,
+                applied: 5,
+            },
+            ReplReply::Status {
+                total: 3,
+                durable: 3,
+            },
+            ReplReply::Err {
+                msg: "ingest id 9 but expected 4".into(),
+            },
+        ] {
+            let bytes = reply.encode();
+            assert_eq!(ReplReply::decode(&bytes).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_recoverable_payload_errors() {
+        for bytes in [
+            &[][..],                      // empty
+            &[9],                         // unknown tag
+            &[1, 0, 0],                   // fetch truncated
+            &[2, 0xFF, 0xFF, 0xFF, 0xFF], // apply length overruns cap/input
+            &ReplRequest::Status
+                .encode()
+                .iter()
+                .chain(&[0])
+                .copied()
+                .collect::<Vec<_>>()[..],
+        ] {
+            let err = ReplRequest::decode(bytes).unwrap_err();
+            assert!(matches!(err, FrameError::Payload(_)), "{bytes:?} -> {err}");
+            assert!(!err.is_fatal(), "repl decode errors must stay recoverable");
+        }
+        assert!(matches!(
+            ReplReply::decode(&[4, 2, 0, 0, 0, 0xC3]).map(|r| format!("{r:?}")),
+            Err(FrameError::Payload(_)) | Ok(_)
+        ));
+    }
+}

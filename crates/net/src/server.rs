@@ -43,6 +43,7 @@
 
 use crate::error::NetError;
 use crate::frame::{self, FrameKind, ReadFrame, DEFAULT_MAX_PAYLOAD};
+use crate::repl::{ReplReply, ReplRequest};
 use crossbeam::channel::{bounded, BoundedSender, Receiver, RecvTimeoutError, TrySendError};
 use qcluster_service::{dispatch, Request, Response, Service, ServiceError};
 use std::collections::HashMap;
@@ -168,13 +169,22 @@ struct Job {
     guard: InflightGuard,
 }
 
+/// What a [`WriteItem`] carries: a protocol response (JSON, kind 2) or
+/// a pre-encoded replication reply (binary, kind 4). The writer thread
+/// picks the frame kind from the body, so both protocols share one
+/// ordered writer queue per connection.
+enum WriteBody {
+    Response(Response),
+    Repl(Vec<u8>),
+}
+
 /// One response (or transport-level error reply) traveling to a
 /// connection's writer.
 struct WriteItem {
     request_id: u64,
-    response: Response,
-    /// Present for admitted requests; `None` for decode-error and shed
-    /// replies, which never counted as in-flight.
+    body: WriteBody,
+    /// Present for admitted requests; `None` for decode-error, shed,
+    /// and replication replies, which never counted as in-flight.
     guard: Option<InflightGuard>,
 }
 
@@ -508,7 +518,7 @@ fn reader_loop(
                 let delivered = reply_tx
                     .send(WriteItem {
                         request_id,
-                        response,
+                        body: WriteBody::Response(response),
                         guard: None,
                     })
                     .is_ok();
@@ -527,6 +537,38 @@ fn reader_loop(
                     break;
                 }
                 shared.service.metrics().record_frame_in();
+                if f.kind == FrameKind::ReplRequest {
+                    // Replication runs inline on the reader thread: the
+                    // follower's Apply stream must be processed in
+                    // arrival order, and skipping the handler pool keeps
+                    // WAL shipping from competing with query admission.
+                    let reply = match ReplRequest::decode(&f.payload) {
+                        Ok(req) => {
+                            let service = Arc::clone(&shared.service);
+                            catch_unwind(AssertUnwindSafe(move || handle_repl(&service, req)))
+                                .unwrap_or_else(|_| ReplReply::Err {
+                                    msg: "replication handler panicked".into(),
+                                })
+                        }
+                        Err(e) => {
+                            shared.service.metrics().record_decode_error();
+                            ReplReply::Err {
+                                msg: format!("replication payload did not parse: {e}"),
+                            }
+                        }
+                    };
+                    if reply_tx
+                        .send(WriteItem {
+                            request_id: f.request_id,
+                            body: WriteBody::Repl(reply.encode()),
+                            guard: None,
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
+                    continue;
+                }
                 if f.kind != FrameKind::Request {
                     shared.service.metrics().record_decode_error();
                     let response = Response::Error(ServiceError::InvalidRequest(
@@ -535,7 +577,7 @@ fn reader_loop(
                     if reply_tx
                         .send(WriteItem {
                             request_id: f.request_id,
-                            response,
+                            body: WriteBody::Response(response),
                             guard: None,
                         })
                         .is_err()
@@ -557,7 +599,7 @@ fn reader_loop(
                         if reply_tx
                             .send(WriteItem {
                                 request_id: f.request_id,
-                                response,
+                                body: WriteBody::Response(response),
                                 guard: None,
                             })
                             .is_err()
@@ -577,7 +619,7 @@ fn reader_loop(
                     if reply_tx
                         .send(WriteItem {
                             request_id: f.request_id,
-                            response,
+                            body: WriteBody::Response(response),
                             guard: None,
                         })
                         .is_err()
@@ -606,7 +648,7 @@ fn reader_loop(
                         if reply_tx
                             .send(WriteItem {
                                 request_id: job.request_id,
-                                response,
+                                body: WriteBody::Response(response),
                                 guard: Some(job.guard),
                             })
                             .is_err()
@@ -622,6 +664,25 @@ fn reader_loop(
     }
     // Dropping reply_tx lets the writer exit once outstanding jobs for
     // this connection have flushed their responses.
+}
+
+/// Serves one replication request against the fronted service. Every
+/// failure becomes a typed [`ReplReply::Err`]; the connection stays up.
+fn handle_repl(service: &Service, req: ReplRequest) -> ReplReply {
+    match req {
+        ReplRequest::Fetch { from, max } => match service.replication_chunk(from, max) {
+            Ok((total, frames)) => ReplReply::Chunk { total, frames },
+            Err(e) => ReplReply::Err { msg: e.to_string() },
+        },
+        ReplRequest::Apply { frames } => match service.apply_replication(&frames) {
+            Ok((total, applied)) => ReplReply::Applied { total, applied },
+            Err(e) => ReplReply::Err { msg: e.to_string() },
+        },
+        ReplRequest::Status => {
+            let (total, durable) = service.replication_status();
+            ReplReply::Status { total, durable }
+        }
+    }
 }
 
 fn handler_loop(shared: Arc<Shared>, job_rx: Receiver<Job>) {
@@ -641,7 +702,7 @@ fn handler_loop(shared: Arc<Shared>, job_rx: Receiver<Job>) {
             });
         let _ = reply.send(WriteItem {
             request_id,
-            response,
+            body: WriteBody::Response(response),
             guard: Some(guard),
         });
     }
@@ -663,26 +724,33 @@ fn writer_loop(
                     // down exactly as on a real socket error.
                     break;
                 }
-                let payload = match serde_json::to_string(&item.response) {
-                    Ok(p) => p,
-                    Err(_) => {
-                        // Unserializable response: report rather than
-                        // silently dropping the reply.
-                        serde_json::to_string(&Response::Error(ServiceError::Internal(
-                            "response failed to serialize".into(),
-                        )))
-                        .unwrap_or_else(|_| String::from("{}"))
+                let WriteItem {
+                    request_id,
+                    body,
+                    guard,
+                } = item;
+                let (kind, payload) = match body {
+                    WriteBody::Response(response) => {
+                        let payload = match serde_json::to_string(&response) {
+                            Ok(p) => p.into_bytes(),
+                            Err(_) => {
+                                // Unserializable response: report rather
+                                // than silently dropping the reply.
+                                serde_json::to_string(&Response::Error(ServiceError::Internal(
+                                    "response failed to serialize".into(),
+                                )))
+                                .unwrap_or_else(|_| String::from("{}"))
+                                .into_bytes()
+                            }
+                        };
+                        (FrameKind::Response, payload)
                     }
+                    WriteBody::Repl(bytes) => (FrameKind::ReplResponse, bytes),
                 };
-                match frame::write_frame(
-                    &mut stream,
-                    FrameKind::Response,
-                    item.request_id,
-                    payload.as_bytes(),
-                ) {
+                match frame::write_frame(&mut stream, kind, request_id, &payload) {
                     Ok(()) => {
                         shared.service.metrics().record_frame_out();
-                        if item.guard.is_some() && shared.shutdown.load(Ordering::SeqCst) {
+                        if guard.is_some() && shared.shutdown.load(Ordering::SeqCst) {
                             shared.drained.fetch_add(1, Ordering::SeqCst);
                             shared.service.metrics().record_shutdown_drains(1);
                         }

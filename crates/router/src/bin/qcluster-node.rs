@@ -1,0 +1,108 @@
+//! A cluster node process: one `qcluster-service` over a slice of the
+//! deterministic synthetic corpus, served on framed TCP.
+//!
+//! ```text
+//! qcluster-node --addr 127.0.0.1:0 --count 400 --dim 8 --base 0 [--dir /path] [--shards 2]
+//! ```
+//!
+//! The node indexes global ids `base..base + count` under node-local
+//! ids `0..count` (the router adds `base` back when merging). With
+//! `--dir` the service is durable: live ingests WAL-append and the
+//! node accepts replication `Apply` frames. On startup the node prints
+//! `READY <addr>` on stdout — the chaos tests parse it to learn the
+//! bound port — then serves until killed.
+
+use qcluster_net::{Server, ServerConfig};
+use qcluster_router::synthetic_slice;
+use qcluster_service::{Service, ServiceConfig, StoreConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+struct Args {
+    addr: String,
+    count: usize,
+    dim: usize,
+    base: usize,
+    dir: Option<PathBuf>,
+    shards: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:0".to_string(),
+        count: 400,
+        dim: 8,
+        base: 0,
+        dir: None,
+        shards: 2,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value()?,
+            "--count" => {
+                args.count = value()?.parse().map_err(|e| format!("--count: {e}"))?;
+            }
+            "--dim" => args.dim = value()?.parse().map_err(|e| format!("--dim: {e}"))?,
+            "--base" => args.base = value()?.parse().map_err(|e| format!("--base: {e}"))?,
+            "--dir" => args.dir = Some(PathBuf::from(value()?)),
+            "--shards" => {
+                args.shards = value()?.parse().map_err(|e| format!("--shards: {e}"))?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.count == 0 || args.dim == 0 {
+        return Err("--count and --dim must be positive".into());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("qcluster-node: {msg}");
+            eprintln!(
+                "usage: qcluster-node --addr HOST:PORT --count N --dim D --base B \
+                 [--dir PATH] [--shards S]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let points = synthetic_slice(args.base, args.count, args.dim);
+    let config = ServiceConfig {
+        num_shards: args.shards,
+        ..ServiceConfig::default()
+    };
+    let service = match &args.dir {
+        Some(dir) => Service::open_durable(dir, &points, config, StoreConfig::default()),
+        None => Service::new(&points, config),
+    };
+    let service = match service {
+        Ok(service) => Arc::new(service),
+        Err(e) => {
+            eprintln!("qcluster-node: service failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    let server = match Server::bind(&args.addr, service, ServerConfig::default()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("qcluster-node: bind {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    // The chaos tests parse this line to learn the bound port.
+    println!("READY {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    // Serve until killed (the chaos tests SIGKILL this process).
+    loop {
+        std::thread::park();
+    }
+}

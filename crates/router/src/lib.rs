@@ -1,0 +1,34 @@
+//! # qcluster-router
+//!
+//! A multi-node scatter–gather cluster front for qcluster: the
+//! single-process service (`qcluster-service` behind `qcluster-net`)
+//! scaled out to N node processes, each owning a contiguous slice of
+//! the global id space.
+//!
+//! - [`ShardMap`] — the topology: partitions (`id_base` + replica
+//!   addresses), global↔local id arithmetic, ingest ownership.
+//! - [`Router`] — scatter–gather queries with per-node deadlines,
+//!   circuit breakers, and typed failure attribution
+//!   ([`NodeFailureKind`]); session/feedback broadcast; majority-acked
+//!   ingest with WAL-shipping replication, follower catch-up, leader
+//!   promotion, and stale-bounded replica reads
+//!   ([`ReadPreference::StaleOk`]).
+//!
+//! The router degrades per-node exactly the way the in-process
+//! executor degrades per-shard: a healthy cluster answers bit-for-bit
+//! identically to a single node holding the whole corpus, and a
+//! partial cluster answers exactly over the surviving partitions with
+//! `nodes_ok / nodes_total` coverage on the wire.
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod map;
+pub mod router;
+
+pub use corpus::{synthetic_point, synthetic_slice};
+pub use map::{MapError, Partition, ShardMap};
+pub use router::{
+    NodeFailure, NodeFailureKind, ReadPreference, Router, RouterConfig, RouterError, ScatterReport,
+    SyncOutcome,
+};

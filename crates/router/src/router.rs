@@ -1,0 +1,1312 @@
+//! The scatter–gather router: one process fronting N `qcluster-net`
+//! node processes.
+//!
+//! Every query fans out to one replica per partition over framed TCP,
+//! the partial top-k lists come back with node-local ids, and the
+//! router remaps them onto the global id space (`global = id_base +
+//! local`) before k-way-merging with the same `(distance, id)`
+//! tie-break the in-process executor uses — so a healthy cluster is
+//! bit-for-bit equal to a single node holding the whole corpus.
+//!
+//! ## Degradation
+//!
+//! Nodes degrade exactly the way the executor degrades shards: a
+//! per-node deadline bounds each leg, a per-node circuit breaker trips
+//! after consecutive failures and skips the node (degraded coverage)
+//! until a cooldown elapses, then half-opens with a single probe.
+//! Every missing leg is attributed with a typed [`NodeFailureKind`],
+//! and responses carry `nodes_ok / nodes_total` cluster coverage next
+//! to the per-node `shards_ok / shards_total`.
+//!
+//! ## Replication
+//!
+//! Partitions may be replicated. The router ships the leader's WAL to
+//! followers over the replication frame kind (`Fetch` from the
+//! follower's committed record offset on the leader, `Apply` on the
+//! follower — idempotent, so a torn exchange is simply re-driven). An
+//! acked ingest is one that reached a **majority** of the partition's
+//! replicas, so killing the leader loses nothing: promotion probes the
+//! surviving replicas' replication status and elects the one with the
+//! highest committed total. [`ReadPreference::StaleOk`] additionally
+//! lets queries fall back to a follower whose known replication lag is
+//! within a bound when the leader's breaker is open.
+//!
+//! ## Failpoints
+//!
+//! `router.node` (any leg) and `router.node.<p>` (partition `p`)
+//! inject faults before a leg is dispatched: `error:<msg>` /
+//! `panic:<msg>` fail the leg, `sleep:<ms>` delays it, and
+//! `partial:<n>` truncates the leg's neighbor list to `n` entries.
+
+use crate::map::ShardMap;
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use qcluster_failpoint as failpoint;
+use qcluster_index::{merge_top_k, Neighbor};
+use qcluster_net::{Client, ClientConfig, ReplReply, ReplRequest};
+use qcluster_service::{
+    ClusterGauges, FeedPointDto, MetricsSnapshot, NeighborDto, Request, Response, SearchStatsDto,
+};
+use std::collections::HashMap;
+use std::fmt;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Which replica of a partition serves queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadPreference {
+    /// Always the current leader (linearizable with respect to acked
+    /// ingests). A leg whose leader breaker is open fails as
+    /// [`NodeFailureKind::BreakerOpen`].
+    LeaderOnly,
+    /// Leader normally, but when the leader's breaker is open, fall
+    /// back to a follower whose router-observed replication lag (in
+    /// committed records) is at most `max_lag`.
+    StaleOk {
+        /// Largest acceptable records-behind-leader for a fallback read.
+        max_lag: u64,
+    },
+}
+
+/// Tunables for [`Router`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Per-leg reply deadline: how long one node may take to answer
+    /// before the leg is attributed [`NodeFailureKind::Timeout`].
+    pub node_deadline: Duration,
+    /// Consecutive leg failures that trip one node's circuit breaker.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker stays open before half-opening.
+    pub breaker_cooldown: Duration,
+    /// Transport tunables for the per-node connections.
+    pub client: ClientConfig,
+    /// Records per replication `Fetch` round.
+    pub replication_batch: u32,
+    /// Replica selection for query legs.
+    pub read_preference: ReadPreference,
+    /// Relevance score assigned when a feed omits explicit scores
+    /// (matches the single-node service default).
+    pub default_score: f64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            node_deadline: Duration::from_secs(5),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(1),
+            client: ClientConfig::default(),
+            replication_batch: 256,
+            read_preference: ReadPreference::LeaderOnly,
+            default_score: 3.0,
+        }
+    }
+}
+
+/// Why one node leg contributed nothing to a scatter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeFailureKind {
+    /// Dial, socket, or frame failure reaching the node.
+    Transport(String),
+    /// The node answered with an error (or an injected fault fired).
+    Remote(String),
+    /// The node had not answered when the per-node deadline elapsed.
+    Timeout,
+    /// The node's circuit breaker was open; the leg was never sent.
+    BreakerOpen,
+}
+
+impl fmt::Display for NodeFailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeFailureKind::Transport(msg) => write!(f, "transport: {msg}"),
+            NodeFailureKind::Remote(msg) => write!(f, "remote: {msg}"),
+            NodeFailureKind::Timeout => write!(f, "timeout"),
+            NodeFailureKind::BreakerOpen => write!(f, "breaker open"),
+        }
+    }
+}
+
+/// One node's failure in a scatter, attributed to its partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeFailure {
+    /// Partition index within the shard map.
+    pub partition: usize,
+    /// The failing node's address.
+    pub addr: SocketAddr,
+    /// What went wrong.
+    pub kind: NodeFailureKind,
+}
+
+/// A router-level error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouterError {
+    /// The session id is unknown to this router.
+    UnknownSession(u64),
+    /// Every leg the operation depended on failed.
+    Unavailable(Vec<NodeFailure>),
+    /// An acked write could not reach a majority of a partition's
+    /// replicas.
+    NoQuorum {
+        /// The partition that fell short.
+        partition: usize,
+        /// Replicas holding the write (leader included).
+        copies: usize,
+        /// Replicas in the partition.
+        replicas: usize,
+    },
+    /// A node answered something structurally impossible.
+    Protocol(String),
+    /// The request was malformed before any leg was dispatched.
+    InvalidRequest(String),
+}
+
+impl fmt::Display for RouterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouterError::UnknownSession(id) => write!(f, "unknown router session {id}"),
+            RouterError::Unavailable(failures) => {
+                write!(f, "no node answered ({} failures:", failures.len())?;
+                for failure in failures {
+                    write!(
+                        f,
+                        " [p{} {} {}]",
+                        failure.partition, failure.addr, failure.kind
+                    )?;
+                }
+                write!(f, ")")
+            }
+            RouterError::NoQuorum {
+                partition,
+                copies,
+                replicas,
+            } => write!(
+                f,
+                "partition {partition}: write reached {copies} of {replicas} replicas (no majority)"
+            ),
+            RouterError::Protocol(msg) => write!(f, "protocol: {msg}"),
+            RouterError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+/// The outcome of one scattered query.
+#[derive(Debug, Clone)]
+pub struct ScatterReport {
+    /// The merged [`Response::Neighbors`] with cluster coverage filled
+    /// in (`nodes_ok` / `nodes_total`).
+    pub response: Response,
+    /// Typed attribution for every missing leg.
+    pub failures: Vec<NodeFailure>,
+}
+
+/// Circuit-breaker state for one node (same state machine as the
+/// executor's per-shard breaker: closed → open after `threshold`
+/// consecutive failures → one half-open probe after the cooldown).
+#[derive(Debug, Default)]
+struct BreakerInner {
+    consecutive_failures: u32,
+    open_until: Option<Instant>,
+    probing: bool,
+}
+
+#[derive(Debug, Default)]
+struct NodeBreaker {
+    state: Mutex<BreakerInner>,
+}
+
+impl NodeBreaker {
+    fn lock(&self) -> std::sync::MutexGuard<'_, BreakerInner> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Whether a leg for this node may be dispatched now; in the open
+    /// state this admits exactly one half-open probe per cooldown.
+    fn admit(&self, now: Instant) -> bool {
+        let mut s = self.lock();
+        match s.open_until {
+            None => true,
+            Some(until) if now < until => false,
+            Some(_) if s.probing => false,
+            Some(_) => {
+                s.probing = true;
+                true
+            }
+        }
+    }
+
+    /// Whether the breaker is currently closed (read-only: does not
+    /// consume the half-open probe). Used by replica selection.
+    fn is_closed(&self, now: Instant) -> bool {
+        let s = self.lock();
+        match s.open_until {
+            None => true,
+            Some(until) => now >= until && !s.probing,
+        }
+    }
+
+    fn record_success(&self) {
+        let mut s = self.lock();
+        s.consecutive_failures = 0;
+        s.open_until = None;
+        s.probing = false;
+    }
+
+    /// Returns `true` when this failure tripped (or re-tripped) the
+    /// breaker.
+    fn record_failure(&self, now: Instant, threshold: u32, cooldown: Duration) -> bool {
+        let mut s = self.lock();
+        s.consecutive_failures = s.consecutive_failures.saturating_add(1);
+        let trip = s.probing || s.consecutive_failures >= threshold;
+        s.probing = false;
+        if trip {
+            s.open_until = Some(now + cooldown);
+        }
+        trip
+    }
+}
+
+/// Work for one node's connection-owning worker thread.
+enum NodeJob {
+    Call {
+        request: Request,
+        reply: Sender<Result<Response, String>>,
+    },
+    Repl {
+        payload: Vec<u8>,
+        reply: Sender<Result<Vec<u8>, String>>,
+    },
+}
+
+/// One replica's connection worker plus router-side health state.
+struct NodeHandle {
+    addr: SocketAddr,
+    tx: Sender<NodeJob>,
+    breaker: NodeBreaker,
+    /// Committed record count the router last observed on this node
+    /// (via ingest acks, replication replies, and status probes) —
+    /// the basis for stale-bounded replica selection.
+    known_total: AtomicU64,
+}
+
+struct PartitionState {
+    id_base: usize,
+    replicas: Vec<NodeHandle>,
+    /// Index of the current leader within `replicas` (promotion moves it).
+    leader: AtomicUsize,
+}
+
+/// Router-side cluster counters, mirrored into
+/// [`MetricsSnapshot::cluster`] by [`Router::stats`].
+#[derive(Debug, Default)]
+struct Counters {
+    node_failures: AtomicU64,
+    node_timeouts: AtomicU64,
+    node_breaker_skips: AtomicU64,
+    node_breaker_trips: AtomicU64,
+    degraded_responses: AtomicU64,
+    promotions: AtomicU64,
+    replication_records_shipped: AtomicU64,
+    replication_records_applied: AtomicU64,
+    stale_reads: AtomicU64,
+}
+
+/// One dispatched (or pre-failed) scatter leg awaiting collection.
+struct Leg {
+    partition: usize,
+    replica: usize,
+    rx: Option<Receiver<Result<Response, String>>>,
+    /// Failure decided at dispatch time (breaker open, injected fault,
+    /// dead worker) — no reply to wait for.
+    early: Option<NodeFailureKind>,
+    /// Injected `partial:<n>` cap on this leg's neighbor list.
+    partial: Option<usize>,
+}
+
+/// Per-node session ids backing one router session, keyed by
+/// `(partition, replica)`.
+type SessionBindings = HashMap<(usize, usize), u64>;
+
+/// Per-replica outcome of a [`Router::sync_partition`] pass: each
+/// follower's index paired with its post-sync committed total, or the
+/// failure that kept it behind.
+pub type SyncOutcome = Vec<(usize, Result<u64, NodeFailure>)>;
+
+/// A multi-node scatter–gather front for a cluster of `qcluster-net`
+/// node processes: shard-mapped queries, per-node degradation, and
+/// majority-acked WAL-shipping replication with leader promotion.
+pub struct Router {
+    map: ShardMap,
+    config: RouterConfig,
+    partitions: Vec<PartitionState>,
+    sessions: Mutex<HashMap<u64, SessionBindings>>,
+    next_session: AtomicU64,
+    counters: Counters,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// The body of one node worker: owns the (lazily dialed) client for a
+/// single node and serializes all router traffic to it.
+fn node_worker(addr: SocketAddr, config: ClientConfig, rx: Receiver<NodeJob>) {
+    let mut client: Option<Client> = None;
+    while let Ok(job) = rx.recv() {
+        match job {
+            NodeJob::Call { request, reply } => {
+                let result = with_client(&mut client, addr, &config, |c| {
+                    c.call(&request).map_err(|e| e.to_string())
+                });
+                let _ = reply.send(result);
+            }
+            NodeJob::Repl { payload, reply } => {
+                let result = with_client(&mut client, addr, &config, |c| {
+                    c.repl_call(&payload).map_err(|e| e.to_string())
+                });
+                let _ = reply.send(result);
+            }
+        }
+    }
+}
+
+fn with_client<T>(
+    slot: &mut Option<Client>,
+    addr: SocketAddr,
+    config: &ClientConfig,
+    op: impl FnOnce(&mut Client) -> Result<T, String>,
+) -> Result<T, String> {
+    if slot.is_none() {
+        match Client::connect(addr, config.clone()) {
+            Ok(c) => *slot = Some(c),
+            Err(e) => return Err(format!("connect {addr}: {e}")),
+        }
+    }
+    let result = op(slot.as_mut().expect("just connected"));
+    if result.is_err() {
+        // Drop the connection: the next job redials with backoff.
+        *slot = None;
+    }
+    result
+}
+
+impl Router {
+    /// Builds a router over `map`, spawning one connection worker per
+    /// replica (connections are dialed lazily on first use, so nodes
+    /// may come up after the router).
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::InvalidRequest`] when the OS refuses a worker
+    /// thread.
+    pub fn new(map: ShardMap, config: RouterConfig) -> Result<Router, RouterError> {
+        let mut partitions = Vec::with_capacity(map.num_partitions());
+        let mut workers = Vec::with_capacity(map.num_nodes());
+        for (p, partition) in map.partitions().iter().enumerate() {
+            let mut replicas = Vec::with_capacity(partition.replicas.len());
+            for (r, &addr) in partition.replicas.iter().enumerate() {
+                let (tx, rx) = channel::unbounded::<NodeJob>();
+                let client = config.client.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("qrouter-node-{p}-{r}"))
+                    .spawn(move || node_worker(addr, client, rx))
+                    .map_err(|e| {
+                        RouterError::InvalidRequest(format!("node worker {p}.{r}: {e}"))
+                    })?;
+                workers.push(handle);
+                replicas.push(NodeHandle {
+                    addr,
+                    tx,
+                    breaker: NodeBreaker::default(),
+                    known_total: AtomicU64::new(0),
+                });
+            }
+            partitions.push(PartitionState {
+                id_base: partition.id_base,
+                replicas,
+                leader: AtomicUsize::new(0),
+            });
+        }
+        Ok(Router {
+            map,
+            config,
+            partitions,
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+            counters: Counters::default(),
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// The topology this router serves.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The current leader replica index of `partition`.
+    pub fn leader_of(&self, partition: usize) -> usize {
+        self.partitions[partition].leader.load(Ordering::Acquire)
+    }
+
+    // ------------------------------------------------------------------
+    // Leg dispatch / collection
+    // ------------------------------------------------------------------
+
+    fn note_failure(&self, partition: usize, replica: usize, kind: &NodeFailureKind) {
+        let node = &self.partitions[partition].replicas[replica];
+        match kind {
+            NodeFailureKind::BreakerOpen => {
+                self.counters
+                    .node_breaker_skips
+                    .fetch_add(1, Ordering::Relaxed);
+                return; // skipping is not a health observation
+            }
+            NodeFailureKind::Timeout => {
+                self.counters.node_timeouts.fetch_add(1, Ordering::Relaxed);
+            }
+            NodeFailureKind::Transport(_) | NodeFailureKind::Remote(_) => {
+                self.counters.node_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if node.breaker.record_failure(
+            Instant::now(),
+            self.config.breaker_threshold,
+            self.config.breaker_cooldown,
+        ) {
+            self.counters
+                .node_breaker_trips
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Starts one leg: breaker admission, failpoint evaluation, then a
+    /// job on the node's worker. Never blocks on the network.
+    fn dispatch_leg(&self, partition: usize, replica: usize, request: Request) -> Leg {
+        let node = &self.partitions[partition].replicas[replica];
+        let mut leg = Leg {
+            partition,
+            replica,
+            rx: None,
+            early: None,
+            partial: None,
+        };
+        if !node.breaker.admit(Instant::now()) {
+            self.note_failure(partition, replica, &NodeFailureKind::BreakerOpen);
+            leg.early = Some(NodeFailureKind::BreakerOpen);
+            return leg;
+        }
+        // Failpoints: the partition-specific name wins over the generic
+        // one; formatting only happens while any failpoint is armed.
+        if failpoint::active() {
+            let action = failpoint::evaluate_sleepy(&format!("router.node.{partition}"))
+                .or_else(|| failpoint::evaluate_sleepy("router.node"));
+            match action {
+                Some(failpoint::Action::Error(msg)) | Some(failpoint::Action::Panic(msg)) => {
+                    let kind = NodeFailureKind::Remote(format!(
+                        "injected failure on partition {partition}: {msg}"
+                    ));
+                    self.note_failure(partition, replica, &kind);
+                    leg.early = Some(kind);
+                    return leg;
+                }
+                Some(failpoint::Action::Partial(n)) => leg.partial = Some(n),
+                Some(failpoint::Action::Sleep(_)) | None => {}
+            }
+        }
+        let (reply_tx, reply_rx) = channel::unbounded();
+        if node
+            .tx
+            .send(NodeJob::Call {
+                request,
+                reply: reply_tx,
+            })
+            .is_err()
+        {
+            let kind = NodeFailureKind::Transport("node worker exited".into());
+            self.note_failure(partition, replica, &kind);
+            leg.early = Some(kind);
+            return leg;
+        }
+        leg.rx = Some(reply_rx);
+        leg
+    }
+
+    /// Waits for one leg's reply until `deadline`, recording breaker
+    /// and counter outcomes.
+    fn collect_leg(&self, leg: &mut Leg, deadline: Instant) -> Result<Response, NodeFailureKind> {
+        if let Some(kind) = leg.early.take() {
+            return Err(kind);
+        }
+        let rx = leg.rx.take().expect("dispatched leg has a receiver");
+        let node = &self.partitions[leg.partition].replicas[leg.replica];
+        let wait = deadline.saturating_duration_since(Instant::now());
+        match rx.recv_timeout(wait) {
+            Ok(Ok(Response::Error(e))) => {
+                let kind = NodeFailureKind::Remote(e.to_string());
+                self.note_failure(leg.partition, leg.replica, &kind);
+                Err(kind)
+            }
+            Ok(Ok(response)) => {
+                node.breaker.record_success();
+                Ok(response)
+            }
+            Ok(Err(msg)) => {
+                let kind = NodeFailureKind::Transport(msg);
+                self.note_failure(leg.partition, leg.replica, &kind);
+                Err(kind)
+            }
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                self.note_failure(leg.partition, leg.replica, &NodeFailureKind::Timeout);
+                Err(NodeFailureKind::Timeout)
+            }
+        }
+    }
+
+    /// One synchronous call to a specific replica (dispatch + collect
+    /// under a fresh per-node deadline).
+    fn call_replica(
+        &self,
+        partition: usize,
+        replica: usize,
+        request: Request,
+    ) -> Result<Response, NodeFailureKind> {
+        let mut leg = self.dispatch_leg(partition, replica, request);
+        self.collect_leg(&mut leg, Instant::now() + self.config.node_deadline)
+    }
+
+    fn failure(&self, partition: usize, replica: usize, kind: NodeFailureKind) -> NodeFailure {
+        NodeFailure {
+            partition,
+            addr: self.partitions[partition].replicas[replica].addr,
+            kind,
+        }
+    }
+
+    /// Picks the replica serving a query leg for `partition` per the
+    /// configured [`ReadPreference`].
+    fn read_replica(&self, partition: usize) -> usize {
+        let part = &self.partitions[partition];
+        let leader = part.leader.load(Ordering::Acquire);
+        let ReadPreference::StaleOk { max_lag } = self.config.read_preference else {
+            return leader;
+        };
+        let now = Instant::now();
+        if part.replicas[leader].breaker.is_closed(now) {
+            return leader;
+        }
+        let leader_total = part.replicas[leader].known_total.load(Ordering::Acquire);
+        for (r, node) in part.replicas.iter().enumerate() {
+            if r == leader || !node.breaker.is_closed(now) {
+                continue;
+            }
+            let lag = leader_total.saturating_sub(node.known_total.load(Ordering::Acquire));
+            if lag <= max_lag {
+                self.counters.stale_reads.fetch_add(1, Ordering::Relaxed);
+                return r;
+            }
+        }
+        leader
+    }
+
+    // ------------------------------------------------------------------
+    // Sessions
+    // ------------------------------------------------------------------
+
+    /// Opens a session on every replica of every partition (followers
+    /// included, so failover and stale reads keep the session state)
+    /// and returns the router-level session id.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::Unavailable`] when any partition has *zero*
+    /// replicas with the session — such a cluster could never answer.
+    pub fn create_session(&self, engine: Option<&str>) -> Result<u64, RouterError> {
+        let deadline = Instant::now() + self.config.node_deadline;
+        let mut legs = Vec::new();
+        for (p, part) in self.partitions.iter().enumerate() {
+            for r in 0..part.replicas.len() {
+                legs.push(self.dispatch_leg(
+                    p,
+                    r,
+                    Request::CreateSession {
+                        engine: engine.map(str::to_string),
+                    },
+                ));
+            }
+        }
+        let mut sids: HashMap<(usize, usize), u64> = HashMap::new();
+        let mut failures = Vec::new();
+        for mut leg in legs {
+            let (p, r) = (leg.partition, leg.replica);
+            match self.collect_leg(&mut leg, deadline) {
+                Ok(Response::SessionCreated { session }) => {
+                    sids.insert((p, r), session);
+                }
+                Ok(other) => failures.push(self.failure(
+                    p,
+                    r,
+                    NodeFailureKind::Remote(format!("unexpected response: {other:?}")),
+                )),
+                Err(kind) => failures.push(self.failure(p, r, kind)),
+            }
+        }
+        for p in 0..self.partitions.len() {
+            if !sids.keys().any(|&(sp, _)| sp == p) {
+                return Err(RouterError::Unavailable(failures));
+            }
+        }
+        let session = self.next_session.fetch_add(1, Ordering::Relaxed);
+        self.sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(session, sids);
+        Ok(session)
+    }
+
+    /// Closes `session` on every replica that holds it.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::UnknownSession`] when the router never issued
+    /// `session` (node-side close failures are best-effort ignored —
+    /// node sessions also expire by idle TTL).
+    pub fn close_session(&self, session: u64) -> Result<(), RouterError> {
+        let sids = self
+            .sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&session)
+            .ok_or(RouterError::UnknownSession(session))?;
+        let deadline = Instant::now() + self.config.node_deadline;
+        let mut legs = Vec::new();
+        for (&(p, r), &sid) in &sids {
+            legs.push(self.dispatch_leg(p, r, Request::CloseSession { session: sid }));
+        }
+        for mut leg in legs {
+            let _ = self.collect_leg(&mut leg, deadline);
+        }
+        Ok(())
+    }
+
+    fn session_targets(&self, session: u64) -> Result<HashMap<(usize, usize), u64>, RouterError> {
+        self.sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&session)
+            .cloned()
+            .ok_or(RouterError::UnknownSession(session))
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Scatters one k-NN round to one replica per partition and merges
+    /// the partial top-k lists (ids remapped to the global space,
+    /// ties by `(distance, id)` — identical to the executor's shard
+    /// merge). Missing legs degrade the response instead of failing it;
+    /// `nodes_ok / nodes_total` on the returned [`Response::Neighbors`]
+    /// carry the coverage.
+    ///
+    /// # Errors
+    ///
+    /// - [`RouterError::UnknownSession`] for a session this router
+    ///   never issued.
+    /// - [`RouterError::Unavailable`] when *zero* partitions answered.
+    pub fn query(
+        &self,
+        session: u64,
+        k: usize,
+        vector: Option<Vec<f64>>,
+        deadline_ms: Option<u64>,
+    ) -> Result<ScatterReport, RouterError> {
+        let sids = self.session_targets(session)?;
+        let deadline = Instant::now() + self.config.node_deadline;
+        let nodes_total = self.partitions.len();
+        let mut failures: Vec<NodeFailure> = Vec::new();
+        let mut legs = Vec::new();
+        for p in 0..self.partitions.len() {
+            let r = self.read_replica(p);
+            let Some(&sid) = sids.get(&(p, r)) else {
+                failures.push(self.failure(
+                    p,
+                    r,
+                    NodeFailureKind::Remote("replica holds no session state".into()),
+                ));
+                continue;
+            };
+            legs.push(self.dispatch_leg(
+                p,
+                r,
+                Request::Query {
+                    session: sid,
+                    k,
+                    vector: vector.clone(),
+                    deadline_ms,
+                },
+            ));
+        }
+        let mut lists: Vec<Vec<Neighbor>> = Vec::with_capacity(legs.len());
+        let mut stats = SearchStatsDto {
+            nodes_accessed: 0,
+            cache_hits: 0,
+            disk_reads: 0,
+            distance_evaluations: 0,
+        };
+        let (mut shards_ok, mut shards_total, mut nodes_ok) = (0usize, 0usize, 0usize);
+        for mut leg in legs {
+            let (p, r) = (leg.partition, leg.replica);
+            let partial = leg.partial;
+            match self.collect_leg(&mut leg, deadline) {
+                Ok(Response::Neighbors {
+                    neighbors,
+                    stats: leg_stats,
+                    shards_ok: leg_shards_ok,
+                    shards_total: leg_shards_total,
+                    ..
+                }) => {
+                    let id_base = self.partitions[p].id_base;
+                    let mut list: Vec<Neighbor> = neighbors
+                        .into_iter()
+                        .map(|n| Neighbor {
+                            id: id_base + n.id,
+                            distance: n.distance,
+                        })
+                        .collect();
+                    if let Some(cap) = partial {
+                        list.truncate(cap);
+                    }
+                    lists.push(list);
+                    stats.nodes_accessed += leg_stats.nodes_accessed;
+                    stats.cache_hits += leg_stats.cache_hits;
+                    stats.disk_reads += leg_stats.disk_reads;
+                    stats.distance_evaluations += leg_stats.distance_evaluations;
+                    shards_ok += leg_shards_ok;
+                    shards_total += leg_shards_total;
+                    nodes_ok += 1;
+                }
+                Ok(other) => {
+                    let kind = NodeFailureKind::Remote(format!("unexpected response: {other:?}"));
+                    self.note_failure(p, r, &kind);
+                    failures.push(self.failure(p, r, kind));
+                }
+                Err(kind) => failures.push(self.failure(p, r, kind)),
+            }
+        }
+        if nodes_ok == 0 {
+            return Err(RouterError::Unavailable(failures));
+        }
+        let degraded = nodes_ok < nodes_total || shards_ok < shards_total;
+        if degraded {
+            self.counters
+                .degraded_responses
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let neighbors: Vec<NeighborDto> = merge_top_k(lists, k)
+            .into_iter()
+            .map(NeighborDto::from)
+            .collect();
+        failures.sort_by_key(|f| f.partition);
+        Ok(ScatterReport {
+            response: Response::Neighbors {
+                session,
+                neighbors,
+                stats,
+                shards_ok,
+                shards_total,
+                nodes_ok,
+                nodes_total,
+                degraded,
+            },
+            failures,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Feedback
+    // ------------------------------------------------------------------
+
+    /// Marks global corpus ids as relevant: resolves each id's vector
+    /// from its owning partition's leader, then broadcasts the explicit
+    /// `(id, vector, score)` triples to every replica holding the
+    /// session (so refined queries agree across replicas and survive
+    /// failover).
+    ///
+    /// # Errors
+    ///
+    /// - [`RouterError::UnknownSession`] / [`RouterError::InvalidRequest`]
+    ///   for bad inputs.
+    /// - [`RouterError::Unavailable`] when a vector's owner partition
+    ///   could not resolve it, or when any partition ends up with zero
+    ///   replicas that accepted the feed.
+    pub fn feed(
+        &self,
+        session: u64,
+        relevant_ids: &[usize],
+        scores: Option<&[f64]>,
+    ) -> Result<Response, RouterError> {
+        if relevant_ids.is_empty() {
+            return Err(RouterError::InvalidRequest("empty feedback".into()));
+        }
+        if let Some(scores) = scores {
+            if scores.len() != relevant_ids.len() {
+                return Err(RouterError::InvalidRequest(format!(
+                    "{} ids but {} scores",
+                    relevant_ids.len(),
+                    scores.len()
+                )));
+            }
+        }
+        let sids = self.session_targets(session)?;
+
+        // Resolve vectors partition by partition (local id = global -
+        // id_base), preserving the caller's input order in `points`.
+        let mut by_owner: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (i, &id) in relevant_ids.iter().enumerate() {
+            by_owner.entry(self.map.owner(id)).or_default().push(i);
+        }
+        let mut points: Vec<Option<FeedPointDto>> = vec![None; relevant_ids.len()];
+        let mut owners: Vec<(usize, Vec<usize>)> = by_owner.into_iter().collect();
+        owners.sort_by_key(|(p, _)| *p);
+        for (p, indices) in owners {
+            let id_base = self.partitions[p].id_base;
+            let leader = self.partitions[p].leader.load(Ordering::Acquire);
+            let local_ids: Vec<usize> =
+                indices.iter().map(|&i| relevant_ids[i] - id_base).collect();
+            let response = self
+                .call_replica(p, leader, Request::FetchVectors { ids: local_ids })
+                .map_err(|kind| RouterError::Unavailable(vec![self.failure(p, leader, kind)]))?;
+            let Response::Vectors { vectors } = response else {
+                return Err(RouterError::Protocol(format!(
+                    "partition {p} answered FetchVectors with something else"
+                )));
+            };
+            if vectors.len() != indices.len() {
+                return Err(RouterError::Protocol(format!(
+                    "partition {p} resolved {} of {} vectors",
+                    vectors.len(),
+                    indices.len()
+                )));
+            }
+            for (&i, vector) in indices.iter().zip(vectors) {
+                points[i] = Some(FeedPointDto {
+                    id: relevant_ids[i],
+                    vector,
+                    score: scores.map_or(self.config.default_score, |s| s[i]),
+                });
+            }
+        }
+        let points: Vec<FeedPointDto> = points
+            .into_iter()
+            .map(|p| p.expect("every id resolved by its owner"))
+            .collect();
+
+        // Broadcast to every replica holding the session.
+        let deadline = Instant::now() + self.config.node_deadline;
+        let mut legs = Vec::new();
+        for (&(p, r), &sid) in &sids {
+            legs.push(self.dispatch_leg(
+                p,
+                r,
+                Request::FeedPoints {
+                    session: sid,
+                    points: points.clone(),
+                },
+            ));
+        }
+        let mut accepted: Option<Response> = None;
+        let mut ok_partitions: Vec<bool> = vec![false; self.partitions.len()];
+        let mut failures = Vec::new();
+        for mut leg in legs {
+            let (p, r) = (leg.partition, leg.replica);
+            match self.collect_leg(&mut leg, deadline) {
+                Ok(Response::FeedAccepted {
+                    iteration,
+                    clusters,
+                    ..
+                }) => {
+                    ok_partitions[p] = true;
+                    accepted.get_or_insert(Response::FeedAccepted {
+                        session,
+                        iteration,
+                        clusters,
+                    });
+                }
+                Ok(other) => failures.push(self.failure(
+                    p,
+                    r,
+                    NodeFailureKind::Remote(format!("unexpected response: {other:?}")),
+                )),
+                Err(kind) => failures.push(self.failure(p, r, kind)),
+            }
+        }
+        if !ok_partitions.iter().all(|&ok| ok) {
+            return Err(RouterError::Unavailable(failures));
+        }
+        Ok(accepted.expect("all partitions accepted"))
+    }
+
+    // ------------------------------------------------------------------
+    // Ingest + replication
+    // ------------------------------------------------------------------
+
+    /// Durably ingests one vector into the cluster: the write lands on
+    /// the ingest partition's leader, then the leader's WAL is shipped
+    /// to the partition's followers, and the ingest is acked only once
+    /// a **majority** of replicas hold it — so a subsequently killed
+    /// leader cannot lose an acked write. A leader failure triggers
+    /// one promotion + retry before giving up.
+    ///
+    /// Returns the assigned **global** id and the number of replicas
+    /// holding the record at ack time.
+    ///
+    /// # Errors
+    ///
+    /// - [`RouterError::Unavailable`] when no replica can take the write.
+    /// - [`RouterError::NoQuorum`] when the write landed but could not
+    ///   reach a majority (the record may survive; the caller must not
+    ///   treat it as acked).
+    pub fn ingest(&self, vector: Vec<f64>) -> Result<(usize, usize), RouterError> {
+        let p = self.map.ingest_partition();
+        let part = &self.partitions[p];
+        let mut leader = part.leader.load(Ordering::Acquire);
+        let response = match self.call_replica(
+            p,
+            leader,
+            Request::Ingest {
+                vector: vector.clone(),
+            },
+        ) {
+            Ok(response) => response,
+            Err(first_kind) => {
+                // One promotion + retry: a dead leader must not stall
+                // ingest while healthy followers hold the data.
+                let first = self.failure(p, leader, first_kind);
+                leader = self
+                    .promote(p)
+                    .map_err(|_| RouterError::Unavailable(vec![first.clone()]))?;
+                self.call_replica(p, leader, Request::Ingest { vector })
+                    .map_err(|kind| {
+                        RouterError::Unavailable(vec![first, self.failure(p, leader, kind)])
+                    })?
+            }
+        };
+        let Response::Ingested { id, total } = response else {
+            return Err(RouterError::Protocol(
+                "ingest answered with something else".into(),
+            ));
+        };
+        part.replicas[leader]
+            .known_total
+            .store(total as u64, Ordering::Release);
+
+        let mut copies = 1usize;
+        for r in 0..part.replicas.len() {
+            if r == leader {
+                continue;
+            }
+            if self.catch_up(p, leader, r, total as u64).is_ok() {
+                copies += 1;
+            }
+        }
+        let majority = part.replicas.len() / 2 + 1;
+        if copies < majority {
+            return Err(RouterError::NoQuorum {
+                partition: p,
+                copies,
+                replicas: part.replicas.len(),
+            });
+        }
+        Ok((part.id_base + id, copies))
+    }
+
+    /// One replication exchange with a specific replica. Replication
+    /// traffic bypasses the circuit breakers on purpose: status probes
+    /// must work while a node's query breaker is open, or promotion
+    /// could never examine a recovering follower.
+    fn repl_exchange(
+        &self,
+        partition: usize,
+        replica: usize,
+        request: &ReplRequest,
+    ) -> Result<ReplReply, NodeFailureKind> {
+        let node = &self.partitions[partition].replicas[replica];
+        let (reply_tx, reply_rx) = channel::unbounded();
+        if node
+            .tx
+            .send(NodeJob::Repl {
+                payload: request.encode(),
+                reply: reply_tx,
+            })
+            .is_err()
+        {
+            return Err(NodeFailureKind::Transport("node worker exited".into()));
+        }
+        match reply_rx.recv_timeout(self.config.node_deadline) {
+            Ok(Ok(bytes)) => match ReplReply::decode(&bytes) {
+                Ok(ReplReply::Err { msg }) => Err(NodeFailureKind::Remote(msg)),
+                Ok(reply) => Ok(reply),
+                Err(e) => Err(NodeFailureKind::Transport(format!(
+                    "replication reply did not parse: {e}"
+                ))),
+            },
+            Ok(Err(msg)) => Err(NodeFailureKind::Transport(msg)),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                Err(NodeFailureKind::Timeout)
+            }
+        }
+    }
+
+    /// Ships the leader's committed records to one follower until the
+    /// follower's total reaches `target`. Apply is idempotent on the
+    /// follower, so a torn exchange is safely re-driven from the
+    /// follower's authoritative status.
+    fn catch_up(
+        &self,
+        partition: usize,
+        leader: usize,
+        follower: usize,
+        target: u64,
+    ) -> Result<u64, NodeFailureKind> {
+        let ReplReply::Status { total, .. } =
+            self.repl_exchange(partition, follower, &ReplRequest::Status)?
+        else {
+            return Err(NodeFailureKind::Remote(
+                "status probe answered with something else".into(),
+            ));
+        };
+        let mut follower_total = total;
+        while follower_total < target {
+            let batch = self.config.replication_batch.max(1);
+            let ReplReply::Chunk {
+                total: leader_total,
+                frames,
+            } = self.repl_exchange(
+                partition,
+                leader,
+                &ReplRequest::Fetch {
+                    from: follower_total,
+                    max: batch,
+                },
+            )?
+            else {
+                return Err(NodeFailureKind::Remote(
+                    "fetch answered with something else".into(),
+                ));
+            };
+            let shipped = leader_total
+                .min(follower_total + u64::from(batch))
+                .saturating_sub(follower_total);
+            if shipped == 0 || frames.is_empty() {
+                return Err(NodeFailureKind::Remote(format!(
+                    "leader has {leader_total} records but shipped none from {follower_total}"
+                )));
+            }
+            self.counters
+                .replication_records_shipped
+                .fetch_add(shipped, Ordering::Relaxed);
+            let ReplReply::Applied { total, applied } =
+                self.repl_exchange(partition, follower, &ReplRequest::Apply { frames })?
+            else {
+                return Err(NodeFailureKind::Remote(
+                    "apply answered with something else".into(),
+                ));
+            };
+            self.counters
+                .replication_records_applied
+                .fetch_add(applied, Ordering::Relaxed);
+            if total <= follower_total {
+                return Err(NodeFailureKind::Remote(format!(
+                    "follower stuck at {total} records"
+                )));
+            }
+            follower_total = total;
+        }
+        self.partitions[partition].replicas[follower]
+            .known_total
+            .store(follower_total, Ordering::Release);
+        Ok(follower_total)
+    }
+
+    /// Brings every follower of `partition` up to the current leader's
+    /// committed total, returning the per-replica totals observed.
+    /// Useful after a cold start and as a periodic anti-entropy pass.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::Unavailable`] when the leader's status cannot be
+    /// read; per-follower failures are reported in the result vector.
+    pub fn sync_partition(&self, partition: usize) -> Result<SyncOutcome, RouterError> {
+        let part = &self.partitions[partition];
+        let leader = part.leader.load(Ordering::Acquire);
+        let ReplReply::Status { total, .. } = self
+            .repl_exchange(partition, leader, &ReplRequest::Status)
+            .map_err(|kind| {
+                RouterError::Unavailable(vec![self.failure(partition, leader, kind)])
+            })?
+        else {
+            return Err(RouterError::Protocol(
+                "leader status answered with something else".into(),
+            ));
+        };
+        part.replicas[leader]
+            .known_total
+            .store(total, Ordering::Release);
+        let mut results = Vec::new();
+        for r in 0..part.replicas.len() {
+            if r == leader {
+                continue;
+            }
+            let outcome = self
+                .catch_up(partition, leader, r, total)
+                .map_err(|kind| self.failure(partition, r, kind));
+            results.push((r, outcome));
+        }
+        Ok(results)
+    }
+
+    /// Replication status `(total, durable)` of one replica, straight
+    /// from the node.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::Unavailable`] when the replica cannot be reached.
+    pub fn replica_status(
+        &self,
+        partition: usize,
+        replica: usize,
+    ) -> Result<(u64, u64), RouterError> {
+        match self.repl_exchange(partition, replica, &ReplRequest::Status) {
+            Ok(ReplReply::Status { total, durable }) => {
+                self.partitions[partition].replicas[replica]
+                    .known_total
+                    .store(total, Ordering::Release);
+                Ok((total, durable))
+            }
+            Ok(_) => Err(RouterError::Protocol(
+                "status probe answered with something else".into(),
+            )),
+            Err(kind) => Err(RouterError::Unavailable(vec![
+                self.failure(partition, replica, kind)
+            ])),
+        }
+    }
+
+    /// Promotes the most caught-up reachable replica of `partition`
+    /// (excluding the current leader) to leader, returning its index.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::Unavailable`] when no other replica answers a
+    /// status probe — the partition keeps its current leader.
+    pub fn promote(&self, partition: usize) -> Result<usize, RouterError> {
+        let part = &self.partitions[partition];
+        let current = part.leader.load(Ordering::Acquire);
+        let mut best: Option<(usize, u64)> = None;
+        let mut failures = Vec::new();
+        for r in 0..part.replicas.len() {
+            if r == current {
+                continue;
+            }
+            match self.repl_exchange(partition, r, &ReplRequest::Status) {
+                Ok(ReplReply::Status { total, .. }) => {
+                    part.replicas[r].known_total.store(total, Ordering::Release);
+                    if best.is_none_or(|(_, t)| total > t) {
+                        best = Some((r, total));
+                    }
+                }
+                Ok(_) => failures.push(self.failure(
+                    partition,
+                    r,
+                    NodeFailureKind::Remote("status probe answered with something else".into()),
+                )),
+                Err(kind) => failures.push(self.failure(partition, r, kind)),
+            }
+        }
+        let Some((winner, _)) = best else {
+            return Err(RouterError::Unavailable(failures));
+        };
+        part.leader.store(winner, Ordering::Release);
+        part.replicas[winner].breaker.record_success();
+        self.counters.promotions.fetch_add(1, Ordering::Relaxed);
+        Ok(winner)
+    }
+
+    // ------------------------------------------------------------------
+    // Metrics
+    // ------------------------------------------------------------------
+
+    /// The router's own cluster counters, as the gauge struct the
+    /// metrics snapshot embeds.
+    pub fn cluster_gauges(&self) -> ClusterGauges {
+        ClusterGauges {
+            nodes_total: self.map.num_nodes() as u64,
+            node_failures: self.counters.node_failures.load(Ordering::Relaxed),
+            node_timeouts: self.counters.node_timeouts.load(Ordering::Relaxed),
+            node_breaker_skips: self.counters.node_breaker_skips.load(Ordering::Relaxed),
+            node_breaker_trips: self.counters.node_breaker_trips.load(Ordering::Relaxed),
+            degraded_responses: self.counters.degraded_responses.load(Ordering::Relaxed),
+            promotions: self.counters.promotions.load(Ordering::Relaxed),
+            replication_records_shipped: self
+                .counters
+                .replication_records_shipped
+                .load(Ordering::Relaxed),
+            replication_records_applied: self
+                .counters
+                .replication_records_applied
+                .load(Ordering::Relaxed),
+            stale_reads: self.counters.stale_reads.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Cluster-wide metrics: every reachable partition leader's
+    /// snapshot absorbed into one (counters summed, quantiles bounded
+    /// by the per-node maxima), with [`MetricsSnapshot::cluster`]
+    /// replaced by this router's own counters.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::Unavailable`] when no node answered.
+    pub fn stats(&self) -> Result<MetricsSnapshot, RouterError> {
+        let deadline = Instant::now() + self.config.node_deadline;
+        let mut legs = Vec::new();
+        for (p, part) in self.partitions.iter().enumerate() {
+            let leader = part.leader.load(Ordering::Acquire);
+            legs.push(self.dispatch_leg(p, leader, Request::Stats));
+        }
+        let mut merged: Option<MetricsSnapshot> = None;
+        let mut failures = Vec::new();
+        for mut leg in legs {
+            let (p, r) = (leg.partition, leg.replica);
+            match self.collect_leg(&mut leg, deadline) {
+                Ok(Response::Stats(snapshot)) => match merged.as_mut() {
+                    None => merged = Some(*snapshot),
+                    Some(agg) => agg.absorb(&snapshot),
+                },
+                Ok(other) => failures.push(self.failure(
+                    p,
+                    r,
+                    NodeFailureKind::Remote(format!("unexpected response: {other:?}")),
+                )),
+                Err(kind) => failures.push(self.failure(p, r, kind)),
+            }
+        }
+        let mut snapshot = merged.ok_or(RouterError::Unavailable(failures))?;
+        snapshot.cluster = self.cluster_gauges();
+        Ok(snapshot)
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        // Dropping the partitions drops every job sender; workers see
+        // the closed channel and exit (bounded by the client timeouts
+        // if one is mid-call).
+        self.partitions.clear();
+        let mut workers = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}

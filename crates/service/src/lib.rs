@@ -64,10 +64,10 @@ pub use executor::{
     ShardFailureKind,
 };
 pub use metrics::{
-    FaultGauges, HistogramSummary, LatencyHistogram, MetricsSnapshot, OpHistogram, OpSummary,
-    ServiceMetrics, StorageGauges, TransportGauges,
+    ClusterGauges, FaultGauges, HistogramSummary, LatencyHistogram, MetricsSnapshot, OpHistogram,
+    OpSummary, ServiceMetrics, StorageGauges, TransportGauges,
 };
-pub use protocol::{dispatch, NeighborDto, Request, Response, SearchStatsDto};
+pub use protocol::{dispatch, FeedPointDto, NeighborDto, Request, Response, SearchStatsDto};
 pub use qcluster_store::{CompactionStats, StoreConfig};
 pub use service::{FeedOutcome, IngestOutcome, QueryOutcome, Service, ServiceConfig};
 pub use session::{RegistryConfig, ServiceEngine, Session, SessionHandle, SessionRegistry};

@@ -450,7 +450,136 @@ impl ServiceMetrics {
                 write_queue_sheds: self.write_queue_sheds.load(Ordering::Relaxed),
                 shutdown_drains: self.shutdown_drains.load(Ordering::Relaxed),
             },
+            cluster: ClusterGauges::default(),
         }
+    }
+}
+
+/// Cluster (multi-node router) counters. All zero for a single-node
+/// service; a router fronting N nodes fills these in when it aggregates
+/// node snapshots with [`MetricsSnapshot::absorb`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterGauges {
+    /// Nodes in the shard map (gauge; 0 single-node).
+    pub nodes_total: u64,
+    /// Scatter legs that failed with a transport or service error.
+    pub node_failures: u64,
+    /// Scatter legs that missed the per-node deadline.
+    pub node_timeouts: u64,
+    /// Scatter legs skipped because the node's breaker was open.
+    pub node_breaker_skips: u64,
+    /// Node circuit-breaker open transitions.
+    pub node_breaker_trips: u64,
+    /// Queries answered with partial node coverage.
+    pub degraded_responses: u64,
+    /// Follower-to-leader promotions performed.
+    pub promotions: u64,
+    /// WAL records shipped to followers.
+    pub replication_records_shipped: u64,
+    /// WAL records applied from a leader.
+    pub replication_records_applied: u64,
+    /// Queries served from a replica under a stale-bounded read.
+    pub stale_reads: u64,
+}
+
+fn absorb_op(a: &mut OpSummary, b: &OpSummary) {
+    if b.count == 0 {
+        return;
+    }
+    if a.count == 0 {
+        *a = *b;
+        return;
+    }
+    a.count += b.count;
+    a.sum_ns += b.sum_ns;
+    a.min_ns = a.min_ns.min(b.min_ns);
+    a.max_ns = a.max_ns.max(b.max_ns);
+    a.mean_ns = a.sum_ns as f64 / a.count as f64;
+}
+
+fn absorb_hist(a: &mut HistogramSummary, b: &HistogramSummary) {
+    if b.count == 0 {
+        return;
+    }
+    if a.count == 0 {
+        *a = *b;
+        return;
+    }
+    let total = a.count + b.count;
+    a.mean_ns = (a.mean_ns * a.count as f64 + b.mean_ns * b.count as f64) / total as f64;
+    a.count = total;
+    // Quantiles of a merge are not derivable from per-node quantiles;
+    // the max of the per-node values is a safe upper bound.
+    a.p50_ns = a.p50_ns.max(b.p50_ns);
+    a.p95_ns = a.p95_ns.max(b.p95_ns);
+    a.p99_ns = a.p99_ns.max(b.p99_ns);
+    a.max_ns = a.max_ns.max(b.max_ns);
+}
+
+impl MetricsSnapshot {
+    /// Folds another snapshot into this one: counters sum, means are
+    /// recomputed from the summed totals, and latency quantiles take
+    /// the per-node maximum (a safe upper bound — exact quantiles of a
+    /// union are not derivable from per-node quantiles). A cluster
+    /// router uses this to aggregate its nodes' snapshots into one
+    /// fleet-wide `Stats` answer.
+    pub fn absorb(&mut self, other: &MetricsSnapshot) {
+        absorb_op(&mut self.query, &other.query);
+        absorb_op(&mut self.feed, &other.feed);
+        absorb_op(&mut self.fanout, &other.fanout);
+        absorb_hist(&mut self.query_percentiles, &other.query_percentiles);
+        absorb_hist(&mut self.shard_latency, &other.shard_latency);
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        let touched = self.cache_hits + self.cache_misses;
+        self.cache_hit_ratio = if touched == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / touched as f64
+        };
+        self.plan_cache_hits += other.plan_cache_hits;
+        self.plan_cache_misses += other.plan_cache_misses;
+        self.evictions += other.evictions;
+        self.sessions_created += other.sessions_created;
+        self.sessions_closed += other.sessions_closed;
+        self.active_sessions += other.active_sessions;
+        self.ingests += other.ingests;
+        self.flushes += other.flushes;
+        self.recoveries += other.recoveries;
+        self.storage.wal_appends += other.storage.wal_appends;
+        self.storage.wal_fsyncs += other.storage.wal_fsyncs;
+        self.storage.segments += other.storage.segments;
+        self.storage.segment_vectors += other.storage.segment_vectors;
+        self.storage.wal_vectors += other.storage.wal_vectors;
+        self.storage.index_rebuilds += other.storage.index_rebuilds;
+        self.storage.index_buffered += other.storage.index_buffered;
+        self.faults.shard_panics += other.faults.shard_panics;
+        self.faults.shard_failures += other.faults.shard_failures;
+        self.faults.shard_timeouts += other.faults.shard_timeouts;
+        self.faults.breaker_skips += other.faults.breaker_skips;
+        self.faults.breaker_trips += other.faults.breaker_trips;
+        self.faults.degraded_responses += other.faults.degraded_responses;
+        self.faults.deadline_exceeded += other.faults.deadline_exceeded;
+        self.faults.overload_rejections += other.faults.overload_rejections;
+        self.faults.workers_respawned += other.faults.workers_respawned;
+        self.transport.connections_accepted += other.transport.connections_accepted;
+        self.transport.connections_active += other.transport.connections_active;
+        self.transport.connections_rejected += other.transport.connections_rejected;
+        self.transport.frames_in += other.transport.frames_in;
+        self.transport.frames_out += other.transport.frames_out;
+        self.transport.decode_errors += other.transport.decode_errors;
+        self.transport.write_queue_sheds += other.transport.write_queue_sheds;
+        self.transport.shutdown_drains += other.transport.shutdown_drains;
+        self.cluster.nodes_total += other.cluster.nodes_total;
+        self.cluster.node_failures += other.cluster.node_failures;
+        self.cluster.node_timeouts += other.cluster.node_timeouts;
+        self.cluster.node_breaker_skips += other.cluster.node_breaker_skips;
+        self.cluster.node_breaker_trips += other.cluster.node_breaker_trips;
+        self.cluster.degraded_responses += other.cluster.degraded_responses;
+        self.cluster.promotions += other.cluster.promotions;
+        self.cluster.replication_records_shipped += other.cluster.replication_records_shipped;
+        self.cluster.replication_records_applied += other.cluster.replication_records_applied;
+        self.cluster.stale_reads += other.cluster.stale_reads;
     }
 }
 
@@ -567,6 +696,8 @@ pub struct MetricsSnapshot {
     pub faults: FaultGauges,
     /// TCP transport counters (all zero without a network front-end).
     pub transport: TransportGauges,
+    /// Cluster-router counters (all zero for a single-node service).
+    pub cluster: ClusterGauges,
 }
 
 #[cfg(test)]
@@ -764,6 +895,58 @@ mod tests {
                 shutdown_drains: 3,
             }
         );
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_bounds_quantiles() {
+        let a_metrics = ServiceMetrics::new();
+        a_metrics.query_latency.record(Duration::from_nanos(100));
+        a_metrics.query_hist.record(Duration::from_nanos(100));
+        a_metrics.record_cache(3, 1);
+        a_metrics.record_ingest();
+        let b_metrics = ServiceMetrics::new();
+        b_metrics.query_latency.record(Duration::from_nanos(300));
+        b_metrics.query_hist.record(Duration::from_nanos(300));
+        b_metrics.record_cache(1, 3);
+        b_metrics.record_shard_timeout();
+        let mut a = a_metrics.snapshot(
+            1,
+            StorageGauges::default(),
+            0,
+            0,
+            HistogramSummary::default(),
+        );
+        let b = b_metrics.snapshot(
+            2,
+            StorageGauges::default(),
+            1,
+            0,
+            HistogramSummary::default(),
+        );
+        a.absorb(&b);
+        assert_eq!(a.query.count, 2);
+        assert_eq!(a.query.min_ns, 100);
+        assert_eq!(a.query.max_ns, 300);
+        assert!((a.query.mean_ns - 200.0).abs() < 1e-9);
+        assert_eq!(a.query_percentiles.count, 2);
+        assert_eq!(a.query_percentiles.max_ns, 300);
+        assert_eq!(a.cache_hits, 4);
+        assert_eq!(a.cache_misses, 4);
+        assert!((a.cache_hit_ratio - 0.5).abs() < 1e-12);
+        assert_eq!(a.active_sessions, 3);
+        assert_eq!(a.ingests, 1);
+        assert_eq!(a.faults.shard_timeouts, 1);
+        assert_eq!(a.faults.breaker_trips, 1);
+        // Absorbing an all-zero snapshot changes nothing.
+        let before = a.clone();
+        a.absorb(&ServiceMetrics::new().snapshot(
+            0,
+            StorageGauges::default(),
+            0,
+            0,
+            HistogramSummary::default(),
+        ));
+        assert_eq!(a, before);
     }
 
     #[test]

@@ -64,6 +64,34 @@ pub enum Request {
     Flush,
     /// Fetch the service metrics snapshot.
     Stats,
+    /// Resolve corpus vectors by id (base corpus or live overlay). A
+    /// cluster router uses this to materialize feedback vectors from
+    /// the partition that owns them before broadcasting the feed.
+    FetchVectors {
+        /// Global corpus ids to resolve.
+        ids: Vec<usize>,
+    },
+    /// Feed explicit `(id, vector, score)` triples into a session. The
+    /// ids need not exist in this node's corpus — a router feeds
+    /// vectors owned by *other* partitions under their global ids, and
+    /// the engine only cares about the vectors and scores.
+    FeedPoints {
+        /// Target session.
+        session: u64,
+        /// The marked points, vectors included.
+        points: Vec<FeedPointDto>,
+    },
+}
+
+/// One feedback point on the wire, vector included.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeedPointDto {
+    /// Global corpus id of the marked image.
+    pub id: usize,
+    /// Its feature vector.
+    pub vector: Vec<f64>,
+    /// Relevance score (positive, finite).
+    pub score: f64,
 }
 
 /// One neighbor on the wire.
@@ -130,7 +158,14 @@ pub enum Response {
         shards_ok: usize,
         /// Shards the query fanned out to.
         shards_total: usize,
-        /// `shards_ok < shards_total`, precomputed for wire clients.
+        /// Cluster nodes whose partial results made it into the merge.
+        /// A single-node service always reports `1`; a router fronting
+        /// N nodes reports its per-node coverage here.
+        nodes_ok: usize,
+        /// Cluster nodes the query was scattered to (`1` single-node).
+        nodes_total: usize,
+        /// `shards_ok < shards_total || nodes_ok < nodes_total`,
+        /// precomputed for wire clients.
         degraded: bool,
     },
     /// A feed round was ingested.
@@ -165,6 +200,11 @@ pub enum Response {
     },
     /// The metrics snapshot (boxed: much larger than every other variant).
     Stats(Box<MetricsSnapshot>),
+    /// Resolved vectors, in request order.
+    Vectors {
+        /// One vector per requested id.
+        vectors: Vec<Vec<f64>>,
+    },
     /// The request failed.
     Error(ServiceError),
 }
@@ -210,6 +250,25 @@ pub fn dispatch(service: &Service, request: Request) -> Response {
                 return Response::Error(e);
             }
         }
+        Request::FetchVectors { ids } if ids.len() > MAX_WIRE_K => {
+            return Response::Error(ServiceError::InvalidRequest(format!(
+                "{} ids exceeds the wire maximum {MAX_WIRE_K}",
+                ids.len()
+            )));
+        }
+        Request::FeedPoints { points, .. } => {
+            for p in points {
+                if let Err(e) = check_finite(&p.vector) {
+                    return Response::Error(e);
+                }
+                if p.score <= 0.0 || !p.score.is_finite() {
+                    return Response::Error(ServiceError::InvalidRequest(format!(
+                        "score {} for id {} must be positive and finite",
+                        p.score, p.id
+                    )));
+                }
+            }
+        }
         _ => {}
     }
     let result = match request {
@@ -239,6 +298,8 @@ pub fn dispatch(service: &Service, request: Request) -> Response {
                     stats: SearchStatsDto::from(out.stats),
                     shards_ok: out.shards_ok,
                     shards_total: out.shards_total,
+                    nodes_ok: 1,
+                    nodes_total: 1,
                     degraded,
                 }
             })
@@ -267,6 +328,22 @@ pub fn dispatch(service: &Service, request: Request) -> Response {
             wal_records: stats.wal_records,
         }),
         Request::Stats => Ok(Response::Stats(Box::new(service.stats()))),
+        Request::FetchVectors { ids } => service
+            .vectors_by_id(&ids)
+            .map(|vectors| Response::Vectors { vectors }),
+        Request::FeedPoints { session, points } => {
+            let points: Vec<qcluster_core::FeedbackPoint> = points
+                .into_iter()
+                .map(|p| qcluster_core::FeedbackPoint::new(p.id, p.vector, p.score))
+                .collect();
+            service
+                .feed(session, &points)
+                .map(|out| Response::FeedAccepted {
+                    session,
+                    iteration: out.iteration,
+                    clusters: out.clusters,
+                })
+        }
     };
     result.unwrap_or_else(Response::Error)
 }

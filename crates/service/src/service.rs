@@ -13,7 +13,9 @@ use crate::shard::{ShardKind, ShardedCorpus};
 use qcluster_baselines::QueryPointMovement;
 use qcluster_core::{FeedbackPoint, QclusterConfig, QclusterEngine};
 use qcluster_index::{merge_top_k, DynamicIndex, EuclideanQuery, Neighbor, NodeCache, SearchStats};
-use qcluster_store::{CompactionStats, StoreConfig, VectorStore};
+use qcluster_store::{
+    decode_record_frames, encode_record_frame, CompactionStats, StoreConfig, VectorStore, WalRecord,
+};
 use std::path::Path;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -721,6 +723,130 @@ impl Service {
         drop(live);
         self.metrics.record_flush();
         Ok(stats)
+    }
+
+    /// Resolves corpus vectors by global id (base corpus or live
+    /// overlay). Used by a cluster router to materialize feedback
+    /// vectors owned by this node before broadcasting them.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidImageId`] for any out-of-range id.
+    pub fn vectors_by_id(&self, ids: &[usize]) -> Result<Vec<Vec<f64>>, ServiceError> {
+        let live = self.lock_live();
+        let total = self.base_len + live.overlay.as_ref().map_or(0, |o| o.len());
+        ids.iter()
+            .map(|&id| {
+                if id >= total {
+                    return Err(ServiceError::InvalidImageId {
+                        id,
+                        corpus_len: total,
+                    });
+                }
+                if id < self.base_len {
+                    Ok(self.corpus.point(id).to_vec())
+                } else {
+                    let overlay = live.overlay.as_ref().ok_or_else(|| {
+                        ServiceError::Internal(format!(
+                            "id {id} past base corpus {} but no overlay exists",
+                            self.base_len
+                        ))
+                    })?;
+                    Ok(overlay.point(id - self.base_len).to_vec())
+                }
+            })
+            .collect()
+    }
+
+    /// Serves a replication chunk for a follower catching up from
+    /// vector id `from`: up to `max` ingest records, re-encoded as
+    /// CRC-framed WAL frames byte-identical to what a local
+    /// [`WalWriter`](qcluster_store::WalWriter) would have produced.
+    /// Returns `(committed_total, frames)`; an empty `frames` with
+    /// `from == committed_total` means the follower is caught up.
+    ///
+    /// The chunk covers the *whole* corpus (base + overlay), so a
+    /// follower can bootstrap from zero over the wire.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidRequest`] when `from` lies beyond this
+    /// node's committed total (the requester is ahead — it should not
+    /// be fetching from us).
+    pub fn replication_chunk(&self, from: u64, max: u32) -> Result<(u64, Vec<u8>), ServiceError> {
+        let live = self.lock_live();
+        let total = (self.base_len + live.overlay.as_ref().map_or(0, |o| o.len())) as u64;
+        if from > total {
+            return Err(ServiceError::InvalidRequest(format!(
+                "replication fetch from {from} but committed total is {total}"
+            )));
+        }
+        let end = total.min(from.saturating_add(max as u64));
+        let mut frames = Vec::new();
+        for id in from..end {
+            let idx = id as usize;
+            let vector = if idx < self.base_len {
+                self.corpus.point(idx).to_vec()
+            } else {
+                let overlay = live.overlay.as_ref().ok_or_else(|| {
+                    ServiceError::Internal(format!(
+                        "id {id} past base corpus {} but no overlay exists",
+                        self.base_len
+                    ))
+                })?;
+                overlay.point(idx - self.base_len).to_vec()
+            };
+            frames.extend_from_slice(&encode_record_frame(&WalRecord::Ingest { id, vector }));
+        }
+        Ok((total, frames))
+    }
+
+    /// Applies a replication chunk shipped by a leader: the same
+    /// idempotent loop store recovery uses. Records with ids below the
+    /// local committed total are skipped (duplicate delivery is safe);
+    /// the record at exactly the total is ingested durably; a record
+    /// beyond it is a gap and fails the whole chunk without applying
+    /// anything past it.
+    ///
+    /// Returns `(committed_total_after, newly_applied)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Storage`] for torn/corrupt chunks or WAL-append
+    /// failures, [`ServiceError::InvalidRequest`] for gaps or
+    /// non-ingest records.
+    pub fn apply_replication(&self, frames: &[u8]) -> Result<(u64, u64), ServiceError> {
+        let records = decode_record_frames(frames)?;
+        let mut applied = 0u64;
+        for record in records {
+            let WalRecord::Ingest { id, vector } = record else {
+                return Err(ServiceError::InvalidRequest(
+                    "replication chunk carried a non-ingest record".into(),
+                ));
+            };
+            let total = self.total_vectors() as u64;
+            if id < total {
+                continue; // Idempotent re-delivery.
+            }
+            if id > total {
+                return Err(ServiceError::InvalidRequest(format!(
+                    "replication gap: record id {id} but local total is {total}"
+                )));
+            }
+            self.ingest(vector)?;
+            applied += 1;
+        }
+        Ok((self.total_vectors() as u64, applied))
+    }
+
+    /// This node's replication position: `(committed_total, durable)`.
+    /// `durable` equals the total when a store backs the service and 0
+    /// when it runs memory-only (such a node can serve reads but will
+    /// lose everything on restart).
+    pub fn replication_status(&self) -> (u64, u64) {
+        let total = self.total_vectors() as u64;
+        let durable = if self.is_durable() { total } else { 0 };
+        (total, durable)
     }
 
     /// A point-in-time snapshot of every service metric, with storage

@@ -80,6 +80,8 @@ fn every_response_variant_roundtrips() {
             stats: stats.clone(),
             shards_ok: 2,
             shards_total: 4,
+            nodes_ok: 1,
+            nodes_total: 1,
             degraded: true,
         },
         Response::FeedAccepted {

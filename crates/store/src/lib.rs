@@ -52,7 +52,9 @@ pub use segment::{write_segment, SegmentReader, SegmentWriter};
 pub use store::{
     CompactionStats, RecoveredState, SessionState, StoreConfig, StoreStats, VectorStore,
 };
-pub use wal::{replay, WalRecord, WalReplay, WalWriter};
+pub use wal::{
+    decode_record_frames, encode_record_frame, replay, WalCursor, WalRecord, WalReplay, WalWriter,
+};
 
 use qcluster_index::DynamicIndex;
 

@@ -183,6 +183,109 @@ pub struct WalReplay {
     pub truncated: bool,
 }
 
+/// An incremental, torn-tail-tolerant reader over a CRC-framed WAL byte
+/// stream — the streaming core of [`replay`], usable over any
+/// [`Read`](std::io::Read) source: a WAL file, a byte slice received
+/// over the wire, or a socket shipping frames to a replica.
+///
+/// The cursor yields committed records one at a time and stops cleanly
+/// at the first damaged frame (short header, oversize claim, short
+/// payload, CRC mismatch) — exactly the torn-tail policy crash recovery
+/// uses, which is also the idempotent apply loop a replication follower
+/// needs: everything before the tear is trusted, nothing after it is.
+#[derive(Debug)]
+pub struct WalCursor<R> {
+    reader: R,
+    /// Byte offset just past the last successfully yielded frame.
+    offset: u64,
+    torn: bool,
+    done: bool,
+}
+
+impl<R: std::io::Read> WalCursor<R> {
+    /// Wraps a byte source positioned at a frame boundary (offset 0 of
+    /// a WAL file, or the start of a shipped chunk).
+    pub fn new(reader: R) -> Self {
+        WalCursor {
+            reader,
+            offset: 0,
+            torn: false,
+            done: false,
+        }
+    }
+
+    /// Byte length of the committed prefix read so far (every frame up
+    /// to here decoded and passed its CRC).
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// `true` once the stream ended mid-frame or with a corrupt frame
+    /// (the torn tail was *not* consumed; [`Self::offset`] still names
+    /// the committed prefix).
+    pub fn torn(&self) -> bool {
+        self.torn
+    }
+
+    /// The next committed record, or `None` at the end of the stream —
+    /// check [`Self::torn`] to distinguish a clean frame-boundary end
+    /// from a discarded damaged tail.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or `Corrupt` when a frame passes its CRC but does
+    /// not decode (format-version skew — *not* a torn write, which CRC
+    /// framing catches and tolerates).
+    pub fn next_record(&mut self) -> Result<Option<WalRecord>> {
+        if self.done {
+            return Ok(None);
+        }
+        let mut frame_header = [0u8; 8];
+        match read_exact_or_eof(&mut self.reader, &mut frame_header) {
+            Ok(false) => {
+                self.done = true;
+                return Ok(None); // clean end
+            }
+            Ok(true) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                self.torn = true;
+                self.done = true;
+                return Ok(None);
+            }
+            Err(e) => return Err(e.into()),
+        }
+        let len = u32::from_le_bytes(frame_header[0..4].try_into().expect("4 bytes"));
+        let stored_crc = u32::from_le_bytes(frame_header[4..8].try_into().expect("4 bytes"));
+        if len > MAX_PAYLOAD {
+            self.torn = true;
+            self.done = true;
+            return Ok(None);
+        }
+        let mut payload = vec![0u8; len as usize];
+        match read_exact_or_eof(&mut self.reader, &mut payload) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => {
+                self.torn = true;
+                self.done = true;
+                return Ok(None);
+            }
+        }
+        if Crc32::checksum(&payload) != stored_crc {
+            self.torn = true;
+            self.done = true;
+            return Ok(None);
+        }
+        let record = WalRecord::decode(&payload).ok_or_else(|| {
+            StoreError::corrupt(
+                "<wal-stream>",
+                "CRC-valid frame failed to decode (version skew?)",
+            )
+        })?;
+        self.offset += 8 + u64::from(len);
+        Ok(Some(record))
+    }
+}
+
 /// Replays a WAL file, tolerating a torn tail. A missing file replays
 /// as empty (a fresh store has no WAL yet).
 ///
@@ -203,52 +306,62 @@ pub fn replay(path: &Path) -> Result<WalReplay> {
         }
         Err(e) => return Err(e.into()),
     };
-    let mut reader = BufReader::new(file);
+    let mut cursor = WalCursor::new(BufReader::new(file));
     let mut records = Vec::new();
-    let mut valid_len = 0u64;
-    let mut truncated = false;
-
     loop {
-        let mut frame_header = [0u8; 8];
-        match read_exact_or_eof(&mut reader, &mut frame_header) {
-            Ok(false) => break, // clean end
-            Ok(true) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
-                truncated = true;
-                break;
+        match cursor.next_record() {
+            Ok(Some(record)) => records.push(record),
+            Ok(None) => break,
+            // Re-anchor stream-level corruption on the actual file.
+            Err(StoreError::Corrupt { detail, .. }) => {
+                return Err(StoreError::corrupt(path, detail))
             }
-            Err(e) => return Err(e.into()),
+            Err(e) => return Err(e),
         }
-        let len = u32::from_le_bytes(frame_header[0..4].try_into().expect("4 bytes"));
-        let stored_crc = u32::from_le_bytes(frame_header[4..8].try_into().expect("4 bytes"));
-        if len > MAX_PAYLOAD {
-            truncated = true;
-            break;
-        }
-        let mut payload = vec![0u8; len as usize];
-        match read_exact_or_eof(&mut reader, &mut payload) {
-            Ok(true) => {}
-            Ok(false) | Err(_) => {
-                truncated = true;
-                break;
-            }
-        }
-        if Crc32::checksum(&payload) != stored_crc {
-            truncated = true;
-            break;
-        }
-        let record = WalRecord::decode(&payload).ok_or_else(|| {
-            StoreError::corrupt(path, "CRC-valid frame failed to decode (version skew?)")
-        })?;
-        records.push(record);
-        valid_len += 8 + u64::from(len);
     }
-
     Ok(WalReplay {
         records,
-        valid_len,
-        truncated,
+        valid_len: cursor.offset(),
+        truncated: cursor.torn(),
     })
+}
+
+/// Encodes one record as a standalone CRC-framed WAL frame — the exact
+/// bytes [`WalWriter::append`] would write, reusable as a replication
+/// chunk unit (the encoding is deterministic, so a re-encoded `Ingest`
+/// is byte-identical to the leader's on-disk frame).
+pub fn encode_record_frame(record: &WalRecord) -> Vec<u8> {
+    encode_frame(record)
+}
+
+/// Strictly decodes a buffer of concatenated CRC-framed records, as
+/// produced by [`encode_record_frame`]. Unlike [`replay`], a torn or
+/// corrupt tail here is an **error**: the transport already delivered
+/// the buffer intact, so damage means a bug or a hostile peer, not a
+/// crash mid-write.
+///
+/// # Errors
+///
+/// `Corrupt` when the buffer ends mid-frame, fails a CRC, or holds a
+/// frame that does not decode.
+pub fn decode_record_frames(bytes: &[u8]) -> Result<Vec<WalRecord>> {
+    let mut cursor = WalCursor::new(bytes);
+    let mut records = Vec::new();
+    while let Some(record) = cursor.next_record()? {
+        records.push(record);
+    }
+    if cursor.torn() {
+        return Err(StoreError::corrupt(
+            "<replication-chunk>",
+            format!(
+                "chunk damaged past byte {} ({} of {} bytes committed)",
+                cursor.offset(),
+                cursor.offset(),
+                bytes.len()
+            ),
+        ));
+    }
+    Ok(records)
 }
 
 /// Appender over one WAL file.
@@ -604,6 +717,83 @@ mod tests {
         assert_eq!(replayed.records.len(), 2);
         assert_eq!(replayed.records[0], keep[0]);
         std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn cursor_streams_records_and_stops_at_a_torn_tail() {
+        let records = sample_records();
+        let mut bytes = Vec::new();
+        for r in &records {
+            bytes.extend_from_slice(&encode_record_frame(r));
+        }
+        // Clean stream: every record, no tear, offset = full length.
+        let mut cursor = WalCursor::new(bytes.as_slice());
+        let mut seen = Vec::new();
+        while let Some(r) = cursor.next_record().unwrap() {
+            seen.push(r);
+        }
+        assert_eq!(seen, records);
+        assert!(!cursor.torn());
+        assert_eq!(cursor.offset(), bytes.len() as u64);
+
+        // Torn stream: the damaged final frame is discarded, the
+        // committed prefix survives, and the offset excludes the tear.
+        let torn = &bytes[..bytes.len() - 3];
+        let mut cursor = WalCursor::new(torn);
+        let mut seen = Vec::new();
+        while let Some(r) = cursor.next_record().unwrap() {
+            seen.push(r);
+        }
+        assert_eq!(seen, records[..4].to_vec());
+        assert!(cursor.torn());
+        assert!(cursor.offset() < torn.len() as u64);
+        // The cursor is sticky after the tear.
+        assert!(cursor.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn record_frames_round_trip_and_match_writer_bytes() {
+        let path = tmp_wal("frames");
+        let records = sample_records();
+        let mut w = WalWriter::open(&path, 0, false).unwrap();
+        for r in &records {
+            w.append(r).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        // Standalone frame encoding is byte-identical to the on-disk
+        // WAL — the property WAL-shipping replication relies on.
+        let mut expected = Vec::new();
+        for r in &records {
+            expected.extend_from_slice(&encode_record_frame(r));
+        }
+        assert_eq!(std::fs::read(&path).unwrap(), expected);
+        assert_eq!(decode_record_frames(&expected).unwrap(), records);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn strict_decode_rejects_torn_and_corrupt_chunks() {
+        let records = sample_records();
+        let mut bytes = Vec::new();
+        for r in &records {
+            bytes.extend_from_slice(&encode_record_frame(r));
+        }
+        // A chunk cut mid-frame is an error (transports deliver whole
+        // buffers; a tear here is damage, not a crash).
+        assert!(matches!(
+            decode_record_frames(&bytes[..bytes.len() - 2]),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // A flipped payload byte fails its CRC.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        assert!(matches!(
+            decode_record_frames(&bytes),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // Empty chunks are fine (an up-to-date follower fetched nothing).
+        assert_eq!(decode_record_frames(&[]).unwrap(), Vec::new());
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! Three-node scatter–gather cluster on localhost, in one process.
+//!
+//! Act 1 — partitioned queries: three nodes each own a contiguous
+//! slice of the global id space; the router merges their partial top-k
+//! bit-for-bit with a single node holding everything, then one node
+//! dies and the answers degrade to `nodes_ok = 2/3` while staying
+//! exact over the survivors.
+//!
+//! Act 2 — replicated ingest: one partition with three durable
+//! replicas; every ingest is WAL-shipped to followers and acked only
+//! on a majority, so killing the leader loses nothing — the router
+//! promotes the most caught-up follower and keeps ingesting.
+//!
+//! ```sh
+//! cargo run --release --example cluster_demo
+//! ```
+
+use qcluster_net::{ClientConfig, Server, ServerConfig};
+use qcluster_router::{
+    synthetic_point, synthetic_slice, Partition, Router, RouterConfig, ShardMap,
+};
+use qcluster_service::{dispatch, Request, Response, Service, ServiceConfig, StoreConfig};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+const DIM: usize = 8;
+
+fn node(points: &[Vec<f64>]) -> Server {
+    let service = Arc::new(Service::new(points, ServiceConfig::default()).unwrap());
+    Server::bind("127.0.0.1:0", service, ServerConfig::default()).unwrap()
+}
+
+fn durable_node(dir: &Path, points: &[Vec<f64>]) -> Server {
+    let service = Arc::new(
+        Service::open_durable(
+            dir,
+            points,
+            ServiceConfig::default(),
+            StoreConfig::default(),
+        )
+        .unwrap(),
+    );
+    Server::bind("127.0.0.1:0", service, ServerConfig::default()).unwrap()
+}
+
+fn router_config() -> RouterConfig {
+    RouterConfig {
+        node_deadline: Duration::from_secs(30),
+        client: ClientConfig {
+            connect_timeout: Duration::from_secs(1),
+            max_connect_attempts: 2,
+            backoff_base: Duration::from_millis(10),
+            ..ClientConfig::default()
+        },
+        ..RouterConfig::default()
+    }
+}
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Act 1: partitioned scatter–gather, then a dead node.
+    // ------------------------------------------------------------------
+    let per_node = 120usize;
+    let total = 3 * per_node;
+    let mut servers: Vec<Option<Server>> = Vec::new();
+    let mut partitions = Vec::new();
+    for i in 0..3 {
+        let id_base = i * per_node;
+        let server = node(&synthetic_slice(id_base, per_node, DIM));
+        partitions.push(Partition {
+            id_base,
+            replicas: vec![server.local_addr()],
+        });
+        servers.push(Some(server));
+    }
+    let router = Router::new(ShardMap::new(partitions).unwrap(), router_config()).unwrap();
+    let session = router.create_session(None).unwrap();
+
+    // A single-node reference over the same corpus, queried in-process.
+    let reference =
+        Service::new(&synthetic_slice(0, total, DIM), ServiceConfig::default()).unwrap();
+    let Response::SessionCreated {
+        session: ref_session,
+    } = dispatch(&reference, Request::CreateSession { engine: None })
+    else {
+        unreachable!()
+    };
+
+    let query = synthetic_point(999_001, DIM);
+    let report = router
+        .query(session, 10, Some(query.clone()), None)
+        .unwrap();
+    let Response::Neighbors {
+        neighbors,
+        nodes_ok,
+        nodes_total,
+        ..
+    } = &report.response
+    else {
+        unreachable!()
+    };
+    let Response::Neighbors {
+        neighbors: expected,
+        ..
+    } = dispatch(
+        &reference,
+        Request::Query {
+            session: ref_session,
+            k: 10,
+            vector: Some(query.clone()),
+            deadline_ms: None,
+        },
+    )
+    else {
+        unreachable!()
+    };
+    assert!(neighbors
+        .iter()
+        .zip(&expected)
+        .all(|(a, b)| a.id == b.id && a.distance.to_bits() == b.distance.to_bits()));
+    println!(
+        "healthy cluster: nodes_ok = {nodes_ok}/{nodes_total}, top-10 bit-for-bit equal \
+         to a single node holding all {total} points"
+    );
+
+    // Kill the middle node and query again.
+    servers[1].take().unwrap().shutdown();
+    let report = router.query(session, 10, Some(query), None).unwrap();
+    let Response::Neighbors {
+        nodes_ok,
+        nodes_total,
+        degraded,
+        ..
+    } = &report.response
+    else {
+        unreachable!()
+    };
+    println!(
+        "after killing node 1: nodes_ok = {nodes_ok}/{nodes_total}, degraded = {degraded}, \
+         failure attributed as {:?}",
+        report.failures.first().map(|f| &f.kind)
+    );
+
+    // ------------------------------------------------------------------
+    // Act 2: replicated ingest, leader death, promotion.
+    // ------------------------------------------------------------------
+    let base = 40usize;
+    let seed = synthetic_slice(0, base, DIM);
+    let dirs: Vec<PathBuf> = (0..3)
+        .map(|i| {
+            let dir = std::env::temp_dir()
+                .join(format!("qcluster-cluster-demo-{}-{i}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            dir
+        })
+        .collect();
+    let mut replicas: Vec<Option<Server>> =
+        dirs.iter().map(|d| Some(durable_node(d, &seed))).collect();
+    let map = ShardMap::new(vec![Partition {
+        id_base: 0,
+        replicas: replicas
+            .iter()
+            .map(|s| s.as_ref().unwrap().local_addr())
+            .collect(),
+    }])
+    .unwrap();
+    let router = Router::new(map, router_config()).unwrap();
+
+    for i in 0..5 {
+        let (id, copies) = router.ingest(synthetic_point(700_000 + i, DIM)).unwrap();
+        println!("ingest #{i}: global id {id}, acked on {copies}/3 replicas");
+    }
+    let leader = router.leader_of(0);
+    replicas[leader].take().unwrap().shutdown();
+    println!("killed the leader (replica {leader})");
+    let (id, copies) = router.ingest(synthetic_point(700_100, DIM)).unwrap();
+    let promoted = router.leader_of(0);
+    println!(
+        "failover ingest: global id {id}, acked on {copies}/3 replicas via promoted \
+         leader (replica {promoted})"
+    );
+    let (total, durable) = router.replica_status(0, promoted).unwrap();
+    let gauges = router.cluster_gauges();
+    println!(
+        "promoted leader holds {total} committed records ({durable} durable); \
+         promotions = {}, records shipped = {}, applied = {}",
+        gauges.promotions, gauges.replication_records_shipped, gauges.replication_records_applied
+    );
+    assert_eq!(total, (base + 6) as u64, "no acked ingest was lost");
+
+    drop(router);
+    for server in replicas.into_iter().flatten() {
+        server.shutdown();
+    }
+    for server in servers.into_iter().flatten() {
+        server.shutdown();
+    }
+    for dir in dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    println!("cluster demo: ok");
+}
