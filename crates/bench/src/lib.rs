@@ -161,9 +161,75 @@ pub fn host_fingerprint_json(indent: &str) -> String {
     )
 }
 
+/// Serializes one service [`MetricsSnapshot`] into the shared metrics
+/// artifact schema:
+///
+/// ```json
+/// { "bench": "<name>", <host fingerprint…>, "metrics": { …snapshot… } }
+/// ```
+///
+/// The `metrics` value is the serde serialization of `MetricsSnapshot`
+/// itself — the exact bytes a wire `Request::Stats` round-trip carries —
+/// so the soak report, one-shot scrapes of a live server, and any
+/// external monitoring that polls `Stats` all parse **one** schema and
+/// can be diffed against each other field-for-field.
+pub fn metrics_artifact_json(
+    bench: &str,
+    snapshot: &qcluster_service::MetricsSnapshot,
+) -> Result<String, serde_json::Error> {
+    let metrics = serde_json::to_string_pretty(snapshot)?;
+    Ok(format!(
+        "{{\n  \"bench\": \"{bench}\",\n{fingerprint}  \"metrics\": {metrics}\n}}\n",
+        fingerprint = host_fingerprint_json("  "),
+    ))
+}
+
+/// Writes [`metrics_artifact_json`] to `path` (one-shot `Stats` dump).
+///
+/// # Errors
+///
+/// Serialization or filesystem failures, as `std::io::Error`.
+pub fn write_metrics_artifact(
+    path: impl AsRef<std::path::Path>,
+    bench: &str,
+    snapshot: &qcluster_service::MetricsSnapshot,
+) -> std::io::Result<()> {
+    let json = metrics_artifact_json(bench, snapshot)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(path, json)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn metrics_artifact_is_valid_json_with_fingerprint_and_snapshot() {
+        let service = qcluster_service::Service::new(
+            &[
+                vec![0.0, 0.0],
+                vec![1.0, 1.0],
+                vec![2.0, 2.0],
+                vec![3.0, 3.0],
+            ],
+            qcluster_service::ServiceConfig {
+                num_shards: 2,
+                num_workers: 1,
+                ..qcluster_service::ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let json = metrics_artifact_json("stats", &service.stats()).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value.get("bench").and_then(|v| v.as_str()), Some("stats"));
+        assert!(value.get("cores").is_some());
+        assert!(value.get("unix_timestamp").is_some());
+        // The embedded metrics round-trip back into the snapshot type:
+        // one schema for the artifact and the wire.
+        let metrics = serde_json::to_string(value.get("metrics").unwrap()).unwrap();
+        let decoded: qcluster_service::MetricsSnapshot = serde_json::from_str(&metrics).unwrap();
+        assert_eq!(decoded, service.stats());
+    }
 
     #[test]
     fn host_fingerprint_records_auditable_host_facts() {

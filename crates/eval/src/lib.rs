@@ -41,6 +41,6 @@ pub use persist::{
     load_dataset, load_dataset_auto, load_dataset_binary, save_dataset, save_dataset_binary,
     PersistError,
 };
-pub use pr::{average_pr_curve, pr_at, PrCurve, PrPoint};
+pub use pr::{average_pr_curve, pr_at, precision_at_k, PrCurve, PrPoint};
 pub use session::{FeedbackSession, IterationRecord, SessionOutcome};
 pub use user::SimulatedUser;

@@ -42,6 +42,37 @@ pub fn pr_at(dataset: &Dataset, query_category: usize, ranking: &[usize], n: usi
     }
 }
 
+/// Precision at depth `k` of one ranked list, robust to **degraded**
+/// answers (a service reporting partial `shards_ok`/`nodes_ok` coverage
+/// may return fewer than `k` results, or none at all).
+///
+/// Unlike [`pr_at`], this never panics on a short list: the denominator
+/// stays `k`, so every result a degraded answer failed to surface counts
+/// as a miss. Partial coverage can therefore only *clamp* the metric
+/// toward zero, never inflate it — a soak harness comparing quality
+/// under faults against a healthy baseline needs exactly this bias.
+/// Results past depth `k` are ignored; `k == 0` reports `0.0`.
+///
+/// Ids beyond the labelled corpus (live-ingested overlay vectors have no
+/// ground-truth category) count as misses rather than panicking.
+pub fn precision_at_k(
+    dataset: &Dataset,
+    query_category: usize,
+    retrieved: &[usize],
+    k: usize,
+) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let oracle = RelevanceOracle::new(dataset);
+    let depth = retrieved.len().min(k);
+    let hits = retrieved[..depth]
+        .iter()
+        .filter(|&&id| id < dataset.len() && oracle.is_relevant(query_category, id))
+        .count();
+    hits as f64 / k as f64
+}
+
 /// The whole curve for one ranked list (depths `1..=ranking.len()`).
 pub fn pr_curve(dataset: &Dataset, query_category: usize, ranking: &[usize]) -> PrCurve {
     let oracle = RelevanceOracle::new(dataset);
@@ -150,5 +181,47 @@ mod tests {
     fn zero_depth_panics() {
         let ds = dataset();
         let _ = pr_at(&ds, 0, &[0, 1], 0);
+    }
+
+    #[test]
+    fn precision_at_k_matches_pr_at_on_full_answers() {
+        let ds = dataset();
+        let ranking = [0, 3, 1, 4, 2, 5];
+        for k in 1..=6 {
+            let p = precision_at_k(&ds, 0, &ranking, k);
+            assert!((p - pr_at(&ds, 0, &ranking, k).precision).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn precision_at_k_clamps_degraded_answers() {
+        let ds = dataset();
+        // A degraded answer surfaced only 2 of the k = 4 requested
+        // results (partial shard/node coverage). Both happen to be
+        // relevant, but the metric must charge the missing slots as
+        // misses: 2/4, not 2/2.
+        let degraded = [0, 1];
+        assert!((precision_at_k(&ds, 0, &degraded, 4) - 0.5).abs() < 1e-12);
+        // An empty degraded answer is 0.0, never a panic.
+        assert_eq!(precision_at_k(&ds, 0, &[], 4), 0.0);
+        // Results past k are ignored, so over-delivery cannot inflate.
+        let over = [0, 3, 1, 2, 4, 5];
+        assert!((precision_at_k(&ds, 0, &over, 2) - 0.5).abs() < 1e-12);
+        // Live-ingested ids beyond the labelled corpus are misses, not
+        // panics: [0, 99] at k = 2 scores 1/2.
+        assert!((precision_at_k(&ds, 0, &[0, 99], 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_at_k_cannot_exceed_healthy_baseline() {
+        let ds = dataset();
+        let healthy = [0, 1, 2, 3];
+        // Every degraded prefix of a healthy answer scores <= it.
+        for depth in 0..healthy.len() {
+            assert!(
+                precision_at_k(&ds, 0, &healthy[..depth], 4) <= precision_at_k(&ds, 0, &healthy, 4)
+            );
+        }
+        assert_eq!(precision_at_k(&ds, 0, &healthy, 0), 0.0);
     }
 }

@@ -1,0 +1,302 @@
+//! `soak` — run a closed-loop user-fleet soak against a live target.
+//!
+//! With no flags this boots a single in-process node over the quick
+//! semantic-gap corpus (7,500 points), serves it on a real TCP socket,
+//! and drives the full default soak (200 users × 3 feedback
+//! iterations, background ingest, two scheduled chaos events), writing
+//! the SLO artifact to `crates/bench/BENCH_soak.json`.
+//!
+//! Common invocations:
+//!
+//! ```text
+//! soak --smoke                 # ~60-second sanity soak (16 users)
+//! soak --cluster               # 3-node router cluster target
+//! soak --seed 7 --users 300    # reshape the fleet
+//! soak --scrape 127.0.0.1:4100 # one-shot Stats scrape of a live node
+//! ```
+
+use qcluster_loadgen::{
+    run_soak, seeded_timeline, RouterBackend, SoakBackend, SoakConfig, SoakReport, TcpBackend,
+};
+use qcluster_net::{Client, ClientConfig, Server, ServerConfig};
+use qcluster_router::{Partition, Router, RouterConfig, ShardMap};
+use qcluster_service::{Request, Response, Service, ServiceConfig};
+use qcluster_store::StoreConfig;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+struct Args {
+    seed: Option<u64>,
+    users: Option<usize>,
+    sessions: Option<usize>,
+    iterations: Option<usize>,
+    k: Option<usize>,
+    think_ms: Option<u64>,
+    abandon_per_mille: Option<u32>,
+    ingest_rate: Option<u32>,
+    deadline_ms: Option<u64>,
+    chaos: Option<usize>,
+    chaos_window_ms: Option<u64>,
+    out: PathBuf,
+    cluster: bool,
+    smoke: bool,
+    scrape: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: None,
+        users: None,
+        sessions: None,
+        iterations: None,
+        k: None,
+        think_ms: None,
+        abandon_per_mille: None,
+        ingest_rate: None,
+        deadline_ms: None,
+        chaos: None,
+        chaos_window_ms: None,
+        out: PathBuf::from("crates/bench/BENCH_soak.json"),
+        cluster: false,
+        smoke: false,
+        scrape: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--seed" => args.seed = Some(parse(&value("--seed")?)?),
+            "--users" => args.users = Some(parse(&value("--users")?)?),
+            "--sessions" => args.sessions = Some(parse(&value("--sessions")?)?),
+            "--iterations" => args.iterations = Some(parse(&value("--iterations")?)?),
+            "--k" => args.k = Some(parse(&value("--k")?)?),
+            "--think-ms" => args.think_ms = Some(parse(&value("--think-ms")?)?),
+            "--abandon-per-mille" => {
+                args.abandon_per_mille = Some(parse(&value("--abandon-per-mille")?)?)
+            }
+            "--ingest-rate" => args.ingest_rate = Some(parse(&value("--ingest-rate")?)?),
+            "--deadline-ms" => args.deadline_ms = Some(parse(&value("--deadline-ms")?)?),
+            "--chaos" => args.chaos = Some(parse(&value("--chaos")?)?),
+            "--chaos-window-ms" => {
+                args.chaos_window_ms = Some(parse(&value("--chaos-window-ms")?)?)
+            }
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--cluster" => args.cluster = true,
+            "--smoke" => args.smoke = true,
+            "--scrape" => args.scrape = Some(value("--scrape")?),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("could not parse value: {s:?}"))
+}
+
+fn soak_config(args: &Args) -> SoakConfig {
+    // --smoke shrinks the fleet to 16 users and stretches pacing into a
+    // ~60-second run; explicit flags override either profile.
+    let (d_users, d_sessions, d_think, d_ingest, d_chaos, d_window, d_abandon) = if args.smoke {
+        (16, 8, 2_000, 10, 2, 30_000, 0)
+    } else {
+        (200, 5, 500, 20, 2, 5_000, 50)
+    };
+    let seed = args.seed.unwrap_or(42);
+    let chaos_events = args.chaos.unwrap_or(d_chaos);
+    let window = args.chaos_window_ms.unwrap_or(d_window);
+    SoakConfig {
+        seed,
+        users: args.users.unwrap_or(d_users),
+        sessions_per_user: args.sessions.unwrap_or(d_sessions),
+        iterations: args.iterations.unwrap_or(3),
+        k: args.k.unwrap_or(20),
+        think_ms: args.think_ms.unwrap_or(d_think),
+        abandon_per_mille: args.abandon_per_mille.unwrap_or(d_abandon),
+        ingest_per_sec: args.ingest_rate.unwrap_or(d_ingest),
+        deadline_ms: args.deadline_ms,
+        chaos: seeded_timeline(seed, chaos_events, window),
+    }
+}
+
+/// Temp dirs backing durable nodes, removed on drop (best effort).
+struct ScratchDirs(Vec<PathBuf>);
+
+impl ScratchDirs {
+    fn next(&mut self) -> Result<PathBuf, String> {
+        let dir = std::env::temp_dir().join(format!(
+            "qcluster-soak-{}-{}",
+            std::process::id(),
+            self.0.len()
+        ));
+        std::fs::create_dir_all(&dir).map_err(|e| format!("scratch dir: {e}"))?;
+        self.0.push(dir.clone());
+        Ok(dir)
+    }
+}
+
+impl Drop for ScratchDirs {
+    fn drop(&mut self) {
+        for dir in &self.0 {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
+fn node_service(
+    points: &[Vec<f64>],
+    durable: bool,
+    users: usize,
+    scratch: &mut ScratchDirs,
+) -> Result<Arc<Service>, String> {
+    // Every user holds one live session; the default 64-session LRU
+    // registry would evict concurrent sessions mid-feedback-loop.
+    let config = ServiceConfig {
+        max_sessions: users * 2 + 16,
+        ..ServiceConfig::default()
+    };
+    let service = if durable {
+        let dir = scratch.next()?;
+        Service::open_durable(&dir, points, config, StoreConfig::default())
+            .map_err(|e| format!("open_durable: {e}"))?
+    } else {
+        Service::new(points, config).map_err(|e| format!("service: {e}"))?
+    };
+    Ok(Arc::new(service))
+}
+
+fn scrape(addr: &str, out: &std::path::Path) -> Result<(), String> {
+    let mut client =
+        Client::connect(addr, ClientConfig::default()).map_err(|e| format!("connect: {e}"))?;
+    match client
+        .call(&Request::Stats)
+        .map_err(|e| format!("stats: {e}"))?
+    {
+        Response::Stats(snapshot) => {
+            qcluster_bench::write_metrics_artifact(out, "stats", &snapshot)
+                .map_err(|e| format!("write artifact: {e}"))?;
+            println!("wrote stats scrape of {addr} to {}", out.display());
+            Ok(())
+        }
+        other => Err(format!("unexpected response to Stats: {other:?}")),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    if let Some(addr) = &args.scrape {
+        return scrape(addr, &args.out);
+    }
+    let config = soak_config(&args);
+    config.validate()?;
+
+    eprintln!("building quick-scale semantic-gap corpus…");
+    let dataset = qcluster_bench::semantic_gap_dataset(qcluster_bench::Scale::Quick);
+    let points: Vec<Vec<f64>> = (0..dataset.len())
+        .map(|i| dataset.vector(i).to_vec())
+        .collect();
+    let durable = config.ingest_per_sec > 0;
+    let mut scratch = ScratchDirs(Vec::new());
+    // Admit the whole fleet: every user holds one connection (the
+    // router multiplexes, but a single node faces all of them), plus
+    // the control channel and reconnect churn.
+    let server_config = ServerConfig {
+        max_connections: config.users + 16,
+        ..ServerConfig::default()
+    };
+
+    let mut servers = Vec::new();
+    let backend: Box<dyn SoakBackend> = if args.cluster {
+        let third = points.len() / 3;
+        let bases = [0, third, 2 * third];
+        let mut partitions = Vec::new();
+        for (i, &id_base) in bases.iter().enumerate() {
+            let end = bases.get(i + 1).copied().unwrap_or(points.len());
+            let service = node_service(&points[id_base..end], durable, config.users, &mut scratch)?;
+            let server = Server::bind("127.0.0.1:0", service, server_config.clone())
+                .map_err(|e| format!("bind node {i}: {e}"))?;
+            partitions.push(Partition {
+                id_base,
+                replicas: vec![server.local_addr()],
+            });
+            servers.push(server);
+        }
+        let map = ShardMap::new(partitions).map_err(|e| format!("shard map: {e}"))?;
+        let router =
+            Router::new(map, RouterConfig::default()).map_err(|e| format!("router: {e}"))?;
+        Box::new(RouterBackend::new(Arc::new(router)))
+    } else {
+        let service = node_service(&points, durable, config.users, &mut scratch)?;
+        let server = Server::bind("127.0.0.1:0", service, server_config.clone())
+            .map_err(|e| format!("bind: {e}"))?;
+        let addr = server.local_addr();
+        servers.push(server);
+        Box::new(TcpBackend::connect(addr, ClientConfig::default())?)
+    };
+    let target = backend.label();
+    eprintln!(
+        "soaking {target}: {} users × {} sessions × {} iterations, k={}, \
+         ingest {}/s, {} chaos events, seed {}",
+        config.users,
+        config.sessions_per_user,
+        config.iterations,
+        config.k,
+        config.ingest_per_sec,
+        config.chaos.len(),
+        config.seed,
+    );
+
+    let outcome = run_soak(&dataset, backend.as_ref(), &config)?;
+    let metrics = backend.stats()?;
+    let report = SoakReport::new(&config, target, &outcome, metrics);
+    qcluster_loadgen::write_soak_artifact(&args.out, &report)
+        .map_err(|e| format!("write artifact: {e}"))?;
+
+    println!(
+        "soak done in {:.1}s: {:.1} q/s, p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms max {:.2}ms",
+        report.wall_secs,
+        report.throughput_qps,
+        report.client_latency.p50_ns as f64 / 1e6,
+        report.client_latency.p95_ns as f64 / 1e6,
+        report.client_latency.p99_ns as f64 / 1e6,
+        report.client_latency.max_ns as f64 / 1e6,
+    );
+    println!(
+        "  queries ok {} err {} | feeds err {} | degraded rate {:.4} | shed rate {:.4} | \
+         breaker trips {} | ingests {} | sessions {}+{} abandoned, {} errored",
+        report.counters.queries_ok,
+        report.counters.query_errors,
+        report.counters.feed_errors,
+        report.degraded_rate,
+        report.shed_rate,
+        report.breaker_trips,
+        report.counters.ingests_ok,
+        report.counters.sessions_completed,
+        report.counters.sessions_abandoned,
+        report.counters.session_errors,
+    );
+    for q in &report.precision_at_k {
+        println!(
+            "  precision@{} iter {}: {:.4} over {} sessions",
+            report.k, q.iteration, q.mean_precision, q.sessions
+        );
+    }
+    for hit in &report.chaos {
+        println!("  chaos {}: {} fires", hit.failpoint, hit.hits);
+    }
+    println!("wrote {}", args.out.display());
+
+    drop(backend);
+    for server in servers {
+        server.shutdown();
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("soak: {e}");
+        std::process::exit(1);
+    }
+}

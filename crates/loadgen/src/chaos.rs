@@ -1,0 +1,271 @@
+//! Scheduled chaos: arming failpoints on a seeded timeline mid-soak.
+//!
+//! A soak is only trustworthy if the system was actually stressed while
+//! it ran. This module turns `qcluster-failpoint` entries into
+//! *scheduled events*: a deterministic, seed-derived timeline of
+//! faults (node stalls, torn WAL writes, frame corruption) that a
+//! background thread arms at the planned offsets while the user fleet
+//! keeps driving load. The scheduler records how often each armed
+//! failpoint actually fired, so the soak report can prove the faults
+//! landed rather than merely being configured.
+//!
+//! Failpoints are process-global, so scheduled chaos reaches servers
+//! hosted *in the same process* as the harness (the smoke topology).
+//! Against external nodes, arm the same names there via
+//! `QCLUSTER_FAILPOINTS` instead.
+
+use crate::rng::SeedRng;
+use qcluster_failpoint::Action;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The fault classes the scheduler can inject, each mapping onto one
+/// production failpoint site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChaosKind {
+    /// Every shard job sleeps `ms` — queries slow down, deadlines and
+    /// admission control engage (`executor.shard`).
+    NodeStall {
+        /// Injected per-shard-job stall, milliseconds.
+        ms: u64,
+    },
+    /// A WAL append persists only its first `bytes` bytes — the torn
+    /// tail must be detected and dropped on recovery (`wal.append`).
+    TornWrite {
+        /// Bytes of the record that reach the log.
+        bytes: u64,
+    },
+    /// One encoded frame has a payload byte flipped after its CRC is
+    /// computed — the receiver must answer with a typed decode error
+    /// and keep the connection alive (`net.frame.corrupt`).
+    FrameCorrupt,
+}
+
+impl ChaosKind {
+    /// The failpoint name this fault arms.
+    pub fn failpoint(&self) -> &'static str {
+        match self {
+            ChaosKind::NodeStall { .. } => "executor.shard",
+            ChaosKind::TornWrite { .. } => "wal.append",
+            ChaosKind::FrameCorrupt => "net.frame.corrupt",
+        }
+    }
+
+    /// The failpoint action this fault arms.
+    pub fn action(&self) -> Action {
+        match self {
+            ChaosKind::NodeStall { ms } => Action::Sleep(*ms),
+            ChaosKind::TornWrite { bytes } => Action::Partial(*bytes as usize),
+            ChaosKind::FrameCorrupt => Action::Error("chaos: injected bitflip".into()),
+        }
+    }
+}
+
+/// One scheduled fault: at `at_ms` after soak start, arm the
+/// failpoint to fire `fires` times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosEvent {
+    /// Offset from soak start, milliseconds.
+    pub at_ms: u64,
+    /// The fault to arm.
+    pub kind: ChaosKind,
+    /// Evaluations the armed failpoint fires before disarming.
+    pub fires: u64,
+}
+
+/// How often one armed failpoint actually fired during the soak.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosHit {
+    /// Failpoint name.
+    pub failpoint: String,
+    /// Evaluations that fired across every arming of this name.
+    pub hits: u64,
+}
+
+/// A deterministic chaos timeline: `events` faults at seed-derived
+/// offsets uniform in `[0, window_ms)`, sorted by offset. The same
+/// `(seed, events, window_ms)` always yields the same timeline; the
+/// timeline stream is independent of every other consumer of the seed.
+pub fn seeded_timeline(seed: u64, events: usize, window_ms: u64) -> Vec<ChaosEvent> {
+    let mut rng = SeedRng::derived(seed, 0xC4A0);
+    let mut timeline: Vec<ChaosEvent> = (0..events)
+        .map(|_| {
+            let at_ms = rng.next_range(window_ms.max(1));
+            let kind = match rng.next_range(3) {
+                0 => ChaosKind::NodeStall {
+                    ms: 20 + rng.next_range(80),
+                },
+                1 => ChaosKind::TornWrite {
+                    bytes: rng.next_range(16),
+                },
+                _ => ChaosKind::FrameCorrupt,
+            };
+            ChaosEvent {
+                at_ms,
+                kind,
+                fires: 1 + rng.next_range(3),
+            }
+        })
+        .collect();
+    timeline.sort_by_key(|e| e.at_ms);
+    timeline
+}
+
+/// Arms a timeline of [`ChaosEvent`]s from a background thread while
+/// the fleet runs, then reports per-failpoint hit counts.
+#[derive(Debug)]
+pub struct ChaosScheduler {
+    stop: Arc<AtomicBool>,
+    handle: JoinHandle<Vec<ChaosHit>>,
+}
+
+impl ChaosScheduler {
+    /// Starts the scheduler; `t0` is the soak's start instant that
+    /// event offsets are measured from.
+    pub fn start(mut events: Vec<ChaosEvent>, t0: Instant) -> ChaosScheduler {
+        events.sort_by_key(|e| e.at_ms);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            // Re-arming a name resets its live hit counter, so bank the
+            // count before each re-arm and again at teardown.
+            let mut banked: HashMap<&'static str, u64> = HashMap::new();
+            'timeline: for event in events {
+                let due = t0 + Duration::from_millis(event.at_ms);
+                loop {
+                    if stop_flag.load(Ordering::Relaxed) {
+                        break 'timeline;
+                    }
+                    let now = Instant::now();
+                    if now >= due {
+                        break;
+                    }
+                    std::thread::sleep((due - now).min(Duration::from_millis(10)));
+                }
+                let name = event.kind.failpoint();
+                if let Some(prior) = banked.get_mut(name) {
+                    *prior += qcluster_failpoint::hits(name);
+                } else {
+                    banked.insert(name, 0);
+                }
+                qcluster_failpoint::configure_counted(
+                    name,
+                    event.kind.action(),
+                    0,
+                    Some(event.fires),
+                );
+            }
+            // Armed faults stay live (within their `fires` budget) until
+            // the soak ends — only then bank the counts and disarm.
+            while !stop_flag.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            let mut hits: Vec<ChaosHit> = banked
+                .into_iter()
+                .map(|(name, prior)| {
+                    let total = prior + qcluster_failpoint::hits(name);
+                    qcluster_failpoint::remove(name);
+                    ChaosHit {
+                        failpoint: name.to_string(),
+                        hits: total,
+                    }
+                })
+                .collect();
+            hits.sort_by(|a, b| a.failpoint.cmp(&b.failpoint));
+            hits
+        });
+        ChaosScheduler { stop, handle }
+    }
+
+    /// Stops scheduling (events not yet due are skipped), disarms every
+    /// failpoint this scheduler armed, and reports how often each fired.
+    pub fn finish(self) -> Vec<ChaosHit> {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle.join().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_is_deterministic_in_the_seed() {
+        let a = seeded_timeline(9, 5, 10_000);
+        let b = seeded_timeline(9, 5, 10_000);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        assert!(a.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+        assert!(a.iter().all(|e| e.at_ms < 10_000 && e.fires >= 1));
+        // A different seed reshapes the timeline.
+        assert_ne!(a, seeded_timeline(10, 5, 10_000));
+    }
+
+    #[test]
+    fn scheduler_arms_fires_and_disarms() {
+        let _serial = qcluster_failpoint::test_lock();
+        qcluster_failpoint::clear_all();
+        let events = vec![ChaosEvent {
+            at_ms: 0,
+            kind: ChaosKind::NodeStall { ms: 1 },
+            fires: 2,
+        }];
+        let scheduler = ChaosScheduler::start(events, Instant::now());
+        // Wait until the event is armed, then evaluate it to exhaustion.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut fired = 0;
+        while fired < 2 && Instant::now() < deadline {
+            if qcluster_failpoint::evaluate("executor.shard").is_some() {
+                fired += 1;
+            } else {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        let hits = scheduler.finish();
+        assert_eq!(
+            fired, 2,
+            "armed failpoint should fire exactly `fires` times"
+        );
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].failpoint, "executor.shard");
+        assert_eq!(hits[0].hits, 2);
+        // Disarmed after finish: evaluation no longer fires.
+        assert!(qcluster_failpoint::evaluate("executor.shard").is_none());
+    }
+
+    #[test]
+    fn rearming_the_same_name_accumulates_hits() {
+        let _serial = qcluster_failpoint::test_lock();
+        qcluster_failpoint::clear_all();
+        let events = vec![
+            ChaosEvent {
+                at_ms: 0,
+                kind: ChaosKind::FrameCorrupt,
+                fires: 1,
+            },
+            ChaosEvent {
+                at_ms: 15,
+                kind: ChaosKind::FrameCorrupt,
+                fires: 1,
+            },
+        ];
+        let scheduler = ChaosScheduler::start(events, Instant::now());
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut fired = 0;
+        while fired < 2 && Instant::now() < deadline {
+            if qcluster_failpoint::evaluate("net.frame.corrupt").is_some() {
+                fired += 1;
+            } else {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        let hits = scheduler.finish();
+        assert_eq!(fired, 2);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].hits, 2, "hits must survive re-arming");
+    }
+}

@@ -1,0 +1,43 @@
+//! `qcluster-loadgen` — closed-loop user-fleet soak harness.
+//!
+//! This crate turns the reproduction's *correctness* substrates into a
+//! *production workload*: fleets of simulated users (the oracle-backed
+//! protocol from `qcluster-eval`) drive real `qcluster-net` TCP
+//! connections — or the multi-node scatter-gather router — through the
+//! paper's full feedback loop, with per-user think time, seeded session
+//! abandonment, background ingest, and failpoint chaos armed on a
+//! scheduled timeline mid-run. The run emits one SLO artifact
+//! (`BENCH_soak.json`): throughput, client-observed latency quantiles,
+//! shed/degraded/breaker rates, and precision-at-k per feedback
+//! iteration, comparable against the offline in-process baseline built
+//! from the *same* seed-derived plan.
+//!
+//! Module map (DESIGN.md §15):
+//!
+//! - [`rng`] — derived-stream splitmix64 seeding (one `--seed`, many
+//!   independent consumers).
+//! - [`config`] — the soak shape ([`SoakConfig`]).
+//! - [`fleet`] — the pure [`FleetPlan`] and the closed-loop executor
+//!   ([`run_soak`]) plus the offline quality baseline.
+//! - [`target`] — [`UserTarget`]/[`SoakBackend`] over TCP or router.
+//! - [`chaos`] — the seeded fault timeline and its scheduler.
+//! - [`report`] — the [`SoakReport`] artifact.
+
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod config;
+pub mod fleet;
+pub mod report;
+pub mod rng;
+pub mod target;
+
+pub use chaos::{seeded_timeline, ChaosEvent, ChaosHit, ChaosKind, ChaosScheduler};
+pub use config::SoakConfig;
+pub use fleet::{
+    offline_baseline, run_soak, FleetPlan, IngestStream, IterationQuality, SessionPlan,
+    SoakCounters, SoakOutcome, UserPlan,
+};
+pub use report::{soak_artifact_json, write_soak_artifact, SoakReport};
+pub use rng::SeedRng;
+pub use target::{QueryReply, RouterBackend, SoakBackend, TcpBackend, UserTarget};

@@ -1,0 +1,206 @@
+//! The SLO report: one JSON artifact per soak run.
+//!
+//! The artifact (`crates/bench/BENCH_soak.json` by default) follows
+//! the workspace's bench-artifact convention — a `bench` tag and the
+//! host fingerprint up front — and embeds the server-side
+//! `MetricsSnapshot` under the *same schema* the wire `Stats` request
+//! returns, so the soak report, one-shot scrapes, and external
+//! monitoring all parse one shape.
+
+use crate::chaos::ChaosHit;
+use crate::config::SoakConfig;
+use crate::fleet::{IterationQuality, SoakCounters, SoakOutcome};
+use qcluster_service::{HistogramSummary, MetricsSnapshot};
+use serde::{Deserialize, Serialize};
+
+/// Everything a soak run measured, in one serializable record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SoakReport {
+    /// Master seed the run derived every random decision from.
+    pub seed: u64,
+    /// Target description (`tcp://…` or `router://…`).
+    pub target: String,
+    /// Concurrent users driven.
+    pub users: usize,
+    /// Sessions per user.
+    pub sessions_per_user: usize,
+    /// Planned feedback iterations per session.
+    pub iterations: usize,
+    /// Result-set size per query round.
+    pub k: usize,
+    /// Wall-clock duration of the run, seconds.
+    pub wall_secs: f64,
+    /// Answered queries per second of wall clock.
+    pub throughput_qps: f64,
+    /// Fleet-wide request/session/ingest counters.
+    pub counters: SoakCounters,
+    /// Client-observed query latency quantiles (p50/p95/p99/max) from
+    /// the merged per-user histograms.
+    pub client_latency: HistogramSummary,
+    /// Degraded answers per answered query.
+    pub degraded_rate: f64,
+    /// Requests shed (write-queue sheds + admission rejections) per
+    /// attempted query.
+    pub shed_rate: f64,
+    /// Circuit-breaker open transitions observed server-side.
+    pub breaker_trips: u64,
+    /// Mean precision-at-k per feedback iteration.
+    pub precision_at_k: Vec<IterationQuality>,
+    /// Scheduled-chaos fire counts per failpoint.
+    pub chaos: Vec<ChaosHit>,
+    /// The server-side metrics snapshot at soak end (wire schema).
+    pub metrics: MetricsSnapshot,
+}
+
+impl SoakReport {
+    /// Assembles the report from a finished run and the target's final
+    /// metrics snapshot.
+    pub fn new(
+        config: &SoakConfig,
+        target: String,
+        outcome: &SoakOutcome,
+        metrics: MetricsSnapshot,
+    ) -> SoakReport {
+        let wall_secs = outcome.wall.as_secs_f64();
+        let attempts = outcome.counters.queries_ok + outcome.counters.query_errors;
+        let sheds = metrics.transport.write_queue_sheds + metrics.faults.overload_rejections;
+        SoakReport {
+            seed: config.seed,
+            target,
+            users: config.users,
+            sessions_per_user: config.sessions_per_user,
+            iterations: config.iterations,
+            k: config.k,
+            wall_secs,
+            throughput_qps: if wall_secs > 0.0 {
+                outcome.counters.queries_ok as f64 / wall_secs
+            } else {
+                0.0
+            },
+            counters: outcome.counters.clone(),
+            client_latency: outcome.latency.summary(),
+            degraded_rate: outcome.counters.degraded_responses as f64
+                / outcome.counters.queries_ok.max(1) as f64,
+            shed_rate: sheds as f64 / attempts.max(1) as f64,
+            breaker_trips: metrics.faults.breaker_trips,
+            precision_at_k: outcome.precision.clone(),
+            chaos: outcome.chaos.clone(),
+            metrics,
+        }
+    }
+}
+
+/// Serializes one report into the shared bench-artifact schema:
+///
+/// ```json
+/// { "bench": "soak", <host fingerprint…>, "report": { … } }
+/// ```
+///
+/// # Errors
+///
+/// Serialization failure.
+pub fn soak_artifact_json(report: &SoakReport) -> Result<String, serde_json::Error> {
+    let body = serde_json::to_string_pretty(report)?;
+    Ok(format!(
+        "{{\n  \"bench\": \"soak\",\n{fingerprint}  \"report\": {body}\n}}\n",
+        fingerprint = qcluster_bench::host_fingerprint_json("  "),
+    ))
+}
+
+/// Writes [`soak_artifact_json`] to `path`.
+///
+/// # Errors
+///
+/// Serialization or filesystem failures, as `std::io::Error`.
+pub fn write_soak_artifact(
+    path: impl AsRef<std::path::Path>,
+    report: &SoakReport,
+) -> std::io::Result<()> {
+    let json = soak_artifact_json(report)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::SoakOutcome;
+    use qcluster_service::LatencyHistogram;
+    use std::time::Duration;
+
+    fn outcome() -> SoakOutcome {
+        let latency = LatencyHistogram::default();
+        latency.record(Duration::from_micros(300));
+        latency.record(Duration::from_micros(900));
+        SoakOutcome {
+            wall: Duration::from_secs(2),
+            counters: SoakCounters {
+                queries_ok: 8,
+                query_errors: 2,
+                degraded_responses: 4,
+                ..SoakCounters::default()
+            },
+            latency,
+            precision: vec![IterationQuality {
+                iteration: 0,
+                sessions: 8,
+                mean_precision: 0.75,
+            }],
+            chaos: vec![ChaosHit {
+                failpoint: "executor.shard".into(),
+                hits: 3,
+            }],
+        }
+    }
+
+    fn metrics() -> MetricsSnapshot {
+        let service = qcluster_service::Service::new(
+            &[
+                vec![0.0, 0.0],
+                vec![1.0, 1.0],
+                vec![2.0, 2.0],
+                vec![3.0, 3.0],
+            ],
+            qcluster_service::ServiceConfig {
+                num_shards: 2,
+                num_workers: 1,
+                ..qcluster_service::ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        service.stats()
+    }
+
+    #[test]
+    fn report_derives_rates_from_counters() {
+        let report = SoakReport::new(
+            &SoakConfig::default(),
+            "tcp://t".into(),
+            &outcome(),
+            metrics(),
+        );
+        assert!((report.wall_secs - 2.0).abs() < 1e-9);
+        assert!((report.throughput_qps - 4.0).abs() < 1e-9);
+        assert!((report.degraded_rate - 0.5).abs() < 1e-9);
+        assert_eq!(report.client_latency.count, 2);
+        assert!(report.client_latency.p50_ns > 0);
+    }
+
+    #[test]
+    fn artifact_round_trips_through_the_wire_schema() {
+        let report = SoakReport::new(
+            &SoakConfig::default(),
+            "tcp://t".into(),
+            &outcome(),
+            metrics(),
+        );
+        let json = soak_artifact_json(&report).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value.get("bench").and_then(|v| v.as_str()), Some("soak"));
+        assert!(value.get("cores").is_some());
+        assert!(value.get("unix_timestamp").is_some());
+        let body = serde_json::to_string(value.get("report").unwrap()).unwrap();
+        let decoded: SoakReport = serde_json::from_str(&body).unwrap();
+        assert_eq!(decoded, report);
+    }
+}

@@ -1,0 +1,82 @@
+//! Soak-vs-offline quality equivalence (the acceptance bar): with
+//! chaos disarmed, a seeded soak's per-iteration precision-at-k must
+//! match the offline `qcluster-eval` baseline built from the *same*
+//! fleet plan to within tie-break noise.
+//!
+//! Both sides run identical query images, iteration counts, marking
+//! protocol (including the feed-the-example fallback), and engine
+//! configuration; the only differences are sharded execution and the
+//! TCP hop, neither of which may change *what* is retrieved beyond
+//! equal-distance tie ordering.
+
+use qcluster_loadgen::{offline_baseline, run_soak, SoakConfig, TcpBackend};
+use qcluster_net::{ClientConfig, Server, ServerConfig};
+use qcluster_service::{Service, ServiceConfig};
+use std::sync::Arc;
+
+const EPSILON: f64 = 0.05;
+
+#[test]
+fn chaos_free_soak_matches_offline_baseline_within_epsilon() {
+    let _serial = qcluster_failpoint::test_lock();
+    qcluster_failpoint::clear_all();
+
+    let dataset =
+        qcluster_eval::Dataset::small_default(qcluster_imaging::FeatureKind::ColorMoments, 9)
+            .unwrap();
+    let points: Vec<Vec<f64>> = (0..dataset.len())
+        .map(|i| dataset.vector(i).to_vec())
+        .collect();
+    let service = Service::new(
+        &points,
+        ServiceConfig {
+            num_shards: 4,
+            num_workers: 2,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let server = Server::bind("127.0.0.1:0", Arc::new(service), ServerConfig::default()).unwrap();
+    let backend = TcpBackend::connect(server.local_addr(), ClientConfig::default()).unwrap();
+
+    let config = SoakConfig {
+        seed: 77,
+        users: 12,
+        sessions_per_user: 1,
+        iterations: 3,
+        k: 12,
+        think_ms: 0,
+        abandon_per_mille: 0,
+        ingest_per_sec: 0,
+        deadline_ms: None,
+        chaos: Vec::new(),
+    };
+
+    let soak = run_soak(&dataset, &backend, &config).unwrap();
+    assert_eq!(soak.counters.query_errors, 0, "healthy target, no chaos");
+    assert_eq!(soak.counters.degraded_responses, 0);
+
+    let offline = offline_baseline(&dataset, &config).unwrap();
+    assert_eq!(soak.precision.len(), offline.len());
+    for (served, reference) in soak.precision.iter().zip(offline.iter()) {
+        assert_eq!(served.iteration, reference.iteration);
+        assert_eq!(
+            served.sessions, reference.sessions,
+            "iteration {}: both sides replay the same plan",
+            served.iteration
+        );
+        let delta = (served.mean_precision - reference.mean_precision).abs();
+        assert!(
+            delta <= EPSILON,
+            "iteration {}: served {:.4} vs offline {:.4} (|Δ| = {:.4} > ε = {EPSILON})",
+            served.iteration,
+            served.mean_precision,
+            reference.mean_precision,
+            delta
+        );
+    }
+    // The baseline itself must be deterministic — same seed, same curve.
+    assert_eq!(offline, offline_baseline(&dataset, &config).unwrap());
+
+    server.shutdown();
+}

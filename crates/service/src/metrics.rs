@@ -126,6 +126,23 @@ fn bucket_upper_bound(idx: usize) -> u64 {
     (1u64 << octave) + (sub + 1) * width - 1
 }
 
+/// Lock-free saturating add: a CAS loop that pegs at `u64::MAX` instead
+/// of wrapping. Only the (cold) merge path pays for the loop; recorders
+/// keep their single `fetch_add`.
+fn saturating_fetch_add(cell: &AtomicU64, add: u64) {
+    if add == 0 {
+        return;
+    }
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let next = current.saturating_add(add);
+        match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(now) => current = now,
+        }
+    }
+}
+
 impl Default for LatencyHistogram {
     fn default() -> Self {
         LatencyHistogram::new()
@@ -156,6 +173,27 @@ impl LatencyHistogram {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
         self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Folds every sample of `other` into `self` without locking either
+    /// histogram: per-bucket relaxed loads on `other`, saturating
+    /// atomic adds on `self`. Concurrent recorders on either side are
+    /// never blocked and never lose a sample — a merge is just another
+    /// writer. This is how a fleet of per-client histograms aggregates
+    /// into one fleet-wide quantile summary: each client records into
+    /// its own histogram on the hot path (no sharing, no contention)
+    /// and the reporter merges them once at the end.
+    ///
+    /// Counts saturate at `u64::MAX` instead of wrapping, so a merge
+    /// can never make a bucket count travel backwards.
+    pub fn merge(&self, other: &LatencyHistogram) {
+        for (bucket, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            saturating_fetch_add(bucket, theirs.load(Ordering::Relaxed));
+        }
+        saturating_fetch_add(&self.count, other.count.load(Ordering::Relaxed));
+        saturating_fetch_add(&self.sum_ns, other.sum_ns.load(Ordering::Relaxed));
+        self.max_ns
+            .fetch_max(other.max_ns.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
     /// A point-in-time quantile summary. Quantiles are bucket upper
@@ -842,6 +880,113 @@ mod tests {
         // A single sample is every quantile, clamped to the exact max.
         assert_eq!(s.p50_ns, 777);
         assert_eq!(s.p99_ns, 777);
+    }
+
+    #[test]
+    fn histogram_merge_of_empties_is_empty() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.merge(&b);
+        assert_eq!(a.summary(), HistogramSummary::default());
+        // Merging an empty histogram into a populated one is a no-op.
+        a.record_ns(42);
+        let before = a.summary();
+        a.merge(&b);
+        assert_eq!(a.summary(), before);
+    }
+
+    #[test]
+    fn histogram_merge_single_bucket_quantiles() {
+        // All samples of both sides land in one bucket: every quantile
+        // is that bucket, clamped to the exact merged max.
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.record_ns(5);
+        b.record_ns(5);
+        b.record_ns(5);
+        a.merge(&b);
+        let s = a.summary();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.p50_ns, 5);
+        assert_eq!(s.p95_ns, 5);
+        assert_eq!(s.p99_ns, 5);
+        assert_eq!(s.max_ns, 5);
+        assert!((s.mean_ns - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge_matches_recording_into_one() {
+        let merged = LatencyHistogram::new();
+        let parts: Vec<LatencyHistogram> = (0..4).map(|_| LatencyHistogram::new()).collect();
+        let reference = LatencyHistogram::new();
+        for (t, part) in parts.iter().enumerate() {
+            for i in 0..500u64 {
+                let ns = (t as u64) * 1_000 + i * 7;
+                part.record_ns(ns);
+                reference.record_ns(ns);
+            }
+        }
+        for part in &parts {
+            merged.merge(part);
+        }
+        assert_eq!(merged.summary(), reference.summary());
+    }
+
+    #[test]
+    fn histogram_merge_saturates_instead_of_wrapping() {
+        // Doubling a histogram into itself 64+ times would wrap every
+        // counter if merge used plain fetch_add; saturation pegs them
+        // at u64::MAX so counts never travel backwards.
+        let h = LatencyHistogram::new();
+        h.record_ns(100);
+        for _ in 0..70 {
+            let snapshot = {
+                // Merge a copy, not &h into itself, so loads and adds
+                // cannot interleave on the same cells mid-merge.
+                let copy = LatencyHistogram::new();
+                copy.merge(&h);
+                copy
+            };
+            h.merge(&snapshot);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, u64::MAX, "count saturates");
+        assert_eq!(s.max_ns, 100, "max is unaffected by saturation");
+        // The single populated bucket also saturated, so quantiles
+        // still resolve to that bucket.
+        assert_eq!(s.p50_ns, 100);
+        assert_eq!(s.p99_ns, 100);
+    }
+
+    #[test]
+    fn histogram_merge_is_lock_free_under_concurrent_recording() {
+        // Recorders keep recording into `src` while another thread
+        // repeatedly merges into `dst`: nothing deadlocks and the final
+        // catch-up merge observes every sample recorded before it.
+        let src = std::sync::Arc::new(LatencyHistogram::new());
+        let dst = std::sync::Arc::new(LatencyHistogram::new());
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let src = std::sync::Arc::clone(&src);
+                scope.spawn(move || {
+                    for i in 0..1_000u64 {
+                        src.record_ns(i);
+                    }
+                });
+            }
+            let src = std::sync::Arc::clone(&src);
+            let dst = std::sync::Arc::clone(&dst);
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    dst.merge(&src);
+                }
+            });
+        });
+        // After recording quiesces, one fresh merge sees all samples.
+        let total = LatencyHistogram::new();
+        total.merge(&src);
+        assert_eq!(total.summary().count, 2_000);
+        assert_eq!(total.summary().max_ns, 999);
     }
 
     #[test]
