@@ -8,6 +8,7 @@
 //! dataset-tool render  <category> <index> <out.ppm> [--paper-scale]
 //! dataset-tool stats   <file.json> [k]
 //! dataset-tool convert <in> <out>
+//! dataset-tool synth   <out.qseg> <n> <dim> [--centers G] [--seed S]
 //! ```
 //!
 //! `build` renders the corpus (or generates the semantic-gap workload),
@@ -17,6 +18,10 @@
 //! formats by output extension: `.json` (JSON), `.qseg` (a raw
 //! `qcluster-store` vector segment — labels dropped), anything else the
 //! binary `QDSB` dataset; the input format is sniffed automatically.
+//! `synth` streams a synthetic clustered corpus at arbitrary scale
+//! (e.g. the 10M-point quantize-bench corpus) straight into a sealed
+//! format-v2 segment — tile-native columns plus the u8 code column —
+//! without building a labeled dataset in memory.
 
 use qcluster_bench::{image_dataset, semantic_gap_dataset, Scale};
 use qcluster_eval::{
@@ -40,6 +45,7 @@ fn main() -> ExitCode {
         "render" => render(&args[1..]),
         "stats" => stats(&args[1..]),
         "convert" => convert(&args[1..]),
+        "synth" => synth(&args[1..]),
         other => Err(format!("unknown command: {other}")),
     };
     match result {
@@ -111,6 +117,41 @@ fn convert(args: &[String]) -> Result<(), String> {
         "converted {} vectors x {} dims: {input} -> {output} ({kind})",
         dataset.len(),
         dataset.dim()
+    );
+    Ok(())
+}
+
+fn synth(args: &[String]) -> Result<(), String> {
+    let [path, n, dim, ..] = args else {
+        return Err("synth needs <out.qseg> <n> <dim>".into());
+    };
+    let n: u64 = n.parse().map_err(|_| "n must be an integer")?;
+    let dim: usize = dim.parse().map_err(|_| "dim must be an integer")?;
+    let flag = |name: &str, default: u64| -> Result<u64, String> {
+        match args.iter().position(|a| a == name) {
+            Some(i) => args
+                .get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| format!("{name} needs an integer value")),
+            None => Ok(default),
+        }
+    };
+    let centers = flag("--centers", 16)?;
+    let seed = flag("--seed", 42)?;
+    let start = std::time::Instant::now();
+    let sealed = qcluster_bench::synth_segment(
+        Path::new(path),
+        n,
+        dim,
+        usize::try_from(centers).map_err(|_| "centers out of range")?,
+        seed,
+    )
+    .map_err(|e| e.to_string())?;
+    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "sealed {sealed} x {dim} synthetic vectors ({centers} centers, seed {seed}) \
+         to {path}: {bytes} bytes in {:.1}s",
+        start.elapsed().as_secs_f64()
     );
     Ok(())
 }

@@ -161,6 +161,60 @@ pub fn host_fingerprint_json(indent: &str) -> String {
     )
 }
 
+/// Streams a synthetic clustered corpus point-by-point into a sealed
+/// format-v2 segment (tile-native columns + u8 code column); only the
+/// writer's own column staging buffer is held in memory.
+///
+/// Points are drawn around `centers` well-separated cluster centers
+/// with per-dimension jitter, deterministic in `seed` — the same shape
+/// the quantize bench queries, at any `n`. This is how the 10M-point
+/// corpus for `BENCH_quantize.json` is produced (`dataset-tool synth`
+/// wraps it on the command line).
+///
+/// # Errors
+///
+/// `InvalidArg` for `n == 0` / `dim == 0`, otherwise I/O failures from
+/// the segment writer.
+pub fn synth_segment(
+    path: &std::path::Path,
+    n: u64,
+    dim: usize,
+    centers: usize,
+    seed: u64,
+) -> Result<u64, qcluster_store::StoreError> {
+    if n == 0 {
+        return Err(qcluster_store::StoreError::InvalidArg(
+            "synth corpus needs at least one point".into(),
+        ));
+    }
+    // SplitMix64: cheap enough that generation never dominates the
+    // 10M-point run, unlike a cryptographic stream.
+    let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut unit = move || (next() >> 11) as f64 / (1u64 << 53) as f64;
+
+    let centers = centers.max(1);
+    let grid: Vec<Vec<f64>> = (0..centers)
+        .map(|_| (0..dim).map(|_| unit() * 20.0 - 10.0).collect())
+        .collect();
+    let mut writer = qcluster_store::SegmentWriter::create(path, dim)?;
+    let mut point = vec![0.0f64; dim];
+    for i in 0..n {
+        let c = &grid[(i % centers as u64) as usize];
+        for (x, &base) in point.iter_mut().zip(c.iter()) {
+            *x = base + unit() * 2.0 - 1.0;
+        }
+        writer.append(&point)?;
+    }
+    writer.finish()
+}
+
 /// Serializes one service [`MetricsSnapshot`] into the shared metrics
 /// artifact schema:
 ///

@@ -27,7 +27,7 @@
 use crate::cluster::Cluster;
 use crate::error::Result;
 use crate::scheme::{CovarianceScheme, InverseCovariance};
-use qcluster_index::{BoundingBox, QueryDistance};
+use qcluster_index::{BoundingBox, QuantParams, QuantPlan, QuantSpec, QueryDistance};
 use std::cell::RefCell;
 
 /// One cluster representative compiled for fast distance evaluation.
@@ -164,6 +164,55 @@ impl QueryDistance for ClusterDistance {
             .quadratic_batch(block, dim, &mut self.scratch.borrow_mut(), out);
     }
 
+    fn distance_tiles(&self, tiles: &[f64], dim: usize, out: &mut [f64]) {
+        use qcluster_linalg::vecops::{expanded_weighted_sq_tile, untranspose_tile, TILE_LANES};
+        assert_eq!(dim, self.dim(), "query dimensionality mismatch");
+        let ntiles = out.len().div_ceil(TILE_LANES);
+        assert_eq!(
+            tiles.len(),
+            ntiles * dim * TILE_LANES,
+            "tiles/out length mismatch"
+        );
+        match self.rep.inv.diagonal_weights() {
+            Some(w) => {
+                // Tile-native expanded form: no transpose, no row
+                // materialization — bit-for-bit equal to `distance_batch`.
+                for (t, chunk) in out.chunks_mut(TILE_LANES).enumerate() {
+                    let tile = &tiles[t * dim * TILE_LANES..(t + 1) * dim * TILE_LANES];
+                    let d8 = expanded_weighted_sq_tile(tile, w, &self.rep.wc, self.rep.c0);
+                    chunk.copy_from_slice(&d8[..chunk.len()]);
+                }
+            }
+            None => {
+                // Full scheme has no tile kernel: un-transpose and reuse
+                // the blocked dense path.
+                let mut rows = vec![0.0f64; TILE_LANES * dim];
+                for (t, chunk) in out.chunks_mut(TILE_LANES).enumerate() {
+                    let tile = &tiles[t * dim * TILE_LANES..(t + 1) * dim * TILE_LANES];
+                    let pn = chunk.len();
+                    untranspose_tile(tile, dim, &mut rows[..pn * dim]);
+                    self.distance_batch(&rows[..pn * dim], dim, chunk);
+                }
+            }
+        }
+    }
+
+    fn quantized_plan(&self, params: &QuantParams) -> Option<QuantPlan> {
+        let w = self.rep.inv.diagonal_weights()?;
+        if params.dim() != self.dim() {
+            return None;
+        }
+        QuantPlan::build(
+            params,
+            &[QuantSpec {
+                weights: Some(w),
+                center: &self.rep.mean,
+                mass: 1.0,
+            }],
+            1.0,
+        )
+    }
+
     fn min_distance(&self, b: &BoundingBox) -> f64 {
         self.rep.lower_bound(b, &mut self.scratch.borrow_mut())
     }
@@ -298,6 +347,61 @@ impl QueryDistance for DisjunctiveQuery {
                 *o = self.aggregate(self.reps.iter().map(|r| (r.mass, r.quadratic(x, diff))));
             }
         }
+    }
+
+    fn distance_tiles(&self, tiles: &[f64], dim: usize, out: &mut [f64]) {
+        use qcluster_linalg::vecops::{expanded_weighted_sq_tile, untranspose_tile, TILE_LANES};
+        assert_eq!(dim, self.dim(), "query dimensionality mismatch");
+        let ntiles = out.len().div_ceil(TILE_LANES);
+        assert_eq!(
+            tiles.len(),
+            ntiles * dim * TILE_LANES,
+            "tiles/out length mismatch"
+        );
+        if self.reps[0].inv.diagonal_weights().is_some() {
+            // Same per-lane arithmetic as `distance_batch`'s diagonal
+            // path, consuming pre-transposed tiles directly.
+            for (t, chunk) in out.chunks_mut(TILE_LANES).enumerate() {
+                let tile = &tiles[t * dim * TILE_LANES..(t + 1) * dim * TILE_LANES];
+                let mut acc = [0.0f64; TILE_LANES];
+                for r in &self.reps {
+                    let w = r.inv.diagonal_weights().expect("uniform scheme");
+                    let d8 = expanded_weighted_sq_tile(tile, w, &r.wc, r.c0);
+                    for l in 0..TILE_LANES {
+                        acc[l] += r.mass / d8[l].max(0.0);
+                    }
+                }
+                for (l, o) in chunk.iter_mut().enumerate() {
+                    *o = self.total_mass / acc[l];
+                }
+            }
+        } else {
+            let mut rows = vec![0.0f64; TILE_LANES * dim];
+            for (t, chunk) in out.chunks_mut(TILE_LANES).enumerate() {
+                let tile = &tiles[t * dim * TILE_LANES..(t + 1) * dim * TILE_LANES];
+                let pn = chunk.len();
+                untranspose_tile(tile, dim, &mut rows[..pn * dim]);
+                self.distance_batch(&rows[..pn * dim], dim, chunk);
+            }
+        }
+    }
+
+    fn quantized_plan(&self, params: &QuantParams) -> Option<QuantPlan> {
+        if params.dim() != self.dim() {
+            return None;
+        }
+        let specs = self
+            .reps
+            .iter()
+            .map(|r| {
+                Some(QuantSpec {
+                    weights: Some(r.inv.diagonal_weights()?),
+                    center: r.mean.as_slice(),
+                    mass: r.mass,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        QuantPlan::build(params, &specs, self.total_mass)
     }
 
     fn min_distance(&self, b: &BoundingBox) -> f64 {
@@ -531,5 +635,75 @@ mod tests {
         assert_eq!(out[0], 0.0);
         assert!(out[1] > 0.0);
         assert_eq!(out[2], 0.0);
+    }
+
+    fn tiles_of(block: &[f64], dim: usize, n: usize) -> Vec<f64> {
+        use qcluster_linalg::vecops::{transpose_tile, TILE_LANES};
+        let ntiles = n.div_ceil(TILE_LANES);
+        let mut tiles = vec![0.0; ntiles * dim * TILE_LANES];
+        for t in 0..ntiles {
+            let lo = t * TILE_LANES;
+            let hi = n.min(lo + TILE_LANES);
+            transpose_tile(
+                &block[lo * dim..hi * dim],
+                dim,
+                &mut tiles[t * dim * TILE_LANES..(t + 1) * dim * TILE_LANES],
+            );
+        }
+        tiles
+    }
+
+    #[test]
+    fn tiles_match_batch_bit_for_bit() {
+        for scheme in [
+            CovarianceScheme::default_diagonal(),
+            CovarianceScheme::default_full(),
+        ] {
+            let q = two_cluster_query(scheme);
+            let cd = ClusterDistance::new(&blob(0.0, 0.0, 0), scheme).unwrap();
+            for n in [1usize, 7, 8, 13, 24] {
+                let block = grid_block(2, n);
+                let tiles = tiles_of(&block, 2, n);
+                let mut want = vec![0.0; n];
+                let mut got = vec![0.0; n];
+                q.distance_batch(&block, 2, &mut want);
+                q.distance_tiles(&tiles, 2, &mut got);
+                assert_eq!(got, want, "disjunctive {scheme:?} n={n}");
+                cd.distance_batch(&block, 2, &mut want);
+                cd.distance_tiles(&tiles, 2, &mut got);
+                assert_eq!(got, want, "cluster {scheme:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_phase_matches_exact_for_disjunctive_query() {
+        use qcluster_index::{LinearScan, QuantizedScan};
+        let n = 257;
+        let data = grid_block(2, n);
+        let exact = LinearScan::from_flat(data.clone(), 2);
+        let quant = QuantizedScan::from_flat(&data, 2);
+        let q = two_cluster_query(CovarianceScheme::default_diagonal());
+        for k in [1usize, 5, 16] {
+            let want = exact.knn(&q, k);
+            let (got, stats) = quant.two_phase_knn(&q, k, None);
+            assert_eq!(got, want, "k={k}");
+            assert_eq!(stats.plan_misses, 0, "diagonal scheme must quantize");
+        }
+    }
+
+    #[test]
+    fn full_scheme_misses_plan_but_stays_exact() {
+        use qcluster_index::{LinearScan, QuantizedScan};
+        let n = 64;
+        let data = grid_block(2, n);
+        let exact = LinearScan::from_flat(data.clone(), 2);
+        let quant = QuantizedScan::from_flat(&data, 2);
+        let q = two_cluster_query(CovarianceScheme::default_full());
+        assert!(q.quantized_plan(quant.params()).is_none());
+        let (got, stats) = quant.two_phase_knn(&q, 4, None);
+        assert_eq!(got, exact.knn(&q, 4));
+        assert_eq!(stats.plan_misses, 1);
+        assert_eq!(stats.phase1_points, 0);
     }
 }

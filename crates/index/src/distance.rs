@@ -14,6 +14,8 @@
 //! All implement [`QueryDistance`]; the tree search is generic over it.
 
 use crate::bbox::BoundingBox;
+use crate::quant::{QuantParams, QuantPlan, QuantSpec};
+use qcluster_linalg::vecops::TILE_LANES;
 
 /// A distance function a best-first search can prune with.
 ///
@@ -47,6 +49,51 @@ pub trait QueryDistance {
         }
     }
 
+    /// Evaluates the distance for `out.len()` points stored in the
+    /// transposed-tile layout (`ceil(out.len()/8)` tiles of
+    /// `dim × 8` column-major values, see
+    /// [`qcluster_linalg::vecops::transpose_tile`]): the native layout
+    /// of [`crate::TileCorpus`] and segment format v2, consumed with no
+    /// transpose at scan time.
+    ///
+    /// The default un-transposes each tile and delegates to
+    /// [`QueryDistance::distance_batch`]; tile-kernel overrides must be
+    /// bit-for-bit identical to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dim != self.dim()` or
+    /// `tiles.len() != ceil(out.len()/8) * dim * 8`.
+    fn distance_tiles(&self, tiles: &[f64], dim: usize, out: &mut [f64]) {
+        assert_eq!(dim, self.dim(), "query dimensionality mismatch");
+        let ntiles = out.len().div_ceil(TILE_LANES);
+        assert_eq!(
+            tiles.len(),
+            ntiles * dim * TILE_LANES,
+            "tiles/out length mismatch"
+        );
+        let mut rows = vec![0.0f64; TILE_LANES * dim];
+        for (t, chunk) in out.chunks_mut(TILE_LANES).enumerate() {
+            let tile = &tiles[t * dim * TILE_LANES..(t + 1) * dim * TILE_LANES];
+            let pn = chunk.len();
+            qcluster_linalg::vecops::untranspose_tile(tile, dim, &mut rows[..pn * dim]);
+            self.distance_batch(&rows[..pn * dim], dim, chunk);
+        }
+    }
+
+    /// Compiles this query against a corpus' quantization parameters
+    /// into a phase-1 lower-bound evaluator for the two-phase scan.
+    ///
+    /// The default returns `None` (no sound bound available — e.g. full
+    /// covariance forms), which makes [`crate::QuantizedScan`] run the
+    /// exact path. Implementations returning `Some` must produce
+    /// **sound** plans: phase-1 bounds never exceed the exact computed
+    /// distance of any point coded under `params`.
+    fn quantized_plan(&self, params: &QuantParams) -> Option<QuantPlan> {
+        let _ = params;
+        None
+    }
+
     /// A lower bound on `distance(x)` over all `x` in `b`.
     fn min_distance(&self, b: &BoundingBox) -> f64;
 }
@@ -60,6 +107,12 @@ impl<T: QueryDistance + ?Sized> QueryDistance for &T {
     }
     fn distance_batch(&self, block: &[f64], dim: usize, out: &mut [f64]) {
         (**self).distance_batch(block, dim, out)
+    }
+    fn distance_tiles(&self, tiles: &[f64], dim: usize, out: &mut [f64]) {
+        (**self).distance_tiles(tiles, dim, out)
+    }
+    fn quantized_plan(&self, params: &QuantParams) -> Option<QuantPlan> {
+        (**self).quantized_plan(params)
     }
     fn min_distance(&self, b: &BoundingBox) -> f64 {
         (**self).min_distance(b)
@@ -76,8 +129,34 @@ impl<T: QueryDistance + ?Sized> QueryDistance for Box<T> {
     fn distance_batch(&self, block: &[f64], dim: usize, out: &mut [f64]) {
         (**self).distance_batch(block, dim, out)
     }
+    fn distance_tiles(&self, tiles: &[f64], dim: usize, out: &mut [f64]) {
+        (**self).distance_tiles(tiles, dim, out)
+    }
+    fn quantized_plan(&self, params: &QuantParams) -> Option<QuantPlan> {
+        (**self).quantized_plan(params)
+    }
     fn min_distance(&self, b: &BoundingBox) -> f64 {
         (**self).min_distance(b)
+    }
+}
+
+/// Copies whole tiles through a tile kernel producing `[f64; 8]` per
+/// tile into a truncated `out` (the final tile may be padded).
+pub(crate) fn tiles_via_kernel<F: FnMut(&[f64]) -> [f64; TILE_LANES]>(
+    tiles: &[f64],
+    dim: usize,
+    out: &mut [f64],
+    mut kernel: F,
+) {
+    let ntiles = out.len().div_ceil(TILE_LANES);
+    assert_eq!(
+        tiles.len(),
+        ntiles * dim * TILE_LANES,
+        "tiles/out length mismatch"
+    );
+    for (t, chunk) in out.chunks_mut(TILE_LANES).enumerate() {
+        let d8 = kernel(&tiles[t * dim * TILE_LANES..(t + 1) * dim * TILE_LANES]);
+        chunk.copy_from_slice(&d8[..chunk.len()]);
     }
 }
 
@@ -112,6 +191,28 @@ impl QueryDistance for EuclideanQuery {
     fn distance_batch(&self, block: &[f64], dim: usize, out: &mut [f64]) {
         assert_eq!(dim, self.dim(), "query dimensionality mismatch");
         qcluster_linalg::vecops::sq_euclidean_batch(block, dim, &self.center, out);
+    }
+
+    fn distance_tiles(&self, tiles: &[f64], dim: usize, out: &mut [f64]) {
+        assert_eq!(dim, self.dim(), "query dimensionality mismatch");
+        tiles_via_kernel(tiles, dim, out, |tile| {
+            qcluster_linalg::vecops::sq_euclidean_tile(tile, &self.center)
+        });
+    }
+
+    fn quantized_plan(&self, params: &QuantParams) -> Option<QuantPlan> {
+        if params.dim() != self.dim() {
+            return None;
+        }
+        QuantPlan::build(
+            params,
+            &[QuantSpec {
+                weights: None,
+                center: &self.center,
+                mass: 1.0,
+            }],
+            1.0,
+        )
     }
 
     fn min_distance(&self, b: &BoundingBox) -> f64 {
@@ -181,6 +282,28 @@ impl QueryDistance for WeightedEuclideanQuery {
             &self.weights,
             out,
         );
+    }
+
+    fn distance_tiles(&self, tiles: &[f64], dim: usize, out: &mut [f64]) {
+        assert_eq!(dim, self.dim(), "query dimensionality mismatch");
+        tiles_via_kernel(tiles, dim, out, |tile| {
+            qcluster_linalg::vecops::weighted_sq_euclidean_tile(tile, &self.center, &self.weights)
+        });
+    }
+
+    fn quantized_plan(&self, params: &QuantParams) -> Option<QuantPlan> {
+        if params.dim() != self.dim() {
+            return None;
+        }
+        QuantPlan::build(
+            params,
+            &[QuantSpec {
+                weights: Some(&self.weights),
+                center: &self.center,
+                mass: 1.0,
+            }],
+            1.0,
+        )
     }
 
     fn min_distance(&self, b: &BoundingBox) -> f64 {

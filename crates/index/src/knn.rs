@@ -36,6 +36,14 @@ pub struct SearchStats {
     pub disk_reads: u64,
     /// Point-level distance evaluations.
     pub distance_evaluations: u64,
+    /// Points filtered by a quantized phase-1 kernel (two-phase scans).
+    pub quant_phase1_points: u64,
+    /// Candidates exactly reranked by a two-phase scan's phase 2.
+    pub quant_reranked: u64,
+    /// Full exact rescans a two-phase scan fell back to.
+    pub quant_fallbacks: u64,
+    /// Queries that could not compile a quantized plan and ran exact.
+    pub quant_plan_misses: u64,
 }
 
 /// Max-heap entry for the result set (largest distance on top).

@@ -32,6 +32,7 @@ pub mod distance;
 pub mod dynamic;
 pub mod incremental;
 pub mod knn;
+pub mod quant;
 pub mod range;
 pub mod scan;
 pub mod tree;
@@ -42,5 +43,9 @@ pub use distance::{EuclideanQuery, QueryDistance, WeightedEuclideanQuery};
 pub use dynamic::{DynamicIndex, DynamicStats};
 pub use incremental::KnnIter;
 pub use knn::{merge_top_k, Neighbor, SearchStats, TopK};
+pub use quant::{
+    default_rerank_window, QuantParams, QuantPlan, QuantScanStats, QuantSpec, QuantizedScan,
+    TileCorpus, QUANT_BLOCK_TILES,
+};
 pub use scan::{LinearScan, SCAN_BLOCK_POINTS};
 pub use tree::HybridTree;

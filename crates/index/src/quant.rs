@@ -1,0 +1,1181 @@
+//! u8 scalar quantization and the two-phase (quantized filter + exact
+//! rerank) scan.
+//!
+//! Phase 1 walks a `u8` code column at ~4× the memory bandwidth of the
+//! exact `f64` column and computes a **sound lower bound** on every
+//! point's distance, keeping the best `m` candidates in a bounded heap.
+//! Phase 2 reranks only those candidates with the exact `f64` kernel.
+//! Because the bound is sound (never exceeds the exact computed
+//! distance) and the final acceptance check is verified against the
+//! phase-1 heap, the returned top-k is **bit-for-bit identical** to the
+//! exact scan — the quantized column accelerates the scan, it never
+//! changes an answer. When the acceptance check fails (window too small
+//! for the corpus/query geometry) the scan runs one *bound-driven*
+//! second rerank: the k-th exact distance from the first round
+//! upper-bounds the true k-th distance, so reranking every point whose
+//! lower bound falls at or under it is provably exhaustive — the
+//! candidate set is sized by the quantization error bound itself.
+//!
+//! # The bound
+//!
+//! Per dimension `j` the corpus is affinely coded:
+//! `x̂_j = min_j + δ_j·q_j` with `q_j = round((x_j − min_j)/δ_j)` clamped
+//! to `[0, 255]` and `δ_j = (max_j − min_j)/255`. The *measured*
+//! reconstruction error `err_j = max_x |x_j − x̂_j|` is stored next to
+//! the codes. For a weighted component `d(x) = Σ_j w_j (x_j − c_j)²`
+//! the triangle inequality in the `√w`-scaled metric gives
+//!
+//! ```text
+//! √d(x) ≥ √d(x̂) − √(Σ_j w_j·err_j²)   =  √d̂ − E
+//! ```
+//!
+//! so `LB = max(0, √d̂ − E)² ≤ d(x)`. `d̂` expands over codes as
+//! `C0 + Σ_j q_j·(A_j·q_j + B_j)` with `A_j = w_j·δ_j²`,
+//! `B_j = 2·w_j·(min_j − c_j)·δ_j`, `C0 = Σ_j w_j·(min_j − c_j)²` —
+//! a pure integer-code polynomial the kernel evaluates in `f32` without
+//! touching the exact column. Disjunctive (multi-component) queries
+//! lower-bound each component and aggregate with the same monotone
+//! harmonic formula as the exact kernel.
+//!
+//! Phase 1 runs in `f32`; soundness against the *f64-computed* exact
+//! distance is preserved by plan-time margins (see [`QuantPlan`]): the
+//! worst-case `f32` evaluation error `κ·S` (κ ≈ dim·1e-6, `S` an
+//! a-priori bound on the summand magnitudes) is subtracted from the
+//! polynomial value in *squared* units before the root — folding it
+//! into `E` in sqrt units would cost `2·√d̂·√(κS)` of slack — then the
+//! quantization error `E` comes off in sqrt units, every bound is
+//! deflated by `1 − 1e-4`, and an absolute `zero guard` scaled to the
+//! exact kernel's own rounding floor snaps near-zero bounds to exactly
+//! `0` so a bound can never exceed an exact distance that cancellation
+//! rounds to (or below) zero.
+
+use crate::distance::QueryDistance;
+use crate::knn::{Neighbor, TopK};
+use qcluster_linalg::vecops::TILE_LANES;
+
+/// Number of quantization steps per dimension (`u8` codes `0..=255`).
+pub const QUANT_LEVELS: f64 = 255.0;
+
+/// Tiles per phase-1 kernel call (32 tiles = 256 points, L1-resident
+/// codes + outputs).
+pub const QUANT_BLOCK_TILES: usize = 32;
+
+/// Multiplicative deflation applied to every phase-1 bound: absorbs the
+/// relative rounding of the `f32` subtract/square/aggregate tail.
+const LB_DEFLATE: f32 = 1.0 - 1e-4;
+
+/// Per-dimension affine quantization parameters fitted over a corpus,
+/// stored alongside the code column (segment format v2 persists them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantParams {
+    min: Vec<f64>,
+    delta: Vec<f64>,
+    max_err: Vec<f64>,
+}
+
+impl QuantParams {
+    /// Fits per-dimension `min`/`delta` over row-major `data` and
+    /// measures the worst reconstruction error per dimension (inflated
+    /// by a few ulps so the stored bound dominates the `f64`-computed
+    /// measurement exactly).
+    ///
+    /// Dimensions containing non-finite values get `max_err = ∞`, which
+    /// makes every [`QuantPlan::build`] return `None` — consumers fall
+    /// back to the exact scan rather than trusting garbage codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dim == 0` or `data.len()` is not a multiple of `dim`.
+    pub fn fit(data: &[f64], dim: usize) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        assert_eq!(data.len() % dim, 0, "data length not a multiple of dim");
+        let n = data.len() / dim;
+        Self::fit_visit(dim, n, |visit| {
+            for row in data.chunks_exact(dim) {
+                for (j, &v) in row.iter().enumerate() {
+                    visit(j, v);
+                }
+            }
+        })
+    }
+
+    /// [`QuantParams::fit`] over a tile-major column (see
+    /// [`TileCorpus`]) holding `len` real points — padding lanes of the
+    /// final tile are skipped, never polluting the fitted range. The
+    /// min/max/error reductions are order-independent, so this is
+    /// bit-identical to fitting the same points row-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dim == 0` or `tiles.len()` disagrees with
+    /// `ceil(len/8) * dim * 8`.
+    pub fn fit_tiles(tiles: &[f64], dim: usize, len: usize) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        let tile = dim * TILE_LANES;
+        assert_eq!(
+            tiles.len(),
+            len.div_ceil(TILE_LANES) * tile,
+            "tiles length mismatch"
+        );
+        Self::fit_visit(dim, len, |visit| {
+            for (t, tf) in tiles.chunks_exact(tile).enumerate() {
+                let valid = TILE_LANES.min(len - t * TILE_LANES);
+                for j in 0..dim {
+                    for &v in &tf[j * TILE_LANES..j * TILE_LANES + valid] {
+                        visit(j, v);
+                    }
+                }
+            }
+        })
+    }
+
+    /// Shared fit core: `each` must invoke its callback once per
+    /// `(dimension, value)` pair of the corpus, in any order, and is
+    /// driven twice (range pass, then error-measurement pass).
+    fn fit_visit(dim: usize, n: usize, each: impl Fn(&mut dyn FnMut(usize, f64))) -> Self {
+        let mut min = vec![f64::INFINITY; dim];
+        let mut max = vec![f64::NEG_INFINITY; dim];
+        let mut finite = vec![true; dim];
+        each(&mut |j, v| {
+            if !v.is_finite() {
+                finite[j] = false;
+            } else {
+                if v < min[j] {
+                    min[j] = v;
+                }
+                if v > max[j] {
+                    max[j] = v;
+                }
+            }
+        });
+        for j in 0..dim {
+            if n == 0 || min[j] > max[j] {
+                min[j] = 0.0;
+                max[j] = 0.0;
+            }
+        }
+        let delta: Vec<f64> = (0..dim).map(|j| (max[j] - min[j]) / QUANT_LEVELS).collect();
+        let mut params = QuantParams {
+            min,
+            delta,
+            max_err: vec![0.0; dim],
+        };
+        let mut measured = vec![0.0f64; dim];
+        each(&mut |j, v| {
+            let e = (v - params.decode(j, params.encode_value(j, v))).abs();
+            if e > measured[j] {
+                measured[j] = e;
+            }
+        });
+        for j in 0..dim {
+            params.max_err[j] = if finite[j] {
+                // Dominate the f64-computed measurement: relative slop for
+                // the |x − decode| evaluation plus an absolute floor at the
+                // decode magnitude scale.
+                measured[j] * (1.0 + 1e-9)
+                    + (params.min[j].abs() + params.delta[j] * QUANT_LEVELS) * 1e-12
+            } else {
+                f64::INFINITY
+            };
+        }
+        params
+    }
+
+    /// Rebuilds params from persisted columns (segment format v2).
+    ///
+    /// # Panics
+    ///
+    /// Panics when lengths disagree or `min.len() == 0`.
+    pub fn from_parts(min: Vec<f64>, delta: Vec<f64>, max_err: Vec<f64>) -> Self {
+        assert!(!min.is_empty(), "dim must be positive");
+        assert_eq!(min.len(), delta.len(), "delta length mismatch");
+        assert_eq!(min.len(), max_err.len(), "max_err length mismatch");
+        QuantParams {
+            min,
+            delta,
+            max_err,
+        }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.min.len()
+    }
+
+    /// Per-dimension range minima.
+    pub fn min(&self) -> &[f64] {
+        &self.min
+    }
+
+    /// Per-dimension code step sizes.
+    pub fn delta(&self) -> &[f64] {
+        &self.delta
+    }
+
+    /// Per-dimension reconstruction error bounds.
+    pub fn max_err(&self) -> &[f64] {
+        &self.max_err
+    }
+
+    /// Codes one value of dimension `j`.
+    #[inline]
+    pub fn encode_value(&self, j: usize, x: f64) -> u8 {
+        if self.delta[j] > 0.0 {
+            (((x - self.min[j]) / self.delta[j]).round() as i64).clamp(0, 255) as u8
+        } else {
+            0
+        }
+    }
+
+    /// Reconstructs dimension `j` from a code.
+    #[inline]
+    pub fn decode(&self, j: usize, code: u8) -> f64 {
+        self.min[j] + self.delta[j] * f64::from(code)
+    }
+
+    /// Codes a tile-major exact column into a same-shape tile-major code
+    /// column (see [`TileCorpus`] for the layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics when lengths disagree or are not whole tiles.
+    pub fn encode_tiles(&self, tiles: &[f64], codes: &mut [u8]) {
+        let dim = self.dim();
+        let tile = dim * TILE_LANES;
+        assert_eq!(tiles.len() % tile, 0, "tiles length not whole tiles");
+        assert_eq!(tiles.len(), codes.len(), "codes length mismatch");
+        for (tf, tc) in tiles.chunks_exact(tile).zip(codes.chunks_exact_mut(tile)) {
+            for j in 0..dim {
+                let col = &tf[j * TILE_LANES..(j + 1) * TILE_LANES];
+                let out = &mut tc[j * TILE_LANES..(j + 1) * TILE_LANES];
+                for l in 0..TILE_LANES {
+                    out[l] = self.encode_value(j, col[l]);
+                }
+            }
+        }
+    }
+}
+
+/// One weighted-Euclidean component of a query, described for plan
+/// compilation: `d_r(x) = Σ_j w_j (x_j − c_j)²` with mass `m_r` in the
+/// harmonic aggregate. `weights: None` means unit weights.
+#[derive(Debug, Clone, Copy)]
+pub struct QuantSpec<'a> {
+    /// Per-dimension non-negative weights (`None` = all ones).
+    pub weights: Option<&'a [f64]>,
+    /// Component center.
+    pub center: &'a [f64],
+    /// Positive mass in the harmonic aggregate (use `1.0` for
+    /// single-component queries — the aggregate then reduces to the
+    /// component bound).
+    pub mass: f64,
+}
+
+/// Up to four components evaluated per kernel pass; wider queries are
+/// split into chunks whose per-point harmonic terms accumulate.
+const CHUNK_COMPONENTS: usize = 4;
+
+#[derive(Debug, Clone)]
+struct PlanChunk {
+    gc: usize,
+    /// `a`/`b` coefficients replicated 8-wide so the AVX2 kernel can use
+    /// them as memory operands: lane `l` of coefficient `a` for
+    /// dimension `j`, component `r` lives at `(j*gc + r)*16 + l`, the
+    /// `b` lane at `(j*gc + r)*16 + 8 + l`.
+    coeffs8: Vec<f32>,
+    c0: [f32; CHUNK_COMPONENTS],
+    err: [f32; CHUNK_COMPONENTS],
+    /// Absolute f32-evaluation margin κ·S, subtracted in *squared*
+    /// units before the square root. Folding it into `err` instead
+    /// (sqrt units) would cost `2·√D·√(κS)` of slack per component —
+    /// three orders of magnitude worse at realistic distances.
+    abs: [f32; CHUNK_COMPONENTS],
+    mass: [f32; CHUNK_COMPONENTS],
+    guard: f32,
+}
+
+/// A query compiled against one corpus' [`QuantParams`]: the phase-1
+/// evaluator. Built per (query, segment) pair by
+/// [`QueryDistance::quantized_plan`]; `None` means the query (or the
+/// params) cannot be soundly bounded and the scan must stay exact.
+#[derive(Debug, Clone)]
+pub struct QuantPlan {
+    dim: usize,
+    chunks: Vec<PlanChunk>,
+    total_mass: f32,
+}
+
+impl QuantPlan {
+    /// Compiles component specs into a phase-1 plan, deriving the
+    /// soundness margins. Returns `None` when anything is non-finite,
+    /// a weight is negative, a mass is non-positive, or the magnitude
+    /// bound exceeds the `f32`-safe range — callers then use the exact
+    /// path, which is always correct.
+    pub fn build(params: &QuantParams, specs: &[QuantSpec<'_>], total_mass: f64) -> Option<Self> {
+        let dim = params.dim();
+        if specs.is_empty() || !(total_mass.is_finite() && total_mass > 0.0) {
+            return None;
+        }
+        // κ: a-priori relative bound on f32 evaluation error of the
+        // Σ q(Aq+B) polynomial (2 rounded ops per dimension, ~2.4e-7
+        // each; ×4 headroom also covers f64→f32 coefficient rounding).
+        let kappa = dim as f64 * 1e-6;
+        let mut chunks = Vec::with_capacity(specs.len().div_ceil(CHUNK_COMPONENTS));
+        for group in specs.chunks(CHUNK_COMPONENTS) {
+            let gc = group.len();
+            let mut coeffs8 = vec![0.0f32; dim * gc * 2 * TILE_LANES];
+            let mut c0a = [0.0f32; CHUNK_COMPONENTS];
+            let mut erra = [0.0f32; CHUNK_COMPONENTS];
+            let mut absa = [0.0f32; CHUNK_COMPONENTS];
+            let mut massa = [0.0f32; CHUNK_COMPONENTS];
+            let mut guard = 0.0f64;
+            for (r, spec) in group.iter().enumerate() {
+                if spec.center.len() != dim {
+                    return None;
+                }
+                if let Some(w) = spec.weights {
+                    if w.len() != dim {
+                        return None;
+                    }
+                }
+                if !(spec.mass.is_finite() && spec.mass > 0.0) {
+                    return None;
+                }
+                let mut c0 = 0.0f64;
+                let mut e2 = 0.0f64;
+                // S: bound on the quantized polynomial's summand
+                // magnitudes (f32 evaluation scale). S64: bound on the
+                // exact f64 kernel's internal magnitudes (its expanded
+                // form suffers cancellation, so its absolute rounding
+                // floor is what the zero guard must dominate).
+                let mut s_quant = 0.0f64;
+                let mut s_exact = 0.0f64;
+                for j in 0..dim {
+                    let w = spec.weights.map_or(1.0, |w| w[j]);
+                    if !(w >= 0.0 && w.is_finite()) {
+                        return None;
+                    }
+                    let c = spec.center[j];
+                    let (mn, dl, er) = (params.min[j], params.delta[j], params.max_err[j]);
+                    if !(c.is_finite() && mn.is_finite() && dl.is_finite() && er.is_finite()) {
+                        return None;
+                    }
+                    let a = w * dl * dl;
+                    let b = 2.0 * w * (mn - c) * dl;
+                    c0 += w * (mn - c) * (mn - c);
+                    e2 += w * er * er;
+                    s_quant += a.abs() * QUANT_LEVELS * QUANT_LEVELS + b.abs() * QUANT_LEVELS;
+                    let m_j = mn.abs().max((mn + dl * QUANT_LEVELS).abs()) + er;
+                    s_exact += w * m_j * m_j + 2.0 * (w * c).abs() * m_j + w * c * c;
+                    let base = (j * gc + r) * 2 * TILE_LANES;
+                    coeffs8[base..base + TILE_LANES].fill(a as f32);
+                    coeffs8[base + TILE_LANES..base + 2 * TILE_LANES].fill(b as f32);
+                }
+                s_quant += c0.abs();
+                // Quantization error stays in sqrt units (Cauchy-
+                // Schwarz: D_true ≥ (√D_quant − √e2)²); the f32
+                // evaluation margin κ·S is an *absolute* error on the
+                // polynomial value and is subtracted in squared units
+                // before the root — see `PlanChunk::abs`.
+                let e_safe = e2.sqrt() * (1.0 + 1e-4);
+                let abs_margin = kappa * s_quant * (1.0 + 1e-3);
+                // Absolute floor: where the exact expanded kernel's own
+                // rounding could push a tiny (or zero) distance below the
+                // bound, snap the bound to 0. 1e5 × the ~dim·ε64·S64
+                // rounding floor keeps the deflation margin dominant.
+                let g = dim as f64 * f64::EPSILON * s_exact * 1e5;
+                if !(c0.is_finite()
+                    && e_safe.is_finite()
+                    && abs_margin.is_finite()
+                    && g.is_finite())
+                    || s_quant > 1e30
+                    || s_exact > 1e30
+                {
+                    return None;
+                }
+                c0a[r] = c0 as f32;
+                erra[r] = e_safe as f32;
+                absa[r] = abs_margin as f32;
+                massa[r] = spec.mass as f32;
+                guard = guard.max(g);
+            }
+            chunks.push(PlanChunk {
+                gc,
+                coeffs8,
+                c0: c0a,
+                err: erra,
+                abs: absa,
+                mass: massa,
+                guard: guard as f32,
+            });
+        }
+        Some(QuantPlan {
+            dim,
+            chunks,
+            total_mass: total_mass as f32,
+        })
+    }
+
+    /// Dimensionality the plan was compiled for.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Evaluates phase-1 lower bounds for `ntiles` tiles of codes into
+    /// `out` (one `f32` per lane, padding lanes included). `acc` is a
+    /// reusable scratch buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `codes.len() != ntiles*dim*8` or
+    /// `out.len() != ntiles*8`.
+    pub fn lower_bounds(&self, codes: &[u8], ntiles: usize, acc: &mut Vec<f32>, out: &mut [f32]) {
+        assert_eq!(
+            codes.len(),
+            ntiles * self.dim * TILE_LANES,
+            "codes length mismatch"
+        );
+        assert_eq!(out.len(), ntiles * TILE_LANES, "out length mismatch");
+        acc.clear();
+        acc.resize(out.len(), 0.0);
+        for chunk in &self.chunks {
+            accumulate_chunk(codes, self.dim, ntiles, chunk, acc);
+        }
+        for (o, &a) in out.iter_mut().zip(acc.iter()) {
+            let v = self.total_mass / a;
+            *o = if v.is_finite() { v.max(0.0) } else { 0.0 };
+        }
+    }
+}
+
+/// Adds `Σ_r mass_r / LB_r(p)` for one component chunk into `acc`,
+/// dispatching to the AVX2+FMA kernel when the CPU has it.
+fn accumulate_chunk(codes: &[u8], dim: usize, ntiles: usize, chunk: &PlanChunk, acc: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            // SAFETY: feature presence just checked; slice lengths are
+            // validated by the caller's asserts.
+            unsafe {
+                match chunk.gc {
+                    1 => avx2::lb_chunk::<1>(codes, dim, ntiles, chunk, acc),
+                    2 => avx2::lb_chunk::<2>(codes, dim, ntiles, chunk, acc),
+                    3 => avx2::lb_chunk::<3>(codes, dim, ntiles, chunk, acc),
+                    _ => avx2::lb_chunk::<4>(codes, dim, ntiles, chunk, acc),
+                }
+            }
+            return;
+        }
+    }
+    lb_chunk_portable(codes, dim, ntiles, chunk, acc);
+}
+
+/// Portable phase-1 chunk kernel: same structure as the AVX2 path with
+/// eight-lane arrays the autovectorizer can pick up. Rounding may differ
+/// from the intrinsics path; both stay below the plan's margins, so
+/// either yields a sound bound.
+fn lb_chunk_portable(codes: &[u8], dim: usize, ntiles: usize, chunk: &PlanChunk, acc: &mut [f32]) {
+    let gc = chunk.gc;
+    let tile = dim * TILE_LANES;
+    let mut q = vec![0.0f32; tile];
+    for t in 0..ntiles {
+        let ctile = &codes[t * tile..(t + 1) * tile];
+        for i in 0..tile {
+            q[i] = f32::from(ctile[i]);
+        }
+        let mut d = [[0.0f32; TILE_LANES]; CHUNK_COMPONENTS];
+        for j in 0..dim {
+            let col = &q[j * TILE_LANES..(j + 1) * TILE_LANES];
+            for r in 0..gc {
+                let base = (j * gc + r) * 2 * TILE_LANES;
+                let a = chunk.coeffs8[base];
+                let b = chunk.coeffs8[base + TILE_LANES];
+                for l in 0..TILE_LANES {
+                    d[r][l] += col[l] * (a * col[l] + b);
+                }
+            }
+        }
+        let out = &mut acc[t * TILE_LANES..(t + 1) * TILE_LANES];
+        for r in 0..gc {
+            let (c0, e, ab, m) = (chunk.c0[r], chunk.err[r], chunk.abs[r], chunk.mass[r]);
+            for l in 0..TILE_LANES {
+                let rt = (d[r][l] + c0 - ab).max(0.0).sqrt();
+                let rr = (rt - e).max(0.0);
+                let lb = (rr * rr * LB_DEFLATE - chunk.guard).max(0.0);
+                out[l] += m / lb;
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{PlanChunk, LB_DEFLATE, TILE_LANES};
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    /// AVX2+FMA phase-1 chunk kernel. One u8→f32 column conversion per
+    /// dimension is shared across components; coefficients come 8-wide
+    /// from memory (micro-fused FMA operands); each component keeps two
+    /// accumulator chains (even/odd dimensions) so the loop is bound by
+    /// FMA throughput, not latency.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx2` and `fma`; `codes.len() == ntiles*dim*8` and
+    /// `acc.len() == ntiles*8`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn lb_chunk<const GC: usize>(
+        codes: &[u8],
+        dim: usize,
+        ntiles: usize,
+        chunk: &PlanChunk,
+        acc: &mut [f32],
+    ) {
+        debug_assert_eq!(chunk.gc, GC);
+        let tile = dim * TILE_LANES;
+        let cf = chunk.coeffs8.as_ptr();
+        let deflate = _mm256_set1_ps(LB_DEFLATE);
+        let guard = _mm256_set1_ps(chunk.guard);
+        let zero = _mm256_setzero_ps();
+        for t in 0..ntiles {
+            let ct = codes.as_ptr().add(t * tile);
+            let mut da = [_mm256_setzero_ps(); GC];
+            let mut db = [_mm256_setzero_ps(); GC];
+            let mut j = 0;
+            while j + 1 < dim {
+                let q0 = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(_mm_loadl_epi64(
+                    ct.add(j * TILE_LANES).cast(),
+                )));
+                let q1 = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(_mm_loadl_epi64(
+                    ct.add((j + 1) * TILE_LANES).cast(),
+                )));
+                for r in 0..GC {
+                    let b0 = cf.add((j * GC + r) * 2 * TILE_LANES);
+                    let t0 = _mm256_fmadd_ps(
+                        _mm256_loadu_ps(b0),
+                        q0,
+                        _mm256_loadu_ps(b0.add(TILE_LANES)),
+                    );
+                    da[r] = _mm256_fmadd_ps(q0, t0, da[r]);
+                    let b1 = cf.add(((j + 1) * GC + r) * 2 * TILE_LANES);
+                    let t1 = _mm256_fmadd_ps(
+                        _mm256_loadu_ps(b1),
+                        q1,
+                        _mm256_loadu_ps(b1.add(TILE_LANES)),
+                    );
+                    db[r] = _mm256_fmadd_ps(q1, t1, db[r]);
+                }
+                j += 2;
+            }
+            if j < dim {
+                let q0 = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(_mm_loadl_epi64(
+                    ct.add(j * TILE_LANES).cast(),
+                )));
+                for r in 0..GC {
+                    let b0 = cf.add((j * GC + r) * 2 * TILE_LANES);
+                    let t0 = _mm256_fmadd_ps(
+                        _mm256_loadu_ps(b0),
+                        q0,
+                        _mm256_loadu_ps(b0.add(TILE_LANES)),
+                    );
+                    da[r] = _mm256_fmadd_ps(q0, t0, da[r]);
+                }
+            }
+            let ap = acc.as_mut_ptr().add(t * TILE_LANES);
+            let mut av = _mm256_loadu_ps(ap);
+            for r in 0..GC {
+                let dd = _mm256_sub_ps(
+                    _mm256_add_ps(_mm256_add_ps(da[r], db[r]), _mm256_set1_ps(chunk.c0[r])),
+                    _mm256_set1_ps(chunk.abs[r]),
+                );
+                let rt = _mm256_sqrt_ps(_mm256_max_ps(dd, zero));
+                let rr = _mm256_max_ps(_mm256_sub_ps(rt, _mm256_set1_ps(chunk.err[r])), zero);
+                let lb =
+                    _mm256_max_ps(_mm256_fmsub_ps(_mm256_mul_ps(rr, rr), deflate, guard), zero);
+                av = _mm256_add_ps(av, _mm256_div_ps(_mm256_set1_ps(chunk.mass[r]), lb));
+            }
+            _mm256_storeu_ps(ap, av);
+        }
+    }
+}
+
+/// Statistics from one [`QuantizedScan::two_phase_knn`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QuantScanStats {
+    /// Points filtered by the quantized phase-1 kernel.
+    pub phase1_points: u64,
+    /// Candidates exactly reranked in phase 2.
+    pub reranked: u64,
+    /// Full exact rescans taken because the candidate window could not
+    /// be certified (or a bound self-check failed).
+    pub fallback_rescans: u64,
+    /// Queries that could not compile a quantized plan and ran exact.
+    pub plan_misses: u64,
+}
+
+impl QuantScanStats {
+    /// Accumulates another call's counters.
+    pub fn absorb(&mut self, other: &QuantScanStats) {
+        self.phase1_points += other.phase1_points;
+        self.reranked += other.reranked;
+        self.fallback_rescans += other.fallback_rescans;
+        self.plan_misses += other.plan_misses;
+    }
+}
+
+/// A corpus held in the transposed-tile layout the batch kernels (and
+/// segment format v2) use natively: `ceil(len/8)` tiles of
+/// `dim × 8` column-major `f64`s, zero-padded past `len`.
+#[derive(Debug, Clone)]
+pub struct TileCorpus {
+    tiles: Vec<f64>,
+    dim: usize,
+    len: usize,
+}
+
+impl TileCorpus {
+    /// Transposes row-major points into tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `points` is empty or dimensionalities disagree.
+    pub fn from_rows(points: &[Vec<f64>]) -> Self {
+        assert!(!points.is_empty(), "corpus must be non-empty");
+        let dim = points[0].len();
+        let mut row_buf = vec![0.0f64; TILE_LANES * dim];
+        let mut tiles = vec![0.0f64; points.len().div_ceil(TILE_LANES) * dim * TILE_LANES];
+        for (t, group) in points.chunks(TILE_LANES).enumerate() {
+            for (l, p) in group.iter().enumerate() {
+                assert_eq!(p.len(), dim, "inconsistent dimensionality");
+                row_buf[l * dim..(l + 1) * dim].copy_from_slice(p);
+            }
+            qcluster_linalg::vecops::transpose_tile(
+                &row_buf[..group.len() * dim],
+                dim,
+                &mut tiles[t * dim * TILE_LANES..(t + 1) * dim * TILE_LANES],
+            );
+        }
+        TileCorpus {
+            tiles,
+            dim,
+            len: points.len(),
+        }
+    }
+
+    /// Transposes a flat row-major corpus into tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dim == 0`, `data` is empty, or `data.len()` is not a
+    /// multiple of `dim`.
+    pub fn from_flat(data: &[f64], dim: usize) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        assert!(!data.is_empty(), "corpus must be non-empty");
+        assert_eq!(data.len() % dim, 0, "data length not a multiple of dim");
+        let len = data.len() / dim;
+        let mut tiles = vec![0.0f64; len.div_ceil(TILE_LANES) * dim * TILE_LANES];
+        for (t, group) in data.chunks(TILE_LANES * dim).enumerate() {
+            qcluster_linalg::vecops::transpose_tile(
+                group,
+                dim,
+                &mut tiles[t * dim * TILE_LANES..(t + 1) * dim * TILE_LANES],
+            );
+        }
+        TileCorpus { tiles, dim, len }
+    }
+
+    /// Adopts an already tile-major buffer without copying (the segment
+    /// format v2 load path). Padding lanes of the final tile should be
+    /// zero; their values never affect results.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dim == 0`, `len == 0`, or `tiles.len()` disagrees
+    /// with `ceil(len/8) * dim * 8`.
+    pub fn from_tile_parts(tiles: Vec<f64>, dim: usize, len: usize) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        assert!(len > 0, "corpus must be non-empty");
+        assert_eq!(
+            tiles.len(),
+            len.div_ceil(TILE_LANES) * dim * TILE_LANES,
+            "tiles length mismatch"
+        );
+        TileCorpus { tiles, dim, len }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always false: construction rejects empty corpora.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of 8-point tiles (the final one may be padded).
+    pub fn ntiles(&self) -> usize {
+        self.len.div_ceil(TILE_LANES)
+    }
+
+    /// The raw tile-major column.
+    pub fn tiles(&self) -> &[f64] {
+        &self.tiles
+    }
+
+    /// Copies point `id` into row-major `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id >= len` or `out.len() != dim`.
+    pub fn copy_point(&self, id: usize, out: &mut [f64]) {
+        assert!(id < self.len, "point id out of range");
+        assert_eq!(out.len(), self.dim, "output length mismatch");
+        let (t, l) = (id / TILE_LANES, id % TILE_LANES);
+        let tile = &self.tiles[t * self.dim * TILE_LANES..(t + 1) * self.dim * TILE_LANES];
+        for j in 0..self.dim {
+            out[j] = tile[j * TILE_LANES + l];
+        }
+    }
+
+    /// Exact k-NN over the tiles (no row-major materialization): blocks
+    /// of tiles stream through [`QueryDistance::distance_tiles`] into a
+    /// bounded heap. Identical results to [`crate::LinearScan::knn`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k == 0` or the query dimensionality disagrees.
+    pub fn knn<Q: QueryDistance + ?Sized>(&self, query: &Q, k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.dim(), self.dim, "query dimensionality mismatch");
+        let mut heap = TopK::new(k);
+        let mut dist = vec![0.0f64; QUANT_BLOCK_TILES * TILE_LANES];
+        let tile = self.dim * TILE_LANES;
+        let mut base_tile = 0;
+        let ntiles = self.ntiles();
+        while base_tile < ntiles {
+            let bt = QUANT_BLOCK_TILES.min(ntiles - base_tile);
+            let base_id = base_tile * TILE_LANES;
+            let pts = (self.len - base_id).min(bt * TILE_LANES);
+            query.distance_tiles(
+                &self.tiles[base_tile * tile..(base_tile + bt) * tile],
+                self.dim,
+                &mut dist[..pts],
+            );
+            for (p, &d) in dist[..pts].iter().enumerate() {
+                heap.offer(base_id + p, d);
+            }
+            base_tile += bt;
+        }
+        heap.into_sorted()
+    }
+}
+
+/// Rerank window for a top-`k` query: enough slack that the candidate
+/// set certifies on typical corpora (see DESIGN.md §16 for the sizing
+/// derivation) while keeping phase 2 a rounding error next to phase 1.
+pub fn default_rerank_window(k: usize) -> usize {
+    (4 * k).max(k + 64)
+}
+
+/// The two-phase scan: a [`TileCorpus`] plus its quantized code column.
+#[derive(Debug, Clone)]
+pub struct QuantizedScan {
+    corpus: TileCorpus,
+    codes: Vec<u8>,
+    params: QuantParams,
+}
+
+impl QuantizedScan {
+    /// Builds corpus, params, and codes from row-major points.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `points` is empty or dimensionalities disagree.
+    pub fn from_rows(points: &[Vec<f64>]) -> Self {
+        let corpus = TileCorpus::from_rows(points);
+        let dim = corpus.dim();
+        let mut flat = Vec::with_capacity(points.len() * dim);
+        for p in points {
+            flat.extend_from_slice(p);
+        }
+        Self::with_corpus(corpus, &flat, dim)
+    }
+
+    /// Builds from a flat row-major corpus.
+    ///
+    /// # Panics
+    ///
+    /// See [`TileCorpus::from_flat`].
+    pub fn from_flat(data: &[f64], dim: usize) -> Self {
+        Self::with_corpus(TileCorpus::from_flat(data, dim), data, dim)
+    }
+
+    fn with_corpus(corpus: TileCorpus, flat: &[f64], dim: usize) -> Self {
+        let params = QuantParams::fit(flat, dim);
+        let mut codes = vec![0u8; corpus.tiles().len()];
+        params.encode_tiles(corpus.tiles(), &mut codes);
+        QuantizedScan {
+            corpus,
+            codes,
+            params,
+        }
+    }
+
+    /// Adopts pre-built columns without copying (segment format v2).
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes disagree.
+    pub fn from_parts(corpus: TileCorpus, codes: Vec<u8>, params: QuantParams) -> Self {
+        assert_eq!(codes.len(), corpus.tiles().len(), "codes length mismatch");
+        assert_eq!(params.dim(), corpus.dim(), "params dimensionality mismatch");
+        QuantizedScan {
+            corpus,
+            codes,
+            params,
+        }
+    }
+
+    /// The exact column.
+    pub fn corpus(&self) -> &TileCorpus {
+        &self.corpus
+    }
+
+    /// The quantization parameters.
+    pub fn params(&self) -> &QuantParams {
+        &self.params
+    }
+
+    /// The tile-major code column.
+    pub fn codes(&self) -> &[u8] {
+        &self.codes
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.corpus.len()
+    }
+
+    /// Always false: construction rejects empty corpora.
+    pub fn is_empty(&self) -> bool {
+        self.corpus.is_empty()
+    }
+
+    /// Exact k-NN (phase 1 skipped entirely).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k == 0` or the query dimensionality disagrees.
+    pub fn knn<Q: QueryDistance + ?Sized>(&self, query: &Q, k: usize) -> Vec<Neighbor> {
+        self.corpus.knn(query, k)
+    }
+
+    /// Two-phase k-NN: quantized filter, exact rerank, certified
+    /// acceptance — returns exactly what [`Self::knn`] would, plus
+    /// phase counters. `window` overrides [`default_rerank_window`].
+    ///
+    /// The acceptance argument: every point outside the candidate heap
+    /// has `LB ≥ heap_max` (the heap's final worst bound), and
+    /// `LB ≤ exact` by soundness, so when the k-th reranked distance
+    /// `D < heap_max`, no outside point can beat any returned neighbor;
+    /// ties at `D` itself are settled by the strict inequality. When the
+    /// heap never filled, every point was reranked.
+    ///
+    /// When the window is too tight to certify, the scan does **not**
+    /// rescan exactly: the k-th *exact* distance `τ` from the first
+    /// rerank upper-bounds the true k-th distance, so a second rerank
+    /// over every point with `LB ≤ τ` provably contains the true top-k
+    /// — the candidate set is sized by the quantization error bound
+    /// itself rather than a guessed window. Only a bound violated by an
+    /// exact distance (`D < LB`, impossible unless the soundness margins
+    /// are broken) falls back to one full exact pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k == 0` or the query dimensionality disagrees.
+    pub fn two_phase_knn<Q: QueryDistance + ?Sized>(
+        &self,
+        query: &Q,
+        k: usize,
+        window: Option<usize>,
+    ) -> (Vec<Neighbor>, QuantScanStats) {
+        assert_eq!(
+            query.dim(),
+            self.corpus.dim(),
+            "query dimensionality mismatch"
+        );
+        let mut stats = QuantScanStats::default();
+        let n = self.corpus.len();
+        let plan = match query.quantized_plan(&self.params) {
+            Some(plan) => plan,
+            None => {
+                stats.plan_misses = 1;
+                return (self.knn(query, k), stats);
+            }
+        };
+        let kk = k.min(n);
+        let m = window
+            .unwrap_or_else(|| default_rerank_window(kk))
+            .max(kk)
+            .min(n);
+
+        // Phase 1: every point's lower bound (kept whole — 4 bytes per
+        // point — so a failed certification can re-select candidates
+        // without re-running the kernel), plus a heap of the m smallest.
+        let ntiles = self.corpus.ntiles();
+        let mut acc = Vec::new();
+        let mut lb = vec![0.0f32; ntiles * TILE_LANES];
+        plan.lower_bounds(&self.codes, ntiles, &mut acc, &mut lb);
+        let mut heap = TopK::new(m);
+        for (p, &b) in lb[..n].iter().enumerate() {
+            heap.offer(p, f64::from(b));
+        }
+        stats.phase1_points = n as u64;
+        let overflowed = n > m;
+        let cands = heap.into_sorted();
+        let heap_max = cands.last().map_or(0.0, |c| c.distance);
+
+        // Phase 2: gather candidates in id order (cache-friendly) and
+        // rerank with the exact kernel.
+        let mut by_id: Vec<(usize, f64)> = cands.iter().map(|c| (c.id, c.distance)).collect();
+        by_id.sort_unstable_by_key(|&(id, _)| id);
+        let (result, mut unsound) = self.rerank(query, kk, &by_id);
+        stats.reranked = by_id.len() as u64;
+
+        let certified =
+            !unsound && (!overflowed || result.threshold().is_some_and(|d_k| d_k < heap_max));
+        if certified {
+            return (result.into_sorted(), stats);
+        }
+
+        if !unsound {
+            // Second, bound-driven round: τ (the k-th exact distance
+            // seen so far) upper-bounds the true k-th distance, and
+            // `LB ≤ D` for every point, so {p : LB ≤ τ} ⊇ true top-k.
+            // Any outside point has D ≥ LB > τ ≥ final d_k, strictly —
+            // exactness needs no further certification.
+            let tau = result.threshold().expect("m ≥ kk candidates reranked");
+            let by_id: Vec<(usize, f64)> = lb[..n]
+                .iter()
+                .enumerate()
+                .filter_map(|(p, &b)| {
+                    let b = f64::from(b);
+                    (b <= tau).then_some((p, b))
+                })
+                .collect();
+            let (result, unsound2) = self.rerank(query, kk, &by_id);
+            stats.reranked += by_id.len() as u64;
+            unsound = unsound2;
+            if !unsound {
+                return (result.into_sorted(), stats);
+            }
+        }
+
+        // A violated bound means the soundness margins failed (a bug,
+        // or memory corruption): serve the query exactly anyway.
+        stats.fallback_rescans = 1;
+        (self.knn(query, k), stats)
+    }
+
+    /// Exactly reranks `by_id` (ascending-id `(id, lower_bound)` pairs)
+    /// into a `kk`-bounded top-k heap. Returns the heap and whether any
+    /// exact distance violated its supposed lower bound.
+    fn rerank<Q: QueryDistance + ?Sized>(
+        &self,
+        query: &Q,
+        kk: usize,
+        by_id: &[(usize, f64)],
+    ) -> (TopK, bool) {
+        let dim = self.corpus.dim();
+        let mut result = TopK::new(kk);
+        let mut unsound = false;
+        let block = TILE_LANES * QUANT_BLOCK_TILES;
+        let mut rows = vec![0.0f64; block * dim];
+        let mut dist = vec![0.0f64; block];
+        for chunk in by_id.chunks(block) {
+            for (i, &(id, _)) in chunk.iter().enumerate() {
+                self.corpus
+                    .copy_point(id, &mut rows[i * dim..(i + 1) * dim]);
+            }
+            query.distance_batch(&rows[..chunk.len() * dim], dim, &mut dist[..chunk.len()]);
+            for (i, &(id, bound)) in chunk.iter().enumerate() {
+                if dist[i] < bound {
+                    unsound = true;
+                }
+                result.offer(id, dist[i]);
+            }
+        }
+        (result, unsound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{EuclideanQuery, WeightedEuclideanQuery};
+    use crate::scan::LinearScan;
+
+    fn corpus(n: usize, dim: usize) -> Vec<Vec<f64>> {
+        let mut state = 0x2545f4914f6cdd1du64;
+        let mut rnd = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        (0..n)
+            .map(|_| (0..dim).map(|_| rnd() * 4.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn fit_tiles_matches_row_major_fit_bit_for_bit() {
+        for n in [1usize, 7, 8, 9, 300] {
+            let pts = corpus(n, 5);
+            let flat: Vec<f64> = pts.iter().flatten().copied().collect();
+            let want = QuantParams::fit(&flat, 5);
+            let tiled = TileCorpus::from_flat(&flat, 5);
+            let got = QuantParams::fit_tiles(tiled.tiles(), 5, n);
+            assert_eq!(got, want, "n={n}");
+        }
+        // Empty corpora degrade to zero ranges in both forms.
+        assert_eq!(QuantParams::fit_tiles(&[], 3, 0), QuantParams::fit(&[], 3));
+    }
+
+    #[test]
+    fn codes_round_trip_within_measured_error() {
+        let pts = corpus(300, 5);
+        let flat: Vec<f64> = pts.iter().flatten().copied().collect();
+        let params = QuantParams::fit(&flat, 5);
+        for row in &pts {
+            for j in 0..5 {
+                let back = params.decode(j, params.encode_value(j, row[j]));
+                assert!((row[j] - back).abs() <= params.max_err()[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_range_dimension_reconstructs_exactly() {
+        let data = vec![3.0, 1.0, 3.0, 2.0, 3.0, -1.0];
+        let params = QuantParams::fit(&data, 2);
+        assert_eq!(params.delta()[0], 0.0);
+        assert_eq!(params.decode(0, params.encode_value(0, 3.0)), 3.0);
+        // Only the absolute inflation floor remains of the error bound.
+        assert!(params.max_err()[0] <= 4e-12);
+    }
+
+    #[test]
+    fn non_finite_values_poison_the_plan() {
+        let data = vec![1.0, f64::NAN, 2.0, 3.0];
+        let params = QuantParams::fit(&data, 2);
+        let q = EuclideanQuery::new(vec![0.0, 0.0]);
+        assert!(q.quantized_plan(&params).is_none());
+    }
+
+    #[test]
+    fn tile_corpus_round_trips_points() {
+        let pts = corpus(21, 4);
+        let tc = TileCorpus::from_rows(&pts);
+        assert_eq!(tc.len(), 21);
+        assert_eq!(tc.ntiles(), 3);
+        let mut row = vec![0.0; 4];
+        for (i, p) in pts.iter().enumerate() {
+            tc.copy_point(i, &mut row);
+            assert_eq!(&row, p);
+        }
+    }
+
+    #[test]
+    fn tile_corpus_knn_matches_linear_scan() {
+        let pts = corpus(500, 6);
+        let tc = TileCorpus::from_rows(&pts);
+        let scan = LinearScan::new(&pts);
+        let q = EuclideanQuery::new(pts[7].clone());
+        assert_eq!(tc.knn(&q, 10), scan.knn(&q, 10));
+        let w = WeightedEuclideanQuery::new(pts[3].clone(), vec![0.5, 2.0, 0.0, 1.0, 3.0, 0.25]);
+        assert_eq!(tc.knn(&w, 10), scan.knn(&w, 10));
+    }
+
+    #[test]
+    fn two_phase_matches_exact_bit_for_bit() {
+        let pts = corpus(2000, 8);
+        let qs = QuantizedScan::from_rows(&pts);
+        let scan = LinearScan::new(&pts);
+        for k in [1usize, 10, 25] {
+            let q = EuclideanQuery::new(pts[k].clone());
+            let (got, stats) = qs.two_phase_knn(&q, k, None);
+            let want = scan.knn(&q, k);
+            assert_eq!(got, want, "k={k}");
+            assert_eq!(stats.phase1_points, 2000);
+            assert!(stats.plan_misses == 0);
+        }
+    }
+
+    #[test]
+    fn two_phase_handles_duplicates_and_ties() {
+        let mut pts = corpus(64, 3);
+        for i in 0..32 {
+            let dup = pts[i % 4].clone();
+            pts.push(dup);
+        }
+        let qs = QuantizedScan::from_rows(&pts);
+        let scan = LinearScan::new(&pts);
+        let q = EuclideanQuery::new(pts[0].clone());
+        let (got, _) = qs.two_phase_knn(&q, 40, None);
+        assert_eq!(got, scan.knn(&q, 40));
+    }
+
+    #[test]
+    fn window_of_full_corpus_never_falls_back() {
+        let pts = corpus(100, 4);
+        let qs = QuantizedScan::from_rows(&pts);
+        let q = EuclideanQuery::new(pts[0].clone());
+        let (got, stats) = qs.two_phase_knn(&q, 5, Some(100));
+        assert_eq!(got, LinearScan::new(&pts).knn(&q, 5));
+        assert_eq!(stats.fallback_rescans, 0);
+        assert_eq!(stats.reranked, 100);
+    }
+
+    #[test]
+    fn tiny_window_still_exact_via_fallback_path() {
+        // A window of k forces frequent certification failures; results
+        // must still be exact.
+        let pts = corpus(800, 5);
+        let qs = QuantizedScan::from_rows(&pts);
+        let scan = LinearScan::new(&pts);
+        for probe in 0..8 {
+            let q = EuclideanQuery::new(pts[probe * 97].clone());
+            let (got, _) = qs.two_phase_knn(&q, 10, Some(10));
+            assert_eq!(got, scan.knn(&q, 10));
+        }
+    }
+
+    #[test]
+    fn lower_bounds_are_sound_for_every_point() {
+        let pts = corpus(1000, 7);
+        let qs = QuantizedScan::from_rows(&pts);
+        let q =
+            WeightedEuclideanQuery::new(pts[11].clone(), vec![1.0, 0.5, 2.0, 0.0, 0.75, 1.5, 0.25]);
+        let plan = q.quantized_plan(qs.params()).expect("plan compiles");
+        let ntiles = qs.corpus().ntiles();
+        let mut acc = Vec::new();
+        let mut lb = vec![0.0f32; ntiles * TILE_LANES];
+        plan.lower_bounds(qs.codes(), ntiles, &mut acc, &mut lb);
+        for (i, p) in pts.iter().enumerate() {
+            assert!(
+                f64::from(lb[i]) <= q.distance(p),
+                "bound {} exceeds exact {} at {i}",
+                lb[i],
+                q.distance(p)
+            );
+        }
+    }
+}

@@ -45,6 +45,22 @@ impl LinearScan {
         }
     }
 
+    /// Adopts an already-flat row-major buffer without copying — the
+    /// segment-load path: a v1 segment's record region *is* this layout,
+    /// so a scan is one buffer handoff away from the file bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dim == 0`, `data` is empty, or `data.len()` is not a
+    /// multiple of `dim`.
+    pub fn from_flat(data: Vec<f64>, dim: usize) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        assert!(!data.is_empty(), "cannot scan an empty point set");
+        assert_eq!(data.len() % dim, 0, "data length not a multiple of dim");
+        let len = data.len() / dim;
+        LinearScan { data, dim, len }
+    }
+
     /// Number of points.
     pub fn len(&self) -> usize {
         self.len

@@ -1,0 +1,174 @@
+//! Property tests pinning the two-phase quantized scan to the exact
+//! linear scan, **bit-for-bit**.
+//!
+//! The contract under test: for any corpus and any diagonal-form query,
+//! `QuantizedScan::two_phase_knn` returns the same neighbor ids in the
+//! same order with the same `f64::to_bits` distances as
+//! `LinearScan::knn`. Phase 1 may only ever *shrink* the rerank set —
+//! never change the answer — and when the certified window is too small
+//! the scan must fall back to an exact pass rather than return an
+//! approximate top-k.
+//!
+//! Three corpus shapes stress the bound where it is weakest:
+//!
+//! - generic random corpora (arbitrary dims, magnitudes up to 1e9);
+//! - duplicate-heavy corpora (many exact ties at the same distance, so
+//!   the `(distance, id)` tiebreak ordering is load-bearing);
+//! - zero-range dimensions (constant columns quantize with `delta = 0`,
+//!   exercising the inflation floor of the error bound).
+//!
+//! CI runs these with `PROPTEST_CASES=256` in the `quantize-equivalence`
+//! job; the default is lighter for local `cargo test`.
+
+use proptest::prelude::*;
+use qcluster_index::{
+    default_rerank_window, EuclideanQuery, LinearScan, QuantizedScan, WeightedEuclideanQuery,
+};
+
+/// Asserts the quantized scan answers `query` identically to the exact
+/// scan for every `k` in `ks`, at both the default and an oversized
+/// rerank window.
+fn assert_equivalent<Q: qcluster_index::QueryDistance>(
+    points: &[Vec<f64>],
+    query: &Q,
+    ks: &[usize],
+) -> Result<(), TestCaseError> {
+    let exact = LinearScan::new(points);
+    let quant = QuantizedScan::from_rows(points);
+    for &k in ks {
+        let want = exact.knn(query, k);
+        for window in [None, Some(default_rerank_window(k)), Some(points.len() * 2)] {
+            let (got, stats) = quant.two_phase_knn(query, k, window);
+            prop_assert_eq!(got.len(), want.len(), "k={} window={:?}", k, window);
+            for (g, w) in got.iter().zip(want.iter()) {
+                prop_assert_eq!(g.id, w.id, "k={} window={:?}", k, window);
+                prop_assert_eq!(
+                    g.distance.to_bits(),
+                    w.distance.to_bits(),
+                    "k={} window={:?}",
+                    k,
+                    window
+                );
+            }
+            // A fallback rescan is allowed (it is how correctness is
+            // certified when the window is too tight), but a plan miss
+            // is not: these queries are all diagonal-form.
+            prop_assert_eq!(stats.plan_misses, 0);
+        }
+    }
+    Ok(())
+}
+
+/// Vectors sharing one dimensionality.
+fn uniform_points(max_dim: usize, max_n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (1..max_dim + 1).prop_flat_map(move |dim| {
+        prop::collection::vec(prop::collection::vec(-1.0e9..1.0e9f64, dim), 1..max_n)
+    })
+}
+
+/// A corpus drawn from a tiny palette of distinct vectors, so most
+/// points are exact duplicates and the top-k is decided by id ties.
+fn duplicate_heavy_points() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (1usize..5)
+        .prop_flat_map(|dim| {
+            (
+                prop::collection::vec(prop::collection::vec(-100.0..100.0f64, dim), 1..4),
+                prop::collection::vec(0usize..4, 8..120),
+            )
+        })
+        .prop_map(|(palette, picks)| {
+            picks
+                .into_iter()
+                .map(|i| palette[i % palette.len()].clone())
+                .collect()
+        })
+}
+
+/// A corpus where a prefix of dimensions is constant (zero quantization
+/// range) and the rest vary.
+fn zero_range_points() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (1usize..4, 1usize..4)
+        .prop_flat_map(|(flat_dims, live_dims)| {
+            (
+                prop::collection::vec(-1.0e6..1.0e6f64, flat_dims),
+                prop::collection::vec(prop::collection::vec(-1.0e6..1.0e6f64, live_dims), 1..150),
+            )
+        })
+        .prop_map(|(constants, live)| {
+            live.into_iter()
+                .map(|row| {
+                    let mut v = constants.clone();
+                    v.extend(row);
+                    v
+                })
+                .collect()
+        })
+}
+
+fn query_center(dim: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1.0e9..1.0e9f64, dim)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::default())]
+
+    /// Random corpora, plain Euclidean queries: two-phase equals exact
+    /// bit-for-bit at every k and window.
+    #[test]
+    fn two_phase_matches_exact_on_random_corpora(
+        points in uniform_points(8, 300),
+        seed in any::<u64>(),
+    ) {
+        let dim = points[0].len();
+        let center: Vec<f64> = (0..dim)
+            .map(|j| {
+                // Derive a deterministic in-range query from the seed.
+                let h = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(j as u32 * 7);
+                ((h % 2_000_001) as f64 - 1_000_000.0) * 1.0e3
+            })
+            .collect();
+        let query = EuclideanQuery::new(center);
+        assert_equivalent(&points, &query, &[1, 3, 17])?;
+    }
+
+    /// Weighted queries (including zero weights, which collapse whole
+    /// dimensions out of the distance) stay exact.
+    #[test]
+    fn two_phase_matches_exact_for_weighted_queries(
+        points in uniform_points(6, 200),
+        raw_weights in prop::collection::vec(0.0..10.0f64, 6),
+        raw_center in query_center(6),
+    ) {
+        let dim = points[0].len();
+        let query = WeightedEuclideanQuery::new(
+            raw_center[..dim].to_vec(),
+            raw_weights[..dim].to_vec(),
+        );
+        assert_equivalent(&points, &query, &[1, 8])?;
+    }
+
+    /// Duplicate-heavy corpora: massive distance ties force the
+    /// `(distance, id)` ordering through both phases unchanged.
+    #[test]
+    fn two_phase_preserves_tie_order_on_duplicates(
+        points in duplicate_heavy_points(),
+        raw_center in query_center(4),
+    ) {
+        let dim = points[0].len();
+        let query = EuclideanQuery::new(raw_center[..dim].to_vec());
+        let n = points.len();
+        assert_equivalent(&points, &query, &[1, 5, n])?;
+    }
+
+    /// Constant dimensions quantize with zero delta; the error bound's
+    /// inflation floor must still certify exact results.
+    #[test]
+    fn two_phase_survives_zero_range_dimensions(
+        points in zero_range_points(),
+        raw_center in query_center(6),
+    ) {
+        let dim = points[0].len();
+        let query = EuclideanQuery::new(raw_center[..dim].to_vec());
+        assert_equivalent(&points, &query, &[1, 4, 23])?;
+    }
+}

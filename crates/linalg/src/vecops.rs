@@ -259,6 +259,84 @@ pub fn expanded_weighted_sq_tile(
     out
 }
 
+/// Inverse of [`transpose_tile`]: scatters a column-major tile back into
+/// row-major points, `rows[l * dim + j] = tile[j * TILE_LANES + l]`.
+///
+/// Only `rows.len() / dim` lanes are read, so a short final tile
+/// round-trips without exposing its zero padding. This is the bridge for
+/// consumers that hold tile-native memory (segment format v2) but need a
+/// row-major view for a kernel without a tile form.
+///
+/// # Panics
+///
+/// Panics when `dim == 0`, `rows.len()` is not a multiple of `dim` or
+/// holds more than [`TILE_LANES`] points, or
+/// `tile.len() != dim * TILE_LANES`.
+pub fn untranspose_tile(tile: &[f64], dim: usize, rows: &mut [f64]) {
+    assert!(dim > 0, "dim must be positive");
+    assert_eq!(rows.len() % dim, 0, "rows length not a multiple of dim");
+    let pn = rows.len() / dim;
+    assert!(pn <= TILE_LANES, "too many points for one tile");
+    assert_eq!(tile.len(), dim * TILE_LANES, "tile length mismatch");
+    for (l, row) in rows.chunks_exact_mut(dim).enumerate() {
+        for j in 0..dim {
+            row[j] = tile[j * TILE_LANES + l];
+        }
+    }
+}
+
+/// [`sq_euclidean`] against `center` over one column-major tile,
+/// bit-for-bit identical to the scalar kernel per lane.
+///
+/// Each lane subtracts and accumulates in ascending-`j` order exactly as
+/// the scalar loop does, so vectorizing across lanes changes no result
+/// bits. Zero-padded lanes evaluate to `‖center‖²`.
+///
+/// # Panics
+///
+/// Panics when `center.len() == 0` or
+/// `tile.len() != center.len() * TILE_LANES`.
+pub fn sq_euclidean_tile(tile: &[f64], center: &[f64]) -> [f64; TILE_LANES] {
+    let dim = center.len();
+    assert!(dim > 0, "dim must be positive");
+    assert_eq!(tile.len(), dim * TILE_LANES, "tile length mismatch");
+    let mut acc = [0.0f64; TILE_LANES];
+    for j in 0..dim {
+        let col = &tile[j * TILE_LANES..(j + 1) * TILE_LANES];
+        let cj = center[j];
+        for l in 0..TILE_LANES {
+            let d = col[l] - cj;
+            acc[l] += d * d;
+        }
+    }
+    acc
+}
+
+/// [`weighted_sq_euclidean`] against `center` over one column-major tile,
+/// bit-for-bit identical to the scalar kernel per lane (same
+/// ascending-`j` `w·d·d` accumulation).
+///
+/// # Panics
+///
+/// Panics when `center.len() == 0` or any length disagrees.
+pub fn weighted_sq_euclidean_tile(tile: &[f64], center: &[f64], w: &[f64]) -> [f64; TILE_LANES] {
+    let dim = center.len();
+    assert!(dim > 0, "dim must be positive");
+    assert_eq!(w.len(), dim, "weight length mismatch");
+    assert_eq!(tile.len(), dim * TILE_LANES, "tile length mismatch");
+    let mut acc = [0.0f64; TILE_LANES];
+    for j in 0..dim {
+        let col = &tile[j * TILE_LANES..(j + 1) * TILE_LANES];
+        let cj = center[j];
+        let wj = w[j];
+        for l in 0..TILE_LANES {
+            let d = col[l] - cj;
+            acc[l] += wj * d * d;
+        }
+    }
+    acc
+}
+
 /// [`sq_euclidean`] against `center` over a contiguous row-major block.
 ///
 /// Same 4-wide across-points unrolling (and therefore the same bit-for-bit
@@ -586,6 +664,43 @@ mod tests {
         for j in 0..dim {
             for l in 5..TILE_LANES {
                 assert_eq!(tile[j * TILE_LANES + l], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn untranspose_tile_inverts_transpose() {
+        let dim = 4;
+        for pn in [1usize, 3, 8] {
+            let block = test_block(pn, dim);
+            let mut tile = vec![f64::NAN; dim * TILE_LANES];
+            transpose_tile(&block, dim, &mut tile);
+            let mut back = vec![f64::NAN; pn * dim];
+            untranspose_tile(&tile, dim, &mut back);
+            assert_eq!(back, block, "round trip through tile layout");
+        }
+    }
+
+    #[test]
+    fn euclidean_tile_kernels_match_scalar_bit_for_bit() {
+        let dim = 6;
+        let c: Vec<f64> = (0..dim).map(|j| (j as f64 * 0.7).sin()).collect();
+        let w: Vec<f64> = (0..dim).map(|j| 0.1 + (j as f64).cos().abs()).collect();
+        for n in [1usize, 5, 8, 13] {
+            let block = test_block(n, dim);
+            let mut tile = vec![f64::NAN; dim * TILE_LANES];
+            let mut p0 = 0;
+            while p0 < n {
+                let pn = TILE_LANES.min(n - p0);
+                transpose_tile(&block[p0 * dim..(p0 + pn) * dim], dim, &mut tile);
+                let e8 = sq_euclidean_tile(&tile, &c);
+                let w8 = weighted_sq_euclidean_tile(&tile, &c, &w);
+                for l in 0..pn {
+                    let x = &block[(p0 + l) * dim..(p0 + l + 1) * dim];
+                    assert_eq!(e8[l], sq_euclidean(x, &c));
+                    assert_eq!(w8[l], weighted_sq_euclidean(x, &c, &w));
+                }
+                p0 += TILE_LANES;
             }
         }
     }

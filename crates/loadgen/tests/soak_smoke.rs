@@ -17,7 +17,7 @@ fn dataset() -> qcluster_eval::Dataset {
     qcluster_eval::Dataset::small_default(qcluster_imaging::FeatureKind::ColorMoments, 9).unwrap()
 }
 
-fn serve(dataset: &qcluster_eval::Dataset) -> Server {
+fn serve_with(dataset: &qcluster_eval::Dataset, kind: qcluster_service::ShardKind) -> Server {
     let points: Vec<Vec<f64>> = (0..dataset.len())
         .map(|i| dataset.vector(i).to_vec())
         .collect();
@@ -26,11 +26,16 @@ fn serve(dataset: &qcluster_eval::Dataset) -> Server {
         ServiceConfig {
             num_shards: 2,
             num_workers: 2,
+            shard_kind: kind,
             ..ServiceConfig::default()
         },
     )
     .unwrap();
     Server::bind("127.0.0.1:0", Arc::new(service), ServerConfig::default()).unwrap()
+}
+
+fn serve(dataset: &qcluster_eval::Dataset) -> Server {
+    serve_with(dataset, qcluster_service::ShardKind::default())
 }
 
 #[test]
@@ -121,6 +126,48 @@ fn smoke_soak_over_tcp_with_scheduled_chaos() {
 
     let shutdown = server.shutdown();
     assert_eq!(shutdown.aborted_inflight, 0);
+}
+
+#[test]
+fn quantized_soak_matches_exact_service_trajectory() {
+    let _serial = qcluster_failpoint::test_lock();
+    qcluster_failpoint::clear_all();
+
+    let dataset = dataset();
+    let config = SoakConfig {
+        seed: 77,
+        users: 8,
+        sessions_per_user: 1,
+        iterations: 3,
+        k: 12,
+        ..SoakConfig::default()
+    };
+
+    // Same seeded fleet against an exact-scan server and a quantized
+    // two-phase server. The workload is byte-identical per user, and the
+    // feedback loop is driven entirely by retrieved ids — so if the
+    // served two-phase scan is bit-for-bit exact, every session follows
+    // the identical trajectory and the precision curves match exactly.
+    let run = |kind| {
+        let server = serve_with(&dataset, kind);
+        let backend = TcpBackend::connect(server.local_addr(), ClientConfig::default()).unwrap();
+        let outcome = run_soak(&dataset, &backend, &config).unwrap();
+        let metrics = backend.stats().unwrap();
+        server.shutdown();
+        (outcome, metrics)
+    };
+    let (exact, _) = run(qcluster_service::ShardKind::Scan);
+    let (quant, metrics) = run(qcluster_service::ShardKind::Quantized);
+
+    assert_eq!(quant.counters.sessions_completed, 8);
+    assert_eq!(quant.counters.query_errors, 0);
+    assert_eq!(exact.precision, quant.precision, "served path diverged");
+
+    // The quantized path actually ran: phase 1 touched every point at
+    // least once and phase 2 reranked a strict subset.
+    assert!(metrics.quant.phase1_points > 0);
+    assert!(metrics.quant.reranked > 0);
+    assert_eq!(metrics.quant.plan_misses, 0);
 }
 
 #[test]

@@ -566,6 +566,10 @@ impl Executor {
                     stats.cache_hits += shard_stats.cache_hits;
                     stats.disk_reads += shard_stats.disk_reads;
                     stats.distance_evaluations += shard_stats.distance_evaluations;
+                    stats.quant_phase1_points += shard_stats.quant_phase1_points;
+                    stats.quant_reranked += shard_stats.quant_reranked;
+                    stats.quant_fallbacks += shard_stats.quant_fallbacks;
+                    stats.quant_plan_misses += shard_stats.quant_plan_misses;
                     per_shard.push(neighbors);
                     shards_ok += 1;
                 }

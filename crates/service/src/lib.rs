@@ -65,7 +65,7 @@ pub use executor::{
 };
 pub use metrics::{
     ClusterGauges, FaultGauges, HistogramSummary, LatencyHistogram, MetricsSnapshot, OpHistogram,
-    OpSummary, ServiceMetrics, StorageGauges, TransportGauges,
+    OpSummary, QuantGauges, ServiceMetrics, StorageGauges, TransportGauges,
 };
 pub use protocol::{dispatch, FeedPointDto, NeighborDto, Request, Response, SearchStatsDto};
 pub use qcluster_store::{CompactionStats, StoreConfig};

@@ -266,6 +266,10 @@ pub struct ServiceMetrics {
     cache_misses: AtomicU64,
     plan_cache_hits: AtomicU64,
     plan_cache_misses: AtomicU64,
+    quant_phase1_points: AtomicU64,
+    quant_reranked: AtomicU64,
+    quant_fallbacks: AtomicU64,
+    quant_plan_misses: AtomicU64,
     evictions: AtomicU64,
     sessions_created: AtomicU64,
     sessions_closed: AtomicU64,
@@ -311,6 +315,16 @@ impl ServiceMetrics {
     /// post-feed version bump, or an engine without plan versioning.
     pub fn record_plan_cache_miss(&self) {
         self.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds one query's two-phase quantized-scan accounting into the
+    /// totals (all zero when no shard ran a quantized scan).
+    pub fn record_quant(&self, phase1_points: u64, reranked: u64, fallbacks: u64, misses: u64) {
+        self.quant_phase1_points
+            .fetch_add(phase1_points, Ordering::Relaxed);
+        self.quant_reranked.fetch_add(reranked, Ordering::Relaxed);
+        self.quant_fallbacks.fetch_add(fallbacks, Ordering::Relaxed);
+        self.quant_plan_misses.fetch_add(misses, Ordering::Relaxed);
     }
 
     /// Counts `n` evicted sessions (TTL or LRU).
@@ -459,6 +473,12 @@ impl ServiceMetrics {
             },
             plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
             plan_cache_misses: self.plan_cache_misses.load(Ordering::Relaxed),
+            quant: QuantGauges {
+                phase1_points: self.quant_phase1_points.load(Ordering::Relaxed),
+                reranked: self.quant_reranked.load(Ordering::Relaxed),
+                fallback_rescans: self.quant_fallbacks.load(Ordering::Relaxed),
+                plan_misses: self.quant_plan_misses.load(Ordering::Relaxed),
+            },
             evictions: self.evictions.load(Ordering::Relaxed),
             sessions_created: self.sessions_created.load(Ordering::Relaxed),
             sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
@@ -577,6 +597,10 @@ impl MetricsSnapshot {
         };
         self.plan_cache_hits += other.plan_cache_hits;
         self.plan_cache_misses += other.plan_cache_misses;
+        self.quant.phase1_points += other.quant.phase1_points;
+        self.quant.reranked += other.quant.reranked;
+        self.quant.fallback_rescans += other.quant.fallback_rescans;
+        self.quant.plan_misses += other.quant.plan_misses;
         self.evictions += other.evictions;
         self.sessions_created += other.sessions_created;
         self.sessions_closed += other.sessions_closed;
@@ -619,6 +643,25 @@ impl MetricsSnapshot {
         self.cluster.replication_records_applied += other.cluster.replication_records_applied;
         self.cluster.stale_reads += other.cluster.stale_reads;
     }
+}
+
+/// Two-phase quantized-scan counters, summed over every query served by
+/// [`crate::ShardKind::Quantized`] shards. All zero when no quantized
+/// shard exists. `phase1_points / reranked` is the pruning ratio; a
+/// non-zero `fallback_rescans` means candidate sets failed
+/// certification and were rescanned exactly (results stay exact either
+/// way).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuantGauges {
+    /// Points lower-bounded from u8 codes in phase 1.
+    pub phase1_points: u64,
+    /// Candidates exactly reranked in phase 2.
+    pub reranked: u64,
+    /// Full exact rescans after a failed window certification.
+    pub fallback_rescans: u64,
+    /// Queries whose distance could not be soundly bounded (served
+    /// exactly instead).
+    pub plan_misses: u64,
 }
 
 /// Transport (TCP front-end) counters sampled at snapshot time. All
@@ -714,6 +757,9 @@ pub struct MetricsSnapshot {
     pub plan_cache_hits: u64,
     /// Queries that compiled (or recompiled) their plan.
     pub plan_cache_misses: u64,
+    /// Two-phase quantized-scan counters (all zero without quantized
+    /// shards).
+    pub quant: QuantGauges,
     /// Sessions evicted by TTL or LRU pressure.
     pub evictions: u64,
     /// Sessions ever created.

@@ -27,8 +27,12 @@ pub struct ServiceConfig {
     pub num_shards: usize,
     /// Worker threads in the k-NN pool.
     pub num_workers: usize,
-    /// Index structure per shard.
+    /// Index structure per shard ([`ShardKind::Quantized`] turns on the
+    /// two-phase u8 scan; results stay bit-for-bit exact).
     pub shard_kind: ShardKind,
+    /// Phase-2 rerank window for quantized shards (`None` = the
+    /// `default_rerank_window` heuristic; ignored by other kinds).
+    pub quant_rerank_window: Option<usize>,
     /// Maximum live sessions.
     pub max_sessions: usize,
     /// Idle TTL before a session may be reaped (`None` = never).
@@ -63,6 +67,7 @@ impl Default for ServiceConfig {
             num_shards: 4,
             num_workers: 4,
             shard_kind: ShardKind::Tree,
+            quant_rerank_window: None,
             max_sessions: 64,
             idle_ttl: None,
             evict_lru_at_capacity: true,
@@ -158,7 +163,12 @@ impl Service {
     /// Panics on an empty corpus, ragged dimensionalities, or zero
     /// shards/sessions.
     pub fn new(points: &[Vec<f64>], config: ServiceConfig) -> Result<Self, ServiceError> {
-        let corpus = ShardedCorpus::build(points, config.num_shards, config.shard_kind);
+        let corpus = ShardedCorpus::build_with_window(
+            points,
+            config.num_shards,
+            config.shard_kind,
+            config.quant_rerank_window,
+        );
         let executor = Executor::with_config(ExecutorConfig {
             num_workers: config.num_workers,
             max_queued_jobs: config.max_queued_jobs,
@@ -647,6 +657,12 @@ impl Service {
         }
         self.metrics
             .record_cache(stats.cache_hits, stats.disk_reads);
+        self.metrics.record_quant(
+            stats.quant_phase1_points,
+            stats.quant_reranked,
+            stats.quant_fallbacks,
+            stats.quant_plan_misses,
+        );
         let elapsed = start.elapsed();
         self.metrics.query_latency.record(elapsed);
         self.metrics.query_hist.record(elapsed);
@@ -943,6 +959,53 @@ mod tests {
         assert_eq!(stats.query.count, 2);
         assert_eq!(stats.feed.count, 1);
         assert!(stats.cache_hit_ratio > 0.0);
+    }
+
+    #[test]
+    fn quantized_service_matches_exact_and_reports_gauges() {
+        let points = two_blob_corpus(40);
+        let exact = Service::new(
+            &points,
+            ServiceConfig {
+                num_shards: 3,
+                num_workers: 2,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let quant = Service::new(
+            &points,
+            ServiceConfig {
+                num_shards: 3,
+                num_workers: 2,
+                shard_kind: crate::shard::ShardKind::Quantized,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+
+        let e = exact.create_session().unwrap();
+        let q = quant.create_session().unwrap();
+
+        // Initial vector query and a refined disjunctive round must both be
+        // bit-for-bit identical to the exact service.
+        let ve = exact.query_vector(e, vec![0.4, 0.1], 9).unwrap();
+        let vq = quant.query_vector(q, vec![0.4, 0.1], 9).unwrap();
+        assert_eq!(ve.neighbors, vq.neighbors);
+
+        let marked: Vec<usize> = ve.neighbors.iter().take(5).map(|n| n.id).collect();
+        exact.feed_ids(e, &marked, None).unwrap();
+        quant.feed_ids(q, &marked, None).unwrap();
+        let re = exact.query(e, 9).unwrap();
+        let rq = quant.query(q, 9).unwrap();
+        assert_eq!(re.neighbors, rq.neighbors);
+
+        let stats = quant.stats();
+        assert!(stats.quant.phase1_points > 0, "phase 1 should have run");
+        assert!(stats.quant.reranked > 0, "phase 2 should have reranked");
+        assert_eq!(stats.quant.plan_misses, 0, "diagonal queries plan cleanly");
+        let exact_stats = exact.stats();
+        assert_eq!(exact_stats.quant.phase1_points, 0);
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! division. Contiguity also means the shards together are exactly the
 //! corpus — the merged per-shard top-k equals the global top-k.
 
-use qcluster_index::{HybridTree, LinearScan, Neighbor, NodeCache, QueryDistance, SearchStats};
+use qcluster_index::{
+    HybridTree, LinearScan, Neighbor, NodeCache, QuantizedScan, QueryDistance, SearchStats,
+};
 use std::sync::Arc;
 
 /// Which index structure backs each shard.
@@ -21,12 +23,19 @@ pub enum ShardKind {
     /// node-granular cache accounting (the multipoint approach).
     #[default]
     Tree,
+    /// Two-phase quantized scan: phase 1 bounds every point from its u8
+    /// codes, phase 2 exactly reranks the surviving window — results
+    /// bit-for-bit equal to [`ShardKind::Scan`], at a fraction of the
+    /// memory bandwidth. Falls back to the exact scan whenever the
+    /// query cannot be soundly bounded.
+    Quantized,
 }
 
 #[derive(Debug)]
 enum ShardIndex {
     Scan(LinearScan),
     Tree(HybridTree),
+    Quantized(QuantizedScan),
 }
 
 /// One corpus partition: an index over a contiguous slice of the points.
@@ -35,15 +44,28 @@ pub struct Shard {
     index: ShardIndex,
     /// Global id of this shard's first point.
     base: usize,
+    /// Phase-2 rerank window override for quantized shards (`None` =
+    /// `qcluster_index::default_rerank_window`).
+    rerank_window: Option<usize>,
 }
 
 impl Shard {
-    fn build(points: &[Vec<f64>], base: usize, kind: ShardKind) -> Self {
+    fn build(
+        points: &[Vec<f64>],
+        base: usize,
+        kind: ShardKind,
+        rerank_window: Option<usize>,
+    ) -> Self {
         let index = match kind {
             ShardKind::Scan => ShardIndex::Scan(LinearScan::new(points)),
             ShardKind::Tree => ShardIndex::Tree(HybridTree::bulk_load(points)),
+            ShardKind::Quantized => ShardIndex::Quantized(QuantizedScan::from_rows(points)),
         };
-        Shard { index, base }
+        Shard {
+            index,
+            base,
+            rerank_window,
+        }
     }
 
     /// Number of points in this shard.
@@ -51,6 +73,7 @@ impl Shard {
         match &self.index {
             ShardIndex::Scan(s) => s.len(),
             ShardIndex::Tree(t) => t.len(),
+            ShardIndex::Quantized(q) => q.len(),
         }
     }
 
@@ -68,7 +91,7 @@ impl Shard {
     /// count, or a single slot for a scan shard (one sequential read).
     pub fn num_nodes(&self) -> usize {
         match &self.index {
-            ShardIndex::Scan(_) => 1,
+            ShardIndex::Scan(_) | ShardIndex::Quantized(_) => 1,
             ShardIndex::Tree(t) => t.num_nodes(),
         }
     }
@@ -88,6 +111,7 @@ impl Shard {
         let (mut neighbors, stats) = match &self.index {
             ShardIndex::Scan(s) => scan_top_k(s, query, k, cache),
             ShardIndex::Tree(t) => t.knn(&query, k, cache),
+            ShardIndex::Quantized(q) => quantized_top_k(q, query, k, self.rerank_window, cache),
         };
         for n in &mut neighbors {
             n.id += self.base;
@@ -121,6 +145,38 @@ fn scan_top_k<Q: QueryDistance + ?Sized>(
     (neighbors, stats)
 }
 
+/// Two-phase top-k over a quantized shard. Cache accounting matches
+/// [`scan_top_k`] (one sequential "node"); the quantization counters
+/// record how much exact-distance work phase 1 saved.
+fn quantized_top_k<Q: QueryDistance + ?Sized>(
+    scan: &QuantizedScan,
+    query: &Q,
+    k: usize,
+    window: Option<usize>,
+    cache: Option<&mut NodeCache>,
+) -> (Vec<Neighbor>, SearchStats) {
+    let mut stats = SearchStats {
+        nodes_accessed: 1,
+        ..SearchStats::default()
+    };
+    let hit = cache.is_some_and(|c| c.access(0));
+    if hit {
+        stats.cache_hits = 1;
+    }
+    stats.disk_reads = stats.nodes_accessed - stats.cache_hits;
+    let (neighbors, q) = scan.two_phase_knn(query, k, window);
+    // Exact f64 distance evaluations actually performed: the reranked
+    // window, plus full scans when the plan was unusable (miss) or its
+    // candidate set failed certification (fallback rescan).
+    stats.distance_evaluations =
+        q.reranked + (q.fallback_rescans + q.plan_misses) * scan.len() as u64;
+    stats.quant_phase1_points = q.phase1_points;
+    stats.quant_reranked = q.reranked;
+    stats.quant_fallbacks = q.fallback_rescans;
+    stats.quant_plan_misses = q.plan_misses;
+    (neighbors, stats)
+}
+
 /// The corpus split into contiguous shards behind [`Arc`]s, ready to be
 /// fanned out across the executor's workers.
 #[derive(Debug, Clone)]
@@ -145,6 +201,22 @@ impl ShardedCorpus {
     /// Panics on an empty corpus, `num_shards == 0`, or ragged
     /// dimensionalities.
     pub fn build(points: &[Vec<f64>], num_shards: usize, kind: ShardKind) -> Self {
+        Self::build_with_window(points, num_shards, kind, None)
+    }
+
+    /// [`ShardedCorpus::build`] with an explicit phase-2 rerank window
+    /// for [`ShardKind::Quantized`] shards (`None` = the
+    /// `default_rerank_window` heuristic; ignored by other kinds).
+    ///
+    /// # Panics
+    ///
+    /// See [`ShardedCorpus::build`].
+    pub fn build_with_window(
+        points: &[Vec<f64>],
+        num_shards: usize,
+        kind: ShardKind,
+        rerank_window: Option<usize>,
+    ) -> Self {
         assert!(!points.is_empty(), "cannot shard an empty corpus");
         assert!(num_shards > 0, "need at least one shard");
         let dim = points[0].len();
@@ -156,7 +228,7 @@ impl ShardedCorpus {
         let shards = points
             .chunks(chunk)
             .enumerate()
-            .map(|(i, slice)| Arc::new(Shard::build(slice, i * chunk, kind)))
+            .map(|(i, slice)| Arc::new(Shard::build(slice, i * chunk, kind, rerank_window)))
             .collect();
         let mut data = Vec::with_capacity(points.len() * dim);
         for p in points {
@@ -221,11 +293,11 @@ mod tests {
     }
 
     #[test]
-    fn sharded_knn_matches_global_scan_for_both_kinds() {
+    fn sharded_knn_matches_global_scan_for_all_kinds() {
         let pts = ring(97);
         let q = EuclideanQuery::new(vec![0.4, -0.3]);
         let expect = LinearScan::new(&pts).knn(&q, 12);
-        for kind in [ShardKind::Scan, ShardKind::Tree] {
+        for kind in [ShardKind::Scan, ShardKind::Tree, ShardKind::Quantized] {
             let corpus = ShardedCorpus::build(&pts, 5, kind);
             let per_shard: Vec<Vec<Neighbor>> = corpus
                 .shards()
@@ -272,6 +344,28 @@ mod tests {
         let (_, s2) = shard.knn(&q, 3, Some(&mut cache));
         assert_eq!(s2.cache_hits, 1);
         assert_eq!(s2.disk_reads, 0);
+    }
+
+    #[test]
+    fn quantized_shard_is_bit_for_bit_exact_and_counts_phases() {
+        let pts = ring(200);
+        let q = EuclideanQuery::new(vec![0.4, -0.3]);
+        let exact = ShardedCorpus::build(&pts, 1, ShardKind::Scan);
+        let quant = ShardedCorpus::build(&pts, 1, ShardKind::Quantized);
+        let (want, _) = exact.shards()[0].knn(&q, 9, None);
+        let (got, stats) = quant.shards()[0].knn(&q, 9, None);
+        assert_eq!(got, want, "two-phase results must be bit-for-bit exact");
+        assert_eq!(stats.quant_plan_misses, 0);
+        assert_eq!(stats.quant_phase1_points, 200);
+        assert!(stats.quant_reranked >= 9);
+        assert!(
+            stats.distance_evaluations < 200,
+            "phase 1 must prune exact work"
+        );
+        // An explicit window ≥ n degenerates to rerank-everything, still
+        // exact.
+        let wide = ShardedCorpus::build_with_window(&pts, 1, ShardKind::Quantized, Some(500));
+        assert_eq!(wide.shards()[0].knn(&q, 9, None).0, want);
     }
 
     #[test]

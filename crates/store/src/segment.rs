@@ -1,35 +1,57 @@
 //! The append-only binary segment format for vector corpora.
 //!
-//! A segment is an immutable run of fixed-width `f64` records:
+//! **Format v2** is columnar and tile-native: the exact values are laid
+//! out as the 8-point transposed tiles the scan kernels consume (see
+//! `qcluster_linalg::vecops::transpose_tile`), with a u8
+//! scalar-quantized sibling column and the per-dimension quantization
+//! parameters persisted alongside. Loading a v2 segment hands the scan
+//! its working memory layout directly — no transpose, no re-fit, no
+//! per-record allocation:
 //!
 //! ```text
 //! ┌────────────────────── header (16 B) ──────────────────────┐
-//! │ magic "QSEG" │ version u32 │ dim u32 │ reserved u32 (= 0) │
-//! ├────────────────────── records ────────────────────────────┤
-//! │ count × dim × f64, little-endian, bit-exact               │
+//! │ magic "QSEG" │ version u32 (= 2) │ dim u32 │ reserved u32  │
+//! ├──────────────────── params (dim × 24 B) ──────────────────┤
+//! │ per dimension: min f64 │ delta f64 │ max_err f64           │
+//! ├──────────────── exact column (ntiles × dim × 64 B) ───────┤
+//! │ tile-major f64: tile t, dim j, lane l at (t·dim + j)·8 + l │
+//! │ (final tile zero-padded past `count`)                      │
+//! ├──────────────── code column (ntiles × dim × 8 B) ─────────┤
+//! │ same tile-major shape, one u8 code per value               │
 //! ├────────────────────── footer (20 B) ──────────────────────┤
-//! │ count u64 │ dim u32 │ CRC-32 of records │ magic "SEGF"    │
+//! │ count u64 │ dim u32 │ CRC-32 of params+exact+codes │ "SEGF"│
 //! └───────────────────────────────────────────────────────────┘
 //! ```
+//!
+//! **Format v1** (row-major `count × dim × f64` records, CRC over the
+//! records) is still read transparently; [`crate::VectorStore`]
+//! migrates v1 files to v2 during compaction.
 //!
 //! Writers stage into a `.tmp` sibling and atomically rename on
 //! [`SegmentWriter::finish`], so a crash mid-write never leaves a
 //! half-segment under the real name. [`SegmentReader::open`] validates
-//! the header, footer, file length, and record CRC before returning;
-//! reads after that are paged so a 50k-vector corpus never has to be
-//! resident twice.
+//! the header, footer, file length, and column CRC before returning.
 
 use crate::codec::{read_exact_or_eof, Crc32};
 use crate::error::{Result, StoreError};
+use qcluster_index::QuantParams;
+use qcluster_linalg::vecops::TILE_LANES;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"QSEG";
 const FOOTER_MAGIC: &[u8; 4] = b"SEGF";
-const VERSION: u32 = 1;
+/// Row-major f64 records; no quantized column.
+pub const VERSION_V1: u32 = 1;
+/// Tile-native columnar with u8 code sibling column.
+pub const VERSION_V2: u32 = 2;
 const HEADER_LEN: u64 = 16;
 const FOOTER_LEN: u64 = 20;
+/// Bytes per dimension in the v2 params block (min, delta, max_err).
+const PARAM_ENTRY_LEN: u64 = 24;
+/// Streaming I/O chunk for CRC validation and bulk reads.
+const IO_CHUNK: usize = 64 * 1024;
 
 /// Default records per [`SegmentReader`] page.
 pub const DEFAULT_PAGE_RECORDS: usize = 1024;
@@ -45,7 +67,12 @@ pub(crate) fn sync_parent_dir(path: &Path) {
     }
 }
 
-/// Streaming writer producing one segment file.
+/// Buffered writer sealing one v2 segment file.
+///
+/// Appends scatter straight into the tile-major staging column (no
+/// intermediate row buffer); [`SegmentWriter::finish`] fits the
+/// quantization parameters over the staged tiles, derives the code
+/// column, and writes the whole file in one streaming pass.
 #[derive(Debug)]
 pub struct SegmentWriter {
     file: BufWriter<File>,
@@ -53,7 +80,8 @@ pub struct SegmentWriter {
     final_path: PathBuf,
     dim: usize,
     count: u64,
-    crc: Crc32,
+    /// Tile-major exact staging: grows one zeroed tile per 8 appends.
+    tiles: Vec<f64>,
 }
 
 impl SegmentWriter {
@@ -71,18 +99,14 @@ impl SegmentWriter {
         let mut tmp_path = path.as_os_str().to_owned();
         tmp_path.push(".tmp");
         let tmp_path = PathBuf::from(tmp_path);
-        let mut file = BufWriter::new(File::create(&tmp_path)?);
-        file.write_all(MAGIC)?;
-        file.write_all(&VERSION.to_le_bytes())?;
-        file.write_all(&u32::try_from(dim).expect("dim fits u32").to_le_bytes())?;
-        file.write_all(&0u32.to_le_bytes())?;
+        let file = BufWriter::new(File::create(&tmp_path)?);
         Ok(SegmentWriter {
             file,
             tmp_path,
             final_path: path.to_path_buf(),
             dim,
             count: 0,
-            crc: Crc32::new(),
+            tiles: Vec::new(),
         })
     }
 
@@ -91,11 +115,12 @@ impl SegmentWriter {
         self.count
     }
 
-    /// Appends one vector.
+    /// Appends one vector: a single length check, then a column-major
+    /// scatter into the staging tile.
     ///
     /// # Errors
     ///
-    /// `InvalidArg` on dimensionality mismatch, otherwise I/O failures.
+    /// `InvalidArg` on dimensionality mismatch.
     pub fn append(&mut self, vector: &[f64]) -> Result<()> {
         if vector.len() != self.dim {
             return Err(StoreError::InvalidArg(format!(
@@ -104,27 +129,68 @@ impl SegmentWriter {
                 self.dim
             )));
         }
-        for &v in vector {
-            let bytes = v.to_le_bytes();
-            self.file.write_all(&bytes)?;
-            self.crc.update(&bytes);
+        let lane = (self.count as usize) % TILE_LANES;
+        if lane == 0 {
+            self.tiles
+                .resize(self.tiles.len() + self.dim * TILE_LANES, 0.0);
+        }
+        let base = self.tiles.len() - self.dim * TILE_LANES;
+        for (j, &v) in vector.iter().enumerate() {
+            self.tiles[base + j * TILE_LANES + lane] = v;
         }
         self.count += 1;
         Ok(())
     }
 
-    /// Writes the footer, fsyncs, and atomically renames the staged file
-    /// into place. Returns the record count.
+    /// Fits quantization parameters, writes header + params + exact
+    /// tiles + codes + footer, fsyncs, and atomically renames the
+    /// staged file into place. Returns the record count.
     ///
     /// # Errors
     ///
     /// I/O failures; the staged `.tmp` file is left behind for debugging
     /// on failure (and ignored by [`SegmentReader`] and the store).
     pub fn finish(mut self) -> Result<u64> {
+        let params = QuantParams::fit_tiles(&self.tiles, self.dim, self.count as usize);
+        let mut codes = vec![0u8; self.tiles.len()];
+        params.encode_tiles(&self.tiles, &mut codes);
+
+        self.file.write_all(MAGIC)?;
+        self.file.write_all(&VERSION_V2.to_le_bytes())?;
+        let dim32 = u32::try_from(self.dim).expect("dim fits u32");
+        self.file.write_all(&dim32.to_le_bytes())?;
+        self.file.write_all(&0u32.to_le_bytes())?;
+
+        let mut crc = Crc32::new();
+        let mut buf = Vec::with_capacity(IO_CHUNK + 24);
+        for j in 0..self.dim {
+            buf.extend_from_slice(&params.min()[j].to_le_bytes());
+            buf.extend_from_slice(&params.delta()[j].to_le_bytes());
+            buf.extend_from_slice(&params.max_err()[j].to_le_bytes());
+            if buf.len() >= IO_CHUNK {
+                crc.update(&buf);
+                self.file.write_all(&buf)?;
+                buf.clear();
+            }
+        }
+        for &v in &self.tiles {
+            buf.extend_from_slice(&v.to_le_bytes());
+            if buf.len() >= IO_CHUNK {
+                crc.update(&buf);
+                self.file.write_all(&buf)?;
+                buf.clear();
+            }
+        }
+        if !buf.is_empty() {
+            crc.update(&buf);
+            self.file.write_all(&buf)?;
+        }
+        crc.update(&codes);
+        self.file.write_all(&codes)?;
+
         self.file.write_all(&self.count.to_le_bytes())?;
-        self.file
-            .write_all(&u32::try_from(self.dim).expect("dim fits u32").to_le_bytes())?;
-        self.file.write_all(&self.crc.finish().to_le_bytes())?;
+        self.file.write_all(&dim32.to_le_bytes())?;
+        self.file.write_all(&crc.finish().to_le_bytes())?;
         self.file.write_all(FOOTER_MAGIC)?;
         self.file.flush()?;
         // Failpoint `segment.finish`: fail the seal before the staged
@@ -140,7 +206,7 @@ impl SegmentWriter {
     }
 }
 
-/// Writes `vectors` as one segment file in a single call.
+/// Writes `vectors` as one (v2) segment file in a single call.
 ///
 /// # Errors
 ///
@@ -153,19 +219,22 @@ pub fn write_segment(path: &Path, dim: usize, vectors: &[Vec<f64>]) -> Result<u6
     writer.finish()
 }
 
-/// Validating, paged reader over one segment file.
+/// Validating, paged reader over one segment file (v1 or v2).
 #[derive(Debug)]
 pub struct SegmentReader {
     file: File,
     path: PathBuf,
+    version: u32,
     dim: usize,
     count: u64,
     page_records: usize,
+    /// Quantization parameters (v2 only).
+    params: Option<QuantParams>,
 }
 
 impl SegmentReader {
     /// Opens and fully validates a segment: magic, version, length
-    /// arithmetic, header/footer dim agreement, and the record CRC
+    /// arithmetic, header/footer dim agreement, and the column CRC
     /// (one streaming pass).
     ///
     /// # Errors
@@ -203,10 +272,10 @@ impl SegmentReader {
             return Err(StoreError::corrupt(path, "bad segment magic"));
         }
         let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
-        if version != VERSION {
+        if version != VERSION_V1 && version != VERSION_V2 {
             return Err(StoreError::corrupt(
                 path,
-                format!("unsupported segment version {version} (expected {VERSION})"),
+                format!("unsupported segment version {version}"),
             ));
         }
         let dim = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
@@ -229,22 +298,33 @@ impl SegmentReader {
                 format!("header dim {dim} disagrees with footer dim {footer_dim}"),
             ));
         }
-        let record_bytes = count
-            .checked_mul(dim as u64)
-            .and_then(|n| n.checked_mul(8))
-            .ok_or_else(|| StoreError::corrupt(path, "record byte count overflows"))?;
-        if file_len != HEADER_LEN + record_bytes + FOOTER_LEN {
+        let body_bytes = match version {
+            VERSION_V1 => count
+                .checked_mul(dim as u64)
+                .and_then(|n| n.checked_mul(8))
+                .ok_or_else(|| StoreError::corrupt(path, "record byte count overflows"))?,
+            _ => {
+                let ntiles = count.div_ceil(TILE_LANES as u64);
+                ntiles
+                    .checked_mul(dim as u64)
+                    .and_then(|n| n.checked_mul(TILE_LANES as u64 * 9)) // 8B exact + 1B code
+                    .and_then(|n| n.checked_add(dim as u64 * PARAM_ENTRY_LEN))
+                    .ok_or_else(|| StoreError::corrupt(path, "column byte count overflows"))?
+            }
+        };
+        if file_len != HEADER_LEN + body_bytes + FOOTER_LEN {
             return Err(StoreError::corrupt(
                 path,
                 format!("file length {file_len} inconsistent with {count} records of dim {dim}"),
             ));
         }
 
-        // Streaming CRC pass over the records.
+        // Streaming CRC pass over the body (v1: records; v2: params +
+        // exact + codes).
         reader.seek(SeekFrom::Start(HEADER_LEN))?;
         let mut crc = Crc32::new();
-        let mut remaining = record_bytes;
-        let mut chunk = [0u8; 64 * 1024];
+        let mut remaining = body_bytes;
+        let mut chunk = [0u8; IO_CHUNK];
         while remaining > 0 {
             let take = remaining.min(chunk.len() as u64) as usize;
             reader.read_exact(&mut chunk[..take])?;
@@ -252,16 +332,44 @@ impl SegmentReader {
             remaining -= take as u64;
         }
         if crc.finish() != stored_crc {
-            return Err(StoreError::corrupt(path, "record CRC mismatch"));
+            return Err(StoreError::corrupt(path, "segment CRC mismatch"));
         }
+
+        let params = if version == VERSION_V2 {
+            reader.seek(SeekFrom::Start(HEADER_LEN))?;
+            let mut entry = [0u8; PARAM_ENTRY_LEN as usize];
+            let mut min = Vec::with_capacity(dim);
+            let mut delta = Vec::with_capacity(dim);
+            let mut max_err = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                reader.read_exact(&mut entry)?;
+                min.push(f64::from_le_bytes(entry[0..8].try_into().expect("8 bytes")));
+                delta.push(f64::from_le_bytes(
+                    entry[8..16].try_into().expect("8 bytes"),
+                ));
+                max_err.push(f64::from_le_bytes(
+                    entry[16..24].try_into().expect("8 bytes"),
+                ));
+            }
+            Some(QuantParams::from_parts(min, delta, max_err))
+        } else {
+            None
+        };
 
         Ok(SegmentReader {
             file,
             path: path.to_path_buf(),
+            version,
             dim,
             count,
             page_records,
+            params,
         })
+    }
+
+    /// Segment format version ([`VERSION_V1`] or [`VERSION_V2`]).
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// Record dimensionality.
@@ -274,18 +382,38 @@ impl SegmentReader {
         self.count
     }
 
+    /// Quantization parameters (`None` for a v1 segment).
+    pub fn quant_params(&self) -> Option<&QuantParams> {
+        self.params.as_ref()
+    }
+
     /// Number of pages ([`Self::page`] accepts `0..num_pages()`).
     pub fn num_pages(&self) -> usize {
         (self.count as usize).div_ceil(self.page_records)
     }
 
-    /// Reads one page of records (the final page may be short).
-    ///
-    /// # Errors
-    ///
-    /// `InvalidArg` for an out-of-range page, `Corrupt` on a short read
-    /// (the file shrank after open), or I/O failures.
-    pub fn page(&mut self, page: usize) -> Result<Vec<Vec<f64>>> {
+    /// Offset of the exact column (v1: records; v2: tiles).
+    fn exact_offset(&self) -> u64 {
+        match self.version {
+            VERSION_V1 => HEADER_LEN,
+            _ => HEADER_LEN + self.dim as u64 * PARAM_ENTRY_LEN,
+        }
+    }
+
+    /// Reads `bytes` from `offset` into `buf` (resized to fit),
+    /// translating a short read into `Corrupt`.
+    fn read_span(&mut self, offset: u64, bytes: usize, buf: &mut Vec<u8>) -> Result<()> {
+        buf.resize(bytes, 0);
+        self.file.seek(SeekFrom::Start(offset))?;
+        let mut reader = BufReader::new(&self.file);
+        if !read_exact_or_eof(&mut reader, buf)? {
+            return Err(StoreError::corrupt(&self.path, "segment shrank after open"));
+        }
+        Ok(())
+    }
+
+    /// Appends one page of records, row-major, onto `out`.
+    fn append_page_flat(&mut self, page: usize, out: &mut Vec<f64>) -> Result<usize> {
         if page >= self.num_pages() {
             return Err(StoreError::InvalidArg(format!(
                 "page {page} out of range ({} pages)",
@@ -294,23 +422,79 @@ impl SegmentReader {
         }
         let start = page * self.page_records;
         let len = self.page_records.min(self.count as usize - start);
-        let offset = HEADER_LEN + (start as u64) * (self.dim as u64) * 8;
-        self.file.seek(SeekFrom::Start(offset))?;
-        let mut reader = BufReader::new(&self.file);
-        let mut out = Vec::with_capacity(len);
-        let mut record = vec![0u8; self.dim * 8];
-        for _ in 0..len {
-            if !read_exact_or_eof(&mut reader, &mut record)? {
-                return Err(StoreError::corrupt(&self.path, "segment shrank after open"));
+        out.reserve(len * self.dim);
+        let mut buf = Vec::new();
+        match self.version {
+            VERSION_V1 => {
+                let offset = self.exact_offset() + (start as u64) * (self.dim as u64) * 8;
+                self.read_span(offset, len * self.dim * 8, &mut buf)?;
+                out.extend(
+                    buf.chunks_exact(8)
+                        .map(|b| f64::from_le_bytes(b.try_into().expect("8 bytes"))),
+                );
             }
-            out.push(
-                record
-                    .chunks_exact(8)
-                    .map(|b| f64::from_le_bytes(b.try_into().expect("8 bytes")))
-                    .collect(),
-            );
+            _ => {
+                // Read the covering tile range once, then gather each
+                // record's strided lane.
+                let t0 = start / TILE_LANES;
+                let t1 = (start + len - 1) / TILE_LANES;
+                let tile_f64 = self.dim * TILE_LANES;
+                let offset = self.exact_offset() + (t0 * tile_f64 * 8) as u64;
+                self.read_span(offset, (t1 - t0 + 1) * tile_f64 * 8, &mut buf)?;
+                let word = |idx: usize| {
+                    f64::from_le_bytes(buf[idx * 8..idx * 8 + 8].try_into().expect("8 bytes"))
+                };
+                for r in start..start + len {
+                    let (t, l) = (r / TILE_LANES - t0, r % TILE_LANES);
+                    for j in 0..self.dim {
+                        out.push(word(t * tile_f64 + j * TILE_LANES + l));
+                    }
+                }
+            }
+        }
+        Ok(len)
+    }
+
+    /// Reads one page of records, row-major, into the reusable `out`
+    /// buffer (cleared first). Returns the record count — the flat
+    /// sibling of [`SegmentReader::page`] with zero per-record
+    /// allocations.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidArg` for an out-of-range page, `Corrupt` on a short read
+    /// (the file shrank after open), or I/O failures.
+    pub fn read_page_flat(&mut self, page: usize, out: &mut Vec<f64>) -> Result<usize> {
+        out.clear();
+        self.append_page_flat(page, out)
+    }
+
+    /// Reads every record into one flat row-major buffer — ready for
+    /// `LinearScan::from_flat` without further copying.
+    ///
+    /// # Errors
+    ///
+    /// See [`SegmentReader::read_page_flat`].
+    pub fn read_all_flat(&mut self) -> Result<Vec<f64>> {
+        let mut out = Vec::with_capacity(self.count as usize * self.dim);
+        for page in 0..self.num_pages() {
+            self.append_page_flat(page, &mut out)?;
         }
         Ok(out)
+    }
+
+    /// Reads one page of records (the final page may be short).
+    ///
+    /// Prefer [`SegmentReader::read_page_flat`] in hot paths — this
+    /// convenience form allocates one `Vec` per record.
+    ///
+    /// # Errors
+    ///
+    /// See [`SegmentReader::read_page_flat`].
+    pub fn page(&mut self, page: usize) -> Result<Vec<Vec<f64>>> {
+        let mut flat = Vec::new();
+        self.append_page_flat(page, &mut flat)?;
+        Ok(flat.chunks_exact(self.dim).map(<[f64]>::to_vec).collect())
     }
 
     /// Reads every record, page by page.
@@ -319,17 +503,69 @@ impl SegmentReader {
     ///
     /// See [`SegmentReader::page`].
     pub fn read_all(&mut self) -> Result<Vec<Vec<f64>>> {
-        let mut out = Vec::with_capacity(self.count as usize);
-        for page in 0..self.num_pages() {
-            out.extend(self.page(page)?);
-        }
-        Ok(out)
+        let flat = self.read_all_flat()?;
+        Ok(flat.chunks_exact(self.dim).map(<[f64]>::to_vec).collect())
     }
+
+    /// Loads the v2 columns verbatim: the tile-major exact column, the
+    /// tile-major code column, and the quantization parameters — the
+    /// zero-transpose path into `qcluster_index::QuantizedScan::from_parts`.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidArg` for a v1 segment (no quantized column — re-encode
+    /// via compaction), `Corrupt` on a short read, or I/O failures.
+    pub fn load_quantized(&mut self) -> Result<(Vec<f64>, Vec<u8>, QuantParams)> {
+        let Some(params) = self.params.clone() else {
+            return Err(StoreError::InvalidArg(format!(
+                "segment version {} has no quantized column",
+                self.version
+            )));
+        };
+        let ntiles = (self.count as usize).div_ceil(TILE_LANES);
+        let tile_f64 = self.dim * TILE_LANES;
+        let mut buf = Vec::new();
+        self.read_span(self.exact_offset(), ntiles * tile_f64 * 8, &mut buf)?;
+        let tiles: Vec<f64> = buf
+            .chunks_exact(8)
+            .map(|b| f64::from_le_bytes(b.try_into().expect("8 bytes")))
+            .collect();
+        let codes_off = self.exact_offset() + (ntiles * tile_f64 * 8) as u64;
+        let mut codes = Vec::new();
+        self.read_span(codes_off, ntiles * tile_f64, &mut codes)?;
+        Ok((tiles, codes, params))
+    }
+}
+
+/// Writes a v1 (row-major records) segment byte-for-byte, as
+/// pre-migration stores left them on disk. Test fixture only.
+#[cfg(test)]
+pub(crate) fn write_segment_v1(path: &Path, dim: usize, vectors: &[Vec<f64>]) {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(MAGIC);
+    bytes.extend_from_slice(&VERSION_V1.to_le_bytes());
+    bytes.extend_from_slice(&(dim as u32).to_le_bytes());
+    bytes.extend_from_slice(&0u32.to_le_bytes());
+    let mut crc = Crc32::new();
+    for v in vectors {
+        assert_eq!(v.len(), dim);
+        for &x in v {
+            let b = x.to_le_bytes();
+            crc.update(&b);
+            bytes.extend_from_slice(&b);
+        }
+    }
+    bytes.extend_from_slice(&(vectors.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&(dim as u32).to_le_bytes());
+    bytes.extend_from_slice(&crc.finish().to_le_bytes());
+    bytes.extend_from_slice(FOOTER_MAGIC);
+    std::fs::write(path, bytes).unwrap();
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qcluster_index::QuantizedScan;
 
     fn tmp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("qstore_segment_{tag}_{}", std::process::id()));
@@ -354,6 +590,7 @@ mod tests {
         let vecs = vectors(2500, 7); // spans multiple default pages
         write_segment(&path, 7, &vecs).unwrap();
         let mut reader = SegmentReader::open(&path).unwrap();
+        assert_eq!(reader.version(), VERSION_V2);
         assert_eq!(reader.dim(), 7);
         assert_eq!(reader.count(), 2500);
         let back = reader.read_all().unwrap();
@@ -382,6 +619,66 @@ mod tests {
     }
 
     #[test]
+    fn flat_page_reads_match_the_convenience_form() {
+        let dir = tmp_dir("flatpages");
+        let path = dir.join("seg.qseg");
+        let vecs = vectors(29, 5); // non-tile-aligned pages and tail
+        write_segment(&path, 5, &vecs).unwrap();
+        let mut reader = SegmentReader::open_with_page_size(&path, 6).unwrap();
+        let mut flat = Vec::new();
+        for page in 0..reader.num_pages() {
+            let n = reader.read_page_flat(page, &mut flat).unwrap();
+            let rows = reader.page(page).unwrap();
+            assert_eq!(n, rows.len());
+            let want: Vec<f64> = rows.into_iter().flatten().collect();
+            assert_eq!(flat, want, "page {page}");
+        }
+        let all = reader.read_all_flat().unwrap();
+        let want: Vec<f64> = vecs.iter().flatten().copied().collect();
+        assert_eq!(all, want);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quantized_columns_round_trip_to_an_identical_scan() {
+        let dir = tmp_dir("quant");
+        let path = dir.join("seg.qseg");
+        let vecs = vectors(100, 4);
+        write_segment(&path, 4, &vecs).unwrap();
+        let mut reader = SegmentReader::open(&path).unwrap();
+        let (tiles, codes, params) = reader.load_quantized().unwrap();
+        // The persisted columns must match an in-memory build exactly.
+        let flat: Vec<f64> = vecs.iter().flatten().copied().collect();
+        let fresh = QuantizedScan::from_flat(&flat, 4);
+        assert_eq!(&tiles, fresh.corpus().tiles());
+        assert_eq!(&codes, fresh.codes());
+        assert_eq!(&params, fresh.params());
+        assert_eq!(reader.quant_params(), Some(&params));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v1_segments_still_open_and_read() {
+        let dir = tmp_dir("v1");
+        let path = dir.join("seg.qseg");
+        let vecs = vectors(10, 3);
+        write_segment_v1(&path, 3, &vecs);
+        let mut reader = SegmentReader::open_with_page_size(&path, 4).unwrap();
+        assert_eq!(reader.version(), VERSION_V1);
+        assert_eq!(reader.count(), 10);
+        assert!(reader.quant_params().is_none());
+        assert_eq!(reader.read_all().unwrap(), vecs);
+        let flat = reader.read_all_flat().unwrap();
+        let want: Vec<f64> = vecs.iter().flatten().copied().collect();
+        assert_eq!(flat, want);
+        assert!(matches!(
+            reader.load_quantized(),
+            Err(StoreError::InvalidArg(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn flipped_bit_is_detected_on_open() {
         let dir = tmp_dir("crc");
         let path = dir.join("seg.qseg");
@@ -389,6 +686,23 @@ mod tests {
         let mut bytes = std::fs::read(&path).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            SegmentReader::open(&path),
+            Err(StoreError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_code_column_is_detected_on_open() {
+        let dir = tmp_dir("codecrc");
+        let path = dir.join("seg.qseg");
+        write_segment(&path, 4, &vectors(64, 4)).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // The code column is the last body section before the footer.
+        let idx = bytes.len() - FOOTER_LEN as usize - 3;
+        bytes[idx] ^= 0x01;
         std::fs::write(&path, &bytes).unwrap();
         assert!(matches!(
             SegmentReader::open(&path),
@@ -431,6 +745,7 @@ mod tests {
         assert_eq!(reader.count(), 0);
         assert_eq!(reader.num_pages(), 0);
         assert!(reader.read_all().unwrap().is_empty());
+        assert!(reader.read_all_flat().unwrap().is_empty());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -23,7 +23,7 @@
 //! must outlive the fold: live session snapshots and a checkpoint.
 
 use crate::error::{Result, StoreError};
-use crate::segment::{write_segment, SegmentReader};
+use crate::segment::{write_segment, SegmentReader, VERSION_V2};
 use crate::wal::{replay, WalRecord, WalWriter};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -97,6 +97,8 @@ pub struct CompactionStats {
     pub segments: u64,
     /// Records in the rewritten WAL (session snapshots + checkpoint).
     pub wal_records: u64,
+    /// Legacy v1 segments rewritten to format v2 during this fold.
+    pub migrated_segments: u64,
 }
 
 /// The durable segment + WAL vector store.
@@ -107,6 +109,8 @@ pub struct VectorStore {
     dim: Option<usize>,
     /// Sealed segment paths in id order.
     segments: Vec<PathBuf>,
+    /// Format version per sealed segment (parallel to `segments`).
+    segment_versions: Vec<u32>,
     /// Total vectors across sealed segments.
     segment_vectors: u64,
     /// Vectors living only in the WAL (id order), kept resident so
@@ -151,6 +155,7 @@ impl VectorStore {
 
         let mut vectors: Vec<Vec<f64>> = Vec::new();
         let mut dim: Option<usize> = None;
+        let mut segment_versions = Vec::with_capacity(segments.len());
         for path in &segments {
             let mut reader = SegmentReader::open(path)?;
             match dim {
@@ -163,7 +168,9 @@ impl VectorStore {
                 }
                 Some(_) => {}
             }
-            vectors.extend(reader.read_all()?);
+            segment_versions.push(reader.version());
+            let flat = reader.read_all_flat()?;
+            vectors.extend(flat.chunks_exact(reader.dim()).map(<[f64]>::to_vec));
         }
         let segment_vectors = vectors.len() as u64;
 
@@ -241,6 +248,7 @@ impl VectorStore {
             config,
             dim,
             segments,
+            segment_versions,
             segment_vectors,
             wal_tail,
             sessions,
@@ -304,6 +312,7 @@ impl VectorStore {
         let path = self.next_segment_path();
         write_segment(&path, dim, points)?;
         self.segments.push(path);
+        self.segment_versions.push(VERSION_V2);
         self.segment_vectors = points.len() as u64;
         self.dim = Some(dim);
         Ok(())
@@ -390,8 +399,27 @@ impl VectorStore {
             let path = self.next_segment_path();
             write_segment(&path, dim, &self.wal_tail)?;
             self.segments.push(path);
+            self.segment_versions.push(VERSION_V2);
             self.segment_vectors += folded;
             self.wal_tail.clear();
+        }
+
+        // Migrate any legacy v1 segments to format v2 in place: read,
+        // re-seal (staged + atomic rename over the old file), same ids.
+        // Idempotent across crashes — an un-renamed `.tmp` is swept on
+        // the next open and the v1 original stays valid until then.
+        let mut migrated = 0u64;
+        for i in 0..self.segments.len() {
+            if self.segment_versions[i] != VERSION_V2 {
+                let path = self.segments[i].clone();
+                let mut reader = SegmentReader::open(&path)?;
+                let dim = reader.dim();
+                let flat = reader.read_all_flat()?;
+                let rows: Vec<Vec<f64>> = flat.chunks_exact(dim).map(<[f64]>::to_vec).collect();
+                write_segment(&path, dim, &rows)?;
+                self.segment_versions[i] = VERSION_V2;
+                migrated += 1;
+            }
         }
 
         // Failpoint `store.compact.crash`: abort in the crash window
@@ -431,6 +459,7 @@ impl VectorStore {
             folded_vectors: folded,
             segments: self.segments.len() as u64,
             wal_records: keep.len() as u64,
+            migrated_segments: migrated,
         })
     }
 
@@ -572,6 +601,34 @@ mod tests {
         assert_eq!(recovered.vectors.len(), 7, "WAL ingests not double-counted");
         assert_eq!(recovered.segment_vectors, 7);
         assert_eq!(store.stats().wal_vectors, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_migrates_v1_segments_to_v2() {
+        let dir = tmp_store("migrate");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A store left behind by a pre-v2 build: one legacy segment.
+        let legacy = vecs(10, 3, 0.0);
+        crate::segment::write_segment_v1(&dir.join("seg-000000.qseg"), 3, &legacy);
+        let (mut store, recovered) = VectorStore::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(recovered.vectors, legacy, "v1 still opens");
+        for v in vecs(3, 3, 90.0) {
+            store.ingest(v).unwrap();
+        }
+        let stats = store.compact().unwrap();
+        assert_eq!(stats.migrated_segments, 1);
+        assert_eq!(stats.segments, 2);
+        // Both segments are now v2 and the corpus is bitwise intact.
+        for (i, path) in [(0, "seg-000000.qseg"), (1, "seg-000001.qseg")] {
+            let reader = SegmentReader::open(&dir.join(path)).unwrap();
+            assert_eq!(reader.version(), VERSION_V2, "segment {i}");
+        }
+        let second = store.compact().unwrap();
+        assert_eq!(second.migrated_segments, 0, "migration is one-shot");
+        let (_, recovered) = VectorStore::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(recovered.vectors[..10].to_vec(), legacy);
+        assert_eq!(recovered.vectors.len(), 13);
         std::fs::remove_dir_all(&dir).ok();
     }
 
