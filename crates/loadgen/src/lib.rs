@@ -38,6 +38,6 @@ pub use fleet::{
     offline_baseline, run_soak, FleetPlan, IngestStream, IterationQuality, SessionPlan,
     SoakCounters, SoakOutcome, UserPlan,
 };
-pub use report::{soak_artifact_json, write_soak_artifact, SoakReport};
+pub use report::{soak_artifact_json, write_soak_artifact, LeaderKillReport, SoakReport};
 pub use rng::SeedRng;
 pub use target::{QueryReply, RouterBackend, SoakBackend, TcpBackend, UserTarget};

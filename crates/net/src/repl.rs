@@ -9,12 +9,14 @@
 //! strict decoder it uses at recovery, so the codec is a thin tagged
 //! envelope around them.
 //!
-//! | tag | request                    | reply                          |
-//! |-----|----------------------------|--------------------------------|
-//! | 1   | `Fetch { from, max }`      | `Chunk { total, frames }`      |
-//! | 2   | `Apply { frames }`         | `Applied { total, applied }`   |
-//! | 3   | `Status`                   | `Status { total, durable }`    |
-//! | 4   | —                          | `Err { msg }`                  |
+//! | tag | request                         | reply                               |
+//! |-----|---------------------------------|-------------------------------------|
+//! | 1   | `Fetch { from, max }`           | `Chunk { total, frames }`           |
+//! | 2   | `Apply { term, lease_ms, frames }` | `Applied { total, applied }`     |
+//! | 3   | `Status`                        | `Status { total, durable, term, leased }` |
+//! | 4   | `Vote { term, lease_ms }`       | `Err { msg }`                       |
+//! | 5   | —                               | `StaleTerm { current }`             |
+//! | 6   | —                               | `Vote { granted, term }`            |
 //!
 //! All integers are little-endian. Variable-length fields carry a
 //! `u32` length prefix. The envelope is versioned implicitly by the
@@ -44,13 +46,35 @@ pub enum ReplRequest {
     /// Ship WAL frames for the peer (a follower) to apply. `frames` is
     /// a concatenation of store WAL frames
     /// (`[len u32][crc u32][payload]` each), byte-identical to what a
-    /// local `WalWriter` would have produced.
+    /// local `WalWriter` would have produced. The ship is **fenced**:
+    /// it carries the leader's term and lease duration, and a follower
+    /// whose current term is higher rejects it with
+    /// [`ReplReply::StaleTerm`] instead of applying. An empty `frames`
+    /// is a pure fence probe / lease renewal. `term == 0` is the legacy
+    /// unfenced path (single-router bootstrap): always accepted.
     Apply {
+        /// The shipper's leadership term (0 = unfenced legacy ship).
+        term: u64,
+        /// Lease duration granted from the follower's receipt time, in
+        /// milliseconds (0 = no lease refresh).
+        lease_ms: u64,
         /// Concatenated WAL frame bytes.
         frames: Vec<u8>,
     },
     /// Ask the peer for its replication position.
     Status,
+    /// Ask the peer to vote for a candidate leader at `term`. Granted
+    /// iff `term` is higher than every term the peer has acknowledged
+    /// AND the peer holds no unexpired vote-lease for another term —
+    /// the lease is what stops two contending routers from both
+    /// winning the same nodes.
+    Vote {
+        /// The candidate's proposed term.
+        term: u64,
+        /// Vote-lease duration in milliseconds: how long the peer
+        /// refuses competing candidates after granting.
+        lease_ms: u64,
+    },
 }
 
 /// A replication reply, peer → requester.
@@ -81,11 +105,31 @@ pub enum ReplReply {
         /// Vectors durable on disk (equals `total` when the node runs
         /// a store; 0 when memory-only).
         durable: u64,
+        /// Highest term this node has acknowledged (0 = never fenced).
+        term: u64,
+        /// Whether the node currently holds an unexpired leader lease.
+        leased: bool,
     },
     /// The peer could not serve the request (gap, storage failure, …).
     Err {
         /// Human-readable reason.
         msg: String,
+    },
+    /// A fenced `Apply` was rejected: the shipper's term is stale. The
+    /// zombie leader (or losing router) must stop shipping and
+    /// re-discover the cluster's real leadership.
+    StaleTerm {
+        /// The term the rejecting node has acknowledged.
+        current: u64,
+    },
+    /// Outcome of a `Vote` request.
+    Vote {
+        /// Whether the vote was granted.
+        granted: bool,
+        /// The peer's current term after considering the request (the
+        /// candidate's term when granted; the higher conflicting term
+        /// when refused).
+        term: u64,
     },
 }
 
@@ -164,11 +208,22 @@ impl ReplRequest {
                 buf.extend_from_slice(&from.to_le_bytes());
                 buf.extend_from_slice(&max.to_le_bytes());
             }
-            ReplRequest::Apply { frames } => {
+            ReplRequest::Apply {
+                term,
+                lease_ms,
+                frames,
+            } => {
                 buf.push(2);
+                buf.extend_from_slice(&term.to_le_bytes());
+                buf.extend_from_slice(&lease_ms.to_le_bytes());
                 put_bytes(&mut buf, frames);
             }
             ReplRequest::Status => buf.push(3),
+            ReplRequest::Vote { term, lease_ms } => {
+                buf.push(4);
+                buf.extend_from_slice(&term.to_le_bytes());
+                buf.extend_from_slice(&lease_ms.to_le_bytes());
+            }
         }
         buf
     }
@@ -182,9 +237,15 @@ impl ReplRequest {
                 max: r.u32("fetch.max")?,
             },
             2 => ReplRequest::Apply {
+                term: r.u64("apply.term")?,
+                lease_ms: r.u64("apply.lease_ms")?,
                 frames: r.bytes_field("apply.frames")?.to_vec(),
             },
             3 => ReplRequest::Status,
+            4 => ReplRequest::Vote {
+                term: r.u64("vote.term")?,
+                lease_ms: r.u64("vote.lease_ms")?,
+            },
             tag => {
                 return Err(FrameError::Payload(format!(
                     "repl payload: unknown request tag {tag}"
@@ -211,14 +272,30 @@ impl ReplReply {
                 buf.extend_from_slice(&total.to_le_bytes());
                 buf.extend_from_slice(&applied.to_le_bytes());
             }
-            ReplReply::Status { total, durable } => {
+            ReplReply::Status {
+                total,
+                durable,
+                term,
+                leased,
+            } => {
                 buf.push(3);
                 buf.extend_from_slice(&total.to_le_bytes());
                 buf.extend_from_slice(&durable.to_le_bytes());
+                buf.extend_from_slice(&term.to_le_bytes());
+                buf.push(u8::from(*leased));
             }
             ReplReply::Err { msg } => {
                 buf.push(4);
                 put_bytes(&mut buf, msg.as_bytes());
+            }
+            ReplReply::StaleTerm { current } => {
+                buf.push(5);
+                buf.extend_from_slice(&current.to_le_bytes());
+            }
+            ReplReply::Vote { granted, term } => {
+                buf.push(6);
+                buf.push(u8::from(*granted));
+                buf.extend_from_slice(&term.to_le_bytes());
             }
         }
         buf
@@ -239,9 +316,34 @@ impl ReplReply {
             3 => ReplReply::Status {
                 total: r.u64("status.total")?,
                 durable: r.u64("status.durable")?,
+                term: r.u64("status.term")?,
+                leased: match r.u8("status.leased")? {
+                    0 => false,
+                    1 => true,
+                    v => {
+                        return Err(FrameError::Payload(format!(
+                            "repl payload: status.leased byte {v} is not a bool"
+                        )))
+                    }
+                },
             },
             4 => ReplReply::Err {
                 msg: String::from_utf8_lossy(r.bytes_field("err.msg")?).into_owned(),
+            },
+            5 => ReplReply::StaleTerm {
+                current: r.u64("stale_term.current")?,
+            },
+            6 => ReplReply::Vote {
+                granted: match r.u8("vote.granted")? {
+                    0 => false,
+                    1 => true,
+                    v => {
+                        return Err(FrameError::Payload(format!(
+                            "repl payload: vote.granted byte {v} is not a bool"
+                        )))
+                    }
+                },
+                term: r.u64("vote.term")?,
             },
             tag => {
                 return Err(FrameError::Payload(format!(
@@ -266,11 +368,21 @@ mod tests {
                 from: u64::MAX,
                 max: u32::MAX,
             },
-            ReplRequest::Apply { frames: vec![] },
             ReplRequest::Apply {
+                term: 0,
+                lease_ms: 0,
+                frames: vec![],
+            },
+            ReplRequest::Apply {
+                term: 7,
+                lease_ms: 1_500,
                 frames: vec![1, 2, 3, 0xFF],
             },
             ReplRequest::Status,
+            ReplRequest::Vote {
+                term: u64::MAX,
+                lease_ms: 2_000,
+            },
         ] {
             let bytes = req.encode();
             assert_eq!(ReplRequest::decode(&bytes).unwrap(), req);
@@ -295,9 +407,26 @@ mod tests {
             ReplReply::Status {
                 total: 3,
                 durable: 3,
+                term: 9,
+                leased: true,
+            },
+            ReplReply::Status {
+                total: 0,
+                durable: 0,
+                term: 0,
+                leased: false,
             },
             ReplReply::Err {
                 msg: "ingest id 9 but expected 4".into(),
+            },
+            ReplReply::StaleTerm { current: 11 },
+            ReplReply::Vote {
+                granted: true,
+                term: 4,
+            },
+            ReplReply::Vote {
+                granted: false,
+                term: u64::MAX,
             },
         ] {
             let bytes = reply.encode();
@@ -307,11 +436,15 @@ mod tests {
 
     #[test]
     fn malformed_payloads_are_recoverable_payload_errors() {
+        let mut apply_overrun = vec![2u8];
+        apply_overrun.extend_from_slice(&[0; 16]); // term + lease_ms
+        apply_overrun.extend_from_slice(&[0xFF, 0xFF, 0xFF, 0xFF]); // frames len
         for bytes in [
-            &[][..],                      // empty
-            &[9],                         // unknown tag
-            &[1, 0, 0],                   // fetch truncated
-            &[2, 0xFF, 0xFF, 0xFF, 0xFF], // apply length overruns cap/input
+            &[][..],
+            &[9],               // unknown tag
+            &[1, 0, 0],         // fetch truncated
+            &apply_overrun[..], // apply frames length overruns cap/input
+            &[4, 1, 0],         // vote truncated
             &ReplRequest::Status
                 .encode()
                 .iter()
@@ -327,5 +460,19 @@ mod tests {
             ReplReply::decode(&[4, 2, 0, 0, 0, 0xC3]).map(|r| format!("{r:?}")),
             Err(FrameError::Payload(_)) | Ok(_)
         ));
+        // Non-0/1 bool bytes and truncated new replies are recoverable.
+        let mut bad_leased = ReplReply::Status {
+            total: 1,
+            durable: 1,
+            term: 1,
+            leased: false,
+        }
+        .encode();
+        *bad_leased.last_mut().unwrap() = 7;
+        for bytes in [&bad_leased[..], &[5, 0, 0][..], &[6, 2][..]] {
+            let err = ReplReply::decode(bytes).unwrap_err();
+            assert!(matches!(err, FrameError::Payload(_)), "{bytes:?} -> {err}");
+            assert!(!err.is_fatal());
+        }
     }
 }

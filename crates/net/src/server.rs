@@ -674,14 +674,42 @@ fn handle_repl(service: &Service, req: ReplRequest) -> ReplReply {
             Ok((total, frames)) => ReplReply::Chunk { total, frames },
             Err(e) => ReplReply::Err { msg: e.to_string() },
         },
-        ReplRequest::Apply { frames } => match service.apply_replication(&frames) {
-            Ok((total, applied)) => ReplReply::Applied { total, applied },
-            Err(e) => ReplReply::Err { msg: e.to_string() },
-        },
+        ReplRequest::Apply {
+            term,
+            lease_ms,
+            frames,
+        } => {
+            // Fence before touching the WAL: a ship from a deposed
+            // leader must not append a single record.
+            match service.fence_apply(term, lease_ms) {
+                Ok(Some(current)) => return ReplReply::StaleTerm { current },
+                Ok(None) => {}
+                Err(e) => return ReplReply::Err { msg: e.to_string() },
+            }
+            if frames.is_empty() {
+                // Pure fence probe / lease renewal.
+                let (total, _) = service.replication_status();
+                return ReplReply::Applied { total, applied: 0 };
+            }
+            match service.apply_replication(&frames) {
+                Ok((total, applied)) => ReplReply::Applied { total, applied },
+                Err(e) => ReplReply::Err { msg: e.to_string() },
+            }
+        }
         ReplRequest::Status => {
             let (total, durable) = service.replication_status();
-            ReplReply::Status { total, durable }
+            let (term, leased) = service.consensus_status();
+            ReplReply::Status {
+                total,
+                durable,
+                term,
+                leased,
+            }
         }
+        ReplRequest::Vote { term, lease_ms } => match service.handle_vote(term, lease_ms) {
+            Ok((granted, term)) => ReplReply::Vote { granted, term },
+            Err(e) => ReplReply::Err { msg: e.to_string() },
+        },
     }
 }
 

@@ -29,6 +29,6 @@ pub mod router;
 pub use corpus::{synthetic_point, synthetic_slice};
 pub use map::{MapError, Partition, ShardMap};
 pub use router::{
-    NodeFailure, NodeFailureKind, ReadPreference, Router, RouterConfig, RouterError, ScatterReport,
-    SyncOutcome,
+    AntiEntropyHandle, NodeFailure, NodeFailureKind, ReadPreference, Router, RouterConfig,
+    RouterError, ScatterReport, SyncOutcome,
 };

@@ -198,4 +198,85 @@ mod tests {
             assert_eq!(map.owner(id), 2, "id {id} (last partition unbounded)");
         }
     }
+
+    #[test]
+    fn even_rejects_degenerate_shapes() {
+        // Zero ids can never cover a partition, however many nodes.
+        assert!(ShardMap::even(&[addr(1)], 0).is_err());
+        assert!(ShardMap::even(&[addr(1), addr(2)], 0).is_err());
+        // Fewer ids than nodes would leave an empty partition.
+        assert!(ShardMap::even(&[addr(1), addr(2), addr(3)], 2).is_err());
+        // No nodes at all.
+        assert!(ShardMap::even(&[], 7).is_err());
+    }
+
+    proptest::proptest! {
+        /// `even` over any valid `(nodes, total)` shape produces the
+        /// same contiguous even split `ShardedCorpus` uses: slice
+        /// lengths `total / n` with the remainder spread one-per-slice
+        /// from the front, bases strictly increasing from 0.
+        #[test]
+        fn even_split_pins_sharded_corpus_arithmetic(
+            n in 1usize..32,
+            extra in 0usize..512,
+        ) {
+            let total = n + extra; // always >= n, so always valid
+            let addrs: Vec<SocketAddr> = (0..n).map(|i| addr(1000 + i as u16)).collect();
+            let map = ShardMap::even(&addrs, total).unwrap();
+            proptest::prop_assert_eq!(map.num_partitions(), n);
+            proptest::prop_assert_eq!(map.num_nodes(), n);
+            let bases: Vec<usize> = map.partitions().iter().map(|p| p.id_base).collect();
+            proptest::prop_assert_eq!(bases[0], 0);
+            let (base_len, remainder) = (total / n, total % n);
+            let mut expected_base = 0usize;
+            for (i, p) in map.partitions().iter().enumerate() {
+                proptest::prop_assert_eq!(p.id_base, expected_base, "partition {}", i);
+                proptest::prop_assert_eq!(p.replicas.len(), 1);
+                expected_base += base_len + usize::from(i < remainder);
+            }
+            // The slices exactly tile [0, total).
+            proptest::prop_assert_eq!(expected_base, total);
+        }
+
+        /// A single node owns everything: one partition at base 0, and
+        /// `owner` sends every id (bounded or not) to it.
+        #[test]
+        fn single_node_owns_all_ids(total in 1usize..10_000, probe in 0usize..100_000) {
+            let map = ShardMap::even(&[addr(9)], total).unwrap();
+            proptest::prop_assert_eq!(map.num_partitions(), 1);
+            proptest::prop_assert_eq!(map.partitions()[0].id_base, 0);
+            proptest::prop_assert_eq!(map.ingest_partition(), 0);
+            proptest::prop_assert_eq!(map.owner(probe), 0);
+        }
+
+        /// Underfull shapes (`total < num_nodes`, including zero) are
+        /// rejected, never silently producing an empty partition.
+        #[test]
+        fn underfull_shapes_are_rejected(n in 1usize..32, total in 0usize..32) {
+            let addrs: Vec<SocketAddr> = (0..n).map(|i| addr(2000 + i as u16)).collect();
+            let result = ShardMap::even(&addrs, total);
+            if total < n {
+                proptest::prop_assert!(result.is_err());
+            } else {
+                proptest::prop_assert!(result.is_ok());
+            }
+        }
+
+        /// `owner` agrees with the slice layout: for every id inside
+        /// the corpus, the owning partition's range contains it.
+        #[test]
+        fn owner_matches_slice_layout(n in 1usize..16, extra in 0usize..256) {
+            let total = n + extra;
+            let addrs: Vec<SocketAddr> = (0..n).map(|i| addr(3000 + i as u16)).collect();
+            let map = ShardMap::even(&addrs, total).unwrap();
+            let parts = map.partitions();
+            for id in 0..total {
+                let owner = map.owner(id);
+                proptest::prop_assert!(parts[owner].id_base <= id);
+                if owner + 1 < parts.len() {
+                    proptest::prop_assert!(id < parts[owner + 1].id_base);
+                }
+            }
+        }
+    }
 }

@@ -31,12 +31,42 @@
 //! lets queries fall back to a follower whose known replication lag is
 //! within a bound when the leader's breaker is open.
 //!
+//! ## Consensus: terms, leases, fencing
+//!
+//! Each partition carries a monotonic **term**, persisted node-side
+//! next to the WAL. Promotion is a term/vote handshake: the router
+//! probes replica terms, bids `max + 1`, and leads only after a
+//! **majority** of the partition's replicas grant the vote — so two
+//! routers contending over the same nodes cannot both win a term.
+//! Every replication ship (and the empty fence probe preceding each
+//! ingest) carries `(term, lease_ms)`; a follower that has acknowledged
+//! a higher term rejects the ship with a typed `StaleTerm`, fencing
+//! zombie leaders and never-elected second routers. Leadership is
+//! **lease-based**: each accepted fenced ship renews the follower's
+//! leader lease, and while any lease is unexpired the follower refuses
+//! competing votes — an actively-shipping leader cannot be deposed,
+//! a dead one is deposable one lease window after its last renewal.
+//!
+//! Replica reads are **read-your-writes** per session: the router
+//! tracks each session's feed rounds and acked ingest totals, and a
+//! query leg only goes to a replica at-or-past the session's marks
+//! (falling back to the leader, counted in
+//! `ClusterGauges::ryw_leader_fallbacks`).
+//!
+//! [`Router::start_anti_entropy`] spawns a background thread that
+//! renews leases and streams catch-up chunks to lagging or rejoining
+//! followers **off the ingest path** (inline catch-up is bounded by
+//! [`RouterConfig::max_inline_lag`]).
+//!
 //! ## Failpoints
 //!
 //! `router.node` (any leg) and `router.node.<p>` (partition `p`)
 //! inject faults before a leg is dispatched: `error:<msg>` /
 //! `panic:<msg>` fail the leg, `sleep:<ms>` delays it, and
 //! `partial:<n>` truncates the leg's neighbor list to `n` entries.
+//! `router.lease.expire` (any action) makes the router treat its
+//! leader lease as lapsed before an ingest: it must re-win its term
+//! via a fresh election before shipping again.
 
 use crate::map::ShardMap;
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
@@ -49,8 +79,8 @@ use qcluster_service::{
 use std::collections::HashMap;
 use std::fmt;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -89,6 +119,24 @@ pub struct RouterConfig {
     /// Relevance score assigned when a feed omits explicit scores
     /// (matches the single-node service default).
     pub default_score: f64,
+    /// How long a follower honors a leader lease (and a vote lease)
+    /// after granting it. An actively-shipping leader renews within
+    /// this window; failover after a leader death waits at most one
+    /// window.
+    pub lease_duration: Duration,
+    /// Pause between retried vote rounds while an election is refused
+    /// (typically because a prior leader's lease has not lapsed yet).
+    pub election_backoff: Duration,
+    /// Total time one [`Router::promote`] may spend retrying vote
+    /// rounds before reporting [`RouterError::ElectionLost`]. Must
+    /// cover at least one `lease_duration` or a dead leader's lease
+    /// can never be outwaited.
+    pub election_timeout: Duration,
+    /// Largest records-behind-target a follower may be and still be
+    /// caught up inline during an ingest ack. A follower further
+    /// behind (e.g. rejoining after a kill) is left to the
+    /// anti-entropy thread so it cannot stall every ingest.
+    pub max_inline_lag: u64,
 }
 
 impl Default for RouterConfig {
@@ -101,6 +149,10 @@ impl Default for RouterConfig {
             replication_batch: 256,
             read_preference: ReadPreference::LeaderOnly,
             default_score: 3.0,
+            lease_duration: Duration::from_millis(1_500),
+            election_backoff: Duration::from_millis(100),
+            election_timeout: Duration::from_secs(4),
+            max_inline_lag: 4_096,
         }
     }
 }
@@ -116,6 +168,10 @@ pub enum NodeFailureKind {
     Timeout,
     /// The node's circuit breaker was open; the leg was never sent.
     BreakerOpen,
+    /// The node rejected a replication ship or fence probe because it
+    /// has acknowledged a higher term — this router's leadership is
+    /// fenced out. Carries the node's current term.
+    StaleTerm(u64),
 }
 
 impl fmt::Display for NodeFailureKind {
@@ -125,6 +181,9 @@ impl fmt::Display for NodeFailureKind {
             NodeFailureKind::Remote(msg) => write!(f, "remote: {msg}"),
             NodeFailureKind::Timeout => write!(f, "timeout"),
             NodeFailureKind::BreakerOpen => write!(f, "breaker open"),
+            NodeFailureKind::StaleTerm(current) => {
+                write!(f, "stale term (node at term {current})")
+            }
         }
     }
 }
@@ -161,6 +220,15 @@ pub enum RouterError {
     Protocol(String),
     /// The request was malformed before any leg was dispatched.
     InvalidRequest(String),
+    /// A term/vote election did not reach a majority within the
+    /// election timeout — another router holds the partition (or its
+    /// lease has not lapsed). `term` is the highest term observed.
+    ElectionLost {
+        /// The contested partition.
+        partition: usize,
+        /// Highest term seen during the failed rounds.
+        term: u64,
+    },
 }
 
 impl fmt::Display for RouterError {
@@ -188,6 +256,10 @@ impl fmt::Display for RouterError {
             ),
             RouterError::Protocol(msg) => write!(f, "protocol: {msg}"),
             RouterError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            RouterError::ElectionLost { partition, term } => write!(
+                f,
+                "partition {partition}: election lost (highest term observed {term})"
+            ),
         }
     }
 }
@@ -298,6 +370,10 @@ struct PartitionState {
     replicas: Vec<NodeHandle>,
     /// Index of the current leader within `replicas` (promotion moves it).
     leader: AtomicUsize,
+    /// The replication term this router leads the partition at (0 =
+    /// never elected: ships go out unfenced, accepted only by nodes
+    /// that have themselves never seen a fenced leader).
+    term: AtomicU64,
 }
 
 /// Router-side cluster counters, mirrored into
@@ -313,6 +389,11 @@ struct Counters {
     replication_records_shipped: AtomicU64,
     replication_records_applied: AtomicU64,
     stale_reads: AtomicU64,
+    elections_won: AtomicU64,
+    elections_lost: AtomicU64,
+    fenced_stale_ships: AtomicU64,
+    anti_entropy_chunks_shipped: AtomicU64,
+    ryw_leader_fallbacks: AtomicU64,
 }
 
 /// One dispatched (or pre-failed) scatter leg awaiting collection.
@@ -327,9 +408,37 @@ struct Leg {
     partial: Option<usize>,
 }
 
-/// Per-node session ids backing one router session, keyed by
-/// `(partition, replica)`.
-type SessionBindings = HashMap<(usize, usize), u64>;
+/// Router-side state of one user session: the per-node session ids
+/// backing it plus its read-your-writes marks.
+#[derive(Debug, Clone, Default)]
+struct SessionState {
+    /// Per-node session ids, keyed by `(partition, replica)`.
+    bindings: HashMap<(usize, usize), u64>,
+    /// Feedback rounds accepted for this session so far.
+    feed_round: u64,
+    /// Latest feed round each replica acknowledged. A replica behind
+    /// the session's `feed_round` must not serve its queries — it
+    /// would answer from a pre-feed retrieval state.
+    feed_acked: HashMap<(usize, usize), u64>,
+    /// Per-partition committed totals this session observed through
+    /// acked ingests: its read floor for corpus visibility.
+    ingest_marks: HashMap<usize, u64>,
+}
+
+impl SessionState {
+    /// Whether `replica` of `partition` (whose router-observed
+    /// committed total is `known_total`) satisfies this session's
+    /// read-your-writes marks.
+    fn ryw_ok(&self, partition: usize, replica: usize, known_total: u64) -> bool {
+        let feed_ok = self.feed_round == 0
+            || self.feed_acked.get(&(partition, replica)) == Some(&self.feed_round);
+        let ingest_ok = self
+            .ingest_marks
+            .get(&partition)
+            .is_none_or(|&mark| known_total >= mark);
+        feed_ok && ingest_ok
+    }
+}
 
 /// Per-replica outcome of a [`Router::sync_partition`] pass: each
 /// follower's index paired with its post-sync committed total, or the
@@ -343,10 +452,25 @@ pub struct Router {
     map: ShardMap,
     config: RouterConfig,
     partitions: Vec<PartitionState>,
-    sessions: Mutex<HashMap<u64, SessionBindings>>,
+    sessions: Mutex<HashMap<u64, SessionState>>,
     next_session: AtomicU64,
     counters: Counters,
     workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Stops and joins the [`Router::start_anti_entropy`] thread on drop.
+pub struct AntiEntropyHandle {
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl Drop for AntiEntropyHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
 }
 
 /// The body of one node worker: owns the (lazily dialed) client for a
@@ -426,6 +550,7 @@ impl Router {
                 id_base: partition.id_base,
                 replicas,
                 leader: AtomicUsize::new(0),
+                term: AtomicU64::new(0),
             });
         }
         Ok(Router {
@@ -449,6 +574,20 @@ impl Router {
         self.partitions[partition].leader.load(Ordering::Acquire)
     }
 
+    /// The replication term this router leads `partition` at (0 =
+    /// never elected, unfenced legacy mode).
+    pub fn term_of(&self, partition: usize) -> u64 {
+        self.partitions[partition].term.load(Ordering::Acquire)
+    }
+
+    /// The `(term, lease_ms)` pair stamped on this router's fenced
+    /// ships for `partition`.
+    fn fence_params(&self, partition: usize) -> (u64, u64) {
+        let term = self.partitions[partition].term.load(Ordering::Acquire);
+        let lease_ms = self.config.lease_duration.as_millis() as u64;
+        (term, lease_ms)
+    }
+
     // ------------------------------------------------------------------
     // Leg dispatch / collection
     // ------------------------------------------------------------------
@@ -461,6 +600,12 @@ impl Router {
                     .node_breaker_skips
                     .fetch_add(1, Ordering::Relaxed);
                 return; // skipping is not a health observation
+            }
+            NodeFailureKind::StaleTerm(_) => {
+                // The node is healthy — the *router* is deposed.
+                // Counted at the fence site, never held against the
+                // node's breaker.
+                return;
             }
             NodeFailureKind::Timeout => {
                 self.counters.node_timeouts.fetch_add(1, Ordering::Relaxed);
@@ -584,29 +729,50 @@ impl Router {
     }
 
     /// Picks the replica serving a query leg for `partition` per the
-    /// configured [`ReadPreference`].
-    fn read_replica(&self, partition: usize) -> usize {
+    /// configured [`ReadPreference`], constrained by the session's
+    /// read-your-writes marks: a replica behind the session's latest
+    /// feed round or acked ingest total never serves its queries.
+    fn read_replica(&self, partition: usize, sess: &SessionState) -> usize {
         let part = &self.partitions[partition];
         let leader = part.leader.load(Ordering::Acquire);
-        let ReadPreference::StaleOk { max_lag } = self.config.read_preference else {
-            return leader;
-        };
         let now = Instant::now();
-        if part.replicas[leader].breaker.is_closed(now) {
+        let known = |r: usize| part.replicas[r].known_total.load(Ordering::Acquire);
+        if let ReadPreference::StaleOk { max_lag } = self.config.read_preference {
+            if !part.replicas[leader].breaker.is_closed(now) {
+                let leader_total = known(leader);
+                let mut ryw_blocked = false;
+                for (r, node) in part.replicas.iter().enumerate() {
+                    if r == leader || !node.breaker.is_closed(now) {
+                        continue;
+                    }
+                    if leader_total.saturating_sub(known(r)) > max_lag {
+                        continue;
+                    }
+                    if sess.ryw_ok(partition, r, known(r)) {
+                        self.counters.stale_reads.fetch_add(1, Ordering::Relaxed);
+                        return r;
+                    }
+                    ryw_blocked = true;
+                }
+                if ryw_blocked {
+                    // A lag-bounded follower existed but sat behind
+                    // this session's marks: read-your-writes wins over
+                    // the stale-read preference.
+                    self.counters
+                        .ryw_leader_fallbacks
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        if sess.ryw_ok(partition, leader, known(leader)) {
             return leader;
         }
-        let leader_total = part.replicas[leader].known_total.load(Ordering::Acquire);
-        for (r, node) in part.replicas.iter().enumerate() {
-            if r == leader || !node.breaker.is_closed(now) {
-                continue;
-            }
-            let lag = leader_total.saturating_sub(node.known_total.load(Ordering::Acquire));
-            if lag <= max_lag {
-                self.counters.stale_reads.fetch_add(1, Ordering::Relaxed);
-                return r;
-            }
-        }
-        leader
+        // The leader itself is behind the session (it missed a feed
+        // broadcast another replica acked): any replica satisfying the
+        // marks serves, else degrade to the leader.
+        (0..part.replicas.len())
+            .find(|&r| r != leader && sess.ryw_ok(partition, r, known(r)))
+            .unwrap_or(leader)
     }
 
     // ------------------------------------------------------------------
@@ -660,7 +826,13 @@ impl Router {
         self.sessions
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .insert(session, sids);
+            .insert(
+                session,
+                SessionState {
+                    bindings: sids,
+                    ..SessionState::default()
+                },
+            );
         Ok(session)
     }
 
@@ -672,7 +844,7 @@ impl Router {
     /// `session` (node-side close failures are best-effort ignored —
     /// node sessions also expire by idle TTL).
     pub fn close_session(&self, session: u64) -> Result<(), RouterError> {
-        let sids = self
+        let state = self
             .sessions
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -680,7 +852,7 @@ impl Router {
             .ok_or(RouterError::UnknownSession(session))?;
         let deadline = Instant::now() + self.config.node_deadline;
         let mut legs = Vec::new();
-        for (&(p, r), &sid) in &sids {
+        for (&(p, r), &sid) in &state.bindings {
             legs.push(self.dispatch_leg(p, r, Request::CloseSession { session: sid }));
         }
         for mut leg in legs {
@@ -689,7 +861,7 @@ impl Router {
         Ok(())
     }
 
-    fn session_targets(&self, session: u64) -> Result<HashMap<(usize, usize), u64>, RouterError> {
+    fn session_state(&self, session: u64) -> Result<SessionState, RouterError> {
         self.sessions
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -721,14 +893,14 @@ impl Router {
         vector: Option<Vec<f64>>,
         deadline_ms: Option<u64>,
     ) -> Result<ScatterReport, RouterError> {
-        let sids = self.session_targets(session)?;
+        let sess = self.session_state(session)?;
         let deadline = Instant::now() + self.config.node_deadline;
         let nodes_total = self.partitions.len();
         let mut failures: Vec<NodeFailure> = Vec::new();
         let mut legs = Vec::new();
         for p in 0..self.partitions.len() {
-            let r = self.read_replica(p);
-            let Some(&sid) = sids.get(&(p, r)) else {
+            let r = self.read_replica(p, &sess);
+            let Some(&sid) = sess.bindings.get(&(p, r)) else {
                 failures.push(self.failure(
                     p,
                     r,
@@ -858,7 +1030,7 @@ impl Router {
                 )));
             }
         }
-        let sids = self.session_targets(session)?;
+        let sess = self.session_state(session)?;
 
         // Resolve vectors partition by partition (local id = global -
         // id_base), preserving the caller's input order in `points`.
@@ -905,7 +1077,7 @@ impl Router {
         // Broadcast to every replica holding the session.
         let deadline = Instant::now() + self.config.node_deadline;
         let mut legs = Vec::new();
-        for (&(p, r), &sid) in &sids {
+        for (&(p, r), &sid) in &sess.bindings {
             legs.push(self.dispatch_leg(
                 p,
                 r,
@@ -917,6 +1089,7 @@ impl Router {
         }
         let mut accepted: Option<Response> = None;
         let mut ok_partitions: Vec<bool> = vec![false; self.partitions.len()];
+        let mut acked_replicas: Vec<(usize, usize)> = Vec::new();
         let mut failures = Vec::new();
         for mut leg in legs {
             let (p, r) = (leg.partition, leg.replica);
@@ -927,6 +1100,7 @@ impl Router {
                     ..
                 }) => {
                     ok_partitions[p] = true;
+                    acked_replicas.push((p, r));
                     accepted.get_or_insert(Response::FeedAccepted {
                         session,
                         iteration,
@@ -943,6 +1117,18 @@ impl Router {
         }
         if !ok_partitions.iter().all(|&ok| ok) {
             return Err(RouterError::Unavailable(failures));
+        }
+        // Advance the session's read-your-writes feed mark: from here
+        // on, only replicas that acked this round serve its queries.
+        {
+            let mut sessions = self.sessions.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(state) = sessions.get_mut(&session) {
+                state.feed_round += 1;
+                let round = state.feed_round;
+                for &(p, r) in &acked_replicas {
+                    state.feed_acked.insert((p, r), round);
+                }
+            }
         }
         Ok(accepted.expect("all partitions accepted"))
     }
@@ -968,17 +1154,63 @@ impl Router {
     ///   reach a majority (the record may survive; the caller must not
     ///   treat it as acked).
     pub fn ingest(&self, vector: Vec<f64>) -> Result<(usize, usize), RouterError> {
+        self.ingest_inner(None, vector)
+    }
+
+    /// [`Router::ingest`] attributed to a session: on ack, the
+    /// session's per-partition ingest mark advances to the new
+    /// committed total, so its subsequent queries are only served by
+    /// replicas that already hold the write (read-your-writes).
+    ///
+    /// # Errors
+    ///
+    /// As [`Router::ingest`], plus [`RouterError::UnknownSession`].
+    pub fn ingest_for_session(
+        &self,
+        session: u64,
+        vector: Vec<f64>,
+    ) -> Result<(usize, usize), RouterError> {
+        self.session_state(session)?;
+        self.ingest_inner(Some(session), vector)
+    }
+
+    fn ingest_inner(
+        &self,
+        session: Option<u64>,
+        vector: Vec<f64>,
+    ) -> Result<(usize, usize), RouterError> {
         let p = self.map.ingest_partition();
         let part = &self.partitions[p];
         let mut leader = part.leader.load(Ordering::Acquire);
-        let response = match self.call_replica(
-            p,
-            leader,
-            Request::Ingest {
-                vector: vector.clone(),
-            },
-        ) {
+        if failpoint::active()
+            && part.term.load(Ordering::Acquire) > 0
+            && failpoint::evaluate_sleepy("router.lease.expire").is_some()
+        {
+            // Injected lease expiry: this router must re-win its term
+            // before it may ship again.
+            self.elect(p)?;
+        }
+        // Fence before writing: an empty fenced Apply confirms no
+        // other router has won a newer term (and renews the lease). A
+        // StaleTerm here means this router is deposed — promotion must
+        // not retry its way around the fence.
+        let attempt = |leader: usize| -> Result<Response, NodeFailureKind> {
+            self.fence_replica(p, leader)?;
+            self.call_replica(
+                p,
+                leader,
+                Request::Ingest {
+                    vector: vector.clone(),
+                },
+            )
+        };
+        let response = match attempt(leader) {
             Ok(response) => response,
+            Err(kind @ NodeFailureKind::StaleTerm(_)) => {
+                return Err(RouterError::Unavailable(
+                    vec![self.failure(p, leader, kind)],
+                ));
+            }
             Err(first_kind) => {
                 // One promotion + retry: a dead leader must not stall
                 // ingest while healthy followers hold the data.
@@ -986,10 +1218,9 @@ impl Router {
                 leader = self
                     .promote(p)
                     .map_err(|_| RouterError::Unavailable(vec![first.clone()]))?;
-                self.call_replica(p, leader, Request::Ingest { vector })
-                    .map_err(|kind| {
-                        RouterError::Unavailable(vec![first, self.failure(p, leader, kind)])
-                    })?
+                attempt(leader).map_err(|kind| {
+                    RouterError::Unavailable(vec![first, self.failure(p, leader, kind)])
+                })?
             }
         };
         let Response::Ingested { id, total } = response else {
@@ -1018,7 +1249,46 @@ impl Router {
                 replicas: part.replicas.len(),
             });
         }
+        if let Some(session) = session {
+            let mut sessions = self.sessions.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(state) = sessions.get_mut(&session) {
+                let mark = state.ingest_marks.entry(p).or_insert(0);
+                *mark = (*mark).max(total as u64);
+            }
+        }
         Ok((part.id_base + id, copies))
+    }
+
+    /// Confirms this router still leads `partition` on `replica` by
+    /// sending an empty fenced `Apply` — a pure fence probe that also
+    /// renews the replica's leader lease.
+    fn fence_replica(&self, partition: usize, replica: usize) -> Result<(), NodeFailureKind> {
+        let (term, lease_ms) = self.fence_params(partition);
+        match self.repl_exchange(
+            partition,
+            replica,
+            &ReplRequest::Apply {
+                term,
+                lease_ms,
+                frames: Vec::new(),
+            },
+        )? {
+            ReplReply::Applied { total, .. } => {
+                self.partitions[partition].replicas[replica]
+                    .known_total
+                    .store(total, Ordering::Release);
+                Ok(())
+            }
+            ReplReply::StaleTerm { current } => {
+                self.counters
+                    .fenced_stale_ships
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(NodeFailureKind::StaleTerm(current))
+            }
+            _ => Err(NodeFailureKind::Remote(
+                "fence probe answered with something else".into(),
+            )),
+        }
     }
 
     /// One replication exchange with a specific replica. Replication
@@ -1059,9 +1329,9 @@ impl Router {
     }
 
     /// Ships the leader's committed records to one follower until the
-    /// follower's total reaches `target`. Apply is idempotent on the
-    /// follower, so a torn exchange is safely re-driven from the
-    /// follower's authoritative status.
+    /// follower's total reaches `target`, bounded by
+    /// [`RouterConfig::max_inline_lag`] (a follower further behind is
+    /// left to anti-entropy so it cannot stall the ingest ack path).
     fn catch_up(
         &self,
         partition: usize,
@@ -1069,6 +1339,31 @@ impl Router {
         follower: usize,
         target: u64,
     ) -> Result<u64, NodeFailureKind> {
+        self.catch_up_inner(
+            partition,
+            leader,
+            follower,
+            target,
+            Some(self.config.max_inline_lag),
+            false,
+        )
+    }
+
+    /// The catch-up loop proper. Apply is idempotent on the follower,
+    /// so a torn exchange is safely re-driven from the follower's
+    /// authoritative status. Every `Apply` carries this router's
+    /// `(term, lease_ms)`; a `StaleTerm` rejection stops the stream —
+    /// this router has been fenced out by a newer leader.
+    fn catch_up_inner(
+        &self,
+        partition: usize,
+        leader: usize,
+        follower: usize,
+        target: u64,
+        max_lag: Option<u64>,
+        anti_entropy: bool,
+    ) -> Result<u64, NodeFailureKind> {
+        let (term, lease_ms) = self.fence_params(partition);
         let ReplReply::Status { total, .. } =
             self.repl_exchange(partition, follower, &ReplRequest::Status)?
         else {
@@ -1077,6 +1372,14 @@ impl Router {
             ));
         };
         let mut follower_total = total;
+        if let Some(max_lag) = max_lag {
+            let lag = target.saturating_sub(follower_total);
+            if lag > max_lag {
+                return Err(NodeFailureKind::Remote(format!(
+                    "follower {lag} records behind (inline cap {max_lag}); left to anti-entropy"
+                )));
+            }
+        }
         while follower_total < target {
             let batch = self.config.replication_batch.max(1);
             let ReplReply::Chunk {
@@ -1106,16 +1409,36 @@ impl Router {
             self.counters
                 .replication_records_shipped
                 .fetch_add(shipped, Ordering::Relaxed);
-            let ReplReply::Applied { total, applied } =
-                self.repl_exchange(partition, follower, &ReplRequest::Apply { frames })?
-            else {
-                return Err(NodeFailureKind::Remote(
-                    "apply answered with something else".into(),
-                ));
+            let (total, applied) = match self.repl_exchange(
+                partition,
+                follower,
+                &ReplRequest::Apply {
+                    term,
+                    lease_ms,
+                    frames,
+                },
+            )? {
+                ReplReply::Applied { total, applied } => (total, applied),
+                ReplReply::StaleTerm { current } => {
+                    self.counters
+                        .fenced_stale_ships
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(NodeFailureKind::StaleTerm(current));
+                }
+                _ => {
+                    return Err(NodeFailureKind::Remote(
+                        "apply answered with something else".into(),
+                    ));
+                }
             };
             self.counters
                 .replication_records_applied
                 .fetch_add(applied, Ordering::Relaxed);
+            if anti_entropy {
+                self.counters
+                    .anti_entropy_chunks_shipped
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             if total <= follower_total {
                 return Err(NodeFailureKind::Remote(format!(
                     "follower stuck at {total} records"
@@ -1159,11 +1482,75 @@ impl Router {
                 continue;
             }
             let outcome = self
-                .catch_up(partition, leader, r, total)
+                .catch_up_inner(partition, leader, r, total, None, false)
                 .map_err(|kind| self.failure(partition, r, kind));
             results.push((r, outcome));
         }
         Ok(results)
+    }
+
+    /// Spawns the background anti-entropy thread: every `interval` it
+    /// renews this router's leader leases (while it holds a term) and
+    /// streams unbounded catch-up to every lagging or rejoining
+    /// follower, off the ingest path. Chunks shipped this way are
+    /// counted in `ClusterGauges::anti_entropy_chunks_shipped`.
+    /// Dropping the returned handle stops and joins the thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the OS refuses the thread.
+    pub fn start_anti_entropy(self: &Arc<Self>, interval: Duration) -> AntiEntropyHandle {
+        let router = Arc::clone(self);
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let join = std::thread::Builder::new()
+            .name("qrouter-anti-entropy".into())
+            .spawn(move || {
+                while !flag.load(Ordering::SeqCst) {
+                    for p in 0..router.partitions.len() {
+                        router.anti_entropy_pass(p);
+                    }
+                    // Sleep in slices so a drop of the handle is prompt.
+                    let mut slept = Duration::ZERO;
+                    while slept < interval && !flag.load(Ordering::SeqCst) {
+                        let step = Duration::from_millis(20).min(interval - slept);
+                        std::thread::sleep(step);
+                        slept += step;
+                    }
+                }
+            })
+            .expect("spawn anti-entropy thread");
+        AntiEntropyHandle {
+            stop,
+            join: Some(join),
+        }
+    }
+
+    /// One anti-entropy round for `partition`: lease renewal on every
+    /// reachable replica (while this router holds a term), then
+    /// unbounded catch-up streaming to every follower behind the
+    /// leader. Failures are tolerated — the next round retries.
+    fn anti_entropy_pass(&self, partition: usize) {
+        let part = &self.partitions[partition];
+        if part.term.load(Ordering::Acquire) > 0 {
+            for r in 0..part.replicas.len() {
+                let _ = self.fence_replica(partition, r);
+            }
+        }
+        let leader = part.leader.load(Ordering::Acquire);
+        let Ok(ReplReply::Status { total, .. }) =
+            self.repl_exchange(partition, leader, &ReplRequest::Status)
+        else {
+            return;
+        };
+        part.replicas[leader]
+            .known_total
+            .store(total, Ordering::Release);
+        for r in 0..part.replicas.len() {
+            if r != leader {
+                let _ = self.catch_up_inner(partition, leader, r, total, None, true);
+            }
+        }
     }
 
     /// Replication status `(total, durable)` of one replica, straight
@@ -1178,7 +1565,7 @@ impl Router {
         replica: usize,
     ) -> Result<(u64, u64), RouterError> {
         match self.repl_exchange(partition, replica, &ReplRequest::Status) {
-            Ok(ReplReply::Status { total, durable }) => {
+            Ok(ReplReply::Status { total, durable, .. }) => {
                 self.partitions[partition].replicas[replica]
                     .known_total
                     .store(total, Ordering::Release);
@@ -1193,14 +1580,132 @@ impl Router {
         }
     }
 
-    /// Promotes the most caught-up reachable replica of `partition`
-    /// (excluding the current leader) to leader, returning its index.
+    /// Consensus position `(term, leased)` of one replica, straight
+    /// from the node: the highest term it has acknowledged and whether
+    /// a leader lease is currently unexpired on it.
     ///
     /// # Errors
     ///
-    /// [`RouterError::Unavailable`] when no other replica answers a
-    /// status probe — the partition keeps its current leader.
+    /// [`RouterError::Unavailable`] when the replica cannot be reached.
+    pub fn replica_consensus(
+        &self,
+        partition: usize,
+        replica: usize,
+    ) -> Result<(u64, bool), RouterError> {
+        match self.repl_exchange(partition, replica, &ReplRequest::Status) {
+            Ok(ReplReply::Status { term, leased, .. }) => Ok((term, leased)),
+            Ok(_) => Err(RouterError::Protocol(
+                "status probe answered with something else".into(),
+            )),
+            Err(kind) => Err(RouterError::Unavailable(vec![
+                self.failure(partition, replica, kind)
+            ])),
+        }
+    }
+
+    /// Runs one term/vote election for `partition`: probes every
+    /// replica's acknowledged term, bids `max + 1`, and wins only when
+    /// a **majority** of the partition's replicas grant the vote. Vote
+    /// rounds are retried (with [`RouterConfig::election_backoff`]
+    /// pauses) until [`RouterConfig::election_timeout`] elapses, so a
+    /// dead leader's lease can be outwaited. Returns the won term.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::ElectionLost`] when no round reached a majority
+    /// within the timeout.
+    fn elect(&self, partition: usize) -> Result<u64, RouterError> {
+        let part = &self.partitions[partition];
+        let lease_ms = self.config.lease_duration.as_millis() as u64;
+        let majority = part.replicas.len() / 2 + 1;
+        let deadline = Instant::now() + self.config.election_timeout;
+        let mut observed = part.term.load(Ordering::Acquire);
+        loop {
+            // The bid must exceed every term already granted anywhere
+            // in the partition, or no node can vote for it.
+            for r in 0..part.replicas.len() {
+                if let Ok(ReplReply::Status { total, term, .. }) =
+                    self.repl_exchange(partition, r, &ReplRequest::Status)
+                {
+                    part.replicas[r].known_total.store(total, Ordering::Release);
+                    observed = observed.max(term);
+                }
+            }
+            let candidate = observed + 1;
+            let mut grants = 0usize;
+            for r in 0..part.replicas.len() {
+                match self.repl_exchange(
+                    partition,
+                    r,
+                    &ReplRequest::Vote {
+                        term: candidate,
+                        lease_ms,
+                    },
+                ) {
+                    Ok(ReplReply::Vote { granted: true, .. }) => grants += 1,
+                    Ok(ReplReply::Vote {
+                        granted: false,
+                        term,
+                    }) => {
+                        observed = observed.max(term);
+                    }
+                    Ok(_) | Err(_) => {}
+                }
+            }
+            if grants >= majority {
+                part.term.store(candidate, Ordering::Release);
+                self.counters.elections_won.fetch_add(1, Ordering::Relaxed);
+                return Ok(candidate);
+            }
+            observed = observed.max(candidate);
+            if Instant::now() >= deadline {
+                self.counters.elections_lost.fetch_add(1, Ordering::Relaxed);
+                return Err(RouterError::ElectionLost {
+                    partition,
+                    term: observed,
+                });
+            }
+            std::thread::sleep(self.config.election_backoff);
+        }
+    }
+
+    /// Explicitly assumes leadership of `partition` without moving its
+    /// data leader: wins a fresh term from a majority of the replicas,
+    /// then fences (and leases) every reachable replica at that term.
+    /// This is how a standby or replacement router takes over a
+    /// partition; any previously-shipping router is fenced out with
+    /// `StaleTerm` from its next ship onward.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::ElectionLost`] when a majority refuses the vote
+    /// (another router holds the term or an unexpired lease).
+    pub fn acquire(&self, partition: usize) -> Result<u64, RouterError> {
+        let term = self.elect(partition)?;
+        let part = &self.partitions[partition];
+        for r in 0..part.replicas.len() {
+            let _ = self.fence_replica(partition, r);
+        }
+        Ok(term)
+    }
+
+    /// Promotes the most caught-up reachable replica of `partition`
+    /// (excluding the current leader) to leader, returning its index.
+    /// Promotion is an election, not local bookkeeping: the router
+    /// first wins a fresh term from a majority of the partition's
+    /// replicas (see [`Router::replica_consensus`]), so two routers
+    /// racing a promotion over the same nodes cannot both succeed —
+    /// the loser's subsequent ships are fenced with `StaleTerm`.
+    ///
+    /// # Errors
+    ///
+    /// - [`RouterError::ElectionLost`] when another router holds the
+    ///   term (or an unexpired lease) — the partition keeps its
+    ///   current leader.
+    /// - [`RouterError::Unavailable`] when the term was won but no
+    ///   other replica answers a status probe.
     pub fn promote(&self, partition: usize) -> Result<usize, RouterError> {
+        self.elect(partition)?;
         let part = &self.partitions[partition];
         let current = part.leader.load(Ordering::Acquire);
         let mut best: Option<(usize, u64)> = None;
@@ -1257,6 +1762,19 @@ impl Router {
                 .replication_records_applied
                 .load(Ordering::Relaxed),
             stale_reads: self.counters.stale_reads.load(Ordering::Relaxed),
+            terms: self
+                .partitions
+                .iter()
+                .map(|p| p.term.load(Ordering::Relaxed))
+                .collect(),
+            elections_won: self.counters.elections_won.load(Ordering::Relaxed),
+            elections_lost: self.counters.elections_lost.load(Ordering::Relaxed),
+            fenced_stale_ships: self.counters.fenced_stale_ships.load(Ordering::Relaxed),
+            anti_entropy_chunks_shipped: self
+                .counters
+                .anti_entropy_chunks_shipped
+                .load(Ordering::Relaxed),
+            ryw_leader_fallbacks: self.counters.ryw_leader_fallbacks.load(Ordering::Relaxed),
         }
     }
 

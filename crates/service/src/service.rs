@@ -135,6 +135,23 @@ pub struct IngestOutcome {
 struct LiveState {
     store: Option<VectorStore>,
     overlay: Option<DynamicIndex>,
+    consensus: ConsensusState,
+}
+
+/// Replication-consensus state for this node: the highest term it has
+/// acknowledged (persisted through the store when durable, so a
+/// SIGKILLed node cannot forget a fence across restarts) plus the two
+/// leases that make leadership safe. The leader lease marks applies at
+/// the current term as live leadership; the vote lease stops this node
+/// from granting two contending candidates in the same window.
+#[derive(Debug, Default)]
+struct ConsensusState {
+    /// Highest term acknowledged (0 = never fenced).
+    term: u64,
+    /// While unexpired, a leader at `term` holds this node.
+    lease_until: Option<Instant>,
+    /// While unexpired, competing vote requests are refused.
+    vote_until: Option<Instant>,
 }
 
 /// The concurrent multi-session retrieval service.
@@ -214,6 +231,7 @@ impl Service {
     ) -> Result<Self, ServiceError> {
         let (mut store, recovered) = VectorStore::open(dir, store_config)?;
         let had_prior = !recovered.vectors.is_empty() || !recovered.sessions.is_empty();
+        let recovered_term = recovered.term;
         let base = if recovered.vectors.is_empty() {
             if seed.is_empty() {
                 return Err(ServiceError::InvalidRequest(
@@ -230,6 +248,10 @@ impl Service {
             s.live = Mutex::new(LiveState {
                 store: Some(store),
                 overlay: None,
+                consensus: ConsensusState {
+                    term: recovered_term,
+                    ..ConsensusState::default()
+                },
             });
             s
         };
@@ -863,6 +885,110 @@ impl Service {
         let total = self.total_vectors() as u64;
         let durable = if self.is_durable() { total } else { 0 };
         (total, durable)
+    }
+
+    /// This node's consensus position: `(term, leased)`. `term` is the
+    /// highest term it has acknowledged via a vote or a fenced apply
+    /// (persisted when durable); `leased` is whether a leader at that
+    /// term currently holds an unexpired lease here.
+    pub fn consensus_status(&self) -> (u64, bool) {
+        let live = self.lock_live();
+        let leased = live
+            .consensus
+            .lease_until
+            .is_some_and(|until| until > Instant::now());
+        (live.consensus.term, leased)
+    }
+
+    /// Considers a vote request from a candidate leader at `term`.
+    /// Granted iff `term` is strictly above every term this node has
+    /// acknowledged AND neither lease is outstanding: an unexpired
+    /// **vote-lease** means another candidate just collected this
+    /// node's vote (stops two routers contending over the same node
+    /// from both collecting it), and an unexpired **leader lease**
+    /// means a live leader renewed its hold recently (a healthy,
+    /// actively-shipping leader cannot be deposed; a dead one is
+    /// deposable one lease window after its last renewal). A granted
+    /// vote durably advances the node's term, so the fence survives a
+    /// crash.
+    ///
+    /// Returns `(granted, current_term)` where `current_term` is the
+    /// node's term after considering the request.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Storage`] when persisting the advanced term
+    /// fails (the vote is not granted in that case).
+    pub fn handle_vote(&self, term: u64, lease_ms: u64) -> Result<(bool, u64), ServiceError> {
+        if term == 0 {
+            return Err(ServiceError::InvalidRequest(
+                "vote term must be positive (0 is the unfenced bootstrap term)".into(),
+            ));
+        }
+        let mut guard = self.lock_live();
+        let live = &mut *guard;
+        let now = Instant::now();
+        let leased = live.consensus.vote_until.is_some_and(|t| t > now)
+            || live.consensus.lease_until.is_some_and(|t| t > now);
+        if term <= live.consensus.term || leased {
+            return Ok((false, live.consensus.term));
+        }
+        if let Some(store) = live.store.as_mut() {
+            store.set_term(term)?;
+        }
+        live.consensus.term = term;
+        live.consensus.vote_until = (lease_ms > 0).then(|| now + Duration::from_millis(lease_ms));
+        Ok((true, term))
+    }
+
+    /// Fences one replication `Apply` at the shipper's `term`. Returns
+    /// `Some(current_term)` when the ship is **stale** (the shipper
+    /// lost leadership — it must stop and re-discover) and `None` when
+    /// the ship may be applied. A ship at or above this node's term
+    /// adopts the term (durably, when advancing) and refreshes the
+    /// leader lease by `lease_ms`; `term == 0` is the legacy unfenced
+    /// path, accepted only while this node has never seen a fenced
+    /// leader (after that, an unfenced shipper is a zombie).
+    ///
+    /// Failpoint `repl.apply.stale_term` (any armed action) forces the
+    /// stale verdict, for fencing-path tests.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Storage`] when persisting an advanced term fails.
+    pub fn fence_apply(&self, term: u64, lease_ms: u64) -> Result<Option<u64>, ServiceError> {
+        if qcluster_failpoint::active()
+            && qcluster_failpoint::evaluate_sleepy("repl.apply.stale_term").is_some()
+        {
+            return Ok(Some(self.lock_live().consensus.term));
+        }
+        let mut guard = self.lock_live();
+        let live = &mut *guard;
+        if term == 0 {
+            // Legacy unfenced ship: accepted only while this node has
+            // never been fenced. Once any leader won a term here, an
+            // unfenced shipper is by definition a zombie.
+            return if live.consensus.term == 0 {
+                Ok(None)
+            } else {
+                Ok(Some(live.consensus.term))
+            };
+        }
+        if term < live.consensus.term {
+            return Ok(Some(live.consensus.term));
+        }
+        if term > live.consensus.term {
+            if let Some(store) = live.store.as_mut() {
+                store.set_term(term)?;
+            }
+            live.consensus.term = term;
+            // A live leader at a newer term supersedes any vote-lease.
+            live.consensus.vote_until = None;
+        }
+        if lease_ms > 0 {
+            live.consensus.lease_until = Some(Instant::now() + Duration::from_millis(lease_ms));
+        }
+        Ok(None)
     }
 
     /// A point-in-time snapshot of every service metric, with storage

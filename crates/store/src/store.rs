@@ -70,6 +70,9 @@ pub struct RecoveredState {
     pub sessions: Vec<SessionState>,
     /// `true` when a torn WAL tail was discarded during replay.
     pub wal_truncated: bool,
+    /// The replication term this node last acknowledged (0 when the
+    /// node has never seen a fenced leader).
+    pub term: u64,
 }
 
 /// Counters and gauges describing one store.
@@ -122,12 +125,57 @@ pub struct VectorStore {
     /// Counter bases carried across WAL rewrites.
     appends_base: u64,
     fsyncs_base: u64,
+    /// The highest replication term durably acknowledged by this node.
+    term: u64,
 }
 
 fn segment_index(path: &Path) -> Option<u64> {
     let name = path.file_name()?.to_str()?;
     let rest = name.strip_prefix("seg-")?.strip_suffix(".qseg")?;
     rest.parse().ok()
+}
+
+/// The term file: 8 bytes of little-endian term + a CRC-32 of those
+/// bytes. A partial staging write is swept as a `.tmp` on open; the
+/// published file is only ever replaced by an atomic rename, so the
+/// term can never tear — it is either the old value or the new one.
+const TERM_FILE: &str = "term";
+
+fn read_term_file(dir: &Path) -> Result<u64> {
+    let path = dir.join(TERM_FILE);
+    let bytes = match std::fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e.into()),
+    };
+    if bytes.len() != 12 {
+        return Err(StoreError::corrupt(
+            &path,
+            format!("term file holds {} bytes, expected 12", bytes.len()),
+        ));
+    }
+    let term = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+    let stored_crc = u32::from_le_bytes(bytes[8..].try_into().expect("4 bytes"));
+    if crate::codec::Crc32::checksum(&bytes[..8]) != stored_crc {
+        return Err(StoreError::corrupt(&path, "term file CRC mismatch"));
+    }
+    Ok(term)
+}
+
+fn write_term_file(dir: &Path, term: u64) -> Result<()> {
+    let mut bytes = Vec::with_capacity(12);
+    bytes.extend_from_slice(&term.to_le_bytes());
+    let crc = crate::codec::Crc32::checksum(&term.to_le_bytes());
+    bytes.extend_from_slice(&crc.to_le_bytes());
+    let staged = dir.join(format!("{TERM_FILE}.tmp"));
+    {
+        use std::io::Write as _;
+        let mut file = std::fs::File::create(&staged)?;
+        file.write_all(&bytes)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&staged, dir.join(TERM_FILE))?;
+    Ok(())
 }
 
 impl VectorStore {
@@ -237,6 +285,7 @@ impl VectorStore {
         }
         vectors.extend(wal_tail.iter().cloned());
 
+        let term = read_term_file(dir)?;
         let wal = WalWriter::open(&wal_path, replayed.valid_len, config.fsync_on_commit)?;
         let live_sessions = sessions
             .values()
@@ -255,12 +304,14 @@ impl VectorStore {
             wal,
             appends_base: 0,
             fsyncs_base: 0,
+            term,
         };
         let recovered = RecoveredState {
             vectors,
             segment_vectors: segment_vectors as usize,
             sessions: live_sessions,
             wal_truncated: replayed.truncated,
+            term,
         };
         Ok((store, recovered))
     }
@@ -278,6 +329,27 @@ impl VectorStore {
     /// Total vectors (sealed + WAL tail).
     pub fn total_vectors(&self) -> u64 {
         self.segment_vectors + self.wal_tail.len() as u64
+    }
+
+    /// The highest replication term this node durably acknowledged.
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
+    /// Durably advances the replication term. Terms are monotonic: a
+    /// `term` at or below the current one is a no-op (idempotent
+    /// re-acknowledgement), never a regression.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures staging or renaming the term file.
+    pub fn set_term(&mut self, term: u64) -> Result<()> {
+        if term <= self.term {
+            return Ok(());
+        }
+        write_term_file(&self.dir, term)?;
+        self.term = term;
+        Ok(())
     }
 
     /// `true` when the store holds no vectors yet.
@@ -629,6 +701,30 @@ mod tests {
         let (_, recovered) = VectorStore::open(&dir, StoreConfig::default()).unwrap();
         assert_eq!(recovered.vectors[..10].to_vec(), legacy);
         assert_eq!(recovered.vectors.len(), 13);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn term_survives_reopen_and_never_regresses() {
+        let dir = tmp_store("term");
+        {
+            let (mut store, recovered) = VectorStore::open(&dir, StoreConfig::default()).unwrap();
+            assert_eq!(recovered.term, 0, "fresh store starts unfenced");
+            assert_eq!(store.term(), 0);
+            store.set_term(3).unwrap();
+            store.set_term(7).unwrap();
+            // Regressions and re-acks are no-ops, not errors.
+            store.set_term(5).unwrap();
+            store.set_term(7).unwrap();
+            assert_eq!(store.term(), 7);
+        }
+        let (store, recovered) = VectorStore::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(recovered.term, 7, "term survives a restart");
+        assert_eq!(store.term(), 7);
+        // A corrupted term file is a typed error, not a silent zero.
+        std::fs::write(dir.join("term"), [0u8; 12]).unwrap();
+        let corrupted = VectorStore::open(&dir, StoreConfig::default());
+        assert!(matches!(corrupted, Err(StoreError::Corrupt { .. })));
         std::fs::remove_dir_all(&dir).ok();
     }
 
