@@ -22,6 +22,11 @@
 //! (e.g. the 10M-point quantize-bench corpus) straight into a sealed
 //! format-v2 segment — tile-native columns plus the u8 code column —
 //! without building a labeled dataset in memory.
+//!
+//! **Deprecation**: `convert` and `synth` have moved to the unified
+//! `qcluster` binary (`qcluster convert`, `qcluster synth <out.qseg>`)
+//! in `crates/cli`; the aliases here remain for compatibility and
+//! forward to the same library paths.
 
 use qcluster_bench::{image_dataset, semantic_gap_dataset, Scale};
 use qcluster_eval::{
@@ -92,6 +97,7 @@ fn stats(args: &[String]) -> Result<(), String> {
 }
 
 fn convert(args: &[String]) -> Result<(), String> {
+    eprintln!("note: `dataset-tool convert` is deprecated; use `qcluster convert`");
     let input = args.first().ok_or("convert needs an input path")?;
     let output = args.get(1).ok_or("convert needs an output path")?;
     let dataset = load_dataset_auto(Path::new(input)).map_err(|e| e.to_string())?;
@@ -122,6 +128,9 @@ fn convert(args: &[String]) -> Result<(), String> {
 }
 
 fn synth(args: &[String]) -> Result<(), String> {
+    eprintln!(
+        "note: `dataset-tool synth` is deprecated; use `qcluster synth <out.qseg> <n> <dim>`"
+    );
     let [path, n, dim, ..] = args else {
         return Err("synth needs <out.qseg> <n> <dim>".into());
     };

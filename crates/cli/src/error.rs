@@ -1,0 +1,151 @@
+//! Typed errors for the pipeline CLI.
+
+use std::path::PathBuf;
+
+/// Why one image file was skipped during ingest (never aborts the
+/// run — counted in the stage's `skipped` and logged with the path).
+#[derive(Debug)]
+pub enum SkipReason {
+    /// The file could not be read at all.
+    Io(std::io::Error),
+    /// The file is empty (zero bytes).
+    Empty,
+    /// The bytes are not a decodable image (bad magic, malformed
+    /// header, truncated pixel data, …).
+    Decode(String),
+}
+
+impl std::fmt::Display for SkipReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SkipReason::Io(e) => write!(f, "unreadable: {e}"),
+            SkipReason::Empty => write!(f, "zero-byte file"),
+            SkipReason::Decode(d) => write!(f, "undecodable: {d}"),
+        }
+    }
+}
+
+/// One skipped input file: the path plus why it was dropped.
+#[derive(Debug)]
+pub struct SkippedFile {
+    /// The offending file.
+    pub path: PathBuf,
+    /// Why it was skipped.
+    pub reason: SkipReason,
+}
+
+impl std::fmt::Display for SkippedFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path.display(), self.reason)
+    }
+}
+
+/// Top-level CLI failure: everything a subcommand can die on, each
+/// variant carrying enough context to act on the message alone.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line or recipe value.
+    Usage(String),
+    /// Filesystem failure with the path that caused it.
+    Io {
+        /// The offending path.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// Recipe file could not be parsed.
+    Recipe {
+        /// The recipe file.
+        path: PathBuf,
+        /// Line number (1-based) when known.
+        line: Option<usize>,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A pipeline stage failed outright (not a per-file skip).
+    Stage {
+        /// Which stage.
+        stage: String,
+        /// What happened.
+        detail: String,
+    },
+    /// Stage accounting did not balance.
+    Conservation(crate::stats::ConservationError),
+    /// The served precision diverged from the offline baseline beyond
+    /// the configured tolerance.
+    QualityGate {
+        /// Feedback iteration where the divergence happened.
+        iteration: usize,
+        /// Served mean precision at that iteration.
+        served: f64,
+        /// Offline-baseline mean precision at that iteration.
+        offline: f64,
+        /// The configured tolerance.
+        epsilon: f64,
+    },
+}
+
+impl CliError {
+    /// Wraps an I/O error with its path context.
+    pub fn io(path: impl Into<PathBuf>, source: std::io::Error) -> CliError {
+        CliError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// A stage-level failure.
+    pub fn stage(stage: &str, detail: impl std::fmt::Display) -> CliError {
+        CliError::Stage {
+            stage: stage.to_string(),
+            detail: detail.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            CliError::Recipe {
+                path,
+                line: Some(line),
+                detail,
+            } => write!(f, "{}:{line}: {detail}", path.display()),
+            CliError::Recipe {
+                path,
+                line: None,
+                detail,
+            } => write!(f, "{}: {detail}", path.display()),
+            CliError::Stage { stage, detail } => write!(f, "stage `{stage}` failed: {detail}"),
+            CliError::Conservation(e) => write!(f, "stats conservation violated: {e}"),
+            CliError::QualityGate {
+                iteration,
+                served,
+                offline,
+                epsilon,
+            } => write!(
+                f,
+                "served precision diverged from the offline baseline at iteration \
+                 {iteration}: served {served:.4} vs offline {offline:.4} (\u{3b5} = {epsilon})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Io { source, .. } => Some(source),
+            CliError::Conservation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<crate::stats::ConservationError> for CliError {
+    fn from(e: crate::stats::ConservationError) -> Self {
+        CliError::Conservation(e)
+    }
+}

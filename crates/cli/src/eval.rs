@@ -1,0 +1,400 @@
+//! `qcluster eval` — oracle-graded relevance-feedback evaluation.
+//!
+//! Replays the paper's retrieval experiment: sample query images, run
+//! the initial example-image query plus `rounds` feedback iterations
+//! (the oracle-backed [`SimulatedUser`] marks each answer), and report
+//! mean precision@k / recall@k per iteration — the precision
+//! trajectory of the paper's Fig. 8/9.
+//!
+//! Two execution paths score the **same sampled queries**:
+//!
+//! - **offline** — `qcluster-eval`'s in-process [`FeedbackSession`]
+//!   over the labeled feature file; the ground-truth trajectory.
+//! - **served** — real wire sessions against a `qcluster serve` stack
+//!   (single node over TCP, or a router-fronted cluster), driven with
+//!   the same protocol the loadgen fleet uses.
+//!
+//! The quality gate compares the two tables: at every iteration the
+//! served mean precision must stay within ε of the offline baseline,
+//! which is what the golden end-to-end test (and `qcluster run`)
+//! enforce.
+
+use crate::error::CliError;
+use crate::stats::PipelineStats;
+use qcluster_core::{QclusterConfig, QclusterEngine};
+use qcluster_eval::oracle::SCORE_SAME_CATEGORY;
+use qcluster_eval::{precision_at_k, Dataset, FeedbackSession, RelevanceOracle, SimulatedUser};
+use qcluster_loadgen::{SeedRng, SoakBackend};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Stream tag deriving the query-sampling RNG from the eval seed.
+const QUERY_STREAM: u64 = 0xE7A1;
+
+/// Eval shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalOptions {
+    /// Results per query round.
+    pub k: usize,
+    /// Feedback iterations after the initial query.
+    pub rounds: usize,
+    /// Query images to sample.
+    pub queries: usize,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            k: 20,
+            rounds: 2,
+            queries: 30,
+            seed: 17,
+        }
+    }
+}
+
+/// Aggregated retrieval quality at one feedback iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IterationRow {
+    /// Iteration index (0 = the initial example-image query).
+    pub iteration: usize,
+    /// Mean precision@k over the scored sessions.
+    pub mean_precision: f64,
+    /// Sample standard deviation of precision@k.
+    pub std_precision: f64,
+    /// Mean recall@k (same-category hits / category size).
+    pub mean_recall: f64,
+    /// Sessions that contributed a score at this iteration.
+    pub sessions: usize,
+}
+
+/// One eval run's full result table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Which path produced it (`offline` or the served target label).
+    pub target: String,
+    /// Results per round.
+    pub k: usize,
+    /// Feedback iterations after the initial query.
+    pub rounds: usize,
+    /// Query images sampled.
+    pub queries: usize,
+    /// Sampling seed.
+    pub seed: u64,
+    /// One row per iteration, index order.
+    pub rows: Vec<IterationRow>,
+}
+
+impl EvalReport {
+    /// Renders the table as markdown.
+    pub fn render_markdown(&self) -> String {
+        let mut out = format!(
+            "| iteration | precision@{k} | σ | recall@{k} | sessions |\n\
+             |---:|---:|---:|---:|---:|\n",
+            k = self.k
+        );
+        for row in &self.rows {
+            out.push_str(&format!(
+                "| {} | {:.4} | {:.4} | {:.4} | {} |\n",
+                row.iteration, row.mean_precision, row.std_precision, row.mean_recall, row.sessions
+            ));
+        }
+        out
+    }
+}
+
+/// Samples `queries` distinct query images (falls back to allowing
+/// repeats only when the corpus is smaller than the request).
+pub fn sample_queries(corpus_len: usize, queries: usize, seed: u64) -> Vec<usize> {
+    let mut rng = SeedRng::derived(seed, QUERY_STREAM);
+    if queries >= corpus_len {
+        return (0..corpus_len).collect();
+    }
+    let mut seen = BTreeSet::new();
+    while seen.len() < queries {
+        seen.insert(rng.next_range(corpus_len as u64) as usize);
+    }
+    seen.into_iter().collect()
+}
+
+/// Per-session scores accumulated into rows.
+struct ScoreTable {
+    /// `precision[i]` = precision@k samples at iteration `i`.
+    precision: Vec<Vec<f64>>,
+    recall: Vec<Vec<f64>>,
+}
+
+impl ScoreTable {
+    fn new(iterations: usize) -> ScoreTable {
+        ScoreTable {
+            precision: vec![Vec::new(); iterations],
+            recall: vec![Vec::new(); iterations],
+        }
+    }
+
+    fn observe(
+        &mut self,
+        dataset: &Dataset,
+        category: usize,
+        iteration: usize,
+        retrieved: &[usize],
+        k: usize,
+    ) {
+        let oracle = RelevanceOracle::new(dataset);
+        let depth = retrieved.len().min(k);
+        let hits = retrieved[..depth]
+            .iter()
+            .filter(|&&id| id < dataset.len() && oracle.is_relevant(category, id))
+            .count();
+        self.precision[iteration].push(precision_at_k(dataset, category, retrieved, k));
+        self.recall[iteration].push(hits as f64 / oracle.total_relevant(category) as f64);
+    }
+
+    fn rows(&self) -> Vec<IterationRow> {
+        self.precision
+            .iter()
+            .zip(self.recall.iter())
+            .enumerate()
+            .map(|(i, (p, r))| IterationRow {
+                iteration: i,
+                mean_precision: qcluster_stats::descriptive::mean(p).unwrap_or(0.0),
+                std_precision: qcluster_stats::descriptive::sample_variance(p)
+                    .map_or(0.0, f64::sqrt),
+                mean_recall: qcluster_stats::descriptive::mean(r).unwrap_or(0.0),
+                sessions: p.len(),
+            })
+            .collect()
+    }
+}
+
+/// Runs the offline (in-process) baseline over the labeled dataset.
+///
+/// # Errors
+///
+/// Engine failures.
+pub fn offline_eval(
+    dataset: &Dataset,
+    opts: &EvalOptions,
+    stats: &PipelineStats,
+) -> Result<EvalReport, CliError> {
+    let stage = stats.stage("offline");
+    let session = FeedbackSession::new(dataset, opts.k);
+    let mut engine = QclusterEngine::new(QclusterConfig::default());
+    let mut table = ScoreTable::new(opts.rounds + 1);
+    let queries = sample_queries(dataset.len(), opts.queries, opts.seed);
+    for &q in &queries {
+        stage.item_in();
+        let outcome = session
+            .run(&mut engine, q, opts.rounds)
+            .map_err(|e| CliError::stage("offline", e))?;
+        let category = dataset.category(q);
+        for (i, record) in outcome.iterations.iter().enumerate() {
+            table.observe(dataset, category, i, &record.retrieved, opts.k);
+        }
+        stage.item_out();
+    }
+    stage.finish();
+    Ok(EvalReport {
+        target: "offline".into(),
+        k: opts.k,
+        rounds: opts.rounds,
+        queries: queries.len(),
+        seed: opts.seed,
+        rows: table.rows(),
+    })
+}
+
+/// Drives the same eval over a live serving stack (the loadgen wire
+/// protocol: initial example query → oracle marks → `Feed` → refined
+/// query).
+///
+/// # Errors
+///
+/// Transport or service failures (a degraded-but-answered query is
+/// scored, not an error).
+pub fn served_eval(
+    dataset: &Dataset,
+    backend: &dyn SoakBackend,
+    opts: &EvalOptions,
+    stats: &PipelineStats,
+) -> Result<EvalReport, CliError> {
+    let stage = stats.stage("served");
+    let mut target = backend
+        .user_target()
+        .map_err(|e| CliError::stage("served", e))?;
+    let mut table = ScoreTable::new(opts.rounds + 1);
+    let queries = sample_queries(dataset.len(), opts.queries, opts.seed);
+    for &q in &queries {
+        stage.item_in();
+        let category = dataset.category(q);
+        let user = SimulatedUser::new(dataset, category);
+        let session = target
+            .create_session()
+            .map_err(|e| CliError::stage("served", e))?;
+        let reply = target
+            .query(session, opts.k, Some(dataset.vector(q).to_vec()), None)
+            .map_err(|e| CliError::stage("served", e))?;
+        table.observe(dataset, category, 0, &reply.retrieved, opts.k);
+        let mut marked = mark(dataset, &user, q, &reply.retrieved);
+        for round in 0..opts.rounds {
+            let ids: Vec<usize> = marked.iter().map(|p| p.id).collect();
+            let scores: Vec<f64> = marked.iter().map(|p| p.score).collect();
+            target
+                .feed(session, &ids, &scores)
+                .map_err(|e| CliError::stage("served", e))?;
+            let reply = target
+                .query(session, opts.k, None, None)
+                .map_err(|e| CliError::stage("served", e))?;
+            table.observe(dataset, category, round + 1, &reply.retrieved, opts.k);
+            marked = mark(dataset, &user, q, &reply.retrieved);
+        }
+        let _ = target.close_session(session);
+        stage.item_out();
+    }
+    stage.finish();
+    Ok(EvalReport {
+        target: backend.label(),
+        k: opts.k,
+        rounds: opts.rounds,
+        queries: queries.len(),
+        seed: opts.seed,
+        rows: table.rows(),
+    })
+}
+
+/// Oracle-marks one answer, dropping unlabeled ids (live ingests past
+/// the labeled corpus) and falling back to the trivially relevant
+/// query example when nothing was marked.
+fn mark(
+    dataset: &Dataset,
+    user: &SimulatedUser<'_>,
+    query_image: usize,
+    retrieved: &[usize],
+) -> Vec<qcluster_core::FeedbackPoint> {
+    let labelled: Vec<usize> = retrieved
+        .iter()
+        .copied()
+        .filter(|&id| id < dataset.len())
+        .collect();
+    let mut marked = user.mark(&labelled);
+    if marked.is_empty() {
+        marked.push(qcluster_core::FeedbackPoint::new(
+            query_image,
+            dataset.vector(query_image).to_vec(),
+            SCORE_SAME_CATEGORY,
+        ));
+    }
+    marked
+}
+
+/// The quality gate: every iteration's served mean precision must sit
+/// within `epsilon` of the offline baseline.
+///
+/// # Errors
+///
+/// [`CliError::QualityGate`] naming the first diverging iteration.
+pub fn compare_reports(
+    served: &EvalReport,
+    offline: &EvalReport,
+    epsilon: f64,
+) -> Result<(), CliError> {
+    for (s, o) in served.rows.iter().zip(offline.rows.iter()) {
+        if (s.mean_precision - o.mean_precision).abs() > epsilon {
+            return Err(CliError::QualityGate {
+                iteration: s.iteration,
+                served: s.mean_precision,
+                offline: o.mean_precision,
+                epsilon,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcluster_imaging::FeatureKind;
+
+    fn dataset() -> Dataset {
+        Dataset::small_default(FeatureKind::ColorMoments, 9).unwrap()
+    }
+
+    #[test]
+    fn query_sampling_is_deterministic_and_distinct() {
+        let a = sample_queries(144, 10, 17);
+        let b = sample_queries(144, 10, 17);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        let distinct: BTreeSet<_> = a.iter().collect();
+        assert_eq!(distinct.len(), 10);
+        assert!(a.iter().all(|&q| q < 144));
+        assert_ne!(a, sample_queries(144, 10, 18));
+    }
+
+    #[test]
+    fn offline_eval_produces_a_full_table() {
+        let ds = dataset();
+        let opts = EvalOptions {
+            queries: 6,
+            ..EvalOptions::default()
+        };
+        let stats = PipelineStats::new("eval");
+        let report = offline_eval(&ds, &opts, &stats).unwrap();
+        assert_eq!(report.rows.len(), 3);
+        assert_eq!(report.rows[0].sessions, 6);
+        assert!(report.rows.iter().all(|r| r.mean_precision > 0.0));
+        assert!(report
+            .rows
+            .iter()
+            .all(|r| r.mean_precision <= 1.0 && r.mean_recall <= 1.0));
+        // Feedback must not collapse precision relative to round 0.
+        let first = report.rows[0].mean_precision;
+        let last = report.rows.last().unwrap().mean_precision;
+        assert!(
+            last >= first - 0.1,
+            "feedback collapsed precision: {first:.3} -> {last:.3}"
+        );
+        let md = report.render_markdown();
+        assert!(md.contains("precision@20"), "{md}");
+        assert!(stats.verify_conservation().is_ok());
+    }
+
+    #[test]
+    fn quality_gate_triggers_on_divergence() {
+        let row = |p: f64| IterationRow {
+            iteration: 0,
+            mean_precision: p,
+            std_precision: 0.0,
+            mean_recall: 0.0,
+            sessions: 1,
+        };
+        let mk = |p: f64| EvalReport {
+            target: "t".into(),
+            k: 20,
+            rounds: 0,
+            queries: 1,
+            seed: 0,
+            rows: vec![row(p)],
+        };
+        assert!(compare_reports(&mk(0.80), &mk(0.83), 0.05).is_ok());
+        let err = compare_reports(&mk(0.70), &mk(0.83), 0.05).unwrap_err();
+        assert!(err.to_string().contains("iteration 0"), "{err}");
+    }
+
+    #[test]
+    fn reports_serialize_to_json() {
+        let ds = dataset();
+        let opts = EvalOptions {
+            queries: 3,
+            rounds: 1,
+            ..EvalOptions::default()
+        };
+        let report = offline_eval(&ds, &opts, &PipelineStats::new("eval")).unwrap();
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: EvalReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -1,0 +1,42 @@
+//! `qcluster-cli` — the one-binary pipeline front-end.
+//!
+//! Everything the workspace can do, reachable from a single `qcluster`
+//! binary: render a synthetic corpus (`synth`), stream raw images into
+//! a reduced feature dataset (`ingest`), seal it into a durable store
+//! (`build`), bind the TCP retrieval stack on it (`serve`), grade
+//! relevance-feedback quality over the wire (`eval`), re-encode
+//! datasets (`convert`), and chain all of it from one TOML recipe
+//! (`run`). Each stage reports per-stage throughput through a shared
+//! [`stats::PipelineStats`] reporter and verifies the conservation
+//! invariant `items_in == items_out + skipped`.
+//!
+//! The library half exists so the whole pipeline is testable
+//! in-process (see `tests/pipeline_e2e.rs`); `main.rs` is a thin
+//! argument-parsing shell over these modules.
+
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod convert;
+pub mod error;
+pub mod eval;
+pub mod ingest;
+pub mod recipe;
+pub mod run;
+pub mod serve;
+pub mod stats;
+pub mod synth;
+
+pub use build::{build, BuildReport};
+pub use convert::{convert, ConvertReport, ConvertedKind};
+pub use error::{CliError, SkipReason, SkippedFile};
+pub use eval::{
+    compare_reports, offline_eval, sample_queries, served_eval, EvalOptions, EvalReport,
+    IterationRow,
+};
+pub use ingest::{ingest, parse_feature_kind, IngestConfig, IngestReport, IngestSource};
+pub use recipe::Recipe;
+pub use run::{run, RunReport};
+pub use serve::{serve, ServeHandle, ServeOptions};
+pub use stats::{PipelineStats, StageStats};
+pub use synth::{synth_images, synth_segment, SynthImagesConfig};

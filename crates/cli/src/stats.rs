@@ -1,0 +1,413 @@
+//! The shared per-stage pipeline reporter.
+//!
+//! Every `qcluster` pipeline stage (scan, decode, extract, reduce,
+//! write, seal, …) accounts its work through one [`PipelineStats`]:
+//! items in, items out, items skipped, bytes moved, and wall time,
+//! from which throughput falls out. Counters are atomics so a stage
+//! fanned out over worker threads shares one [`StageHandle`] without
+//! coordination, and a background ticker can render live progress to
+//! stderr while the stages run.
+//!
+//! The one invariant every stage must keep — tested by the golden
+//! end-to-end pipeline test — is **conservation**: every item that
+//! entered a stage either came out or was counted skipped
+//! (`items_in == items_out + skipped`). A stage that drops work
+//! silently is a bug; [`PipelineStats::verify_conservation`] turns it
+//! into a typed error.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One stage's frozen accounting, as reported and serialized.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageStats {
+    /// Stage name (`scan`, `decode`, `extract`, …).
+    pub stage: String,
+    /// Items that entered the stage.
+    pub items_in: u64,
+    /// Items the stage emitted downstream.
+    pub items_out: u64,
+    /// Items the stage dropped deliberately (each with a logged,
+    /// typed reason — e.g. a corrupt image file).
+    pub skipped: u64,
+    /// Payload bytes the stage moved (file bytes read, bytes written).
+    pub bytes: u64,
+    /// Stage wall time, seconds (first item in → stage finished).
+    pub wall_secs: f64,
+    /// Output throughput, items per second of wall time.
+    pub items_per_sec: f64,
+}
+
+/// Mutable per-stage counters, shared by every worker of the stage.
+#[derive(Debug)]
+struct StageCounters {
+    name: String,
+    items_in: AtomicU64,
+    items_out: AtomicU64,
+    skipped: AtomicU64,
+    bytes: AtomicU64,
+    /// Set when the first work arrives; the stage clock starts here,
+    /// not at pipeline construction, so queued-behind stages don't
+    /// charge upstream time to their own throughput.
+    started: Mutex<Option<Instant>>,
+    /// Frozen on [`StageHandle::finish`]; `None` while running.
+    wall: Mutex<Option<Duration>>,
+}
+
+impl StageCounters {
+    fn new(name: &str) -> StageCounters {
+        StageCounters {
+            name: name.to_string(),
+            items_in: AtomicU64::new(0),
+            items_out: AtomicU64::new(0),
+            skipped: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            started: Mutex::new(None),
+            wall: Mutex::new(None),
+        }
+    }
+
+    fn elapsed(&self) -> Duration {
+        if let Some(wall) = *lock(&self.wall) {
+            return wall;
+        }
+        lock(&self.started).map_or(Duration::ZERO, |t| t.elapsed())
+    }
+
+    fn snapshot(&self) -> StageStats {
+        let wall = self.elapsed();
+        let items_out = self.items_out.load(Ordering::Relaxed);
+        let wall_secs = wall.as_secs_f64();
+        StageStats {
+            stage: self.name.clone(),
+            items_in: self.items_in.load(Ordering::Relaxed),
+            items_out,
+            skipped: self.skipped.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            wall_secs,
+            items_per_sec: if wall_secs > 0.0 {
+                items_out as f64 / wall_secs
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A cloneable handle onto one stage's counters. Worker threads of a
+/// fanned-out stage all tick the same handle.
+#[derive(Debug, Clone)]
+pub struct StageHandle {
+    counters: Arc<StageCounters>,
+}
+
+impl StageHandle {
+    /// Records one item entering the stage (starts the stage clock on
+    /// first call).
+    pub fn item_in(&self) {
+        self.items_in(1);
+    }
+
+    /// Records `n` items entering the stage.
+    pub fn items_in(&self, n: u64) {
+        let mut started = lock(&self.counters.started);
+        if started.is_none() {
+            *started = Some(Instant::now());
+        }
+        drop(started);
+        self.counters.items_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one item emitted downstream.
+    pub fn item_out(&self) {
+        self.counters.items_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` items emitted downstream.
+    pub fn items_out(&self, n: u64) {
+        self.counters.items_out.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one item deliberately dropped (caller logs the typed
+    /// reason).
+    pub fn skip(&self) {
+        self.counters.skipped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accounts payload bytes moved by the stage.
+    pub fn add_bytes(&self, n: u64) {
+        self.counters.bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Freezes the stage clock (idempotent; later work still counts
+    /// items but wall time stays frozen — finish last).
+    pub fn finish(&self) {
+        let mut wall = lock(&self.counters.wall);
+        if wall.is_none() {
+            *wall = Some(lock(&self.counters.started).map_or(Duration::ZERO, |t| t.elapsed()));
+        }
+    }
+
+    /// This stage's current snapshot.
+    pub fn snapshot(&self) -> StageStats {
+        self.counters.snapshot()
+    }
+}
+
+/// Conservation violation: a stage lost items without counting them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConservationError {
+    /// The offending stage.
+    pub stage: String,
+    /// Items that entered.
+    pub items_in: u64,
+    /// Items emitted.
+    pub items_out: u64,
+    /// Items counted skipped.
+    pub skipped: u64,
+}
+
+impl std::fmt::Display for ConservationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stage `{}` lost items: {} in but {} out + {} skipped",
+            self.stage, self.items_in, self.items_out, self.skipped
+        )
+    }
+}
+
+impl std::error::Error for ConservationError {}
+
+/// The pipeline-wide stats registry: stages in declaration order plus
+/// an optional live progress ticker.
+#[derive(Debug)]
+pub struct PipelineStats {
+    pipeline: String,
+    stages: Mutex<Vec<Arc<StageCounters>>>,
+    progress: bool,
+}
+
+impl PipelineStats {
+    /// A stats registry for one named pipeline (`ingest`, `build`, …),
+    /// silent by default.
+    pub fn new(pipeline: &str) -> PipelineStats {
+        PipelineStats {
+            pipeline: pipeline.to_string(),
+            stages: Mutex::new(Vec::new()),
+            progress: false,
+        }
+    }
+
+    /// Enables live per-stage progress lines on stderr (driven by
+    /// [`PipelineStats::run_with_progress`]).
+    pub fn with_progress(mut self, on: bool) -> PipelineStats {
+        self.progress = on;
+        self
+    }
+
+    /// The pipeline name.
+    pub fn pipeline(&self) -> &str {
+        &self.pipeline
+    }
+
+    /// Registers a stage (display order = registration order) and
+    /// returns its shared handle.
+    pub fn stage(&self, name: &str) -> StageHandle {
+        let counters = Arc::new(StageCounters::new(name));
+        lock(&self.stages).push(Arc::clone(&counters));
+        StageHandle { counters }
+    }
+
+    /// Snapshots every stage in registration order.
+    pub fn snapshot(&self) -> Vec<StageStats> {
+        lock(&self.stages).iter().map(|s| s.snapshot()).collect()
+    }
+
+    /// Checks `items_in == items_out + skipped` for every stage.
+    ///
+    /// # Errors
+    ///
+    /// The first stage whose accounting does not balance.
+    pub fn verify_conservation(&self) -> Result<(), ConservationError> {
+        for s in self.snapshot() {
+            if s.items_in != s.items_out + s.skipped {
+                return Err(ConservationError {
+                    stage: s.stage,
+                    items_in: s.items_in,
+                    items_out: s.items_out,
+                    skipped: s.skipped,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs `body` while a background ticker prints live per-stage
+    /// progress to stderr every `interval` (when progress is enabled;
+    /// otherwise just runs `body`).
+    pub fn run_with_progress<T>(&self, interval: Duration, body: impl FnOnce() -> T) -> T {
+        if !self.progress {
+            return body();
+        }
+        let stop = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            let ticker = scope.spawn(|| {
+                let mut last_line = String::new();
+                while stop.load(Ordering::Relaxed) == 0 {
+                    std::thread::sleep(interval);
+                    let line = self.progress_line();
+                    if line != last_line && !line.is_empty() {
+                        eprintln!("  [{}] {line}", self.pipeline);
+                        last_line = line;
+                    }
+                }
+            });
+            let out = body();
+            stop.store(1, Ordering::Relaxed);
+            let _ = ticker.join();
+            out
+        })
+    }
+
+    /// One compact live-progress line over the currently active stages.
+    fn progress_line(&self) -> String {
+        self.snapshot()
+            .iter()
+            .filter(|s| s.items_in > 0)
+            .map(|s| {
+                let mut part = format!("{}: {}/{}", s.stage, s.items_out, s.items_in);
+                if s.skipped > 0 {
+                    part.push_str(&format!(" ({} skipped)", s.skipped));
+                }
+                if s.items_per_sec > 0.0 {
+                    part.push_str(&format!(" @ {:.0}/s", s.items_per_sec));
+                }
+                part
+            })
+            .collect::<Vec<_>>()
+            .join(" | ")
+    }
+
+    /// Renders the final per-stage table (markdown-compatible).
+    pub fn render_table(&self) -> String {
+        let mut out = String::from(
+            "| stage | in | out | skipped | bytes | wall (s) | items/s |\n\
+             |---|---:|---:|---:|---:|---:|---:|\n",
+        );
+        for s in self.snapshot() {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {:.3} | {:.1} |\n",
+                s.stage, s.items_in, s.items_out, s.skipped, s.bytes, s.wall_secs, s.items_per_sec
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let stats = PipelineStats::new("test");
+        let stage = stats.stage("decode");
+        stage.items_in(5);
+        for _ in 0..3 {
+            stage.item_out();
+        }
+        stage.skip();
+        stage.skip();
+        stage.add_bytes(1024);
+        stage.finish();
+        let snap = stats.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].stage, "decode");
+        assert_eq!(snap[0].items_in, 5);
+        assert_eq!(snap[0].items_out, 3);
+        assert_eq!(snap[0].skipped, 2);
+        assert_eq!(snap[0].bytes, 1024);
+        assert!(stats.verify_conservation().is_ok());
+    }
+
+    #[test]
+    fn conservation_violation_is_typed_with_the_stage() {
+        let stats = PipelineStats::new("test");
+        let stage = stats.stage("extract");
+        stage.items_in(4);
+        stage.item_out();
+        let err = stats.verify_conservation().unwrap_err();
+        assert_eq!(err.stage, "extract");
+        assert_eq!(err.items_in, 4);
+        assert_eq!(err.items_out, 1);
+        assert_eq!(err.skipped, 0);
+        assert!(err.to_string().contains("extract"));
+    }
+
+    #[test]
+    fn shared_handles_tick_one_stage_across_threads() {
+        let stats = PipelineStats::new("test");
+        let stage = stats.stage("parallel");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let h = stage.clone();
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        h.item_in();
+                        h.item_out();
+                    }
+                });
+            }
+        });
+        let snap = stage.snapshot();
+        assert_eq!(snap.items_in, 400);
+        assert_eq!(snap.items_out, 400);
+        assert!(stats.verify_conservation().is_ok());
+    }
+
+    #[test]
+    fn wall_time_freezes_at_finish() {
+        let stats = PipelineStats::new("test");
+        let stage = stats.stage("slow");
+        stage.item_in();
+        std::thread::sleep(Duration::from_millis(5));
+        stage.item_out();
+        stage.finish();
+        let a = stage.snapshot().wall_secs;
+        std::thread::sleep(Duration::from_millis(5));
+        let b = stage.snapshot().wall_secs;
+        assert!(a > 0.0);
+        assert!((a - b).abs() < 1e-12, "wall moved after finish");
+    }
+
+    #[test]
+    fn stages_render_in_registration_order() {
+        let stats = PipelineStats::new("test");
+        let _a = stats.stage("scan");
+        let _b = stats.stage("decode");
+        let _c = stats.stage("write");
+        let names: Vec<String> = stats.snapshot().into_iter().map(|s| s.stage).collect();
+        assert_eq!(names, ["scan", "decode", "write"]);
+        let table = stats.render_table();
+        assert!(table.find("scan").unwrap() < table.find("write").unwrap());
+    }
+
+    #[test]
+    fn stage_stats_serialize_round_trip() {
+        let stats = PipelineStats::new("test");
+        let stage = stats.stage("seal");
+        stage.items_in(7);
+        stage.items_out(7);
+        stage.finish();
+        let json = serde_json::to_string(&stats.snapshot()).unwrap();
+        let back: Vec<StageStats> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats.snapshot());
+    }
+}

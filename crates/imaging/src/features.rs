@@ -49,6 +49,19 @@ impl FeatureKind {
     }
 }
 
+/// Extracts the raw (pre-PCA) feature vector of `kind` from one image —
+/// the per-image step of [`FeatureSet::build`], exposed for pipelines
+/// that stream images from disk instead of rendering a whole [`Corpus`]
+/// in memory.
+pub fn raw_features(kind: FeatureKind, img: &crate::image::ImageRgb) -> Vec<f64> {
+    match kind {
+        FeatureKind::ColorMoments => color_moments(img),
+        FeatureKind::CooccurrenceTexture => texture_features(img),
+        FeatureKind::ColorHistogram => crate::histogram::color_histogram(img),
+        FeatureKind::ColorLayout => crate::layout::color_layout(img),
+    }
+}
+
 /// A fitted pipeline: the PCA model plus per-component scale factors.
 #[derive(Debug, Clone)]
 pub struct FeaturePipeline {
@@ -138,15 +151,7 @@ impl FeatureSet {
             .unwrap_or(1)
             .min(n.max(1));
         let chunk = n.div_ceil(threads);
-        let extract = |id: usize| -> Vec<f64> {
-            let img = corpus.render_by_id(id);
-            match kind {
-                FeatureKind::ColorMoments => color_moments(&img),
-                FeatureKind::CooccurrenceTexture => texture_features(&img),
-                FeatureKind::ColorHistogram => crate::histogram::color_histogram(&img),
-                FeatureKind::ColorLayout => crate::layout::color_layout(&img),
-            }
-        };
+        let extract = |id: usize| -> Vec<f64> { raw_features(kind, &corpus.render_by_id(id)) };
         let mut rows: Vec<Vec<f64>> = Vec::with_capacity(n);
         if threads <= 1 || n < 64 {
             rows.extend((0..n).map(extract));

@@ -38,5 +38,5 @@ pub mod moments;
 
 pub use color::{hsv_to_rgb, rgb_to_gray, rgb_to_hsv};
 pub use corpus::{CategorySpec, Corpus, CorpusBuilder, TexturePattern};
-pub use features::{FeatureKind, FeaturePipeline, FeatureSet};
+pub use features::{raw_features, FeatureKind, FeaturePipeline, FeatureSet};
 pub use image::ImageRgb;
